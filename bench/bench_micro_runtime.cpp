@@ -1,0 +1,83 @@
+// Micro-benchmarks of the runtime substrate: persistent threadpool vs
+// OpenMP parallel-region overhead (the paper's §III-D2 threadpool claim),
+// and neighbor-list construction throughput.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "md/ghosts.hpp"
+#include "md/lattice.hpp"
+#include "md/neighbor.hpp"
+#include "runtime/threadpool.hpp"
+#include "util/random.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+void BM_ThreadpoolRegion(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::atomic<long> sink{0};
+  for (auto _ : state) {
+    pool.run_on_all([&](unsigned) { sink.fetch_add(1, std::memory_order_relaxed); });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadpoolRegion)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_OpenMpRegion(benchmark::State& state) {
+  std::atomic<long> sink{0};
+  for (auto _ : state) {
+#pragma omp parallel
+    {
+      sink.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_OpenMpRegion);
+
+void BM_ThreadpoolParallelFor(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  std::vector<double> data(10000, 1.0);
+  for (auto _ : state) {
+    pool.parallel_ranges(data.size(),
+                         [&](std::size_t b, std::size_t e, unsigned) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             data[i] = data[i] * 1.0000001;
+                           }
+                         });
+  }
+  benchmark::DoNotOptimize(data.data());
+}
+BENCHMARK(BM_ThreadpoolParallelFor);
+
+void BM_NeighborBuild(benchmark::State& state) {
+  md::Box box;
+  md::Atoms atoms = md::make_fcc(3.61, static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(0)), 0, box);
+  md::build_periodic_ghosts(atoms, box, 6.0);
+  md::NeighborList list({6.0, 2.0, true});
+  for (auto _ : state) {
+    list.build(atoms, box);
+    benchmark::DoNotOptimize(list.total_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * atoms.nlocal);
+}
+BENCHMARK(BM_NeighborBuild)->Arg(4)->Arg(6);
+
+void BM_GhostBuild(benchmark::State& state) {
+  md::Box box;
+  md::Atoms atoms = md::make_fcc(3.61, 6, 6, 6, 0, box);
+  for (auto _ : state) {
+    md::build_periodic_ghosts(atoms, box, 6.0);
+    benchmark::DoNotOptimize(atoms.nghost);
+  }
+  state.SetItemsProcessed(state.iterations() * atoms.nlocal);
+}
+BENCHMARK(BM_GhostBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

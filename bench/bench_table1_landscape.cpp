@@ -1,0 +1,53 @@
+// Reproduces Table I: performance of typical NNMD packages (literature
+// values recorded from the paper) plus this reproduction's model-predicted
+// rows for the two headline systems.
+#include <cstdio>
+
+#include "perfmodel/perfmodel.hpp"
+#include "util/table.hpp"
+
+using namespace dpmd;
+
+int main() {
+  AsciiTable table({"work", "year", "potential", "system", "#atoms",
+                    "machine", "time-step", "ns/day"});
+  table.set_title("Table I: NNMD package landscape (literature rows as "
+                  "reported by the paper)");
+  table.add_row({"Simple-NN", "2019", "BP", "SiO2", "14K", "-", "-",
+                 "unknown"});
+  table.add_row({"Singraber et al.", "2019", "BP", "H2O", "8.4K", "VSC",
+                 "0.5fs", "1.25"});
+  table.add_row({"SNAP ML-IAP", "2021", "SNAP", "C", "1B", "Summit", "0.5fs",
+                 "1.03"});
+  table.add_row({"Allegro", "2023", "Allegro", "Li3PO4", "0.42M",
+                 "64xA100", "2fs", "15.5"});
+  table.add_row({"Allegro", "2023", "Allegro", "Ag", "1M", "128xA100", "5fs",
+                 "49.4"});
+  table.add_row({"DeePMD-kit (baseline)", "2022", "DP", "Cu", "13.5M",
+                 "Summit", "1fs", "11.2"});
+  table.add_row({"DeePMD-kit (baseline)", "2022", "DP", "Cu", "2.1M",
+                 "Fugaku", "1fs", "4.7"});
+  table.add_row({"paper (this work)", "2024", "DP", "Cu", "0.5M",
+                 "Fugaku 12000 nodes", "1fs", "149"});
+  table.add_row({"paper (this work)", "2024", "DP", "H2O", "0.5M",
+                 "Fugaku 12000 nodes", "0.5fs", "68.5"});
+
+  const perf::A64fxParams cpu;
+  const tofu::MachineParams net;
+  const std::array<int, 3> grid = {20, 30, 20};
+  const auto cu = perf::predict_step(perf::copper_system(), grid,
+                                     perf::Variant::CommLb, cpu, net);
+  const auto h2o = perf::predict_step(perf::water_system(), grid,
+                                      perf::Variant::CommLb, cpu, net);
+  table.add_row({"this repro (model)", "-", "DP", "Cu", "0.54M",
+                 "Fugaku model 12000 nodes", "1fs", fmt_fix(cu.ns_per_day, 1)});
+  table.add_row({"this repro (model)", "-", "DP", "H2O", "0.56M",
+                 "Fugaku model 12000 nodes", "0.5fs",
+                 fmt_fix(h2o.ns_per_day, 1)});
+  table.print();
+
+  std::printf("\nThe reproduction's rows come from the calibrated machine "
+              "model (src/perfmodel);\nkernels are real and measured, the "
+              "12000-node scale is simulated (DESIGN.md S7/S11).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Copper heating example on the Sutton-Chen EAM reference: ramp the
+// thermostat and watch the mean-square displacement take off as the fcc
+// lattice loses rigidity — the classic melt signature.
+//
+//   ./copper_melt [--cells=3] [--steps-per-stage=400]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "md/lattice.hpp"
+#include "md/pair_eam.hpp"
+#include "md/sim.hpp"
+#include "md/thermo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+/// MSD against a reference snapshot, using unwrapped coordinates.
+double msd_of(const md::Sim& sim, const std::vector<Vec3>& ref) {
+  const auto& atoms = sim.atoms();
+  const Vec3 len = sim.box().length();
+  double acc = 0.0;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const auto& img = atoms.image[static_cast<std::size_t>(i)];
+    const Vec3 unwrapped = atoms.x[static_cast<std::size_t>(i)] +
+                           Vec3{img[0] * len.x, img[1] * len.y,
+                                img[2] * len.z};
+    acc += (unwrapped - ref[static_cast<std::size_t>(i)]).norm2();
+  }
+  return acc / atoms.nlocal;
+}
+
+std::vector<Vec3> snapshot(const md::Sim& sim) {
+  const auto& atoms = sim.atoms();
+  const Vec3 len = sim.box().length();
+  std::vector<Vec3> ref(static_cast<std::size_t>(atoms.nlocal));
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const auto& img = atoms.image[static_cast<std::size_t>(i)];
+    ref[static_cast<std::size_t>(i)] =
+        atoms.x[static_cast<std::size_t>(i)] +
+        Vec3{img[0] * len.x, img[1] * len.y, img[2] * len.z};
+  }
+  return ref;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int cells = static_cast<int>(args.get_int("cells", 3));
+  const int stage_steps = static_cast<int>(args.get_int("steps-per-stage", 400));
+
+  md::Box box;
+  md::Atoms atoms = md::make_fcc(3.61, cells, cells, cells, 0, box);
+  Rng rng(21);
+  md::thermalize(atoms, {md::kMassCu}, 100.0, rng);
+
+  auto pair = std::make_shared<md::PairEamSC>();
+  md::Sim sim(box, std::move(atoms), {md::kMassCu}, pair,
+              {.dt_fs = 2.0, .skin = 1.5});
+  sim.setup();
+  std::printf("Sutton-Chen copper, %d atoms; heating ramp with %d steps per "
+              "stage\n\n", sim.atoms().nlocal, stage_steps);
+
+  AsciiTable table({"target T [K]", "measured T [K]", "PE/atom [eV]",
+                    "MSD [A^2]", "state"});
+  for (const double target : {300.0, 800.0, 1300.0, 1800.0, 2400.0}) {
+    sim.set_thermostat(
+        std::make_unique<md::LangevinThermostat>(target, 0.02,
+                                                 static_cast<uint64_t>(target)));
+    sim.run(stage_steps);          // equilibrate at the new target
+    const auto ref = snapshot(sim);
+    sim.run(stage_steps);          // measure diffusion over one stage
+    const double msd = msd_of(sim, ref);
+    const auto t = sim.thermo();
+    table.add_row({fmt_fix(target, 0), fmt_fix(t.temperature, 0),
+                   fmt_fix(t.potential / sim.atoms().nlocal, 3),
+                   fmt_fix(msd, 2), msd > 1.0 ? "diffusing" : "solid"});
+  }
+  table.print();
+  std::printf("\nrising MSD at high T = loss of lattice rigidity "
+              "(Sutton-Chen Cu melts ~1300-1700 K in small PBC cells)\n");
+  return 0;
+}

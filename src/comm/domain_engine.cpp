@@ -1,0 +1,269 @@
+#include "comm/domain_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "comm/geometry.hpp"
+#include "md/units.hpp"
+#include "util/error.hpp"
+
+namespace dpmd::comm {
+
+namespace {
+
+constexpr int kTagMigrate = 700;
+constexpr int kTagForce = 800;
+
+struct MigrantAtom {
+  double x, y, z;
+  double vx, vy, vz;
+  std::int32_t type;
+  std::int32_t pad;
+  std::int64_t tag;
+};
+static_assert(std::is_trivially_copyable_v<MigrantAtom>);
+
+struct ForceMsg {
+  std::int64_t tag;
+  double fx, fy, fz;
+};
+static_assert(std::is_trivially_copyable_v<ForceMsg>);
+
+}  // namespace
+
+DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
+                           const md::Box& global_box,
+                           std::vector<double> masses,
+                           std::shared_ptr<md::Pair> pair, DomainConfig cfg)
+    : rank_(rank), grid_(grid), global_box_(global_box),
+      masses_(std::move(masses)), pair_(std::move(pair)), cfg_(cfg),
+      nlist_({pair_->cutoff(), 0.0, pair_->needs_full_list()}) {
+  const auto c = grid_.coords_of(rank_.rank());
+  const Vec3 len = global_box_.length();
+  const Vec3 sub{len.x / grid_.nx(), len.y / grid_.ny(), len.z / grid_.nz()};
+  sub_box_ = md::Box(
+      {global_box_.lo.x + c[0] * sub.x, global_box_.lo.y + c[1] * sub.y,
+       global_box_.lo.z + c[2] * sub.z},
+      {global_box_.lo.x + (c[0] + 1) * sub.x,
+       global_box_.lo.y + (c[1] + 1) * sub.y,
+       global_box_.lo.z + (c[2] + 1) * sub.z});
+
+  // Symmetric peer set: every rank whose offset has a non-empty ghost
+  // overlap (covers force return from multi-hop ghosts) plus the 26-cell
+  // migration shell.
+  const auto regions = enumerate_ghost_regions(sub, pair_->cutoff());
+  std::vector<int> peers;
+  for (const auto& region : regions) {
+    peers.push_back(grid_.neighbor(rank_.rank(), region.offset[0],
+                                   region.offset[1], region.offset[2]));
+  }
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        peers.push_back(grid_.neighbor(rank_.rank(), dx, dy, dz));
+      }
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  peers.erase(std::remove(peers.begin(), peers.end(), rank_.rank()),
+              peers.end());
+  exchange_peers_ = std::move(peers);
+}
+
+void DomainEngine::seed(const std::vector<Vec3>& x, const std::vector<Vec3>& v,
+                        const std::vector<int>& type) {
+  DPMD_REQUIRE(x.size() == v.size() && x.size() == type.size(),
+               "seed array mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Vec3 p = x[i];
+    global_box_.wrap(p);
+    if (sub_box_.contains(p)) {
+      atoms_.add_local(p, v[i], type[i], static_cast<std::int64_t>(i));
+    }
+  }
+  forces_ready_ = false;
+}
+
+void DomainEngine::migrate() {
+  // Wrap locals and hand off atoms that left the sub-box.
+  std::unordered_map<int, std::vector<MigrantAtom>> outbox;
+  for (const int peer : exchange_peers_) outbox[peer];  // pre-create (empty ok)
+
+  md::Atoms kept;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    Vec3 p = atoms_.x[static_cast<std::size_t>(i)];
+    global_box_.wrap(p);
+    if (sub_box_.contains(p)) {
+      kept.add_local(p, atoms_.v[static_cast<std::size_t>(i)],
+                     atoms_.type[static_cast<std::size_t>(i)],
+                     atoms_.tag[static_cast<std::size_t>(i)]);
+      continue;
+    }
+    const Vec3 rel = p - global_box_.lo;
+    const Vec3 len = global_box_.length();
+    const int cx = std::min(grid_.nx() - 1,
+                            static_cast<int>(rel.x / len.x * grid_.nx()));
+    const int cy = std::min(grid_.ny() - 1,
+                            static_cast<int>(rel.y / len.y * grid_.ny()));
+    const int cz = std::min(grid_.nz() - 1,
+                            static_cast<int>(rel.z / len.z * grid_.nz()));
+    const int owner = grid_.rank_of(cx, cy, cz);
+    const auto it = outbox.find(owner);
+    DPMD_REQUIRE(it != outbox.end(),
+                 "atom migrated beyond the exchange shell in one step");
+    const Vec3& vel = atoms_.v[static_cast<std::size_t>(i)];
+    it->second.push_back({p.x, p.y, p.z, vel.x, vel.y, vel.z,
+                          atoms_.type[static_cast<std::size_t>(i)], 0,
+                          atoms_.tag[static_cast<std::size_t>(i)]});
+  }
+
+  for (const int peer : exchange_peers_) {
+    rank_.send_vec(peer, kTagMigrate, outbox[peer]);
+  }
+  for (const int peer : exchange_peers_) {
+    for (const auto& m : rank_.recv_vec<MigrantAtom>(peer, kTagMigrate)) {
+      kept.add_local({m.x, m.y, m.z}, {m.vx, m.vy, m.vz}, m.type, m.tag);
+    }
+  }
+  atoms_ = std::move(kept);
+}
+
+void DomainEngine::exchange_ghosts() {
+  LocalDomain dom;
+  dom.sub_box = sub_box_;
+  dom.locals.reserve(static_cast<std::size_t>(atoms_.nlocal));
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    HaloAtom a;
+    const Vec3& p = atoms_.x[static_cast<std::size_t>(i)];
+    a.x = p.x;
+    a.y = p.y;
+    a.z = p.z;
+    a.type = atoms_.type[static_cast<std::size_t>(i)];
+    a.pad = rank_.rank();  // owner travels with the atom for force return
+    a.tag = atoms_.tag[static_cast<std::size_t>(i)];
+    dom.locals.push_back(a);
+  }
+
+  const auto ghosts =
+      exchange_three_stage(rank_, grid_, global_box_, dom, pair_->cutoff());
+
+  atoms_.clear_ghosts();
+  ghost_owner_.clear();
+  ghost_owner_.reserve(ghosts.size());
+  for (const HaloAtom& g : ghosts) {
+    atoms_.add_ghost({g.x, g.y, g.z}, g.type, g.tag, /*parent=*/-1,
+                     {0, 0, 0});
+    ghost_owner_.push_back(g.pad);
+  }
+}
+
+void DomainEngine::return_ghost_forces() {
+  std::unordered_map<std::int64_t, int> tag_to_local;
+  tag_to_local.reserve(static_cast<std::size_t>(atoms_.nlocal));
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    tag_to_local[atoms_.tag[static_cast<std::size_t>(i)]] = i;
+  }
+
+  std::unordered_map<int, std::vector<ForceMsg>> outbox;
+  for (const int peer : exchange_peers_) outbox[peer];
+  for (int g = 0; g < atoms_.nghost; ++g) {
+    const Vec3& f = atoms_.f[static_cast<std::size_t>(atoms_.nlocal + g)];
+    if (f.norm2() == 0.0) continue;  // nothing to return
+    const int owner = ghost_owner_[static_cast<std::size_t>(g)];
+    const std::int64_t tag = atoms_.tag[static_cast<std::size_t>(
+        atoms_.nlocal + g)];
+    if (owner == rank_.rank()) {
+      // Periodic self-image: fold directly.
+      atoms_.f[static_cast<std::size_t>(tag_to_local.at(tag))] += f;
+      continue;
+    }
+    outbox[owner].push_back({tag, f.x, f.y, f.z});
+  }
+
+  for (const int peer : exchange_peers_) {
+    rank_.send_vec(peer, kTagForce, outbox[peer]);
+  }
+  for (const int peer : exchange_peers_) {
+    for (const auto& msg : rank_.recv_vec<ForceMsg>(peer, kTagForce)) {
+      atoms_.f[static_cast<std::size_t>(tag_to_local.at(msg.tag))] +=
+          Vec3{msg.fx, msg.fy, msg.fz};
+    }
+  }
+}
+
+void DomainEngine::compute_forces() {
+  atoms_.zero_forces();
+  const md::ForceResult res = pair_->compute(atoms_, nlist_);
+  return_ghost_forces();
+  pe_ = res.pe;
+  virial_ = res.virial;
+  forces_ready_ = true;
+}
+
+void DomainEngine::step() {
+  if (!forces_ready_) {
+    migrate();
+    exchange_ghosts();
+    nlist_.build(atoms_, global_box_);
+    compute_forces();
+  }
+
+  const double dt = cfg_.dt_fs;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const double inv_m =
+        md::kForceConv / masses_[static_cast<std::size_t>(
+                             atoms_.type[static_cast<std::size_t>(i)])];
+    atoms_.v[static_cast<std::size_t>(i)] +=
+        atoms_.f[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
+    atoms_.x[static_cast<std::size_t>(i)] +=
+        atoms_.v[static_cast<std::size_t>(i)] * dt;
+  }
+
+  migrate();
+  exchange_ghosts();
+  nlist_.build(atoms_, global_box_);
+  compute_forces();
+
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const double inv_m =
+        md::kForceConv / masses_[static_cast<std::size_t>(
+                             atoms_.type[static_cast<std::size_t>(i)])];
+    atoms_.v[static_cast<std::size_t>(i)] +=
+        atoms_.f[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
+  }
+  ++steps_done_;
+}
+
+void DomainEngine::run(int nsteps) {
+  for (int s = 0; s < nsteps; ++s) step();
+}
+
+double DomainEngine::total_pe() { return rank_.allreduce_sum(pe_); }
+
+double DomainEngine::total_kinetic() {
+  return rank_.allreduce_sum(md::kinetic_energy(atoms_, masses_));
+}
+
+std::vector<DomainEngine::GlobalAtom> DomainEngine::gather_all() {
+  std::vector<GlobalAtom> mine;
+  mine.reserve(static_cast<std::size_t>(atoms_.nlocal));
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    mine.push_back({atoms_.tag[static_cast<std::size_t>(i)],
+                    atoms_.x[static_cast<std::size_t>(i)],
+                    atoms_.v[static_cast<std::size_t>(i)]});
+  }
+  const auto all = rank_.allgatherv(mine);
+  std::vector<GlobalAtom> out;
+  for (const auto& part : all) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GlobalAtom& a, const GlobalAtom& b) {
+              return a.tag < b.tag;
+            });
+  return out;
+}
+
+}  // namespace dpmd::comm

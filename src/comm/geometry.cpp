@@ -1,0 +1,67 @@
+#include "comm/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::comm {
+
+std::array<int, 3> DecompGeometry::layers_for(const Vec3& box) const {
+  std::array<int, 3> layers;
+  for (int d = 0; d < 3; ++d) {
+    layers[static_cast<std::size_t>(d)] =
+        static_cast<int>(std::ceil(rcut / box[d] - 1e-12));
+  }
+  return layers;
+}
+
+double band_depth(double len, double rcut, int m) {
+  DPMD_REQUIRE(m >= 1, "band index starts at 1");
+  return std::max(0.0, std::min(len, rcut - (m - 1) * len));
+}
+
+std::vector<NeighborRegion> enumerate_ghost_regions(const Vec3& box,
+                                                    double rcut) {
+  std::vector<NeighborRegion> out;
+  int layers[3];
+  for (int d = 0; d < 3; ++d) {
+    layers[d] = static_cast<int>(std::ceil(rcut / box[d] - 1e-12));
+  }
+  for (int dx = -layers[0]; dx <= layers[0]; ++dx) {
+    for (int dy = -layers[1]; dy <= layers[1]; ++dy) {
+      for (int dz = -layers[2]; dz <= layers[2]; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int off[3] = {dx, dy, dz};
+        double volume = 1.0;
+        for (int d = 0; d < 3; ++d) {
+          const int m = std::abs(off[d]);
+          volume *= m == 0 ? box[d] : band_depth(box[d], rcut, m);
+        }
+        if (volume > 0.0) {
+          out.push_back({{dx, dy, dz}, volume});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double total_ghost_volume(const Vec3& box, double rcut) {
+  return (box.x + 2 * rcut) * (box.y + 2 * rcut) * (box.z + 2 * rcut) -
+         box.x * box.y * box.z;
+}
+
+double eq1_ghost_count(double a, double rcut) {
+  const double ext = a + 2 * rcut;
+  return ext * ext * ext - a * a * a;
+}
+
+double eq2_ghost_count(double a, double rcut) {
+  // Paper Eq. (2): node-box of 2a x 2a x a (4 ranks per node), every rank
+  // holds the whole node ghost region.
+  return (2 * a + 2 * rcut) * (2 * a + 2 * rcut) * (a + 2 * rcut) -
+         a * a * a;
+}
+
+}  // namespace dpmd::comm

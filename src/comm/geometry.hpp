@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace dpmd::comm {
+
+/// Geometry of the spatial decomposition used throughout the communication
+/// study (Fig. 7): a global grid of MPI-rank sub-boxes, grouped 2x2x1 into
+/// nodes (this grouping reproduces the paper's node-neighbor counts of
+/// 26 / 26 / 44 for the three sub-box configurations, see DESIGN.md §6).
+struct DecompGeometry {
+  double rcut = 8.0;                    ///< Angstrom
+  Vec3 sub_box{8, 8, 8};                ///< rank sub-box side lengths, A
+  std::array<int, 3> rank_grid{8, 12, 8};
+  std::array<int, 3> ranks_per_node{2, 2, 1};
+
+  std::array<int, 3> node_grid() const {
+    return {rank_grid[0] / ranks_per_node[0],
+            rank_grid[1] / ranks_per_node[1],
+            rank_grid[2] / ranks_per_node[2]};
+  }
+  Vec3 node_box() const {
+    return {sub_box.x * ranks_per_node[0], sub_box.y * ranks_per_node[1],
+            sub_box.z * ranks_per_node[2]};
+  }
+  int ranks_per_node_count() const {
+    return ranks_per_node[0] * ranks_per_node[1] * ranks_per_node[2];
+  }
+  int nodes() const {
+    const auto g = node_grid();
+    return g[0] * g[1] * g[2];
+  }
+
+  /// Communication layers per dimension: how many sub-boxes the ghost
+  /// region spans (paper: 1 layer at [1,1,1] rcut, 2 at [0.5, ...] rcut).
+  std::array<int, 3> rank_layers() const { return layers_for(sub_box); }
+  std::array<int, 3> node_layers() const { return layers_for(node_box()); }
+
+  /// Number of neighbor boxes a box communicates with: prod(2L+1) - 1
+  /// (paper: 26 / 74 / 124 at rank level for the three configurations).
+  int rank_neighbor_count() const { return neighbor_count(rank_layers()); }
+  int node_neighbor_count() const { return neighbor_count(node_layers()); }
+
+ private:
+  std::array<int, 3> layers_for(const Vec3& box) const;
+  static int neighbor_count(const std::array<int, 3>& layers) {
+    return (2 * layers[0] + 1) * (2 * layers[1] + 1) * (2 * layers[2] + 1) -
+           1;
+  }
+};
+
+/// One neighbor offset with the volume (A^3) of the sender's region the
+/// neighbor needs as ghosts.
+struct NeighborRegion {
+  std::array<int, 3> offset;
+  double volume;
+};
+
+/// Depth (A) of the band of a box of side `len` that a neighbor `m` boxes
+/// away (m >= 1) needs, given cutoff rcut: min(len, rcut - (m-1)*len),
+/// clamped at 0.
+double band_depth(double len, double rcut, int m);
+
+/// Enumerates all neighbor offsets with a non-empty ghost overlap for a box
+/// of the given side lengths.
+std::vector<NeighborRegion> enumerate_ghost_regions(const Vec3& box,
+                                                    double rcut);
+
+/// Total one-sided ghost volume (A^3) = (Lx+2rc)(Ly+2rc)(Lz+2rc) - V.
+double total_ghost_volume(const Vec3& box, double rcut);
+
+/// Paper Eq. (1): per-rank ghost count in the original scheme, and
+/// Eq. (2): per-rank ghost count under intra-node load balance (node-box
+/// ghosts seen by every rank).  `a` = cubic sub-box side, unit density.
+double eq1_ghost_count(double a, double rcut);
+double eq2_ghost_count(double a, double rcut);
+
+}  // namespace dpmd::comm

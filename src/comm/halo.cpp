@@ -1,0 +1,311 @@
+#include "comm/halo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/geometry.hpp"
+#include "util/error.hpp"
+
+namespace dpmd::comm {
+
+namespace {
+
+constexpr int kTagHalo = 100;
+constexpr int kTagNodeGather = 200;
+constexpr int kTagNodeP2p = 300;
+constexpr int kTagNodeBcast = 400;
+constexpr int kTagOracle = 500;
+
+double coord(const HaloAtom& a, int d) {
+  return d == 0 ? a.x : d == 1 ? a.y : a.z;
+}
+void shift_coord(HaloAtom& a, int d, double by) {
+  (d == 0 ? a.x : d == 1 ? a.y : a.z) += by;
+}
+
+/// Global periodic shift seen by a receiver `steps` grid cells away in
+/// dimension d (handles wraparound in either direction).
+double wrap_shift(int my_idx, int steps, int grid_n, double global_len) {
+  const int raw = my_idx + steps;
+  const int wraps = static_cast<int>(std::floor(
+      static_cast<double>(raw) / static_cast<double>(grid_n)));
+  return -static_cast<double>(wraps) * global_len;
+}
+
+}  // namespace
+
+std::vector<HaloAtom> exchange_three_stage(simmpi::Rank& rank,
+                                           const simmpi::CartGrid& grid,
+                                           const md::Box& global_box,
+                                           const LocalDomain& dom,
+                                           double rcut) {
+  const auto my = grid.coords_of(rank.rank());
+  const Vec3 global_len = global_box.length();
+  std::vector<HaloAtom> ghosts;
+
+  for (int d = 0; d < 3; ++d) {
+    const double sub_len = dom.sub_box.length()[d];
+    const int layers = static_cast<int>(std::ceil(rcut / sub_len - 1e-12));
+    const int grid_n = d == 0 ? grid.nx() : d == 1 ? grid.ny() : grid.nz();
+    // The two directional forwarding chains must deliver disjoint bands of
+    // every source rank, or an atom would arrive twice with the same image
+    // shift.  (grid_n == 1 is legal: both chains are self-loops delivering
+    // opposite-sign periodic images.)
+    const double global_d = global_len[d];
+    const double slack = grid_n > 1 ? global_d - sub_len : global_d;
+    DPMD_REQUIRE(2.0 * rcut <= slack + 1e-9,
+                 "ghost bands overlap; grow the grid or the box");
+
+    // Forwarding chains: what arrived from the +side last round is the
+    // candidate set for the next send to the -side, and vice versa.
+    // Round 1 forwards the locals plus all ghosts acquired in previous
+    // dimension sweeps (so corner regions propagate, as in LAMMPS).
+    std::vector<HaloAtom> from_plus = dom.locals;
+    std::vector<HaloAtom> from_minus = dom.locals;
+    from_plus.insert(from_plus.end(), ghosts.begin(), ghosts.end());
+    from_minus.insert(from_minus.end(), ghosts.begin(), ghosts.end());
+
+    const int minus_nbr = grid.neighbor(rank.rank(), d == 0 ? -1 : 0,
+                                        d == 1 ? -1 : 0, d == 2 ? -1 : 0);
+    const int plus_nbr = grid.neighbor(rank.rank(), d == 0 ? 1 : 0,
+                                       d == 1 ? 1 : 0, d == 2 ? 1 : 0);
+
+    for (int round = 1; round <= layers; ++round) {
+      // Every send targets the *immediate* neighbor, which needs atoms
+      // within rcut of its face (x_d < my_lo + rcut when sending to the
+      // -side).  The forwarded set moves one box per round on its own, so
+      // the same filter is correct in every round.
+      const double minus_limit = dom.sub_box.lo[d] + rcut;
+      const double plus_limit = dom.sub_box.hi[d] - rcut;
+
+      std::vector<HaloAtom> to_minus;
+      for (const HaloAtom& a : from_plus) {
+        if (coord(a, d) < minus_limit) to_minus.push_back(a);
+      }
+      std::vector<HaloAtom> to_plus;
+      for (const HaloAtom& a : from_minus) {
+        if (coord(a, d) >= plus_limit) to_plus.push_back(a);
+      }
+
+      // Apply the periodic shift for the immediate neighbor.
+      const double shift_minus =
+          wrap_shift(my[static_cast<std::size_t>(d)], -1, grid_n,
+                     global_len[d]);
+      const double shift_plus = wrap_shift(my[static_cast<std::size_t>(d)],
+                                           +1, grid_n, global_len[d]);
+      for (HaloAtom& a : to_minus) shift_coord(a, d, shift_minus);
+      for (HaloAtom& a : to_plus) shift_coord(a, d, shift_plus);
+
+      const int tag = kTagHalo + d * 10 + round;
+      rank.send_vec(minus_nbr, tag, to_minus);
+      rank.send_vec(plus_nbr, tag + 5, to_plus);
+      const auto recv_plus = rank.recv_vec<HaloAtom>(plus_nbr, tag);
+      const auto recv_minus = rank.recv_vec<HaloAtom>(minus_nbr, tag + 5);
+
+      ghosts.insert(ghosts.end(), recv_plus.begin(), recv_plus.end());
+      ghosts.insert(ghosts.end(), recv_minus.begin(), recv_minus.end());
+      from_plus = recv_plus;   // forward onwards next round
+      from_minus = recv_minus;
+    }
+  }
+  return ghosts;
+}
+
+NodeExchangeResult exchange_node_based(
+    simmpi::Rank& rank, const simmpi::CartGrid& grid,
+    const md::Box& global_box, const LocalDomain& dom, double rcut,
+    const std::array<int, 3>& ranks_per_node, int leaders) {
+  const auto my = grid.coords_of(rank.rank());
+  const Vec3 global_len = global_box.length();
+  const Vec3 sub_len = dom.sub_box.length();
+
+  const int rpn = ranks_per_node[0] * ranks_per_node[1] * ranks_per_node[2];
+  DPMD_REQUIRE(leaders >= 1 && leaders <= rpn, "bad leader count");
+  DPMD_REQUIRE(grid.nx() % ranks_per_node[0] == 0 &&
+                   grid.ny() % ranks_per_node[1] == 0 &&
+                   grid.nz() % ranks_per_node[2] == 0,
+               "rank grid does not tile into nodes");
+
+  // Node identity and in-node rank index.
+  const std::array<int, 3> node_coord = {my[0] / ranks_per_node[0],
+                                         my[1] / ranks_per_node[1],
+                                         my[2] / ranks_per_node[2]};
+  const std::array<int, 3> in_node = {my[0] % ranks_per_node[0],
+                                      my[1] % ranks_per_node[1],
+                                      my[2] % ranks_per_node[2]};
+  const int my_slot = (in_node[0] * ranks_per_node[1] + in_node[1]) *
+                          ranks_per_node[2] +
+                      in_node[2];
+  const std::array<int, 3> node_grid = {grid.nx() / ranks_per_node[0],
+                                        grid.ny() / ranks_per_node[1],
+                                        grid.nz() / ranks_per_node[2]};
+
+  const auto rank_of_slot = [&](const std::array<int, 3>& ncoord, int slot) {
+    const int sx = slot / (ranks_per_node[1] * ranks_per_node[2]);
+    const int sy = (slot / ranks_per_node[2]) % ranks_per_node[1];
+    const int sz = slot % ranks_per_node[2];
+    return grid.rank_of(ncoord[0] * ranks_per_node[0] + sx,
+                        ncoord[1] * ranks_per_node[1] + sy,
+                        ncoord[2] * ranks_per_node[2] + sz);
+  };
+
+  // Node box in global coordinates.
+  const Vec3 node_len{sub_len.x * ranks_per_node[0],
+                      sub_len.y * ranks_per_node[1],
+                      sub_len.z * ranks_per_node[2]};
+  const Vec3 node_lo{node_coord[0] * node_len.x, node_coord[1] * node_len.y,
+                     node_coord[2] * node_len.z};
+
+  NodeExchangeResult result;
+
+  // ---- Step 1: intra-node allgather of locals ("workers copy into the
+  // leaders' shared memory"; with 4 leaders this is a true Allgather).
+  for (int slot = 0; slot < rpn; ++slot) {
+    if (slot == my_slot) continue;
+    rank.send_vec(rank_of_slot(node_coord, slot), kTagNodeGather + my_slot,
+                  dom.locals);
+  }
+  std::vector<HaloAtom> node_atoms = dom.locals;
+  for (int slot = 0; slot < rpn; ++slot) {
+    if (slot == my_slot) continue;
+    const auto theirs = rank.recv_vec<HaloAtom>(
+        rank_of_slot(node_coord, slot), kTagNodeGather + slot);
+    result.node_locals_other.insert(result.node_locals_other.end(),
+                                    theirs.begin(), theirs.end());
+    node_atoms.insert(node_atoms.end(), theirs.begin(), theirs.end());
+  }
+
+  // ---- Step 2: node-level p2p between leaders.  Offsets are partitioned
+  // round-robin over the leader slots (the same rule on every node, so the
+  // receiver knows which slot sends which region).
+  const auto regions = enumerate_ghost_regions(node_len, rcut);
+  const auto leader_of_region = [&](std::size_t region_idx) {
+    return static_cast<int>(region_idx) % leaders;
+  };
+
+  for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+    // Only leader slots send, each its round-robin share of the offsets.
+    if (my_slot >= leaders || leader_of_region(ri) != my_slot) continue;
+    const auto& region = regions[ri];
+    // Select the node atoms the neighbor node needs.
+    std::vector<HaloAtom> payload;
+    for (const HaloAtom& a : node_atoms) {
+      bool needed = true;
+      for (int d = 0; d < 3 && needed; ++d) {
+        const int o = region.offset[static_cast<std::size_t>(d)];
+        const double lo = node_lo[d] + o * node_len[d] - rcut;
+        const double hi = node_lo[d] + (o + 1) * node_len[d] + rcut;
+        const double c = coord(a, d);
+        needed = c >= lo && c < hi;
+      }
+      if (needed) payload.push_back(a);
+    }
+    // Shift into the receiver's frame and send to the same leader slot of
+    // the destination node.
+    std::array<int, 3> dst_node = node_coord;
+    for (int d = 0; d < 3; ++d) {
+      const int o = region.offset[static_cast<std::size_t>(d)];
+      const double shift = wrap_shift(node_coord[static_cast<std::size_t>(d)],
+                                      o, node_grid[static_cast<std::size_t>(d)],
+                                      global_len[d]);
+      for (HaloAtom& a : payload) shift_coord(a, d, shift);
+      dst_node[static_cast<std::size_t>(d)] = simmpi::CartGrid::wrap(
+          node_coord[static_cast<std::size_t>(d)] + o,
+          node_grid[static_cast<std::size_t>(d)]);
+    }
+    rank.send_vec(rank_of_slot(dst_node, my_slot),
+                  kTagNodeP2p + static_cast<int>(ri), payload);
+  }
+
+  // Receive: region ri arrives from the node at -offset, sent by the leader
+  // slot assigned to ri.  Only that slot receives it directly.
+  std::vector<HaloAtom> received;
+  for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+    const int owner_slot = leader_of_region(ri);
+    if (owner_slot != my_slot) continue;
+    const auto& region = regions[ri];
+    std::array<int, 3> src_node;
+    for (int d = 0; d < 3; ++d) {
+      src_node[static_cast<std::size_t>(d)] = simmpi::CartGrid::wrap(
+          node_coord[static_cast<std::size_t>(d)] -
+              region.offset[static_cast<std::size_t>(d)],
+          node_grid[static_cast<std::size_t>(d)]);
+    }
+    const auto payload = rank.recv_vec<HaloAtom>(
+        rank_of_slot(src_node, owner_slot), kTagNodeP2p + static_cast<int>(ri));
+    received.insert(received.end(), payload.begin(), payload.end());
+  }
+
+  // ---- Step 3: broadcast received ghosts to the other ranks of the node
+  // (the leaders "scatter the split data to the shared memory of the
+  // corresponding MPI ranks"; under the lb layout everyone gets everything).
+  for (int slot = 0; slot < rpn; ++slot) {
+    if (slot == my_slot) continue;
+    rank.send_vec(rank_of_slot(node_coord, slot), kTagNodeBcast + my_slot,
+                  received);
+  }
+  result.node_ghosts = received;
+  for (int slot = 0; slot < rpn; ++slot) {
+    if (slot == my_slot) continue;
+    const auto theirs = rank.recv_vec<HaloAtom>(
+        rank_of_slot(node_coord, slot), kTagNodeBcast + slot);
+    result.node_ghosts.insert(result.node_ghosts.end(), theirs.begin(),
+                              theirs.end());
+  }
+  return result;
+}
+
+std::vector<HaloAtom> expected_ghosts_bruteforce(simmpi::Rank& rank,
+                                                 const md::Box& global_box,
+                                                 const LocalDomain& dom,
+                                                 double rcut) {
+  // Gather every rank's locals (oracle only; O(N) traffic is fine in tests).
+  std::vector<HaloAtom> mine = dom.locals;
+  (void)kTagOracle;
+  const auto all = rank.allgatherv(mine);
+
+  const Vec3 len = global_box.length();
+  const Vec3 lo = dom.sub_box.lo;
+  const Vec3 hi = dom.sub_box.hi;
+  std::vector<HaloAtom> expected;
+  for (int src = 0; src < rank.size(); ++src) {
+    for (const HaloAtom& a : all[static_cast<std::size_t>(src)]) {
+      for (int sx = -1; sx <= 1; ++sx) {
+        for (int sy = -1; sy <= 1; ++sy) {
+          for (int sz = -1; sz <= 1; ++sz) {
+            HaloAtom img = a;
+            img.x += sx * len.x;
+            img.y += sy * len.y;
+            img.z += sz * len.z;
+            const bool inside_own =
+                src == rank.rank() && sx == 0 && sy == 0 && sz == 0;
+            if (inside_own) continue;
+            if (img.x >= lo.x - rcut && img.x < hi.x + rcut &&
+                img.y >= lo.y - rcut && img.y < hi.y + rcut &&
+                img.z >= lo.z - rcut && img.z < hi.z + rcut) {
+              expected.push_back(img);
+            }
+          }
+        }
+      }
+    }
+  }
+  return expected;
+}
+
+std::vector<std::array<double, 5>> ghost_keys(
+    const std::vector<HaloAtom>& ghosts) {
+  std::vector<std::array<double, 5>> keys;
+  keys.reserve(ghosts.size());
+  for (const HaloAtom& a : ghosts) {
+    // Round coordinates so shift arithmetic differences below 1e-9 compare
+    // equal.
+    const auto q = [](double v) { return std::round(v * 1e9) / 1e9; };
+    keys.push_back({static_cast<double>(a.tag), q(a.x), q(a.y), q(a.z),
+                    static_cast<double>(a.type)});
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace dpmd::comm

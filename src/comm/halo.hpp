@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "md/box.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace dpmd::comm {
+
+/// Wire format of one atom in the halo exchange (trivially copyable).
+struct HaloAtom {
+  double x = 0, y = 0, z = 0;
+  std::int32_t type = 0;
+  std::int32_t pad = 0;
+  std::int64_t tag = 0;
+};
+static_assert(std::is_trivially_copyable_v<HaloAtom>);
+
+/// A rank's share of the decomposition for the functional exchanges.
+struct LocalDomain {
+  md::Box sub_box;              ///< this rank's box in global coordinates
+  std::vector<HaloAtom> locals;
+};
+
+/// Functional LAMMPS-style 3-stage ghost exchange: three dimension sweeps,
+/// layer-by-layer forwarding, periodic shifts applied at the boundary.
+/// Returns the ghosts in this rank's coordinate frame.  This is the
+/// *semantic* reference implementation the node-based scheme is validated
+/// against (timing at scale comes from the plan models in comm/plans.hpp).
+std::vector<HaloAtom> exchange_three_stage(simmpi::Rank& rank,
+                                           const simmpi::CartGrid& grid,
+                                           const md::Box& global_box,
+                                           const LocalDomain& dom,
+                                           double rcut);
+
+/// Result of the functional node-based exchange under the load-balance
+/// atom organization (Fig. 5b): every rank of the node ends up with the
+/// other ranks' locals plus all ghosts of the node-box.
+struct NodeExchangeResult {
+  std::vector<HaloAtom> node_locals_other;
+  std::vector<HaloAtom> node_ghosts;
+};
+
+/// Functional node-based exchange (§III-A): intra-node allgather, node-level
+/// leader-to-leader messages (offsets partitioned round-robin across the
+/// `leaders` leader ranks), intra-node broadcast of the received ghosts.
+/// `ranks_per_node` groups the rank grid (2x2x1 in the paper's runs).
+NodeExchangeResult exchange_node_based(
+    simmpi::Rank& rank, const simmpi::CartGrid& grid,
+    const md::Box& global_box, const LocalDomain& dom, double rcut,
+    const std::array<int, 3>& ranks_per_node = {2, 2, 1}, int leaders = 4);
+
+/// Oracle: gathers every rank's locals and computes, by brute force over
+/// periodic images, the exact ghost set of this rank's extended sub-box.
+std::vector<HaloAtom> expected_ghosts_bruteforce(simmpi::Rank& rank,
+                                                 const md::Box& global_box,
+                                                 const LocalDomain& dom,
+                                                 double rcut);
+
+/// Canonical sort + comparison key for ghost-set equality in tests.
+std::vector<std::array<double, 5>> ghost_keys(
+    const std::vector<HaloAtom>& ghosts);
+
+}  // namespace dpmd::comm

@@ -1,0 +1,277 @@
+#include "comm/plans.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::comm {
+
+namespace {
+
+/// Node id of a rank in the 2x2x1-per-node grouping.
+struct RankMapper {
+  explicit RankMapper(const DecompGeometry& geom)
+      : geom_(geom), node_grid_(geom.node_grid()) {}
+
+  int node_of_rank_coord(int ix, int iy, int iz) const {
+    const int nx = wrap(ix, geom_.rank_grid[0]) / geom_.ranks_per_node[0];
+    const int ny = wrap(iy, geom_.rank_grid[1]) / geom_.ranks_per_node[1];
+    const int nz = wrap(iz, geom_.rank_grid[2]) / geom_.ranks_per_node[2];
+    return (nx * node_grid_[1] + ny) * node_grid_[2] + nz;
+  }
+  int rank_in_node(int ix, int iy, int iz) const {
+    const int rx = wrap(ix, geom_.rank_grid[0]) % geom_.ranks_per_node[0];
+    const int ry = wrap(iy, geom_.rank_grid[1]) % geom_.ranks_per_node[1];
+    const int rz = wrap(iz, geom_.rank_grid[2]) % geom_.ranks_per_node[2];
+    return (rx * geom_.ranks_per_node[1] + ry) * geom_.ranks_per_node[2] + rz;
+  }
+  static int wrap(int i, int n) {
+    int r = i % n;
+    return r < 0 ? r + n : r;
+  }
+
+  const DecompGeometry& geom_;
+  std::array<int, 3> node_grid_;
+};
+
+std::size_t bytes_of(double volume, double density, double bpa) {
+  return static_cast<std::size_t>(std::max(1.0, volume * density * bpa));
+}
+
+/// Emits one 3-stage sweep (all dims, all rounds) with the given per-atom
+/// payload; used for both the forward and the reverse direction.
+void emit_three_stage_sweep(tofu::CommPlan& plan, const DecompGeometry& geom,
+                            const SchemeConfig& cfg, double bpa,
+                            const char* label) {
+  const RankMapper map(geom);
+  const auto layers = geom.rank_layers();
+
+  for (int d = 0; d < 3; ++d) {
+    // Perpendicular extent: dims already swept include their ghost shells.
+    double perp = 1.0;
+    for (int e = 0; e < 3; ++e) {
+      if (e == d) continue;
+      perp *= e < d ? geom.sub_box[e] + 2 * geom.rcut : geom.sub_box[e];
+    }
+    for (int round = 1; round <= layers[static_cast<std::size_t>(d)];
+         ++round) {
+      tofu::Phase phase;
+      phase.label = std::string(label) + "/dim" + std::to_string(d) +
+                    "/round" + std::to_string(round);
+      const double depth = band_depth(geom.sub_box[d], geom.rcut, round);
+      const std::size_t bytes =
+          bytes_of(depth * perp, cfg.atom_density, bpa);
+
+      if (cfg.api == tofu::Api::Mpi) {
+        // MPI send/recv buffers are packed and unpacked by the single
+        // communication thread of each rank; RDMA variants write in place.
+        tofu::CopyOp pack;
+        pack.bytes = 2 * 2 * bytes;  // 2 directions x (pack + unpack)
+        pack.threads = 1;
+        pack.cross_numa = false;
+        pack.numa_targets = 1;
+        phase.copies.push_back(pack);
+      }
+
+      for (int ix = 0; ix < geom.rank_grid[0]; ++ix) {
+        for (int iy = 0; iy < geom.rank_grid[1]; ++iy) {
+          for (int iz = 0; iz < geom.rank_grid[2]; ++iz) {
+            for (const int dir : {-1, +1}) {
+              int jx = ix, jy = iy, jz = iz;
+              (d == 0 ? jx : d == 1 ? jy : jz) += dir;
+              tofu::NetMessage m;
+              m.src_node = map.node_of_rank_coord(ix, iy, iz);
+              m.dst_node = map.node_of_rank_coord(jx, jy, jz);
+              m.bytes = bytes;
+              m.api = cfg.api;
+              m.post_thread = map.rank_in_node(ix, iy, iz);
+              phase.messages.push_back(m);
+            }
+          }
+        }
+      }
+      plan.phases.push_back(std::move(phase));
+    }
+  }
+}
+
+}  // namespace
+
+tofu::CommPlan plan_three_stage(const DecompGeometry& geom,
+                                const SchemeConfig& cfg) {
+  tofu::CommPlan plan;
+  plan.name = cfg.api == tofu::Api::Mpi ? "3stage-mpi" : "3stage-utofu";
+  emit_three_stage_sweep(plan, geom, cfg, cfg.bytes_per_atom_forward, "fwd");
+  if (cfg.include_reverse) {
+    emit_three_stage_sweep(plan, geom, cfg, cfg.bytes_per_atom_reverse,
+                           "rev");
+  }
+  return plan;
+}
+
+namespace {
+
+void emit_p2p_phase(tofu::CommPlan& plan, const DecompGeometry& geom,
+                    const SchemeConfig& cfg, double bpa, const char* label) {
+  const RankMapper map(geom);
+  const auto regions = enumerate_ghost_regions(geom.sub_box, geom.rcut);
+  // Each rank spreads the posting of its neighbor messages over its 12
+  // threads (the p2p pattern of [Li et al. 2023] is multithreaded).
+  constexpr int kThreadsPerRank = 12;
+
+  tofu::Phase phase;
+  phase.label = label;
+  if (cfg.api == tofu::Api::Mpi) {
+    double rank_bytes = 0;
+    for (const auto& region : regions) {
+      rank_bytes += region.volume * cfg.atom_density * bpa;
+    }
+    tofu::CopyOp pack;
+    pack.bytes = static_cast<std::size_t>(2.0 * rank_bytes);
+    pack.threads = 1;
+    pack.cross_numa = false;
+    pack.numa_targets = 1;
+    phase.copies.push_back(pack);
+  }
+  for (int ix = 0; ix < geom.rank_grid[0]; ++ix) {
+    for (int iy = 0; iy < geom.rank_grid[1]; ++iy) {
+      for (int iz = 0; iz < geom.rank_grid[2]; ++iz) {
+        int idx = 0;
+        for (const auto& region : regions) {
+          tofu::NetMessage m;
+          m.src_node = map.node_of_rank_coord(ix, iy, iz);
+          m.dst_node = map.node_of_rank_coord(ix + region.offset[0],
+                                              iy + region.offset[1],
+                                              iz + region.offset[2]);
+          m.bytes = bytes_of(region.volume, cfg.atom_density, bpa);
+          m.api = cfg.api;
+          m.post_thread = map.rank_in_node(ix, iy, iz) * kThreadsPerRank +
+                          idx++ % kThreadsPerRank;
+          phase.messages.push_back(m);
+        }
+      }
+    }
+  }
+  plan.phases.push_back(std::move(phase));
+}
+
+}  // namespace
+
+tofu::CommPlan plan_p2p(const DecompGeometry& geom, const SchemeConfig& cfg) {
+  tofu::CommPlan plan;
+  plan.name = cfg.api == tofu::Api::Mpi ? "p2p-mpi" : "p2p-utofu";
+  emit_p2p_phase(plan, geom, cfg, cfg.bytes_per_atom_forward, "fwd");
+  if (cfg.include_reverse) {
+    emit_p2p_phase(plan, geom, cfg, cfg.bytes_per_atom_reverse, "rev");
+  }
+  return plan;
+}
+
+tofu::CommPlan plan_node_based(const DecompGeometry& geom,
+                               const SchemeConfig& cfg) {
+  DPMD_REQUIRE(cfg.leaders == 1 || cfg.leaders == 2 || cfg.leaders == 4,
+               "leaders must be 1, 2 or 4");
+  tofu::CommPlan plan;
+  plan.name = "node-based-" + std::to_string(cfg.leaders) + "l" +
+              (cfg.comm_threads_per_leader == 1 ? "-sg" : "") +
+              (cfg.lb_broadcast ? "" : "-ref");
+
+  const Vec3 nbox = geom.node_box();
+  const auto node_grid = geom.node_grid();
+  const auto regions = enumerate_ghost_regions(nbox, geom.rcut);
+  const int nodes = geom.nodes();
+  const int rpn = geom.ranks_per_node_count();
+  const double rho = cfg.atom_density;
+
+  const double node_local_vol = nbox.x * nbox.y * nbox.z;
+  const double node_ghost_vol = total_ghost_volume(nbox, geom.rcut);
+
+  const int post_threads = cfg.leaders * cfg.comm_threads_per_leader;
+  const auto node_of = [&](int nx, int ny, int nz) {
+    const auto w = [](int i, int n) { return ((i % n) + n) % n; };
+    return (w(nx, node_grid[0]) * node_grid[1] + w(ny, node_grid[1])) *
+               node_grid[2] +
+           w(nz, node_grid[2]);
+  };
+
+  const auto emit_direction = [&](double bpa, const char* tag) {
+    // Phase A: workers copy their atoms into the leaders' shared-memory
+    // RDMA buffers (cross-NUMA over the NoC), then one intra-node sync.
+    // With L leaders every rank's block lands in L buffers (minus its own).
+    {
+      tofu::Phase gather;
+      gather.label = std::string(tag) + "/gather";
+      tofu::CopyOp op;
+      const double copies =
+          static_cast<double>(cfg.leaders) * (rpn - 1) / rpn;
+      op.bytes = bytes_of(node_local_vol * copies, rho, bpa);
+      op.threads = 12 * rpn;
+      op.numa_targets = cfg.leaders;
+      op.cross_numa = true;
+      gather.copies.push_back(op);
+      gather.syncs = 1;
+      plan.phases.push_back(std::move(gather));
+    }
+
+    // Phase B: leader-to-leader node messages over the TofuD network,
+    // spread round-robin over leaders x comm-threads (each bound to a TNI).
+    {
+      tofu::Phase send;
+      send.label = std::string(tag) + "/p2p-nodes";
+      for (int nx = 0; nx < node_grid[0]; ++nx) {
+        for (int ny = 0; ny < node_grid[1]; ++ny) {
+          for (int nz = 0; nz < node_grid[2]; ++nz) {
+            int idx = 0;
+            for (const auto& region : regions) {
+              tofu::NetMessage m;
+              m.src_node = node_of(nx, ny, nz);
+              m.dst_node = node_of(nx + region.offset[0],
+                                   ny + region.offset[1],
+                                   nz + region.offset[2]);
+              m.bytes = bytes_of(region.volume, rho, bpa);
+              m.api = tofu::Api::Utofu;  // the scheme is built on uTofu RDMA
+              m.post_thread = idx++ % post_threads;
+              send.messages.push_back(m);
+            }
+          }
+        }
+      }
+      plan.phases.push_back(std::move(send));
+    }
+
+    // Phase C: leaders scatter the received ghosts to the workers' atom
+    // arrays.  The load-balance layout broadcasts the whole node-box to all
+    // workers (Fig. 5b); the original layout delivers each worker only its
+    // own ghosts.  The paper observes (and our model reproduces) that this
+    // copy difference is negligible against the NoC bandwidth.
+    {
+      tofu::Phase scatter;
+      scatter.label = std::string(tag) + "/scatter";
+      tofu::CopyOp op;
+      const double factor = cfg.lb_broadcast ? static_cast<double>(rpn) : 1.0;
+      op.bytes = bytes_of(node_ghost_vol * factor, rho, bpa);
+      op.threads = 12 * rpn;
+      op.numa_targets = rpn;
+      op.cross_numa = true;
+      scatter.copies.push_back(op);
+      scatter.syncs = 1;
+      plan.phases.push_back(std::move(scatter));
+    }
+    (void)nodes;
+  };
+
+  emit_direction(cfg.bytes_per_atom_forward, "fwd");
+  if (cfg.include_reverse) {
+    emit_direction(cfg.bytes_per_atom_reverse, "rev");
+  }
+  return plan;
+}
+
+tofu::PlanCost cost_of(const tofu::CommPlan& plan, const DecompGeometry& geom,
+                       const tofu::MachineParams& mp) {
+  const auto grid = geom.node_grid();
+  const tofu::Torus topo(grid[0], grid[1], grid[2]);
+  return tofu::evaluate(plan, mp, topo);
+}
+
+}  // namespace dpmd::comm

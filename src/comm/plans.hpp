@@ -1,0 +1,45 @@
+#pragma once
+
+#include "comm/geometry.hpp"
+#include "tofu/netsim.hpp"
+
+namespace dpmd::comm {
+
+/// Knobs shared by all scheme planners.
+struct SchemeConfig {
+  tofu::Api api = tofu::Api::Utofu;
+  double atom_density = 0.0847;       ///< atoms / A^3 (fcc copper default)
+  double bytes_per_atom_forward = 24; ///< position forward comm
+  double bytes_per_atom_reverse = 24; ///< force reverse comm
+  bool include_reverse = true;        ///< Newton on: forces travel back
+
+  // node-based scheme only:
+  int leaders = 4;                    ///< 1, 2 or 4 (paper cases 1-3)
+  int comm_threads_per_leader = 6;    ///< 6 = one per TNI; 1 = sg variant
+  /// true  = load-balance layout: every worker receives the whole node-box
+  ///         (locals + all ghosts broadcast, Fig. 5b);
+  /// false = ref-4l: workers only receive the ghosts their own sub-box
+  ///         needs (original organization, Fig. 5a).
+  bool lb_broadcast = true;
+};
+
+/// LAMMPS' baseline pattern: three sequential dimension sweeps, L rounds
+/// each, forwarding ghosts layer by layer (§IV-B: "3-stage").
+tofu::CommPlan plan_three_stage(const DecompGeometry& geom,
+                                const SchemeConfig& cfg);
+
+/// Direct pattern: every rank messages all 26/74/124 neighbor ranks at once.
+tofu::CommPlan plan_p2p(const DecompGeometry& geom, const SchemeConfig& cfg);
+
+/// The paper's node-based parallelization scheme (§III-A): intra-node
+/// gather to leaders, leader-to-leader node messages across the TofuD
+/// network with multi-TNI threads, scatter to workers.
+tofu::CommPlan plan_node_based(const DecompGeometry& geom,
+                               const SchemeConfig& cfg);
+
+/// Convenience: evaluate a plan on a torus shaped like the geometry's node
+/// grid.
+tofu::PlanCost cost_of(const tofu::CommPlan& plan, const DecompGeometry& geom,
+                       const tofu::MachineParams& mp);
+
+}  // namespace dpmd::comm

@@ -1,0 +1,102 @@
+#include "core/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+CompressedEmbedding CompressedEmbedding::build(const nn::Mlp<double>& net,
+                                               Config cfg) {
+  DPMD_REQUIRE(net.input_dim() == 1, "embedding net must be scalar-input");
+  DPMD_REQUIRE(cfg.nbins >= 2 && cfg.s_max > cfg.s_min, "bad table config");
+
+  CompressedEmbedding table;
+  table.s_min_ = cfg.s_min;
+  table.s_max_ = cfg.s_max;
+  table.nbins_ = cfg.nbins;
+  table.m1_ = net.output_dim();
+  const double width =
+      (cfg.s_max - cfg.s_min) / static_cast<double>(cfg.nbins);
+  table.inv_width_ = 1.0 / width;
+
+  const int m1 = table.m1_;
+  const int nnodes = cfg.nbins + 1;
+
+  // Sample value + first two derivatives (central differences) per node.
+  std::vector<double> val(static_cast<std::size_t>(nnodes) * m1);
+  std::vector<double> d1(static_cast<std::size_t>(nnodes) * m1);
+  std::vector<double> d2(static_cast<std::size_t>(nnodes) * m1);
+  nn::MlpCache<double> cache;
+  std::vector<double> yc(static_cast<std::size_t>(m1));
+  std::vector<double> yp(static_cast<std::size_t>(m1));
+  std::vector<double> ym(static_cast<std::size_t>(m1));
+  const double h = width / 16.0;
+  for (int node = 0; node < nnodes; ++node) {
+    const double s = cfg.s_min + node * width;
+    double x = s;
+    net.forward(&x, yc.data(), 1, cache, nn::GemmKind::Auto);
+    x = s + h;
+    net.forward(&x, yp.data(), 1, cache, nn::GemmKind::Auto);
+    x = s - h;
+    net.forward(&x, ym.data(), 1, cache, nn::GemmKind::Auto);
+    for (int c = 0; c < m1; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(node) * m1 + c;
+      val[idx] = yc[static_cast<std::size_t>(c)];
+      d1[idx] = (yp[static_cast<std::size_t>(c)] -
+                 ym[static_cast<std::size_t>(c)]) / (2.0 * h);
+      d2[idx] = (yp[static_cast<std::size_t>(c)] -
+                 2.0 * yc[static_cast<std::size_t>(c)] +
+                 ym[static_cast<std::size_t>(c)]) / (h * h);
+    }
+  }
+
+  // Per-cell quintic Hermite -> monomial coefficients on t in [0, 1].
+  table.coeff_.resize(static_cast<std::size_t>(cfg.nbins) * m1 * 6);
+  for (int bin = 0; bin < cfg.nbins; ++bin) {
+    for (int c = 0; c < m1; ++c) {
+      const std::size_t i0 = static_cast<std::size_t>(bin) * m1 + c;
+      const std::size_t i1 = static_cast<std::size_t>(bin + 1) * m1 + c;
+      const double v0 = val[i0], v1 = val[i1];
+      const double g0 = d1[i0] * width, g1 = d1[i1] * width;
+      const double c0 = d2[i0] * width * width, c1 = d2[i1] * width * width;
+      double* a = table.coeff_.data() +
+                  (static_cast<std::size_t>(bin) * m1 + c) * 6;
+      a[0] = v0;
+      a[1] = g0;
+      a[2] = 0.5 * c0;
+      a[3] = -10.0 * v0 - 6.0 * g0 - 1.5 * c0 + 10.0 * v1 - 4.0 * g1 +
+             0.5 * c1;
+      a[4] = 15.0 * v0 + 8.0 * g0 + 1.5 * c0 - 15.0 * v1 + 7.0 * g1 - c1;
+      a[5] = -6.0 * v0 - 3.0 * g0 - 0.5 * c0 + 6.0 * v1 - 3.0 * g1 +
+             0.5 * c1;
+    }
+  }
+  return table;
+}
+
+void CompressedEmbedding::eval(double s, double* g, double* dg) const {
+  const double clamped = std::clamp(s, s_min_, s_max_);
+  const double pos = (clamped - s_min_) * inv_width_;
+  int bin = std::min(static_cast<int>(pos), nbins_ - 1);
+  const double t = pos - bin;
+  const double extension = s - clamped;  // non-zero only out of range
+
+  const double* base =
+      coeff_.data() + static_cast<std::size_t>(bin) * m1_ * 6;
+  for (int c = 0; c < m1_; ++c) {
+    const double* a = base + static_cast<std::size_t>(c) * 6;
+    // Horner for value and dt-derivative.
+    const double v =
+        a[0] + t * (a[1] + t * (a[2] + t * (a[3] + t * (a[4] + t * a[5]))));
+    const double dv_dt =
+        a[1] +
+        t * (2 * a[2] + t * (3 * a[3] + t * (4 * a[4] + t * 5 * a[5])));
+    const double dv_ds = dv_dt * inv_width_;
+    g[c] = v + dv_ds * extension;  // linear extension out of range
+    dg[c] = dv_ds;
+  }
+}
+
+}  // namespace dpmd::dp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace dpmd::dp {
+
+/// Tabulated embedding net (the DP-Compress technique of Guo et al. that the
+/// paper's baseline already uses, §II-A): the scalar-input embedding network
+/// G(s) is replaced by per-interval quintic Hermite polynomials matching the
+/// network's value and first two derivatives at every grid node.  Evaluation
+/// becomes one table lookup + Horner polynomial per output channel, removing
+/// the embedding GEMMs entirely; the stored derivative polynomial feeds the
+/// force backward pass.
+class CompressedEmbedding {
+ public:
+  struct Config {
+    double s_min = 0.0;
+    double s_max = 2.0;
+    int nbins = 1024;
+  };
+
+  /// Samples `net` (a 1 -> ... -> M1 embedding) on the grid and fits the
+  /// per-cell quintics.  Derivatives are taken by central differences with a
+  /// step of cell/16, which is far below the table's own approximation
+  /// error.
+  static CompressedEmbedding build(const nn::Mlp<double>& net, Config cfg);
+
+  int m1() const { return m1_; }
+  double s_min() const { return s_min_; }
+  double s_max() const { return s_max_; }
+  int nbins() const { return nbins_; }
+
+  /// Writes G(s) into g[0..m1) and dG/ds into dg[0..m1).  Outside the table
+  /// range the edge value is linearly extended (constant derivative).
+  void eval(double s, double* g, double* dg) const;
+
+ private:
+  double s_min_ = 0.0;
+  double s_max_ = 0.0;
+  double inv_width_ = 0.0;
+  int nbins_ = 0;
+  int m1_ = 0;
+  /// coeff_[((bin * m1) + channel) * 6 + k]: monomial coefficient of t^k on
+  /// the unit interval of that bin.
+  std::vector<double> coeff_;
+};
+
+}  // namespace dpmd::dp

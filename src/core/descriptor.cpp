@@ -1,0 +1,119 @@
+#include "core/descriptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+void smooth_weight(double r, double rcut, double rcut_smth, double& s,
+                   double& ds_dr) {
+  DPMD_REQUIRE(r > 0.0, "zero interatomic distance in descriptor");
+  if (r >= rcut) {
+    s = 0.0;
+    ds_dr = 0.0;
+    return;
+  }
+  if (r <= rcut_smth) {
+    s = 1.0 / r;
+    ds_dr = -1.0 / (r * r);
+    return;
+  }
+  const double w = rcut - rcut_smth;
+  const double u = (r - rcut_smth) / w;
+  // Quintic fade: sw = 1 - 10u^3 + 15u^4 - 6u^5 (C2-continuous at both ends).
+  const double sw = 1.0 + u * u * u * (-10.0 + u * (15.0 - 6.0 * u));
+  const double dsw = u * u * (-30.0 + u * (60.0 - 30.0 * u)) / w;
+  s = sw / r;
+  ds_dr = (dsw * r - sw) / (r * r);
+}
+
+void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
+               const DescriptorParams& params, int ntypes, AtomEnv& env) {
+  DPMD_REQUIRE(list.config().full, "descriptor needs a full neighbor list");
+  env.clear();
+  env.center_index = i;
+  env.center_type = atoms.type[static_cast<std::size_t>(i)];
+
+  const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+  const double rc2 = params.rcut * params.rcut;
+
+  // Bucket neighbors by type (counting sort keeps the per-type blocks
+  // contiguous, which is the layout the optimized kernels consume).
+  std::vector<int> count(static_cast<std::size_t>(ntypes), 0);
+  std::vector<int> within;
+  within.reserve(list.neighbors(i).size());
+  for (const int j : list.neighbors(i)) {
+    const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+    if (d.norm2() >= rc2) continue;
+    within.push_back(j);
+    ++count[static_cast<std::size_t>(atoms.type[static_cast<std::size_t>(j)])];
+  }
+
+  env.type_offset.assign(static_cast<std::size_t>(ntypes) + 1, 0);
+  for (int t = 0; t < ntypes; ++t) {
+    env.type_offset[static_cast<std::size_t>(t) + 1] =
+        env.type_offset[static_cast<std::size_t>(t)] +
+        count[static_cast<std::size_t>(t)];
+  }
+  const int nnei = env.type_offset[static_cast<std::size_t>(ntypes)];
+
+  env.nbr_index.resize(static_cast<std::size_t>(nnei));
+  env.nbr_type.resize(static_cast<std::size_t>(nnei));
+  env.rel.resize(static_cast<std::size_t>(nnei));
+  env.dist.resize(static_cast<std::size_t>(nnei));
+  env.rmat.assign(static_cast<std::size_t>(nnei) * 4, 0.0);
+  env.drmat.assign(static_cast<std::size_t>(nnei) * 12, 0.0);
+
+  std::vector<int> cursor(env.type_offset.begin(), env.type_offset.end() - 1);
+  for (const int j : within) {
+    const int t = atoms.type[static_cast<std::size_t>(j)];
+    const int slot = cursor[static_cast<std::size_t>(t)]++;
+    env.nbr_index[static_cast<std::size_t>(slot)] = j;
+    env.nbr_type[static_cast<std::size_t>(slot)] = t;
+  }
+
+  for (int k = 0; k < nnei; ++k) {
+    const int j = env.nbr_index[static_cast<std::size_t>(k)];
+    const int t = env.nbr_type[static_cast<std::size_t>(k)];
+    const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+    const double r = d.norm();
+    env.rel[static_cast<std::size_t>(k)] = d;
+    env.dist[static_cast<std::size_t>(k)] = r;
+
+    double s, ds;
+    smooth_weight(r, params.rcut, params.rcut_smth, s, ds);
+
+    double* row = env.rmat.data() + static_cast<std::size_t>(k) * 4;
+    const double inv_r = 1.0 / r;
+    const double sc0 = params.scale_of(t, 0);
+    const double sc1 = params.scale_of(t, 1);
+    const double sc2 = params.scale_of(t, 2);
+    const double sc3 = params.scale_of(t, 3);
+    row[0] = s * sc0;
+    row[1] = s * d.x * inv_r * sc1;
+    row[2] = s * d.y * inv_r * sc2;
+    row[3] = s * d.z * inv_r * sc3;
+
+    // dR/dd — with c = s / r:
+    //   dR0/da   = ds * d_a / r
+    //   dRk/da   = (dc/dr)(d_a / r) d_k + c * delta_ka,  c = s/r,
+    // each scaled by the same per-component factor as its row entry.
+    const double c = s * inv_r;
+    const double dc_dr = (ds * r - s) * inv_r * inv_r;
+    double* der = env.drmat.data() + static_cast<std::size_t>(k) * 12;
+    const double dd[3] = {d.x, d.y, d.z};
+    const double sc[4] = {sc0, sc1, sc2, sc3};
+    for (int a = 0; a < 3; ++a) {
+      const double unit_a = dd[a] * inv_r;
+      der[0 * 3 + a] = ds * unit_a * sc0;
+      for (int comp = 1; comp < 4; ++comp) {
+        der[comp * 3 + a] = (dc_dr * unit_a * dd[comp - 1] +
+                             (comp - 1 == a ? c : 0.0)) * sc[comp];
+      }
+    }
+  }
+}
+
+}  // namespace dpmd::dp

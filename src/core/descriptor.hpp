@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/neighbor.hpp"
+#include "util/vec3.hpp"
+
+namespace dpmd::dp {
+
+/// Hyper-parameters of the se_a descriptor (DeePMD-kit naming).
+struct DescriptorParams {
+  double rcut = 6.0;       ///< paper: 6 A (water), 8 A (copper)
+  double rcut_smth = 2.0;  ///< switch start r_cs
+  /// Maximum neighbors per neighbor type (paper: H 46 / O 92 / Cu 512);
+  /// used for buffer sizing and for the padded TensorFlow-style layout.
+  std::vector<int> sel;
+  std::vector<int> emb_widths = {25, 50, 100};
+  int axis_neurons = 16;  ///< M2: columns of the second descriptor factor
+
+  /// Per-neighbor-type, per-component scaling of the environment matrix
+  /// (DeePMD's dstd standardization, scale-only variant: no mean shift, so
+  /// rows still vanish smoothly at the cutoff and energy stays C1).
+  /// Empty = unit scale.  Fit from data via dp::fit_env_scale.
+  std::vector<std::array<double, 4>> env_scale;
+
+  double scale_of(int type, int component) const {
+    if (env_scale.empty()) return 1.0;
+    return env_scale[static_cast<std::size_t>(type)]
+                    [static_cast<std::size_t>(component)];
+  }
+
+  int m1() const { return emb_widths.back(); }
+  int m2() const { return axis_neurons; }
+  int fitting_input_dim() const { return m1() * m2(); }
+  int sel_total() const {
+    int n = 0;
+    for (const int s : sel) n += s;
+    return n;
+  }
+};
+
+/// Smooth inverse-distance weight of the se_a descriptor:
+///   s(r) = sw(r) / r, with sw = 1 below r_cs, a quintic fade to 0 at rcut.
+/// Also returns ds/dr for the force backward pass.
+void smooth_weight(double r, double rcut, double rcut_smth, double& s,
+                   double& ds_dr);
+
+/// Local environment of one atom: neighbors *sorted by type* (the paper's
+/// §III-B1 "pre-classify each type" optimization — this layout kills the
+/// slice/concat traffic the TensorFlow graph pays), the environment matrix
+/// R-tilde and its geometric derivatives.
+struct AtomEnv {
+  int center_index = -1;
+  int center_type = 0;
+
+  std::vector<int> nbr_index;  ///< into the atoms arrays (local + ghost)
+  std::vector<int> nbr_type;
+  std::vector<int> type_offset;  ///< size ntypes+1; block t = [off[t], off[t+1])
+
+  /// R-tilde, nnei x 4 rows: (s, s*dx/r, s*dy/r, s*dz/r), d = x_j - x_i.
+  std::vector<double> rmat;
+  /// dR/dd: nnei x 4 x 3 (row-major [nbr][component][dim]).
+  std::vector<double> drmat;
+  std::vector<Vec3> rel;      ///< d = x_j - x_i
+  std::vector<double> dist;   ///< |d|
+
+  int nnei() const { return static_cast<int>(nbr_index.size()); }
+
+  void clear() {
+    nbr_index.clear();
+    nbr_type.clear();
+    type_offset.clear();
+    rmat.clear();
+    drmat.clear();
+    rel.clear();
+    dist.clear();
+  }
+};
+
+/// Builds the environment of local atom `i` from a full neighbor list.
+/// Neighbors beyond rcut are dropped; the rest are bucketed by type.
+void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
+               const DescriptorParams& params, int ntypes, AtomEnv& env);
+
+}  // namespace dpmd::dp

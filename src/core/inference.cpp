@@ -1,0 +1,315 @@
+#include "core/inference.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::Double: return "double";
+    case Precision::MixFp32: return "MIX-fp32";
+    case Precision::MixFp16: return "MIX-fp16";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Flat scratch shared by one evaluation; sized once for sel_total.
+template <class T>
+struct Workspace {
+  std::vector<T> rmat;   // nnei x 4 (cast of the double env matrix)
+  std::vector<T> g;      // nnei x m1
+  std::vector<T> dg;     // nnei x m1: dE/dG
+  std::vector<T> a;      // 4 x m1
+  std::vector<T> da;     // 4 x m1
+  std::vector<T> dmat;   // m1 x m2
+  std::vector<T> ddmat;  // m1 x m2
+  std::vector<T> s_in;   // nnei
+  std::vector<T> ds_in;  // nnei: dE/ds through the embedding input
+  std::vector<T> dr;     // nnei x 4: dE/dR
+};
+
+template <class T>
+Workspace<T>& workspace() {
+  thread_local Workspace<T> ws;
+  return ws;
+}
+
+}  // namespace
+
+DPEvaluator::DPEvaluator(std::shared_ptr<const DPModel> model,
+                         EvalOptions opts)
+    : model_(std::move(model)), opts_(opts) {
+  DPMD_REQUIRE(model_ != nullptr, "null model");
+  const auto& cfg = model_->config();
+
+  if (opts_.precision != Precision::Double) {
+    emb_f_.reserve(static_cast<std::size_t>(cfg.ntypes));
+    fit_f_.reserve(static_cast<std::size_t>(cfg.ntypes));
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      emb_f_.push_back(model_->embedding(t).cast<float>());
+      fit_f_.push_back(model_->fitting(t).cast<float>());
+    }
+  }
+  if (opts_.compressed) {
+    double s_max_raw = opts_.compression_s_max;
+    if (s_max_raw <= 0.0) s_max_raw = 4.0 / cfg.descriptor.rcut_smth;
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      // The embedding consumes the *scaled* s (env_scale component 0).
+      const double s_max = s_max_raw * cfg.descriptor.scale_of(t, 0);
+      tables_.push_back(CompressedEmbedding::build(
+          model_->embedding(t),
+          {0.0, s_max, opts_.compression_bins}));
+    }
+  }
+  emb_cache_d_.resize(static_cast<std::size_t>(cfg.ntypes));
+  emb_cache_f_.resize(static_cast<std::size_t>(cfg.ntypes));
+}
+
+double DPEvaluator::evaluate_atom(const AtomEnv& env,
+                                  std::vector<Vec3>& dE_dd) {
+  // Static polymorphism over the numeric type keeps one pipeline source.
+  if (opts_.precision == Precision::Double) {
+    // The double path reads the nets straight from the model; the vector
+    // parameters are unused placeholders.
+    static const std::vector<nn::Mlp<double>> kEmpty;
+    return eval_impl<double>(env, dE_dd, kEmpty, kEmpty, emb_cache_d_,
+                             fit_cache_d_);
+  }
+  return eval_impl<float>(env, dE_dd, emb_f_, fit_f_, emb_cache_f_,
+                          fit_cache_f_);
+}
+
+template <class T>
+double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
+                              const std::vector<nn::Mlp<T>>& embeddings,
+                              const std::vector<nn::Mlp<T>>& fittings,
+                              std::vector<nn::MlpCache<T>>& emb_caches,
+                              nn::MlpCache<T>& fit_cache) {
+  const auto& cfg = model_->config();
+  const auto& dparams = cfg.descriptor;
+  const int m1 = dparams.m1();
+  const int m2 = dparams.m2();
+  const int nnei = env.nnei();
+  const int ntypes = cfg.ntypes;
+
+  const auto emb_net = [&](int t) -> const nn::Mlp<T>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return model_->embedding(t);
+    } else {
+      return embeddings[static_cast<std::size_t>(t)];
+    }
+  };
+  const auto fit_net = [&](int t) -> const nn::Mlp<T>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return model_->fitting(t);
+    } else {
+      return fittings[static_cast<std::size_t>(t)];
+    }
+  };
+
+  auto& ws = workspace<T>();
+  ws.rmat.resize(static_cast<std::size_t>(nnei) * 4);
+  ws.g.assign(static_cast<std::size_t>(nnei) * m1, T(0));
+  ws.dg.assign(static_cast<std::size_t>(nnei) * m1, T(0));
+  ws.a.assign(static_cast<std::size_t>(4) * m1, T(0));
+  ws.da.assign(static_cast<std::size_t>(4) * m1, T(0));
+  ws.dmat.assign(static_cast<std::size_t>(m1) * m2, T(0));
+  ws.ddmat.assign(static_cast<std::size_t>(m1) * m2, T(0));
+  ws.s_in.resize(static_cast<std::size_t>(nnei));
+  ws.ds_in.assign(static_cast<std::size_t>(nnei), T(0));
+  ws.dr.assign(static_cast<std::size_t>(nnei) * 4, T(0));
+
+  for (std::size_t i = 0; i < static_cast<std::size_t>(nnei) * 4; ++i) {
+    ws.rmat[i] = static_cast<T>(env.rmat[i]);
+  }
+  for (int k = 0; k < nnei; ++k) {
+    ws.s_in[static_cast<std::size_t>(k)] =
+        static_cast<T>(env.rmat[static_cast<std::size_t>(k) * 4]);
+  }
+
+  // ---- embedding: G (nnei x m1) --------------------------------------
+  thread_local std::vector<double> dgds;  // nnei x m1 (compressed path)
+  thread_local std::vector<double> grow_d, dgrow_d;
+  if (opts_.compressed) {
+    dgds.resize(static_cast<std::size_t>(nnei) * m1);
+    grow_d.resize(static_cast<std::size_t>(m1));
+    for (int k = 0; k < nnei; ++k) {
+      const int t = env.nbr_type[static_cast<std::size_t>(k)];
+      tables_[static_cast<std::size_t>(t)].eval(
+          env.rmat[static_cast<std::size_t>(k) * 4], grow_d.data(),
+          dgds.data() + static_cast<std::size_t>(k) * m1);
+      T* grow = ws.g.data() + static_cast<std::size_t>(k) * m1;
+      for (int p = 0; p < m1; ++p) grow[p] = static_cast<T>(grow_d[static_cast<std::size_t>(p)]);
+    }
+  } else {
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = env.type_offset[static_cast<std::size_t>(t)];
+      const int hi = env.type_offset[static_cast<std::size_t>(t) + 1];
+      const int count = hi - lo;
+      if (count == 0) continue;
+      emb_net(t).forward(ws.s_in.data() + lo,
+                         ws.g.data() + static_cast<std::size_t>(lo) * m1,
+                         count, emb_caches[static_cast<std::size_t>(t)],
+                         nn::GemmKind::Auto);
+    }
+  }
+
+  // ---- descriptor: A = R~^T G / sel,  D = A^T A[:, :m2] ----------------
+  // Normalized by the *fixed* sel count (as DeePMD-kit does), not by the
+  // instantaneous neighbor count: a count-dependent factor would make the
+  // energy discontinuous whenever a neighbor crosses the cutoff, breaking
+  // NVE conservation.
+  const T inv_n = T(1) / static_cast<T>(dparams.sel_total());
+  for (int k = 0; k < nnei; ++k) {
+    const T* grow = ws.g.data() + static_cast<std::size_t>(k) * m1;
+    const T* rrow = ws.rmat.data() + static_cast<std::size_t>(k) * 4;
+    for (int c = 0; c < 4; ++c) {
+      const T w = rrow[c] * inv_n;
+      T* arow = ws.a.data() + static_cast<std::size_t>(c) * m1;
+      for (int p = 0; p < m1; ++p) arow[p] += w * grow[p];
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    const T* arow = ws.a.data() + static_cast<std::size_t>(c) * m1;
+    for (int p = 0; p < m1; ++p) {
+      const T apc = arow[p];
+      T* drow = ws.dmat.data() + static_cast<std::size_t>(p) * m2;
+      for (int q = 0; q < m2; ++q) drow[q] += apc * arow[q];
+    }
+  }
+
+  // ---- fitting net ----------------------------------------------------
+  const nn::GemmKind fk = opts_.fitting_gemm;
+  nn::GemmKind first = fk;
+  if (opts_.precision == Precision::MixFp16) {
+    first = nn::GemmKind::HalfWeights;
+  }
+  T energy_out;
+  fit_net(env.center_type)
+      .forward(ws.dmat.data(), &energy_out, 1, fit_cache, fk, first);
+  const double energy =
+      static_cast<double>(energy_out) +
+      cfg.energy_bias[static_cast<std::size_t>(env.center_type)];
+
+  // ---- backward: fitting -> dD ----------------------------------------
+  const T one = T(1);
+  fit_net(env.center_type)
+      .backward_input(&one, ws.ddmat.data(), 1, fit_cache, fk);
+
+  // ---- dA from D = sum_c a[c][p] a[c][q] -------------------------------
+  for (int c = 0; c < 4; ++c) {
+    const T* arow = ws.a.data() + static_cast<std::size_t>(c) * m1;
+    T* darow = ws.da.data() + static_cast<std::size_t>(c) * m1;
+    for (int p = 0; p < m1; ++p) {
+      const T* ddrow = ws.ddmat.data() + static_cast<std::size_t>(p) * m2;
+      T acc = 0;
+      for (int q = 0; q < m2; ++q) acc += ddrow[q] * arow[q];
+      darow[p] += acc;
+    }
+    for (int q = 0; q < m2; ++q) {
+      T acc = 0;
+      for (int p = 0; p < m1; ++p) {
+        acc += ws.ddmat[static_cast<std::size_t>(p) * m2 + q] * arow[p];
+      }
+      darow[q] += acc;
+    }
+  }
+
+  // ---- dG and dR --------------------------------------------------------
+  for (int k = 0; k < nnei; ++k) {
+    const T* rrow = ws.rmat.data() + static_cast<std::size_t>(k) * 4;
+    const T* grow = ws.g.data() + static_cast<std::size_t>(k) * m1;
+    T* dgrow = ws.dg.data() + static_cast<std::size_t>(k) * m1;
+    T* drrow = ws.dr.data() + static_cast<std::size_t>(k) * 4;
+    for (int c = 0; c < 4; ++c) {
+      const T* darow = ws.da.data() + static_cast<std::size_t>(c) * m1;
+      const T w = rrow[c] * inv_n;
+      T dot = 0;
+      for (int p = 0; p < m1; ++p) {
+        dgrow[p] += w * darow[p];
+        dot += grow[p] * darow[p];
+      }
+      drrow[c] = dot * inv_n;
+    }
+  }
+
+  // ---- dE/ds through the embedding -------------------------------------
+  if (opts_.compressed) {
+    for (int k = 0; k < nnei; ++k) {
+      const T* dgrow = ws.dg.data() + static_cast<std::size_t>(k) * m1;
+      const double* dgdsrow = dgds.data() + static_cast<std::size_t>(k) * m1;
+      double acc = 0;
+      for (int p = 0; p < m1; ++p) {
+        acc += static_cast<double>(dgrow[p]) * dgdsrow[p];
+      }
+      ws.ds_in[static_cast<std::size_t>(k)] = static_cast<T>(acc);
+    }
+  } else {
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = env.type_offset[static_cast<std::size_t>(t)];
+      const int hi = env.type_offset[static_cast<std::size_t>(t) + 1];
+      const int count = hi - lo;
+      if (count == 0) continue;
+      emb_net(t).backward_input(
+          ws.dg.data() + static_cast<std::size_t>(lo) * m1,
+          ws.ds_in.data() + lo, count,
+          emb_caches[static_cast<std::size_t>(t)], nn::GemmKind::Auto);
+    }
+  }
+
+  // ---- chain rule to neighbor displacements (always fp64) --------------
+  dE_dd.resize(static_cast<std::size_t>(nnei));
+  for (int k = 0; k < nnei; ++k) {
+    const double* der = env.drmat.data() + static_cast<std::size_t>(k) * 12;
+    const T* drrow = ws.dr.data() + static_cast<std::size_t>(k) * 4;
+    const double ds_emb =
+        static_cast<double>(ws.ds_in[static_cast<std::size_t>(k)]);
+    Vec3 grad{0, 0, 0};
+    for (int a = 0; a < 3; ++a) {
+      double acc = 0;
+      for (int c = 0; c < 4; ++c) {
+        acc += static_cast<double>(drrow[c]) * der[c * 3 + a];
+      }
+      acc += ds_emb * der[0 * 3 + a];  // embedding input is R component 0
+      grad[a] = acc;
+    }
+    dE_dd[static_cast<std::size_t>(k)] = grad;
+  }
+
+  // flop estimate: descriptor contractions + fitting fwd/bwd (+ embedding).
+  const double fit_in = dparams.fitting_input_dim();
+  double flops = 2.0 * nnei * 4 * m1 * 2        // A and its backward
+                 + 2.0 * 4 * m1 * m2 * 2        // D and dA
+                 + 6.0 * (fit_in * cfg.fit_widths.front());
+  for (std::size_t l = 1; l < cfg.fit_widths.size(); ++l) {
+    flops += 6.0 * cfg.fit_widths[l - 1] * cfg.fit_widths[l];
+  }
+  if (!opts_.compressed) {
+    double emb = 0.0;
+    int prev = 1;
+    for (const int w : dparams.emb_widths) {
+      emb += 6.0 * prev * w;
+      prev = w;
+    }
+    flops += emb * nnei;
+  } else {
+    flops += 12.0 * nnei * m1;  // table eval
+  }
+  flops_ += flops;
+  return energy;
+}
+
+template double DPEvaluator::eval_impl<double>(
+    const AtomEnv&, std::vector<Vec3>&, const std::vector<nn::Mlp<double>>&,
+    const std::vector<nn::Mlp<double>>&, std::vector<nn::MlpCache<double>>&,
+    nn::MlpCache<double>&);
+template double DPEvaluator::eval_impl<float>(
+    const AtomEnv&, std::vector<Vec3>&, const std::vector<nn::Mlp<float>>&,
+    const std::vector<nn::Mlp<float>>&, std::vector<nn::MlpCache<float>>&,
+    nn::MlpCache<float>&);
+
+}  // namespace dpmd::dp

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compression.hpp"
+#include "core/descriptor.hpp"
+#include "core/model.hpp"
+#include "nn/dense.hpp"
+
+namespace dpmd::dp {
+
+/// Numeric configuration of the paper's accuracy study (Table II):
+///  * Double  — everything in fp64 (the baseline code's mode);
+///  * MixFp32 — embedding + fitting nets and descriptor contraction in fp32,
+///              environment matrix and force chain rule in fp64;
+///  * MixFp16 — MixFp32 plus fp16-stored weights in the first fitting GEMM.
+enum class Precision { Double, MixFp32, MixFp16 };
+
+const char* precision_name(Precision p);
+
+struct EvalOptions {
+  Precision precision = Precision::Double;
+  /// GEMM backend for the fitting net (the Fig. 9 "blas" vs "sve" knob).
+  nn::GemmKind fitting_gemm = nn::GemmKind::Auto;
+  /// Tabulated embedding (DP-Compress); when false the full embedding MLP
+  /// runs (slower, used as the accuracy reference for the table).
+  bool compressed = true;
+  int compression_bins = 1024;
+  /// Upper edge of the compression table in s = sw(r)/r units; 0 picks
+  /// 1 / r_min with r_min = 0.5 * rcut_smth, generous for condensed phases.
+  double compression_s_max = 0.0;
+};
+
+/// Per-thread Deep Potential evaluator: all workspaces are allocated at
+/// construction ("memory allocated in the initial phase", §III-B1) and the
+/// hot path performs no allocation.  Instances are not thread-safe; create
+/// one per thread (PairDeepMD does).
+class DPEvaluator {
+ public:
+  DPEvaluator(std::shared_ptr<const DPModel> model, EvalOptions opts);
+
+  /// Atomic energy of the environment plus dE/dd_k for every neighbor k
+  /// (d_k = x_k - x_i).  dE_dd is resized to env.nnei().
+  double evaluate_atom(const AtomEnv& env, std::vector<Vec3>& dE_dd);
+
+  const EvalOptions& options() const { return opts_; }
+  const DPModel& model() const { return *model_; }
+
+  /// Cumulative flop estimate of the evaluations performed (perf model).
+  double flops_used() const { return flops_; }
+
+ private:
+  template <class T>
+  double eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
+                   const std::vector<nn::Mlp<T>>& embeddings,
+                   const std::vector<nn::Mlp<T>>& fittings,
+                   std::vector<nn::MlpCache<T>>& emb_caches,
+                   nn::MlpCache<T>& fit_cache);
+
+  std::shared_ptr<const DPModel> model_;
+  EvalOptions opts_;
+
+  // fp32 working copies (only materialized for the Mix modes).
+  std::vector<nn::Mlp<float>> emb_f_;
+  std::vector<nn::Mlp<float>> fit_f_;
+  // compression tables per neighbor type
+  std::vector<CompressedEmbedding> tables_;
+
+  // caches / workspaces
+  std::vector<nn::MlpCache<double>> emb_cache_d_;
+  std::vector<nn::MlpCache<float>> emb_cache_f_;
+  nn::MlpCache<double> fit_cache_d_;
+  nn::MlpCache<float> fit_cache_f_;
+
+  double flops_ = 0.0;
+};
+
+}  // namespace dpmd::dp

@@ -1,0 +1,158 @@
+#include "core/model.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+DPModel::DPModel(ModelConfig cfg) : cfg_(std::move(cfg)) {
+  DPMD_REQUIRE(cfg_.ntypes > 0, "model needs at least one type");
+  DPMD_REQUIRE(static_cast<int>(cfg_.descriptor.sel.size()) == cfg_.ntypes,
+               "descriptor.sel must have one entry per type");
+  if (cfg_.energy_bias.empty()) {
+    cfg_.energy_bias.assign(static_cast<std::size_t>(cfg_.ntypes), 0.0);
+  }
+  DPMD_REQUIRE(static_cast<int>(cfg_.energy_bias.size()) == cfg_.ntypes,
+               "energy_bias must have one entry per type");
+
+  embedding_.reserve(static_cast<std::size_t>(cfg_.ntypes));
+  fitting_.reserve(static_cast<std::size_t>(cfg_.ntypes));
+  for (int t = 0; t < cfg_.ntypes; ++t) {
+    embedding_.push_back(
+        nn::Mlp<double>::stack(1, cfg_.descriptor.emb_widths, 0));
+    fitting_.push_back(nn::Mlp<double>::stack(
+        cfg_.descriptor.fitting_input_dim(), cfg_.fit_widths, 1));
+  }
+}
+
+void DPModel::init_random(Rng& rng) {
+  for (auto& net : embedding_) net.init_random(rng);
+  for (auto& net : fitting_) net.init_random(rng);
+}
+
+std::size_t DPModel::param_count() const {
+  std::size_t n = 0;
+  for (const auto& net : embedding_) n += net.param_count();
+  for (const auto& net : fitting_) n += net.param_count();
+  return n;
+}
+
+std::vector<double> DPModel::pack_params() const {
+  std::vector<double> flat;
+  flat.reserve(param_count());
+  for (const auto& net : embedding_) {
+    const auto p = net.pack_params();
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  for (const auto& net : fitting_) {
+    const auto p = net.pack_params();
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  return flat;
+}
+
+void DPModel::unpack_params(const std::vector<double>& flat) {
+  DPMD_REQUIRE(flat.size() == param_count(), "model parameter size mismatch");
+  std::size_t off = 0;
+  const auto take = [&](nn::Mlp<double>& net) {
+    std::vector<double> p(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                          flat.begin() +
+                              static_cast<std::ptrdiff_t>(off + net.param_count()));
+    net.unpack_params(p);
+    off += net.param_count();
+  };
+  for (auto& net : embedding_) take(net);
+  for (auto& net : fitting_) take(net);
+}
+
+namespace {
+
+constexpr uint64_t kMagic = 0x44504d4f44454c31ull;  // "DPMODEL1"
+
+template <class T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <class T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DPMD_REQUIRE(is.good(), "truncated model file");
+  return v;
+}
+
+void put_ints(std::ostream& os, const std::vector<int>& v) {
+  put<uint32_t>(os, static_cast<uint32_t>(v.size()));
+  for (const int x : v) put<int32_t>(os, x);
+}
+std::vector<int> get_ints(std::istream& is) {
+  const auto n = get<uint32_t>(is);
+  std::vector<int> v(n);
+  for (auto& x : v) x = get<int32_t>(is);
+  return v;
+}
+
+}  // namespace
+
+void DPModel::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  DPMD_REQUIRE(os.good(), "cannot open " + path);
+  put(os, kMagic);
+  put<int32_t>(os, cfg_.ntypes);
+  put(os, cfg_.descriptor.rcut);
+  put(os, cfg_.descriptor.rcut_smth);
+  put_ints(os, cfg_.descriptor.sel);
+  put_ints(os, cfg_.descriptor.emb_widths);
+  put<int32_t>(os, cfg_.descriptor.axis_neurons);
+  put_ints(os, cfg_.fit_widths);
+  put<uint32_t>(os, static_cast<uint32_t>(cfg_.energy_bias.size()));
+  for (const double b : cfg_.energy_bias) put(os, b);
+  put<uint32_t>(os, static_cast<uint32_t>(cfg_.descriptor.env_scale.size()));
+  for (const auto& row : cfg_.descriptor.env_scale) {
+    for (const double v : row) put(os, v);
+  }
+
+  const auto params = pack_params();
+  put<uint64_t>(os, params.size());
+  os.write(reinterpret_cast<const char*>(params.data()),
+           static_cast<std::streamsize>(params.size() * sizeof(double)));
+  DPMD_REQUIRE(os.good(), "short write to " + path);
+}
+
+DPModel DPModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DPMD_REQUIRE(is.good(), "cannot open " + path);
+  DPMD_REQUIRE(get<uint64_t>(is) == kMagic, "not a DPMODEL1 file: " + path);
+
+  ModelConfig cfg;
+  cfg.ntypes = get<int32_t>(is);
+  cfg.descriptor.rcut = get<double>(is);
+  cfg.descriptor.rcut_smth = get<double>(is);
+  cfg.descriptor.sel = get_ints(is);
+  cfg.descriptor.emb_widths = get_ints(is);
+  cfg.descriptor.axis_neurons = get<int32_t>(is);
+  cfg.fit_widths = get_ints(is);
+  const auto nbias = get<uint32_t>(is);
+  cfg.energy_bias.resize(nbias);
+  for (auto& b : cfg.energy_bias) b = get<double>(is);
+  const auto nscale = get<uint32_t>(is);
+  cfg.descriptor.env_scale.resize(nscale);
+  for (auto& row : cfg.descriptor.env_scale) {
+    for (auto& v : row) v = get<double>(is);
+  }
+
+  DPModel model(cfg);
+  const auto nparams = get<uint64_t>(is);
+  DPMD_REQUIRE(nparams == model.param_count(),
+               "model file parameter count mismatch");
+  std::vector<double> params(nparams);
+  is.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(nparams * sizeof(double)));
+  DPMD_REQUIRE(is.good(), "truncated model parameters in " + path);
+  model.unpack_params(params);
+  return model;
+}
+
+}  // namespace dpmd::dp

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "nn/mlp.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::dp {
+
+/// Full Deep Potential model definition.
+struct ModelConfig {
+  int ntypes = 1;
+  DescriptorParams descriptor;
+  /// Fitting-net hidden widths (paper evaluation: 240, 240, 240).
+  std::vector<int> fit_widths = {240, 240, 240};
+  /// Per-type atomic-energy bias added to the fitting-net output.
+  std::vector<double> energy_bias;
+  std::vector<std::string> type_names;
+};
+
+/// Master copy of the parameters, always stored in double precision; the
+/// evaluator derives fp32 / fp16 working copies (paper §III-B3).
+///
+/// Embedding nets are per *neighbor* type (type_one_side layout); fitting
+/// nets are per *center* type.
+class DPModel {
+ public:
+  DPModel() = default;
+  explicit DPModel(ModelConfig cfg);
+
+  const ModelConfig& config() const { return cfg_; }
+
+  /// Replaces the per-type atomic-energy bias (fit once on the training
+  /// set; see dp::fit_energy_bias).
+  void set_energy_bias(std::vector<double> bias) {
+    DPMD_REQUIRE(static_cast<int>(bias.size()) == cfg_.ntypes,
+                 "bias size mismatch");
+    cfg_.energy_bias = std::move(bias);
+  }
+
+  /// Replaces the env-matrix scaling (see dp::fit_env_scale).
+  void set_env_scale(std::vector<std::array<double, 4>> scale) {
+    DPMD_REQUIRE(scale.empty() ||
+                     static_cast<int>(scale.size()) == cfg_.ntypes,
+                 "env_scale size mismatch");
+    cfg_.descriptor.env_scale = std::move(scale);
+  }
+
+  nn::Mlp<double>& embedding(int nbr_type) {
+    return embedding_[static_cast<std::size_t>(nbr_type)];
+  }
+  const nn::Mlp<double>& embedding(int nbr_type) const {
+    return embedding_[static_cast<std::size_t>(nbr_type)];
+  }
+  nn::Mlp<double>& fitting(int center_type) {
+    return fitting_[static_cast<std::size_t>(center_type)];
+  }
+  const nn::Mlp<double>& fitting(int center_type) const {
+    return fitting_[static_cast<std::size_t>(center_type)];
+  }
+
+  void init_random(Rng& rng);
+
+  std::size_t param_count() const;
+  /// Flat parameter vector: embeddings (by type) then fittings (by type),
+  /// each in Mlp pack order.  Used by the trainer and serialization.
+  std::vector<double> pack_params() const;
+  void unpack_params(const std::vector<double>& flat);
+
+  /// Binary round-trip ("retain TensorFlow solely for loading model
+  /// parameters" — our stand-in is a self-describing binary blob).
+  void save(const std::string& path) const;
+  static DPModel load(const std::string& path);
+
+ private:
+  ModelConfig cfg_;
+  std::vector<nn::Mlp<double>> embedding_;
+  std::vector<nn::Mlp<double>> fitting_;
+};
+
+}  // namespace dpmd::dp

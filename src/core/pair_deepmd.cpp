@@ -1,0 +1,93 @@
+#include "core/pair_deepmd.hpp"
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+PairDeepMD::PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
+                       rt::ThreadPool* pool)
+    : model_(std::move(model)), opts_(opts), pool_(pool) {
+  const unsigned nthreads = pool_ != nullptr ? pool_->size() : 1u;
+  evaluators_.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) {
+    evaluators_.push_back(std::make_unique<DPEvaluator>(model_, opts_));
+  }
+  envs_.resize(nthreads);
+  dedd_.resize(nthreads);
+  fbuf_.resize(nthreads);
+}
+
+md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
+                                    const md::NeighborList& list) {
+  const int ntypes = model_->config().ntypes;
+  const int nlocal = atoms.nlocal;
+  const int ntotal = atoms.ntotal();
+  const unsigned nthreads = static_cast<unsigned>(evaluators_.size());
+
+  std::vector<double> pe_per_thread(nthreads, 0.0);
+  std::vector<double> virial_per_thread(nthreads, 0.0);
+
+  const auto eval_range = [&](std::size_t begin, std::size_t end,
+                              unsigned tid) {
+    AtomEnv& env = envs_[tid];
+    auto& dedd = dedd_[tid];
+    auto& fbuf = fbuf_[tid];
+    fbuf.assign(static_cast<std::size_t>(ntotal), Vec3{0, 0, 0});
+    DPEvaluator& ev = *evaluators_[tid];
+
+    for (std::size_t i = begin; i < end; ++i) {
+      build_env(atoms, list, static_cast<int>(i),
+                model_->config().descriptor, ntypes, env);
+      pe_per_thread[tid] += ev.evaluate_atom(env, dedd);
+      Vec3 fi{0, 0, 0};
+      for (int k = 0; k < env.nnei(); ++k) {
+        // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
+        const Vec3& grad = dedd[static_cast<std::size_t>(k)];
+        const int j = env.nbr_index[static_cast<std::size_t>(k)];
+        fbuf[static_cast<std::size_t>(j)] -= grad;
+        fi += grad;
+        virial_per_thread[tid] -=
+            dot(env.rel[static_cast<std::size_t>(k)], grad);
+      }
+      fbuf[i] += fi;
+    }
+  };
+
+  if (pool_ != nullptr && nlocal > 1) {
+    pool_->parallel_ranges(static_cast<std::size_t>(nlocal), eval_range);
+  } else {
+    eval_range(0, static_cast<std::size_t>(nlocal), 0);
+  }
+
+  // Reduce per-thread force buffers into the atom array (ghosts included —
+  // Newton's third law stays on, as DeePMD requires).
+  md::ForceResult res;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    res.pe += pe_per_thread[t];
+    res.virial += virial_per_thread[t];
+    const auto& fbuf = fbuf_[t];
+    if (fbuf.empty()) continue;
+    for (int i = 0; i < ntotal; ++i) {
+      atoms.f[static_cast<std::size_t>(i)] += fbuf[static_cast<std::size_t>(i)];
+    }
+  }
+  atoms_evaluated_ += static_cast<std::size_t>(nlocal);
+  return res;
+}
+
+bool PairDeepMD::per_atom_energy(md::Atoms& atoms,
+                                 const md::NeighborList& list,
+                                 std::vector<double>& energies) {
+  const int ntypes = model_->config().ntypes;
+  energies.resize(static_cast<std::size_t>(atoms.nlocal));
+  AtomEnv& env = envs_[0];
+  auto& dedd = dedd_[0];
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    build_env(atoms, list, i, model_->config().descriptor, ntypes, env);
+    energies[static_cast<std::size_t>(i)] =
+        evaluators_[0]->evaluate_atom(env, dedd);
+  }
+  return true;
+}
+
+}  // namespace dpmd::dp

@@ -1,0 +1,293 @@
+#include "core/tflike_dp.hpp"
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+namespace ops = tflike::ops;
+
+namespace {
+
+tflike::Tensor weight_tensor(const nn::Matrix<double>& w) {
+  tflike::Tensor t(w.rows, w.cols);
+  t.data = w.d;
+  return t;
+}
+
+tflike::Tensor bias_tensor(const std::vector<double>& b) {
+  tflike::Tensor t(1, static_cast<int>(b.size()));
+  t.data = b;
+  return t;
+}
+
+/// Forward MLP subgraph; records per-layer (input, tanh-output) node ids so
+/// the gradient subgraph can be emitted TF-autograd style.
+struct MlpNodes {
+  std::vector<int> inputs;   // x per layer
+  std::vector<int> tanh_out; // h per layer (-1 for linear layers)
+  std::vector<int> w_const;  // weight constants
+  int output = -1;
+};
+
+MlpNodes emit_forward(tflike::Graph& g, const nn::Mlp<double>& net, int x,
+                      const std::string& prefix) {
+  MlpNodes nodes;
+  int cur = x;
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const auto& layer = net.layers()[l];
+    const std::string tag = prefix + "/l" + std::to_string(l);
+    const int w = g.constant(tag + "/W", weight_tensor(layer.w));
+    const int b = g.constant(tag + "/b", bias_tensor(layer.b));
+    nodes.inputs.push_back(cur);
+    nodes.w_const.push_back(w);
+
+    int lin = g.op(tag + "/matmul", ops::matmul(), {cur, w});
+    lin = g.op(tag + "/bias", ops::add_bias(), {lin, b});
+    int h = lin;
+    if (layer.act == nn::Act::Tanh) {
+      h = g.op(tag + "/tanh", ops::tanh_op(), {lin});
+      nodes.tanh_out.push_back(h);
+    } else {
+      nodes.tanh_out.push_back(-1);
+    }
+    switch (layer.resnet) {
+      case nn::Resnet::None:
+        cur = h;
+        break;
+      case nn::Resnet::Identity:
+        cur = g.op(tag + "/skip", ops::add(), {h, cur});
+        break;
+      case nn::Resnet::Doubled: {
+        const int xx = g.op(tag + "/concat", ops::concat_cols(), {cur, cur});
+        cur = g.op(tag + "/skip", ops::add(), {h, xx});
+        break;
+      }
+    }
+  }
+  nodes.output = cur;
+  return nodes;
+}
+
+/// Gradient subgraph for the MLP (data gradient only), emitted the way
+/// TF autograd would: tanh_grad + matmul(transpose_b=true) per layer.
+int emit_backward(tflike::Graph& g, const nn::Mlp<double>& net,
+                  const MlpNodes& fwd, int dy,
+                  const std::string& prefix) {
+  int cur_dy = dy;
+  for (std::size_t li = net.layers().size(); li-- > 0;) {
+    const auto& layer = net.layers()[li];
+    const std::string tag = prefix + "/grad_l" + std::to_string(li);
+    int dlin = cur_dy;
+    if (layer.act == nn::Act::Tanh) {
+      dlin = g.op(tag + "/tanh_grad", ops::tanh_grad(),
+                  {cur_dy, fwd.tanh_out[li]});
+    }
+    // dx = dlin * W^T — the GEMM-NT kernel TF emits.
+    int dx = g.op(tag + "/matmul_nt", ops::matmul(false, true),
+                  {dlin, fwd.w_const[li]});
+    switch (layer.resnet) {
+      case nn::Resnet::None:
+        break;
+      case nn::Resnet::Identity:
+        dx = g.op(tag + "/skip_grad", ops::add(), {dx, cur_dy});
+        break;
+      case nn::Resnet::Doubled: {
+        const int in_dim = layer.in;
+        const int lo = g.op(tag + "/slice_lo", ops::slice_cols(0, in_dim),
+                            {cur_dy});
+        const int hi = g.op(tag + "/slice_hi",
+                            ops::slice_cols(in_dim, 2 * in_dim), {cur_dy});
+        const int both = g.op(tag + "/skip_sum", ops::add(), {lo, hi});
+        dx = g.op(tag + "/skip_grad", ops::add(), {dx, both});
+        break;
+      }
+    }
+    cur_dy = dx;
+  }
+  return cur_dy;
+}
+
+}  // namespace
+
+TfLikeDPEvaluator::TfLikeDPEvaluator(std::shared_ptr<const DPModel> model)
+    : model_(std::move(model)) {
+  DPMD_REQUIRE(model_ != nullptr, "null model");
+  const int ntypes = model_->config().ntypes;
+  graphs_.reserve(static_cast<std::size_t>(ntypes));
+  for (int ct = 0; ct < ntypes; ++ct) {
+    graphs_.push_back(build_graph(ct));
+  }
+}
+
+TfLikeDPEvaluator::PerType TfLikeDPEvaluator::build_graph(
+    int center_type) const {
+  const auto& cfg = model_->config();
+  const auto& dp = cfg.descriptor;
+  const int ntypes = cfg.ntypes;
+  const int S = dp.sel_total();
+  const int m1 = dp.m1();
+  const int m2 = dp.m2();
+  const double inv_s = 1.0 / static_cast<double>(S);
+
+  PerType built;
+  built.graph = std::make_unique<tflike::Graph>();
+  tflike::Graph& g = *built.graph;
+  built.r_in = g.placeholder("R");
+
+  // Embedding per neighbor type on the padded layout.
+  std::vector<int> g_blocks;
+  std::vector<MlpNodes> emb_nodes;
+  int off = 0;
+  for (int t = 0; t < ntypes; ++t) {
+    const int sel = dp.sel[static_cast<std::size_t>(t)];
+    const std::string tag = "emb" + std::to_string(t);
+    const int rt = g.op(tag + "/rows", ops::slice_rows(off, off + sel),
+                        {built.r_in});
+    const int st = g.op(tag + "/s", ops::slice_cols(0, 1), {rt});
+    MlpNodes nodes = emit_forward(g, model_->embedding(t), st, tag);
+    g_blocks.push_back(nodes.output);
+    emb_nodes.push_back(std::move(nodes));
+    off += sel;
+  }
+  const int g_all = g.op("G/concat", ops::concat_rows(), g_blocks);
+
+  // Descriptor.
+  const int a_un = g.op("A/matmul_tn", ops::matmul(true, false),
+                        {built.r_in, g_all});
+  const int a = g.op("A/scale", ops::scale(inv_s), {a_un});
+  const int a2 = g.op("A2/slice", ops::slice_cols(0, m2), {a});
+  const int d = g.op("D/matmul_tn", ops::matmul(true, false), {a, a2});
+  const int d_flat = g.op("D/flat", ops::reshape(1, m1 * m2), {d});
+
+  // Fitting net + bias.
+  MlpNodes fit_nodes =
+      emit_forward(g, model_->fitting(center_type), d_flat, "fit");
+  tflike::Tensor bias(1, 1);
+  bias.at(0, 0) = cfg.energy_bias[static_cast<std::size_t>(center_type)];
+  const int bias_c = g.constant("fit/bias_e", std::move(bias));
+  built.e_out = g.op("E", ops::add(), {fit_nodes.output, bias_c});
+
+  // ---- gradients -------------------------------------------------------
+  tflike::Tensor one(1, 1);
+  one.at(0, 0) = 1.0;
+  const int de = g.constant("grad/one", std::move(one));
+  const int dd_flat =
+      emit_backward(g, model_->fitting(center_type), fit_nodes, de, "fit");
+  const int dd = g.op("grad/D", ops::reshape(m1, m2), {dd_flat});
+
+  // dA = A2 dD^T  +  [A dD | 0]
+  const int da1 = g.op("grad/dA1", ops::matmul(false, true), {a2, dd});
+  const int da2 = g.op("grad/dA2", ops::matmul(false, false), {a, dd});
+  const int zeros_pad =
+      g.op("grad/pad", ops::zeros_like_shape(4, m1 - m2), {});
+  const int da2_pad = g.op("grad/dA2pad", ops::concat_cols(), {da2, zeros_pad});
+  const int da = g.op("grad/dA", ops::add(), {da1, da2_pad});
+
+  // dG = R dA / S ;  dR = G dA^T / S.
+  const int dg_un = g.op("grad/dG_mm", ops::matmul(), {built.r_in, da});
+  const int dg = g.op("grad/dG", ops::scale(inv_s), {dg_un});
+  const int dr_un = g.op("grad/dR_mm", ops::matmul(false, true), {g_all, da});
+  const int dr_desc = g.op("grad/dR", ops::scale(inv_s), {dr_un});
+
+  // Embedding backward per type -> ds blocks.
+  std::vector<int> ds_blocks;
+  off = 0;
+  for (int t = 0; t < ntypes; ++t) {
+    const int sel = dp.sel[static_cast<std::size_t>(t)];
+    const std::string tag = "emb" + std::to_string(t);
+    const int dgt = g.op(tag + "/grad_rows", ops::slice_rows(off, off + sel),
+                         {dg});
+    const int ds = emit_backward(g, model_->embedding(t),
+                                 emb_nodes[static_cast<std::size_t>(t)], dgt,
+                                 tag);
+    ds_blocks.push_back(ds);
+    off += sel;
+  }
+  const int ds_all = g.op("grad/ds", ops::concat_rows(), ds_blocks);
+  const int ds_zeros = g.op("grad/ds_pad", ops::zeros_like_shape(S, 3), {});
+  const int ds_wide = g.op("grad/ds_wide", ops::concat_cols(),
+                           {ds_all, ds_zeros});
+  built.dr_out = g.op("grad/dR_total", ops::add(), {dr_desc, ds_wide});
+
+  built.session = std::make_unique<tflike::Session>(*built.graph);
+  return built;
+}
+
+double TfLikeDPEvaluator::evaluate_atom(const AtomEnv& env,
+                                        std::vector<Vec3>& dE_dd) {
+  const auto& dp = model_->config().descriptor;
+  const int ntypes = model_->config().ntypes;
+  const int S = dp.sel_total();
+
+  // Pad the (type-sorted) environment into the fixed sel layout.  Padded
+  // rows are zero; since every use of R is through products with R's rows,
+  // they contribute nothing (the DeePMD-on-TF masking trick).
+  tflike::Tensor r(S, 4);
+  std::vector<int> pad_offset(static_cast<std::size_t>(ntypes), 0);
+  {
+    int off = 0;
+    for (int t = 0; t < ntypes; ++t) {
+      pad_offset[static_cast<std::size_t>(t)] = off;
+      const int count = env.type_offset[static_cast<std::size_t>(t) + 1] -
+                        env.type_offset[static_cast<std::size_t>(t)];
+      DPMD_REQUIRE(count <= dp.sel[static_cast<std::size_t>(t)],
+                   "neighbor count exceeds sel");
+      off += dp.sel[static_cast<std::size_t>(t)];
+    }
+  }
+  for (int k = 0; k < env.nnei(); ++k) {
+    const int t = env.nbr_type[static_cast<std::size_t>(k)];
+    const int row = pad_offset[static_cast<std::size_t>(t)] +
+                    (k - env.type_offset[static_cast<std::size_t>(t)]);
+    for (int c = 0; c < 4; ++c) {
+      r.at(row, c) = env.rmat[static_cast<std::size_t>(k) * 4 + c];
+    }
+  }
+
+  PerType& pt = graphs_[static_cast<std::size_t>(env.center_type)];
+  const auto results =
+      pt.session->run({{pt.r_in, std::move(r)}}, {pt.e_out, pt.dr_out});
+  const double energy = results[0].at(0, 0);
+  const tflike::Tensor& dr = results[1];
+
+  dE_dd.resize(static_cast<std::size_t>(env.nnei()));
+  for (int k = 0; k < env.nnei(); ++k) {
+    const int t = env.nbr_type[static_cast<std::size_t>(k)];
+    const int row = pad_offset[static_cast<std::size_t>(t)] +
+                    (k - env.type_offset[static_cast<std::size_t>(t)]);
+    const double* der = env.drmat.data() + static_cast<std::size_t>(k) * 12;
+    Vec3 grad{0, 0, 0};
+    for (int a = 0; a < 3; ++a) {
+      double acc = 0.0;
+      for (int c = 0; c < 4; ++c) acc += dr.at(row, c) * der[c * 3 + a];
+      grad[a] = acc;
+    }
+    dE_dd[static_cast<std::size_t>(k)] = grad;
+  }
+  return energy;
+}
+
+PairDeepMDTf::PairDeepMDTf(std::shared_ptr<const DPModel> model)
+    : model_(model), eval_(model) {}
+
+md::ForceResult PairDeepMDTf::compute(md::Atoms& atoms,
+                                      const md::NeighborList& list) {
+  md::ForceResult res;
+  const int ntypes = model_->config().ntypes;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    build_env(atoms, list, i, model_->config().descriptor, ntypes, env_);
+    res.pe += eval_.evaluate_atom(env_, dedd_);
+    Vec3 fi{0, 0, 0};
+    for (int k = 0; k < env_.nnei(); ++k) {
+      const Vec3& grad = dedd_[static_cast<std::size_t>(k)];
+      const int j = env_.nbr_index[static_cast<std::size_t>(k)];
+      atoms.f[static_cast<std::size_t>(j)] -= grad;
+      fi += grad;
+      res.virial -= dot(env_.rel[static_cast<std::size_t>(k)], grad);
+    }
+    atoms.f[static_cast<std::size_t>(i)] += fi;
+  }
+  return res;
+}
+
+}  // namespace dpmd::dp

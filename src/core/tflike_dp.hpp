@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+
+#include "core/descriptor.hpp"
+#include "core/model.hpp"
+#include "md/pair.hpp"
+#include "nn/tflike/ops.hpp"
+#include "nn/tflike/session.hpp"
+
+namespace dpmd::dp {
+
+/// The *baseline* Deep Potential evaluator: the same model executed through
+/// the TFLike op-graph framework (DESIGN.md S4), reproducing how
+/// DeePMD-kit 2.0.3 ran inference inside TensorFlow before the paper's
+/// rewrite:
+///   * sel-padded environment layout with per-type row slices and concats
+///     (the memory traffic §III-B1 calls out),
+///   * hand-generated gradient ops in GEMM-NT form (what the NT->NN
+///     preprocessing later removes),
+///   * per-run scheduling, type-erased kernels, fresh allocations.
+/// Numerically it must agree with DPEvaluator(double, uncompressed) to
+/// roundoff — that equivalence is tested — so any wall-clock difference is
+/// pure framework overhead.
+class TfLikeDPEvaluator {
+ public:
+  explicit TfLikeDPEvaluator(std::shared_ptr<const DPModel> model);
+
+  /// Atomic energy + dE/dd_k per real neighbor (same contract as
+  /// DPEvaluator::evaluate_atom).
+  double evaluate_atom(const AtomEnv& env, std::vector<Vec3>& dE_dd);
+
+  const tflike::SessionStats& stats(int center_type) const {
+    return graphs_[static_cast<std::size_t>(center_type)].session->stats();
+  }
+
+  const DPModel& model() const { return *model_; }
+
+ private:
+  struct PerType {
+    /// Heap-allocated: Session keeps a reference to the Graph, so its
+    /// address must survive moves of PerType into the container.
+    std::unique_ptr<tflike::Graph> graph;
+    int r_in = -1;     ///< placeholder: padded env matrix (sel_total x 4)
+    int e_out = -1;    ///< fetch: energy (1 x 1)
+    int dr_out = -1;   ///< fetch: dE/dR (sel_total x 4), embedding included
+    std::unique_ptr<tflike::Session> session;
+  };
+
+  PerType build_graph(int center_type) const;
+
+  std::shared_ptr<const DPModel> model_;
+  std::vector<PerType> graphs_;
+};
+
+/// Pair adapter running the TFLike baseline inside the MD engine (the
+/// "baseline" bars of Fig. 9).
+class PairDeepMDTf : public md::Pair {
+ public:
+  explicit PairDeepMDTf(std::shared_ptr<const DPModel> model);
+
+  std::string name() const override { return "deepmd/tflike"; }
+  double cutoff() const override { return model_->config().descriptor.rcut; }
+  bool needs_full_list() const override { return true; }
+
+  md::ForceResult compute(md::Atoms& atoms,
+                          const md::NeighborList& list) override;
+
+  TfLikeDPEvaluator& evaluator() { return eval_; }
+
+ private:
+  std::shared_ptr<const DPModel> model_;
+  TfLikeDPEvaluator eval_;
+  AtomEnv env_;
+  std::vector<Vec3> dedd_;
+};
+
+}  // namespace dpmd::dp

@@ -1,0 +1,444 @@
+#include "core/train.hpp"
+
+#include <cmath>
+
+#include "core/pair_deepmd.hpp"
+#include "md/ghosts.hpp"
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+namespace {
+
+/// A sample expanded into atoms + ghosts + full neighbor list.
+struct Prepared {
+  md::Atoms atoms;
+  md::NeighborList list;
+};
+
+Prepared prepare(const TrainSample& sample, double rcut) {
+  Prepared out{{}, md::NeighborList({rcut, 0.0, true})};
+  for (std::size_t i = 0; i < sample.positions.size(); ++i) {
+    Vec3 p = sample.positions[i];
+    sample.box.wrap(p);
+    out.atoms.add_local(p, {0, 0, 0}, sample.types[i],
+                        static_cast<std::int64_t>(i));
+  }
+  md::build_periodic_ghosts(out.atoms, sample.box, rcut);
+  out.list.build(out.atoms, sample.box);
+  return out;
+}
+
+/// Energy + local forces of a sample under the model.  `pair` is reused
+/// across samples so compression tables and fp32 copies are built once.
+void model_energy_forces(const DPModel& model, PairDeepMD& pair,
+                         const TrainSample& sample, double& energy,
+                         std::vector<Vec3>& forces) {
+  Prepared prep = prepare(sample, model.config().descriptor.rcut);
+  prep.atoms.zero_forces();
+  const md::ForceResult res = pair.compute(prep.atoms, prep.list);
+  // Fold ghost forces back into parents (Newton on).
+  for (int g = 0; g < prep.atoms.nghost; ++g) {
+    prep.atoms.f[static_cast<std::size_t>(
+        prep.atoms.ghost_parent[static_cast<std::size_t>(g)])] +=
+        prep.atoms.f[static_cast<std::size_t>(prep.atoms.nlocal + g)];
+  }
+  energy = res.pe;
+  forces.assign(prep.atoms.f.begin(),
+                prep.atoms.f.begin() + prep.atoms.nlocal);
+}
+
+}  // namespace
+
+Dataset sample_reference_trajectory(md::Sim& sim, int nsamples,
+                                    int steps_between) {
+  Dataset data;
+  sim.setup();
+  for (int s = 0; s < nsamples; ++s) {
+    sim.run(steps_between);
+    TrainSample sample;
+    sample.box = sim.box();
+    const md::Atoms& atoms = sim.atoms();
+    sample.types.assign(atoms.type.begin(),
+                        atoms.type.begin() + atoms.nlocal);
+    sample.positions.assign(atoms.x.begin(), atoms.x.begin() + atoms.nlocal);
+    sample.energy = sim.pe();
+    sample.forces.assign(atoms.f.begin(), atoms.f.begin() + atoms.nlocal);
+    data.add(std::move(sample));
+  }
+  return data;
+}
+
+void fit_energy_bias(DPModel& model, const Dataset& data) {
+  DPMD_REQUIRE(data.size() > 0, "empty dataset");
+  const int ntypes = model.config().ntypes;
+
+  // Residuals against the biasless model prediction.
+  std::vector<double> zero_bias(static_cast<std::size_t>(ntypes), 0.0);
+  model.set_energy_bias(zero_bias);
+  EvalOptions opts;
+  opts.precision = Precision::Double;
+  opts.compressed = false;
+  PairDeepMD pair(
+      std::shared_ptr<const DPModel>(&model, [](const DPModel*) {}), opts);
+
+  // Normal equations  M b = r,  M_tt' = sum_c n_ct n_ct'.
+  std::vector<double> m(static_cast<std::size_t>(ntypes) * ntypes, 0.0);
+  std::vector<double> r(static_cast<std::size_t>(ntypes), 0.0);
+  std::vector<Vec3> scratch_forces;
+  for (const auto& sample : data.samples()) {
+    double e_pred;
+    model_energy_forces(model, pair, sample, e_pred, scratch_forces);
+    const double resid = sample.energy - e_pred;
+    std::vector<double> n(static_cast<std::size_t>(ntypes), 0.0);
+    for (const int t : sample.types) n[static_cast<std::size_t>(t)] += 1.0;
+    for (int a = 0; a < ntypes; ++a) {
+      r[static_cast<std::size_t>(a)] += n[static_cast<std::size_t>(a)] * resid;
+      for (int b = 0; b < ntypes; ++b) {
+        m[static_cast<std::size_t>(a) * ntypes + b] +=
+            n[static_cast<std::size_t>(a)] * n[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+
+  // Ridge-regularize: when every sample has the same composition the
+  // normal matrix is rank-1 (any bias split along the composition vector
+  // fits equally well); the ridge picks the minimum-norm solution.
+  double trace = 0.0;
+  for (int a = 0; a < ntypes; ++a) {
+    trace += m[static_cast<std::size_t>(a) * ntypes + a];
+  }
+  for (int a = 0; a < ntypes; ++a) {
+    m[static_cast<std::size_t>(a) * ntypes + a] += 1e-8 * trace + 1e-12;
+  }
+
+  // Gaussian elimination with partial pivoting (ntypes is 1 or 2 here).
+  std::vector<double> bias(static_cast<std::size_t>(ntypes), 0.0);
+  for (int col = 0; col < ntypes; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < ntypes; ++row) {
+      if (std::fabs(m[static_cast<std::size_t>(row) * ntypes + col]) >
+          std::fabs(m[static_cast<std::size_t>(pivot) * ntypes + col])) {
+        pivot = row;
+      }
+    }
+    for (int c = 0; c < ntypes; ++c) {
+      std::swap(m[static_cast<std::size_t>(col) * ntypes + c],
+                m[static_cast<std::size_t>(pivot) * ntypes + c]);
+    }
+    std::swap(r[static_cast<std::size_t>(col)],
+              r[static_cast<std::size_t>(pivot)]);
+    const double diag = m[static_cast<std::size_t>(col) * ntypes + col];
+    DPMD_REQUIRE(std::fabs(diag) > 1e-12, "singular bias system");
+    for (int row = col + 1; row < ntypes; ++row) {
+      const double f =
+          m[static_cast<std::size_t>(row) * ntypes + col] / diag;
+      for (int c = col; c < ntypes; ++c) {
+        m[static_cast<std::size_t>(row) * ntypes + c] -=
+            f * m[static_cast<std::size_t>(col) * ntypes + c];
+      }
+      r[static_cast<std::size_t>(row)] -= f * r[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int row = ntypes - 1; row >= 0; --row) {
+    double acc = r[static_cast<std::size_t>(row)];
+    for (int c = row + 1; c < ntypes; ++c) {
+      acc -= m[static_cast<std::size_t>(row) * ntypes + c] *
+             bias[static_cast<std::size_t>(c)];
+    }
+    bias[static_cast<std::size_t>(row)] =
+        acc / m[static_cast<std::size_t>(row) * ntypes + row];
+  }
+  model.set_energy_bias(bias);
+}
+
+void fit_env_scale(DPModel& model, const Dataset& data) {
+  DPMD_REQUIRE(data.size() > 0, "empty dataset");
+  const int ntypes = model.config().ntypes;
+  const auto& dparams = model.config().descriptor;
+
+  // Accumulate raw (unit-scale) second moments per neighbor type/component.
+  model.set_env_scale({});
+  std::vector<std::array<double, 4>> sum_sq(
+      static_cast<std::size_t>(ntypes), {0, 0, 0, 0});
+  std::vector<double> count(static_cast<std::size_t>(ntypes), 0.0);
+
+  AtomEnv env;
+  for (const auto& sample : data.samples()) {
+    Prepared prep = prepare(sample, dparams.rcut);
+    for (int i = 0; i < prep.atoms.nlocal; ++i) {
+      build_env(prep.atoms, prep.list, i, dparams, ntypes, env);
+      for (int k = 0; k < env.nnei(); ++k) {
+        const int t = env.nbr_type[static_cast<std::size_t>(k)];
+        for (int c = 0; c < 4; ++c) {
+          sum_sq[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] +=
+              env.rmat[static_cast<std::size_t>(k) * 4 + c] *
+              env.rmat[static_cast<std::size_t>(k) * 4 + c];
+        }
+        count[static_cast<std::size_t>(t)] += 1.0;
+      }
+    }
+  }
+
+  std::vector<std::array<double, 4>> scale(
+      static_cast<std::size_t>(ntypes), {1, 1, 1, 1});
+  for (int t = 0; t < ntypes; ++t) {
+    if (count[static_cast<std::size_t>(t)] == 0.0) continue;
+    // Radial component has its own scale; the three angular components
+    // share a pooled RMS (they are symmetric by isotropy).
+    const double rms0 =
+        std::sqrt(sum_sq[static_cast<std::size_t>(t)][0] /
+                  count[static_cast<std::size_t>(t)]);
+    const double rms_ang = std::sqrt(
+        (sum_sq[static_cast<std::size_t>(t)][1] +
+         sum_sq[static_cast<std::size_t>(t)][2] +
+         sum_sq[static_cast<std::size_t>(t)][3]) /
+        (3.0 * count[static_cast<std::size_t>(t)]));
+    if (rms0 > 1e-12) scale[static_cast<std::size_t>(t)][0] = 1.0 / rms0;
+    if (rms_ang > 1e-12) {
+      for (int c = 1; c < 4; ++c) {
+        scale[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] =
+            1.0 / rms_ang;
+      }
+    }
+  }
+  model.set_env_scale(std::move(scale));
+}
+
+Trainer::Trainer(DPModel& model, TrainConfig cfg)
+    : model_(model), cfg_(cfg), rng_(cfg.seed),
+      opt_(model.param_count(), cfg.adam) {
+  const int ntypes = model_.config().ntypes;
+  for (int t = 0; t < ntypes; ++t) {
+    emb_grads_.push_back(model_.embedding(t).make_grads());
+    fit_grads_.push_back(model_.fitting(t).make_grads());
+  }
+}
+
+double Trainer::accumulate_sample(const TrainSample& sample) {
+  const auto& cfg = model_.config();
+  const auto& dparams = cfg.descriptor;
+  const int m1 = dparams.m1();
+  const int m2 = dparams.m2();
+  const int ntypes = cfg.ntypes;
+  const int natoms = static_cast<int>(sample.positions.size());
+
+  Prepared prep = prepare(sample, dparams.rcut);
+
+  // Pass 1: total predicted energy (forward only).
+  EvalOptions opts;
+  opts.precision = Precision::Double;
+  opts.compressed = false;
+  DPEvaluator fwd(std::shared_ptr<const DPModel>(&model_, [](const DPModel*) {}),
+                  opts);
+  AtomEnv env;
+  std::vector<Vec3> dedd;
+  double e_pred = 0.0;
+  for (int i = 0; i < natoms; ++i) {
+    build_env(prep.atoms, prep.list, i, dparams, ntypes, env);
+    e_pred += fwd.evaluate_atom(env, dedd);
+  }
+
+  const double per_atom_err = (e_pred - sample.energy) / natoms;
+  const double loss = cfg_.energy_weight * per_atom_err * per_atom_err;
+  // dL/dE_i for every atom of this sample (shared scalar).
+  const double dl_de =
+      2.0 * cfg_.energy_weight * per_atom_err / natoms;
+
+  // Pass 2: forward again per atom with caches, then parameter backward.
+  std::vector<nn::MlpCache<double>> emb_cache(
+      static_cast<std::size_t>(ntypes));
+  nn::MlpCache<double> fit_cache;
+  std::vector<double> g, a, dmat, ddmat, da, dg, s_in, ds_in;
+  for (int i = 0; i < natoms; ++i) {
+    build_env(prep.atoms, prep.list, i, dparams, ntypes, env);
+    const int nnei = env.nnei();
+    g.assign(static_cast<std::size_t>(nnei) * m1, 0.0);
+    s_in.resize(static_cast<std::size_t>(nnei));
+    for (int k = 0; k < nnei; ++k) {
+      s_in[static_cast<std::size_t>(k)] =
+          env.rmat[static_cast<std::size_t>(k) * 4];
+    }
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = env.type_offset[static_cast<std::size_t>(t)];
+      const int count = env.type_offset[static_cast<std::size_t>(t) + 1] - lo;
+      if (count == 0) continue;
+      model_.embedding(t).forward(
+          s_in.data() + lo, g.data() + static_cast<std::size_t>(lo) * m1,
+          count, emb_cache[static_cast<std::size_t>(t)], nn::GemmKind::Auto);
+    }
+
+    // Fixed-sel normalization, matching the evaluator (see inference.cpp).
+    const double inv_n = 1.0 / dparams.sel_total();
+    a.assign(static_cast<std::size_t>(4) * m1, 0.0);
+    for (int k = 0; k < nnei; ++k) {
+      const double* grow = g.data() + static_cast<std::size_t>(k) * m1;
+      const double* rrow = env.rmat.data() + static_cast<std::size_t>(k) * 4;
+      for (int c = 0; c < 4; ++c) {
+        const double w = rrow[c] * inv_n;
+        double* arow = a.data() + static_cast<std::size_t>(c) * m1;
+        for (int p = 0; p < m1; ++p) arow[p] += w * grow[p];
+      }
+    }
+    dmat.assign(static_cast<std::size_t>(m1) * m2, 0.0);
+    for (int c = 0; c < 4; ++c) {
+      const double* arow = a.data() + static_cast<std::size_t>(c) * m1;
+      for (int p = 0; p < m1; ++p) {
+        double* drow = dmat.data() + static_cast<std::size_t>(p) * m2;
+        const double apc = arow[p];
+        for (int q = 0; q < m2; ++q) drow[q] += apc * arow[q];
+      }
+    }
+
+    double e_i;
+    model_.fitting(env.center_type)
+        .forward(dmat.data(), &e_i, 1, fit_cache, nn::GemmKind::Auto);
+
+    ddmat.assign(static_cast<std::size_t>(m1) * m2, 0.0);
+    const double dy = dl_de;
+    model_.fitting(env.center_type)
+        .backward_full(&dy, nullptr, 1, fit_cache,
+                       fit_grads_[static_cast<std::size_t>(env.center_type)],
+                       nn::GemmKind::Auto);
+    // dD comes out of the same backward pass via the cache's input grads.
+    const auto& fit_net = model_.fitting(env.center_type);
+    (void)fit_net;
+    // backward_full wrote dL/dD into the cache's grads[0]; copy it out.
+    std::copy(fit_cache.grads[0].data(),
+              fit_cache.grads[0].data() + static_cast<std::size_t>(m1) * m2,
+              ddmat.begin());
+
+    da.assign(static_cast<std::size_t>(4) * m1, 0.0);
+    for (int c = 0; c < 4; ++c) {
+      const double* arow = a.data() + static_cast<std::size_t>(c) * m1;
+      double* darow = da.data() + static_cast<std::size_t>(c) * m1;
+      for (int p = 0; p < m1; ++p) {
+        const double* ddrow = ddmat.data() + static_cast<std::size_t>(p) * m2;
+        double acc = 0;
+        for (int q = 0; q < m2; ++q) acc += ddrow[q] * arow[q];
+        darow[p] += acc;
+      }
+      for (int q = 0; q < m2; ++q) {
+        double acc = 0;
+        for (int p = 0; p < m1; ++p) {
+          acc += ddmat[static_cast<std::size_t>(p) * m2 + q] * arow[p];
+        }
+        darow[q] += acc;
+      }
+    }
+
+    dg.assign(static_cast<std::size_t>(nnei) * m1, 0.0);
+    for (int k = 0; k < nnei; ++k) {
+      const double* rrow = env.rmat.data() + static_cast<std::size_t>(k) * 4;
+      double* dgrow = dg.data() + static_cast<std::size_t>(k) * m1;
+      for (int c = 0; c < 4; ++c) {
+        const double* darow = da.data() + static_cast<std::size_t>(c) * m1;
+        const double w = rrow[c] * inv_n;
+        for (int p = 0; p < m1; ++p) dgrow[p] += w * darow[p];
+      }
+    }
+
+    ds_in.assign(static_cast<std::size_t>(nnei), 0.0);
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = env.type_offset[static_cast<std::size_t>(t)];
+      const int count = env.type_offset[static_cast<std::size_t>(t) + 1] - lo;
+      if (count == 0) continue;
+      model_.embedding(t).backward_full(
+          dg.data() + static_cast<std::size_t>(lo) * m1, ds_in.data() + lo,
+          count, emb_cache[static_cast<std::size_t>(t)],
+          emb_grads_[static_cast<std::size_t>(t)], nn::GemmKind::Auto);
+    }
+  }
+  return loss;
+}
+
+std::vector<double> Trainer::gradient_for(const TrainSample& sample) {
+  for (auto& grad : emb_grads_) grad.zero();
+  for (auto& grad : fit_grads_) grad.zero();
+  accumulate_sample(sample);
+  std::vector<double> flat;
+  flat.reserve(model_.param_count());
+  const auto append_grads = [&](const nn::MlpGrads<double>& grads) {
+    for (std::size_t l = 0; l < grads.dw.size(); ++l) {
+      flat.insert(flat.end(), grads.dw[l].d.begin(), grads.dw[l].d.end());
+      flat.insert(flat.end(), grads.db[l].begin(), grads.db[l].end());
+    }
+  };
+  for (const auto& grad : emb_grads_) append_grads(grad);
+  for (const auto& grad : fit_grads_) append_grads(grad);
+  return flat;
+}
+
+double Trainer::step(const Dataset& data) {
+  DPMD_REQUIRE(data.size() > 0, "empty dataset");
+  for (auto& grad : emb_grads_) grad.zero();
+  for (auto& grad : fit_grads_) grad.zero();
+
+  double loss = 0.0;
+  const int batch = std::min<int>(cfg_.batch, static_cast<int>(data.size()));
+  for (int b = 0; b < batch; ++b) {
+    const auto& sample =
+        data.samples()[rng_.uniform_int(data.size())];
+    loss += accumulate_sample(sample);
+  }
+  loss /= batch;
+
+  // Flatten gradients in model pack order (embeddings then fittings).
+  std::vector<double> flat;
+  flat.reserve(model_.param_count());
+  const auto append_grads = [&](const nn::MlpGrads<double>& grads) {
+    for (std::size_t l = 0; l < grads.dw.size(); ++l) {
+      for (const double v : grads.dw[l].d) flat.push_back(v / batch);
+      for (const double v : grads.db[l]) flat.push_back(v / batch);
+    }
+  };
+  for (const auto& grad : emb_grads_) append_grads(grad);
+  for (const auto& grad : fit_grads_) append_grads(grad);
+
+  auto params = model_.pack_params();
+  opt_.step(params, flat);
+  model_.unpack_params(params);
+  ++steps_;
+  return loss;
+}
+
+double Trainer::train(const Dataset& data,
+                      const std::function<void(int, double)>& progress) {
+  double loss = 0.0;
+  for (int s = 0; s < cfg_.steps; ++s) {
+    loss = step(data);
+    if (progress && (s % 50 == 0 || s == cfg_.steps - 1)) {
+      progress(s, loss);
+    }
+  }
+  return loss;
+}
+
+AccuracyReport evaluate_accuracy(const DPModel& model, const Dataset& data,
+                                 const EvalOptions& opts) {
+  AccuracyReport report;
+  DPMD_REQUIRE(data.size() > 0, "empty dataset");
+  double e_sq = 0.0;
+  double f_sq = 0.0;
+  std::size_t f_count = 0;
+  std::vector<Vec3> forces;
+  PairDeepMD pair(
+      std::shared_ptr<const DPModel>(&model, [](const DPModel*) {}), opts);
+  for (const auto& sample : data.samples()) {
+    double e_pred;
+    model_energy_forces(model, pair, sample, e_pred, forces);
+    const double per_atom =
+        (e_pred - sample.energy) / static_cast<double>(sample.types.size());
+    e_sq += per_atom * per_atom;
+    for (std::size_t i = 0; i < forces.size(); ++i) {
+      const Vec3 d = forces[i] - sample.forces[i];
+      f_sq += d.norm2();
+      f_count += 3;
+    }
+  }
+  report.energy_rmse_per_atom = std::sqrt(e_sq / data.size());
+  report.force_rmse = std::sqrt(f_sq / static_cast<double>(f_count));
+  return report;
+}
+
+}  // namespace dpmd::dp

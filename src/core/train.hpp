@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "md/box.hpp"
+#include "md/sim.hpp"
+#include "nn/adam.hpp"
+
+namespace dpmd::dp {
+
+/// One labelled configuration.  The reference energy/forces come from the
+/// analytic reference PES (the AIMD stand-in, DESIGN.md substitution S2).
+struct TrainSample {
+  md::Box box;
+  std::vector<int> types;
+  std::vector<Vec3> positions;
+  double energy = 0.0;
+  std::vector<Vec3> forces;
+};
+
+class Dataset {
+ public:
+  void add(TrainSample s) { samples_.push_back(std::move(s)); }
+  const std::vector<TrainSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  std::vector<TrainSample> samples_;
+};
+
+/// Runs the (already set up) reference simulation and snapshots
+/// energy/force-labelled samples every `steps_between` steps.
+Dataset sample_reference_trajectory(md::Sim& sim, int nsamples,
+                                    int steps_between);
+
+/// Least-squares per-type energy bias so the freshly initialized model
+/// starts centred on the dataset (improves conditioning dramatically).
+void fit_energy_bias(DPModel& model, const Dataset& data);
+
+/// DeePMD-style env-matrix standardization fit: sets per-type, per-component
+/// scales to 1/RMS over the dataset (scale-only — see descriptor.hpp), so
+/// network inputs are O(1).  Call before training.
+void fit_env_scale(DPModel& model, const Dataset& data);
+
+struct TrainConfig {
+  int steps = 400;
+  int batch = 4;
+  nn::AdamConfig adam;
+  uint64_t seed = 2024;
+  /// Relative weight of the per-atom energy MSE (the only loss term: the
+  /// paper consumes pre-trained models, so training is an energy-matching
+  /// substrate here; forces are validated post hoc — see DESIGN.md).
+  double energy_weight = 1.0;
+};
+
+/// Energy-matching trainer for the Deep Potential substrate models.
+class Trainer {
+ public:
+  Trainer(DPModel& model, TrainConfig cfg);
+
+  /// One Adam step on a random batch; returns the batch loss
+  /// (mean squared per-atom energy error, eV^2).
+  double step(const Dataset& data);
+
+  /// Full loop with optional progress callback(step, loss).
+  double train(const Dataset& data,
+               const std::function<void(int, double)>& progress = nullptr);
+
+  /// Analytic dLoss/dparams of a single sample, flattened in model pack
+  /// order.  Exposed so tests can validate the training gradient against
+  /// finite differences; does not advance the optimizer.
+  std::vector<double> gradient_for(const TrainSample& sample);
+
+  int steps_taken() const { return steps_; }
+
+ private:
+  double accumulate_sample(const TrainSample& sample);
+
+  DPModel& model_;
+  TrainConfig cfg_;
+  Rng rng_;
+  nn::Adam opt_;
+  int steps_ = 0;
+
+  // gradient accumulators, one per net
+  std::vector<nn::MlpGrads<double>> emb_grads_;
+  std::vector<nn::MlpGrads<double>> fit_grads_;
+};
+
+/// Model-vs-reference errors at a given numeric configuration; these are
+/// the two columns of the paper's Table II.
+struct AccuracyReport {
+  double energy_rmse_per_atom = 0.0;  ///< eV/atom
+  double force_rmse = 0.0;            ///< eV/A (component RMSE)
+};
+
+AccuracyReport evaluate_accuracy(const DPModel& model, const Dataset& data,
+                                 const EvalOptions& opts);
+
+}  // namespace dpmd::dp

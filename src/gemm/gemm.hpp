@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/half.hpp"
+
+namespace dpmd::gemm {
+
+/// All matrices are dense row-major.  C (M x N) = alpha * A (M x K) *
+/// op(B) + beta * C.  These kernels reproduce the paper's GEMM stack:
+///
+///  * gemm_ref       — textbook triple loop, the correctness oracle.
+///  * gemm_blocked   — cache-tiled kernel standing in for the vendor BLAS
+///                     ("Fugaku BLAS" / OpenBLAS in the paper).
+///  * sve_gemm       — the paper's §III-B2 small-M kernel: for each row of A,
+///                     broadcast a[m][k] and FMA row k of B into a vector
+///                     accumulator.  Optimal for tall-skinny inputs (M <= 3)
+///                     that dominate the strong-scaling regime of 1-2 atoms
+///                     per core.  Implemented with portable vectorizable
+///                     loops (SVE-512 intrinsics on Fugaku, compiler SIMD
+///                     here; same algorithm, same data flow).
+///  * gemm_nt_*      — B given transposed (N x K).  The paper measures NT as
+///                     ~2x slower at small sizes, motivating the NT->NN
+///                     pre-transposition of the fitting-net weights.
+///  * gemm_halfw     — fp16-stored weights, fp32 accumulation ("fp16-sve-
+///                     gemm"): the mixed-precision path for the first
+///                     fitting-net layer (§III-B3).
+
+template <class T>
+void gemm_ref(const T* a, const T* b, T* c, int m, int n, int k,
+              T alpha = T(1), T beta = T(0));
+
+template <class T>
+void gemm_nt_ref(const T* a, const T* bt, T* c, int m, int n, int k,
+                 T alpha = T(1), T beta = T(0));
+
+template <class T>
+void gemm_blocked(const T* a, const T* b, T* c, int m, int n, int k,
+                  T alpha = T(1), T beta = T(0));
+
+template <class T>
+void sve_gemm(const T* a, const T* b, T* c, int m, int n, int k,
+              T alpha = T(1), T beta = T(0));
+
+/// A is fp32, B is fp16-packed (row-major K x N), accumulate in fp32.
+void gemm_halfw(const float* a, const Half* b_half, float* c, int m, int n,
+                int k, float alpha = 1.0f, float beta = 0.0f);
+
+/// Dispatch used by the fitting net: sve_gemm for M <= threshold (paper: the
+/// SVE kernel is activated when M <= 3), blocked otherwise.
+inline constexpr int kSmallMThreshold = 3;
+
+template <class T>
+void gemm_auto(const T* a, const T* b, T* c, int m, int n, int k,
+               T alpha = T(1), T beta = T(0)) {
+  if (m <= kSmallMThreshold) {
+    sve_gemm(a, b, c, m, n, k, alpha, beta);
+  } else {
+    gemm_blocked(a, b, c, m, n, k, alpha, beta);
+  }
+}
+
+/// dst (cols x rows) = transpose of src (rows x cols); used once at model
+/// load to convert every fitting-net NT product into NN form.
+template <class T>
+void transpose(const T* src, T* dst, int rows, int cols);
+
+extern template void gemm_ref<float>(const float*, const float*, float*, int,
+                                     int, int, float, float);
+extern template void gemm_ref<double>(const double*, const double*, double*,
+                                      int, int, int, double, double);
+extern template void gemm_nt_ref<float>(const float*, const float*, float*,
+                                        int, int, int, float, float);
+extern template void gemm_nt_ref<double>(const double*, const double*, double*,
+                                         int, int, int, double, double);
+extern template void gemm_blocked<float>(const float*, const float*, float*,
+                                         int, int, int, float, float);
+extern template void gemm_blocked<double>(const double*, const double*,
+                                          double*, int, int, int, double,
+                                          double);
+extern template void sve_gemm<float>(const float*, const float*, float*, int,
+                                     int, int, float, float);
+extern template void sve_gemm<double>(const double*, const double*, double*,
+                                      int, int, int, double, double);
+extern template void transpose<float>(const float*, float*, int, int);
+extern template void transpose<double>(const double*, double*, int, int);
+
+}  // namespace dpmd::gemm

@@ -1,0 +1,108 @@
+#include "loadbalance/loadbalance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpmd::lb {
+
+std::vector<int> decompose_uniform(std::int64_t natoms,
+                                   const std::array<int, 3>& rank_grid,
+                                   Rng& rng) {
+  const std::int64_t nranks = static_cast<std::int64_t>(rank_grid[0]) *
+                              rank_grid[1] * rank_grid[2];
+  DPMD_REQUIRE(nranks > 0, "empty rank grid");
+  std::vector<int> counts(static_cast<std::size_t>(nranks), 0);
+  for (std::int64_t i = 0; i < natoms; ++i) {
+    ++counts[static_cast<std::size_t>(
+        rng.uniform_int(static_cast<uint64_t>(nranks)))];
+  }
+  return counts;
+}
+
+std::vector<int> balance_within_nodes(const std::vector<int>& per_rank,
+                                      int ranks_per_node) {
+  DPMD_REQUIRE(ranks_per_node > 0 &&
+                   per_rank.size() % static_cast<std::size_t>(ranks_per_node) == 0,
+               "rank count not divisible into nodes");
+  std::vector<int> balanced(per_rank.size(), 0);
+  for (std::size_t base = 0; base < per_rank.size();
+       base += static_cast<std::size_t>(ranks_per_node)) {
+    int total = 0;
+    for (int r = 0; r < ranks_per_node; ++r) {
+      total += per_rank[base + static_cast<std::size_t>(r)];
+    }
+    const int share = total / ranks_per_node;
+    const int extra = total % ranks_per_node;
+    for (int r = 0; r < ranks_per_node; ++r) {
+      balanced[base + static_cast<std::size_t>(r)] =
+          share + (r < extra ? 1 : 0);
+    }
+  }
+  return balanced;
+}
+
+std::vector<double> pair_times(const std::vector<int>& atoms_per_rank,
+                               const PairTimeModel& model) {
+  Rng rng(model.seed);
+  std::vector<double> times(atoms_per_rank.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double jitter = 1.0 + model.jitter_frac * rng.normal();
+    times[i] = atoms_per_rank[i] * model.per_atom_cost_s *
+               std::max(0.5, jitter);
+  }
+  return times;
+}
+
+namespace {
+template <class T>
+Spread spread_impl(const std::vector<T>& values) {
+  OnlineStats stats;
+  for (const T v : values) stats.add(static_cast<double>(v));
+  Spread s;
+  s.min = stats.min();
+  s.avg = stats.mean();
+  s.max = stats.max();
+  s.sdmr_percent = stats.sdmr_percent();
+  return s;
+}
+}  // namespace
+
+Spread spread_of(const std::vector<int>& values) {
+  return spread_impl(values);
+}
+Spread spread_of(const std::vector<double>& values) {
+  return spread_impl(values);
+}
+
+NodeBoxLayout::NodeBoxLayout(std::vector<int> per_rank_locals,
+                             std::vector<int> per_neighbor_ghosts) {
+  DPMD_REQUIRE(!per_rank_locals.empty(), "node needs at least one rank");
+  local_offset_.resize(per_rank_locals.size() + 1, 0);
+  for (std::size_t r = 0; r < per_rank_locals.size(); ++r) {
+    DPMD_REQUIRE(per_rank_locals[r] >= 0, "negative local count");
+    local_offset_[r + 1] = local_offset_[r] + per_rank_locals[r];
+  }
+  node_nlocal_ = local_offset_.back();
+
+  ghost_offset_.resize(per_neighbor_ghosts.size() + 1, 0);
+  for (std::size_t g = 0; g < per_neighbor_ghosts.size(); ++g) {
+    DPMD_REQUIRE(per_neighbor_ghosts[g] >= 0, "negative ghost count");
+    ghost_offset_[g + 1] = ghost_offset_[g] + per_neighbor_ghosts[g];
+  }
+  node_nghost_ = ghost_offset_.back();
+}
+
+std::vector<int> NodeBoxLayout::even_split(int parts) const {
+  DPMD_REQUIRE(parts > 0, "need at least one part");
+  std::vector<int> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  const int base = node_nlocal_ / parts;
+  const int extra = node_nlocal_ % parts;
+  for (int p = 0; p < parts; ++p) {
+    bounds[static_cast<std::size_t>(p) + 1] =
+        bounds[static_cast<std::size_t>(p)] + base + (p < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+}  // namespace dpmd::lb

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace dpmd::lb {
+
+/// Samples the per-rank atom counts of a uniform-density system decomposed
+/// on a rank grid (every sub-box has equal volume, so counts are
+/// multinomial — the imbalance the paper's §III-C quantifies).
+std::vector<int> decompose_uniform(std::int64_t natoms,
+                                   const std::array<int, 3>& rank_grid,
+                                   Rng& rng);
+
+/// Intra-node load balance: per-rank counts regrouped by node
+/// (`ranks_per_node` consecutive ranks form one node) and split evenly —
+/// each rank of a node gets node_total/rpn (+1 for the remainder ranks).
+std::vector<int> balance_within_nodes(const std::vector<int>& per_rank,
+                                      int ranks_per_node);
+
+/// Pair-phase wall time model: atoms are evaluated atom-by-atom, so the
+/// rank time is count * per_atom_cost, plus multiplicative jitter (system
+/// noise, cache contention — the residual variance the paper notes stays
+/// even after balancing).
+struct PairTimeModel {
+  double per_atom_cost_s = 3.5e-3;  ///< matches Table III's ~0.04 s scale
+  double jitter_frac = 0.03;
+  uint64_t seed = 99;
+};
+
+std::vector<double> pair_times(const std::vector<int>& atoms_per_rank,
+                               const PairTimeModel& model);
+
+/// Table III row: min / avg / max / SDMR of a per-rank series.
+struct Spread {
+  double min = 0;
+  double avg = 0;
+  double max = 0;
+  double sdmr_percent = 0;
+};
+Spread spread_of(const std::vector<int>& values);
+Spread spread_of(const std::vector<double>& values);
+
+/// Fig. 5(b) node-box atom layout: the locals of every rank of the node
+/// first (rank by rank), then one ghost group per neighbor node.  Provides
+/// the even work split across the node's ranks/threads that implements the
+/// intra-node balance.
+class NodeBoxLayout {
+ public:
+  NodeBoxLayout(std::vector<int> per_rank_locals,
+                std::vector<int> per_neighbor_ghosts);
+
+  int node_nlocal() const { return node_nlocal_; }
+  int node_nghost() const { return node_nghost_; }
+  int ranks() const { return static_cast<int>(local_offset_.size()) - 1; }
+
+  /// Start offset of rank r's local block (Fig. 5b keeps locals at the
+  /// front, rank by rank, for portability).
+  int local_offset(int rank_in_node) const {
+    return local_offset_[static_cast<std::size_t>(rank_in_node)];
+  }
+  /// Start offset of ghost group g (after all locals).
+  int ghost_group_offset(int group) const {
+    return node_nlocal_ + ghost_offset_[static_cast<std::size_t>(group)];
+  }
+
+  /// Even split of the node-box local atoms across `parts` workers
+  /// (ranks or threads); part i gets [result[i], result[i+1]).
+  std::vector<int> even_split(int parts) const;
+
+ private:
+  int node_nlocal_ = 0;
+  int node_nghost_ = 0;
+  std::vector<int> local_offset_;  ///< size ranks+1
+  std::vector<int> ghost_offset_;  ///< size groups+1
+};
+
+}  // namespace dpmd::lb

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/vec3.hpp"
+
+namespace dpmd::md {
+
+/// Structure-of-arrays atom storage, LAMMPS style: indices
+/// [0, nlocal) are owned atoms, [nlocal, nlocal + nghost) are ghosts.
+///
+/// In single-process runs ghosts are periodic images of locals and remember
+/// their parent (`ghost_parent`) plus the image shift, which implements the
+/// forward position update and the Newton reverse force fold without any
+/// message passing.  In multi-rank runs the comm schemes fill the ghost
+/// region instead.
+struct Atoms {
+  std::vector<Vec3> x;       ///< positions (locals wrapped into the box)
+  std::vector<Vec3> v;       ///< velocities, locals only are meaningful
+  std::vector<Vec3> f;       ///< forces, sized ntotal when newton is on
+  std::vector<int> type;
+  std::vector<std::int64_t> tag;       ///< globally unique id
+  std::vector<std::array<int, 3>> image;  ///< wrap counters, locals
+
+  // Ghost bookkeeping (single-process mode).
+  std::vector<int> ghost_parent;  ///< local index backing each ghost
+  std::vector<Vec3> ghost_shift;  ///< position offset vs the parent
+
+  int nlocal = 0;
+  int nghost = 0;
+
+  int ntotal() const { return nlocal + nghost; }
+
+  void add_local(const Vec3& pos, const Vec3& vel, int t, std::int64_t id) {
+    DPMD_REQUIRE(nghost == 0, "cannot add locals after ghosts exist");
+    x.push_back(pos);
+    v.push_back(vel);
+    f.push_back({0, 0, 0});
+    type.push_back(t);
+    tag.push_back(id);
+    image.push_back({0, 0, 0});
+    ++nlocal;
+  }
+
+  void add_ghost(const Vec3& pos, int t, std::int64_t id, int parent,
+                 const Vec3& shift) {
+    x.push_back(pos);
+    f.push_back({0, 0, 0});
+    type.push_back(t);
+    tag.push_back(id);
+    ghost_parent.push_back(parent);
+    ghost_shift.push_back(shift);
+    ++nghost;
+  }
+
+  void clear_ghosts() {
+    x.resize(static_cast<std::size_t>(nlocal));
+    f.resize(static_cast<std::size_t>(nlocal));
+    type.resize(static_cast<std::size_t>(nlocal));
+    tag.resize(static_cast<std::size_t>(nlocal));
+    ghost_parent.clear();
+    ghost_shift.clear();
+    nghost = 0;
+  }
+
+  void zero_forces() {
+    for (auto& fi : f) fi = {0, 0, 0};
+  }
+
+  void check_consistent() const {
+    const auto n = static_cast<std::size_t>(ntotal());
+    DPMD_REQUIRE(x.size() == n && f.size() == n && type.size() == n &&
+                     tag.size() == n,
+                 "SoA arrays out of sync");
+    DPMD_REQUIRE(v.size() >= static_cast<std::size_t>(nlocal),
+                 "velocity array too small");
+    DPMD_REQUIRE(ghost_parent.size() == static_cast<std::size_t>(nghost),
+                 "ghost bookkeeping out of sync");
+  }
+};
+
+}  // namespace dpmd::md

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/vec3.hpp"
+
+namespace dpmd::md {
+
+/// Orthogonal periodic simulation box [lo, hi).
+struct Box {
+  Vec3 lo{0, 0, 0};
+  Vec3 hi{0, 0, 0};
+
+  Box() = default;
+  Box(const Vec3& l, const Vec3& h) : lo(l), hi(h) {
+    DPMD_REQUIRE(h.x > l.x && h.y > l.y && h.z > l.z, "degenerate box");
+  }
+  static Box cubic(double L) { return Box({0, 0, 0}, {L, L, L}); }
+
+  Vec3 length() const { return hi - lo; }
+  double volume() const {
+    const Vec3 e = length();
+    return e.x * e.y * e.z;
+  }
+
+  /// Wraps a position into the box; `image` (if given) tracks crossings so
+  /// unwrapped trajectories (MSD) stay available.
+  void wrap(Vec3& p) const {
+    const Vec3 e = length();
+    for (int d = 0; d < 3; ++d) {
+      while (p[d] >= hi[d]) p[d] -= e[d];
+      while (p[d] < lo[d]) p[d] += e[d];
+    }
+  }
+  void wrap(Vec3& p, int image[3]) const {
+    const Vec3 e = length();
+    for (int d = 0; d < 3; ++d) {
+      while (p[d] >= hi[d]) {
+        p[d] -= e[d];
+        ++image[d];
+      }
+      while (p[d] < lo[d]) {
+        p[d] += e[d];
+        --image[d];
+      }
+    }
+  }
+
+  /// Minimum-image displacement a - b.
+  Vec3 minimum_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    const Vec3 e = length();
+    for (int dd = 0; dd < 3; ++dd) {
+      if (d[dd] > 0.5 * e[dd]) d[dd] -= e[dd];
+      else if (d[dd] < -0.5 * e[dd]) d[dd] += e[dd];
+    }
+    return d;
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+};
+
+}  // namespace dpmd::md

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.hpp"
+
+namespace dpmd::md {
+
+/// Propagates per-atom scalars from owners to ghosts (a "forward comm" in
+/// LAMMPS terms).  Many-body styles (EAM density) need this mid-compute.
+class GhostSync {
+ public:
+  virtual ~GhostSync() = default;
+  /// `values` has ntotal entries; entries [0, nlocal) are authoritative and
+  /// the implementation must fill [nlocal, ntotal).
+  virtual void forward_scalar(const Atoms& atoms,
+                              std::vector<double>& values) = 0;
+};
+
+/// Single-process implementation: ghosts are periodic images, so the ghost
+/// value is simply the parent's value.
+class LocalGhostSync final : public GhostSync {
+ public:
+  void forward_scalar(const Atoms& atoms,
+                      std::vector<double>& values) override {
+    for (int g = 0; g < atoms.nghost; ++g) {
+      values[static_cast<std::size_t>(atoms.nlocal + g)] =
+          values[static_cast<std::size_t>(
+              atoms.ghost_parent[static_cast<std::size_t>(g)])];
+    }
+  }
+};
+
+}  // namespace dpmd::md

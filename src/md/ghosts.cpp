@@ -1,0 +1,35 @@
+#include "md/ghosts.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+void build_periodic_ghosts(Atoms& atoms, const Box& box, double halo) {
+  atoms.clear_ghosts();
+  const Vec3 len = box.length();
+  DPMD_REQUIRE(halo < std::min({len.x, len.y, len.z}),
+               "halo wider than the box; enlarge the system");
+
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    int lo_near[3], hi_near[3];
+    for (int d = 0; d < 3; ++d) {
+      lo_near[d] = xi[d] - box.lo[d] < halo ? 1 : 0;
+      hi_near[d] = box.hi[d] - xi[d] < halo ? 1 : 0;
+    }
+    for (int sx = -hi_near[0]; sx <= lo_near[0]; ++sx) {
+      for (int sy = -hi_near[1]; sy <= lo_near[1]; ++sy) {
+        for (int sz = -hi_near[2]; sz <= lo_near[2]; ++sz) {
+          if (sx == 0 && sy == 0 && sz == 0) continue;
+          const Vec3 shift{sx * len.x, sy * len.y, sz * len.z};
+          atoms.add_ghost(xi + shift, atoms.type[static_cast<std::size_t>(i)],
+                          atoms.tag[static_cast<std::size_t>(i)], i, shift);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+
+namespace dpmd::md {
+
+/// Rebuilds the periodic-image ghost region of a single-process Atoms set:
+/// every local atom within `halo` of a box face contributes image copies on
+/// the opposite side(s).  Locals must already be wrapped into the box.
+/// Throws if halo >= any box length (only one image layer is supported).
+void build_periodic_ghosts(Atoms& atoms, const Box& box, double halo);
+
+}  // namespace dpmd::md

@@ -1,0 +1,85 @@
+#include "md/lattice.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+Atoms make_fcc(double a, int nx, int ny, int nz, int type, Box& box_out) {
+  DPMD_REQUIRE(a > 0 && nx > 0 && ny > 0 && nz > 0, "bad fcc request");
+  box_out = Box({0, 0, 0}, {nx * a, ny * a, nz * a});
+  static const Vec3 basis[4] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  Atoms atoms;
+  std::int64_t tag = 0;
+  for (int ix = 0; ix < nx; ++ix) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int iz = 0; iz < nz; ++iz) {
+        for (const auto& b : basis) {
+          const Vec3 p{(ix + b.x) * a, (iy + b.y) * a, (iz + b.z) * a};
+          atoms.add_local(p, {0, 0, 0}, type, tag++);
+        }
+      }
+    }
+  }
+  return atoms;
+}
+
+Atoms make_water_like(int n_side, double molecules_per_a3, double oh_r0,
+                      Rng& rng, Box& box_out) {
+  DPMD_REQUIRE(n_side > 0 && molecules_per_a3 > 0, "bad water request");
+  const int nmol = n_side * n_side * n_side;
+  const double volume = static_cast<double>(nmol) / molecules_per_a3;
+  const double L = std::cbrt(volume);
+  box_out = Box::cubic(L);
+  const double spacing = L / n_side;
+
+  Atoms atoms;
+  std::int64_t tag = 0;
+  const double half_angle = 0.5 * 104.52 * M_PI / 180.0;
+  for (int ix = 0; ix < n_side; ++ix) {
+    for (int iy = 0; iy < n_side; ++iy) {
+      for (int iz = 0; iz < n_side; ++iz) {
+        Vec3 o{(ix + 0.5) * spacing, (iy + 0.5) * spacing,
+               (iz + 0.5) * spacing};
+        // Small jitter breaks the perfect-lattice symmetry.
+        o += Vec3{rng.uniform(-0.08, 0.08), rng.uniform(-0.08, 0.08),
+                  rng.uniform(-0.08, 0.08)} * spacing;
+        box_out.wrap(o);
+        atoms.add_local(o, {0, 0, 0}, /*type=*/0, tag++);
+
+        // Random molecular orientation: pick an orthonormal frame.
+        const double phi = rng.uniform(0.0, 2.0 * M_PI);
+        const double cos_t = rng.uniform(-1.0, 1.0);
+        const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+        const Vec3 axis{sin_t * std::cos(phi), sin_t * std::sin(phi), cos_t};
+        Vec3 ortho = cross(axis, std::fabs(axis.x) < 0.9 ? Vec3{1, 0, 0}
+                                                         : Vec3{0, 1, 0});
+        ortho /= ortho.norm();
+        const Vec3 bis = axis;  // HOH bisector
+        for (const double sign : {+1.0, -1.0}) {
+          const Vec3 dir = bis * std::cos(half_angle) +
+                           ortho * (sign * std::sin(half_angle));
+          Vec3 h = o + dir * oh_r0;
+          box_out.wrap(h);
+          atoms.add_local(h, {0, 0, 0}, /*type=*/1, tag++);
+        }
+      }
+    }
+  }
+  return atoms;
+}
+
+Atoms make_random_gas(int natoms, const Box& box, int type, Rng& rng) {
+  Atoms atoms;
+  for (int i = 0; i < natoms; ++i) {
+    const Vec3 p{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y),
+                 rng.uniform(box.lo.z, box.hi.z)};
+    atoms.add_local(p, {0, 0, 0}, type, i);
+  }
+  return atoms;
+}
+
+}  // namespace dpmd::md

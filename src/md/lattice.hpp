@@ -1,0 +1,27 @@
+#pragma once
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::md {
+
+/// Atomic masses (g/mol) of the species used by the paper's two benchmarks.
+inline constexpr double kMassCu = 63.546;
+inline constexpr double kMassO = 15.999;
+inline constexpr double kMassH = 1.008;
+
+/// FCC lattice (the copper system): nx*ny*nz conventional cells of lattice
+/// constant `a`, 4 atoms per cell, all of type `type`.  Box is [0, n*a)^3.
+Atoms make_fcc(double a, int nx, int ny, int nz, int type, Box& box_out);
+
+/// Water-like configuration (types 0 = O, 1 = H): `n_side^3` molecules with
+/// oxygens on a jittered cubic grid sized to the given molecular density
+/// and two hydrogens at r0 in random orientations (HOH angle ~ 104.5 deg).
+Atoms make_water_like(int n_side, double molecules_per_a3, double oh_r0,
+                      Rng& rng, Box& box_out);
+
+/// Uniform random ideal-gas configuration (tests and load-balance studies).
+Atoms make_random_gas(int natoms, const Box& box, int type, Rng& rng);
+
+}  // namespace dpmd::md

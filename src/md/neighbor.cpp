@@ -1,0 +1,123 @@
+#include "md/neighbor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+namespace {
+
+/// Half-list ownership rule (LAMMPS "newton on" convention): local-local
+/// pairs are kept once via the index order; local-ghost pairs use a spatial
+/// lexicographic (z, y, x) tie-break so each cross-boundary physical pair is
+/// stored by exactly one of its two owners.
+bool skip_in_half_list(const Atoms& atoms, int i, int j) {
+  if (j < atoms.nlocal) return j < i;
+  const Vec3& xi = atoms.x[static_cast<std::size_t>(i)];
+  const Vec3& xj = atoms.x[static_cast<std::size_t>(j)];
+  if (xj.z != xi.z) return xj.z < xi.z;
+  if (xj.y != xi.y) return xj.y < xi.y;
+  return xj.x < xi.x;
+}
+
+}  // namespace
+
+void NeighborList::build(const Atoms& atoms, const Box& box) {
+  DPMD_REQUIRE(cfg_.cutoff > 0.0, "neighbor cutoff not set");
+  const double rlist = list_cutoff();
+  const double rlist2 = rlist * rlist;
+  const int ntotal = atoms.ntotal();
+
+  // Cell grid over the extended region that contains locals + ghosts.
+  Vec3 lo = box.lo, hi = box.hi;
+  for (int i = 0; i < ntotal; ++i) {
+    lo = cmin(lo, atoms.x[static_cast<std::size_t>(i)]);
+    hi = cmax(hi, atoms.x[static_cast<std::size_t>(i)]);
+  }
+  // Nudge so max-coordinate atoms land inside the last cell.
+  const Vec3 span{hi.x - lo.x + 1e-9, hi.y - lo.y + 1e-9, hi.z - lo.z + 1e-9};
+  int ncell[3];
+  double cell_w[3];
+  for (int d = 0; d < 3; ++d) {
+    ncell[d] = std::max(1, static_cast<int>(span[d] / rlist));
+    cell_w[d] = span[d] / ncell[d];
+  }
+  const int ncells = ncell[0] * ncell[1] * ncell[2];
+
+  const auto cell_index = [&](const Vec3& p) {
+    int c[3];
+    for (int d = 0; d < 3; ++d) {
+      c[d] = std::clamp(static_cast<int>((p[d] - lo[d]) / cell_w[d]), 0,
+                        ncell[d] - 1);
+    }
+    return (c[0] * ncell[1] + c[1]) * ncell[2] + c[2];
+  };
+
+  cell_head_.assign(static_cast<std::size_t>(ncells), -1);
+  cell_next_.assign(static_cast<std::size_t>(ntotal), -1);
+  for (int i = 0; i < ntotal; ++i) {
+    const int c = cell_index(atoms.x[static_cast<std::size_t>(i)]);
+    cell_next_[static_cast<std::size_t>(i)] =
+        cell_head_[static_cast<std::size_t>(c)];
+    cell_head_[static_cast<std::size_t>(c)] = i;
+  }
+
+  neigh_.resize(static_cast<std::size_t>(atoms.nlocal));
+  for (auto& list : neigh_) list.clear();
+
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    auto& list = neigh_[static_cast<std::size_t>(i)];
+    const Vec3& xi = atoms.x[static_cast<std::size_t>(i)];
+    int ci[3];
+    for (int d = 0; d < 3; ++d) {
+      ci[d] = std::clamp(static_cast<int>((xi[d] - lo[d]) / cell_w[d]), 0,
+                         ncell[d] - 1);
+    }
+    for (int dx = -1; dx <= 1; ++dx) {
+      const int cx = ci[0] + dx;
+      if (cx < 0 || cx >= ncell[0]) continue;
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int cy = ci[1] + dy;
+        if (cy < 0 || cy >= ncell[1]) continue;
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int cz = ci[2] + dz;
+          if (cz < 0 || cz >= ncell[2]) continue;
+          const int c = (cx * ncell[1] + cy) * ncell[2] + cz;
+          for (int j = cell_head_[static_cast<std::size_t>(c)]; j >= 0;
+               j = cell_next_[static_cast<std::size_t>(j)]) {
+            if (j == i) continue;
+            if (!cfg_.full && skip_in_half_list(atoms, i, j)) continue;
+            const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+            if (d.norm2() <= rlist2) list.push_back(j);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t NeighborList::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& list : neigh_) n += list.size();
+  return n;
+}
+
+std::vector<std::vector<int>> brute_force_neighbors(const Atoms& atoms,
+                                                    double cutoff, bool full) {
+  const double rc2 = cutoff * cutoff;
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(atoms.nlocal));
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    for (int j = 0; j < atoms.ntotal(); ++j) {
+      if (j == i) continue;
+      if (!full && skip_in_half_list(atoms, i, j)) continue;
+      const Vec3 d = atoms.x[static_cast<std::size_t>(j)] -
+                     atoms.x[static_cast<std::size_t>(i)];
+      if (d.norm2() <= rc2) out[static_cast<std::size_t>(i)].push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace dpmd::md

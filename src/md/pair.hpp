@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "md/atoms.hpp"
+#include "md/neighbor.hpp"
+
+namespace dpmd::md {
+
+/// Result of one force evaluation over the local atoms of a rank.
+struct ForceResult {
+  double pe = 0.0;      ///< potential energy attributed to local atoms, eV
+  double virial = 0.0;  ///< scalar virial  sum_(i<j) r_ij . f_ij, eV
+};
+
+/// Pair-style interface (LAMMPS `pair` analogue).  compute() adds forces
+/// into atoms.f for locals *and ghosts* (Newton's third law on, as DeePMD
+/// requires — the engine folds or reverse-communicates ghost forces).
+class Pair {
+ public:
+  virtual ~Pair() = default;
+
+  virtual std::string name() const = 0;
+  virtual double cutoff() const = 0;
+  /// Whether this style needs a full neighbor list (per-atom styles like the
+  /// Deep Potential) or a half list (classical pairwise styles).
+  virtual bool needs_full_list() const = 0;
+
+  virtual ForceResult compute(Atoms& atoms, const NeighborList& list) = 0;
+
+  /// Per-atom energy decomposition if the style supports it (DP does);
+  /// returns false otherwise.  Used by accuracy benches.
+  virtual bool per_atom_energy(Atoms& /*atoms*/, const NeighborList& /*list*/,
+                               std::vector<double>& /*energies*/) {
+    return false;
+  }
+};
+
+}  // namespace dpmd::md

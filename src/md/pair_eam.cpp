@@ -1,0 +1,104 @@
+#include "md/pair_eam.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+PairEamSC::PairEamSC(Params p) : p_(p) {
+  DPMD_REQUIRE(p_.cutoff > p_.r_on && p_.r_on > 0, "bad EAM switch window");
+}
+
+double PairEamSC::switch_fn(double r) const {
+  if (r <= p_.r_on) return 1.0;
+  if (r >= p_.cutoff) return 0.0;
+  const double u = (r - p_.r_on) / (p_.cutoff - p_.r_on);
+  return 1.0 + u * u * u * (-10.0 + u * (15.0 - 6.0 * u));
+}
+
+double PairEamSC::switch_deriv(double r) const {
+  if (r <= p_.r_on || r >= p_.cutoff) return 0.0;
+  const double w = p_.cutoff - p_.r_on;
+  const double u = (r - p_.r_on) / w;
+  return u * u * (-30.0 + u * (60.0 - 30.0 * u)) / w;
+}
+
+ForceResult PairEamSC::compute(Atoms& atoms, const NeighborList& list) {
+  ForceResult res;
+  const int ntotal = atoms.ntotal();
+  const double rc2 = p_.cutoff * p_.cutoff;
+
+  rho_.assign(static_cast<std::size_t>(ntotal), 0.0);
+  dembed_.assign(static_cast<std::size_t>(ntotal), 0.0);
+
+  // Pass 1: densities.  Half neighbor list -> accumulate both sides.
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    for (const int j : list.neighbors(i)) {
+      const Vec3 d = xi - atoms.x[static_cast<std::size_t>(j)];
+      const double r2 = d.norm2();
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      const double phi = std::pow(p_.a / r, p_.m) * switch_fn(r);
+      rho_[static_cast<std::size_t>(i)] += phi;
+      rho_[static_cast<std::size_t>(j)] += phi;
+    }
+  }
+  // Ghost contributions accumulated on ghosts belong to their owners; in
+  // single-process mode the owner is the parent local.  (A reverse fold.)
+  for (int g = 0; g < atoms.nghost; ++g) {
+    rho_[static_cast<std::size_t>(
+        atoms.ghost_parent[static_cast<std::size_t>(g)])] +=
+        rho_[static_cast<std::size_t>(atoms.nlocal + g)];
+  }
+
+  // Embedding energy and dF/drho for locals, then sync to ghosts.
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double rho = rho_[static_cast<std::size_t>(i)];
+    if (rho > 0.0) {
+      const double sq = std::sqrt(rho);
+      res.pe += -p_.epsilon * p_.c * sq;
+      dembed_[static_cast<std::size_t>(i)] =
+          -p_.epsilon * p_.c * 0.5 / sq;
+    }
+  }
+  GhostSync& sync = sync_ != nullptr ? *sync_ : local_sync_;
+  sync.forward_scalar(atoms, dembed_);
+
+  // Pass 2: pair + density-mediated forces.
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    Vec3 fi{0, 0, 0};
+    for (const int j : list.neighbors(i)) {
+      const Vec3 d = xi - atoms.x[static_cast<std::size_t>(j)];
+      const double r2 = d.norm2();
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      const double s = switch_fn(r);
+      const double ds = switch_deriv(r);
+
+      const double vn = p_.epsilon * std::pow(p_.a / r, p_.n);
+      const double dvn = -static_cast<double>(p_.n) * vn / r;
+      const double pair_du = dvn * s + vn * ds;  // d/dr [V(r) s(r)]
+
+      const double pm = std::pow(p_.a / r, p_.m);
+      const double dpm = -static_cast<double>(p_.m) * pm / r;
+      const double dphi = dpm * s + pm * ds;  // d/dr [phi(r) s(r)]
+
+      const double demb = dembed_[static_cast<std::size_t>(i)] +
+                          dembed_[static_cast<std::size_t>(j)];
+      const double dudr = pair_du + demb * dphi;
+      const double fpair = -dudr / r;
+      const Vec3 fij = d * fpair;
+      fi += fij;
+      atoms.f[static_cast<std::size_t>(j)] -= fij;
+      res.pe += vn * s;
+      res.virial += dot(d, fij);
+    }
+    atoms.f[static_cast<std::size_t>(i)] += fi;
+  }
+  return res;
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "md/ghost_sync.hpp"
+#include "md/pair.hpp"
+
+namespace dpmd::md {
+
+/// Sutton-Chen embedded-atom potential with a smooth cutoff switch:
+///
+///   E = sum_i [ 1/2 sum_j eps (a/r)^n s(r)  -  eps c sqrt(rho_i) ],
+///   rho_i = sum_j (a/r)^m s(r)
+///
+/// where s(r) is a quintic switch from 1 at r_on to 0 at rc so forces stay
+/// continuous (needed by the NVE conservation tests).  Default parameters
+/// are the classic Sutton-Chen copper fit; this is the analytic many-body
+/// "ground truth" PES standing in for the paper's AIMD reference on the
+/// copper system (see DESIGN.md substitutions).
+struct SuttonChenParams {
+  double epsilon = 1.2382e-2;  // eV
+  double a = 3.61;             // Angstrom (Cu lattice constant)
+  double c = 39.432;
+  int n = 9;
+  int m = 6;
+  double cutoff = 7.0;
+  double r_on = 6.0;  ///< switch start
+};
+
+class PairEamSC : public Pair {
+ public:
+  using Params = SuttonChenParams;
+
+  explicit PairEamSC(Params p = Params());
+
+  std::string name() const override { return "eam/sutton-chen"; }
+  double cutoff() const override { return p_.cutoff; }
+  bool needs_full_list() const override { return false; }
+
+  void set_ghost_sync(GhostSync* sync) { sync_ = sync; }
+
+  ForceResult compute(Atoms& atoms, const NeighborList& list) override;
+
+  const Params& params() const { return p_; }
+
+  /// Switch function and derivative (exposed for tests).
+  double switch_fn(double r) const;
+  double switch_deriv(double r) const;
+
+ private:
+  Params p_;
+  GhostSync* sync_ = nullptr;
+  LocalGhostSync local_sync_;
+  std::vector<double> rho_;      // per-atom density, ntotal
+  std::vector<double> dembed_;   // dF/drho per atom, ntotal
+};
+
+}  // namespace dpmd::md

@@ -1,0 +1,66 @@
+#include "md/pair_lj.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+PairLJ::PairLJ(int ntypes, double cutoff)
+    : ntypes_(ntypes), rc_(cutoff),
+      params_(static_cast<std::size_t>(ntypes) * ntypes),
+      eshift_(static_cast<std::size_t>(ntypes) * ntypes, 0.0) {
+  DPMD_REQUIRE(ntypes > 0 && cutoff > 0, "bad PairLJ setup");
+}
+
+void PairLJ::set_pair(int ti, int tj, double epsilon, double sigma) {
+  DPMD_REQUIRE(ti >= 0 && ti < ntypes_ && tj >= 0 && tj < ntypes_,
+               "type out of range");
+  for (const auto idx : {static_cast<std::size_t>(ti) * ntypes_ + tj,
+                         static_cast<std::size_t>(tj) * ntypes_ + ti}) {
+    params_[idx] = {epsilon, sigma};
+    const double sr6 = std::pow(sigma / rc_, 6);
+    eshift_[idx] = 4.0 * epsilon * (sr6 * sr6 - sr6);
+  }
+}
+
+double PairLJ::pair_energy(int ti, int tj, double r) const {
+  if (r >= rc_) return 0.0;
+  const auto& p = param(ti, tj);
+  const double sr6 = std::pow(p.sigma / r, 6);
+  return 4.0 * p.epsilon * (sr6 * sr6 - sr6) -
+         eshift_[static_cast<std::size_t>(ti) * ntypes_ + tj];
+}
+
+ForceResult PairLJ::compute(Atoms& atoms, const NeighborList& list) {
+  ForceResult res;
+  const double rc2 = rc_ * rc_;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    const int ti = atoms.type[static_cast<std::size_t>(i)];
+    Vec3 fi{0, 0, 0};
+    for (const int j : list.neighbors(i)) {
+      const Vec3 d = xi - atoms.x[static_cast<std::size_t>(j)];
+      const double r2 = d.norm2();
+      if (r2 >= rc2) continue;
+      const int tj = atoms.type[static_cast<std::size_t>(j)];
+      const auto& p = param(ti, tj);
+      const double inv_r2 = 1.0 / r2;
+      const double sr2 = p.sigma * p.sigma * inv_r2;
+      const double sr6 = sr2 * sr2 * sr2;
+      const double sr12 = sr6 * sr6;
+      // F = -dU/dr * r_hat ; expressed with 1/r^2 to avoid a sqrt.
+      const double fpair = 24.0 * p.epsilon * (2.0 * sr12 - sr6) * inv_r2;
+      const Vec3 fij = d * fpair;
+      fi += fij;
+      atoms.f[static_cast<std::size_t>(j)] -= fij;  // Newton's third law
+      res.pe += 4.0 * p.epsilon * (sr12 - sr6) -
+                eshift_[static_cast<std::size_t>(ti) * ntypes_ + tj];
+      res.virial += dot(d, fij);
+    }
+    atoms.f[static_cast<std::size_t>(i)] += fi;
+  }
+  return res;
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "md/pair.hpp"
+
+namespace dpmd::md {
+
+/// Cut-and-shifted Lennard-Jones pair style with per-type-pair parameters.
+/// Serves as the classical-force-field baseline the paper contrasts NNMD
+/// against, and as the cheap workhorse for engine correctness tests.
+class PairLJ : public Pair {
+ public:
+  struct TypePair {
+    double epsilon = 1.0;  // eV
+    double sigma = 1.0;    // Angstrom
+  };
+
+  PairLJ(int ntypes, double cutoff);
+
+  void set_pair(int ti, int tj, double epsilon, double sigma);
+
+  std::string name() const override { return "lj/cut"; }
+  double cutoff() const override { return rc_; }
+  bool needs_full_list() const override { return false; }
+
+  ForceResult compute(Atoms& atoms, const NeighborList& list) override;
+
+  /// Analytic pair energy/force for tests.
+  double pair_energy(int ti, int tj, double r) const;
+
+ private:
+  const TypePair& param(int ti, int tj) const {
+    return params_[static_cast<std::size_t>(ti) * ntypes_ + tj];
+  }
+
+  int ntypes_;
+  double rc_;
+  std::vector<TypePair> params_;
+  std::vector<double> eshift_;  ///< energy shift at rc per type pair
+};
+
+}  // namespace dpmd::md

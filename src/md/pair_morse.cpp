@@ -1,0 +1,68 @@
+#include "md/pair_morse.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+PairMorse::PairMorse(int ntypes, double cutoff)
+    : ntypes_(ntypes), rc_(cutoff),
+      params_(static_cast<std::size_t>(ntypes) * ntypes),
+      eshift_(static_cast<std::size_t>(ntypes) * ntypes, 0.0) {
+  DPMD_REQUIRE(ntypes > 0 && cutoff > 0, "bad PairMorse setup");
+}
+
+void PairMorse::set_pair(int ti, int tj, double d0, double alpha, double r0) {
+  DPMD_REQUIRE(ti >= 0 && ti < ntypes_ && tj >= 0 && tj < ntypes_,
+               "type out of range");
+  for (const auto idx : {static_cast<std::size_t>(ti) * ntypes_ + tj,
+                         static_cast<std::size_t>(tj) * ntypes_ + ti}) {
+    params_[idx] = {d0, alpha, r0};
+    const double e = 1.0 - std::exp(-alpha * (rc_ - r0));
+    eshift_[idx] = d0 * (e * e - 1.0);
+  }
+}
+
+double PairMorse::pair_energy(int ti, int tj, double r) const {
+  if (r >= rc_) return 0.0;
+  const auto& p = param(ti, tj);
+  if (p.d0 == 0.0) return 0.0;
+  const double e = 1.0 - std::exp(-p.alpha * (r - p.r0));
+  return p.d0 * (e * e - 1.0) -
+         eshift_[static_cast<std::size_t>(ti) * ntypes_ + tj];
+}
+
+ForceResult PairMorse::compute(Atoms& atoms, const NeighborList& list) {
+  ForceResult res;
+  const double rc2 = rc_ * rc_;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    const int ti = atoms.type[static_cast<std::size_t>(i)];
+    Vec3 fi{0, 0, 0};
+    for (const int j : list.neighbors(i)) {
+      const Vec3 d = xi - atoms.x[static_cast<std::size_t>(j)];
+      const double r2 = d.norm2();
+      if (r2 >= rc2) continue;
+      const int tj = atoms.type[static_cast<std::size_t>(j)];
+      const auto& p = param(ti, tj);
+      if (p.d0 == 0.0) continue;
+      const double r = std::sqrt(r2);
+      const double ex = std::exp(-p.alpha * (r - p.r0));
+      const double e = 1.0 - ex;
+      // dU/dr = 2 D a e^{-a(r-r0)} (1 - e^{-a(r-r0)})
+      const double dudr = 2.0 * p.d0 * p.alpha * ex * e;
+      const double fpair = -dudr / r;  // F_i = -dU/dr * r_hat(i<-j)
+      const Vec3 fij = d * fpair;
+      fi += fij;
+      atoms.f[static_cast<std::size_t>(j)] -= fij;
+      res.pe += p.d0 * (e * e - 1.0) -
+                eshift_[static_cast<std::size_t>(ti) * ntypes_ + tj];
+      res.virial += dot(d, fij);
+    }
+    atoms.f[static_cast<std::size_t>(i)] += fi;
+  }
+  return res;
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "md/pair.hpp"
+
+namespace dpmd::md {
+
+/// Morse potential, cut and shifted:
+///   U(r) = D * [(1 - exp(-a (r - r0)))^2 - 1] - U(rc)
+/// Used by the water-like reference potential (O-H binding) and as a second
+/// classical baseline with a qualitatively different force profile than LJ.
+class PairMorse : public Pair {
+ public:
+  struct TypePair {
+    double d0 = 0.0;  ///< well depth, eV (0 disables the pair)
+    double alpha = 1.0;
+    double r0 = 1.0;  ///< equilibrium distance, Angstrom
+  };
+
+  PairMorse(int ntypes, double cutoff);
+
+  void set_pair(int ti, int tj, double d0, double alpha, double r0);
+
+  std::string name() const override { return "morse"; }
+  double cutoff() const override { return rc_; }
+  bool needs_full_list() const override { return false; }
+
+  ForceResult compute(Atoms& atoms, const NeighborList& list) override;
+
+  double pair_energy(int ti, int tj, double r) const;
+
+ private:
+  const TypePair& param(int ti, int tj) const {
+    return params_[static_cast<std::size_t>(ti) * ntypes_ + tj];
+  }
+
+  int ntypes_;
+  double rc_;
+  std::vector<TypePair> params_;
+  std::vector<double> eshift_;
+};
+
+}  // namespace dpmd::md

@@ -1,0 +1,77 @@
+#include "md/pair_water_ref.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+PairWaterRef::PairWaterRef(Params p) : p_(p) {
+  DPMD_REQUIRE(p_.cutoff > p_.r_on && p_.r_on > 0, "bad switch window");
+}
+
+double PairWaterRef::switch_fn(double r) const {
+  if (r <= p_.r_on) return 1.0;
+  if (r >= p_.cutoff) return 0.0;
+  const double u = (r - p_.r_on) / (p_.cutoff - p_.r_on);
+  return 1.0 + u * u * u * (-10.0 + u * (15.0 - 6.0 * u));
+}
+
+double PairWaterRef::switch_deriv(double r) const {
+  if (r <= p_.r_on || r >= p_.cutoff) return 0.0;
+  const double w = p_.cutoff - p_.r_on;
+  const double u = (r - p_.r_on) / w;
+  return u * u * (-30.0 + u * (60.0 - 30.0 * u)) / w;
+}
+
+void PairWaterRef::pair_u_du(int ti, int tj, double r, double& u,
+                             double& dudr) const {
+  double raw_u = 0.0;
+  double raw_du = 0.0;
+  if (ti == 0 && tj == 0) {  // O-O
+    const double sr6 = std::pow(p_.oo_sigma / r, 6);
+    const double sr12 = sr6 * sr6;
+    raw_u = 4.0 * p_.oo_epsilon * (sr12 - sr6);
+    raw_du = 4.0 * p_.oo_epsilon * (-12.0 * sr12 + 6.0 * sr6) / r;
+  } else if (ti == 1 && tj == 1) {  // H-H
+    raw_u = p_.hh_b * std::exp(-r / p_.hh_rho);
+    raw_du = -raw_u / p_.hh_rho;
+  } else {  // O-H Morse
+    const double ex = std::exp(-p_.oh_alpha * (r - p_.oh_r0));
+    const double e = 1.0 - ex;
+    raw_u = p_.oh_d0 * (e * e - 1.0);
+    raw_du = 2.0 * p_.oh_d0 * p_.oh_alpha * ex * e;
+  }
+  const double s = switch_fn(r);
+  const double ds = switch_deriv(r);
+  u = raw_u * s;
+  dudr = raw_du * s + raw_u * ds;
+}
+
+ForceResult PairWaterRef::compute(Atoms& atoms, const NeighborList& list) {
+  ForceResult res;
+  const double rc2 = p_.cutoff * p_.cutoff;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    const int ti = atoms.type[static_cast<std::size_t>(i)];
+    Vec3 fi{0, 0, 0};
+    for (const int j : list.neighbors(i)) {
+      const Vec3 d = xi - atoms.x[static_cast<std::size_t>(j)];
+      const double r2 = d.norm2();
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      double u = 0.0, dudr = 0.0;
+      pair_u_du(ti, atoms.type[static_cast<std::size_t>(j)], r, u, dudr);
+      const double fpair = -dudr / r;
+      const Vec3 fij = d * fpair;
+      fi += fij;
+      atoms.f[static_cast<std::size_t>(j)] -= fij;
+      res.pe += u;
+      res.virial += dot(d, fij);
+    }
+    atoms.f[static_cast<std::size_t>(i)] += fi;
+  }
+  return res;
+}
+
+}  // namespace dpmd::md

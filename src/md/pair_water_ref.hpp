@@ -1,0 +1,59 @@
+#pragma once
+
+#include "md/pair.hpp"
+
+namespace dpmd::md {
+
+/// Two-species "water-like" reference PES (types: 0 = O, 1 = H).
+///
+/// This is the analytic ground truth that stands in for the paper's AIMD
+/// water labels (DESIGN.md substitution S2): a smooth many-body-free
+/// potential with the right interaction structure —
+///   O-O : Lennard-Jones (SPC/E-like sigma/epsilon) + short-range repulsion,
+///   O-H : Morse well binding hydrogens to oxygens at ~0.97 A,
+///   H-H : soft exponential repulsion,
+/// all multiplied by a quintic cutoff switch so forces are continuous.
+/// It produces a liquid with O-O / O-H / H-H radial structure, which is all
+/// Table II / Fig. 6 need (the precision comparison is relative to this
+/// reference, whichever PES it is).
+struct WaterRefParams {
+  // O-O Lennard-Jones
+  double oo_epsilon = 6.74e-3;  // eV
+  double oo_sigma = 3.166;      // A
+  // O-H Morse
+  double oh_d0 = 0.45;    // eV (softened vs a real O-H bond for stability)
+  double oh_alpha = 2.3;  // 1/A
+  double oh_r0 = 0.97;    // A
+  // H-H Born-Mayer repulsion  B * exp(-r / rho)
+  double hh_b = 8.0;    // eV
+  double hh_rho = 0.35; // A
+  double cutoff = 6.0;
+  double r_on = 5.0;
+};
+
+class PairWaterRef : public Pair {
+ public:
+  using Params = WaterRefParams;
+
+  explicit PairWaterRef(Params p = Params());
+
+  std::string name() const override { return "water/ref"; }
+  double cutoff() const override { return p_.cutoff; }
+  bool needs_full_list() const override { return false; }
+
+  ForceResult compute(Atoms& atoms, const NeighborList& list) override;
+
+  /// U and dU/dr for a (ti, tj) pair at distance r (switch included);
+  /// exposed for tests and for generating training labels.
+  void pair_u_du(int ti, int tj, double r, double& u, double& dudr) const;
+
+  const Params& params() const { return p_; }
+
+ private:
+  double switch_fn(double r) const;
+  double switch_deriv(double r) const;
+
+  Params p_;
+};
+
+}  // namespace dpmd::md

@@ -1,0 +1,70 @@
+#include "md/rdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+RdfAccumulator::RdfAccumulator(int type_a, int type_b, double rmax,
+                               std::size_t nbins)
+    : type_a_(type_a), type_b_(type_b), rmax_(rmax),
+      hist_(0.0, rmax, nbins) {}
+
+void RdfAccumulator::add_frame(const Atoms& atoms, const Box& box) {
+  const Vec3 len = box.length();
+  DPMD_REQUIRE(rmax_ <= 0.5 * std::min({len.x, len.y, len.z}),
+               "rdf rmax exceeds half the box");
+  int na = 0;
+  int nb = 0;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const int t = atoms.type[static_cast<std::size_t>(i)];
+    if (t == type_a_) ++na;
+    if (t == type_b_) ++nb;
+  }
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    if (atoms.type[static_cast<std::size_t>(i)] != type_a_) continue;
+    for (int j = 0; j < atoms.nlocal; ++j) {
+      if (j == i || atoms.type[static_cast<std::size_t>(j)] != type_b_) {
+        continue;
+      }
+      const Vec3 d = box.minimum_image(atoms.x[static_cast<std::size_t>(i)],
+                                       atoms.x[static_cast<std::size_t>(j)]);
+      const double r = d.norm();
+      if (r < rmax_) hist_.add(r);
+    }
+  }
+  ++frames_;
+  na_sum_ += na;
+  rho_b_sum_ += static_cast<double>(nb) / box.volume();
+}
+
+std::vector<RdfAccumulator::Point> RdfAccumulator::result() const {
+  std::vector<Point> out;
+  out.reserve(hist_.nbins());
+  if (frames_ == 0) return out;
+  const double na_avg = na_sum_ / frames_;
+  const double rho_b_avg = rho_b_sum_ / frames_;
+  const double dr = hist_.bin_width();
+  for (std::size_t b = 0; b < hist_.nbins(); ++b) {
+    const double r = hist_.bin_center(b);
+    const double shell = 4.0 * M_PI * r * r * dr;
+    const double expected = na_avg * rho_b_avg * shell * frames_;
+    const double g = expected > 0.0 ? hist_.count(b) / expected : 0.0;
+    out.push_back({r, g});
+  }
+  return out;
+}
+
+double rdf_max_deviation(const std::vector<RdfAccumulator::Point>& a,
+                         const std::vector<RdfAccumulator::Point>& b) {
+  DPMD_REQUIRE(a.size() == b.size(), "rdf grids differ");
+  double dev = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dev = std::max(dev, std::fabs(a[i].g - b[i].g));
+  }
+  return dev;
+}
+
+}  // namespace dpmd::md

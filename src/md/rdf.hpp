@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "util/stats.hpp"
+
+namespace dpmd::md {
+
+/// Radial distribution function accumulator (Fig. 6 of the paper uses
+/// g_OO, g_OH, g_HH to show that mixed precision preserves the water
+/// structure).  Uses minimum-image distances over local atoms; requires
+/// rmax <= L/2.
+class RdfAccumulator {
+ public:
+  RdfAccumulator(int type_a, int type_b, double rmax, std::size_t nbins);
+
+  void add_frame(const Atoms& atoms, const Box& box);
+
+  struct Point {
+    double r;
+    double g;
+  };
+  /// Normalized g(r) after all frames.
+  std::vector<Point> result() const;
+
+  int frames() const { return frames_; }
+
+ private:
+  int type_a_;
+  int type_b_;
+  double rmax_;
+  Histogram hist_;
+  int frames_ = 0;
+  double na_sum_ = 0.0;      ///< A-atom count accumulated over frames
+  double rho_b_sum_ = 0.0;   ///< B-atom density accumulated over frames
+};
+
+/// Max absolute difference between two RDF curves on a shared grid (the
+/// "curves overlap" check of Fig. 6).
+double rdf_max_deviation(const std::vector<RdfAccumulator::Point>& a,
+                         const std::vector<RdfAccumulator::Point>& b);
+
+}  // namespace dpmd::md

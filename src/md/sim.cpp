@@ -1,0 +1,154 @@
+#include "md/sim.hpp"
+
+#include <cmath>
+
+#include "md/ghosts.hpp"
+#include "md/units.hpp"
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+Sim::Sim(Box box, Atoms atoms, std::vector<double> masses,
+         std::shared_ptr<Pair> pair, SimConfig cfg)
+    : box_(box), atoms_(std::move(atoms)), masses_(std::move(masses)),
+      pair_(std::move(pair)), cfg_(cfg),
+      nlist_({pair_->cutoff(), cfg.skin, pair_->needs_full_list()}) {
+  DPMD_REQUIRE(pair_ != nullptr, "pair style required");
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const int t = atoms_.type[static_cast<std::size_t>(i)];
+    DPMD_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < masses_.size(),
+                 "atom type without a mass");
+  }
+}
+
+void Sim::build_ghosts() {
+  build_periodic_ghosts(atoms_, box_, pair_->cutoff() + cfg_.skin);
+}
+
+void Sim::refresh_ghost_positions() {
+  for (int g = 0; g < atoms_.nghost; ++g) {
+    const int parent = atoms_.ghost_parent[static_cast<std::size_t>(g)];
+    atoms_.x[static_cast<std::size_t>(atoms_.nlocal + g)] =
+        atoms_.x[static_cast<std::size_t>(parent)] +
+        atoms_.ghost_shift[static_cast<std::size_t>(g)];
+  }
+}
+
+void Sim::fold_ghost_forces() {
+  for (int g = 0; g < atoms_.nghost; ++g) {
+    const int parent = atoms_.ghost_parent[static_cast<std::size_t>(g)];
+    atoms_.f[static_cast<std::size_t>(parent)] +=
+        atoms_.f[static_cast<std::size_t>(atoms_.nlocal + g)];
+  }
+}
+
+void Sim::compute_forces() {
+  ScopedTimer timer(timers_, "pair");
+  atoms_.zero_forces();
+  const ForceResult res = pair_->compute(atoms_, nlist_);
+  fold_ghost_forces();
+  pe_ = res.pe;
+  virial_ = res.virial;
+}
+
+bool Sim::drift_exceeds_skin() const {
+  const double limit2 = 0.25 * cfg_.skin * cfg_.skin;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const Vec3 d = atoms_.x[static_cast<std::size_t>(i)] -
+                   x_at_build_[static_cast<std::size_t>(i)];
+    if (d.norm2() > limit2) return true;
+  }
+  return false;
+}
+
+void Sim::setup() {
+  {
+    ScopedTimer timer(timers_, "neigh");
+    // Wrap all locals, then rebuild ghosts and the list.
+    for (int i = 0; i < atoms_.nlocal; ++i) {
+      box_.wrap(atoms_.x[static_cast<std::size_t>(i)],
+                atoms_.image[static_cast<std::size_t>(i)].data());
+    }
+    build_ghosts();
+    nlist_.build(atoms_, box_);
+    x_at_build_.assign(atoms_.x.begin(),
+                       atoms_.x.begin() + atoms_.nlocal);
+    ++rebuilds_;
+    steps_since_build_ = 0;
+  }
+  compute_forces();
+  needs_setup_ = false;
+}
+
+void Sim::step() {
+  if (needs_setup_) setup();
+
+  const double dt = cfg_.dt_fs;
+  // Velocity Verlet, metal-style units (see md/units.hpp).
+  {
+    ScopedTimer timer(timers_, "integrate");
+    for (int i = 0; i < atoms_.nlocal; ++i) {
+      const double inv_m =
+          kForceConv / masses_[static_cast<std::size_t>(
+                           atoms_.type[static_cast<std::size_t>(i)])];
+      atoms_.v[static_cast<std::size_t>(i)] +=
+          atoms_.f[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
+      atoms_.x[static_cast<std::size_t>(i)] +=
+          atoms_.v[static_cast<std::size_t>(i)] * dt;
+    }
+  }
+
+  ++steps_since_build_;
+  const bool rebuild = steps_since_build_ >= cfg_.rebuild_every ||
+                       (cfg_.rebuild_on_drift && drift_exceeds_skin());
+  if (rebuild) {
+    ScopedTimer timer(timers_, "neigh");
+    for (int i = 0; i < atoms_.nlocal; ++i) {
+      box_.wrap(atoms_.x[static_cast<std::size_t>(i)],
+                atoms_.image[static_cast<std::size_t>(i)].data());
+    }
+    build_ghosts();
+    nlist_.build(atoms_, box_);
+    x_at_build_.assign(atoms_.x.begin(), atoms_.x.begin() + atoms_.nlocal);
+    ++rebuilds_;
+    steps_since_build_ = 0;
+  } else {
+    ScopedTimer timer(timers_, "comm");
+    refresh_ghost_positions();
+  }
+
+  compute_forces();
+
+  {
+    ScopedTimer timer(timers_, "integrate");
+    for (int i = 0; i < atoms_.nlocal; ++i) {
+      const double inv_m =
+          kForceConv / masses_[static_cast<std::size_t>(
+                           atoms_.type[static_cast<std::size_t>(i)])];
+      atoms_.v[static_cast<std::size_t>(i)] +=
+          atoms_.f[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
+    }
+  }
+
+  if (thermostat_ != nullptr) {
+    ScopedTimer timer(timers_, "thermostat");
+    thermostat_->apply(atoms_, masses_, dt);
+  }
+  ++steps_done_;
+}
+
+void Sim::run(int nsteps, int callback_every, const Callback& cb) {
+  if (needs_setup_) setup();
+  for (int s = 0; s < nsteps; ++s) {
+    step();
+    if (cb && callback_every > 0 && (steps_done_ % callback_every) == 0) {
+      cb(steps_done_, *this);
+    }
+  }
+}
+
+ThermoState Sim::thermo() const {
+  return compute_thermo(atoms_, masses_, pe_, virial_, box_);
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "md/neighbor.hpp"
+#include "md/pair.hpp"
+#include "md/thermo.hpp"
+#include "md/thermostat.hpp"
+#include "util/timer.hpp"
+
+namespace dpmd::md {
+
+struct SimConfig {
+  double dt_fs = 1.0;
+  double skin = 2.0;          ///< paper: 2 A neighbor skin
+  int rebuild_every = 50;     ///< paper: lists rebuilt every 50 steps
+  bool rebuild_on_drift = true;  ///< also rebuild when drift > skin/2
+};
+
+/// Single-process MD engine (the LAMMPS analogue, DESIGN.md S1).
+///
+/// Ghost atoms are periodic images of locals within cutoff + skin of the
+/// box faces; their positions are refreshed from the parents every step
+/// (the "forward communication" of a distributed run) and their forces are
+/// folded back into the parents after the pair computation (the "reverse
+/// communication", Newton's third law on).  The distributed version of the
+/// same loop lives in src/comm (DomainEngine) and is validated against this
+/// engine.
+class Sim {
+ public:
+  Sim(Box box, Atoms atoms, std::vector<double> masses,
+      std::shared_ptr<Pair> pair, SimConfig cfg = SimConfig());
+
+  void set_thermostat(std::unique_ptr<Thermostat> t) { thermostat_ = std::move(t); }
+
+  /// Builds ghosts, neighbor list and initial forces.  Called lazily by
+  /// step()/run() if needed.
+  void setup();
+
+  void step();
+  using Callback = std::function<void(int step, const Sim&)>;
+  void run(int nsteps, int callback_every = 0, const Callback& cb = nullptr);
+
+  // Observers -------------------------------------------------------------
+  const Atoms& atoms() const { return atoms_; }
+  Atoms& atoms() { return atoms_; }
+  const Box& box() const { return box_; }
+  const std::vector<double>& masses() const { return masses_; }
+  const NeighborList& nlist() const { return nlist_; }
+  Pair& pair() { return *pair_; }
+  int steps_done() const { return steps_done_; }
+  int rebuild_count() const { return rebuilds_; }
+  double pe() const { return pe_; }
+  double virial() const { return virial_; }
+  ThermoState thermo() const;
+  TimerRegistry& timers() { return timers_; }
+
+  /// Force refresh after external position edits (tests).
+  void invalidate() { needs_setup_ = true; }
+
+ private:
+  void build_ghosts();
+  void refresh_ghost_positions();
+  void fold_ghost_forces();
+  void compute_forces();
+  bool drift_exceeds_skin() const;
+
+  Box box_;
+  Atoms atoms_;
+  std::vector<double> masses_;
+  std::shared_ptr<Pair> pair_;
+  SimConfig cfg_;
+  NeighborList nlist_;
+  std::unique_ptr<Thermostat> thermostat_;
+
+  std::vector<Vec3> x_at_build_;
+  double pe_ = 0.0;
+  double virial_ = 0.0;
+  int steps_done_ = 0;
+  int steps_since_build_ = 0;
+  int rebuilds_ = 0;
+  bool needs_setup_ = true;
+  TimerRegistry timers_;
+};
+
+}  // namespace dpmd::md

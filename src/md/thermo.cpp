@@ -1,0 +1,67 @@
+#include "md/thermo.hpp"
+
+#include <cmath>
+
+#include "md/units.hpp"
+#include "util/error.hpp"
+
+namespace dpmd::md {
+
+double kinetic_energy(const Atoms& atoms, const std::vector<double>& masses) {
+  double ke = 0.0;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double m = masses[static_cast<std::size_t>(
+        atoms.type[static_cast<std::size_t>(i)])];
+    ke += 0.5 * m * atoms.v[static_cast<std::size_t>(i)].norm2();
+  }
+  return ke * kMvv2e;
+}
+
+double temperature_of(double kinetic_ev, int natoms) {
+  if (natoms == 0) return 0.0;
+  return 2.0 * kinetic_ev / (3.0 * static_cast<double>(natoms) * kBoltzmann);
+}
+
+double pressure_of(double kinetic_ev, double virial_ev, int natoms,
+                   const Box& box) {
+  const double t = temperature_of(kinetic_ev, natoms);
+  const double p_ev_a3 =
+      (static_cast<double>(natoms) * kBoltzmann * t + virial_ev / 3.0) /
+      box.volume();
+  return p_ev_a3 * kEvPerA3ToBar;
+}
+
+ThermoState compute_thermo(const Atoms& atoms,
+                           const std::vector<double>& masses, double pe,
+                           double virial, const Box& box) {
+  ThermoState s;
+  s.kinetic = kinetic_energy(atoms, masses);
+  s.potential = pe;
+  s.temperature = temperature_of(s.kinetic, atoms.nlocal);
+  s.pressure = pressure_of(s.kinetic, virial, atoms.nlocal, box);
+  return s;
+}
+
+void thermalize(Atoms& atoms, const std::vector<double>& masses,
+                double t_kelvin, Rng& rng) {
+  DPMD_REQUIRE(t_kelvin >= 0.0, "negative temperature");
+  Vec3 momentum{0, 0, 0};
+  double total_mass = 0.0;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double m = masses[static_cast<std::size_t>(
+        atoms.type[static_cast<std::size_t>(i)])];
+    const double sigma = std::sqrt(kBoltzmann * t_kelvin / (m * kMvv2e));
+    Vec3& v = atoms.v[static_cast<std::size_t>(i)];
+    v = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+         rng.normal(0.0, sigma)};
+    momentum += v * m;
+    total_mass += m;
+  }
+  if (atoms.nlocal == 0) return;
+  const Vec3 drift = momentum / total_mass;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    atoms.v[static_cast<std::size_t>(i)] -= drift;
+  }
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::md {
+
+/// Per-step thermodynamic observables (LAMMPS `thermo` analogue).
+struct ThermoState {
+  double kinetic = 0.0;      ///< eV
+  double potential = 0.0;    ///< eV
+  double temperature = 0.0;  ///< K
+  double pressure = 0.0;     ///< bar
+  double total() const { return kinetic + potential; }
+};
+
+/// Kinetic energy of the local atoms, eV.  `masses[t]` is the mass of type t
+/// in g/mol.
+double kinetic_energy(const Atoms& atoms, const std::vector<double>& masses);
+
+/// Instantaneous temperature from KE with 3N degrees of freedom.
+double temperature_of(double kinetic_ev, int natoms);
+
+/// Virial pressure  P = (N kB T + W/3) / V  converted to bar.
+double pressure_of(double kinetic_ev, double virial_ev, int natoms,
+                   const Box& box);
+
+ThermoState compute_thermo(const Atoms& atoms,
+                           const std::vector<double>& masses, double pe,
+                           double virial, const Box& box);
+
+/// Draws Maxwell-Boltzmann velocities at temperature T and removes the
+/// center-of-mass drift.
+void thermalize(Atoms& atoms, const std::vector<double>& masses,
+                double t_kelvin, Rng& rng);
+
+}  // namespace dpmd::md

@@ -1,0 +1,45 @@
+#include "md/thermostat.hpp"
+
+#include <cmath>
+
+#include "md/thermo.hpp"
+#include "md/units.hpp"
+
+namespace dpmd::md {
+
+LangevinThermostat::LangevinThermostat(double t_kelvin, double gamma_per_fs,
+                                       uint64_t seed)
+    : t_(t_kelvin), gamma_(gamma_per_fs), rng_(seed) {}
+
+void LangevinThermostat::apply(Atoms& atoms, const std::vector<double>& masses,
+                               double dt_fs) {
+  const double c = std::exp(-gamma_ * dt_fs);
+  const double one_minus_c2 = 1.0 - c * c;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double m = masses[static_cast<std::size_t>(
+        atoms.type[static_cast<std::size_t>(i)])];
+    const double sigma =
+        std::sqrt(one_minus_c2 * kBoltzmann * t_ / (m * kMvv2e));
+    Vec3& v = atoms.v[static_cast<std::size_t>(i)];
+    v = v * c + Vec3{rng_.normal(0.0, sigma), rng_.normal(0.0, sigma),
+                     rng_.normal(0.0, sigma)};
+  }
+}
+
+BerendsenThermostat::BerendsenThermostat(double t_kelvin, double tau_fs)
+    : t_(t_kelvin), tau_(tau_fs) {}
+
+void BerendsenThermostat::apply(Atoms& atoms,
+                                const std::vector<double>& masses,
+                                double dt_fs) {
+  const double ke = kinetic_energy(atoms, masses);
+  const double t_now = temperature_of(ke, atoms.nlocal);
+  if (t_now <= 0.0) return;
+  const double lambda =
+      std::sqrt(1.0 + dt_fs / tau_ * (t_ / t_now - 1.0));
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    atoms.v[static_cast<std::size_t>(i)] *= lambda;
+  }
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::md {
+
+/// Thermostat interface applied once per step after the force update.
+class Thermostat {
+ public:
+  virtual ~Thermostat() = default;
+  virtual void apply(Atoms& atoms, const std::vector<double>& masses,
+                     double dt_fs) = 0;
+};
+
+/// Exact Ornstein-Uhlenbeck (Langevin) velocity update:
+///   v' = c v + sqrt((1 - c^2) kB T / (m mvv2e)) xi,   c = exp(-gamma dt).
+/// Unconditionally stable; used to keep the trained Deep Potential water
+/// runs (Fig. 6) on their target isotherm.
+class LangevinThermostat final : public Thermostat {
+ public:
+  LangevinThermostat(double t_kelvin, double gamma_per_fs, uint64_t seed);
+
+  void apply(Atoms& atoms, const std::vector<double>& masses,
+             double dt_fs) override;
+
+  void set_temperature(double t_kelvin) { t_ = t_kelvin; }
+
+ private:
+  double t_;
+  double gamma_;
+  Rng rng_;
+};
+
+/// Berendsen weak-coupling rescaling thermostat.
+class BerendsenThermostat final : public Thermostat {
+ public:
+  BerendsenThermostat(double t_kelvin, double tau_fs);
+
+  void apply(Atoms& atoms, const std::vector<double>& masses,
+             double dt_fs) override;
+
+ private:
+  double t_;
+  double tau_;
+};
+
+}  // namespace dpmd::md

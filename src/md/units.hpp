@@ -1,0 +1,19 @@
+#pragma once
+
+namespace dpmd::md {
+
+/// LAMMPS-"metal"-flavoured unit system with femtosecond time:
+///   length  Angstrom, energy eV, mass g/mol, time fs, temperature K.
+///
+/// kMvv2e converts m[g/mol] * v^2[(A/fs)^2] to eV;
+/// kForceConv = 1/kMvv2e converts F/m [eV/A per g/mol] to acceleration
+/// [A/fs^2].  Matches LAMMPS' metal constants rescaled from ps to fs.
+inline constexpr double kBoltzmann = 8.617333262e-5;  // eV / K
+inline constexpr double kMvv2e = 1.0364269e-4 * 1.0e6;
+inline constexpr double kForceConv = 1.0 / kMvv2e;
+
+/// Pressure conversion: eV/A^3 -> bar (for thermo output).
+/// 1 eV/A^3 = 1.602176634e-19 J / 1e-30 m^3 = 1.602176634e11 Pa.
+inline constexpr double kEvPerA3ToBar = 1.602176634e6;
+
+}  // namespace dpmd::md

@@ -1,0 +1,33 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::nn {
+
+Adam::Adam(std::size_t nparams, Config cfg)
+    : cfg_(cfg), m_(nparams, 0.0), v_(nparams, 0.0) {}
+
+double Adam::current_lr() const {
+  return cfg_.lr * std::pow(cfg_.lr_decay, static_cast<double>(t_));
+}
+
+void Adam::step(std::vector<double>& params,
+                const std::vector<double>& grads) {
+  DPMD_REQUIRE(params.size() == m_.size() && grads.size() == m_.size(),
+               "Adam parameter count mismatch");
+  const double lr = current_lr();
+  ++t_;
+  const double b1t = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double b2t = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = cfg_.beta1 * m_[i] + (1.0 - cfg_.beta1) * grads[i];
+    v_[i] = cfg_.beta2 * v_[i] + (1.0 - cfg_.beta2) * grads[i] * grads[i];
+    const double mh = m_[i] / b1t;
+    const double vh = v_[i] / b2t;
+    params[i] -= lr * mh / (std::sqrt(vh) + cfg_.eps);
+  }
+}
+
+}  // namespace dpmd::nn

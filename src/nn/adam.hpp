@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dpmd::nn {
+
+/// Adam optimizer over a flat parameter vector.  The training loop packs all
+/// embedding/fitting parameters into one vector (Mlp::pack_params), steps,
+/// then unpacks — model training is a substrate here (the paper consumes
+/// pre-trained Deep Potential models), so simplicity beats throughput.
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Exponential learning-rate decay per step (1.0 = constant).
+  double lr_decay = 1.0;
+};
+
+class Adam {
+ public:
+  using Config = AdamConfig;
+
+  explicit Adam(std::size_t nparams, Config cfg = Config());
+
+  /// params -= lr * m_hat / (sqrt(v_hat) + eps)
+  void step(std::vector<double>& params, const std::vector<double>& grads);
+
+  std::size_t steps_taken() const { return t_; }
+  double current_lr() const;
+
+ private:
+  Config cfg_;
+  std::size_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace dpmd::nn

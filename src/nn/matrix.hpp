@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpmd::nn {
+
+/// Dense row-major 2-D buffer.  Thin by design: the hot paths operate on raw
+/// pointers through the gemm kernels; Matrix only owns storage and shape.
+template <class T>
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<T> d;
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), d(static_cast<std::size_t>(r) * c) {
+    DPMD_REQUIRE(r >= 0 && c >= 0, "negative matrix shape");
+  }
+
+  void resize(int r, int c) {
+    rows = r;
+    cols = c;
+    d.assign(static_cast<std::size_t>(r) * c, T(0));
+  }
+
+  T* data() { return d.data(); }
+  const T* data() const { return d.data(); }
+  std::size_t size() const { return d.size(); }
+
+  T& operator()(int r, int c) {
+    return d[static_cast<std::size_t>(r) * cols + c];
+  }
+  T operator()(int r, int c) const {
+    return d[static_cast<std::size_t>(r) * cols + c];
+  }
+
+  T* row(int r) { return d.data() + static_cast<std::size_t>(r) * cols; }
+  const T* row(int r) const {
+    return d.data() + static_cast<std::size_t>(r) * cols;
+  }
+
+  void zero() { std::fill(d.begin(), d.end(), T(0)); }
+};
+
+}  // namespace dpmd::nn

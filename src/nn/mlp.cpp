@@ -1,0 +1,181 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::nn {
+
+template <class T>
+void MlpGrads<T>::zero() {
+  for (auto& m : dw) m.zero();
+  for (auto& v : db) std::fill(v.begin(), v.end(), T(0));
+}
+
+template <class T>
+Mlp<T>::Mlp(std::vector<DenseLayer<T>> layers) : layers_(std::move(layers)) {
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    DPMD_REQUIRE(layers_[l].in == layers_[l - 1].out,
+                 "adjacent layer shapes do not chain");
+  }
+}
+
+template <class T>
+Mlp<T> Mlp<T>::stack(int in_dim, const std::vector<int>& hidden, int out_dim) {
+  std::vector<DenseLayer<T>> layers;
+  int cur = in_dim;
+  for (int width : hidden) {
+    Resnet r = Resnet::None;
+    if (width == cur) r = Resnet::Identity;
+    if (width == 2 * cur) r = Resnet::Doubled;
+    layers.emplace_back(cur, width, Act::Tanh, r);
+    cur = width;
+  }
+  if (out_dim > 0) {
+    layers.emplace_back(cur, out_dim, Act::Linear, Resnet::None);
+  }
+  return Mlp(std::move(layers));
+}
+
+template <class T>
+void Mlp<T>::init_random(Rng& rng) {
+  for (auto& l : layers_) {
+    // Xavier-style scaling keeps tanh units in their active range.
+    const double scale = std::sqrt(2.0 / (l.in + l.out));
+    for (auto& v : l.w.d) v = static_cast<T>(rng.normal(0.0, scale));
+    for (auto& v : l.b) v = static_cast<T>(rng.normal(0.0, 0.01));
+  }
+  finalize();
+}
+
+template <class T>
+void Mlp<T>::finalize() {
+  for (auto& l : layers_) l.finalize();
+}
+
+template <class T>
+std::size_t Mlp<T>::param_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.param_count();
+  return n;
+}
+
+template <class T>
+void Mlp<T>::ensure_cache(int batch, MlpCache<T>& cache) const {
+  const std::size_t L = layers_.size();
+  if (cache.acts.size() != L + 1) {
+    cache.acts.resize(L + 1);
+    cache.hs.resize(L);
+    cache.grads.resize(L + 1);
+  }
+  if (cache.acts[0].rows < batch || cache.acts[0].cols != input_dim()) {
+    cache.acts[0].resize(batch, input_dim());
+    cache.grads[0].resize(batch, input_dim());
+    for (std::size_t l = 0; l < L; ++l) {
+      cache.acts[l + 1].resize(batch, layers_[l].out);
+      cache.hs[l].resize(batch, layers_[l].out);
+      cache.grads[l + 1].resize(batch, layers_[l].out);
+    }
+  }
+}
+
+template <class T>
+void Mlp<T>::forward(const T* x, T* y, int batch, MlpCache<T>& cache,
+                     GemmKind kind, GemmKind first_kind) const {
+  DPMD_REQUIRE(!layers_.empty(), "empty network");
+  ensure_cache(batch, cache);
+  std::copy(x, x + static_cast<std::size_t>(batch) * input_dim(),
+            cache.acts[0].data());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].forward(cache.acts[l].data(), cache.acts[l + 1].data(),
+                       cache.hs[l].data(), batch,
+                       l == 0 ? first_kind : kind);
+  }
+  std::copy(cache.acts.back().data(),
+            cache.acts.back().data() +
+                static_cast<std::size_t>(batch) * output_dim(),
+            y);
+}
+
+template <class T>
+void Mlp<T>::backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
+                            GemmKind kind) const {
+  const std::size_t L = layers_.size();
+  std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
+            cache.grads[L].data());
+  for (std::size_t l = L; l-- > 0;) {
+    layers_[l].backward_input(cache.grads[l + 1].data(), cache.hs[l].data(),
+                              cache.grads[l].data(), batch, kind,
+                              cache.scratch);
+  }
+  std::copy(cache.grads[0].data(),
+            cache.grads[0].data() +
+                static_cast<std::size_t>(batch) * input_dim(),
+            dx);
+}
+
+template <class T>
+void Mlp<T>::backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,
+                           MlpGrads<T>& grads, GemmKind kind) const {
+  const std::size_t L = layers_.size();
+  DPMD_REQUIRE(grads.dw.size() == L, "grads not created for this net");
+  std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
+            cache.grads[L].data());
+  for (std::size_t l = L; l-- > 0;) {
+    layers_[l].backward_full(cache.acts[l].data(), cache.grads[l + 1].data(),
+                             cache.hs[l].data(), cache.grads[l].data(),
+                             grads.dw[l], grads.db[l], batch, kind,
+                             cache.scratch);
+  }
+  if (dx != nullptr) {
+    std::copy(cache.grads[0].data(),
+              cache.grads[0].data() +
+                  static_cast<std::size_t>(batch) * input_dim(),
+              dx);
+  }
+}
+
+template <class T>
+MlpGrads<T> Mlp<T>::make_grads() const {
+  MlpGrads<T> g;
+  g.dw.reserve(layers_.size());
+  g.db.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    g.dw.emplace_back(l.in, l.out);
+    g.db.emplace_back(static_cast<std::size_t>(l.out), T(0));
+  }
+  return g;
+}
+
+template <class T>
+std::vector<T> Mlp<T>::pack_params() const {
+  std::vector<T> flat;
+  flat.reserve(param_count());
+  for (const auto& l : layers_) {
+    flat.insert(flat.end(), l.w.d.begin(), l.w.d.end());
+    flat.insert(flat.end(), l.b.begin(), l.b.end());
+  }
+  return flat;
+}
+
+template <class T>
+void Mlp<T>::unpack_params(const std::vector<T>& flat) {
+  DPMD_REQUIRE(flat.size() == param_count(), "parameter blob size mismatch");
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    std::copy(flat.begin() + off, flat.begin() + off + l.w.size(),
+              l.w.d.begin());
+    off += l.w.size();
+    std::copy(flat.begin() + off, flat.begin() + off + l.b.size(),
+              l.b.begin());
+    off += l.b.size();
+  }
+  finalize();
+}
+
+template class Mlp<float>;
+template class Mlp<double>;
+template struct MlpGrads<float>;
+template struct MlpGrads<double>;
+
+}  // namespace dpmd::nn

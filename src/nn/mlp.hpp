@@ -1,0 +1,114 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::nn {
+
+/// Forward-pass cache for one MLP evaluation; reused across calls so the
+/// steady state performs no allocation (paper §III-B1: "memory for all
+/// computations is allocated in the initial phase").
+template <class T>
+struct MlpCache {
+  /// acts[0] is the input, acts[l+1] the output of layer l.
+  std::vector<Matrix<T>> acts;
+  /// hs[l] is layer l's activated output before the resnet skip.
+  std::vector<Matrix<T>> hs;
+  /// per-layer gradient buffers for backward
+  std::vector<Matrix<T>> grads;
+  std::vector<T> scratch;
+};
+
+/// Gradients of all parameters of an Mlp (same shapes as the layers).
+template <class T>
+struct MlpGrads {
+  std::vector<Matrix<T>> dw;
+  std::vector<std::vector<T>> db;
+
+  void zero();
+};
+
+/// A plain multilayer perceptron assembled from DenseLayer.  Both DeePMD
+/// sub-networks are instances of this:
+///  * embedding net: 1 -> 25 -> 50 -> 100, tanh, Doubled skips;
+///  * fitting net:   D -> 240 -> 240 -> 240 -> 1, tanh + Identity skips,
+///    linear final layer.
+template <class T>
+class Mlp {
+ public:
+  Mlp() = default;
+  explicit Mlp(std::vector<DenseLayer<T>> layers);
+
+  /// Standard DeePMD-style stack: hidden widths with tanh and automatic
+  /// resnet skips (Identity when width repeats, Doubled when it doubles),
+  /// then a linear output layer if out_dim > 0.
+  static Mlp stack(int in_dim, const std::vector<int>& hidden, int out_dim);
+
+  int input_dim() const { return layers_.empty() ? 0 : layers_.front().in; }
+  int output_dim() const { return layers_.empty() ? 0 : layers_.back().out; }
+  const std::vector<DenseLayer<T>>& layers() const { return layers_; }
+  std::vector<DenseLayer<T>>& layers() { return layers_; }
+
+  void init_random(Rng& rng);
+  void finalize();  ///< rebuild transposed/fp16 weights on every layer
+
+  std::size_t param_count() const;
+
+  /// y (batch x out) = net(x) (batch x in); fills cache for backward.
+  /// `first_kind` lets the first layer use a different GEMM backend — the
+  /// paper's MIX-fp16 converts only the first fitting-net GEMM to fp16.
+  void forward(const T* x, T* y, int batch, MlpCache<T>& cache,
+               GemmKind kind) const {
+    forward(x, y, batch, cache, kind, kind);
+  }
+  void forward(const T* x, T* y, int batch, MlpCache<T>& cache, GemmKind kind,
+               GemmKind first_kind) const;
+
+  /// Given dL/dy, returns dL/dx in dx (batch x in).  Requires the cache of
+  /// the matching forward call.
+  void backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
+                      GemmKind kind) const;
+
+  /// Training backward: also accumulates parameter gradients.
+  void backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,
+                     MlpGrads<T>& grads, GemmKind kind) const;
+
+  MlpGrads<T> make_grads() const;
+
+  /// Flattened parameter access for the optimizer / serialization.
+  std::vector<T> pack_params() const;
+  void unpack_params(const std::vector<T>& flat);
+
+  /// Precision conversion (model master copy is double).
+  template <class U>
+  Mlp<U> cast() const {
+    std::vector<DenseLayer<U>> out;
+    out.reserve(layers_.size());
+    for (const auto& l : layers_) {
+      DenseLayer<U> c(l.in, l.out, l.act, l.resnet);
+      for (std::size_t i = 0; i < l.w.size(); ++i) {
+        c.w.d[i] = static_cast<U>(l.w.d[i]);
+      }
+      for (std::size_t i = 0; i < l.b.size(); ++i) {
+        c.b[i] = static_cast<U>(l.b[i]);
+      }
+      c.finalize();
+      out.push_back(std::move(c));
+    }
+    return Mlp<U>(std::move(out));
+  }
+
+ private:
+  void ensure_cache(int batch, MlpCache<T>& cache) const;
+
+  std::vector<DenseLayer<T>> layers_;
+};
+
+extern template class Mlp<float>;
+extern template class Mlp<double>;
+extern template struct MlpGrads<float>;
+extern template struct MlpGrads<double>;
+
+}  // namespace dpmd::nn

@@ -1,0 +1,25 @@
+#include "nn/tflike/graph.hpp"
+
+namespace dpmd::tflike {
+
+int Graph::placeholder(std::string name) {
+  nodes_.push_back({Node::Kind::Placeholder, std::move(name), nullptr, {}, {}});
+  return size() - 1;
+}
+
+int Graph::constant(std::string name, Tensor value) {
+  nodes_.push_back(
+      {Node::Kind::Constant, std::move(name), nullptr, {}, std::move(value)});
+  return size() - 1;
+}
+
+int Graph::op(std::string name, OpFn fn, std::vector<int> inputs) {
+  for (const int in : inputs) {
+    DPMD_REQUIRE(in >= 0 && in < size(), "op input out of range: " + name);
+  }
+  nodes_.push_back(
+      {Node::Kind::Op, std::move(name), std::move(fn), std::move(inputs), {}});
+  return size() - 1;
+}
+
+}  // namespace dpmd::tflike

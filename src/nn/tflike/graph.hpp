@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpmd::tflike {
+
+/// Dynamically shaped fp64 tensor (rank <= 2 is all the DP graph needs).
+/// Unlike the optimized kernels, every op run allocates a fresh output
+/// tensor — reproducing the allocation behaviour the paper attributes part
+/// of the TensorFlow overhead to.
+struct Tensor {
+  std::vector<int> shape;
+  std::vector<double> data;
+
+  Tensor() = default;
+  Tensor(int r, int c) : shape{r, c}, data(static_cast<std::size_t>(r) * c) {}
+
+  int rows() const { return shape.empty() ? 0 : shape[0]; }
+  int cols() const { return shape.size() < 2 ? 1 : shape[1]; }
+  std::size_t numel() const { return data.size(); }
+
+  double& at(int r, int c) {
+    return data[static_cast<std::size_t>(r) * cols() + c];
+  }
+  double at(int r, int c) const {
+    return data[static_cast<std::size_t>(r) * cols() + c];
+  }
+};
+
+/// Type-erased kernel: inputs are borrowed, output is freshly allocated by
+/// the session before the call.
+using OpFn = std::function<void(const std::vector<const Tensor*>&, Tensor&)>;
+
+/// Static dataflow graph, built once at initialization (the paper's
+/// baseline builds its TensorFlow graph once and then pays per-session-run
+/// costs; we reproduce exactly that split).
+class Graph {
+ public:
+  struct Node {
+    enum class Kind { Placeholder, Constant, Op };
+    Kind kind;
+    std::string name;
+    OpFn fn;                  // Kind::Op only
+    std::vector<int> inputs;  // Kind::Op only
+    Tensor value;             // Kind::Constant only
+  };
+
+  int placeholder(std::string name);
+  int constant(std::string name, Tensor value);
+  int op(std::string name, OpFn fn, std::vector<int> inputs);
+
+  const Node& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dpmd::tflike

@@ -1,0 +1,194 @@
+#include "nn/tflike/ops.hpp"
+
+#include <cmath>
+
+namespace dpmd::tflike::ops {
+
+OpFn matmul(bool transpose_a, bool transpose_b) {
+  return [transpose_a, transpose_b](const std::vector<const Tensor*>& in,
+                                    Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2, "matmul needs 2 inputs");
+    const Tensor& a = *in[0];
+    const Tensor& b = *in[1];
+    const int m = transpose_a ? a.cols() : a.rows();
+    const int ka = transpose_a ? a.rows() : a.cols();
+    const int kb = transpose_b ? b.cols() : b.rows();
+    const int n = transpose_b ? b.rows() : b.cols();
+    DPMD_REQUIRE(ka == kb, "matmul inner dimensions differ");
+    out = Tensor(m, n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int p = 0; p < ka; ++p) {
+          const double av = transpose_a ? a.at(p, i) : a.at(i, p);
+          const double bv = transpose_b ? b.at(j, p) : b.at(p, j);
+          acc += av * bv;
+        }
+        out.at(i, j) = acc;
+      }
+    }
+  };
+}
+
+OpFn add() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2 && in[0]->numel() == in[1]->numel(),
+                 "add shape mismatch");
+    out = *in[0];
+    for (std::size_t i = 0; i < out.data.size(); ++i) {
+      out.data[i] += in[1]->data[i];
+    }
+  };
+}
+
+OpFn sub() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2 && in[0]->numel() == in[1]->numel(),
+                 "sub shape mismatch");
+    out = *in[0];
+    for (std::size_t i = 0; i < out.data.size(); ++i) {
+      out.data[i] -= in[1]->data[i];
+    }
+  };
+}
+
+OpFn mul() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2 && in[0]->numel() == in[1]->numel(),
+                 "mul shape mismatch");
+    out = *in[0];
+    for (std::size_t i = 0; i < out.data.size(); ++i) {
+      out.data[i] *= in[1]->data[i];
+    }
+  };
+}
+
+OpFn scale(double s) {
+  return [s](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 1, "scale needs 1 input");
+    out = *in[0];
+    for (auto& v : out.data) v *= s;
+  };
+}
+
+OpFn add_bias() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2, "add_bias needs 2 inputs");
+    const Tensor& x = *in[0];
+    const Tensor& b = *in[1];
+    DPMD_REQUIRE(b.numel() == static_cast<std::size_t>(x.cols()),
+                 "bias width mismatch");
+    out = x;
+    for (int r = 0; r < x.rows(); ++r) {
+      for (int c = 0; c < x.cols(); ++c) out.at(r, c) += b.data[static_cast<std::size_t>(c)];
+    }
+  };
+}
+
+OpFn tanh_op() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 1, "tanh needs 1 input");
+    out = *in[0];
+    for (auto& v : out.data) v = std::tanh(v);
+  };
+}
+
+OpFn tanh_grad() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2 && in[0]->numel() == in[1]->numel(),
+                 "tanh_grad shape mismatch");
+    out = *in[0];  // dy
+    const Tensor& y = *in[1];
+    for (std::size_t i = 0; i < out.data.size(); ++i) {
+      out.data[i] *= 1.0 - y.data[i] * y.data[i];
+    }
+  };
+}
+
+OpFn concat_cols() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 2 && in[0]->rows() == in[1]->rows(),
+                 "concat_cols row mismatch");
+    const Tensor& a = *in[0];
+    const Tensor& b = *in[1];
+    out = Tensor(a.rows(), a.cols() + b.cols());
+    for (int r = 0; r < a.rows(); ++r) {
+      for (int c = 0; c < a.cols(); ++c) out.at(r, c) = a.at(r, c);
+      for (int c = 0; c < b.cols(); ++c) out.at(r, a.cols() + c) = b.at(r, c);
+    }
+  };
+}
+
+OpFn concat_rows() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(!in.empty(), "concat_rows needs inputs");
+    int rows = 0;
+    const int cols = in[0]->cols();
+    for (const Tensor* t : in) {
+      DPMD_REQUIRE(t->cols() == cols, "concat_rows col mismatch");
+      rows += t->rows();
+    }
+    out = Tensor(rows, cols);
+    int at = 0;
+    for (const Tensor* t : in) {
+      for (int r = 0; r < t->rows(); ++r, ++at) {
+        for (int c = 0; c < cols; ++c) out.at(at, c) = t->at(r, c);
+      }
+    }
+  };
+}
+
+OpFn slice_cols(int from, int to) {
+  return [from, to](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 1 && from >= 0 && to <= in[0]->cols() &&
+                     from < to,
+                 "bad column slice");
+    const Tensor& x = *in[0];
+    out = Tensor(x.rows(), to - from);
+    for (int r = 0; r < x.rows(); ++r) {
+      for (int c = from; c < to; ++c) out.at(r, c - from) = x.at(r, c);
+    }
+  };
+}
+
+OpFn slice_rows(int from, int to) {
+  return [from, to](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 1 && from >= 0 && to <= in[0]->rows() &&
+                     from < to,
+                 "bad row slice");
+    const Tensor& x = *in[0];
+    out = Tensor(to - from, x.cols());
+    for (int r = from; r < to; ++r) {
+      for (int c = 0; c < x.cols(); ++c) out.at(r - from, c) = x.at(r, c);
+    }
+  };
+}
+
+OpFn reshape(int rows, int cols) {
+  return [rows, cols](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 1 && in[0]->numel() ==
+                     static_cast<std::size_t>(rows) * cols,
+                 "reshape numel mismatch");
+    out = Tensor(rows, cols);
+    out.data = in[0]->data;
+  };
+}
+
+OpFn zeros_like_shape(int rows, int cols) {
+  return [rows, cols](const std::vector<const Tensor*>& in, Tensor& out) {
+    (void)in;
+    out = Tensor(rows, cols);
+  };
+}
+
+OpFn reduce_sum_all() {
+  return [](const std::vector<const Tensor*>& in, Tensor& out) {
+    DPMD_REQUIRE(in.size() == 1, "reduce_sum needs 1 input");
+    out = Tensor(1, 1);
+    double acc = 0.0;
+    for (const double v : in[0]->data) acc += v;
+    out.at(0, 0) = acc;
+  };
+}
+
+}  // namespace dpmd::tflike::ops

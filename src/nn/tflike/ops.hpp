@@ -1,0 +1,29 @@
+#pragma once
+
+#include "nn/tflike/graph.hpp"
+
+namespace dpmd::tflike::ops {
+
+/// Kernel library for the TFLike graph.  Each factory returns a type-erased
+/// OpFn; shapes are checked at run time (as a dynamic-graph framework
+/// would).  matmul supports the transpose flags so the baseline graph can
+/// use the GEMM-NT form that TensorFlow's autograd emits — the very form
+/// the paper's NT->NN preprocessing eliminates.
+
+OpFn matmul(bool transpose_a = false, bool transpose_b = false);
+OpFn add();             ///< elementwise, same shape
+OpFn sub();
+OpFn mul();             ///< elementwise (Hadamard)
+OpFn scale(double s);
+OpFn add_bias();        ///< inputs: x (r x c), bias (1 x c)
+OpFn tanh_op();
+OpFn tanh_grad();       ///< inputs: dy, y(=tanh out) -> dy * (1 - y^2)
+OpFn concat_cols();     ///< inputs: a (r x ca), b (r x cb) -> r x (ca+cb)
+OpFn concat_rows();     ///< variadic
+OpFn slice_cols(int from, int to);
+OpFn slice_rows(int from, int to);
+OpFn reshape(int rows, int cols);
+OpFn zeros_like_shape(int rows, int cols);
+OpFn reduce_sum_all();  ///< -> 1 x 1
+
+}  // namespace dpmd::tflike::ops

@@ -1,0 +1,119 @@
+#include "nn/tflike/session.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dpmd::tflike {
+
+Session::Session(const Graph& graph) : graph_(graph) {}
+
+std::vector<Tensor> Session::run(
+    const std::vector<std::pair<int, Tensor>>& feeds,
+    const std::vector<int>& fetches) {
+  ++stats_.runs;
+
+  // 1. Prune: reverse reachability from the fetches (recomputed every run,
+  //    as the TF executor's per-run setup does).
+  std::vector<char> needed(static_cast<std::size_t>(graph_.size()), 0);
+  {
+    std::vector<int> stack(fetches);
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      if (needed[static_cast<std::size_t>(id)]) continue;
+      needed[static_cast<std::size_t>(id)] = 1;
+      for (const int in : graph_.node(id).inputs) stack.push_back(in);
+    }
+  }
+
+  // 2. Per-run value store; feeds and constants seed it.
+  std::unordered_map<int, Tensor> values;
+  values.reserve(static_cast<std::size_t>(graph_.size()));
+  for (const auto& [id, tensor] : feeds) {
+    DPMD_REQUIRE(graph_.node(id).kind == Graph::Node::Kind::Placeholder,
+                 "feed target is not a placeholder");
+    values[id] = tensor;  // copy, as TF feeds copy into the runtime
+  }
+
+  // 3. Dependency counting + mutex-guarded ready queue (single worker: the
+  //    caller), mirroring the executor's scheduling structure.
+  std::vector<int> pending(static_cast<std::size_t>(graph_.size()), 0);
+  std::deque<int> ready;
+  std::mutex queue_mu;
+  std::vector<std::vector<int>> consumers(
+      static_cast<std::size_t>(graph_.size()));
+
+  for (int id = 0; id < graph_.size(); ++id) {
+    if (!needed[static_cast<std::size_t>(id)]) continue;
+    const auto& node = graph_.node(id);
+    switch (node.kind) {
+      case Graph::Node::Kind::Placeholder:
+        DPMD_REQUIRE(values.count(id) > 0,
+                     "missing feed for placeholder " + node.name);
+        break;
+      case Graph::Node::Kind::Constant:
+        break;
+      case Graph::Node::Kind::Op: {
+        int unmet = 0;
+        for (const int in : node.inputs) {
+          if (graph_.node(in).kind == Graph::Node::Kind::Op) {
+            ++unmet;
+            consumers[static_cast<std::size_t>(in)].push_back(id);
+          }
+        }
+        pending[static_cast<std::size_t>(id)] = unmet;
+        if (unmet == 0) {
+          std::lock_guard lock(queue_mu);
+          ready.push_back(id);
+        }
+        break;
+      }
+    }
+  }
+
+  const auto value_of = [&](int id) -> const Tensor* {
+    const auto& node = graph_.node(id);
+    if (node.kind == Graph::Node::Kind::Constant) return &node.value;
+    return &values.at(id);
+  };
+
+  // 4. Execute.
+  for (;;) {
+    int id = -1;
+    {
+      std::lock_guard lock(queue_mu);
+      if (ready.empty()) break;
+      id = ready.front();
+      ready.pop_front();
+    }
+    const auto& node = graph_.node(id);
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(node.inputs.size());
+    for (const int in : node.inputs) inputs.push_back(value_of(in));
+
+    Tensor out;  // freshly allocated output per op per run
+    node.fn(inputs, out);
+    ++stats_.op_executions;
+    ++stats_.tensors_allocated;
+    stats_.bytes_allocated += out.numel() * sizeof(double);
+    values[id] = std::move(out);
+
+    for (const int consumer : consumers[static_cast<std::size_t>(id)]) {
+      if (--pending[static_cast<std::size_t>(consumer)] == 0) {
+        std::lock_guard lock(queue_mu);
+        ready.push_back(consumer);
+      }
+    }
+  }
+
+  std::vector<Tensor> results;
+  results.reserve(fetches.size());
+  for (const int id : fetches) {
+    results.push_back(*value_of(id));
+  }
+  return results;
+}
+
+}  // namespace dpmd::tflike

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <utility>
+
+#include "nn/tflike/graph.hpp"
+
+namespace dpmd::tflike {
+
+/// Cumulative executor statistics — the measurable footprint of the
+/// framework overhead the paper removes (§III-B1).
+struct SessionStats {
+  std::size_t runs = 0;
+  std::size_t op_executions = 0;
+  std::size_t tensors_allocated = 0;
+  std::size_t bytes_allocated = 0;
+};
+
+/// Graph executor modeled on the TensorFlow single-threaded executor:
+/// every run() prunes the graph to the fetched subgraph, schedules ready
+/// ops through a mutex-guarded queue, type-erases each kernel call, and
+/// allocates every intermediate tensor fresh.  None of these costs exist in
+/// the rewritten direct kernels, which is precisely the "TensorFlow
+/// removal" speedup of Fig. 9.
+class Session {
+ public:
+  explicit Session(const Graph& graph);
+
+  std::vector<Tensor> run(const std::vector<std::pair<int, Tensor>>& feeds,
+                          const std::vector<int>& fetches);
+
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  const Graph& graph_;
+  SessionStats stats_;
+};
+
+}  // namespace dpmd::tflike

@@ -1,0 +1,192 @@
+#include "perfmodel/perfmodel.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd::perf {
+
+SystemSpec copper_system() {
+  SystemSpec s;
+  s.name = "copper";
+  s.natoms = 0.54e6;
+  s.density = 0.0847;  // fcc Cu, atoms/A^3
+  s.rcut = 8.0;
+  s.nnei = 512;
+  s.dt_fs = 1.0;
+  return s;
+}
+
+SystemSpec water_system() {
+  SystemSpec s;
+  s.name = "water";
+  s.natoms = 0.56e6;
+  s.density = 0.1003;  // 1 g/cm^3, atoms/A^3 (O+2H)
+  s.rcut = 6.0;
+  s.nnei = 138;  // padded sel rows (46 H + 92 O) processed per atom
+  s.dt_fs = 0.5;
+  return s;
+}
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::BaselineTf: return "baseline";
+    case Variant::RmtfFp64: return "rmtf-fp64";
+    case Variant::BlasFp32: return "blas-fp32";
+    case Variant::SveFp32: return "sve-fp32";
+    case Variant::SveFp16: return "sve-fp16";
+    case Variant::CommNolb: return "comm_nolb";
+    case Variant::CommLb: return "comm_lb";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fitting-net flops (fwd + data backward) per atom.
+double fitting_flops(const SystemSpec& sys) {
+  double f = 0.0;
+  int prev = sys.m1 * sys.m2;
+  for (const int w : sys.fit_widths) {
+    f += 2.0 * prev * w;
+    prev = w;
+  }
+  f += 2.0 * prev;       // final linear layer to 1
+  return 3.0 * f;        // forward + NT backward ~ 2x forward
+}
+
+/// Everything else: env build, compression tables, descriptor contractions,
+/// force chain (fwd + backward) per atom.
+double kernel_flops(const SystemSpec& sys) {
+  const double contractions = 3.0 * 2.0 * sys.nnei * 4.0 * sys.m1;  // A, dG, dR
+  const double dmat = 2.0 * 2.0 * 4.0 * sys.m1 * sys.m2;            // D, dA
+  const double table = 14.0 * sys.nnei * sys.m1;
+  const double env_chain = 60.0 * sys.nnei;
+  return contractions + dmat + table + env_chain;
+}
+
+}  // namespace
+
+double dp_flops_per_atom(const SystemSpec& sys) {
+  return fitting_flops(sys) + kernel_flops(sys);
+}
+
+double per_atom_time(const SystemSpec& sys, Variant v,
+                     const A64fxParams& cpu) {
+  const double fit = fitting_flops(sys);
+  const double rest = kernel_flops(sys);
+  const double gemm_rate = cpu.fp64_flops_per_core * cpu.gemm_efficiency;
+  const double kern_rate = cpu.fp64_flops_per_core * cpu.kernel_efficiency;
+
+  const double t_fit = fit / gemm_rate;
+  const double t_rest = rest / kern_rate;
+  // Latency-bound per-atom cost: unaffected by precision or GEMM choice.
+  const double t_ovh = cpu.per_atom_overhead_s;
+
+  // Share of the fitting time in the first layer (the only one fp16 touches).
+  const double first_share =
+      (2.0 * sys.m1 * sys.m2 * sys.fit_widths[0]) / (fitting_flops(sys) / 3.0);
+
+  switch (v) {
+    case Variant::BaselineTf:
+      // The framework executes redundant gradient/slice/concat kernels on
+      // top of the useful math (paper: rmtf alone is a 2.8x-5.2x win; the
+      // fixed per-session cost is added at the step level).
+      return 2.2 * (t_fit + t_rest) + t_ovh;
+    case Variant::RmtfFp64:
+      return t_fit + t_rest + t_ovh;
+    case Variant::BlasFp32:
+      return (t_fit + t_rest) / cpu.fp32_speedup + t_ovh;
+    case Variant::SveFp32:
+      return (t_fit / cpu.sve_gemm_speedup + t_rest) / cpu.fp32_speedup +
+             t_ovh;
+    case Variant::SveFp16:
+    case Variant::CommNolb:
+    case Variant::CommLb: {
+      const double fp16_factor =
+          first_share / cpu.fp16_gemm_speedup + (1.0 - first_share);
+      return (t_fit * fp16_factor / cpu.sve_gemm_speedup + t_rest) /
+                 cpu.fp32_speedup +
+             t_ovh;
+    }
+  }
+  return t_fit + t_rest + t_ovh;
+}
+
+double ns_per_day(double step_s, double dt_fs) {
+  const double steps_per_day = 86400.0 / step_s;
+  return steps_per_day * dt_fs * 1.0e-6;
+}
+
+StepCost predict_step(const SystemSpec& sys,
+                      const std::array<int, 3>& node_grid, Variant variant,
+                      const A64fxParams& cpu, const tofu::MachineParams& net) {
+  StepCost out;
+  const double nodes = static_cast<double>(node_grid[0]) * node_grid[1] *
+                       node_grid[2];
+  const double ranks = nodes * cpu.ranks_per_node;
+  const double threads_per_rank =
+      static_cast<double>(cpu.cores_per_node) / cpu.ranks_per_node;
+
+  // --- busiest core (extreme-value estimate of the multinomial spread) ---
+  const bool lb = variant == Variant::CommLb;
+  double busiest_unit_atoms;
+  double unit_threads;
+  if (lb) {
+    const double mean = sys.natoms / nodes;
+    busiest_unit_atoms = mean + std::sqrt(2.0 * std::log(nodes) * mean);
+    unit_threads = cpu.cores_per_node;
+  } else {
+    const double mean = sys.natoms / ranks;
+    busiest_unit_atoms = mean + std::sqrt(2.0 * std::log(ranks) * mean);
+    unit_threads = threads_per_rank;
+  }
+  // Atom-by-atom evaluation: the busiest thread pays whole atoms.
+  out.busiest_core_atoms = std::ceil(busiest_unit_atoms / unit_threads);
+  out.compute_s = out.busiest_core_atoms * per_atom_time(sys, variant, cpu);
+
+  // --- communication -----------------------------------------------------
+  comm::DecompGeometry geom;
+  geom.rcut = sys.rcut;
+  geom.rank_grid = {node_grid[0] * 2, node_grid[1] * 2, node_grid[2]};
+  geom.ranks_per_node = {2, 2, 1};
+  const double volume = sys.natoms / sys.density;
+  const double sub_side = std::cbrt(volume / ranks);
+  geom.sub_box = {sub_side, sub_side, sub_side};
+
+  comm::SchemeConfig scfg;
+  scfg.atom_density = sys.density;
+  tofu::CommPlan plan;
+  if (variant == Variant::CommNolb || variant == Variant::CommLb) {
+    scfg.leaders = 4;
+    scfg.comm_threads_per_leader = 6;
+    scfg.lb_broadcast = lb;
+    plan = comm::plan_node_based(geom, scfg);
+  } else {
+    scfg.api = tofu::Api::Mpi;
+    plan = comm::plan_three_stage(geom, scfg);
+  }
+  out.comm_s = comm::cost_of(plan, geom, net).total_s;
+
+  // --- bookkeeping ---------------------------------------------------------
+  // Neighbor-list rebuild every 50 steps, ~40 flops per candidate pair with
+  // skin, amortized; integration and thermo are negligible next to it.
+  const double atoms_per_core = sys.natoms / (nodes * cpu.cores_per_node);
+  const double rebuild =
+      atoms_per_core * sys.nnei * 1.7 * 40.0 /
+      (cpu.fp64_flops_per_core * cpu.kernel_efficiency) / 50.0;
+  out.other_s = rebuild;
+  const bool threadpool =
+      variant == Variant::CommNolb || variant == Variant::CommLb;
+  if (!threadpool) out.other_s += cpu.openmp_overhead_s;
+
+  if (variant == Variant::BaselineTf) {
+    out.framework_s = cpu.framework_overhead_s;
+  }
+
+  out.total_s = out.compute_s + out.comm_s + out.other_s + out.framework_s;
+  out.ns_per_day = ns_per_day(out.total_s, sys.dt_fs);
+  return out;
+}
+
+}  // namespace dpmd::perf

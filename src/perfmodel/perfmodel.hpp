@@ -1,0 +1,89 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "comm/plans.hpp"
+#include "tofu/params.hpp"
+
+namespace dpmd::perf {
+
+/// A64FX compute-side constants.  Peak numbers are published specs; the
+/// efficiency factors are the calibration knobs (documented per experiment
+/// in EXPERIMENTS.md) that map kernel flop counts to sustained time.
+struct A64fxParams {
+  double fp64_flops_per_core = 70.4e9;  ///< [spec] 2.2 GHz x 32 dp flop/cyc
+  int cores_per_node = 48;
+  int ranks_per_node = 4;
+  double gemm_efficiency = 0.30;    ///< fitting-net GEMM fraction of peak
+  double kernel_efficiency = 0.105;  ///< env build / contractions / chains
+  double fp32_speedup = 1.6;        ///< measured by the paper (double->fp32)
+  double fp16_gemm_speedup = 1.5;   ///< MIX-fp32 -> MIX-fp16 on the fitting GEMM
+  double sve_gemm_speedup = 1.3;    ///< sve-gemm vs BLAS at M <= 3
+  /// Latency/memory-bound per-atom cost that does not scale with flops
+  /// (env assembly, list traversal, per-atom dispatch).  Calibrated so the
+  /// water and copper steps land near the paper's ~0.6 ms (EXPERIMENTS.md).
+  double per_atom_overhead_s = 70e-6;
+  /// Fixed TensorFlow session overhead per thread-step (paper: ~4 ms).
+  double framework_overhead_s = 4.0e-3;
+  /// OpenMP region management overhead per step (removed by the threadpool).
+  double openmp_overhead_s = 60e-6;
+};
+
+/// Physical system of the evaluation (Table I / Fig. 11 rows).
+struct SystemSpec {
+  std::string name;
+  double natoms = 0;
+  double density = 0;     ///< atoms / A^3
+  double rcut = 8.0;      ///< A
+  double nnei = 512;      ///< average neighbors within rcut
+  double dt_fs = 1.0;
+  int m1 = 100;
+  int m2 = 16;
+  std::array<int, 3> fit_widths = {240, 240, 240};
+};
+
+/// The two benchmark systems of the paper's evaluation.
+SystemSpec copper_system();  ///< 0.54 M atoms, rcut 8 A, 1 fs
+SystemSpec water_system();   ///< 0.56 M atoms, rcut 6 A, 0.5 fs
+
+/// The Fig. 9 ladder of compute variants.
+enum class Variant {
+  BaselineTf,  ///< TensorFlow framework + fp64 + BLAS
+  RmtfFp64,    ///< framework removed, fp64, BLAS
+  BlasFp32,    ///< MIX-fp32, BLAS
+  SveFp32,     ///< MIX-fp32, sve-gemm
+  SveFp16,     ///< MIX-fp16, fp16-sve-gemm
+  CommNolb,    ///< + node-based comm + threadpool
+  CommLb,      ///< + intra-node load balance
+};
+const char* variant_name(Variant v);
+
+/// Flop count of one atom's optimized DP evaluation (forward + force
+/// backward, compressed embedding).
+double dp_flops_per_atom(const SystemSpec& sys);
+
+/// Sustained per-atom evaluation time on one A64FX core for a variant.
+double per_atom_time(const SystemSpec& sys, Variant v, const A64fxParams& cpu);
+
+struct StepCost {
+  double compute_s = 0;
+  double comm_s = 0;
+  double other_s = 0;  ///< neighbor rebuild (amortized), integration, misc
+  double framework_s = 0;
+  double total_s = 0;
+  double ns_per_day = 0;
+  double busiest_core_atoms = 0;
+};
+
+/// Predicts one MD step at scale: compute on the busiest core (extreme-value
+/// estimate of the multinomial imbalance, node-level when load balance is
+/// on), plus the communication plan cost, plus amortized bookkeeping.
+StepCost predict_step(const SystemSpec& sys, const std::array<int, 3>& node_grid,
+                      Variant variant, const A64fxParams& cpu,
+                      const tofu::MachineParams& net);
+
+/// ns/day from a step time and timestep.
+double ns_per_day(double step_s, double dt_fs);
+
+}  // namespace dpmd::perf

@@ -1,0 +1,115 @@
+#include "runtime/threadpool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dpmd::rt {
+
+ThreadPool::ThreadPool(unsigned nthreads) {
+  if (nthreads == 0) {
+    nthreads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const unsigned nworkers = nthreads - 1;  // caller participates as thread 0
+  slots_ = std::vector<WorkerSlot>(nworkers);
+  workers_.reserve(nworkers);
+  for (unsigned i = 0; i < nworkers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    remaining_.store(static_cast<unsigned>(workers_.size()),
+                     std::memory_order_release);
+    job_generation_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+
+  fn(0);  // caller works too
+
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock lock(done_mu_);
+    done_cv_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               job_generation_.load(std::memory_order_acquire) !=
+                   seen_generation;
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      seen_generation = job_generation_.load(std::memory_order_acquire);
+      job = job_;
+    }
+    if (job != nullptr) (*job)(id);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
+  const unsigned parts = size();
+  if (n == 0) return;
+  if (parts == 1 || n == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  run_on_all([&](unsigned tid) {
+    const Range r = partition(n, parts, tid);
+    if (r.begin < r.end) fn(r.begin, r.end, tid);
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_ranges(n, [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+Range partition(std::size_t n, unsigned parts, unsigned index) {
+  DPMD_REQUIRE(parts > 0 && index < parts, "bad partition index");
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin =
+      static_cast<std::size_t>(index) * base + std::min<std::size_t>(index, extra);
+  const std::size_t len = base + (index < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace dpmd::rt

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpmd::rt {
+
+/// Persistent thread pool replacing OpenMP's fork/join regions (paper
+/// §III-D2): worker threads are created once and stay hot between parallel
+/// blocks, so the per-region management overhead that OpenMP pays on every
+/// `#pragma omp parallel` is eliminated.  Workers spin briefly before
+/// parking on a condition variable, mirroring the "threads always running"
+/// behaviour of the paper's threadpool.
+class ThreadPool {
+ public:
+  /// nthreads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned nthreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(thread_id) on all pool threads (including the caller as thread
+  /// 0) and blocks until every invocation returned.
+  void run_on_all(const std::function<void(unsigned)>& fn);
+
+  /// Blocked static partition of [0, n) across the pool.
+  /// fn(begin, end, thread_id) is invoked once per thread.
+  void parallel_ranges(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, unsigned)>& fn);
+
+  /// Element-wise parallel for over [0, n).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (created on first use).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned id);
+
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> generation{0};
+  };
+
+  std::vector<std::thread> workers_;
+  std::vector<WorkerSlot> slots_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::atomic<uint64_t> job_generation_{0};
+  std::atomic<unsigned> remaining_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::atomic<bool> stop_{false};
+};
+
+/// Static partition helper: the i-th of `parts` chunks of [0, n).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+Range partition(std::size_t n, unsigned parts, unsigned index);
+
+}  // namespace dpmd::rt

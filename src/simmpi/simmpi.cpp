@@ -1,0 +1,176 @@
+#include "simmpi/simmpi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace dpmd::simmpi {
+
+int Rank::size() const { return world_.size(); }
+
+void Rank::send(int dst, int tag, const void* data, std::size_t bytes) {
+  DPMD_REQUIRE(dst >= 0 && dst < world_.size(), "send destination out of range");
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  world_.deliver(rank_, dst, tag, std::move(payload));
+}
+
+std::vector<std::byte> Rank::recv(int src, int tag) {
+  DPMD_REQUIRE(src >= 0 && src < world_.size(), "recv source out of range");
+  return world_.take(rank_, src, tag);
+}
+
+void Rank::barrier() { world_.barrier_.arrive_and_wait(); }
+
+std::vector<double> Rank::allreduce_sum(const std::vector<double>& v) {
+  // Barrier-framed shared-slot reduction: simple and correct for the rank
+  // counts the functional tests use (<= a few hundred).
+  {
+    std::lock_guard lock(world_.reduce_mu_);
+    if (world_.reduce_result_.size() != v.size()) {
+      world_.reduce_result_.assign(v.size(), 0.0);
+    }
+  }
+  barrier();
+  {
+    std::lock_guard lock(world_.reduce_mu_);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      world_.reduce_result_[i] += v[i];
+    }
+  }
+  barrier();
+  std::vector<double> out = world_.reduce_result_;
+  barrier();
+  if (rank_ == 0) {
+    std::lock_guard lock(world_.reduce_mu_);
+    world_.reduce_result_.clear();
+  }
+  barrier();
+  return out;
+}
+
+double Rank::allreduce_sum(double v) { return allreduce_sum(std::vector{v})[0]; }
+
+double Rank::allreduce_max(double v) {
+  const auto all = allgather(v);
+  return *std::max_element(all.begin(), all.end());
+}
+
+std::vector<double> Rank::allgather(double v) {
+  {
+    std::lock_guard lock(world_.reduce_mu_);
+    world_.reduce_slots_.resize(static_cast<std::size_t>(world_.size()));
+    world_.reduce_slots_[static_cast<std::size_t>(rank_)] = v;
+  }
+  barrier();
+  std::vector<double> out = world_.reduce_slots_;
+  barrier();
+  return out;
+}
+
+std::vector<int> Rank::allgather(int v) {
+  const auto d = allgather(static_cast<double>(v));
+  std::vector<int> out(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out[i] = static_cast<int>(d[i]);
+  return out;
+}
+
+World::World(int nranks)
+    : nranks_(nranks), boxes_(static_cast<std::size_t>(nranks)),
+      barrier_(nranks) {
+  DPMD_REQUIRE(nranks > 0, "world needs at least one rank");
+}
+
+void World::deliver(int src, int dst, int tag, std::vector<std::byte> payload) {
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> World::take(int dst, int src, int tag) {
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.mu);
+  auto& queue = box.queues[{src, tag}];
+  box.cv.wait(lock, [&] {
+    return !queue.empty() || poisoned_.load(std::memory_order_acquire);
+  });
+  if (queue.empty()) {
+    throw dpmd::Error("world poisoned: a peer rank failed");
+  }
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void World::poison() {
+  poisoned_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) {
+    std::lock_guard lock(box.mu);
+    box.cv.notify_all();
+  }
+}
+
+void World::run(const std::function<void(Rank&)>& program) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Rank rank(*this, r);
+      try {
+        program(rank);
+      } catch (...) {
+        {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // A failed rank must not leave peers stuck: drop out of the
+        // barrier and poison every mailbox so blocked recvs throw instead
+        // of waiting forever.  There is no recovery story — the caller
+        // observes the first exception after join.
+        barrier_.arrive_and_drop();
+        poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void run_world(int nranks, const std::function<void(Rank&)>& program) {
+  World world(nranks);
+  world.run(program);
+}
+
+std::array<int, 3> dims_create(int n) {
+  DPMD_REQUIRE(n > 0, "dims_create of non-positive count");
+  std::array<int, 3> best = {n, 1, 1};
+  long long best_score = -1;
+  for (int a = 1; a * a * a <= n * 4; ++a) {
+    if (n % a != 0) continue;
+    const int rest = n / a;
+    for (int b = a; static_cast<long long>(b) * b <= rest * 2; ++b) {
+      if (rest % b != 0) continue;
+      const int c = rest / b;
+      if (c < b) continue;
+      // Prefer the most cubic factorization (minimize surface area).
+      const long long score = -(static_cast<long long>(a) * b + static_cast<long long>(b) * c +
+                                static_cast<long long>(a) * c);
+      if (best_score == -1 || score > best_score) {
+        best_score = score;
+        best = {c, b, a};  // largest dim first (x), matching LAMMPS habit
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace dpmd::simmpi

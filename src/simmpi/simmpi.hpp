@@ -1,0 +1,190 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpmd::simmpi {
+
+/// In-process stand-in for MPI.  Ranks are threads inside one process;
+/// messages are buffered byte vectors; collectives are built on a shared
+/// barrier.  This gives the LAMMPS-style engine and the communication
+/// schemes a real (not mocked) message-passing substrate that runs anywhere,
+/// while the Tofu network model (src/tofu) supplies at-scale timing.
+///
+/// Semantics intentionally mirror the MPI subset LAMMPS uses:
+///  * send is buffered and never blocks (so sendrecv pairs cannot deadlock);
+///  * recv blocks until a matching (src, tag) message arrives;
+///  * message order between a fixed (src, dst, tag) pair is FIFO.
+class World;
+
+class Rank {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  void send(int dst, int tag, const void* data, std::size_t bytes);
+  std::vector<std::byte> recv(int src, int tag);
+
+  template <class T>
+  void send_vec(int dst, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  template <class T>
+  std::vector<T> recv_vec(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = recv(src, tag);
+    DPMD_REQUIRE(raw.size() % sizeof(T) == 0, "message size not multiple of T");
+    std::vector<T> v(raw.size() / sizeof(T));
+    std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+  /// Buffered send then blocking receive — safe in any pairing order.
+  template <class T>
+  std::vector<T> sendrecv_vec(int dst, int src, int tag,
+                              const std::vector<T>& out) {
+    send_vec(dst, tag, out);
+    return recv_vec<T>(src, tag);
+  }
+
+  void barrier();
+
+  /// Element-wise sum allreduce over a fixed-size double vector.
+  std::vector<double> allreduce_sum(const std::vector<double>& v);
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+
+  /// Gathers one value per rank; result indexed by rank.
+  std::vector<double> allgather(double v);
+  std::vector<int> allgather(int v);
+
+  /// Variable-size allgather of trivially copyable elements.
+  template <class T>
+  std::vector<std::vector<T>> allgatherv(const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = size();
+    // Everyone posts to everyone (including a self-copy) with a reserved tag.
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst != rank_) send_vec(dst, kCollectiveTag, mine);
+    }
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(rank_)] = mine;
+    for (int src = 0; src < n; ++src) {
+      if (src != rank_) {
+        out[static_cast<std::size_t>(src)] = recv_vec<T>(src, kCollectiveTag);
+      }
+    }
+    barrier();
+    return out;
+  }
+
+ private:
+  friend class World;
+  Rank(World& world, int rank) : world_(world), rank_(rank) {}
+
+  static constexpr int kCollectiveTag = -4242;
+
+  World& world_;
+  int rank_;
+};
+
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Runs `program` on every rank (one thread per rank) and joins.
+  /// Exceptions thrown by any rank are rethrown in the caller.
+  void run(const std::function<void(Rank&)>& program);
+
+  /// Total bytes and message count sent so far (for comm-volume assertions).
+  std::size_t bytes_sent() const { return bytes_sent_; }
+  std::size_t messages_sent() const { return messages_sent_; }
+
+ private:
+  friend class Rank;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+  };
+
+  void deliver(int src, int dst, int tag, std::vector<std::byte> payload);
+  std::vector<std::byte> take(int dst, int src, int tag);
+  void poison();  ///< wakes every blocked recv after a rank failed
+
+  int nranks_;
+  std::vector<Mailbox> boxes_;
+  std::barrier<> barrier_;
+  std::atomic<bool> poisoned_{false};
+
+  std::mutex reduce_mu_;
+  std::vector<double> reduce_slots_;
+  std::vector<double> reduce_result_;
+
+  std::atomic<std::size_t> bytes_sent_{0};
+  std::atomic<std::size_t> messages_sent_{0};
+};
+
+/// Runs an nranks-rank program in one call.
+void run_world(int nranks, const std::function<void(Rank&)>& program);
+
+/// Balanced 3-D factorization of n (MPI_Dims_create flavour): returns
+/// {nx, ny, nz} with nx*ny*nz == n and the dims as equal as possible.
+std::array<int, 3> dims_create(int n);
+
+/// Periodic 3-D Cartesian rank grid.
+class CartGrid {
+ public:
+  CartGrid(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+    DPMD_REQUIRE(nx > 0 && ny > 0 && nz > 0, "bad grid dims");
+  }
+
+  int size() const { return nx_ * ny_ * nz_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+  int rank_of(int ix, int iy, int iz) const {
+    const int x = wrap(ix, nx_);
+    const int y = wrap(iy, ny_);
+    const int z = wrap(iz, nz_);
+    return (x * ny_ + y) * nz_ + z;
+  }
+
+  std::array<int, 3> coords_of(int rank) const {
+    DPMD_REQUIRE(rank >= 0 && rank < size(), "rank out of grid");
+    return {rank / (ny_ * nz_), (rank / nz_) % ny_, rank % nz_};
+  }
+
+  /// Neighbor rank offset by (dx, dy, dz) with periodic wrap.
+  int neighbor(int rank, int dx, int dy, int dz) const {
+    const auto c = coords_of(rank);
+    return rank_of(c[0] + dx, c[1] + dy, c[2] + dz);
+  }
+
+  static int wrap(int i, int n) {
+    int r = i % n;
+    return r < 0 ? r + n : r;
+  }
+
+ private:
+  int nx_, ny_, nz_;
+};
+
+}  // namespace dpmd::simmpi

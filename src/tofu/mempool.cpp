@@ -1,0 +1,30 @@
+#include "tofu/mempool.hpp"
+
+#include "util/error.hpp"
+
+namespace dpmd::tofu {
+
+RdmaMemoryPool::RdmaMemoryPool(std::size_t slab_bytes, std::size_t alignment)
+    : slab_bytes_(slab_bytes), alignment_(alignment) {
+  DPMD_REQUIRE(alignment_ > 0 && (alignment_ & (alignment_ - 1)) == 0,
+               "alignment must be a power of two");
+}
+
+RdmaBuffer RdmaMemoryPool::allocate(std::size_t bytes) {
+  const std::size_t aligned = (used_ + alignment_ - 1) & ~(alignment_ - 1);
+  DPMD_REQUIRE(aligned + bytes <= slab_bytes_, "RDMA pool slab exhausted");
+  used_ = aligned + bytes;
+  ++allocations_;
+  return {kPoolRegionId, aligned, bytes};
+}
+
+void RdmaMemoryPool::reset() {
+  used_ = 0;
+  allocations_ = 0;
+}
+
+RdmaBuffer PerBufferRegistration::allocate(std::size_t bytes) {
+  return {next_region_++, 0, bytes};
+}
+
+}  // namespace dpmd::tofu

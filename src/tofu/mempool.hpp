@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpmd::tofu {
+
+/// Handle to an RDMA-registered buffer: which registered region it lives in
+/// and at what offset.  The region id is what the NIC cache keys on.
+struct RdmaBuffer {
+  uint64_t region_id = 0;
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+};
+
+/// The paper's RDMA memory pool (§III-D1): register one large slab up front
+/// and hand out offset-based sub-buffers, so every communication touches the
+/// same single NIC address-translation entry.  Contrast with
+/// PerBufferRegistration below, which registers each buffer separately and
+/// thrashes the NIC cache once the neighbor count grows (Fig. 8).
+class RdmaMemoryPool {
+ public:
+  explicit RdmaMemoryPool(std::size_t slab_bytes, std::size_t alignment = 256);
+
+  /// Bump-allocates from the slab; throws when the slab is exhausted.
+  RdmaBuffer allocate(std::size_t bytes);
+
+  /// Releases everything (single-epoch usage, like the per-step buffers).
+  void reset();
+
+  uint64_t region_id() const { return kPoolRegionId; }
+  std::size_t capacity() const { return slab_bytes_; }
+  std::size_t used() const { return used_; }
+  std::size_t allocations() const { return allocations_; }
+
+  static constexpr uint64_t kPoolRegionId = 1;
+
+ private:
+  std::size_t slab_bytes_;
+  std::size_t alignment_;
+  std::size_t used_ = 0;
+  std::size_t allocations_ = 0;
+};
+
+/// Baseline allocator: every buffer is its own registered region (two per
+/// neighbor in the paper's non-pool configuration: one send, one receive).
+class PerBufferRegistration {
+ public:
+  RdmaBuffer allocate(std::size_t bytes);
+  std::size_t regions_registered() const { return next_region_ - 2; }
+
+ private:
+  uint64_t next_region_ = 2;  // 1 is reserved for the pool
+};
+
+}  // namespace dpmd::tofu

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tofu/nic_cache.hpp"
+#include "tofu/params.hpp"
+#include "tofu/topology.hpp"
+
+namespace dpmd::tofu {
+
+/// Software path a message takes (selects the per-message overhead).
+enum class Api { Mpi, Utofu };
+
+/// One inter-node message in a communication phase.
+struct NetMessage {
+  int src_node = 0;
+  int dst_node = 0;
+  std::size_t bytes = 0;
+  Api api = Api::Utofu;
+  /// Posting thread on the source node (0-based).  Messages posted by the
+  /// same thread serialize their software overhead; distinct threads post
+  /// concurrently.  The paper binds 6 threads per leader rank to TNIs.
+  int post_thread = 0;
+  /// NIC cache keys this message touches (connection + regions); empty means
+  /// "resident" (not modeled for this experiment).
+  std::vector<uint64_t> nic_keys;
+};
+
+/// One local (intra-node) memory movement, e.g. the node-based gather of
+/// worker atoms into the leader's shared-memory send buffer.
+struct CopyOp {
+  std::size_t bytes = 0;
+  int threads = 1;        ///< threads cooperating on this copy
+  bool cross_numa = true; ///< pays the cross-CMG setup latency
+  int numa_targets = 1;   ///< distinct destination CMGs (sink bandwidth)
+};
+
+/// A phase: all copies run first (in parallel with each other), then one
+/// intra-node synchronization per `syncs`, then all messages fly
+/// concurrently subject to thread/TNI/link serialization.
+struct Phase {
+  std::string label;
+  std::vector<CopyOp> copies;
+  std::vector<NetMessage> messages;
+  int syncs = 0;
+};
+
+/// A full communication plan (e.g. forward halo exchange = several dependent
+/// phases for the 3-stage scheme, or gather/send/scatter for node-based).
+struct CommPlan {
+  std::string name;
+  std::vector<Phase> phases;
+
+  std::size_t total_message_count() const;
+  std::size_t total_bytes() const;
+};
+
+/// Per-phase timing breakdown returned by the simulator.
+struct PhaseCost {
+  double copy_s = 0;
+  double post_s = 0;   ///< software overhead serialization (threads)
+  double wire_s = 0;   ///< TNI/link serialization + hop latency
+  double sync_s = 0;
+  /// Informational: the share of post_s caused by NIC cache misses (already
+  /// included in post_s, never added twice).
+  double nic_miss_s = 0;
+  double total() const { return copy_s + post_s + wire_s + sync_s; }
+};
+
+struct PlanCost {
+  std::vector<PhaseCost> phases;
+  double total_s = 0;
+};
+
+/// Evaluates the makespan of a plan on the modeled machine.
+///
+/// Model (documented in DESIGN.md):
+///  * copies: each CopyOp takes cross_numa_latency + bytes / min(threads *
+///    per_core_copy_bandwidth, numa_targets * per_numa_noc_bandwidth); copies
+///    within a phase are concurrent, so the phase pays the max.
+///  * posting: per-message software overhead (MPI vs uTofu) serializes on
+///    the posting thread; the phase pays the busiest thread.
+///  * wire: messages round-robin over the source node's TNIs; each TNI
+///    serializes (injection gap + bytes/link_bw); each directed node pair
+///    link also serializes its bytes; the phase pays the busiest of both,
+///    plus the hop latency of the longest route.
+///  * NIC cache: if `cache` is non-null, every message touches its nic_keys;
+///    each miss adds nic_miss_penalty to the posting thread's time.
+PlanCost evaluate(const CommPlan& plan, const MachineParams& mp,
+                  const Torus& topo, NicCache* cache = nullptr);
+
+}  // namespace dpmd::tofu

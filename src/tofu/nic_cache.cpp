@@ -1,0 +1,40 @@
+#include "tofu/nic_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace dpmd::tofu {
+
+NicCache::NicCache(int capacity) : capacity_(capacity) {
+  DPMD_REQUIRE(capacity > 0, "NIC cache capacity must be positive");
+}
+
+bool NicCache::access(uint64_t key) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (static_cast<int>(map_.size()) >= capacity_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+  return false;
+}
+
+void NicCache::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void NicCache::clear() {
+  lru_.clear();
+  map_.clear();
+  reset_counters();
+}
+
+}  // namespace dpmd::tofu

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace dpmd::tofu {
+
+/// LRU model of the TofuD NIC's on-chip resource cache.  The NIC caches two
+/// kinds of entries: connection state (one per peer) and registered memory
+/// regions (address-translation entries).  When the working set exceeds the
+/// cache, entries spill to host memory and every message that misses pays a
+/// host-memory fetch — the mechanism behind Fig. 8 and the reason the paper
+/// introduces the RDMA memory pool (§III-D1).
+class NicCache {
+ public:
+  explicit NicCache(int capacity);
+
+  /// Touches `key`; returns true on hit, false on miss (entry is inserted,
+  /// evicting the least recently used entry if at capacity).
+  bool access(uint64_t key);
+
+  int capacity() const { return capacity_; }
+  std::size_t occupancy() const { return map_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  void reset_counters();
+  void clear();
+
+  /// Key helpers: connections and memory regions live in disjoint key spaces.
+  static uint64_t connection_key(int peer) {
+    return 0x1000000000ull + static_cast<uint64_t>(peer);
+  }
+  static uint64_t region_key(uint64_t region_id) {
+    return 0x2000000000ull + region_id;
+  }
+
+ private:
+  int capacity_;
+  std::list<uint64_t> lru_;  ///< front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace dpmd::tofu

@@ -1,0 +1,42 @@
+#pragma once
+
+namespace dpmd::tofu {
+
+/// Machine constants of the simulated Fugaku node and TofuD interconnect.
+///
+/// Values marked [paper]/[spec] come from the paper or published A64FX/TofuD
+/// documentation; the rest are calibration constants chosen so the modeled
+/// communication patterns reproduce the paper's relative results (Fig. 7/8).
+/// Every constant is an explicit knob so ablation benches can vary it.
+struct MachineParams {
+  // --- TofuD network -----------------------------------------------------
+  double link_bandwidth = 6.8e9;     ///< [spec] bytes/s per link direction
+  double hop_latency = 0.49e-6;      ///< [paper] one-hop put latency, s
+  double per_hop_extra = 0.10e-6;    ///< extra latency per additional hop
+  /// CPU-side software cost per message, serialized on the posting thread.
+  /// The MPI path pays protocol + matching; uTofu is a bare RDMA descriptor
+  /// post (paper §III-A2: uTofu cuts 15-27% off realistic message mixes).
+  double mpi_msg_overhead = 2.0e-6;
+  double utofu_msg_overhead = 0.6e-6;
+  int tnis_per_node = 6;             ///< [spec] RDMA engines per node
+  /// TNI-side per-message processing (descriptor fetch + doorbell),
+  /// serialized on the engine, overlapped across the 6 TNIs.
+  double tni_injection_gap = 0.15e-6;
+
+  // --- A64FX node --------------------------------------------------------
+  int numa_domains = 4;              ///< [spec] CMGs
+  int cores_per_numa = 12;           ///< [spec] compute cores per CMG
+  /// Effective cross-CMG sink bandwidth for the gather/scatter copies
+  /// (scattered small memcpys achieve far less than STREAM).
+  double per_numa_noc_bandwidth = 4e9;
+  double per_core_copy_bandwidth = 1.5e9;  ///< single-thread memcpy bw, B/s
+  double cross_numa_latency = 0.30e-6;   ///< setup latency of a cross-CMG copy
+  double intra_node_sync = 0.80e-6;      ///< one full intra-node sync
+  double fp64_flops_per_core = 70.4e9;   ///< [spec] 2.2 GHz * 32 flop/cycle
+
+  // --- NIC resource cache (connections + registered memory regions) ------
+  int nic_cache_entries = 132;       ///< entries before eviction begins
+  double nic_miss_penalty = 0.60e-6; ///< host-memory fetch per miss, s
+};
+
+}  // namespace dpmd::tofu

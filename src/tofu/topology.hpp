@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dpmd::tofu {
+
+/// Logical 3-D torus over the node grid.  Fugaku's physical network is a 6-D
+/// torus/mesh (12-node cells in a 3-D torus of cells, Fig. 2b of the paper);
+/// as the paper notes, it is exposed to applications as a logical 3-D torus,
+/// which is the level our node mapping and hop counts operate on.
+class Torus {
+ public:
+  Torus(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+    DPMD_REQUIRE(nx > 0 && ny > 0 && nz > 0, "bad torus dims");
+  }
+
+  int nodes() const { return nx_ * ny_ * nz_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+  int node_of(int ix, int iy, int iz) const {
+    const int x = wrap(ix, nx_);
+    const int y = wrap(iy, ny_);
+    const int z = wrap(iz, nz_);
+    return (x * ny_ + y) * nz_ + z;
+  }
+
+  std::array<int, 3> coords_of(int node) const {
+    DPMD_REQUIRE(node >= 0 && node < nodes(), "node id out of torus");
+    return {node / (ny_ * nz_), (node / nz_) % ny_, node % nz_};
+  }
+
+  /// Minimal hop count between two nodes with periodic wrap per dimension.
+  int hops(int a, int b) const {
+    const auto ca = coords_of(a);
+    const auto cb = coords_of(b);
+    return axis_hops(ca[0], cb[0], nx_) + axis_hops(ca[1], cb[1], ny_) +
+           axis_hops(ca[2], cb[2], nz_);
+  }
+
+  static int wrap(int i, int n) {
+    int r = i % n;
+    return r < 0 ? r + n : r;
+  }
+
+ private:
+  static int axis_hops(int a, int b, int n) {
+    const int d = std::abs(a - b);
+    return d < n - d ? d : n - d;
+  }
+
+  int nx_, ny_, nz_;
+};
+
+}  // namespace dpmd::tofu

@@ -1,0 +1,56 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dpmd {
+
+Args::Args(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(tok));
+      continue;
+    }
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[tok] = argv[++i];
+    } else {
+      kv_[tok] = "true";  // bare flag
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace dpmd

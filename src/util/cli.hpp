@@ -1,0 +1,31 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dpmd {
+
+/// Tiny command-line parser for examples and bench harnesses.
+/// Accepts "--key=value", "--key value" and bare "--flag" forms.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dpmd

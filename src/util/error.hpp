@@ -1,0 +1,33 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dpmd {
+
+/// Library-wide exception type.  All precondition violations in the public
+/// API throw this; internal invariant violations use DPMD_REQUIRE as well so
+/// failures surface as catchable errors instead of UB.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed (" << cond << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dpmd
+
+/// Checked precondition: throws dpmd::Error with file/line context.
+#define DPMD_REQUIRE(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) ::dpmd::detail::fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dpmd {
+
+void OnlineStats::add(double v) {
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double OnlineStats::variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::sdmr_percent() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_ * 100.0;
+}
+
+OnlineStats stats_of(const std::vector<double>& values) {
+  OnlineStats s;
+  for (double v : values) s.add(v);
+  return s;
+}
+
+OnlineStats stats_of(const std::vector<int>& values) {
+  OnlineStats s;
+  for (int v : values) s.add(static_cast<double>(v));
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(nbins)),
+      counts_(nbins, 0.0) {
+  DPMD_REQUIRE(hi > lo, "histogram range must be non-empty");
+  DPMD_REQUIRE(nbins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double v, double weight) {
+  if (v < lo_ || v >= hi_) {
+    dropped_ += weight;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((v - lo_) / width_);
+  counts_[std::min(bin, counts_.size() - 1)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ <= 0.0) return d;
+  const double norm = 1.0 / (total_ * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) d[i] = counts_[i] * norm;
+  return d;
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0.0;
+  dropped_ = 0.0;
+}
+
+double quantile(std::vector<double> values, double q) {
+  DPMD_REQUIRE(!values.empty(), "quantile of empty set");
+  DPMD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace dpmd

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dpmd {
+
+/// Streaming statistics (Welford) with the paper's SDMR metric:
+/// SDMR = sqrt(variance) / mean * 100   (standard deviation to mean ratio,
+/// §IV-D).  Population variance is used, matching a census of all MPI ranks.
+class OnlineStats {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Standard-deviation-to-mean ratio in percent (paper Table III metric).
+  double sdmr_percent() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Convenience: stats over a whole container.
+OnlineStats stats_of(const std::vector<double>& values);
+OnlineStats stats_of(const std::vector<int>& values);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are dropped but
+/// counted so RDF normalization can use the in-range total.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t nbins);
+
+  void add(double v, double weight = 1.0);
+
+  std::size_t nbins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total_in_range() const { return total_; }
+  double total_dropped() const { return dropped_; }
+
+  /// Normalized so the sum over bins of density*bin_width == 1.
+  std::vector<double> density() const;
+
+  void clear();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+  double dropped_ = 0.0;
+};
+
+/// q-th quantile (0..1) of a copy of `values` by linear interpolation.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace dpmd

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpmd {
+
+/// Plain-ASCII table printer used by every bench harness so the reproduced
+/// tables/figures render the same rows the paper reports.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::string to_string() const;
+  void print() const;  ///< to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision / scientific / percent formatting helpers for table cells.
+std::string fmt_fix(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 2);
+std::string fmt_pct(double v, int precision = 1);
+std::string fmt_int(long long v);
+
+/// Simple horizontal ASCII bar chart line (used for "figure" benches).
+std::string ascii_bar(double value, double vmax, int width = 40);
+
+}  // namespace dpmd

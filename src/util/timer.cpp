@@ -1,0 +1,31 @@
+#include "util/timer.hpp"
+
+namespace dpmd {
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  std::lock_guard lock(mu_);
+  totals_[name] += seconds;
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> TimerRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  return totals_;
+}
+
+void TimerRegistry::reset() {
+  std::lock_guard lock(mu_);
+  totals_.clear();
+}
+
+TimerRegistry& TimerRegistry::global() {
+  static TimerRegistry reg;
+  return reg;
+}
+
+}  // namespace dpmd

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dpmd {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { start(); }
+
+  void start() { t0_ = clock::now(); }
+
+  /// Seconds since the last start().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+  double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_;
+};
+
+/// Named accumulating timers, used by the MD engine to break a step into the
+/// LAMMPS-style phases (pair / comm / neigh / other) that the paper reports.
+class TimerRegistry {
+ public:
+  void add(const std::string& name, double seconds);
+  double total(const std::string& name) const;
+  std::map<std::string, double> snapshot() const;
+  void reset();
+
+  static TimerRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> totals_;
+};
+
+/// RAII phase timer: accumulates its lifetime into a TimerRegistry entry.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& reg, std::string name)
+      : reg_(reg), name_(std::move(name)) {}
+  ~ScopedTimer() { reg_.add(name_, sw_.elapsed_s()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& reg_;
+  std::string name_;
+  Stopwatch sw_;
+};
+
+}  // namespace dpmd

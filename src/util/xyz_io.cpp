@@ -1,0 +1,78 @@
+#include "util/xyz_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dpmd {
+
+void write_xyz(std::ostream& os, const XyzFrame& frame,
+               const std::vector<std::string>& type_names) {
+  DPMD_REQUIRE(frame.types.size() == frame.positions.size(),
+               "types/positions size mismatch");
+  os << frame.positions.size() << '\n';
+  if (frame.box.x > 0 || frame.box.y > 0 || frame.box.z > 0) {
+    os << "box=" << frame.box.x << ',' << frame.box.y << ',' << frame.box.z
+       << ' ';
+  }
+  os << frame.comment << '\n';
+  for (std::size_t i = 0; i < frame.positions.size(); ++i) {
+    const int t = frame.types[i];
+    DPMD_REQUIRE(t >= 0 && static_cast<std::size_t>(t) < type_names.size(),
+                 "atom type out of range of type_names");
+    const Vec3& p = frame.positions[i];
+    os << type_names[static_cast<std::size_t>(t)] << ' ' << p.x << ' ' << p.y
+       << ' ' << p.z << '\n';
+  }
+}
+
+void append_xyz_file(const std::string& path, const XyzFrame& frame,
+                     const std::vector<std::string>& type_names) {
+  std::ofstream os(path, std::ios::app);
+  DPMD_REQUIRE(os.good(), "cannot open " + path);
+  write_xyz(os, frame, type_names);
+}
+
+bool read_xyz(std::istream& is, XyzFrame& frame,
+              std::vector<std::string>& type_names) {
+  std::string line;
+  if (!std::getline(is, line)) return false;
+  std::size_t natoms = 0;
+  {
+    std::istringstream ss(line);
+    ss >> natoms;
+    DPMD_REQUIRE(!ss.fail(), "bad XYZ atom-count line: " + line);
+  }
+  DPMD_REQUIRE(std::getline(is, line), "truncated XYZ frame (comment)");
+  frame.comment = line;
+  frame.box = Vec3{0, 0, 0};
+  const auto pos = line.find("box=");
+  if (pos != std::string::npos) {
+    std::istringstream ss(line.substr(pos + 4));
+    char comma = 0;
+    ss >> frame.box.x >> comma >> frame.box.y >> comma >> frame.box.z;
+  }
+
+  frame.types.resize(natoms);
+  frame.positions.resize(natoms);
+  for (std::size_t i = 0; i < natoms; ++i) {
+    DPMD_REQUIRE(std::getline(is, line), "truncated XYZ frame (atoms)");
+    std::istringstream ss(line);
+    std::string name;
+    Vec3 p;
+    ss >> name >> p.x >> p.y >> p.z;
+    DPMD_REQUIRE(!ss.fail(), "bad XYZ atom line: " + line);
+    auto it = std::find(type_names.begin(), type_names.end(), name);
+    if (it == type_names.end()) {
+      type_names.push_back(name);
+      it = std::prev(type_names.end());
+    }
+    frame.types[i] = static_cast<int>(it - type_names.begin());
+    frame.positions[i] = p;
+  }
+  return true;
+}
+
+}  // namespace dpmd

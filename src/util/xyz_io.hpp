@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace dpmd {
+
+/// One frame of an extended-XYZ trajectory.
+struct XyzFrame {
+  std::vector<int> types;        ///< per-atom type index
+  std::vector<Vec3> positions;   ///< Angstrom
+  Vec3 box{0, 0, 0};             ///< orthogonal box lengths (0 = unknown)
+  std::string comment;
+};
+
+/// Writes a frame in XYZ format; `type_names[t]` labels atom type t.
+void write_xyz(std::ostream& os, const XyzFrame& frame,
+               const std::vector<std::string>& type_names);
+void append_xyz_file(const std::string& path, const XyzFrame& frame,
+                     const std::vector<std::string>& type_names);
+
+/// Reads one frame; returns false on clean EOF, throws on malformed input.
+/// Type names are mapped back to indices via `type_names` (unknown names
+/// are appended).
+bool read_xyz(std::istream& is, XyzFrame& frame,
+              std::vector<std::string>& type_names);
+
+}  // namespace dpmd

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/geometry.hpp"
+#include "comm/halo.hpp"
+#include "comm/plans.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::comm {
+namespace {
+
+// -------------------------------------------------------------- geometry ----
+
+TEST(Geometry, PaperNeighborCounts) {
+  // The three Fig. 7 sub-box configurations must reproduce the paper's
+  // neighbor counts: ranks 26 / 74 / 124, nodes 26 / 26 / 44.
+  DecompGeometry geom;
+  geom.rcut = 8.0;
+  geom.rank_grid = {8, 12, 4};
+  geom.ranks_per_node = {2, 2, 1};
+
+  geom.sub_box = {8, 8, 8};  // [1, 1, 1] rcut
+  EXPECT_EQ(geom.rank_neighbor_count(), 26);
+  EXPECT_EQ(geom.node_neighbor_count(), 26);
+
+  geom.sub_box = {4, 4, 8};  // [0.5, 0.5, 1] rcut
+  EXPECT_EQ(geom.rank_neighbor_count(), 74);
+  EXPECT_EQ(geom.node_neighbor_count(), 26);
+
+  geom.sub_box = {4, 4, 4};  // [0.5, 0.5, 0.5] rcut
+  EXPECT_EQ(geom.rank_neighbor_count(), 124);
+  EXPECT_EQ(geom.node_neighbor_count(), 44);
+}
+
+TEST(Geometry, GhostRegionVolumesSumToShell) {
+  const Vec3 box{5, 7, 9};
+  const double rcut = 6.0;
+  const auto regions = enumerate_ghost_regions(box, rcut);
+  double total = 0.0;
+  for (const auto& r : regions) total += r.volume;
+  EXPECT_NEAR(total, total_ghost_volume(box, rcut), 1e-9);
+}
+
+TEST(Geometry, BandDepthPartitionsCutoff) {
+  const double len = 3.0, rcut = 7.5;
+  double sum = 0.0;
+  for (int m = 1; m <= 3; ++m) sum += band_depth(len, rcut, m);
+  EXPECT_NEAR(sum, rcut, 1e-12);
+  EXPECT_DOUBLE_EQ(band_depth(len, rcut, 1), 3.0);
+  EXPECT_DOUBLE_EQ(band_depth(len, rcut, 3), 1.5);
+  EXPECT_DOUBLE_EQ(band_depth(len, rcut, 4), 0.0);
+}
+
+TEST(Geometry, PaperGhostEquations) {
+  // Paper: at a = 0.5 r, the lb ghost count is ~1.44x the original.
+  const double r = 8.0;
+  const double a = 0.5 * r;
+  const double ratio = eq2_ghost_count(a, r) / eq1_ghost_count(a, r);
+  EXPECT_NEAR(ratio, 1.44, 0.03);
+}
+
+// ------------------------------------------------- functional exchanges ----
+
+LocalDomain make_domain(simmpi::Rank& rank, const simmpi::CartGrid& grid,
+                        const Vec3& sub_len, int atoms_per_rank,
+                        uint64_t seed) {
+  const auto c = grid.coords_of(rank.rank());
+  LocalDomain dom;
+  dom.sub_box = md::Box({c[0] * sub_len.x, c[1] * sub_len.y, c[2] * sub_len.z},
+                        {(c[0] + 1) * sub_len.x, (c[1] + 1) * sub_len.y,
+                         (c[2] + 1) * sub_len.z});
+  Rng rng(seed + static_cast<uint64_t>(rank.rank()));
+  for (int i = 0; i < atoms_per_rank; ++i) {
+    HaloAtom a;
+    a.x = rng.uniform(dom.sub_box.lo.x, dom.sub_box.hi.x);
+    a.y = rng.uniform(dom.sub_box.lo.y, dom.sub_box.hi.y);
+    a.z = rng.uniform(dom.sub_box.lo.z, dom.sub_box.hi.z);
+    a.type = i % 2;
+    a.tag = static_cast<std::int64_t>(rank.rank()) * 100000 + i;
+    dom.locals.push_back(a);
+  }
+  return dom;
+}
+
+TEST(Halo, ThreeStageMatchesBruteForceOneLayer) {
+  const simmpi::CartGrid grid(4, 2, 2);
+  const Vec3 sub_len{6, 12, 12};
+  const md::Box global({0, 0, 0}, {24, 24, 24});
+  const double rcut = 5.0;
+
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    const LocalDomain dom = make_domain(rank, grid, sub_len, 30, 7);
+    const auto ghosts = exchange_three_stage(rank, grid, global, dom, rcut);
+    const auto expected = expected_ghosts_bruteforce(rank, global, dom, rcut);
+    EXPECT_EQ(ghost_keys(ghosts), ghost_keys(expected))
+        << "rank " << rank.rank();
+  });
+}
+
+TEST(Halo, ThreeStageMatchesBruteForceTwoLayers) {
+  // Sub-box narrower than the cutoff in x: two forwarding rounds.
+  const simmpi::CartGrid grid(5, 1, 1);
+  const Vec3 sub_len{3, 16, 16};
+  const md::Box global({0, 0, 0}, {15, 16, 16});
+  const double rcut = 5.0;
+
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    const LocalDomain dom = make_domain(rank, grid, sub_len, 25, 11);
+    const auto ghosts = exchange_three_stage(rank, grid, global, dom, rcut);
+    const auto expected = expected_ghosts_bruteforce(rank, global, dom, rcut);
+    EXPECT_EQ(ghost_keys(ghosts), ghost_keys(expected))
+        << "rank " << rank.rank();
+  });
+}
+
+TEST(Halo, NodeBasedCoversRankGhosts) {
+  // The node-based exchange (lb layout) must give every rank at least the
+  // ghosts the 3-stage exchange provides (its own extended region), drawn
+  // from node locals + node ghosts.
+  const simmpi::CartGrid grid(4, 4, 2);  // 2x2x1 nodes of 2x2x1 ranks
+  const Vec3 sub_len{7, 7, 14};
+  const md::Box global({0, 0, 0}, {28, 28, 28});
+  const double rcut = 6.0;
+
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    const LocalDomain dom = make_domain(rank, grid, sub_len, 20, 13);
+    const auto node = exchange_node_based(rank, grid, global, dom, rcut,
+                                          {2, 2, 1}, /*leaders=*/4);
+    const auto expected = expected_ghosts_bruteforce(rank, global, dom, rcut);
+
+    // Pool of atoms available to this rank under the lb organization.
+    std::vector<HaloAtom> pool = node.node_locals_other;
+    pool.insert(pool.end(), node.node_ghosts.begin(), node.node_ghosts.end());
+    // Filter the pool to this rank's extended region and compare sets.
+    std::vector<HaloAtom> filtered;
+    for (const HaloAtom& a : pool) {
+      if (a.x >= dom.sub_box.lo.x - rcut && a.x < dom.sub_box.hi.x + rcut &&
+          a.y >= dom.sub_box.lo.y - rcut && a.y < dom.sub_box.hi.y + rcut &&
+          a.z >= dom.sub_box.lo.z - rcut && a.z < dom.sub_box.hi.z + rcut) {
+        filtered.push_back(a);
+      }
+    }
+    EXPECT_EQ(ghost_keys(filtered), ghost_keys(expected))
+        << "rank " << rank.rank();
+  });
+}
+
+TEST(Halo, NodeBasedLeaderVariantsAgree) {
+  const simmpi::CartGrid grid(4, 4, 1);
+  const Vec3 sub_len{8, 8, 30};
+  const md::Box global({0, 0, 0}, {32, 32, 30});
+  const double rcut = 7.0;
+
+  for (const int leaders : {1, 2, 4}) {
+    simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+      const LocalDomain dom = make_domain(rank, grid, sub_len, 15, 17);
+      const auto node = exchange_node_based(rank, grid, global, dom, rcut,
+                                            {2, 2, 1}, leaders);
+      // Ghost set of the node box must be identical however many leaders
+      // split the sends.
+      const auto node4 = exchange_node_based(rank, grid, global, dom, rcut,
+                                             {2, 2, 1}, 4);
+      EXPECT_EQ(ghost_keys(node.node_ghosts), ghost_keys(node4.node_ghosts))
+          << "rank " << rank.rank() << " leaders " << leaders;
+    });
+  }
+}
+
+// ------------------------------------------------------------ plan costs ----
+
+DecompGeometry fig7_geometry(double q_x, double q_y, double q_z,
+                             double rcut) {
+  DecompGeometry geom;
+  geom.rcut = rcut;
+  geom.sub_box = {q_x * rcut, q_y * rcut, q_z * rcut};
+  geom.rank_grid = {8, 12, 4};
+  geom.ranks_per_node = {2, 2, 1};
+  return geom;
+}
+
+TEST(Plans, MessageCountsMatchGeometry) {
+  const auto geom = fig7_geometry(0.5, 0.5, 0.5, 8.0);
+  SchemeConfig cfg;
+  cfg.include_reverse = false;
+
+  const auto p2p = plan_p2p(geom, cfg);
+  const std::size_t nranks = 8 * 12 * 4;
+  EXPECT_EQ(p2p.total_message_count(), nranks * 124);
+
+  const auto node = plan_node_based(geom, cfg);
+  const std::size_t nnodes = 4 * 6 * 4;
+  EXPECT_EQ(node.total_message_count(), nnodes * 44);
+
+  const auto stage = plan_three_stage(geom, cfg);
+  // 2 layers per dim = 6 rounds, 2 messages per rank per round.
+  EXPECT_EQ(stage.phases.size(), 6u);
+  EXPECT_EQ(stage.total_message_count(), nranks * 12);
+}
+
+TEST(Plans, ThreeStageVolumeConservation) {
+  // Across all rounds a rank transmits exactly its share of the ghost shell
+  // bytes; totals must match the analytic ghost volume.
+  const auto geom = fig7_geometry(0.5, 0.5, 1.0, 8.0);
+  SchemeConfig cfg;
+  cfg.include_reverse = false;
+  const auto plan = plan_three_stage(geom, cfg);
+  const std::size_t nranks = 8 * 12 * 4;
+  const double shell = total_ghost_volume(geom.sub_box, geom.rcut);
+  const double expected_bytes =
+      shell * cfg.atom_density * cfg.bytes_per_atom_forward * nranks;
+  EXPECT_NEAR(static_cast<double>(plan.total_bytes()), expected_bytes,
+              0.02 * expected_bytes);
+}
+
+TEST(Plans, NodeBasedWinsInStrongScalingLosesAtLargeBoxes) {
+  // The Fig. 7 crossover: at [1,1,1] rcut (bandwidth-bound) the classic
+  // patterns beat node-based; at [0.5,0.5,0.5] (latency-bound) node-based
+  // wins decisively.
+  const tofu::MachineParams mp;
+  SchemeConfig utofu;
+  SchemeConfig mpi;
+  mpi.api = tofu::Api::Mpi;
+
+  {
+    const auto geom = fig7_geometry(1, 1, 1, 8.0);
+    const double t3 = cost_of(plan_three_stage(geom, utofu), geom, mp).total_s;
+    const double tn = cost_of(plan_node_based(geom, utofu), geom, mp).total_s;
+    EXPECT_LT(t3, tn);
+  }
+  {
+    const auto geom = fig7_geometry(0.5, 0.5, 0.5, 8.0);
+    const double baseline =
+        cost_of(plan_three_stage(geom, mpi), geom, mp).total_s;
+    const double t3 = cost_of(plan_three_stage(geom, utofu), geom, mp).total_s;
+    const double tp = cost_of(plan_p2p(geom, utofu), geom, mp).total_s;
+    const double tn = cost_of(plan_node_based(geom, utofu), geom, mp).total_s;
+    EXPECT_LT(tn, t3);
+    EXPECT_LT(tn, tp);
+    EXPECT_LT(tn, 0.5 * baseline);  // paper: ~0.19-0.24x of baseline
+  }
+}
+
+TEST(Plans, FourLeadersBeatFewer) {
+  const tofu::MachineParams mp;
+  const auto geom = fig7_geometry(0.5, 0.5, 0.5, 8.0);
+  SchemeConfig cfg;
+  double last = 0.0;
+  for (const int leaders : {1, 2, 4}) {
+    cfg.leaders = leaders;
+    const double t = cost_of(plan_node_based(geom, cfg), geom, mp).total_s;
+    if (leaders > 1) EXPECT_LT(t, last) << leaders;
+    last = t;
+  }
+}
+
+TEST(Plans, SingleCommThreadSlower) {
+  const tofu::MachineParams mp;
+  const auto geom = fig7_geometry(0.5, 0.5, 0.5, 8.0);
+  SchemeConfig multi;
+  SchemeConfig single;
+  single.comm_threads_per_leader = 1;
+  const double tm = cost_of(plan_node_based(geom, multi), geom, mp).total_s;
+  const double ts = cost_of(plan_node_based(geom, single), geom, mp).total_s;
+  EXPECT_GT(ts, tm);
+  // Paper: 10-26% penalty.
+  EXPECT_LT(ts / tm, 1.8);
+}
+
+TEST(Plans, LbBroadcastCopyBounded) {
+  // Paper Fig. 7 finds lb-4l vs ref-4l within a few percent; our model
+  // charges the 4x ghost broadcast at the effective NoC sink bandwidth and
+  // is more pessimistic (documented in EXPERIMENTS.md).  Assert the copy
+  // stays a bounded fraction, not a blow-up.
+  const tofu::MachineParams mp;
+  const auto geom = fig7_geometry(0.5, 0.5, 0.5, 8.0);
+  SchemeConfig lb;
+  SchemeConfig ref;
+  ref.lb_broadcast = false;
+  const double tl = cost_of(plan_node_based(geom, lb), geom, mp).total_s;
+  const double tr = cost_of(plan_node_based(geom, ref), geom, mp).total_s;
+  EXPECT_GE(tl, tr);
+  EXPECT_LT(tl / tr, 2.5);
+}
+
+TEST(Plans, UtofuReducesOverheadVsMpi) {
+  const tofu::MachineParams mp;
+  const auto geom = fig7_geometry(0.5, 0.5, 1.0, 8.0);
+  SchemeConfig utofu;
+  SchemeConfig mpi;
+  mpi.api = tofu::Api::Mpi;
+  const double tu = cost_of(plan_three_stage(geom, utofu), geom, mp).total_s;
+  const double tm = cost_of(plan_three_stage(geom, mpi), geom, mp).total_s;
+  // Paper §III-A2: uTofu cuts 15-27% vs the MPI API.
+  const double saving = (tm - tu) / tm;
+  EXPECT_GT(saving, 0.10);
+  EXPECT_LT(saving, 0.75);
+}
+
+}  // namespace
+}  // namespace dpmd::comm

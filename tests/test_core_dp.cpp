@@ -1,0 +1,483 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/compression.hpp"
+#include "core/descriptor.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "core/pair_deepmd.hpp"
+#include "md/ghosts.hpp"
+#include "md/lattice.hpp"
+#include "md/sim.hpp"
+#include "md/thermo.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::dp {
+namespace {
+
+/// Small two-type test model (fast but structurally identical to the paper's
+/// models: per-type embeddings with Doubled skips, ResNet fitting net).
+ModelConfig small_config(int ntypes = 2) {
+  ModelConfig cfg;
+  cfg.ntypes = ntypes;
+  cfg.descriptor.rcut = 4.5;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel.assign(static_cast<std::size_t>(ntypes), 48);
+  cfg.descriptor.emb_widths = {8, 16, 32};
+  cfg.descriptor.axis_neurons = 4;
+  cfg.fit_widths = {32, 32, 32};
+  return cfg;
+}
+
+std::shared_ptr<DPModel> small_model(int ntypes = 2, uint64_t seed = 7) {
+  auto model = std::make_shared<DPModel>(small_config(ntypes));
+  Rng rng(seed);
+  model->init_random(rng);
+  return model;
+}
+
+/// Random two-type configuration with a minimum separation (keeps s within
+/// the compression table and forces finite).
+md::Atoms random_config(int n, const md::Box& box, int ntypes, Rng& rng,
+                        double min_sep = 1.2) {
+  md::Atoms atoms;
+  int placed = 0;
+  int attempts = 0;
+  while (placed < n) {
+    DPMD_REQUIRE(++attempts < 100000, "cannot place atoms");
+    const Vec3 p{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y),
+                 rng.uniform(box.lo.z, box.hi.z)};
+    bool ok = true;
+    for (int i = 0; i < placed; ++i) {
+      if (box.minimum_image(p, atoms.x[static_cast<std::size_t>(i)]).norm() <
+          min_sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    atoms.add_local(p, {0, 0, 0},
+                    static_cast<int>(rng.uniform_int(
+                        static_cast<uint64_t>(ntypes))),
+                    placed);
+    ++placed;
+  }
+  return atoms;
+}
+
+struct Evaluated {
+  double pe;
+  std::vector<Vec3> forces;  // locals, ghost-folded
+};
+
+Evaluated eval_config(const std::shared_ptr<DPModel>& model,
+                      const EvalOptions& opts, const md::Box& box,
+                      md::Atoms atoms) {
+  md::build_periodic_ghosts(atoms, box, model->config().descriptor.rcut);
+  md::NeighborList list({model->config().descriptor.rcut, 0.0, true});
+  list.build(atoms, box);
+  PairDeepMD pair(model, opts);
+  atoms.zero_forces();
+  const md::ForceResult res = pair.compute(atoms, list);
+  for (int g = 0; g < atoms.nghost; ++g) {
+    atoms.f[static_cast<std::size_t>(
+        atoms.ghost_parent[static_cast<std::size_t>(g)])] +=
+        atoms.f[static_cast<std::size_t>(atoms.nlocal + g)];
+  }
+  Evaluated out;
+  out.pe = res.pe;
+  out.forces.assign(atoms.f.begin(), atoms.f.begin() + atoms.nlocal);
+  return out;
+}
+
+// ------------------------------------------------------- smooth weight ----
+
+TEST(SmoothWeight, PlateauAndCutoff) {
+  double s, ds;
+  smooth_weight(1.0, 4.0, 2.0, s, ds);
+  EXPECT_DOUBLE_EQ(s, 1.0);          // 1/r below r_cs
+  EXPECT_DOUBLE_EQ(ds, -1.0);
+  smooth_weight(4.0, 4.0, 2.0, s, ds);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(ds, 0.0);
+  smooth_weight(5.0, 4.0, 2.0, s, ds);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(SmoothWeight, ContinuousAtBothJoints) {
+  for (const double r0 : {2.0, 4.0}) {
+    double s_lo, ds_lo, s_hi, ds_hi;
+    smooth_weight(r0 - 1e-9, 4.0, 2.0, s_lo, ds_lo);
+    smooth_weight(r0 + 1e-9, 4.0, 2.0, s_hi, ds_hi);
+    EXPECT_NEAR(s_lo, s_hi, 1e-7);
+    EXPECT_NEAR(ds_lo, ds_hi, 1e-6);
+  }
+}
+
+TEST(SmoothWeight, DerivativeMatchesFiniteDifference) {
+  for (double r = 0.5; r < 4.2; r += 0.1) {
+    double s, ds, sp, dsp, sm, dsm;
+    smooth_weight(r, 4.0, 2.0, s, ds);
+    smooth_weight(r + 1e-7, 4.0, 2.0, sp, dsp);
+    smooth_weight(r - 1e-7, 4.0, 2.0, sm, dsm);
+    EXPECT_NEAR(ds, (sp - sm) / 2e-7, 1e-5) << "r=" << r;
+  }
+}
+
+// ------------------------------------------------------ environment mat ----
+
+TEST(EnvMat, SortedByTypeWithOffsets) {
+  Rng rng(11);
+  const md::Box box({0, 0, 0}, {12, 12, 12});
+  md::Atoms atoms = random_config(60, box, 2, rng);
+  md::build_periodic_ghosts(atoms, box, 4.5);
+  md::NeighborList list({4.5, 0.0, true});
+  list.build(atoms, box);
+
+  DescriptorParams params = small_config().descriptor;
+  AtomEnv env;
+  build_env(atoms, list, 0, params, 2, env);
+  ASSERT_EQ(env.type_offset.size(), 3u);
+  for (int k = 0; k < env.nnei(); ++k) {
+    const int t = env.nbr_type[static_cast<std::size_t>(k)];
+    EXPECT_GE(k, env.type_offset[static_cast<std::size_t>(t)]);
+    EXPECT_LT(k, env.type_offset[static_cast<std::size_t>(t) + 1]);
+    // Types must be non-decreasing along the rows.
+    if (k > 0) {
+      EXPECT_LE(env.nbr_type[static_cast<std::size_t>(k - 1)], t);
+    }
+  }
+}
+
+TEST(EnvMat, DerivativesMatchFiniteDifference) {
+  Rng rng(13);
+  const md::Box box({0, 0, 0}, {12, 12, 12});
+  md::Atoms atoms = random_config(40, box, 2, rng);
+  md::build_periodic_ghosts(atoms, box, 4.5);
+  md::NeighborList list({4.5, 0.0, true});
+  list.build(atoms, box);
+
+  DescriptorParams params = small_config().descriptor;
+  AtomEnv env;
+  build_env(atoms, list, 0, params, 2, env);
+  ASSERT_GT(env.nnei(), 0);
+
+  const double h = 1e-7;
+  for (int k = 0; k < std::min(env.nnei(), 6); ++k) {
+    for (int a = 0; a < 3; ++a) {
+      Vec3 dp = env.rel[static_cast<std::size_t>(k)];
+      Vec3 dm = dp;
+      dp[a] += h;
+      dm[a] -= h;
+      const auto row_of = [&](const Vec3& d) {
+        double s, ds;
+        smooth_weight(d.norm(), params.rcut, params.rcut_smth, s, ds);
+        const double inv_r = 1.0 / d.norm();
+        return std::array<double, 4>{s, s * d.x * inv_r, s * d.y * inv_r,
+                                     s * d.z * inv_r};
+      };
+      const auto rp = row_of(dp);
+      const auto rm = row_of(dm);
+      for (int c = 0; c < 4; ++c) {
+        const double fd = (rp[static_cast<std::size_t>(c)] -
+                           rm[static_cast<std::size_t>(c)]) / (2 * h);
+        EXPECT_NEAR(env.drmat[static_cast<std::size_t>(k) * 12 + c * 3 + a],
+                    fd, 1e-5)
+            << "nbr " << k << " comp " << c << " dim " << a;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- compression ----
+
+TEST(Compression, MatchesNetworkInRange) {
+  Rng rng(17);
+  nn::Mlp<double> net = nn::Mlp<double>::stack(1, {8, 16, 32}, 0);
+  net.init_random(rng);
+  const auto table =
+      CompressedEmbedding::build(net, {0.0, 2.0, 2048});
+
+  nn::MlpCache<double> cache;
+  std::vector<double> y(32), g(32), dg(32);
+  for (double s = 0.01; s < 2.0; s += 0.0137) {
+    double x = s;
+    net.forward(&x, y.data(), 1, cache, nn::GemmKind::Auto);
+    table.eval(s, g.data(), dg.data());
+    for (int c = 0; c < 32; ++c) {
+      EXPECT_NEAR(g[static_cast<std::size_t>(c)],
+                  y[static_cast<std::size_t>(c)], 1e-8)
+          << "s=" << s << " c=" << c;
+    }
+  }
+}
+
+TEST(Compression, DerivativeMatchesNetwork) {
+  Rng rng(19);
+  nn::Mlp<double> net = nn::Mlp<double>::stack(1, {8, 16}, 0);
+  net.init_random(rng);
+  const auto table = CompressedEmbedding::build(net, {0.0, 2.0, 1024});
+
+  std::vector<double> g(16), dg(16), gp(16), gm(16), dgu(16);
+  for (double s = 0.05; s < 1.95; s += 0.171) {
+    table.eval(s, g.data(), dg.data());
+    table.eval(s + 1e-6, gp.data(), dgu.data());
+    table.eval(s - 1e-6, gm.data(), dgu.data());
+    for (int c = 0; c < 16; ++c) {
+      const double fd = (gp[static_cast<std::size_t>(c)] -
+                         gm[static_cast<std::size_t>(c)]) / 2e-6;
+      EXPECT_NEAR(dg[static_cast<std::size_t>(c)], fd, 1e-5);
+    }
+  }
+}
+
+TEST(Compression, LinearExtensionOutOfRange) {
+  Rng rng(23);
+  nn::Mlp<double> net = nn::Mlp<double>::stack(1, {8, 16}, 0);
+  net.init_random(rng);
+  const auto table = CompressedEmbedding::build(net, {0.0, 1.0, 256});
+  std::vector<double> g_edge(16), dg_edge(16), g_out(16), dg_out(16);
+  table.eval(1.0, g_edge.data(), dg_edge.data());
+  table.eval(1.1, g_out.data(), dg_out.data());
+  for (int c = 0; c < 16; ++c) {
+    EXPECT_NEAR(g_out[static_cast<std::size_t>(c)],
+                g_edge[static_cast<std::size_t>(c)] +
+                    0.1 * dg_edge[static_cast<std::size_t>(c)],
+                1e-9);
+  }
+}
+
+// ---------------------------------------------------------- DP physics ----
+
+class DpForceCheck : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DpForceCheck, ForcesMatchEnergyGradient) {
+  const bool compressed = GetParam();
+  Rng rng(29);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(32, box, 2, rng);
+
+  EvalOptions opts;
+  opts.precision = Precision::Double;
+  opts.compressed = compressed;
+  opts.compression_bins = 4096;
+
+  const Evaluated base = eval_config(model, opts, box, atoms);
+  const double h = 1e-5;
+  // Tabulated embedding is itself an approximation of the net, but it is
+  // *self-consistent* (its derivative is the derivative of the table), so
+  // the force check passes at the same tolerance.
+  for (int i = 0; i < 5; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      md::Atoms ap = atoms;
+      md::Atoms am = atoms;
+      ap.x[static_cast<std::size_t>(i)][d] += h;
+      am.x[static_cast<std::size_t>(i)][d] -= h;
+      const double up = eval_config(model, opts, box, ap).pe;
+      const double um = eval_config(model, opts, box, am).pe;
+      const double fd = -(up - um) / (2 * h);
+      EXPECT_NEAR(base.forces[static_cast<std::size_t>(i)][d], fd, 5e-6)
+          << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FullAndCompressed, DpForceCheck,
+                         ::testing::Values(false, true));
+
+TEST(DpModel, TranslationInvariance) {
+  Rng rng(31);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(24, box, 2, rng);
+  EvalOptions opts;
+  opts.compressed = false;
+
+  const double e0 = eval_config(model, opts, box, atoms).pe;
+  md::Atoms shifted = atoms;
+  const Vec3 t{1.37, -2.11, 0.59};
+  for (auto& x : shifted.x) {
+    x += t;
+    box.wrap(x);
+  }
+  const double e1 = eval_config(model, opts, box, shifted).pe;
+  EXPECT_NEAR(e0, e1, 1e-9);
+}
+
+TEST(DpModel, RotationInvariance) {
+  // Free cluster (no PBC interactions) rotated rigidly: the descriptor's
+  // R R^T contraction guarantees rotational invariance.
+  Rng rng(37);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {40, 40, 40});
+  md::Atoms atoms;
+  for (int i = 0; i < 12; ++i) {
+    atoms.add_local({20 + rng.uniform(-2.0, 2.0), 20 + rng.uniform(-2.0, 2.0),
+                     20 + rng.uniform(-2.0, 2.0)},
+                    {0, 0, 0}, i % 2, i);
+  }
+  EvalOptions opts;
+  opts.compressed = false;
+  const double e0 = eval_config(model, opts, box, atoms).pe;
+
+  const double ang = 0.83;
+  const double ca = std::cos(ang), sa = std::sin(ang);
+  md::Atoms rotated = atoms;
+  for (auto& x : rotated.x) {
+    const Vec3 rel = x - Vec3{20, 20, 20};
+    x = Vec3{20 + ca * rel.x - sa * rel.y, 20 + sa * rel.x + ca * rel.y,
+             20 + rel.z};
+  }
+  const double e1 = eval_config(model, opts, box, rotated).pe;
+  EXPECT_NEAR(e0, e1, 1e-9);
+}
+
+TEST(DpModel, PermutationInvariance) {
+  Rng rng(41);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(20, box, 2, rng);
+  EvalOptions opts;
+  opts.compressed = false;
+  const double e0 = eval_config(model, opts, box, atoms).pe;
+
+  // Reverse the atom order (types travel with positions).
+  md::Atoms perm;
+  for (int i = atoms.nlocal - 1; i >= 0; --i) {
+    perm.add_local(atoms.x[static_cast<std::size_t>(i)], {0, 0, 0},
+                   atoms.type[static_cast<std::size_t>(i)],
+                   atoms.nlocal - 1 - i);
+  }
+  const double e1 = eval_config(model, opts, box, perm).pe;
+  EXPECT_NEAR(e0, e1, 1e-10);
+}
+
+TEST(DpModel, NewtonThirdLaw) {
+  Rng rng(43);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(30, box, 2, rng);
+  EvalOptions opts;
+  const Evaluated ev = eval_config(model, opts, box, atoms);
+  Vec3 total{0, 0, 0};
+  for (const auto& f : ev.forces) total += f;
+  EXPECT_NEAR(total.norm(), 0.0, 1e-9);
+}
+
+// -------------------------------------------------- precision variants ----
+
+TEST(Precision, Fp32TracksFp64) {
+  Rng rng(47);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(30, box, 2, rng);
+
+  EvalOptions o64, o32;
+  o64.precision = Precision::Double;
+  o32.precision = Precision::MixFp32;
+  const Evaluated e64 = eval_config(model, o64, box, atoms);
+  const Evaluated e32 = eval_config(model, o32, box, atoms);
+
+  EXPECT_NEAR(e32.pe / atoms.nlocal, e64.pe / atoms.nlocal, 1e-4);
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3 d = e32.forces[static_cast<std::size_t>(i)] -
+                   e64.forces[static_cast<std::size_t>(i)];
+    EXPECT_LT(d.norm(), 1e-3) << i;
+  }
+}
+
+TEST(Precision, Fp16DegradesGracefully) {
+  Rng rng(53);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(30, box, 2, rng);
+
+  EvalOptions o64, o16;
+  o64.precision = Precision::Double;
+  o16.precision = Precision::MixFp16;
+  const Evaluated e64 = eval_config(model, o64, box, atoms);
+  const Evaluated e16 = eval_config(model, o16, box, atoms);
+
+  // fp16 weights in the first fitting GEMM: close but measurably less exact
+  // than fp32 (Table II's MIX-fp16 row).
+  EXPECT_NEAR(e16.pe / atoms.nlocal, e64.pe / atoms.nlocal, 5e-3);
+  EXPECT_GT(std::fabs(e16.pe - e64.pe), 0.0);
+}
+
+TEST(Precision, NamesForReports) {
+  EXPECT_STREQ(precision_name(Precision::Double), "double");
+  EXPECT_STREQ(precision_name(Precision::MixFp32), "MIX-fp32");
+  EXPECT_STREQ(precision_name(Precision::MixFp16), "MIX-fp16");
+}
+
+// ----------------------------------------------------- model save/load ----
+
+TEST(DpModel, SaveLoadRoundTrip) {
+  Rng rng(59);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(16, box, 2, rng);
+  EvalOptions opts;
+  opts.compressed = false;
+  const double e0 = eval_config(model, opts, box, atoms).pe;
+
+  const std::string path = "/tmp/dpmd_test_model.bin";
+  model->save(path);
+  auto loaded = std::make_shared<DPModel>(DPModel::load(path));
+  EXPECT_EQ(loaded->param_count(), model->param_count());
+  const double e1 = eval_config(loaded, opts, box, atoms).pe;
+  EXPECT_DOUBLE_EQ(e0, e1);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ dynamics ----
+
+TEST(DpDynamics, NveConservesEnergyWithRandomModel) {
+  // Energy conservation is a property of the integrator + smooth forces,
+  // independent of the model being physically meaningful — a strong
+  // validation that the analytic DP backward pass is the true gradient.
+  Rng rng(61);
+  auto model = small_model(/*ntypes=*/1, /*seed=*/101);
+  const md::Box box({0, 0, 0}, {12, 12, 12});
+  md::Atoms atoms = random_config(40, box, 1, rng, /*min_sep=*/2.0);
+  md::thermalize(atoms, {30.0}, 40.0, rng);
+
+  EvalOptions opts;
+  opts.precision = Precision::Double;
+  opts.compressed = false;
+  auto pair = std::make_shared<PairDeepMD>(model, opts);
+  md::Sim sim(box, std::move(atoms), {30.0}, pair,
+              {.dt_fs = 0.25, .skin = 1.0});
+  sim.setup();
+  const double e0 = sim.thermo().total();
+  sim.run(150);
+  const double e1 = sim.thermo().total();
+  EXPECT_NEAR(e1, e0, std::max(1e-5, std::fabs(e0) * 1e-4));
+}
+
+TEST(DpPair, PerAtomEnergySumsToTotal) {
+  Rng rng(67);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(25, box, 2, rng);
+  md::build_periodic_ghosts(atoms, box, model->config().descriptor.rcut);
+  md::NeighborList list({model->config().descriptor.rcut, 0.0, true});
+  list.build(atoms, box);
+
+  PairDeepMD pair(model, EvalOptions{});
+  atoms.zero_forces();
+  const md::ForceResult res = pair.compute(atoms, list);
+  std::vector<double> energies;
+  ASSERT_TRUE(pair.per_atom_energy(atoms, list, energies));
+  double sum = 0.0;
+  for (const double e : energies) sum += e;
+  EXPECT_NEAR(sum, res.pe, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpmd::dp

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "gemm/gemm.hpp"
+#include "util/half.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::gemm {
+namespace {
+
+std::vector<double> random_matrix(int rows, int cols, Rng& rng,
+                                  double scale = 1.0) {
+  std::vector<double> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m) v = rng.uniform(-scale, scale);
+  return m;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  }
+  return d;
+}
+
+// Shape sweep: (M, N, K) covering the fitting-net regimes the paper cares
+// about — tall-skinny M<=3 (strong scaling, 1-2 atoms/core) through batch
+// sizes of the 8 atoms/core configuration, plus ragged odd shapes.
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GemmShapes, BlockedMatchesRef) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(100 + m * 7 + n * 3 + k);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  gemm_blocked(a.data(), b.data(), c.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-11);
+}
+
+TEST_P(GemmShapes, SveGemmMatchesRef) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(200 + m * 7 + n * 3 + k);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  sve_gemm(a.data(), b.data(), c.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-11);
+}
+
+TEST_P(GemmShapes, AutoDispatchMatchesRef) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(300 + m * 7 + n * 3 + k);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  gemm_auto(a.data(), b.data(), c.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-11);
+}
+
+TEST_P(GemmShapes, NtMatchesTransposedNn) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(400 + m * 7 + n * 3 + k);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);  // NN operand
+  std::vector<double> bt(static_cast<std::size_t>(n) * k);
+  transpose(b.data(), bt.data(), k, n);  // bt is n x k
+  std::vector<double> c_nn(static_cast<std::size_t>(m) * n);
+  std::vector<double> c_nt(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_nn.data(), m, n, k);
+  gemm_nt_ref(a.data(), bt.data(), c_nt.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c_nn, c_nt), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 240, 240},
+                      std::tuple{2, 240, 240}, std::tuple{3, 240, 240},
+                      std::tuple{3, 240, 1600}, std::tuple{8, 64, 64},
+                      std::tuple{17, 33, 5}, std::tuple{96, 240, 240},
+                      std::tuple{100, 100, 100}, std::tuple{5, 1, 7},
+                      std::tuple{1, 7, 1}, std::tuple{64, 128, 256}));
+
+TEST(Gemm, AlphaBetaHandling) {
+  Rng rng(1);
+  const int m = 4, n = 5, k = 6;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  auto c0 = random_matrix(m, n, rng);
+
+  // c = 2*A*B + 0.5*c  against explicit reference.
+  auto expected = c0;
+  std::vector<double> ab(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), ab.data(), m, n, k);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = 2.0 * ab[i] + 0.5 * expected[i];
+  }
+
+  for (int variant = 0; variant < 3; ++variant) {
+    auto c = c0;
+    switch (variant) {
+      case 0: gemm_ref(a.data(), b.data(), c.data(), m, n, k, 2.0, 0.5); break;
+      case 1:
+        gemm_blocked(a.data(), b.data(), c.data(), m, n, k, 2.0, 0.5);
+        break;
+      case 2: sve_gemm(a.data(), b.data(), c.data(), m, n, k, 2.0, 0.5); break;
+    }
+    EXPECT_LT(max_abs_diff(c, expected), 1e-11) << "variant " << variant;
+  }
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageInC) {
+  Rng rng(2);
+  const int m = 3, n = 4, k = 5;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> c(static_cast<std::size_t>(m) * n,
+                        std::numeric_limits<double>::quiet_NaN());
+  gemm_blocked(a.data(), b.data(), c.data(), m, n, k, 1.0, 0.0);
+  for (const double v : c) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Gemm, FloatInstantiation) {
+  Rng rng(3);
+  const int m = 2, n = 16, k = 8;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  sve_gemm(a.data(), b.data(), c.data(), m, n, k);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-5f);
+  }
+}
+
+TEST(Gemm, HalfWeightsErrorBounded) {
+  Rng rng(4);
+  const int m = 2, n = 240, k = 240;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<Half> bh(b.size());
+  convert_to_half(b.data(), bh.data(), b.size());
+
+  std::vector<float> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  gemm_halfw(a.data(), bh.data(), c.data(), m, n, k);
+
+  // Error budget: each b entry carries <= 2^-11 relative error; with |a|,
+  // |b| <= 1 the accumulated error over k=240 terms stays well under
+  // 240 * 2^-11 ~ 0.12.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 0.12f);
+  }
+}
+
+TEST(Gemm, HalfWeightsExactForHalfRepresentable) {
+  // If B is exactly representable in fp16, the fp16 path must agree with
+  // fp32 to accumulation roundoff.
+  const int m = 1, n = 8, k = 4;
+  std::vector<float> a = {1.0f, 0.5f, -2.0f, 4.0f};
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<float>((static_cast<int>(i) % 5) - 2) * 0.25f;
+  }
+  std::vector<Half> bh(b.size());
+  convert_to_half(b.data(), bh.data(), b.size());
+  std::vector<float> c_ref(n), c(n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  gemm_halfw(a.data(), bh.data(), c.data(), m, n, k);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(c[i], c_ref[i]);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(5);
+  const int r = 7, c = 13;
+  const auto m = random_matrix(r, c, rng);
+  std::vector<double> t(m.size()), back(m.size());
+  transpose(m.data(), t.data(), r, c);
+  transpose(t.data(), back.data(), c, r);
+  EXPECT_EQ(back, m);
+  // Spot-check the transposed layout.
+  EXPECT_DOUBLE_EQ(t[static_cast<std::size_t>(3) * r + 2],
+                   m[static_cast<std::size_t>(2) * c + 3]);
+}
+
+}  // namespace
+}  // namespace dpmd::gemm

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "loadbalance/loadbalance.hpp"
+#include "perfmodel/perfmodel.hpp"
+
+namespace dpmd {
+namespace {
+
+using lb::balance_within_nodes;
+using lb::decompose_uniform;
+using lb::NodeBoxLayout;
+using lb::pair_times;
+using lb::spread_of;
+
+TEST(LoadBalance, DecomposeConservesAtoms) {
+  Rng rng(1);
+  const auto counts = decompose_uniform(54000, {8, 6, 4}, rng);
+  EXPECT_EQ(counts.size(), 8u * 6 * 4);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 54000);
+}
+
+TEST(LoadBalance, BalancePreservesNodeTotals) {
+  Rng rng(2);
+  const auto counts = decompose_uniform(10007, {4, 4, 4}, rng);
+  const auto balanced = balance_within_nodes(counts, 4);
+  ASSERT_EQ(balanced.size(), counts.size());
+  for (std::size_t base = 0; base < counts.size(); base += 4) {
+    int before = 0, after = 0;
+    for (int r = 0; r < 4; ++r) {
+      before += counts[base + static_cast<std::size_t>(r)];
+      after += balanced[base + static_cast<std::size_t>(r)];
+    }
+    EXPECT_EQ(before, after);
+    // Within a node the balanced counts differ by at most 1.
+    int lo = balanced[base], hi = balanced[base];
+    for (int r = 1; r < 4; ++r) {
+      lo = std::min(lo, balanced[base + static_cast<std::size_t>(r)]);
+      hi = std::max(hi, balanced[base + static_cast<std::size_t>(r)]);
+    }
+    EXPECT_LE(hi - lo, 1);
+  }
+}
+
+TEST(LoadBalance, SdmrDropsAfterBalancing) {
+  // The Table III claim: natom SDMR drops by a large factor (paper: 79.93%
+  // -> 24.32% at 1 atom/core, i.e. ~3x; 8x at 2 atoms/core).
+  Rng rng(3);
+  const std::array<int, 3> grid = {16, 12, 8};  // 1536 ranks = 384 nodes
+  const auto counts = decompose_uniform(12 * 1536, grid, rng);  // 12/rank
+  const auto balanced = balance_within_nodes(counts, 4);
+  const auto s0 = spread_of(counts);
+  const auto s1 = spread_of(balanced);
+  EXPECT_NEAR(s0.avg, s1.avg, 1e-9);
+  // Multinomial statistics give sqrt(rpn) ~ 2x; the paper's spatial
+  // decomposition shows 3-8x (real density fluctuations are wider).
+  EXPECT_GT(s0.sdmr_percent / s1.sdmr_percent, 1.8);
+  EXPECT_LT(s1.max, s0.max);
+}
+
+TEST(LoadBalance, PairTimeTracksAtomCounts) {
+  const std::vector<int> atoms = {10, 20, 30};
+  lb::PairTimeModel model;
+  model.jitter_frac = 0.0;
+  const auto times = pair_times(atoms, model);
+  EXPECT_NEAR(times[1] / times[0], 2.0, 1e-12);
+  EXPECT_NEAR(times[2] / times[0], 3.0, 1e-12);
+}
+
+TEST(LoadBalance, MaxPairTimeImproves) {
+  Rng rng(4);
+  const auto counts = decompose_uniform(12 * 384, {8, 12, 4}, rng);
+  const auto balanced = balance_within_nodes(counts, 4);
+  lb::PairTimeModel model;
+  const auto t0 = spread_of(pair_times(counts, model));
+  const auto t1 = spread_of(pair_times(balanced, model));
+  EXPECT_LT(t1.max, t0.max);
+  EXPECT_LT(t1.sdmr_percent, t0.sdmr_percent);
+}
+
+TEST(NodeBoxLayout, OffsetsAndSplit) {
+  // Fig. 5(b): locals of the 4 ranks first, then per-neighbor ghost groups.
+  NodeBoxLayout layout({10, 12, 9, 11}, {5, 7, 3});
+  EXPECT_EQ(layout.node_nlocal(), 42);
+  EXPECT_EQ(layout.node_nghost(), 15);
+  EXPECT_EQ(layout.ranks(), 4);
+  EXPECT_EQ(layout.local_offset(0), 0);
+  EXPECT_EQ(layout.local_offset(2), 22);
+  EXPECT_EQ(layout.ghost_group_offset(0), 42);
+  EXPECT_EQ(layout.ghost_group_offset(2), 54);
+
+  const auto split = layout.even_split(4);
+  ASSERT_EQ(split.size(), 5u);
+  EXPECT_EQ(split.front(), 0);
+  EXPECT_EQ(split.back(), 42);
+  for (std::size_t p = 0; p + 1 < split.size() - 1; ++p) {
+    const int a = split[p + 1] - split[p];
+    const int b = split[p + 2] - split[p + 1];
+    EXPECT_LE(std::abs(a - b), 1);
+  }
+}
+
+TEST(NodeBoxLayout, EvenSplitAcross48Threads) {
+  NodeBoxLayout layout({13, 11, 12, 10}, {});
+  const auto split = layout.even_split(48);
+  EXPECT_EQ(split.back(), 46);
+  int busiest = 0;
+  for (std::size_t p = 0; p + 1 < split.size(); ++p) {
+    busiest = std::max(busiest, split[p + 1] - split[p]);
+  }
+  EXPECT_EQ(busiest, 1);  // 46 atoms over 48 threads
+}
+
+// --------------------------------------------------------------- perf ----
+
+TEST(PerfModel, VariantLadderMonotone) {
+  // Each Fig. 9 optimization must not slow the simulation down (copper,
+  // strong-scaling node count).
+  const auto sys = perf::copper_system();
+  const perf::A64fxParams cpu;
+  const tofu::MachineParams net;
+  const std::array<int, 3> grid = {8, 12, 8};  // 768 nodes
+
+  double last = 0.0;
+  for (const auto v :
+       {perf::Variant::BaselineTf, perf::Variant::RmtfFp64,
+        perf::Variant::BlasFp32, perf::Variant::SveFp32,
+        perf::Variant::SveFp16, perf::Variant::CommNolb,
+        perf::Variant::CommLb}) {
+    const auto cost = perf::predict_step(sys, grid, v, cpu, net);
+    EXPECT_GT(cost.ns_per_day, last) << perf::variant_name(v);
+    last = cost.ns_per_day;
+  }
+}
+
+TEST(PerfModel, TfRemovalIsTheBigWin) {
+  const auto sys = perf::copper_system();
+  const perf::A64fxParams cpu;
+  const tofu::MachineParams net;
+  const std::array<int, 3> grid = {20, 30, 20};  // 12000 nodes: 1 atom/core
+  const auto base =
+      perf::predict_step(sys, grid, perf::Variant::BaselineTf, cpu, net);
+  const auto rmtf =
+      perf::predict_step(sys, grid, perf::Variant::RmtfFp64, cpu, net);
+  // Paper: up to 5.2x from framework removal in the strong-scaling limit.
+  EXPECT_GT(rmtf.ns_per_day / base.ns_per_day, 2.5);
+  EXPECT_LT(rmtf.ns_per_day / base.ns_per_day, 12.0);
+}
+
+TEST(PerfModel, StrongScalingEfficiencyBand) {
+  // Fig. 11: ns/day grows with node count; parallel efficiency at 12000
+  // nodes lands near the paper's 62% (copper) with the busiest-core model.
+  const auto sys = perf::copper_system();
+  const perf::A64fxParams cpu;
+  const tofu::MachineParams net;
+  const std::array<std::array<int, 3>, 5> grids = {{{8, 12, 8},
+                                                    {12, 15, 12},
+                                                    {16, 18, 16},
+                                                    {16, 24, 16},
+                                                    {20, 30, 20}}};
+  std::vector<double> nsday;
+  for (const auto& g : grids) {
+    nsday.push_back(
+        perf::predict_step(sys, g, perf::Variant::CommLb, cpu, net).ns_per_day);
+  }
+  for (std::size_t i = 1; i < nsday.size(); ++i) {
+    EXPECT_GT(nsday[i], nsday[i - 1]);
+  }
+  const double nodes0 = 768, nodes4 = 12000;
+  const double efficiency =
+      (nsday[4] / nsday[0]) / (nodes4 / nodes0);
+  EXPECT_GT(efficiency, 0.30);
+  EXPECT_LT(efficiency, 1.0);
+}
+
+TEST(PerfModel, CopperHits100PlusNsDay) {
+  // The headline: >100 ns/day at 12000 nodes (paper: 149).
+  const auto sys = perf::copper_system();
+  const auto cost = perf::predict_step(sys, {20, 30, 20},
+                                       perf::Variant::CommLb,
+                                       perf::A64fxParams{},
+                                       tofu::MachineParams{});
+  EXPECT_GT(cost.ns_per_day, 100.0);
+  EXPECT_LT(cost.ns_per_day, 300.0);
+}
+
+TEST(PerfModel, FlopCountsScaleWithSystem) {
+  const auto cu = perf::copper_system();
+  const auto h2o = perf::water_system();
+  // Copper has ~5.7x the neighbors; its per-atom kernel flops must exceed
+  // water's, but the shared fitting net keeps the ratio modest.
+  EXPECT_GT(perf::dp_flops_per_atom(cu), perf::dp_flops_per_atom(h2o));
+  EXPECT_LT(perf::dp_flops_per_atom(cu) / perf::dp_flops_per_atom(h2o), 4.0);
+}
+
+}  // namespace
+}  // namespace dpmd

@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "md/box.hpp"
+#include "md/lattice.hpp"
+#include "md/neighbor.hpp"
+#include "md/pair_eam.hpp"
+#include "md/pair_lj.hpp"
+#include "md/pair_morse.hpp"
+#include "md/pair_water_ref.hpp"
+#include "md/rdf.hpp"
+#include "md/sim.hpp"
+#include "md/thermo.hpp"
+#include "md/units.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::md {
+namespace {
+
+// ----------------------------------------------------------------- Box ----
+
+TEST(Box, WrapAndImageTracking) {
+  const Box box({0, 0, 0}, {10, 10, 10});
+  Vec3 p{12.5, -0.5, 9.9};
+  int image[3] = {0, 0, 0};
+  box.wrap(p, image);
+  EXPECT_DOUBLE_EQ(p.x, 2.5);
+  EXPECT_DOUBLE_EQ(p.y, 9.5);
+  EXPECT_DOUBLE_EQ(p.z, 9.9);
+  EXPECT_EQ(image[0], 1);
+  EXPECT_EQ(image[1], -1);
+  EXPECT_EQ(image[2], 0);
+}
+
+TEST(Box, MinimumImage) {
+  const Box box({0, 0, 0}, {10, 10, 10});
+  const Vec3 d = box.minimum_image({9.5, 0, 0}, {0.5, 0, 0});
+  EXPECT_DOUBLE_EQ(d.x, -1.0);  // through the boundary
+  const Vec3 e = box.minimum_image({3.0, 0, 0}, {1.0, 0, 0});
+  EXPECT_DOUBLE_EQ(e.x, 2.0);
+}
+
+TEST(Box, VolumeAndContains) {
+  const Box box({-1, -1, -1}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(box.volume(), 2.0 * 3.0 * 4.0);
+  EXPECT_TRUE(box.contains({0, 0, 0}));
+  EXPECT_FALSE(box.contains({1.5, 0, 0}));
+}
+
+// ------------------------------------------------------------- Lattice ----
+
+TEST(Lattice, FccCountsAndSpacing) {
+  Box box;
+  const Atoms atoms = make_fcc(3.615, 3, 3, 3, 0, box);
+  EXPECT_EQ(atoms.nlocal, 4 * 27);
+  EXPECT_DOUBLE_EQ(box.hi.x, 3 * 3.615);
+  // Nearest-neighbor distance in fcc is a/sqrt(2).
+  double min_r = 1e9;
+  for (int i = 1; i < atoms.nlocal; ++i) {
+    min_r = std::min(min_r,
+                     box.minimum_image(atoms.x[static_cast<std::size_t>(i)],
+                                       atoms.x[0]).norm());
+  }
+  EXPECT_NEAR(min_r, 3.615 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Lattice, WaterCompositionAndBondLengths) {
+  Rng rng(5);
+  Box box;
+  const Atoms atoms = make_water_like(3, 0.0334, 0.97, rng, box);
+  EXPECT_EQ(atoms.nlocal, 27 * 3);
+  int n_o = 0, n_h = 0;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    (atoms.type[static_cast<std::size_t>(i)] == 0 ? n_o : n_h) += 1;
+  }
+  EXPECT_EQ(n_o, 27);
+  EXPECT_EQ(n_h, 54);
+  // Every O is followed by its two H at r0.
+  for (int m = 0; m < 27; ++m) {
+    const int o = 3 * m;
+    for (int k = 1; k <= 2; ++k) {
+      const double r =
+          box.minimum_image(atoms.x[static_cast<std::size_t>(o + k)],
+                            atoms.x[static_cast<std::size_t>(o)]).norm();
+      EXPECT_NEAR(r, 0.97, 1e-9);
+    }
+  }
+}
+
+// ------------------------------------------------------------ Neighbor ----
+
+class NeighborVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, double, bool>> {};
+
+TEST_P(NeighborVsBruteForce, CellListMatches) {
+  const auto [natoms, cutoff, full] = GetParam();
+  Rng rng(natoms + static_cast<int>(cutoff * 10));
+  const Box box({0, 0, 0}, {14, 14, 14});
+  Atoms atoms = make_random_gas(natoms, box, 0, rng);
+  // Add periodic ghosts via a throwaway Sim-less build: replicate near faces.
+  // Simplest correct route: use Sim's ghost builder through a tiny LJ run.
+  auto pair = std::make_shared<PairLJ>(1, cutoff);
+  pair->set_pair(0, 0, 1e-6, 1.0);
+  Sim sim(box, std::move(atoms), {1.0}, pair, {.skin = 0.5});
+  sim.setup();
+
+  NeighborList list({cutoff, 0.0, full});
+  list.build(sim.atoms(), box);
+  const auto ref = brute_force_neighbors(sim.atoms(), cutoff, full);
+
+  ASSERT_EQ(list.nlocal_built(), sim.atoms().nlocal);
+  for (int i = 0; i < sim.atoms().nlocal; ++i) {
+    auto got = list.neighbors(i);
+    auto want = ref[static_cast<std::size_t>(i)];
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "atom " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NeighborVsBruteForce,
+    ::testing::Values(std::tuple{20, 3.0, true}, std::tuple{20, 3.0, false},
+                      std::tuple{100, 2.5, true}, std::tuple{100, 4.0, false},
+                      std::tuple{250, 3.5, true},
+                      std::tuple{250, 5.0, false}));
+
+TEST(Neighbor, FccCoordinationNumber) {
+  // Counting neighbors within 1.1 * nn distance must give 12 for fcc.
+  Box box;
+  Atoms atoms = make_fcc(3.615, 3, 3, 3, 0, box);
+  const double rc = 1.1 * 3.615 / std::sqrt(2.0);
+  auto pair = std::make_shared<PairLJ>(1, rc);
+  pair->set_pair(0, 0, 1e-9, 1.0);
+  Sim sim(box, std::move(atoms), {kMassCu}, pair, {.skin = 0.3});
+  sim.setup();
+  NeighborList list({rc, 0.0, true});
+  list.build(sim.atoms(), box);
+  for (int i = 0; i < sim.atoms().nlocal; ++i) {
+    EXPECT_EQ(list.neighbors(i).size(), 12u) << i;
+  }
+}
+
+TEST(Neighbor, HalfListCountsEachPairOnce) {
+  Rng rng(77);
+  const Box box({0, 0, 0}, {12, 12, 12});
+  Atoms atoms = make_random_gas(60, box, 0, rng);
+  auto pair = std::make_shared<PairLJ>(1, 3.0);
+  pair->set_pair(0, 0, 1e-9, 1.0);
+  Sim sim(box, std::move(atoms), {1.0}, pair, {.skin = 0.4});
+  sim.setup();
+
+  NeighborList full({3.0, 0.0, true});
+  NeighborList half({3.0, 0.0, false});
+  full.build(sim.atoms(), box);
+  half.build(sim.atoms(), box);
+  // Each physical pair appears twice in the full list (once per local owner,
+  // counting ghost appearances mapped back to owners) and once in the half
+  // list; with periodic ghosts the global invariant is
+  //   sum_full = 2 * sum_half.
+  EXPECT_EQ(full.total_entries(), 2 * half.total_entries());
+}
+
+// ------------------------------------------------ force field validation ----
+
+/// Helper: total PE and per-atom forces of a configuration.
+struct Evaluated {
+  double pe;
+  std::vector<Vec3> forces;
+};
+
+Evaluated evaluate(const Box& box, const Atoms& atoms,
+                   const std::vector<double>& masses,
+                   const std::shared_ptr<Pair>& pair) {
+  Sim sim(box, atoms, masses, pair, {.skin = 0.5});
+  sim.setup();
+  Evaluated out;
+  out.pe = sim.pe();
+  out.forces.assign(sim.atoms().f.begin(),
+                    sim.atoms().f.begin() + sim.atoms().nlocal);
+  return out;
+}
+
+/// Central-difference force check: F = -dU/dx.
+void expect_forces_match_gradient(const Box& box, const Atoms& atoms,
+                                  const std::vector<double>& masses,
+                                  const std::shared_ptr<Pair>& pair,
+                                  double tol) {
+  const Evaluated base = evaluate(box, atoms, masses, pair);
+  const double h = 1e-6;
+  for (int i = 0; i < std::min(atoms.nlocal, 6); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      Atoms ap = atoms;
+      Atoms am = atoms;
+      ap.x[static_cast<std::size_t>(i)][d] += h;
+      am.x[static_cast<std::size_t>(i)][d] -= h;
+      const double up = evaluate(box, ap, masses, pair).pe;
+      const double um = evaluate(box, am, masses, pair).pe;
+      const double fd = -(up - um) / (2 * h);
+      EXPECT_NEAR(base.forces[static_cast<std::size_t>(i)][d], fd, tol)
+          << "atom " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(PairLJ, TwoAtomAnalytic) {
+  // Minimum of LJ at r = 2^(1/6) sigma with U = -epsilon (modulo shift).
+  const double sigma = 2.0, eps = 0.5, rc = 8.0;
+  auto pair = std::make_shared<PairLJ>(1, rc);
+  pair->set_pair(0, 0, eps, sigma);
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+  EXPECT_NEAR(pair->pair_energy(0, 0, rmin),
+              -eps - pair->pair_energy(0, 0, rc - 1e-9) +
+                  pair->pair_energy(0, 0, rc - 1e-9),
+              0.02);  // shift is small at rc = 4 sigma
+  EXPECT_DOUBLE_EQ(pair->pair_energy(0, 0, rc + 0.1), 0.0);
+
+  Box box({0, 0, 0}, {20, 20, 20});
+  Atoms atoms;
+  atoms.add_local({5, 5, 5}, {0, 0, 0}, 0, 0);
+  atoms.add_local({5 + rmin, 5, 5}, {0, 0, 0}, 0, 1);
+  const auto ev = evaluate(box, atoms, {1.0}, pair);
+  // At the minimum the force vanishes.
+  EXPECT_NEAR(ev.forces[0].x, 0.0, 1e-9);
+  EXPECT_NEAR(ev.forces[1].x, 0.0, 1e-9);
+}
+
+TEST(PairLJ, ForcesMatchGradient) {
+  Rng rng(3);
+  const Box box({0, 0, 0}, {12, 12, 12});
+  Atoms atoms = make_random_gas(40, box, 0, rng);
+  auto pair = std::make_shared<PairLJ>(1, 3.0);
+  pair->set_pair(0, 0, 0.01, 2.2);
+  expect_forces_match_gradient(box, atoms, {1.0}, pair, 1e-6);
+}
+
+TEST(PairLJ, NewtonThirdLawTotalForceZero) {
+  Rng rng(4);
+  const Box box({0, 0, 0}, {12, 12, 12});
+  Atoms atoms = make_random_gas(80, box, 0, rng);
+  auto pair = std::make_shared<PairLJ>(1, 3.5);
+  pair->set_pair(0, 0, 0.01, 2.0);
+  const auto ev = evaluate(box, atoms, {1.0}, pair);
+  Vec3 total{0, 0, 0};
+  double fmax = 0.0;
+  for (const auto& f : ev.forces) {
+    total += f;
+    fmax = std::max(fmax, f.norm());
+  }
+  // A random gas contains nearly-overlapping pairs with enormous LJ forces;
+  // the cancellation is exact analytically, so the residual must be pure
+  // floating-point roundoff relative to the largest force.
+  const double tol = fmax * 1e-12 * atoms.nlocal;
+  EXPECT_NEAR(total.x, 0.0, tol);
+  EXPECT_NEAR(total.y, 0.0, tol);
+  EXPECT_NEAR(total.z, 0.0, tol);
+}
+
+TEST(PairMorse, ForcesMatchGradient) {
+  Rng rng(5);
+  const Box box({0, 0, 0}, {12, 12, 12});
+  Atoms atoms = make_random_gas(30, box, 0, rng);
+  auto pair = std::make_shared<PairMorse>(1, 4.0);
+  pair->set_pair(0, 0, 0.4, 1.7, 1.5);
+  expect_forces_match_gradient(box, atoms, {1.0}, pair, 1e-6);
+}
+
+TEST(PairMorse, MinimumAtR0) {
+  auto pair = std::make_shared<PairMorse>(1, 6.0);
+  pair->set_pair(0, 0, 1.0, 2.0, 1.2);
+  const double u0 = pair->pair_energy(0, 0, 1.2);
+  EXPECT_LT(u0, pair->pair_energy(0, 0, 1.1));
+  EXPECT_LT(u0, pair->pair_energy(0, 0, 1.3));
+}
+
+TEST(PairEam, ForcesMatchGradient) {
+  Box box;
+  // 3x3x3 cells: the box (10.8 A) must exceed cutoff + skin (7.5 A).
+  Atoms atoms = make_fcc(3.61, 3, 3, 3, 0, box);
+  // Rattle the lattice so forces are non-trivial.
+  Rng rng(6);
+  for (auto& x : atoms.x) {
+    x += Vec3{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1),
+              rng.uniform(-0.1, 0.1)};
+  }
+  auto pair = std::make_shared<PairEamSC>();
+  expect_forces_match_gradient(box, atoms, {kMassCu}, pair, 5e-6);
+}
+
+TEST(PairEam, CohesiveEnergyReasonable) {
+  // Sutton-Chen Cu cohesive energy should be in the ballpark of a few eV
+  // per atom (experimental ~3.5 eV); sign and magnitude sanity check.
+  Box box;
+  Atoms atoms = make_fcc(3.61, 3, 3, 3, 0, box);
+  auto pair = std::make_shared<PairEamSC>();
+  const auto ev = evaluate(box, atoms, {kMassCu}, pair);
+  const double per_atom = ev.pe / atoms.nlocal;
+  EXPECT_LT(per_atom, -1.0);
+  EXPECT_GT(per_atom, -10.0);
+}
+
+TEST(PairEam, SwitchIsSmooth) {
+  PairEamSC pair;
+  const auto& p = pair.params();
+  EXPECT_DOUBLE_EQ(pair.switch_fn(p.r_on), 1.0);
+  EXPECT_DOUBLE_EQ(pair.switch_fn(p.cutoff), 0.0);
+  EXPECT_DOUBLE_EQ(pair.switch_deriv(p.r_on), 0.0);
+  EXPECT_DOUBLE_EQ(pair.switch_deriv(p.cutoff), 0.0);
+  // Derivative consistent with finite difference in the switch window.
+  const double r = 0.5 * (p.r_on + p.cutoff);
+  const double h = 1e-7;
+  const double fd = (pair.switch_fn(r + h) - pair.switch_fn(r - h)) / (2 * h);
+  EXPECT_NEAR(pair.switch_deriv(r), fd, 1e-6);
+}
+
+TEST(PairWaterRef, ForcesMatchGradient) {
+  Rng rng(8);
+  Box box;
+  // 27 molecules give a 9.3 A box, clearing the 6.5 A halo.
+  Atoms atoms = make_water_like(3, 0.0334, 0.97, rng, box);
+  auto pair = std::make_shared<PairWaterRef>();
+  expect_forces_match_gradient(box, atoms, {kMassO, kMassH}, pair, 1e-5);
+}
+
+TEST(PairWaterRef, OhWellNearR0) {
+  PairWaterRef pair;
+  double u_min, du_min, u_off, du_off;
+  pair.pair_u_du(0, 1, 0.97, u_min, du_min);
+  pair.pair_u_du(0, 1, 1.4, u_off, du_off);
+  EXPECT_LT(u_min, u_off);
+  EXPECT_NEAR(du_min, 0.0, 1e-9);  // minimum of the Morse well
+}
+
+// ------------------------------------------------------------- dynamics ----
+
+TEST(Sim, NveConservesEnergyLJ) {
+  Rng rng(12);
+  Box box;
+  Atoms atoms = make_fcc(4.4, 3, 3, 3, 0, box);
+  thermalize(atoms, {40.0}, 60.0, rng);
+  auto pair = std::make_shared<PairLJ>(1, 8.0);
+  pair->set_pair(0, 0, 0.0104, 3.4);  // argon-ish
+  Sim sim(box, std::move(atoms), {40.0}, pair, {.dt_fs = 2.0, .skin = 1.0});
+  sim.setup();
+  const double e0 = sim.thermo().total();
+  sim.run(250);
+  const double e1 = sim.thermo().total();
+  EXPECT_NEAR(e1, e0, std::fabs(e0) * 1e-4 + 1e-4);
+}
+
+TEST(Sim, NveConservesEnergyEam) {
+  Rng rng(13);
+  Box box;
+  Atoms atoms = make_fcc(3.61, 3, 3, 3, 0, box);
+  thermalize(atoms, {kMassCu}, 100.0, rng);
+  auto pair = std::make_shared<PairEamSC>();
+  Sim sim(box, std::move(atoms), {kMassCu}, pair, {.dt_fs = 1.0, .skin = 1.0});
+  sim.setup();
+  const double e0 = sim.thermo().total();
+  sim.run(200);
+  EXPECT_NEAR(sim.thermo().total(), e0, std::fabs(e0) * 2e-4);
+}
+
+TEST(Sim, RebuildPolicyKeepsTrajectoryConsistent) {
+  // Same initial state, different rebuild cadence: trajectories must agree
+  // (the skin guarantees no interaction is missed between rebuilds).
+  Rng rng(14);
+  Box box;
+  Atoms atoms = make_fcc(4.4, 2, 2, 2, 0, box);
+  thermalize(atoms, {40.0}, 40.0, rng);
+
+  auto make_sim = [&](int rebuild_every) {
+    auto pair = std::make_shared<PairLJ>(1, 6.0);
+    pair->set_pair(0, 0, 0.0104, 3.4);
+    return Sim(box, atoms, {40.0}, pair,
+               {.dt_fs = 2.0, .skin = 2.0, .rebuild_every = rebuild_every});
+  };
+  Sim every_step = make_sim(1);
+  Sim every_25 = make_sim(25);
+  every_step.run(60);
+  every_25.run(60);
+  for (int i = 0; i < every_step.atoms().nlocal; ++i) {
+    // Positions may differ by a box vector (wrapping happens at rebuilds),
+    // so compare through the minimum image.
+    const Vec3 d = box.minimum_image(
+        every_step.atoms().x[static_cast<std::size_t>(i)],
+        every_25.atoms().x[static_cast<std::size_t>(i)]);
+    EXPECT_LT(d.norm(), 1e-9) << i;
+    const Vec3 dv = every_step.atoms().v[static_cast<std::size_t>(i)] -
+                    every_25.atoms().v[static_cast<std::size_t>(i)];
+    EXPECT_LT(dv.norm(), 1e-9) << i;
+  }
+}
+
+TEST(Sim, LangevinEquilibratesTemperature) {
+  Rng rng(15);
+  Box box;
+  Atoms atoms = make_fcc(4.5, 3, 3, 3, 0, box);
+  thermalize(atoms, {40.0}, 10.0, rng);
+  auto pair = std::make_shared<PairLJ>(1, 6.0);
+  pair->set_pair(0, 0, 0.0104, 3.4);
+  Sim sim(box, std::move(atoms), {40.0}, pair, {.dt_fs = 2.0});
+  sim.set_thermostat(std::make_unique<LangevinThermostat>(120.0, 0.02, 99));
+  sim.run(600);
+  // Average over a window to beat fluctuation noise.
+  OnlineStats temps;
+  for (int i = 0; i < 200; ++i) {
+    sim.step();
+    temps.add(sim.thermo().temperature);
+  }
+  EXPECT_NEAR(temps.mean(), 120.0, 18.0);
+}
+
+TEST(Sim, BerendsenDrivesTowardTarget) {
+  Rng rng(16);
+  Box box;
+  Atoms atoms = make_fcc(4.5, 2, 2, 2, 0, box);
+  thermalize(atoms, {40.0}, 300.0, rng);
+  auto pair = std::make_shared<PairLJ>(1, 6.0);
+  pair->set_pair(0, 0, 0.0104, 3.4);
+  Sim sim(box, std::move(atoms), {40.0}, pair, {.dt_fs = 2.0});
+  const double t0 = 50.0;
+  sim.set_thermostat(std::make_unique<BerendsenThermostat>(t0, 100.0));
+  sim.run(400);
+  EXPECT_LT(std::fabs(sim.thermo().temperature - t0), 30.0);
+}
+
+TEST(Thermo, TemperatureOfKnownVelocities) {
+  Atoms atoms;
+  // One atom, v^2 chosen so KE = 1.5 kB T at T = 100 K.
+  const double m = 10.0;
+  const double v2 = 3.0 * kBoltzmann * 100.0 / (m * kMvv2e);
+  atoms.add_local({0, 0, 0}, {std::sqrt(v2), 0, 0}, 0, 0);
+  const double ke = kinetic_energy(atoms, {m});
+  EXPECT_NEAR(temperature_of(ke, 1), 100.0, 1e-9);
+}
+
+TEST(Thermo, ThermalizeHitsTargetOnAverage) {
+  Rng rng(21);
+  Box box;
+  Atoms atoms = make_fcc(4.0, 6, 6, 6, 0, box);
+  thermalize(atoms, {30.0}, 250.0, rng);
+  const double ke = kinetic_energy(atoms, {30.0});
+  // sigma(T) = T sqrt(2 / 3N) ~ 6.9 K for 864 atoms; allow ~3.5 sigma plus
+  // the ~0.1% COM-removal bias.
+  EXPECT_NEAR(temperature_of(ke, atoms.nlocal), 250.0, 25.0);
+  // No center-of-mass drift.
+  Vec3 p{0, 0, 0};
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    p += atoms.v[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(p.norm(), 0.0, 1e-10);
+}
+
+// ------------------------------------------------------------------ RDF ----
+
+TEST(Rdf, IdealGasIsFlatAtOne) {
+  Rng rng(31);
+  const Box box({0, 0, 0}, {20, 20, 20});
+  RdfAccumulator rdf(0, 0, 8.0, 40);
+  for (int frame = 0; frame < 20; ++frame) {
+    const Atoms atoms = make_random_gas(300, box, 0, rng);
+    rdf.add_frame(atoms, box);
+  }
+  const auto g = rdf.result();
+  // Skip the first bins (few counts); the rest must hover around 1.
+  for (std::size_t b = 10; b < g.size(); ++b) {
+    EXPECT_NEAR(g[b].g, 1.0, 0.15) << "bin " << b;
+  }
+}
+
+TEST(Rdf, FccFirstPeakAtNearestNeighbor) {
+  Box box;
+  const Atoms atoms = make_fcc(3.615, 4, 4, 4, 0, box);
+  RdfAccumulator rdf(0, 0, 6.0, 120);
+  rdf.add_frame(atoms, box);
+  const auto g = rdf.result();
+  // Locate the first non-zero peak.
+  std::size_t peak = 0;
+  for (std::size_t b = 0; b < g.size(); ++b) {
+    if (g[b].g > 1.0) {
+      peak = b;
+      break;
+    }
+  }
+  EXPECT_NEAR(g[peak].r, 3.615 / std::sqrt(2.0), 0.1);
+}
+
+TEST(Rdf, MaxDeviationOfIdenticalCurvesIsZero) {
+  Box box;
+  const Atoms atoms = make_fcc(3.615, 3, 3, 3, 0, box);
+  RdfAccumulator a(0, 0, 5.0, 50), b(0, 0, 5.0, 50);
+  a.add_frame(atoms, box);
+  b.add_frame(atoms, box);
+  EXPECT_DOUBLE_EQ(rdf_max_deviation(a.result(), b.result()), 0.0);
+}
+
+}  // namespace
+}  // namespace dpmd::md

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::nn {
+namespace {
+
+// ----------------------------------------------------------- DenseLayer ----
+
+TEST(Dense, LinearLayerMatchesManual) {
+  DenseLayer<double> layer(2, 3, Act::Linear, Resnet::None);
+  // W = [[1,2,3],[4,5,6]], b = [0.1, 0.2, 0.3]
+  layer.w.d = {1, 2, 3, 4, 5, 6};
+  layer.b = {0.1, 0.2, 0.3};
+  layer.finalize();
+
+  const std::vector<double> x = {1.0, -1.0};
+  std::vector<double> y(3), h(3);
+  layer.forward(x.data(), y.data(), h.data(), 1, GemmKind::Ref);
+  EXPECT_NEAR(y[0], 1 - 4 + 0.1, 1e-12);
+  EXPECT_NEAR(y[1], 2 - 5 + 0.2, 1e-12);
+  EXPECT_NEAR(y[2], 3 - 6 + 0.3, 1e-12);
+}
+
+TEST(Dense, TanhApplied) {
+  DenseLayer<double> layer(1, 1, Act::Tanh, Resnet::None);
+  layer.w.d = {2.0};
+  layer.b = {0.5};
+  layer.finalize();
+  const double x = 0.3;
+  double y, h;
+  layer.forward(&x, &y, &h, 1, GemmKind::Ref);
+  EXPECT_NEAR(y, std::tanh(2.0 * 0.3 + 0.5), 1e-12);
+}
+
+TEST(Dense, IdentityResnetAddsInput) {
+  DenseLayer<double> layer(2, 2, Act::Tanh, Resnet::Identity);
+  Rng rng(1);
+  for (auto& v : layer.w.d) v = rng.uniform(-1, 1);
+  layer.finalize();
+  const std::vector<double> x = {0.4, -0.7};
+  std::vector<double> y(2), h(2);
+  layer.forward(x.data(), y.data(), h.data(), 1, GemmKind::Ref);
+  EXPECT_NEAR(y[0], h[0] + x[0], 1e-12);
+  EXPECT_NEAR(y[1], h[1] + x[1], 1e-12);
+}
+
+TEST(Dense, DoubledResnetConcatsInput) {
+  DenseLayer<double> layer(2, 4, Act::Tanh, Resnet::Doubled);
+  Rng rng(2);
+  for (auto& v : layer.w.d) v = rng.uniform(-1, 1);
+  layer.finalize();
+  const std::vector<double> x = {0.4, -0.7};
+  std::vector<double> y(4), h(4);
+  layer.forward(x.data(), y.data(), h.data(), 1, GemmKind::Ref);
+  EXPECT_NEAR(y[0], h[0] + x[0], 1e-12);
+  EXPECT_NEAR(y[1], h[1] + x[1], 1e-12);
+  EXPECT_NEAR(y[2], h[2] + x[0], 1e-12);
+  EXPECT_NEAR(y[3], h[3] + x[1], 1e-12);
+}
+
+TEST(Dense, ResnetShapeValidation) {
+  EXPECT_THROW(DenseLayer<double>(2, 3, Act::Tanh, Resnet::Identity),
+               dpmd::Error);
+  EXPECT_THROW(DenseLayer<double>(2, 5, Act::Tanh, Resnet::Doubled),
+               dpmd::Error);
+}
+
+// ------------------------------------------------------ gradient checks ----
+
+/// Central-difference gradient of a scalar function of the network input.
+class MlpGradCheck : public ::testing::TestWithParam<GemmKind> {};
+
+TEST_P(MlpGradCheck, InputGradientMatchesFiniteDifference) {
+  const GemmKind kind = GetParam();
+  Rng rng(42);
+  Mlp<double> net = Mlp<double>::stack(4, {8, 16, 16}, 1);
+  net.init_random(rng);
+
+  const int batch = 3;
+  std::vector<double> x(4 * batch);
+  for (auto& v : x) v = rng.uniform(-0.5, 0.5);
+
+  MlpCache<double> cache;
+  std::vector<double> y(batch);
+  net.forward(x.data(), y.data(), batch, cache, kind);
+
+  // L = sum(y)  =>  dL/dy = 1.
+  std::vector<double> dy(batch, 1.0);
+  std::vector<double> dx(x.size());
+  net.backward_input(dy.data(), dx.data(), batch, cache, kind);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    auto xp = x;
+    auto xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    std::vector<double> yp(batch), ym(batch);
+    net.forward(xp.data(), yp.data(), batch, cache, kind);
+    double lp = 0, lm = 0;
+    for (int b = 0; b < batch; ++b) lp += yp[b];
+    net.forward(xm.data(), ym.data(), batch, cache, kind);
+    for (int b = 0; b < batch; ++b) lm += ym[b];
+    const double fd = (lp - lm) / (2 * h);
+    EXPECT_NEAR(dx[i], fd, 1e-6) << "input " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MlpGradCheck,
+                         ::testing::Values(GemmKind::Ref, GemmKind::Blocked,
+                                           GemmKind::Sve, GemmKind::Auto));
+
+TEST(Mlp, ParamGradientMatchesFiniteDifference) {
+  Rng rng(7);
+  Mlp<double> net = Mlp<double>::stack(3, {6, 6}, 1);
+  net.init_random(rng);
+
+  const int batch = 2;
+  std::vector<double> x(3 * batch);
+  for (auto& v : x) v = rng.uniform(-0.5, 0.5);
+
+  MlpCache<double> cache;
+  std::vector<double> y(batch);
+  MlpGrads<double> grads = net.make_grads();
+  grads.zero();
+  net.forward(x.data(), y.data(), batch, cache, GemmKind::Ref);
+  std::vector<double> dy(batch, 1.0);
+  net.backward_full(dy.data(), nullptr, batch, cache, grads, GemmKind::Ref);
+
+  // Flatten analytic grads in pack order (w then b per layer).
+  std::vector<double> flat_grad;
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    flat_grad.insert(flat_grad.end(), grads.dw[l].d.begin(),
+                     grads.dw[l].d.end());
+    flat_grad.insert(flat_grad.end(), grads.db[l].begin(), grads.db[l].end());
+  }
+
+  auto params = net.pack_params();
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 7) {  // sample every 7th
+    auto pp = params;
+    auto pm = params;
+    pp[i] += h;
+    pm[i] -= h;
+    net.unpack_params(pp);
+    std::vector<double> yp(batch);
+    net.forward(x.data(), yp.data(), batch, cache, GemmKind::Ref);
+    net.unpack_params(pm);
+    std::vector<double> ym(batch);
+    net.forward(x.data(), ym.data(), batch, cache, GemmKind::Ref);
+    double lp = 0, lm = 0;
+    for (int b = 0; b < batch; ++b) {
+      lp += yp[b];
+      lm += ym[b];
+    }
+    const double fd = (lp - lm) / (2 * h);
+    EXPECT_NEAR(flat_grad[i], fd, 1e-5) << "param " << i;
+    net.unpack_params(params);
+  }
+}
+
+// ----------------------------------------------------------------- Mlp ----
+
+TEST(Mlp, StackBuildsDeepMdShapes) {
+  // Embedding-net shape: 1 -> 25 -> 50 -> 100 with a Doubled skip at each
+  // widening step.
+  const Mlp<double> emb = Mlp<double>::stack(1, {25, 50, 100}, 0);
+  ASSERT_EQ(emb.layers().size(), 3u);
+  EXPECT_EQ(emb.layers()[0].resnet, Resnet::None);  // 1 -> 25 is irregular
+  EXPECT_EQ(emb.layers()[1].resnet, Resnet::Doubled);
+  EXPECT_EQ(emb.layers()[2].resnet, Resnet::Doubled);
+
+  // Fitting-net shape: D -> 240 -> 240 -> 240 -> 1 with Identity skips.
+  const Mlp<double> fit = Mlp<double>::stack(1600, {240, 240, 240}, 1);
+  ASSERT_EQ(fit.layers().size(), 4u);
+  EXPECT_EQ(fit.layers()[1].resnet, Resnet::Identity);
+  EXPECT_EQ(fit.layers()[2].resnet, Resnet::Identity);
+  EXPECT_EQ(fit.layers()[3].act, Act::Linear);
+  EXPECT_EQ(fit.output_dim(), 1);
+}
+
+TEST(Mlp, PackUnpackRoundTrip) {
+  Rng rng(9);
+  Mlp<double> net = Mlp<double>::stack(2, {4, 4}, 1);
+  net.init_random(rng);
+  const auto params = net.pack_params();
+  EXPECT_EQ(params.size(), net.param_count());
+
+  const std::vector<double> x = {0.1, 0.2};
+  MlpCache<double> cache;
+  double y0;
+  net.forward(x.data(), &y0, 1, cache, GemmKind::Ref);
+
+  auto perturbed = params;
+  for (auto& p : perturbed) p += 1.0;
+  net.unpack_params(perturbed);
+  double y1;
+  net.forward(x.data(), &y1, 1, cache, GemmKind::Ref);
+  EXPECT_NE(y0, y1);
+
+  net.unpack_params(params);
+  double y2;
+  net.forward(x.data(), &y2, 1, cache, GemmKind::Ref);
+  EXPECT_DOUBLE_EQ(y0, y2);
+}
+
+TEST(Mlp, CastToFloatTracksDouble) {
+  Rng rng(11);
+  Mlp<double> net = Mlp<double>::stack(3, {16, 16}, 1);
+  net.init_random(rng);
+  Mlp<float> netf = net.cast<float>();
+
+  const std::vector<double> x = {0.3, -0.2, 0.8};
+  const std::vector<float> xf = {0.3f, -0.2f, 0.8f};
+  MlpCache<double> cache;
+  MlpCache<float> cachef;
+  double y;
+  float yf;
+  net.forward(x.data(), &y, 1, cache, GemmKind::Ref);
+  netf.forward(xf.data(), &yf, 1, cachef, GemmKind::Ref);
+  EXPECT_NEAR(y, static_cast<double>(yf), 1e-5);
+}
+
+TEST(Mlp, HalfWeightsForwardClose) {
+  Rng rng(13);
+  Mlp<double> net = Mlp<double>::stack(8, {32, 32}, 1);
+  net.init_random(rng);
+  Mlp<float> netf = net.cast<float>();
+
+  std::vector<float> x(8);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  MlpCache<float> c1, c2;
+  float y32, y16;
+  netf.forward(x.data(), &y32, 1, c1, GemmKind::Auto);
+  netf.forward(x.data(), &y16, 1, c2, GemmKind::HalfWeights);
+  EXPECT_NE(y32, 0.0f);
+  EXPECT_NEAR(y16, y32, 5e-2f);  // fp16 storage error, bounded
+}
+
+TEST(Mlp, BatchMatchesPerSample) {
+  Rng rng(17);
+  Mlp<double> net = Mlp<double>::stack(4, {8, 8}, 2);
+  net.init_random(rng);
+  const int batch = 5;
+  std::vector<double> x(4 * batch);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  MlpCache<double> cache;
+  std::vector<double> y_batch(2 * batch);
+  net.forward(x.data(), y_batch.data(), batch, cache, GemmKind::Auto);
+
+  for (int b = 0; b < batch; ++b) {
+    MlpCache<double> c2;
+    std::vector<double> y(2);
+    net.forward(x.data() + 4 * b, y.data(), 1, c2, GemmKind::Auto);
+    EXPECT_NEAR(y[0], y_batch[2 * b], 1e-12);
+    EXPECT_NEAR(y[1], y_batch[2 * b + 1], 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------- Adam ----
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(p) = sum (p_i - t_i)^2
+  const std::vector<double> target = {1.0, -2.0, 3.0};
+  std::vector<double> p = {0.0, 0.0, 0.0};
+  Adam opt(p.size(), {.lr = 0.05});
+  for (int it = 0; it < 2000; ++it) {
+    std::vector<double> g(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) g[i] = 2 * (p[i] - target[i]);
+    opt.step(p, g);
+  }
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], target[i], 1e-3);
+  }
+}
+
+TEST(Adam, LrDecayReducesStepSize) {
+  Adam opt(1, {.lr = 0.1, .lr_decay = 0.9});
+  const double lr0 = opt.current_lr();
+  std::vector<double> p = {0.0};
+  opt.step(p, {1.0});
+  EXPECT_LT(opt.current_lr(), lr0);
+}
+
+TEST(Adam, TrainsMlpOnToyFunction) {
+  // End-to-end: fit y = sin(3x) on [-1, 1] with a small tanh net.  This
+  // validates the whole forward/backward_full/Adam loop that the Deep
+  // Potential trainer reuses.
+  Rng rng(23);
+  Mlp<double> net = Mlp<double>::stack(1, {16, 16}, 1);
+  net.init_random(rng);
+  MlpCache<double> cache;
+  MlpGrads<double> grads = net.make_grads();
+
+  auto params = net.pack_params();
+  Adam opt(params.size(), {.lr = 3e-3});
+
+  const int batch = 32;
+  std::vector<double> x(batch), y(batch), t(batch), dy(batch);
+  double final_loss = 1e9;
+  for (int it = 0; it < 1500; ++it) {
+    for (int b = 0; b < batch; ++b) {
+      x[static_cast<std::size_t>(b)] = rng.uniform(-1, 1);
+      t[static_cast<std::size_t>(b)] =
+          std::sin(3.0 * x[static_cast<std::size_t>(b)]);
+    }
+    net.forward(x.data(), y.data(), batch, cache, GemmKind::Auto);
+    double loss = 0;
+    for (int b = 0; b < batch; ++b) {
+      const double e = y[static_cast<std::size_t>(b)] -
+                       t[static_cast<std::size_t>(b)];
+      loss += e * e / batch;
+      dy[static_cast<std::size_t>(b)] = 2 * e / batch;
+    }
+    final_loss = loss;
+    grads.zero();
+    net.backward_full(dy.data(), nullptr, batch, cache, grads,
+                      GemmKind::Auto);
+    std::vector<double> flat;
+    flat.reserve(params.size());
+    for (std::size_t l = 0; l < net.layers().size(); ++l) {
+      flat.insert(flat.end(), grads.dw[l].d.begin(), grads.dw[l].d.end());
+      flat.insert(flat.end(), grads.db[l].begin(), grads.db[l].end());
+    }
+    opt.step(params, flat);
+    net.unpack_params(params);
+  }
+  EXPECT_LT(final_loss, 5e-3);
+}
+
+}  // namespace
+}  // namespace dpmd::nn

@@ -1,0 +1,242 @@
+// Parameterized property sweeps across modules: invariants that must hold
+// for *every* configuration in a family, not just a hand-picked instance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "comm/geometry.hpp"
+#include "comm/halo.hpp"
+#include "core/inference.hpp"
+#include "core/pair_deepmd.hpp"
+#include "md/ghosts.hpp"
+#include "md/lattice.hpp"
+#include "md/pair_lj.hpp"
+#include "md/sim.hpp"
+#include "md/thermo.hpp"
+#include "md/units.hpp"
+#include "tofu/netsim.hpp"
+#include "util/random.hpp"
+
+namespace dpmd {
+namespace {
+
+// ---------------------------------------------------------- DP symmetry ----
+
+class DpSymmetrySweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(DpSymmetrySweep, EnergyInvariants) {
+  const auto [ntypes, seed] = GetParam();
+  dp::ModelConfig cfg;
+  cfg.ntypes = ntypes;
+  cfg.descriptor.rcut = 4.0;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel.assign(static_cast<std::size_t>(ntypes), 32);
+  cfg.descriptor.emb_widths = {6, 12};
+  cfg.descriptor.axis_neurons = 4;
+  cfg.fit_widths = {16, 16};
+  auto model = std::make_shared<dp::DPModel>(cfg);
+  Rng rng(seed);
+  model->init_random(rng);
+
+  const md::Box box({0, 0, 0}, {10, 10, 10});
+  md::Atoms atoms;
+  for (int i = 0; i < 18; ++i) {
+    atoms.add_local({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                     rng.uniform(0.0, 10.0)},
+                    {0, 0, 0}, i % ntypes, i);
+  }
+
+  const auto energy_of = [&](md::Atoms a) {
+    md::build_periodic_ghosts(a, box, cfg.descriptor.rcut);
+    md::NeighborList list({cfg.descriptor.rcut, 0.0, true});
+    list.build(a, box);
+    dp::EvalOptions opts;
+    opts.compressed = false;
+    dp::PairDeepMD pair(model, opts);
+    a.zero_forces();
+    return pair.compute(a, list).pe;
+  };
+
+  const double e0 = energy_of(atoms);
+
+  // Translation (with wrap).
+  md::Atoms shifted = atoms;
+  for (auto& x : shifted.x) {
+    x += Vec3{2.3, -1.1, 4.4};
+    box.wrap(x);
+  }
+  EXPECT_NEAR(energy_of(shifted), e0, 1e-9);
+
+  // Permutation (cyclic rotation of atom order).
+  md::Atoms perm;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const int j = (i + 5) % atoms.nlocal;
+    perm.add_local(atoms.x[static_cast<std::size_t>(j)], {0, 0, 0},
+                   atoms.type[static_cast<std::size_t>(j)], i);
+  }
+  EXPECT_NEAR(energy_of(perm), e0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndSeeds, DpSymmetrySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(101u, 202u, 303u)));
+
+// ------------------------------------------------- precision degradation ----
+
+class PrecisionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrecisionSweep, Fp32ForceErrorBounded) {
+  const uint64_t seed = GetParam();
+  dp::ModelConfig cfg;
+  cfg.ntypes = 1;
+  cfg.descriptor.rcut = 4.0;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel = {32};
+  cfg.descriptor.emb_widths = {6, 12};
+  cfg.descriptor.axis_neurons = 4;
+  cfg.fit_widths = {16, 16};
+  auto model = std::make_shared<dp::DPModel>(cfg);
+  Rng rng(seed);
+  model->init_random(rng);
+
+  md::Box box({0, 0, 0}, {10, 10, 10});
+  md::Atoms atoms;
+  for (int i = 0; i < 20; ++i) {
+    atoms.add_local({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                     rng.uniform(0.0, 10.0)},
+                    {0, 0, 0}, 0, i);
+  }
+  md::build_periodic_ghosts(atoms, box, 4.0);
+  md::NeighborList list({4.0, 0.0, true});
+  list.build(atoms, box);
+
+  dp::AtomEnv env;
+  std::vector<Vec3> d64, d32;
+  dp::EvalOptions o64, o32;
+  o64.compressed = o32.compressed = false;
+  o64.precision = dp::Precision::Double;
+  o32.precision = dp::Precision::MixFp32;
+  dp::DPEvaluator e64(model, o64), e32(model, o32);
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    dp::build_env(atoms, list, i, cfg.descriptor, 1, env);
+    const double v64 = e64.evaluate_atom(env, d64);
+    const double v32 = e32.evaluate_atom(env, d32);
+    EXPECT_NEAR(v32, v64, 1e-4 * std::max(1.0, std::fabs(v64)));
+    for (std::size_t k = 0; k < d64.size(); ++k) {
+      EXPECT_LT((d32[k] - d64[k]).norm(),
+                1e-3 * std::max(1.0, d64[k].norm()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecisionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------- halo sweeps ----
+
+class HaloGridSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HaloGridSweep, ThreeStageAlwaysMatchesOracle) {
+  const auto [gx, gy, gz] = GetParam();
+  const simmpi::CartGrid grid(gx, gy, gz);
+  const Vec3 sub{20.0 / gx, 20.0 / gy, 20.0 / gz};
+  const md::Box global({0, 0, 0}, {20, 20, 20});
+  const double rcut = 3.0;
+
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    const auto c = grid.coords_of(rank.rank());
+    comm::LocalDomain dom;
+    dom.sub_box = md::Box({c[0] * sub.x, c[1] * sub.y, c[2] * sub.z},
+                          {(c[0] + 1) * sub.x, (c[1] + 1) * sub.y,
+                           (c[2] + 1) * sub.z});
+    Rng rng(77 + static_cast<uint64_t>(rank.rank()));
+    for (int i = 0; i < 12; ++i) {
+      comm::HaloAtom a;
+      a.x = rng.uniform(dom.sub_box.lo.x, dom.sub_box.hi.x);
+      a.y = rng.uniform(dom.sub_box.lo.y, dom.sub_box.hi.y);
+      a.z = rng.uniform(dom.sub_box.lo.z, dom.sub_box.hi.z);
+      a.tag = rank.rank() * 1000 + i;
+      dom.locals.push_back(a);
+    }
+    const auto ghosts =
+        comm::exchange_three_stage(rank, grid, global, dom, rcut);
+    const auto expected =
+        comm::expected_ghosts_bruteforce(rank, global, dom, rcut);
+    EXPECT_EQ(comm::ghost_keys(ghosts), comm::ghost_keys(expected));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HaloGridSweep,
+                         ::testing::Values(std::tuple{2, 2, 2},
+                                           std::tuple{4, 2, 1},
+                                           std::tuple{3, 3, 1},
+                                           std::tuple{1, 2, 4}));
+
+// ------------------------------------------------------- netsim scaling ----
+
+class NetsimScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetsimScalingSweep, CostMonotoneInMessageCount) {
+  const int base_msgs = GetParam();
+  const tofu::Torus topo(4, 4, 4);
+  const tofu::MachineParams mp;
+  const auto plan_with = [&](int n) {
+    tofu::CommPlan plan;
+    tofu::Phase ph;
+    for (int i = 0; i < n; ++i) {
+      tofu::NetMessage m;
+      m.src_node = 0;
+      m.dst_node = 1 + i % 7;
+      m.bytes = 256;
+      m.post_thread = i % 4;
+      ph.messages.push_back(m);
+    }
+    plan.phases.push_back(ph);
+    return plan;
+  };
+  const double t1 = tofu::evaluate(plan_with(base_msgs), mp, topo).total_s;
+  const double t2 = tofu::evaluate(plan_with(2 * base_msgs), mp, topo).total_s;
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2.5 * t1 + 1e-6);  // sub-linear thanks to thread/TNI overlap
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, NetsimScalingSweep,
+                         ::testing::Values(8, 24, 64, 128));
+
+// ----------------------------------------------------- thermo identities ----
+
+TEST(ThermoProperties, IdealGasPressure) {
+  // Nearly non-interacting gas: P V = N kB T within sampling error.
+  Rng rng(5);
+  const md::Box box({0, 0, 0}, {30, 30, 30});
+  md::Atoms atoms = md::make_random_gas(400, box, 0, rng);
+  md::thermalize(atoms, {40.0}, 200.0, rng);
+  auto pair = std::make_shared<md::PairLJ>(1, 3.0);
+  pair->set_pair(0, 0, 1e-9, 1.0);  // epsilon ~ 0: ideal gas
+  md::Sim sim(box, std::move(atoms), {40.0}, pair, {.skin = 0.5});
+  sim.setup();
+  const auto t = sim.thermo();
+  const double expected_bar = 400.0 * md::kBoltzmann * t.temperature /
+                              box.volume() * md::kEvPerA3ToBar;
+  // Overlapping pairs keep a sliver of virial even at epsilon ~ 0; accept
+  // a 0.1% residual.
+  EXPECT_NEAR(t.pressure, expected_bar, 1e-3 * expected_bar);
+}
+
+TEST(ThermoProperties, KineticEnergyAdditivity) {
+  Rng rng(6);
+  md::Box box;
+  md::Atoms atoms = md::make_fcc(4.0, 3, 3, 3, 0, box);
+  md::thermalize(atoms, {50.0}, 150.0, rng);
+  const double total = md::kinetic_energy(atoms, {50.0});
+  // Halving every velocity quarters the kinetic energy.
+  for (auto& v : atoms.v) v *= 0.5;
+  EXPECT_NEAR(md::kinetic_energy(atoms, {50.0}), total / 4.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace dpmd

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "runtime/threadpool.hpp"
+
+namespace dpmd::rt {
+namespace {
+
+TEST(Partition, CoversRangeExactly) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+    for (unsigned parts : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (unsigned p = 0; p < parts; ++p) {
+        const Range r = partition(n, parts, p);
+        EXPECT_EQ(r.begin, prev_end);
+        EXPECT_LE(r.begin, r.end);
+        covered += r.end - r.begin;
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(Partition, BalancedWithinOne) {
+  const std::size_t n = 103;
+  const unsigned parts = 8;
+  std::size_t lo = n, hi = 0;
+  for (unsigned p = 0; p < parts; ++p) {
+    const Range r = partition(n, parts, p);
+    lo = std::min(lo, r.end - r.begin);
+    hi = std::max(hi, r.end - r.begin);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ThreadPool, RunOnAllReachesEveryThread) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::mutex mu;
+  std::set<unsigned> seen;
+  pool.run_on_all([&](unsigned tid) {
+    std::lock_guard lock(mu);
+    seen.insert(tid);
+  });
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelRangesDisjointAndComplete) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(777);
+  pool.parallel_ranges(touched.size(),
+                       [&](std::size_t b, std::size_t e, unsigned) {
+                         for (std::size_t i = b; i < e; ++i) {
+                           touched[i].fetch_add(1);
+                         }
+                       });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ManyConsecutiveRegions) {
+  // The point of the persistent pool (paper §III-D2): repeated parallel
+  // regions must be cheap and correct; run a few thousand back-to-back.
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  for (int iter = 0; iter < 2000; ++iter) {
+    pool.run_on_all([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000L * 2);
+}
+
+TEST(ThreadPool, SingleThreadDegenerate) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.run_on_all([&](unsigned tid) {
+    EXPECT_EQ(tid, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  std::vector<int> v(10, 0);
+  pool.parallel_for(v.size(), [&](std::size_t i) { v[i] = 1; });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 10);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.parallel_ranges(0, [&](std::size_t, std::size_t, unsigned) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpmd::rt

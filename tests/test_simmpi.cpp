@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "simmpi/simmpi.hpp"
+
+namespace dpmd::simmpi {
+namespace {
+
+TEST(SimMpi, SendRecvDeliversPayload) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      const std::vector<int> data = {1, 2, 3, 4};
+      r.send_vec(1, 7, data);
+    } else {
+      const auto got = r.recv_vec<int>(0, 7);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(SimMpi, FifoOrderPerChannel) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      for (int i = 0; i < 50; ++i) r.send_vec(1, 3, std::vector<int>{i});
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(r.recv_vec<int>(0, 3)[0], i);
+      }
+    }
+  });
+}
+
+TEST(SimMpi, TagsAreIndependentChannels) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      r.send_vec(1, 1, std::vector<int>{111});
+      r.send_vec(1, 2, std::vector<int>{222});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(r.recv_vec<int>(0, 2)[0], 222);
+      EXPECT_EQ(r.recv_vec<int>(0, 1)[0], 111);
+    }
+  });
+}
+
+TEST(SimMpi, RingExchange) {
+  const int n = 8;
+  run_world(n, [n](Rank& r) {
+    const int right = (r.rank() + 1) % n;
+    const int left = (r.rank() + n - 1) % n;
+    const auto got = r.sendrecv_vec<int>(right, left, 5,
+                                         std::vector<int>{r.rank()});
+    EXPECT_EQ(got[0], left);
+  });
+}
+
+TEST(SimMpi, EmptyMessage) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      r.send_vec(1, 9, std::vector<double>{});
+    } else {
+      EXPECT_TRUE(r.recv_vec<double>(0, 9).empty());
+    }
+  });
+}
+
+TEST(SimMpi, AllreduceSum) {
+  run_world(5, [](Rank& r) {
+    const double total = r.allreduce_sum(static_cast<double>(r.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, 15.0);  // 1+2+3+4+5
+  });
+}
+
+TEST(SimMpi, AllreduceVector) {
+  run_world(4, [](Rank& r) {
+    const std::vector<double> mine = {1.0, static_cast<double>(r.rank())};
+    const auto total = r.allreduce_sum(mine);
+    EXPECT_DOUBLE_EQ(total[0], 4.0);
+    EXPECT_DOUBLE_EQ(total[1], 6.0);  // 0+1+2+3
+  });
+}
+
+TEST(SimMpi, AllreduceMax) {
+  run_world(6, [](Rank& r) {
+    EXPECT_DOUBLE_EQ(r.allreduce_max(static_cast<double>(r.rank())), 5.0);
+  });
+}
+
+TEST(SimMpi, AllgatherIndexedByRank) {
+  run_world(4, [](Rank& r) {
+    const auto all = r.allgather(r.rank() * 10);
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i * 10);
+  });
+}
+
+TEST(SimMpi, AllgathervVariableSizes) {
+  run_world(3, [](Rank& r) {
+    std::vector<int> mine(static_cast<std::size_t>(r.rank() + 1), r.rank());
+    const auto all = r.allgatherv(mine);
+    ASSERT_EQ(all.size(), 3u);
+    for (int src = 0; src < 3; ++src) {
+      EXPECT_EQ(all[static_cast<std::size_t>(src)].size(),
+                static_cast<std::size_t>(src + 1));
+      for (const int v : all[static_cast<std::size_t>(src)]) {
+        EXPECT_EQ(v, src);
+      }
+    }
+  });
+}
+
+TEST(SimMpi, RepeatedCollectivesStayConsistent) {
+  run_world(4, [](Rank& r) {
+    for (int it = 0; it < 20; ++it) {
+      const double s = r.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(s, 4.0);
+      r.barrier();
+    }
+  });
+}
+
+TEST(SimMpi, CountsTraffic) {
+  World w(2);
+  w.run([](Rank& r) {
+    if (r.rank() == 0) r.send_vec(1, 0, std::vector<double>(10, 1.0));
+    else r.recv_vec<double>(0, 0);
+  });
+  EXPECT_EQ(w.messages_sent(), 1u);
+  EXPECT_EQ(w.bytes_sent(), 80u);
+}
+
+TEST(SimMpi, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(run_world(2,
+                         [](Rank& r) {
+                           if (r.rank() == 1) {
+                             throw dpmd::Error("rank 1 exploded");
+                           }
+                         }),
+               dpmd::Error);
+}
+
+TEST(SimMpi, FailedRankPoisonsBlockedReceivers) {
+  // Rank 1 dies before sending; rank 0 is blocked in recv.  The poison
+  // mechanism must wake rank 0 with an error instead of deadlocking.
+  EXPECT_THROW(run_world(2,
+                         [](Rank& r) {
+                           if (r.rank() == 1) {
+                             throw dpmd::Error("dying before send");
+                           }
+                           r.recv_vec<int>(1, 0);  // would block forever
+                         }),
+               dpmd::Error);
+}
+
+TEST(SimMpi, FailedRankReleasesBarrierWaiters) {
+  EXPECT_THROW(run_world(3,
+                         [](Rank& r) {
+                           if (r.rank() == 2) {
+                             throw dpmd::Error("dying before barrier");
+                           }
+                           r.barrier();
+                         }),
+               dpmd::Error);
+}
+
+// -------------------------------------------------------------- CartGrid ----
+
+TEST(CartGrid, RankCoordRoundTrip) {
+  CartGrid grid(4, 3, 2);
+  EXPECT_EQ(grid.size(), 24);
+  for (int r = 0; r < grid.size(); ++r) {
+    const auto c = grid.coords_of(r);
+    EXPECT_EQ(grid.rank_of(c[0], c[1], c[2]), r);
+  }
+}
+
+TEST(CartGrid, PeriodicWrap) {
+  CartGrid grid(4, 3, 2);
+  EXPECT_EQ(grid.rank_of(-1, 0, 0), grid.rank_of(3, 0, 0));
+  EXPECT_EQ(grid.rank_of(4, 0, 0), grid.rank_of(0, 0, 0));
+  EXPECT_EQ(grid.rank_of(0, -1, 0), grid.rank_of(0, 2, 0));
+  EXPECT_EQ(grid.rank_of(0, 0, 2), grid.rank_of(0, 0, 0));
+}
+
+TEST(CartGrid, NeighborOffsets) {
+  CartGrid grid(3, 3, 3);
+  const int center = grid.rank_of(1, 1, 1);
+  EXPECT_EQ(grid.neighbor(center, 1, 0, 0), grid.rank_of(2, 1, 1));
+  EXPECT_EQ(grid.neighbor(center, -1, -1, -1), grid.rank_of(0, 0, 0));
+  EXPECT_EQ(grid.neighbor(center, 2, 0, 0), grid.rank_of(0, 1, 1));  // wraps
+}
+
+TEST(DimsCreate, FactorizesExactly) {
+  for (const int n : {1, 2, 4, 8, 12, 96, 384, 768, 12000}) {
+    const auto d = dims_create(n);
+    EXPECT_EQ(d[0] * d[1] * d[2], n) << n;
+  }
+}
+
+TEST(DimsCreate, PrefersCubicShapes) {
+  const auto d = dims_create(64);
+  EXPECT_EQ(d[0], 4);
+  EXPECT_EQ(d[1], 4);
+  EXPECT_EQ(d[2], 4);
+  const auto e = dims_create(96);  // 6x4x4 is the most cubic factorization
+  EXPECT_EQ(e[0] * e[1] * e[2], 96);
+  EXPECT_LE(e[0], 8);
+  EXPECT_GE(e[2], 2);
+}
+
+}  // namespace
+}  // namespace dpmd::simmpi

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/inference.hpp"
+#include "core/pair_deepmd.hpp"
+#include "core/tflike_dp.hpp"
+#include "md/ghosts.hpp"
+#include "md/neighbor.hpp"
+#include "nn/tflike/ops.hpp"
+#include "nn/tflike/session.hpp"
+#include "util/random.hpp"
+
+namespace dpmd {
+namespace {
+
+using tflike::Graph;
+using tflike::Session;
+using tflike::Tensor;
+namespace ops = tflike::ops;
+
+Tensor make(int r, int c, std::initializer_list<double> vals) {
+  Tensor t(r, c);
+  std::copy(vals.begin(), vals.end(), t.data.begin());
+  return t;
+}
+
+// --------------------------------------------------------------- kernels ----
+
+TEST(TfLikeOps, MatmulAllTransposeModes) {
+  const Tensor a = make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = make(3, 2, {7, 8, 9, 10, 11, 12});
+
+  Tensor out;
+  ops::matmul()({&a, &b}, out);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_EQ(out.cols(), 2);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 154);
+
+  // a^T (3x2) * a (2x3) -> 3x3
+  Tensor tn;
+  ops::matmul(true, false)({&a, &a}, tn);
+  EXPECT_EQ(tn.rows(), 3);
+  EXPECT_DOUBLE_EQ(tn.at(0, 0), 1 * 1 + 4 * 4);
+
+  // a (2x3) * a^T-of-(2x3) -> need b as 2x3 too: a * a^T -> 2x2
+  Tensor nt;
+  ops::matmul(false, true)({&a, &a}, nt);
+  EXPECT_EQ(nt.rows(), 2);
+  EXPECT_DOUBLE_EQ(nt.at(0, 1), 1 * 4 + 2 * 5 + 3 * 6);
+}
+
+TEST(TfLikeOps, MatmulShapeMismatchThrows) {
+  const Tensor a = make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = make(2, 2, {1, 2, 3, 4});
+  Tensor out;
+  EXPECT_THROW(ops::matmul()({&a, &b}, out), Error);
+}
+
+TEST(TfLikeOps, ElementwiseAndBias) {
+  const Tensor a = make(1, 3, {1, 2, 3});
+  const Tensor b = make(1, 3, {10, 20, 30});
+  Tensor out;
+  ops::add()({&a, &b}, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 33);
+  ops::sub()({&b, &a}, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 9);
+  ops::mul()({&a, &b}, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 40);
+  ops::scale(0.5)({&b}, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 15);
+
+  const Tensor x = make(2, 2, {0, 0, 0, 0});
+  const Tensor bias = make(1, 2, {5, 6});
+  ops::add_bias()({&x, &bias}, out);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 6);
+}
+
+TEST(TfLikeOps, TanhAndGrad) {
+  const Tensor x = make(1, 2, {0.3, -0.7});
+  Tensor y;
+  ops::tanh_op()({&x}, y);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), std::tanh(0.3));
+
+  const Tensor dy = make(1, 2, {1.0, 1.0});
+  Tensor dx;
+  ops::tanh_grad()({&dy, &y}, dx);
+  EXPECT_NEAR(dx.at(0, 0), 1.0 - std::tanh(0.3) * std::tanh(0.3), 1e-14);
+}
+
+TEST(TfLikeOps, SliceAndConcat) {
+  const Tensor x = make(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor cols;
+  ops::slice_cols(1, 3)({&x}, cols);
+  EXPECT_EQ(cols.cols(), 2);
+  EXPECT_DOUBLE_EQ(cols.at(1, 0), 5);
+
+  Tensor rows;
+  ops::slice_rows(1, 2)({&x}, rows);
+  EXPECT_EQ(rows.rows(), 1);
+  EXPECT_DOUBLE_EQ(rows.at(0, 0), 4);
+
+  Tensor cc;
+  ops::concat_cols()({&x, &x}, cc);
+  EXPECT_EQ(cc.cols(), 6);
+  EXPECT_DOUBLE_EQ(cc.at(0, 4), 2);
+
+  Tensor cr;
+  ops::concat_rows()({&x, &x}, cr);
+  EXPECT_EQ(cr.rows(), 4);
+  EXPECT_DOUBLE_EQ(cr.at(3, 2), 6);
+}
+
+TEST(TfLikeOps, ReshapeAndReduce) {
+  const Tensor x = make(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor r;
+  ops::reshape(3, 2)({&x}, r);
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_DOUBLE_EQ(r.at(2, 1), 6);
+
+  Tensor s;
+  ops::reduce_sum_all()({&x}, s);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 21);
+}
+
+// --------------------------------------------------------------- session ----
+
+TEST(TfLikeSession, EvaluatesDag) {
+  Graph g;
+  const int x = g.placeholder("x");
+  const int w = g.constant("w", make(2, 2, {1, 2, 3, 4}));
+  const int y = g.op("y", ops::matmul(), {x, w});
+  const int z = g.op("z", ops::scale(2.0), {y});
+
+  Session s(g);
+  const auto out = s.run({{x, make(1, 2, {1, 1})}}, {z});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].at(0, 0), 8);   // (1+3)*2
+  EXPECT_DOUBLE_EQ(out[0].at(0, 1), 12);  // (2+4)*2
+}
+
+TEST(TfLikeSession, PrunesUnfetchedSubgraph) {
+  Graph g;
+  const int x = g.placeholder("x");
+  const int used = g.op("used", ops::scale(3.0), {x});
+  int unused = x;
+  for (int i = 0; i < 20; ++i) {
+    unused = g.op("unused" + std::to_string(i), ops::scale(1.0), {unused});
+  }
+  Session s(g);
+  s.run({{x, make(1, 1, {2.0})}}, {used});
+  // Only the one needed op must have executed.
+  EXPECT_EQ(s.stats().op_executions, 1u);
+}
+
+TEST(TfLikeSession, MissingFeedThrows) {
+  Graph g;
+  const int x = g.placeholder("x");
+  const int y = g.op("y", ops::scale(1.0), {x});
+  Session s(g);
+  EXPECT_THROW(s.run({}, {y}), Error);
+}
+
+TEST(TfLikeSession, StatsAccumulateAcrossRuns) {
+  Graph g;
+  const int x = g.placeholder("x");
+  const int y = g.op("y", ops::scale(1.0), {x});
+  Session s(g);
+  for (int i = 0; i < 5; ++i) s.run({{x, make(1, 1, {1.0})}}, {y});
+  EXPECT_EQ(s.stats().runs, 5u);
+  EXPECT_EQ(s.stats().op_executions, 5u);
+  EXPECT_GT(s.stats().bytes_allocated, 0u);
+}
+
+// ------------------------------------------- DP equivalence (key test) ----
+
+dp::ModelConfig tiny_config() {
+  dp::ModelConfig cfg;
+  cfg.ntypes = 2;
+  cfg.descriptor.rcut = 4.0;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel = {24, 24};
+  cfg.descriptor.emb_widths = {6, 12};
+  cfg.descriptor.axis_neurons = 4;
+  cfg.fit_widths = {24, 24};
+  cfg.energy_bias = {0.3, -0.2};
+  return cfg;
+}
+
+TEST(TfLikeDp, MatchesDirectEvaluatorExactly) {
+  // The rewritten kernels and the framework path must agree to roundoff —
+  // this is what makes the Fig. 9 "TensorFlow removal" comparison purely
+  // about overhead, not numerics.
+  auto model = std::make_shared<dp::DPModel>(tiny_config());
+  Rng rng(71);
+  model->init_random(rng);
+
+  const md::Box box({0, 0, 0}, {10, 10, 10});
+  md::Atoms atoms;
+  for (int i = 0; i < 24; ++i) {
+    atoms.add_local({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                     rng.uniform(0.0, 10.0)},
+                    {0, 0, 0}, i % 2, i);
+  }
+  md::build_periodic_ghosts(atoms, box, 4.0);
+  md::NeighborList list({4.0, 0.0, true});
+  list.build(atoms, box);
+
+  dp::EvalOptions opts;
+  opts.precision = dp::Precision::Double;
+  opts.compressed = false;
+  dp::DPEvaluator direct(model, opts);
+  dp::TfLikeDPEvaluator framework(model);
+
+  dp::AtomEnv env;
+  std::vector<Vec3> dedd_direct, dedd_tf;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    dp::build_env(atoms, list, i, model->config().descriptor, 2, env);
+    const double e_direct = direct.evaluate_atom(env, dedd_direct);
+    const double e_tf = framework.evaluate_atom(env, dedd_tf);
+    EXPECT_NEAR(e_tf, e_direct, 1e-10) << "atom " << i;
+    ASSERT_EQ(dedd_tf.size(), dedd_direct.size());
+    for (std::size_t k = 0; k < dedd_tf.size(); ++k) {
+      const Vec3 d = dedd_tf[k] - dedd_direct[k];
+      EXPECT_LT(d.norm(), 1e-10) << "atom " << i << " nbr " << k;
+    }
+  }
+}
+
+TEST(TfLikeDp, FrameworkExecutesManyOpsPerAtom) {
+  // Quantifies the structural overhead: dozens of op dispatches and fresh
+  // tensor allocations per atom evaluation vs zero allocations in the
+  // direct path.
+  auto model = std::make_shared<dp::DPModel>(tiny_config());
+  Rng rng(73);
+  model->init_random(rng);
+
+  const md::Box box({0, 0, 0}, {10, 10, 10});
+  md::Atoms atoms;
+  for (int i = 0; i < 8; ++i) {
+    atoms.add_local({rng.uniform(2.0, 8.0), rng.uniform(2.0, 8.0),
+                     rng.uniform(2.0, 8.0)},
+                    {0, 0, 0}, i % 2, i);
+  }
+  md::build_periodic_ghosts(atoms, box, 4.0);
+  md::NeighborList list({4.0, 0.0, true});
+  list.build(atoms, box);
+
+  dp::TfLikeDPEvaluator framework(model);
+  dp::AtomEnv env;
+  std::vector<Vec3> dedd;
+  dp::build_env(atoms, list, 0, model->config().descriptor, 2, env);
+  framework.evaluate_atom(env, dedd);
+
+  const auto& stats = framework.stats(env.center_type);
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_GT(stats.op_executions, 40u);      // the per-run dispatch burden
+  EXPECT_GT(stats.bytes_allocated, 1000u);  // fresh intermediates
+}
+
+TEST(TfLikeDp, PairAdapterMatchesDirectPair) {
+  auto model = std::make_shared<dp::DPModel>(tiny_config());
+  Rng rng(79);
+  model->init_random(rng);
+
+  const md::Box box({0, 0, 0}, {10, 10, 10});
+  md::Atoms atoms;
+  for (int i = 0; i < 20; ++i) {
+    atoms.add_local({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                     rng.uniform(0.0, 10.0)},
+                    {0, 0, 0}, i % 2, i);
+  }
+  md::build_periodic_ghosts(atoms, box, 4.0);
+  md::NeighborList list({4.0, 0.0, true});
+  list.build(atoms, box);
+
+  dp::EvalOptions opts;
+  opts.compressed = false;
+  dp::PairDeepMD direct(model, opts);
+  dp::PairDeepMDTf baseline(model);
+
+  md::Atoms a1 = atoms;
+  md::Atoms a2 = atoms;
+  a1.zero_forces();
+  a2.zero_forces();
+  const auto r1 = direct.compute(a1, list);
+  const auto r2 = baseline.compute(a2, list);
+  EXPECT_NEAR(r1.pe, r2.pe, 1e-10);
+  EXPECT_NEAR(r1.virial, r2.virial, 1e-9);
+  for (int i = 0; i < a1.ntotal(); ++i) {
+    const Vec3 d = a1.f[static_cast<std::size_t>(i)] -
+                   a2.f[static_cast<std::size_t>(i)];
+    EXPECT_LT(d.norm(), 1e-10) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dpmd

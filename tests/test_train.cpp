@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/train.hpp"
+#include "md/lattice.hpp"
+#include "md/pair_lj.hpp"
+#include "md/sim.hpp"
+#include "md/thermo.hpp"
+
+namespace dpmd::dp {
+namespace {
+
+/// Tiny single-type model for fast training tests.
+ModelConfig train_config() {
+  ModelConfig cfg;
+  cfg.ntypes = 1;
+  cfg.descriptor.rcut = 5.0;
+  cfg.descriptor.rcut_smth = 2.0;
+  cfg.descriptor.sel = {40};
+  cfg.descriptor.emb_widths = {6, 12};
+  cfg.descriptor.axis_neurons = 4;
+  cfg.fit_widths = {24, 24};
+  return cfg;
+}
+
+/// LJ-argon reference data from a short thermostatted trajectory.
+Dataset make_lj_dataset(int nsamples, uint64_t seed, double t_kelvin = 120.0) {
+  Rng rng(seed);
+  md::Box box;
+  md::Atoms atoms = md::make_fcc(5.0, 2, 2, 2, 0, box);
+  md::thermalize(atoms, {40.0}, t_kelvin, rng);
+  auto pair = std::make_shared<md::PairLJ>(1, 5.0);
+  pair->set_pair(0, 0, 0.0104, 3.4);
+  md::Sim sim(box, std::move(atoms), {40.0}, pair, {.dt_fs = 2.0});
+  sim.set_thermostat(
+      std::make_unique<md::LangevinThermostat>(t_kelvin, 0.05, seed + 1));
+  sim.run(50);  // decorrelate from the lattice
+  return sample_reference_trajectory(sim, nsamples, 20);
+}
+
+/// Multi-temperature dataset: enough energy spread that the constant bias
+/// alone cannot fit it and the networks must learn structure.
+Dataset make_diverse_dataset(uint64_t seed) {
+  Dataset data;
+  for (const double t : {60.0, 160.0, 300.0}) {
+    const Dataset part = make_lj_dataset(3, seed + static_cast<uint64_t>(t), t);
+    for (const auto& s : part.samples()) data.add(s);
+  }
+  return data;
+}
+
+TEST(Dataset, SamplesCarryLabels) {
+  const Dataset data = make_lj_dataset(4, 5);
+  ASSERT_EQ(data.size(), 4u);
+  for (const auto& s : data.samples()) {
+    EXPECT_EQ(s.positions.size(), 32u);
+    EXPECT_EQ(s.forces.size(), 32u);
+    EXPECT_NE(s.energy, 0.0);
+    // Labels must differ between snapshots (the trajectory moves).
+  }
+  EXPECT_NE(data.samples()[0].energy, data.samples()[3].energy);
+}
+
+TEST(EnergyBias, CentersFreshModel) {
+  DPModel model(train_config());
+  Rng rng(81);
+  model.init_random(rng);
+
+  const Dataset data = make_lj_dataset(4, 11);
+  EvalOptions opts;
+  opts.compressed = false;
+
+  const AccuracyReport before = evaluate_accuracy(model, data, opts);
+  fit_env_scale(model, data);
+  fit_energy_bias(model, data);
+  const AccuracyReport after = evaluate_accuracy(model, data, opts);
+  // A random net predicts energies near zero while LJ cohesion is strongly
+  // negative; the bias must absorb that offset almost entirely.
+  EXPECT_LT(after.energy_rmse_per_atom, before.energy_rmse_per_atom * 0.5);
+}
+
+TEST(Trainer, GradientMatchesFiniteDifference) {
+  DPModel model(train_config());
+  Rng rng(87);
+  model.init_random(rng);
+  const Dataset data = make_lj_dataset(1, 23);
+  fit_env_scale(model, data);
+  fit_energy_bias(model, data);
+  const TrainSample& sample = data.samples()[0];
+
+  TrainConfig tcfg;
+  Trainer trainer(model, tcfg);
+  const auto grad = trainer.gradient_for(sample);
+  ASSERT_EQ(grad.size(), model.param_count());
+
+  EvalOptions opts;
+  opts.compressed = false;
+  const auto loss_of = [&](const std::vector<double>& params) {
+    model.unpack_params(params);
+    const auto report = evaluate_accuracy(model, data, opts);
+    return report.energy_rmse_per_atom * report.energy_rmse_per_atom;
+  };
+
+  const auto params = model.pack_params();
+  const double h = 1e-6;
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < grad.size(); i += 97) {  // sampled sweep
+    auto pp = params;
+    auto pm = params;
+    pp[i] += h;
+    pm[i] -= h;
+    const double fd = (loss_of(pp) - loss_of(pm)) / (2 * h);
+    const double scale = std::max({std::fabs(fd), std::fabs(grad[i]), 1e-6});
+    max_rel = std::max(max_rel, std::fabs(fd - grad[i]) / scale);
+    EXPECT_NEAR(grad[i], fd, 1e-6 + 1e-4 * scale) << "param " << i;
+  }
+  model.unpack_params(params);
+  EXPECT_LT(max_rel, 1e-3);
+}
+
+TEST(Trainer, LossDecreases) {
+  DPModel model(train_config());
+  Rng rng(83);
+  model.init_random(rng);
+
+  const Dataset data = make_lj_dataset(6, 13);
+  fit_env_scale(model, data);
+  fit_energy_bias(model, data);
+
+  TrainConfig tcfg;
+  tcfg.steps = 60;
+  tcfg.batch = 3;
+  tcfg.adam.lr = 2e-3;
+  Trainer trainer(model, tcfg);
+
+  // Average the loss over the first and last few steps (batches are
+  // stochastic).
+  double first = 0.0, last = 0.0;
+  for (int s = 0; s < 60; ++s) {
+    const double loss = trainer.step(data);
+    if (s < 5) first += loss;
+    if (s >= 55) last += loss;
+  }
+  EXPECT_LT(last, first);
+  EXPECT_EQ(trainer.steps_taken(), 60);
+}
+
+TEST(Trainer, ImprovesEnergyAccuracy) {
+  DPModel model(train_config());
+  Rng rng(89);
+  model.init_random(rng);
+
+  // Mixed-temperature data: the constant bias cannot absorb the spread, so
+  // accuracy gains must come from the networks.
+  const Dataset data = make_diverse_dataset(17);
+  fit_env_scale(model, data);
+  fit_energy_bias(model, data);
+  EvalOptions opts;
+  opts.compressed = false;
+
+  const AccuracyReport before = evaluate_accuracy(model, data, opts);
+  TrainConfig tcfg;
+  tcfg.steps = 500;
+  tcfg.batch = 3;
+  tcfg.adam.lr = 5e-3;
+  tcfg.adam.lr_decay = 0.998;
+  Trainer(model, tcfg).train(data);
+  const AccuracyReport after = evaluate_accuracy(model, data, opts);
+  EXPECT_LT(after.energy_rmse_per_atom, before.energy_rmse_per_atom);
+}
+
+TEST(Accuracy, PrecisionOrderingMatchesTableII) {
+  // The Table II shape: double == MIX-fp32 (to fp32 roundoff, far below the
+  // model error), MIX-fp16 slightly worse in energy, forces essentially
+  // unchanged.
+  DPModel model(train_config());
+  Rng rng(97);
+  model.init_random(rng);
+  const Dataset data = make_lj_dataset(3, 19);
+  fit_env_scale(model, data);
+  fit_energy_bias(model, data);
+
+  EvalOptions o64, o32, o16;
+  o64.precision = Precision::Double;
+  o32.precision = Precision::MixFp32;
+  o16.precision = Precision::MixFp16;
+  o64.compressed = o32.compressed = o16.compressed = false;
+
+  const auto r64 = evaluate_accuracy(model, data, o64);
+  const auto r32 = evaluate_accuracy(model, data, o32);
+  const auto r16 = evaluate_accuracy(model, data, o16);
+
+  EXPECT_NEAR(r32.energy_rmse_per_atom, r64.energy_rmse_per_atom,
+              2e-4 + 0.05 * r64.energy_rmse_per_atom);
+  EXPECT_NEAR(r32.force_rmse, r64.force_rmse, 0.05 * r64.force_rmse + 1e-4);
+  // fp16 energy error is bounded but measurable.
+  EXPECT_LT(r16.energy_rmse_per_atom, r64.energy_rmse_per_atom + 0.05);
+}
+
+}  // namespace
+}  // namespace dpmd::dp
