@@ -1,0 +1,110 @@
+// Machine-readable compute benchmark: per-atom vs batched Deep Potential
+// evaluation on the ISSUE-1 reference config (256-atom water-like system,
+// emb 25-50-100, axis 16, fitting 240^3), written as BENCH_compute.json so
+// the perf trajectory is tracked from PR to PR.  Driven by
+// bench/run_bench.sh or the CMake `bench` target.
+//
+//   usage: bench_compute_json [output.json]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "water256.hpp"
+#include "core/inference.hpp"
+#include "core/pair_deepmd.hpp"
+#include "md/ghosts.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+constexpr int kNatoms = bench::kWater256Natoms;
+constexpr int kBlock = bench::kWater256Block;
+constexpr double kTimestepNs = 0.5e-6;  // 0.5 fs MD step
+
+struct Variant {
+  std::string name;
+  double us_per_step = 0.0;   // one full 256-atom force evaluation
+  double ns_day_proxy = 0.0;  // single-rank compute-only ns/day at 0.5 fs
+};
+
+double ns_day_proxy(double us_per_step) {
+  const double steps_per_day = 86400.0 * 1e6 / us_per_step;
+  return steps_per_day * kTimestepNs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_compute.json";
+
+  auto model = bench::water256_model();
+  const auto& cfg = model->config();
+  md::Box box;
+  md::Atoms atoms = bench::water256_atoms(box);
+  md::build_periodic_ghosts(atoms, box, cfg.descriptor.rcut);
+  md::NeighborList list({cfg.descriptor.rcut, 0.0, true});
+  list.build(atoms, box);
+
+  // Full pair-style timing (env build + evaluation + force scatter), the
+  // honest per-step number a simulation would pay.
+  const auto time_variant = [&](int block_size) {
+    dp::EvalOptions opts;  // double, compressed, GemmKind::Auto
+    opts.block_size = block_size;
+    dp::PairDeepMD pair(model, opts);
+    md::Atoms work = atoms;
+    work.zero_forces();
+    pair.compute(work, list);  // warm-up: builds tables and caches
+    const int reps = 20;
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      work.zero_forces();
+      pair.compute(work, list);
+    }
+    return sw.elapsed_us() / reps;
+  };
+
+  std::vector<Variant> variants;
+  variants.push_back({"per_atom", time_variant(1), 0.0});
+  variants.push_back({"batched_b64", time_variant(kBlock), 0.0});
+  for (auto& v : variants) v.ns_day_proxy = ns_day_proxy(v.us_per_step);
+  const double speedup =
+      variants[0].us_per_step / variants[1].us_per_step;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"dp_compute_water256\",\n");
+  std::fprintf(f, "  \"natoms\": %d,\n", kNatoms);
+  std::fprintf(f, "  \"block_size\": %d,\n", kBlock);
+  std::fprintf(f, "  \"model\": \"emb 25-50-100, axis 16, fit 240^3, "
+                  "sel 46/92, fp64 compressed\",\n");
+  std::fprintf(f, "  \"timestep_fs\": 0.5,\n");
+  std::fprintf(f, "  \"variants\": [\n");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& v = variants[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"us_per_step\": %.2f, "
+                 "\"us_per_atom\": %.3f, \"ns_day_proxy\": %.4f}%s\n",
+                 v.name.c_str(), v.us_per_step, v.us_per_step / kNatoms,
+                 v.ns_day_proxy, i + 1 < variants.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"batched_speedup\": %.3f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("per-atom : %8.1f us/step (%6.2f us/atom)\n",
+              variants[0].us_per_step, variants[0].us_per_step / kNatoms);
+  std::printf("batched  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+              variants[1].us_per_step, variants[1].us_per_step / kNatoms,
+              kBlock);
+  std::printf("speedup  : %.2fx  -> %s\n", speedup, out_path.c_str());
+  return 0;
+}

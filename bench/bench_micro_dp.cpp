@@ -1,11 +1,28 @@
 // Micro-benchmarks of the Deep Potential kernels (google-benchmark):
-// per-atom evaluation across precisions, compressed vs full embedding, and
-// the TFLike-framework baseline (the Fig. 9 "TensorFlow removal" gap at
-// kernel granularity).
+// per-atom evaluation across precisions, compressed vs full embedding, the
+// TFLike-framework baseline (the Fig. 9 "TensorFlow removal" gap at kernel
+// granularity), and the batched-vs-per-atom ablation (§III-B batching:
+// per-atom small GEMMs merged into block-level large ones).
+//
+// Usage notes:
+//  * BM_Atom*            — single-atom evaluate_atom() on a copper-like
+//                          environment (sel 64), one variant per rung.
+//  * BM_PerAtom256Water  / BM_Batched256Water* — the headline ablation: a
+//                          256-atom water-like config (2 types, sel 46/92,
+//                          emb 25-50-100, fit 240^3) evaluated through the
+//                          per-atom loop vs evaluate_batch() blocks of 64.
+//                          Compare their Time columns directly: both are
+//                          per-iteration = per full 256-atom pass.
+//  * Env build cost is measured separately (BM_EnvBuild / BM_EnvBuildBatch)
+//                          and excluded from the evaluation benches.
+// Run `bench/run_bench.sh` for the JSON artifact (BENCH_compute.json) that
+// tracks the per-atom vs batched trajectory across PRs.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
+#include "water256.hpp"
 #include "core/inference.hpp"
 #include "core/pair_deepmd.hpp"
 #include "core/tflike_dp.hpp"
@@ -49,6 +66,40 @@ Fixture& fixture() {
   return f;
 }
 
+/// The batching ablation target of ISSUE 1 (see bench/water256.hpp).
+struct WaterFixture {
+  static constexpr int kNatoms = bench::kWater256Natoms;
+  static constexpr int kBlock = bench::kWater256Block;
+
+  std::shared_ptr<dp::DPModel> model = bench::water256_model();
+  md::Box box;
+  md::Atoms atoms;
+  md::NeighborList list{{6.0, 0.0, true}};
+  std::vector<dp::AtomEnv> envs;
+  std::vector<dp::AtomEnvBatch> batches;
+
+  WaterFixture() {
+    atoms = bench::water256_atoms(box);
+    md::build_periodic_ghosts(atoms, box, 6.0);
+    list.build(atoms, box);
+
+    envs.resize(kNatoms);
+    for (int i = 0; i < kNatoms; ++i) {
+      dp::build_env(atoms, list, i, model->config().descriptor, 2, envs[i]);
+    }
+    batches.resize(kNatoms / kBlock);
+    for (int b = 0; b < kNatoms / kBlock; ++b) {
+      dp::build_env_batch(atoms, list, b * kBlock, kBlock,
+                          model->config().descriptor, 2, batches[b]);
+    }
+  }
+};
+
+WaterFixture& water_fixture() {
+  static WaterFixture f;
+  return f;
+}
+
 void BM_EnvBuild(benchmark::State& state) {
   auto& f = fixture();
   dp::AtomEnv env;
@@ -58,6 +109,19 @@ void BM_EnvBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnvBuild);
+
+void BM_EnvBuildBatch(benchmark::State& state) {
+  // Packed 64-atom block build; divide by 64 for the per-atom equivalent
+  // of BM_EnvBuild.
+  auto& f = water_fixture();
+  dp::AtomEnvBatch batch;
+  for (auto _ : state) {
+    dp::build_env_batch(f.atoms, f.list, 0, WaterFixture::kBlock,
+                        f.model->config().descriptor, 2, batch);
+    benchmark::DoNotOptimize(batch.rmat.data());
+  }
+}
+BENCHMARK(BM_EnvBuildBatch);
 
 void evaluate_variant(benchmark::State& state, dp::Precision prec,
                       nn::GemmKind kind, bool compressed) {
@@ -93,6 +157,67 @@ BENCHMARK(BM_AtomFp64Compressed);
 BENCHMARK(BM_AtomFp32Blas);
 BENCHMARK(BM_AtomFp32Sve);
 BENCHMARK(BM_AtomFp16Sve);
+
+// ---- batched vs per-atom ablation (one iteration = 256 atoms) ------------
+
+void water_per_atom(benchmark::State& state, dp::Precision prec,
+                    bool compressed) {
+  auto& f = water_fixture();
+  dp::EvalOptions opts;
+  opts.precision = prec;
+  opts.compressed = compressed;
+  dp::DPEvaluator eval(f.model, opts);
+  std::vector<Vec3> dedd;
+  for (auto _ : state) {
+    double pe = 0.0;
+    for (auto& env : f.envs) pe += eval.evaluate_atom(env, dedd);
+    benchmark::DoNotOptimize(pe);
+  }
+}
+
+void water_batched(benchmark::State& state, dp::Precision prec,
+                   bool compressed) {
+  auto& f = water_fixture();
+  dp::EvalOptions opts;
+  opts.precision = prec;
+  opts.compressed = compressed;
+  dp::DPEvaluator eval(f.model, opts);
+  std::vector<double> energies;
+  std::vector<Vec3> dedd;
+  for (auto _ : state) {
+    double pe = 0.0;
+    for (auto& batch : f.batches) {
+      eval.evaluate_batch(batch, energies, dedd);
+      for (const double e : energies) pe += e;
+    }
+    benchmark::DoNotOptimize(pe);
+  }
+}
+
+void BM_PerAtom256Water(benchmark::State& s) {
+  water_per_atom(s, dp::Precision::Double, true);
+}
+void BM_Batched256Water(benchmark::State& s) {
+  water_batched(s, dp::Precision::Double, true);
+}
+void BM_PerAtom256WaterFullEmb(benchmark::State& s) {
+  water_per_atom(s, dp::Precision::Double, false);
+}
+void BM_Batched256WaterFullEmb(benchmark::State& s) {
+  water_batched(s, dp::Precision::Double, false);
+}
+void BM_PerAtom256WaterFp32(benchmark::State& s) {
+  water_per_atom(s, dp::Precision::MixFp32, true);
+}
+void BM_Batched256WaterFp32(benchmark::State& s) {
+  water_batched(s, dp::Precision::MixFp32, true);
+}
+BENCHMARK(BM_PerAtom256Water)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Batched256Water)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PerAtom256WaterFullEmb)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Batched256WaterFullEmb)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PerAtom256WaterFp32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Batched256WaterFp32)->Unit(benchmark::kMicrosecond);
 
 void BM_AtomTfLikeBaseline(benchmark::State& state) {
   auto& f = fixture();

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Perf-trajectory runner: builds the compute benchmark and emits
+# BENCH_compute.json (per-atom vs batched DP evaluation, ns/day proxy).
+#
+#   bench/run_bench.sh [output.json]
+#
+# Output defaults to BENCH_compute.json in the repo root.  The same artifact
+# is available through the CMake `bench` target (written into the build
+# dir).  Track the "batched_speedup" and "ns_day_proxy" fields across PRs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_compute.json}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target bench_compute_json -j >/dev/null
+"$build_dir/bench_compute_json" "$out"

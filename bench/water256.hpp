@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared 256-atom water-like reference system of the batching ablation
+// (ISSUE 1): 2 types at a 1:2 O:H ratio, ~0.1 atoms/A^3 (liquid water),
+// minimum separation ~ the O-H bond, and the paper's default model widths
+// (emb 25-50-100, axis 16, fit 240^3, sel 46/92).  Used by both
+// bench_micro_dp (google-benchmark ablation) and bench_compute_json (the
+// BENCH_compute.json artifact) so the two always measure the same workload.
+
+#include <memory>
+
+#include "core/model.hpp"
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "util/random.hpp"
+
+namespace dpmd::bench {
+
+inline constexpr int kWater256Natoms = 256;
+inline constexpr int kWater256Block = 64;
+inline constexpr double kWater256Edge = 13.7;  // ~0.1 atoms/A^3
+
+inline dp::ModelConfig water256_model_config() {
+  dp::ModelConfig cfg;
+  cfg.ntypes = 2;
+  cfg.descriptor.rcut = 6.0;
+  cfg.descriptor.rcut_smth = 3.0;
+  cfg.descriptor.sel = {46, 92};  // O / H caps, paper Table I
+  cfg.descriptor.emb_widths = {25, 50, 100};
+  cfg.descriptor.axis_neurons = 16;
+  cfg.fit_widths = {240, 240, 240};
+  return cfg;
+}
+
+inline std::shared_ptr<dp::DPModel> water256_model() {
+  auto model = std::make_shared<dp::DPModel>(water256_model_config());
+  Rng rng(11);
+  model->init_random(rng);
+  return model;
+}
+
+/// Random 1:2 O:H configuration with min separation 0.9 A; box_out is the
+/// periodic cell.
+inline md::Atoms water256_atoms(md::Box& box_out) {
+  box_out = md::Box({0, 0, 0},
+                    {kWater256Edge, kWater256Edge, kWater256Edge});
+  Rng rng(11);
+  md::Atoms atoms;
+  int placed = 0;
+  while (placed < kWater256Natoms) {
+    const Vec3 p{rng.uniform(0.0, kWater256Edge),
+                 rng.uniform(0.0, kWater256Edge),
+                 rng.uniform(0.0, kWater256Edge)};
+    bool ok = true;
+    for (int i = 0; i < placed; ++i) {
+      if (box_out.minimum_image(p, atoms.x[static_cast<std::size_t>(i)])
+              .norm() < 0.9) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    atoms.add_local(p, {0, 0, 0}, placed % 3 == 0 ? 0 : 1, placed);
+    ++placed;
+  }
+  return atoms;
+}
+
+}  // namespace dpmd::bench

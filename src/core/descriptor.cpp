@@ -29,6 +29,48 @@ void smooth_weight(double r, double rcut, double rcut_smth, double& s,
   ds_dr = (dsw * r - sw) / (r * r);
 }
 
+namespace {
+
+/// Fills one environment-matrix row (rmat, 4) and its geometric derivative
+/// (drmat, 4x3) for displacement d of a type-t neighbor.  Shared by the
+/// per-atom and the batched builders so the two paths are the same physics
+/// by construction.
+void fill_env_row(const Vec3& d, int t, const DescriptorParams& params,
+                  double* row, double* der) {
+  const double r = d.norm();
+  double s, ds;
+  smooth_weight(r, params.rcut, params.rcut_smth, s, ds);
+
+  const double inv_r = 1.0 / r;
+  const double sc0 = params.scale_of(t, 0);
+  const double sc1 = params.scale_of(t, 1);
+  const double sc2 = params.scale_of(t, 2);
+  const double sc3 = params.scale_of(t, 3);
+  row[0] = s * sc0;
+  row[1] = s * d.x * inv_r * sc1;
+  row[2] = s * d.y * inv_r * sc2;
+  row[3] = s * d.z * inv_r * sc3;
+
+  // dR/dd — with c = s / r:
+  //   dR0/da   = ds * d_a / r
+  //   dRk/da   = (dc/dr)(d_a / r) d_k + c * delta_ka,  c = s/r,
+  // each scaled by the same per-component factor as its row entry.
+  const double c = s * inv_r;
+  const double dc_dr = (ds * r - s) * inv_r * inv_r;
+  const double dd[3] = {d.x, d.y, d.z};
+  const double sc[4] = {sc0, sc1, sc2, sc3};
+  for (int a = 0; a < 3; ++a) {
+    const double unit_a = dd[a] * inv_r;
+    der[0 * 3 + a] = ds * unit_a * sc0;
+    for (int comp = 1; comp < 4; ++comp) {
+      der[comp * 3 + a] = (dc_dr * unit_a * dd[comp - 1] +
+                           (comp - 1 == a ? c : 0.0)) * sc[comp];
+    }
+  }
+}
+
+}  // namespace
+
 void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
                const DescriptorParams& params, int ntypes, AtomEnv& env) {
   DPMD_REQUIRE(list.config().full, "descriptor needs a full neighbor list");
@@ -78,40 +120,118 @@ void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
     const int j = env.nbr_index[static_cast<std::size_t>(k)];
     const int t = env.nbr_type[static_cast<std::size_t>(k)];
     const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
-    const double r = d.norm();
     env.rel[static_cast<std::size_t>(k)] = d;
-    env.dist[static_cast<std::size_t>(k)] = r;
+    env.dist[static_cast<std::size_t>(k)] = d.norm();
+    fill_env_row(d, t, params,
+                 env.rmat.data() + static_cast<std::size_t>(k) * 4,
+                 env.drmat.data() + static_cast<std::size_t>(k) * 12);
+  }
+}
 
-    double s, ds;
-    smooth_weight(r, params.rcut, params.rcut_smth, s, ds);
+void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
+                     int first, int count, const DescriptorParams& params,
+                     int ntypes, AtomEnvBatch& batch) {
+  DPMD_REQUIRE(list.config().full, "descriptor needs a full neighbor list");
+  DPMD_REQUIRE(count >= 0 && first >= 0 &&
+                   first + count <= atoms.nlocal,
+               "atom block out of range");
+  batch.ntypes = ntypes;
+  batch.natoms = count;
+  const double rc2 = params.rcut * params.rcut;
 
-    double* row = env.rmat.data() + static_cast<std::size_t>(k) * 4;
-    const double inv_r = 1.0 / r;
-    const double sc0 = params.scale_of(t, 0);
-    const double sc1 = params.scale_of(t, 1);
-    const double sc2 = params.scale_of(t, 2);
-    const double sc3 = params.scale_of(t, 3);
-    row[0] = s * sc0;
-    row[1] = s * d.x * inv_r * sc1;
-    row[2] = s * d.y * inv_r * sc2;
-    row[3] = s * d.z * inv_r * sc3;
+  batch.center_index.resize(static_cast<std::size_t>(count));
+  batch.center_type.resize(static_cast<std::size_t>(count));
+  for (int a = 0; a < count; ++a) {
+    batch.center_index[static_cast<std::size_t>(a)] = first + a;
+    batch.center_type[static_cast<std::size_t>(a)] =
+        atoms.type[static_cast<std::size_t>(first + a)];
+  }
 
-    // dR/dd — with c = s / r:
-    //   dR0/da   = ds * d_a / r
-    //   dRk/da   = (dc/dr)(d_a / r) d_k + c * delta_ka,  c = s/r,
-    // each scaled by the same per-component factor as its row entry.
-    const double c = s * inv_r;
-    const double dc_dr = (ds * r - s) * inv_r * inv_r;
-    double* der = env.drmat.data() + static_cast<std::size_t>(k) * 12;
-    const double dd[3] = {d.x, d.y, d.z};
-    const double sc[4] = {sc0, sc1, sc2, sc3};
-    for (int a = 0; a < 3; ++a) {
-      const double unit_a = dd[a] * inv_r;
-      der[0 * 3 + a] = ds * unit_a * sc0;
-      for (int comp = 1; comp < 4; ++comp) {
-        der[comp * 3 + a] = (dc_dr * unit_a * dd[comp - 1] +
-                             (comp - 1 == a ? c : 0.0)) * sc[comp];
-      }
+  // Center-type-sorted slot order (counting sort): gives each fitting net a
+  // contiguous M = count_t block of descriptor rows.
+  batch.fit_type_offset.assign(static_cast<std::size_t>(ntypes) + 1, 0);
+  for (int a = 0; a < count; ++a) {
+    ++batch.fit_type_offset[static_cast<std::size_t>(
+        batch.center_type[static_cast<std::size_t>(a)]) + 1];
+  }
+  for (int t = 0; t < ntypes; ++t) {
+    batch.fit_type_offset[static_cast<std::size_t>(t) + 1] +=
+        batch.fit_type_offset[static_cast<std::size_t>(t)];
+  }
+  batch.fit_order.resize(static_cast<std::size_t>(count));
+  batch.fit_pos.resize(static_cast<std::size_t>(count));
+  {
+    std::vector<int>& cursor = batch.cursor_;
+    cursor.assign(batch.fit_type_offset.begin(),
+                  batch.fit_type_offset.end() - 1);
+    for (int a = 0; a < count; ++a) {
+      const int t = batch.center_type[static_cast<std::size_t>(a)];
+      const int f = cursor[static_cast<std::size_t>(t)]++;
+      batch.fit_order[static_cast<std::size_t>(f)] = a;
+      batch.fit_pos[static_cast<std::size_t>(a)] = f;
+    }
+  }
+
+  // Pass 1: collect in-range neighbors per center and count per (type, slot)
+  // segment.  `within_` keeps the surviving neighbor indices so pass 2 does
+  // not repeat the cutoff test.
+  std::vector<int>& within = batch.within_;
+  std::vector<int>& within_offset = batch.within_offset_;
+  within.clear();
+  within_offset.assign(static_cast<std::size_t>(count) + 1, 0);
+  batch.seg_offset.assign(
+      static_cast<std::size_t>(ntypes) * count + 1, 0);
+  for (int a = 0; a < count; ++a) {
+    const int i = first + a;
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
+    for (const int j : list.neighbors(i)) {
+      const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+      if (d.norm2() >= rc2) continue;
+      within.push_back(j);
+      const int t = atoms.type[static_cast<std::size_t>(j)];
+      // +1: build counts shifted by one slot for the prefix sum below.
+      ++batch.seg_offset[static_cast<std::size_t>(t) * count + a + 1];
+    }
+    within_offset[static_cast<std::size_t>(a) + 1] =
+        static_cast<int>(within.size());
+  }
+  // Prefix-sum the (type-major, slot-minor) segment counts into offsets.
+  const std::size_t nseg = static_cast<std::size_t>(ntypes) * count;
+  for (std::size_t s = 1; s <= nseg; ++s) {
+    batch.seg_offset[s] += batch.seg_offset[s - 1];
+  }
+  batch.type_offset.assign(static_cast<std::size_t>(ntypes) + 1, 0);
+  for (int t = 0; t < ntypes; ++t) {
+    batch.type_offset[static_cast<std::size_t>(t) + 1] =
+        batch.seg_offset[static_cast<std::size_t>(t + 1) * count];
+  }
+  const int rows = batch.type_offset[static_cast<std::size_t>(ntypes)];
+
+  batch.row_slot.resize(static_cast<std::size_t>(rows));
+  batch.nbr_index.resize(static_cast<std::size_t>(rows));
+  batch.rel.resize(static_cast<std::size_t>(rows));
+  batch.rmat.resize(static_cast<std::size_t>(rows) * 4);
+  batch.drmat.resize(static_cast<std::size_t>(rows) * 12);
+
+  // Pass 2: place every surviving neighbor in its (type, slot) segment and
+  // fill the environment-matrix rows.
+  std::vector<int>& cursor = batch.cursor_;
+  cursor.assign(batch.seg_offset.begin(), batch.seg_offset.end() - 1);
+  for (int a = 0; a < count; ++a) {
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(first + a)];
+    const int lo = within_offset[static_cast<std::size_t>(a)];
+    const int hi = within_offset[static_cast<std::size_t>(a) + 1];
+    for (int w = lo; w < hi; ++w) {
+      const int j = within[static_cast<std::size_t>(w)];
+      const int t = atoms.type[static_cast<std::size_t>(j)];
+      const int r = cursor[static_cast<std::size_t>(t) * count + a]++;
+      const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+      batch.row_slot[static_cast<std::size_t>(r)] = a;
+      batch.nbr_index[static_cast<std::size_t>(r)] = j;
+      batch.rel[static_cast<std::size_t>(r)] = d;
+      fill_env_row(d, t, params,
+                   batch.rmat.data() + static_cast<std::size_t>(r) * 4,
+                   batch.drmat.data() + static_cast<std::size_t>(r) * 12);
     }
   }
 }

@@ -84,4 +84,89 @@ struct AtomEnv {
 void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
                const DescriptorParams& params, int ntypes, AtomEnv& env);
 
+/// Packed environments of a block of B consecutive local atoms — the unit
+/// of the batched evaluation pipeline (§III-B batching, after Jia et al.
+/// SC'20): merging the per-atom small GEMMs into block-level large ones
+/// requires the operands of all B atoms gathered into contiguous slabs.
+///
+/// Neighbor rows are stored grouped (neighbor-type major, center slot
+/// minor), so the embedding net runs ONE forward and ONE backward per type
+/// per block over sum_a count_t(a) rows.  Center slots are additionally
+/// indexed in center-type-sorted ("fit") order, so each fitting net runs
+/// with M = (number of centers of that type) instead of M = 1.
+struct AtomEnvBatch {
+  int ntypes = 0;
+  int natoms = 0;  ///< B: number of center atoms in the block
+
+  // --- per center slot (block-local index 0..natoms) --------------------
+  std::vector<int> center_index;  ///< global local-atom index
+  std::vector<int> center_type;
+  /// Center-type-sorted view of the slots: fitting row f of center type t
+  /// (f in [fit_type_offset[t], fit_type_offset[t+1])) is slot
+  /// fit_order[f]; fit_pos[slot] is the inverse map.
+  std::vector<int> fit_order;        ///< natoms
+  std::vector<int> fit_pos;          ///< natoms
+  std::vector<int> fit_type_offset;  ///< ntypes + 1
+
+  // --- packed neighbor rows, grouped (type major, slot minor) -----------
+  /// Block-level neighbor-type blocks: rows of neighbor type t span
+  /// [type_offset[t], type_offset[t+1]).
+  std::vector<int> type_offset;  ///< ntypes + 1
+  /// Within type block t, the rows of center slot a are the contiguous
+  /// segment [seg_offset[t*natoms + a], seg_offset[t*natoms + a + 1]).
+  std::vector<int> seg_offset;  ///< ntypes * natoms + 1
+  std::vector<int> row_slot;    ///< rows: owning center slot
+  std::vector<int> nbr_index;   ///< rows: neighbor atom index (local+ghost)
+
+  /// R-tilde rows (s, s*dx/r, s*dy/r, s*dz/r) and dR/dd, same per-row
+  /// layout as AtomEnv but over the packed block rows.
+  std::vector<double> rmat;   ///< rows x 4
+  std::vector<double> drmat;  ///< rows x 12
+  std::vector<Vec3> rel;      ///< rows: d = x_j - x_i
+
+  int rows() const { return static_cast<int>(row_slot.size()); }
+  /// Neighbor count of center slot a (sum over its type segments).
+  int nnei_of(int a) const {
+    int n = 0;
+    for (int t = 0; t < ntypes; ++t) {
+      n += seg_offset[static_cast<std::size_t>(t) * natoms + a + 1] -
+           seg_offset[static_cast<std::size_t>(t) * natoms + a];
+    }
+    return n;
+  }
+
+  void clear() {
+    ntypes = 0;
+    natoms = 0;
+    center_index.clear();
+    center_type.clear();
+    fit_order.clear();
+    fit_pos.clear();
+    fit_type_offset.clear();
+    type_offset.clear();
+    seg_offset.clear();
+    row_slot.clear();
+    nbr_index.clear();
+    rmat.clear();
+    drmat.clear();
+    rel.clear();
+  }
+
+ private:
+  friend void build_env_batch(const md::Atoms&, const md::NeighborList&, int,
+                              int, const DescriptorParams&, int,
+                              AtomEnvBatch&);
+  // build scratch, reused across blocks so steady state does not allocate
+  std::vector<int> within_;
+  std::vector<int> within_offset_;
+  std::vector<int> cursor_;
+};
+
+/// Builds the packed environments of local atoms [first, first + count)
+/// from a full neighbor list.  Same physics as `count` build_env calls; the
+/// rows land in the grouped layout described on AtomEnvBatch.
+void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
+                     int first, int count, const DescriptorParams& params,
+                     int ntypes, AtomEnvBatch& batch);
+
 }  // namespace dpmd::dp

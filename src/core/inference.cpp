@@ -38,6 +38,27 @@ Workspace<T>& workspace() {
   return ws;
 }
 
+/// Flat scratch of one batched evaluation (a block of B atoms); sized for
+/// the packed row count and reused across blocks.
+template <class T>
+struct BatchWorkspace {
+  std::vector<T> rmat;       // rows x 4 (cast of the double batch matrix)
+  std::vector<T> g;          // rows x m1 (compressed path only)
+  std::vector<T> dg;         // rows x m1 (compressed path only)
+  std::vector<T> a;          // B x 4 x m1: per-slot descriptor factor A
+  std::vector<T> da;         // 4 x m1: dE/dA of the slot being reduced
+  std::vector<T> ds;         // rows (compressed path only)
+  std::vector<T> dr;         // rows x 4: dE/dR
+  std::vector<double> dgds;  // rows x m1 (compressed path)
+  std::vector<double> grow;  // m1 (compressed table output staging)
+};
+
+template <class T>
+BatchWorkspace<T>& batch_workspace() {
+  thread_local BatchWorkspace<T> ws;
+  return ws;
+}
+
 }  // namespace
 
 DPEvaluator::DPEvaluator(std::shared_ptr<const DPModel> model,
@@ -67,6 +88,8 @@ DPEvaluator::DPEvaluator(std::shared_ptr<const DPModel> model,
   }
   emb_cache_d_.resize(static_cast<std::size_t>(cfg.ntypes));
   emb_cache_f_.resize(static_cast<std::size_t>(cfg.ntypes));
+  fit_batch_cache_d_.resize(static_cast<std::size_t>(cfg.ntypes));
+  fit_batch_cache_f_.resize(static_cast<std::size_t>(cfg.ntypes));
 }
 
 double DPEvaluator::evaluate_atom(const AtomEnv& env,
@@ -311,5 +334,348 @@ template double DPEvaluator::eval_impl<float>(
     const AtomEnv&, std::vector<Vec3>&, const std::vector<nn::Mlp<float>>&,
     const std::vector<nn::Mlp<float>>&, std::vector<nn::MlpCache<float>>&,
     nn::MlpCache<float>&);
+
+void DPEvaluator::evaluate_batch(const AtomEnvBatch& batch,
+                                 std::vector<double>& energies,
+                                 std::vector<Vec3>& dE_dd) {
+  if (opts_.precision == Precision::Double) {
+    static const std::vector<nn::Mlp<double>> kEmpty;
+    batch_impl<double>(batch, energies, dE_dd, kEmpty, kEmpty, emb_cache_d_,
+                       fit_batch_cache_d_);
+    return;
+  }
+  batch_impl<float>(batch, energies, dE_dd, emb_f_, fit_f_, emb_cache_f_,
+                    fit_batch_cache_f_);
+}
+
+template <class T>
+void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
+                             std::vector<double>& energies,
+                             std::vector<Vec3>& dE_dd,
+                             const std::vector<nn::Mlp<T>>& embeddings,
+                             const std::vector<nn::Mlp<T>>& fittings,
+                             std::vector<nn::MlpCache<T>>& emb_caches,
+                             std::vector<nn::MlpCache<T>>& fit_caches) {
+  const auto& cfg = model_->config();
+  const auto& dparams = cfg.descriptor;
+  const int m1 = dparams.m1();
+  const int m2 = dparams.m2();
+  const int fit_in = dparams.fitting_input_dim();
+  const int ntypes = cfg.ntypes;
+  const int B = batch.natoms;
+  const int rows = batch.rows();
+  DPMD_REQUIRE(batch.ntypes == ntypes, "batch built for a different ntypes");
+
+  energies.assign(static_cast<std::size_t>(B), 0.0);
+  dE_dd.resize(static_cast<std::size_t>(rows));
+  if (B == 0) return;
+
+  const auto emb_net = [&](int t) -> const nn::Mlp<T>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return model_->embedding(t);
+    } else {
+      return embeddings[static_cast<std::size_t>(t)];
+    }
+  };
+  const auto fit_net = [&](int t) -> const nn::Mlp<T>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return model_->fitting(t);
+    } else {
+      return fittings[static_cast<std::size_t>(t)];
+    }
+  };
+  const auto type_lo = [&](int t) {
+    return batch.type_offset[static_cast<std::size_t>(t)];
+  };
+  const auto type_count = [&](int t) {
+    return batch.type_offset[static_cast<std::size_t>(t) + 1] -
+           batch.type_offset[static_cast<std::size_t>(t)];
+  };
+  const auto fit_count = [&](int t) {
+    return batch.fit_type_offset[static_cast<std::size_t>(t) + 1] -
+           batch.fit_type_offset[static_cast<std::size_t>(t)];
+  };
+
+  auto& ws = batch_workspace<T>();
+  ws.rmat.resize(static_cast<std::size_t>(rows) * 4);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(rows) * 4; ++i) {
+    ws.rmat[i] = static_cast<T>(batch.rmat[i]);
+  }
+  ws.a.assign(static_cast<std::size_t>(B) * 4 * m1, T(0));
+  ws.da.resize(static_cast<std::size_t>(4) * m1);
+  ws.dr.resize(static_cast<std::size_t>(rows) * 4);
+
+  // ---- embedding forward: ONE net pass per neighbor type per block -------
+  // g_base[t] + (r - type_lo(t)) * m1 is the embedding row of packed row r;
+  // the slab lives either in ws.g (compressed) or in the type's MLP cache
+  // (uncompressed, zero-copy via forward_batch).
+  std::vector<const T*> g_base(static_cast<std::size_t>(ntypes), nullptr);
+  if (opts_.compressed) {
+    ws.g.resize(static_cast<std::size_t>(rows) * m1);
+    ws.dgds.resize(static_cast<std::size_t>(rows) * m1);
+    ws.grow.resize(static_cast<std::size_t>(m1));
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = type_lo(t);
+      const int hi = lo + type_count(t);
+      for (int r = lo; r < hi; ++r) {
+        tables_[static_cast<std::size_t>(t)].eval(
+            batch.rmat[static_cast<std::size_t>(r) * 4], ws.grow.data(),
+            ws.dgds.data() + static_cast<std::size_t>(r) * m1);
+        T* grow = ws.g.data() + static_cast<std::size_t>(r) * m1;
+        for (int p = 0; p < m1; ++p) {
+          grow[p] = static_cast<T>(ws.grow[static_cast<std::size_t>(p)]);
+        }
+      }
+      g_base[static_cast<std::size_t>(t)] =
+          ws.g.data() + static_cast<std::size_t>(lo) * m1;
+    }
+  } else {
+    for (int t = 0; t < ntypes; ++t) {
+      const int count = type_count(t);
+      if (count == 0) continue;
+      auto& cache = emb_caches[static_cast<std::size_t>(t)];
+      T* s_in = emb_net(t).batch_input(count, cache);
+      const int lo = type_lo(t);
+      for (int i = 0; i < count; ++i) {
+        s_in[i] = static_cast<T>(
+            batch.rmat[static_cast<std::size_t>(lo + i) * 4]);
+      }
+      g_base[static_cast<std::size_t>(t)] = emb_net(t).forward_batch(
+          count, cache, nn::GemmKind::Auto, nn::GemmKind::Auto);
+    }
+  }
+
+  // ---- descriptor: A = R~^T G / sel,  D = A^T A[:, :m2] per slot ---------
+  // D rows are written straight into each fitting net's input slab in
+  // center-type-sorted order, so the fitting GEMM below runs with
+  // M = fit_count(t) and no staging copy.
+  std::vector<T*> fit_slab(static_cast<std::size_t>(ntypes), nullptr);
+  for (int t = 0; t < ntypes; ++t) {
+    const int count = fit_count(t);
+    if (count == 0) continue;
+    fit_slab[static_cast<std::size_t>(t)] = fit_net(t).batch_input(
+        count, fit_caches[static_cast<std::size_t>(t)]);
+  }
+
+  const T inv_n = T(1) / static_cast<T>(dparams.sel_total());
+  for (int a = 0; a < B; ++a) {
+    T* abuf = ws.a.data() + static_cast<std::size_t>(a) * 4 * m1;
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = type_lo(t);
+      const T* gb = g_base[static_cast<std::size_t>(t)];
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
+      for (int r = seg_lo; r < seg_hi; ++r) {
+        const T* grow = gb + static_cast<std::size_t>(r - lo) * m1;
+        const T* rrow = ws.rmat.data() + static_cast<std::size_t>(r) * 4;
+        for (int c = 0; c < 4; ++c) {
+          const T w = rrow[c] * inv_n;
+          T* arow = abuf + static_cast<std::size_t>(c) * m1;
+          for (int p = 0; p < m1; ++p) arow[p] += w * grow[p];
+        }
+      }
+    }
+    const int ct = batch.center_type[static_cast<std::size_t>(a)];
+    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
+                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
+    T* drow_base = fit_slab[static_cast<std::size_t>(ct)] +
+                   static_cast<std::size_t>(pos) * fit_in;
+    std::fill(drow_base, drow_base + fit_in, T(0));
+    for (int c = 0; c < 4; ++c) {
+      const T* arow = abuf + static_cast<std::size_t>(c) * m1;
+      for (int p = 0; p < m1; ++p) {
+        const T apc = arow[p];
+        T* drow = drow_base + static_cast<std::size_t>(p) * m2;
+        for (int q = 0; q < m2; ++q) drow[q] += apc * arow[q];
+      }
+    }
+  }
+
+  // ---- fitting nets: forward AND backward at M = centers-per-type --------
+  const nn::GemmKind fk = opts_.fitting_gemm;
+  nn::GemmKind first = fk;
+  if (opts_.precision == Precision::MixFp16) {
+    first = nn::GemmKind::HalfWeights;
+  }
+  std::vector<const T*> dd_base(static_cast<std::size_t>(ntypes), nullptr);
+  for (int t = 0; t < ntypes; ++t) {
+    const int count = fit_count(t);
+    if (count == 0) continue;
+    auto& cache = fit_caches[static_cast<std::size_t>(t)];
+    const T* e_out = fit_net(t).forward_batch(count, cache, fk, first);
+    const double bias = cfg.energy_bias[static_cast<std::size_t>(t)];
+    for (int i = 0; i < count; ++i) {
+      const int slot = batch.fit_order[static_cast<std::size_t>(
+          batch.fit_type_offset[static_cast<std::size_t>(t)] + i)];
+      energies[static_cast<std::size_t>(slot)] =
+          static_cast<double>(e_out[i]) + bias;
+    }
+    T* dy = fit_net(t).batch_output_grad(count, cache);
+    std::fill(dy, dy + count, T(1));
+    dd_base[static_cast<std::size_t>(t)] =
+        fit_net(t).backward_input_batch(count, cache, fk);
+  }
+
+  // ---- backward through the descriptor: dA, then dG and dR per slot ------
+  // dG rows accumulate into per-type slabs: the embedding grad slab
+  // (uncompressed) or ws.dg (compressed), mirroring g_base.
+  std::vector<T*> dg_base(static_cast<std::size_t>(ntypes), nullptr);
+  if (opts_.compressed) {
+    ws.dg.assign(static_cast<std::size_t>(rows) * m1, T(0));
+    for (int t = 0; t < ntypes; ++t) {
+      dg_base[static_cast<std::size_t>(t)] =
+          ws.dg.data() + static_cast<std::size_t>(type_lo(t)) * m1;
+    }
+  } else {
+    for (int t = 0; t < ntypes; ++t) {
+      const int count = type_count(t);
+      if (count == 0) continue;
+      T* slab = emb_net(t).batch_output_grad(
+          count, emb_caches[static_cast<std::size_t>(t)]);
+      std::fill(slab, slab + static_cast<std::size_t>(count) * m1, T(0));
+      dg_base[static_cast<std::size_t>(t)] = slab;
+    }
+  }
+
+  for (int a = 0; a < B; ++a) {
+    const T* abuf = ws.a.data() + static_cast<std::size_t>(a) * 4 * m1;
+    const int ct = batch.center_type[static_cast<std::size_t>(a)];
+    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
+                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
+    const T* ddmat = dd_base[static_cast<std::size_t>(ct)] +
+                     static_cast<std::size_t>(pos) * fit_in;
+
+    // dA from D = sum_c a[c][p] a[c][q]
+    std::fill(ws.da.begin(), ws.da.end(), T(0));
+    for (int c = 0; c < 4; ++c) {
+      const T* arow = abuf + static_cast<std::size_t>(c) * m1;
+      T* darow = ws.da.data() + static_cast<std::size_t>(c) * m1;
+      for (int p = 0; p < m1; ++p) {
+        const T* ddrow = ddmat + static_cast<std::size_t>(p) * m2;
+        T acc = 0;
+        for (int q = 0; q < m2; ++q) acc += ddrow[q] * arow[q];
+        darow[p] += acc;
+      }
+      for (int q = 0; q < m2; ++q) {
+        T acc = 0;
+        for (int p = 0; p < m1; ++p) {
+          acc += ddmat[static_cast<std::size_t>(p) * m2 + q] * arow[p];
+        }
+        darow[q] += acc;
+      }
+    }
+
+    // dG and dR over this slot's packed rows
+    for (int t = 0; t < ntypes; ++t) {
+      const int lo = type_lo(t);
+      const T* gb = g_base[static_cast<std::size_t>(t)];
+      T* dgb = dg_base[static_cast<std::size_t>(t)];
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
+      for (int r = seg_lo; r < seg_hi; ++r) {
+        const T* rrow = ws.rmat.data() + static_cast<std::size_t>(r) * 4;
+        const T* grow = gb + static_cast<std::size_t>(r - lo) * m1;
+        T* dgrow = dgb + static_cast<std::size_t>(r - lo) * m1;
+        T* drrow = ws.dr.data() + static_cast<std::size_t>(r) * 4;
+        for (int c = 0; c < 4; ++c) {
+          const T* darow = ws.da.data() + static_cast<std::size_t>(c) * m1;
+          const T w = rrow[c] * inv_n;
+          T dot = 0;
+          for (int p = 0; p < m1; ++p) {
+            dgrow[p] += w * darow[p];
+            dot += grow[p] * darow[p];
+          }
+          drrow[c] = dot * inv_n;
+        }
+      }
+    }
+  }
+
+  // ---- dE/ds through the embedding: ONE backward per type per block -----
+  std::vector<const T*> ds_base(static_cast<std::size_t>(ntypes), nullptr);
+  if (opts_.compressed) {
+    ws.ds.resize(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      const T* dgrow = ws.dg.data() + static_cast<std::size_t>(r) * m1;
+      const double* dgdsrow =
+          ws.dgds.data() + static_cast<std::size_t>(r) * m1;
+      double acc = 0;
+      for (int p = 0; p < m1; ++p) {
+        acc += static_cast<double>(dgrow[p]) * dgdsrow[p];
+      }
+      ws.ds[static_cast<std::size_t>(r)] = static_cast<T>(acc);
+    }
+    for (int t = 0; t < ntypes; ++t) {
+      ds_base[static_cast<std::size_t>(t)] =
+          ws.ds.data() + type_lo(t);
+    }
+  } else {
+    for (int t = 0; t < ntypes; ++t) {
+      const int count = type_count(t);
+      if (count == 0) continue;
+      ds_base[static_cast<std::size_t>(t)] =
+          emb_net(t).backward_input_batch(
+              count, emb_caches[static_cast<std::size_t>(t)],
+              nn::GemmKind::Auto);
+    }
+  }
+
+  // ---- chain rule to neighbor displacements (always fp64) ----------------
+  for (int t = 0; t < ntypes; ++t) {
+    const int lo = type_lo(t);
+    const int hi = lo + type_count(t);
+    const T* dsb = ds_base[static_cast<std::size_t>(t)];
+    for (int r = lo; r < hi; ++r) {
+      const double* der =
+          batch.drmat.data() + static_cast<std::size_t>(r) * 12;
+      const T* drrow = ws.dr.data() + static_cast<std::size_t>(r) * 4;
+      const double ds_emb = static_cast<double>(dsb[r - lo]);
+      Vec3 grad{0, 0, 0};
+      for (int axis = 0; axis < 3; ++axis) {
+        double acc = 0;
+        for (int c = 0; c < 4; ++c) {
+          acc += static_cast<double>(drrow[c]) * der[c * 3 + axis];
+        }
+        acc += ds_emb * der[0 * 3 + axis];  // embedding input is R comp 0
+        grad[axis] = acc;
+      }
+      dE_dd[static_cast<std::size_t>(r)] = grad;
+    }
+  }
+
+  // flop estimate (same per-atom formula as eval_impl, over the block).
+  const double fin = dparams.fitting_input_dim();
+  double flops = 2.0 * rows * 4 * m1 * 2     // A and its backward
+                 + 2.0 * B * 4 * m1 * m2 * 2  // D and dA
+                 + 6.0 * B * (fin * cfg.fit_widths.front());
+  for (std::size_t l = 1; l < cfg.fit_widths.size(); ++l) {
+    flops += 6.0 * B * cfg.fit_widths[l - 1] * cfg.fit_widths[l];
+  }
+  if (!opts_.compressed) {
+    double emb = 0.0;
+    int prev = 1;
+    for (const int w : dparams.emb_widths) {
+      emb += 6.0 * prev * w;
+      prev = w;
+    }
+    flops += emb * rows;
+  } else {
+    flops += 12.0 * rows * m1;  // table eval
+  }
+  flops_ += flops;
+}
+
+template void DPEvaluator::batch_impl<double>(
+    const AtomEnvBatch&, std::vector<double>&, std::vector<Vec3>&,
+    const std::vector<nn::Mlp<double>>&, const std::vector<nn::Mlp<double>>&,
+    std::vector<nn::MlpCache<double>>&, std::vector<nn::MlpCache<double>>&);
+template void DPEvaluator::batch_impl<float>(
+    const AtomEnvBatch&, std::vector<double>&, std::vector<Vec3>&,
+    const std::vector<nn::Mlp<float>>&, const std::vector<nn::Mlp<float>>&,
+    std::vector<nn::MlpCache<float>>&, std::vector<nn::MlpCache<float>>&);
 
 }  // namespace dpmd::dp

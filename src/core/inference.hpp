@@ -30,6 +30,12 @@ struct EvalOptions {
   /// Upper edge of the compression table in s = sw(r)/r units; 0 picks
   /// 1 / r_min with r_min = 0.5 * rcut_smth, generous for condensed phases.
   double compression_s_max = 0.0;
+  /// Atoms per evaluation block (§III-B batching): PairDeepMD evaluates
+  /// blocks of this many atoms through DPEvaluator::evaluate_batch, running
+  /// the embedding nets over all of a block's type-grouped neighbor rows at
+  /// once and the fitting nets with M = block size.  1 selects the legacy
+  /// per-atom path (evaluate_atom), kept as the ablation baseline.
+  int block_size = 64;
 };
 
 /// Per-thread Deep Potential evaluator: all workspaces are allocated at
@@ -43,6 +49,17 @@ class DPEvaluator {
   /// Atomic energy of the environment plus dE/dd_k for every neighbor k
   /// (d_k = x_k - x_i).  dE_dd is resized to env.nnei().
   double evaluate_atom(const AtomEnv& env, std::vector<Vec3>& dE_dd);
+
+  /// Batched evaluation of a packed block of B atoms (§III-B): one
+  /// embedding forward/backward per neighbor type per block, fitting nets
+  /// at M = centers-per-type.  energies[a] is the atomic energy of center
+  /// slot a; dE_dd[r] is dE/dd of packed neighbor row r (same row order as
+  /// the batch, consume via batch.row_slot / batch.nbr_index).  Matches
+  /// evaluate_atom to numerical round-off — the contraction order differs,
+  /// the math does not.
+  void evaluate_batch(const AtomEnvBatch& batch,
+                      std::vector<double>& energies,
+                      std::vector<Vec3>& dE_dd);
 
   const EvalOptions& options() const { return opts_; }
   const DPModel& model() const { return *model_; }
@@ -58,6 +75,14 @@ class DPEvaluator {
                    std::vector<nn::MlpCache<T>>& emb_caches,
                    nn::MlpCache<T>& fit_cache);
 
+  template <class T>
+  void batch_impl(const AtomEnvBatch& batch, std::vector<double>& energies,
+                  std::vector<Vec3>& dE_dd,
+                  const std::vector<nn::Mlp<T>>& embeddings,
+                  const std::vector<nn::Mlp<T>>& fittings,
+                  std::vector<nn::MlpCache<T>>& emb_caches,
+                  std::vector<nn::MlpCache<T>>& fit_caches);
+
   std::shared_ptr<const DPModel> model_;
   EvalOptions opts_;
 
@@ -72,6 +97,10 @@ class DPEvaluator {
   std::vector<nn::MlpCache<float>> emb_cache_f_;
   nn::MlpCache<double> fit_cache_d_;
   nn::MlpCache<float> fit_cache_f_;
+  // batched path: one fitting cache per center type — every type's forward
+  // completes before any backward runs, so the caches must not alias.
+  std::vector<nn::MlpCache<double>> fit_batch_cache_d_;
+  std::vector<nn::MlpCache<float>> fit_batch_cache_f_;
 
   double flops_ = 0.0;
 };

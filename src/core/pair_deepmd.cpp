@@ -1,5 +1,7 @@
 #include "core/pair_deepmd.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace dpmd::dp {
@@ -13,51 +15,121 @@ PairDeepMD::PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
     evaluators_.push_back(std::make_unique<DPEvaluator>(model_, opts_));
   }
   envs_.resize(nthreads);
+  batches_.resize(nthreads);
+  eblk_.resize(nthreads);
   dedd_.resize(nthreads);
   fbuf_.resize(nthreads);
+  fbuf_epoch_.assign(nthreads, 0);
+}
+
+void PairDeepMD::eval_local(md::Atoms& atoms, const md::NeighborList& list,
+                            std::vector<double>* energies,
+                            std::vector<double>& pe_per_thread,
+                            std::vector<double>& virial_per_thread) {
+  const int ntypes = model_->config().ntypes;
+  const int nlocal = atoms.nlocal;
+  const std::size_t ntotal = static_cast<std::size_t>(atoms.ntotal());
+  const int B = std::max(1, opts_.block_size);
+
+  // Per-thread force buffers are zeroed lazily on the thread's first block
+  // of this compute(), so threads that claim no work pay nothing.
+  ++compute_epoch_;
+  const auto thread_fbuf = [&](unsigned tid) -> std::vector<Vec3>& {
+    auto& fbuf = fbuf_[tid];
+    if (fbuf_epoch_[tid] != compute_epoch_) {
+      fbuf.assign(ntotal, Vec3{0, 0, 0});
+      fbuf_epoch_[tid] = compute_epoch_;
+    }
+    return fbuf;
+  };
+
+  if (B <= 1) {
+    // Legacy per-atom path (§III-C "atom-by-atom"): the ablation baseline.
+    const auto eval_range = [&](std::size_t begin, std::size_t end,
+                                unsigned tid) {
+      AtomEnv& env = envs_[tid];
+      auto& dedd = dedd_[tid];
+      auto& fbuf = thread_fbuf(tid);
+      DPEvaluator& ev = *evaluators_[tid];
+      for (std::size_t i = begin; i < end; ++i) {
+        build_env(atoms, list, static_cast<int>(i),
+                  model_->config().descriptor, ntypes, env);
+        const double e = ev.evaluate_atom(env, dedd);
+        pe_per_thread[tid] += e;
+        if (energies != nullptr) (*energies)[i] = e;
+        Vec3 fi{0, 0, 0};
+        for (int k = 0; k < env.nnei(); ++k) {
+          // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
+          const Vec3& grad = dedd[static_cast<std::size_t>(k)];
+          const int j = env.nbr_index[static_cast<std::size_t>(k)];
+          fbuf[static_cast<std::size_t>(j)] -= grad;
+          fi += grad;
+          virial_per_thread[tid] -=
+              dot(env.rel[static_cast<std::size_t>(k)], grad);
+        }
+        fbuf[i] += fi;
+      }
+    };
+    if (pool_ != nullptr && nlocal > 1) {
+      pool_->parallel_ranges(static_cast<std::size_t>(nlocal), eval_range);
+    } else {
+      eval_range(0, static_cast<std::size_t>(nlocal), 0);
+    }
+    return;
+  }
+
+  // Batched path (§III-B): blocks of B atoms are the parallel work unit.
+  const std::size_t nblocks =
+      (static_cast<std::size_t>(nlocal) + B - 1) / B;
+  const auto eval_block = [&](std::size_t blk, unsigned tid) {
+    AtomEnvBatch& batch = batches_[tid];
+    auto& dedd = dedd_[tid];
+    auto& eblk = eblk_[tid];
+    auto& fbuf = thread_fbuf(tid);
+    DPEvaluator& ev = *evaluators_[tid];
+
+    const int first = static_cast<int>(blk) * B;
+    const int count = std::min(B, nlocal - first);
+    build_env_batch(atoms, list, first, count, model_->config().descriptor,
+                    ntypes, batch);
+    ev.evaluate_batch(batch, eblk, dedd);
+
+    for (int a = 0; a < count; ++a) {
+      pe_per_thread[tid] += eblk[static_cast<std::size_t>(a)];
+      if (energies != nullptr) {
+        (*energies)[static_cast<std::size_t>(first + a)] =
+            eblk[static_cast<std::size_t>(a)];
+      }
+    }
+    const int rows = batch.rows();
+    for (int r = 0; r < rows; ++r) {
+      // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
+      const Vec3& grad = dedd[static_cast<std::size_t>(r)];
+      const int j = batch.nbr_index[static_cast<std::size_t>(r)];
+      const int i = batch.center_index[static_cast<std::size_t>(
+          batch.row_slot[static_cast<std::size_t>(r)])];
+      fbuf[static_cast<std::size_t>(j)] -= grad;
+      fbuf[static_cast<std::size_t>(i)] += grad;
+      virial_per_thread[tid] -=
+          dot(batch.rel[static_cast<std::size_t>(r)], grad);
+    }
+  };
+  if (pool_ != nullptr && nblocks > 1) {
+    pool_->parallel_dynamic(nblocks, eval_block);
+  } else {
+    for (std::size_t blk = 0; blk < nblocks; ++blk) eval_block(blk, 0);
+  }
 }
 
 md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
                                     const md::NeighborList& list) {
-  const int ntypes = model_->config().ntypes;
   const int nlocal = atoms.nlocal;
   const int ntotal = atoms.ntotal();
   const unsigned nthreads = static_cast<unsigned>(evaluators_.size());
 
   std::vector<double> pe_per_thread(nthreads, 0.0);
   std::vector<double> virial_per_thread(nthreads, 0.0);
-
-  const auto eval_range = [&](std::size_t begin, std::size_t end,
-                              unsigned tid) {
-    AtomEnv& env = envs_[tid];
-    auto& dedd = dedd_[tid];
-    auto& fbuf = fbuf_[tid];
-    fbuf.assign(static_cast<std::size_t>(ntotal), Vec3{0, 0, 0});
-    DPEvaluator& ev = *evaluators_[tid];
-
-    for (std::size_t i = begin; i < end; ++i) {
-      build_env(atoms, list, static_cast<int>(i),
-                model_->config().descriptor, ntypes, env);
-      pe_per_thread[tid] += ev.evaluate_atom(env, dedd);
-      Vec3 fi{0, 0, 0};
-      for (int k = 0; k < env.nnei(); ++k) {
-        // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
-        const Vec3& grad = dedd[static_cast<std::size_t>(k)];
-        const int j = env.nbr_index[static_cast<std::size_t>(k)];
-        fbuf[static_cast<std::size_t>(j)] -= grad;
-        fi += grad;
-        virial_per_thread[tid] -=
-            dot(env.rel[static_cast<std::size_t>(k)], grad);
-      }
-      fbuf[i] += fi;
-    }
-  };
-
-  if (pool_ != nullptr && nlocal > 1) {
-    pool_->parallel_ranges(static_cast<std::size_t>(nlocal), eval_range);
-  } else {
-    eval_range(0, static_cast<std::size_t>(nlocal), 0);
-  }
+  eval_local(atoms, list, nullptr, pe_per_thread, virial_per_thread);
 
   // Reduce per-thread force buffers into the atom array (ghosts included —
   // Newton's third law stays on, as DeePMD requires).
@@ -65,8 +137,8 @@ md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
   for (unsigned t = 0; t < nthreads; ++t) {
     res.pe += pe_per_thread[t];
     res.virial += virial_per_thread[t];
+    if (fbuf_epoch_[t] != compute_epoch_) continue;  // claimed no work
     const auto& fbuf = fbuf_[t];
-    if (fbuf.empty()) continue;
     for (int i = 0; i < ntotal; ++i) {
       atoms.f[static_cast<std::size_t>(i)] += fbuf[static_cast<std::size_t>(i)];
     }
@@ -78,15 +150,13 @@ md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
 bool PairDeepMD::per_atom_energy(md::Atoms& atoms,
                                  const md::NeighborList& list,
                                  std::vector<double>& energies) {
-  const int ntypes = model_->config().ntypes;
-  energies.resize(static_cast<std::size_t>(atoms.nlocal));
-  AtomEnv& env = envs_[0];
-  auto& dedd = dedd_[0];
-  for (int i = 0; i < atoms.nlocal; ++i) {
-    build_env(atoms, list, i, model_->config().descriptor, ntypes, env);
-    energies[static_cast<std::size_t>(i)] =
-        evaluators_[0]->evaluate_atom(env, dedd);
-  }
+  const unsigned nthreads = static_cast<unsigned>(evaluators_.size());
+  energies.assign(static_cast<std::size_t>(atoms.nlocal), 0.0);
+  // Rides the same threadpool/batched pipeline as compute(); the force
+  // buffers it fills are simply not reduced into atoms.f.
+  std::vector<double> pe_per_thread(nthreads, 0.0);
+  std::vector<double> virial_per_thread(nthreads, 0.0);
+  eval_local(atoms, list, &energies, pe_per_thread, virial_per_thread);
   return true;
 }
 

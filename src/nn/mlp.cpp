@@ -80,38 +80,62 @@ void Mlp<T>::ensure_cache(int batch, MlpCache<T>& cache) const {
 }
 
 template <class T>
-void Mlp<T>::forward(const T* x, T* y, int batch, MlpCache<T>& cache,
-                     GemmKind kind, GemmKind first_kind) const {
+T* Mlp<T>::batch_input(int batch, MlpCache<T>& cache) const {
   DPMD_REQUIRE(!layers_.empty(), "empty network");
   ensure_cache(batch, cache);
-  std::copy(x, x + static_cast<std::size_t>(batch) * input_dim(),
-            cache.acts[0].data());
+  return cache.acts[0].data();
+}
+
+template <class T>
+const T* Mlp<T>::forward_batch(int batch, MlpCache<T>& cache, GemmKind kind,
+                               GemmKind first_kind) const {
+  DPMD_REQUIRE(!layers_.empty(), "empty network");
+  ensure_cache(batch, cache);
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     layers_[l].forward(cache.acts[l].data(), cache.acts[l + 1].data(),
                        cache.hs[l].data(), batch,
                        l == 0 ? first_kind : kind);
   }
-  std::copy(cache.acts.back().data(),
-            cache.acts.back().data() +
-                static_cast<std::size_t>(batch) * output_dim(),
-            y);
+  return cache.acts.back().data();
 }
 
 template <class T>
-void Mlp<T>::backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
-                            GemmKind kind) const {
+T* Mlp<T>::batch_output_grad(int batch, MlpCache<T>& cache) const {
+  DPMD_REQUIRE(!layers_.empty(), "empty network");
+  ensure_cache(batch, cache);
+  return cache.grads[layers_.size()].data();
+}
+
+template <class T>
+const T* Mlp<T>::backward_input_batch(int batch, MlpCache<T>& cache,
+                                      GemmKind kind) const {
   const std::size_t L = layers_.size();
-  std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
-            cache.grads[L].data());
   for (std::size_t l = L; l-- > 0;) {
     layers_[l].backward_input(cache.grads[l + 1].data(), cache.hs[l].data(),
                               cache.grads[l].data(), batch, kind,
                               cache.scratch);
   }
-  std::copy(cache.grads[0].data(),
-            cache.grads[0].data() +
-                static_cast<std::size_t>(batch) * input_dim(),
-            dx);
+  return cache.grads[0].data();
+}
+
+template <class T>
+void Mlp<T>::forward(const T* x, T* y, int batch, MlpCache<T>& cache,
+                     GemmKind kind, GemmKind first_kind) const {
+  T* in = batch_input(batch, cache);
+  std::copy(x, x + static_cast<std::size_t>(batch) * input_dim(), in);
+  const T* out = forward_batch(batch, cache, kind, first_kind);
+  std::copy(out, out + static_cast<std::size_t>(batch) * output_dim(), y);
+}
+
+template <class T>
+void Mlp<T>::backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
+                            GemmKind kind) const {
+  T* grad_out = batch_output_grad(batch, cache);
+  std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
+            grad_out);
+  const T* grad_in = backward_input_batch(batch, cache, kind);
+  std::copy(grad_in,
+            grad_in + static_cast<std::size_t>(batch) * input_dim(), dx);
 }
 
 template <class T>

@@ -71,6 +71,29 @@ class Mlp {
   void backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
                       GemmKind kind) const;
 
+  /// Zero-copy batched entry points (§III-B batching): when `batch` is a
+  /// whole atom block, the x/y staging copies of forward()/backward_input()
+  /// are a measurable fraction of the small-layer cost.  The caller writes
+  /// rows directly into the cache's input slab and reads results from the
+  /// returned slab instead:
+  ///
+  ///   T* in = net.batch_input(M, cache);           // M x in, row-major
+  ///   ... fill in ...
+  ///   const T* out = net.forward_batch(M, cache, kind, kind);  // M x out
+  ///   T* dy = net.batch_output_grad(M, cache);     // M x out
+  ///   ... fill dy ...
+  ///   const T* dx = net.backward_input_batch(M, cache, kind);  // M x in
+  ///
+  /// Slabs stay valid until the next forward on the same cache; a
+  /// forward_batch/backward_input_batch pair on one cache is safe (backward
+  /// reads hs/acts, writes grads).
+  T* batch_input(int batch, MlpCache<T>& cache) const;
+  const T* forward_batch(int batch, MlpCache<T>& cache, GemmKind kind,
+                         GemmKind first_kind) const;
+  T* batch_output_grad(int batch, MlpCache<T>& cache) const;
+  const T* backward_input_batch(int batch, MlpCache<T>& cache,
+                                GemmKind kind) const;
+
   /// Training backward: also accumulates parameter gradients.
   void backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,
                      MlpGrads<T>& grads, GemmKind kind) const;

@@ -97,6 +97,23 @@ void ThreadPool::parallel_for(std::size_t n,
   });
 }
 
+void ThreadPool::parallel_dynamic(
+    std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
+  if (n == 0) return;
+  if (size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  run_on_all([&](unsigned tid) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i, tid);
+    }
+  });
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;

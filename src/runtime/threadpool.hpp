@@ -39,6 +39,15 @@ class ThreadPool {
   /// Element-wise parallel for over [0, n).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Dynamically scheduled parallel for over [0, n): items are claimed one
+  /// at a time from a shared atomic cursor, so unevenly priced items (e.g.
+  /// DP atom blocks whose neighbor counts differ) balance across threads
+  /// instead of straggling in a static partition.  fn(item, thread_id);
+  /// thread_id < size() identifies the claiming thread for per-thread
+  /// workspaces.
+  void parallel_dynamic(
+      std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
+
   /// Process-wide default pool (created on first use).
   static ThreadPool& global();
 

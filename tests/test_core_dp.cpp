@@ -71,7 +71,9 @@ md::Atoms random_config(int n, const md::Box& box, int ntypes, Rng& rng,
 
 struct Evaluated {
   double pe;
-  std::vector<Vec3> forces;  // locals, ghost-folded
+  double virial;
+  std::vector<Vec3> forces;    // locals, ghost-folded
+  std::vector<double> atom_e;  // per-atom energies
 };
 
 Evaluated eval_config(const std::shared_ptr<DPModel>& model,
@@ -90,7 +92,9 @@ Evaluated eval_config(const std::shared_ptr<DPModel>& model,
   }
   Evaluated out;
   out.pe = res.pe;
+  out.virial = res.virial;
   out.forces.assign(atoms.f.begin(), atoms.f.begin() + atoms.nlocal);
+  EXPECT_TRUE(pair.per_atom_energy(atoms, list, out.atom_e));
   return out;
 }
 
@@ -458,6 +462,266 @@ TEST(DpDynamics, NveConservesEnergyWithRandomModel) {
   sim.run(150);
   const double e1 = sim.thermo().total();
   EXPECT_NEAR(e1, e0, std::max(1e-5, std::fabs(e0) * 1e-4));
+}
+
+// ------------------------------------------- batched vs per-atom paths ----
+
+/// Relative difference with an absolute floor (forces can legitimately be
+/// tiny for near-symmetric environments).
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-6});
+  return std::fabs(a - b) / scale;
+}
+
+/// Compares the batched block pipeline at several block sizes against the
+/// legacy per-atom path (block_size = 1) on the same configuration.
+void expect_batched_matches_per_atom(int natoms, Precision prec,
+                                     bool compressed, double tol,
+                                     uint64_t seed, double min_sep = 1.2) {
+  Rng rng(seed);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(natoms, box, 2, rng, min_sep);
+
+  EvalOptions opts;
+  opts.precision = prec;
+  opts.compressed = compressed;
+
+  opts.block_size = 1;
+  const Evaluated ref = eval_config(model, opts, box, atoms);
+
+  // Block sizes chosen to hit: odd remainder (natoms % 8 != 0 for the
+  // configs used below), exact fit, and nlocal < B (block 256).
+  for (const int block : {8, 64, 256}) {
+    opts.block_size = block;
+    const Evaluated got = eval_config(model, opts, box, atoms);
+    EXPECT_LT(rel_diff(got.pe, ref.pe), tol)
+        << "pe, block=" << block;
+    EXPECT_LT(rel_diff(got.virial, ref.virial), tol)
+        << "virial, block=" << block;
+    for (int i = 0; i < natoms; ++i) {
+      EXPECT_LT(rel_diff(got.atom_e[static_cast<std::size_t>(i)],
+                         ref.atom_e[static_cast<std::size_t>(i)]),
+                tol)
+          << "atom energy " << i << ", block=" << block;
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_LT(rel_diff(got.forces[static_cast<std::size_t>(i)][d],
+                           ref.forces[static_cast<std::size_t>(i)][d]),
+                  tol)
+            << "force atom " << i << " dim " << d << ", block=" << block;
+      }
+    }
+  }
+}
+
+TEST(DpBatch, MatchesPerAtomDoubleCompressed) {
+  // Acceptance bar: <= 1e-10 relative in double precision.  37 atoms with
+  // block 8 exercises the remainder block (37 % 8 = 5), block 256 the
+  // nlocal < B case.
+  expect_batched_matches_per_atom(37, Precision::Double, true, 1e-10, 71);
+}
+
+TEST(DpBatch, MatchesPerAtomDoubleFullEmbedding) {
+  expect_batched_matches_per_atom(37, Precision::Double, false, 1e-10, 73);
+}
+
+TEST(DpBatch, MatchesPerAtomMixFp32) {
+  // Same math, different GEMM summation order: fp32 round-off only.
+  expect_batched_matches_per_atom(30, Precision::MixFp32, true, 5e-4, 79);
+  expect_batched_matches_per_atom(30, Precision::MixFp32, false, 5e-4, 83);
+}
+
+TEST(DpBatch, MatchesPerAtomMixFp16) {
+  expect_batched_matches_per_atom(30, Precision::MixFp16, true, 5e-4, 89);
+}
+
+TEST(DpBatch, ThreadedBlocksMatchSerial) {
+  // Blocks are claimed dynamically across the pool; per-thread force
+  // buffers must reduce to the serial result regardless of which thread
+  // evaluates which block.
+  Rng rng(109);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(40, box, 2, rng);
+  md::build_periodic_ghosts(atoms, box, model->config().descriptor.rcut);
+  md::NeighborList list({model->config().descriptor.rcut, 0.0, true});
+  list.build(atoms, box);
+
+  EvalOptions opts;
+  opts.block_size = 8;  // 5 blocks over 4 threads
+  PairDeepMD serial(model, opts);
+  rt::ThreadPool pool(4);
+  PairDeepMD threaded(model, opts, &pool);
+
+  atoms.zero_forces();
+  const md::ForceResult r0 = serial.compute(atoms, list);
+  std::vector<Vec3> f0(atoms.f.begin(), atoms.f.end());
+  atoms.zero_forces();
+  const md::ForceResult r1 = threaded.compute(atoms, list);
+
+  EXPECT_NEAR(r1.pe, r0.pe, 1e-10);
+  EXPECT_NEAR(r1.virial, r0.virial, 1e-10);
+  for (int i = 0; i < atoms.ntotal(); ++i) {
+    const Vec3 d = atoms.f[static_cast<std::size_t>(i)] -
+                   f0[static_cast<std::size_t>(i)];
+    EXPECT_LT(d.norm(), 1e-10) << i;
+  }
+
+  std::vector<double> e_serial, e_threaded;
+  ASSERT_TRUE(serial.per_atom_energy(atoms, list, e_serial));
+  ASSERT_TRUE(threaded.per_atom_energy(atoms, list, e_threaded));
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    EXPECT_NEAR(e_threaded[static_cast<std::size_t>(i)],
+                e_serial[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(DpBatch, TinySystemSmallerThanAnyBlock) {
+  expect_batched_matches_per_atom(3, Precision::Double, true, 1e-10, 97);
+}
+
+TEST(DpBatch, ZeroNeighborAtomsAreExact) {
+  // Two isolated atoms far outside everyone's cutoff (rcut = 4.5) plus a
+  // compact cluster: zero-neighbor descriptors must flow through the
+  // batched fitting GEMM and come out identical to the per-atom path.
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {30, 30, 30});
+  Rng rng(101);
+  md::Atoms atoms;
+  int id = 0;
+  for (int i = 0; i < 6; ++i) {
+    atoms.add_local({4 + rng.uniform(0.0, 2.5), 4 + rng.uniform(0.0, 2.5),
+                     4 + rng.uniform(0.0, 2.5)},
+                    {0, 0, 0}, i % 2, id++);
+  }
+  atoms.add_local({15, 15, 15}, {0, 0, 0}, 0, id++);
+  atoms.add_local({22, 22, 22}, {0, 0, 0}, 1, id++);
+
+  EvalOptions opts;
+  opts.block_size = 1;
+  const Evaluated ref = eval_config(model, opts, box, atoms);
+  opts.block_size = 64;
+  const Evaluated got = eval_config(model, opts, box, atoms);
+
+  ASSERT_EQ(ref.atom_e.size(), got.atom_e.size());
+  for (std::size_t i = 0; i < ref.atom_e.size(); ++i) {
+    EXPECT_LT(rel_diff(got.atom_e[i], ref.atom_e[i]), 1e-12) << i;
+  }
+  // The isolated atoms see nothing: energy is exactly the zero-descriptor
+  // fitting output, force is zero.
+  EXPECT_NEAR(got.forces[6].norm(), 0.0, 1e-12);
+  EXPECT_NEAR(got.forces[7].norm(), 0.0, 1e-12);
+}
+
+TEST(DpBatch, EnvBatchAgreesWithPerAtomEnvs) {
+  // Structural check of the packed layout itself: every (slot, type)
+  // segment must hold exactly the rows of the per-atom environment.
+  Rng rng(103);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(21, box, 2, rng);
+  md::build_periodic_ghosts(atoms, box, model->config().descriptor.rcut);
+  md::NeighborList list({model->config().descriptor.rcut, 0.0, true});
+  list.build(atoms, box);
+  const auto& params = model->config().descriptor;
+
+  AtomEnvBatch batch;
+  const int first = 5, count = 9;
+  build_env_batch(atoms, list, first, count, params, 2, batch);
+  ASSERT_EQ(batch.natoms, count);
+
+  AtomEnv env;
+  for (int a = 0; a < count; ++a) {
+    build_env(atoms, list, first + a, params, 2, env);
+    ASSERT_EQ(batch.nnei_of(a), env.nnei()) << "slot " << a;
+    EXPECT_EQ(batch.center_type[static_cast<std::size_t>(a)],
+              env.center_type);
+    for (int t = 0; t < 2; ++t) {
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * count + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * count + a + 1];
+      const int env_lo = env.type_offset[static_cast<std::size_t>(t)];
+      ASSERT_EQ(seg_hi - seg_lo,
+                env.type_offset[static_cast<std::size_t>(t) + 1] - env_lo);
+      for (int k = 0; k < seg_hi - seg_lo; ++k) {
+        const int r = seg_lo + k;
+        const int ek = env_lo + k;
+        EXPECT_EQ(batch.row_slot[static_cast<std::size_t>(r)], a);
+        EXPECT_EQ(batch.nbr_index[static_cast<std::size_t>(r)],
+                  env.nbr_index[static_cast<std::size_t>(ek)]);
+        for (int c = 0; c < 4; ++c) {
+          EXPECT_DOUBLE_EQ(
+              batch.rmat[static_cast<std::size_t>(r) * 4 + c],
+              env.rmat[static_cast<std::size_t>(ek) * 4 + c]);
+        }
+        for (int c = 0; c < 12; ++c) {
+          EXPECT_DOUBLE_EQ(
+              batch.drmat[static_cast<std::size_t>(r) * 12 + c],
+              env.drmat[static_cast<std::size_t>(ek) * 12 + c]);
+        }
+      }
+    }
+  }
+  // Fit-order bookkeeping: fit_order/fit_pos are inverse permutations and
+  // the fit blocks are center-type-sorted.
+  for (int f = 0; f < count; ++f) {
+    const int slot = batch.fit_order[static_cast<std::size_t>(f)];
+    EXPECT_EQ(batch.fit_pos[static_cast<std::size_t>(slot)], f);
+  }
+  for (int t = 0; t < 2; ++t) {
+    for (int f = batch.fit_type_offset[static_cast<std::size_t>(t)];
+         f < batch.fit_type_offset[static_cast<std::size_t>(t) + 1]; ++f) {
+      EXPECT_EQ(batch.center_type[static_cast<std::size_t>(
+                    batch.fit_order[static_cast<std::size_t>(f)])],
+                t);
+    }
+  }
+}
+
+TEST(DpBatch, EvaluateBatchDirectMatchesEvaluateAtom) {
+  // Driver-free check of DPEvaluator::evaluate_batch itself (no PairDeepMD
+  // in the loop): packed dE_dd rows must equal the per-atom gradients.
+  Rng rng(107);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(13, box, 2, rng);
+  md::build_periodic_ghosts(atoms, box, model->config().descriptor.rcut);
+  md::NeighborList list({model->config().descriptor.rcut, 0.0, true});
+  list.build(atoms, box);
+  const auto& params = model->config().descriptor;
+
+  EvalOptions opts;  // double, compressed
+  DPEvaluator ev(model, opts);
+
+  AtomEnvBatch batch;
+  build_env_batch(atoms, list, 0, atoms.nlocal, params, 2, batch);
+  std::vector<double> energies;
+  std::vector<Vec3> dedd_batch;
+  ev.evaluate_batch(batch, energies, dedd_batch);
+  ASSERT_EQ(static_cast<int>(energies.size()), atoms.nlocal);
+  ASSERT_EQ(static_cast<int>(dedd_batch.size()), batch.rows());
+
+  AtomEnv env;
+  std::vector<Vec3> dedd;
+  for (int a = 0; a < atoms.nlocal; ++a) {
+    build_env(atoms, list, a, params, 2, env);
+    const double e = ev.evaluate_atom(env, dedd);
+    EXPECT_LT(rel_diff(energies[static_cast<std::size_t>(a)], e), 1e-12)
+        << a;
+    for (int t = 0; t < 2; ++t) {
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * batch.natoms + a];
+      const int env_lo = env.type_offset[static_cast<std::size_t>(t)];
+      const int n = env.type_offset[static_cast<std::size_t>(t) + 1] - env_lo;
+      for (int k = 0; k < n; ++k) {
+        const Vec3 d = dedd_batch[static_cast<std::size_t>(seg_lo + k)] -
+                       dedd[static_cast<std::size_t>(env_lo + k)];
+        EXPECT_LT(d.norm(), 1e-10)
+            << "slot " << a << " type " << t << " k " << k;
+      }
+    }
+  }
 }
 
 TEST(DpPair, PerAtomEnergySumsToTotal) {

@@ -72,6 +72,37 @@ TEST(ThreadPool, ParallelRangesDisjointAndComplete) {
   for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
 }
 
+TEST(ThreadPool, ParallelDynamicCoversEveryItemOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(501);  // not a multiple of 4
+  pool.parallel_dynamic(touched.size(), [&](std::size_t i, unsigned tid) {
+    EXPECT_LT(tid, pool.size());
+    touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelDynamicDegenerateCases) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.parallel_dynamic(0, [&](std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+
+  int single_calls = 0;
+  pool.parallel_dynamic(1, [&](std::size_t i, unsigned tid) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(tid, 0u);  // n == 1 runs inline on the caller
+    ++single_calls;
+  });
+  EXPECT_EQ(single_calls, 1);
+
+  ThreadPool serial(1);
+  std::vector<int> v(10, 0);
+  serial.parallel_dynamic(v.size(),
+                          [&](std::size_t i, unsigned) { v[i] = 1; });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 10);
+}
+
 TEST(ThreadPool, ManyConsecutiveRegions) {
   // The point of the persistent pool (paper §III-D2): repeated parallel
   // regions must be cheap and correct; run a few thousand back-to-back.
