@@ -51,9 +51,10 @@ int main(int argc, char** argv) {
 
   // Full pair-style timing (env build + evaluation + force scatter), the
   // honest per-step number a simulation would pay.
-  const auto time_variant = [&](int block_size) {
-    dp::EvalOptions opts;  // double, compressed, GemmKind::Auto
+  const auto time_variant = [&](int block_size, bool compressed) {
+    dp::EvalOptions opts;  // double, GemmKind::Auto
     opts.block_size = block_size;
+    opts.compressed = compressed;
     dp::PairDeepMD pair(model, opts);
     md::Atoms work = atoms;
     work.zero_forces();
@@ -68,11 +69,18 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Variant> variants;
-  variants.push_back({"per_atom", time_variant(1), 0.0});
-  variants.push_back({"batched_b64", time_variant(kBlock), 0.0});
+  variants.push_back({"per_atom", time_variant(1, true), 0.0});
+  variants.push_back({"batched_b64", time_variant(kBlock, true), 0.0});
+  // Full-embedding rungs (PR 2): the mode the GEMM-cast descriptor
+  // contraction gains the most, tracked since ISSUE 2.
+  variants.push_back({"per_atom_fullemb", time_variant(1, false), 0.0});
+  variants.push_back(
+      {"batched_b64_fullemb", time_variant(kBlock, false), 0.0});
   for (auto& v : variants) v.ns_day_proxy = ns_day_proxy(v.us_per_step);
   const double speedup =
       variants[0].us_per_step / variants[1].us_per_step;
+  const double fullemb_speedup =
+      variants[2].us_per_step / variants[3].us_per_step;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -96,15 +104,22 @@ int main(int argc, char** argv) {
                  v.ns_day_proxy, i + 1 < variants.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"batched_speedup\": %.3f\n", speedup);
+  std::fprintf(f, "  \"batched_speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"fullemb_batched_speedup\": %.3f\n", fullemb_speedup);
   std::fprintf(f, "}\n");
   std::fclose(f);
 
-  std::printf("per-atom : %8.1f us/step (%6.2f us/atom)\n",
+  std::printf("per-atom          : %8.1f us/step (%6.2f us/atom)\n",
               variants[0].us_per_step, variants[0].us_per_step / kNatoms);
-  std::printf("batched  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+  std::printf("batched           : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
               variants[1].us_per_step, variants[1].us_per_step / kNatoms,
               kBlock);
-  std::printf("speedup  : %.2fx  -> %s\n", speedup, out_path.c_str());
+  std::printf("per-atom full-emb : %8.1f us/step (%6.2f us/atom)\n",
+              variants[2].us_per_step, variants[2].us_per_step / kNatoms);
+  std::printf("batched full-emb  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+              variants[3].us_per_step, variants[3].us_per_step / kNatoms,
+              kBlock);
+  std::printf("speedup  : %.2fx compressed, %.2fx full-emb  -> %s\n", speedup,
+              fullemb_speedup, out_path.c_str());
   return 0;
 }

@@ -106,6 +106,15 @@ void measured_section() {
   rows.push_back({"batched-fp32 (B=64)",
                   direct(dp::Precision::MixFp32, nn::GemmKind::Auto, true,
                          64)});
+  // Full-embedding rungs (ISSUE 2): the accuracy-reference mode without
+  // DP-Compress tables.  The GEMM-cast descriptor contraction + batched
+  // embedding passes are what close the gap to the compressed rungs.
+  rows.push_back({"fullemb-fp64 (per-atom)",
+                  direct(dp::Precision::Double, nn::GemmKind::Auto, false,
+                         1)});
+  rows.push_back({"batched-fullemb-fp64 (B=64)",
+                  direct(dp::Precision::Double, nn::GemmKind::Auto, false,
+                         64)});
 
   AsciiTable table({"variant", "us/atom", "speedup vs baseline"});
   table.set_title("Copper-like model (sel 160, emb 25-50-100, fit 240^3)");

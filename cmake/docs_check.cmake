@@ -1,0 +1,35 @@
+# Docs sanity check (ctest `docs_sanity`): every direct subdirectory of
+# src/ must either carry its own README.md or be described in the top-level
+# README.md module map — so a new subsystem cannot land undocumented.
+#
+#   cmake -DSRC_DIR=<repo>/src -DREADME=<repo>/README.md -P docs_check.cmake
+if(NOT DEFINED SRC_DIR OR NOT DEFINED README)
+  message(FATAL_ERROR "usage: cmake -DSRC_DIR=... -DREADME=... -P docs_check.cmake")
+endif()
+
+if(NOT EXISTS ${README})
+  message(FATAL_ERROR "top-level README.md missing (${README})")
+endif()
+file(READ ${README} readme_text)
+
+file(GLOB children RELATIVE ${SRC_DIR} ${SRC_DIR}/*)
+set(missing "")
+foreach(child ${children})
+  if(NOT IS_DIRECTORY ${SRC_DIR}/${child})
+    continue()
+  endif()
+  if(EXISTS ${SRC_DIR}/${child}/README.md)
+    continue()
+  endif()
+  # Listed in the top-level module map as `src/<child>`?
+  string(FIND "${readme_text}" "src/${child}" idx)
+  if(idx EQUAL -1)
+    list(APPEND missing ${child})
+  endif()
+endforeach()
+
+if(missing)
+  message(FATAL_ERROR "src/ subdirectories with no README.md and no entry in "
+                      "the top-level README.md module map: ${missing}")
+endif()
+message(STATUS "docs check passed: every src/ dir has a README or a module-map entry")

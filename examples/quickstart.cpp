@@ -3,6 +3,11 @@
 // short NVE trajectory printing LAMMPS-style thermo lines.
 //
 //   ./quickstart [--steps=200] [--cells=3] [--temp=100] [--precision=fp32]
+//                [--block-size=64]
+//
+// --block-size sets EvalOptions::block_size (atoms per batched evaluation
+// block, §III-B); 1 selects the legacy per-atom path.  Tune it per system
+// and thread count — 32-128 are all reasonable (see src/core/README.md).
 #include <cstdio>
 #include <memory>
 
@@ -20,6 +25,7 @@ int main(int argc, char** argv) {
   const int cells = static_cast<int>(args.get_int("cells", 3));
   const double temp = args.get_double("temp", 100.0);
   const std::string prec_str = args.get("precision", "fp32");
+  const int block_size = static_cast<int>(args.get_int("block-size", 64));
 
   // 1. A Deep Potential model (paper-shaped nets, scaled-down sel).
   dp::ModelConfig cfg;
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
                    : prec_str == "fp16" ? dp::Precision::MixFp16
                                         : dp::Precision::MixFp32;
   opts.compressed = true;
+  opts.block_size = block_size;
 
   // 2. The physical system.
   md::Box box;
@@ -51,8 +58,10 @@ int main(int argc, char** argv) {
               {.dt_fs = 0.5, .skin = 1.0});
   sim.setup();
 
-  std::printf("quickstart: %d Cu atoms, %s precision, %d steps\n",
-              sim.atoms().nlocal, dp::precision_name(opts.precision), steps);
+  std::printf("quickstart: %d Cu atoms, %s precision, %d steps, "
+              "block size %d%s\n",
+              sim.atoms().nlocal, dp::precision_name(opts.precision), steps,
+              block_size, block_size <= 1 ? " (per-atom path)" : "");
   std::printf("%8s %12s %12s %12s %10s\n", "step", "PE [eV]", "KE [eV]",
               "Etot [eV]", "T [K]");
   const auto print = [](int step, const md::Sim& s) {

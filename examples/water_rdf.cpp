@@ -3,9 +3,19 @@
 // O-H and H-H radial distribution functions.
 //
 //   ./water_rdf [--molecules-side=4] [--steps=1500] [--temp=300]
+//               [--dp-block-size=0]
+//
+// --dp-block-size=N (N >= 1) additionally re-scores every RDF frame through
+// a paper-shaped Deep Potential at EvalOptions::block_size = N and reports
+// the evaluation throughput — the knob the ROADMAP asks to tune per system
+// (1 = per-atom path, 0 = off).  The DP carries random weights, so the
+// numbers measure the compute pipeline, not the physics.
 #include <cstdio>
 #include <memory>
 
+#include "water256.hpp"  // bench::water256_model — the shared DP reference
+#include "core/pair_deepmd.hpp"
+#include "md/ghosts.hpp"
 #include "md/lattice.hpp"
 #include "md/pair_water_ref.hpp"
 #include "md/rdf.hpp"
@@ -13,6 +23,7 @@
 #include "md/thermo.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace dpmd;
 
@@ -21,6 +32,7 @@ int main(int argc, char** argv) {
   const int side = static_cast<int>(args.get_int("molecules-side", 4));
   const int steps = static_cast<int>(args.get_int("steps", 1500));
   const double temp = args.get_double("temp", 300.0);
+  const int dp_block = static_cast<int>(args.get_int("dp-block-size", 0));
 
   Rng rng(11);
   md::Box box;
@@ -37,6 +49,20 @@ int main(int argc, char** argv) {
               "%.0f K\n", natoms, side * side * side, steps, temp);
   sim.run(steps / 3);  // equilibrate
 
+  // Optional DP scoring pipeline (--dp-block-size): evaluates each sampled
+  // frame through the batched Deep Potential at the requested block size.
+  std::unique_ptr<dp::PairDeepMD> dp_pair;
+  if (dp_block >= 1) {
+    dp::EvalOptions opts;  // fp64 compressed
+    opts.block_size = dp_block;
+    // Same paper-shaped random-weight model as the compute benches
+    // (bench/water256.hpp), so the example and BENCH_compute.json time the
+    // identical workload.
+    dp_pair = std::make_unique<dp::PairDeepMD>(bench::water256_model(), opts);
+  }
+  double dp_us = 0.0;
+  int dp_frames = 0;
+
   const double rmax = 0.45 * box.length().x;
   md::RdfAccumulator oo(0, 0, rmax, 60);
   md::RdfAccumulator oh(0, 1, rmax, 60);
@@ -46,6 +72,18 @@ int main(int argc, char** argv) {
     oo.add_frame(sim.atoms(), box);
     oh.add_frame(sim.atoms(), box);
     hh.add_frame(sim.atoms(), box);
+    if (dp_pair != nullptr) {
+      md::Atoms frame = sim.atoms();
+      frame.clear_ghosts();
+      md::build_periodic_ghosts(frame, box, dp_pair->cutoff());
+      md::NeighborList dp_list({dp_pair->cutoff(), 0.0, true});
+      dp_list.build(frame, box);
+      frame.zero_forces();
+      Stopwatch sw;
+      dp_pair->compute(frame, dp_list);
+      dp_us += sw.elapsed_us();
+      ++dp_frames;
+    }
   }
 
   AsciiTable table({"r [A]", "g_OO", "g_OH", "g_HH", "g_OO bar"});
@@ -63,5 +101,11 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("final T = %.1f K over %d frames\n", sim.thermo().temperature,
               oo.frames());
+  if (dp_frames > 0) {
+    const double us = dp_us / dp_frames;
+    std::printf("DP scoring (block size %d): %.0f us/frame, %.2f us/atom "
+                "over %d frames\n",
+                dp_block, us, us / natoms, dp_frames);
+  }
   return 0;
 }

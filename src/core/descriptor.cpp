@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "gemm/gemm.hpp"
 #include "util/error.hpp"
 
 namespace dpmd::dp {
@@ -235,5 +237,183 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
     }
   }
 }
+
+// ---- GEMM-cast descriptor contraction -------------------------------------
+
+namespace {
+
+/// Tiny per-thread staging for the 4 x m2 sub-block of A (its columns are a
+/// strided view of the 4 x m1 slab; the copy is 64 elements).
+template <class T>
+std::vector<T>& contraction_scratch() {
+  thread_local std::vector<T> buf;
+  return buf;
+}
+
+}  // namespace
+
+template <class T>
+void contract_a_rows(const T* rmat_rows, const T* g_rows, int rows, int m1,
+                     T inv_n, T* a) {
+  // A += inv_n * R~^T G: both operands are K x M / K x N packed row slabs,
+  // exactly gemm_tn's storage contract (no transposition, no copy).
+  gemm::gemm_tn(rmat_rows, g_rows, a, 4, m1, rows, inv_n, T(1));
+}
+
+template <class T>
+void contract_d(const T* a, int m1, int m2, T* d) {
+  // D = A^T A_sub with A_sub = A[:, :m2] packed: A itself is the K x M
+  // operand (K = 4 components), so this is gemm_tn again at M = m1.
+  auto& asub = contraction_scratch<T>();
+  asub.resize(static_cast<std::size_t>(4) * m2);
+  for (int c = 0; c < 4; ++c) {
+    std::copy(a + static_cast<std::size_t>(c) * m1,
+              a + static_cast<std::size_t>(c) * m1 + m2,
+              asub.begin() + static_cast<std::size_t>(c) * m2);
+  }
+  gemm::gemm_tn(a, asub.data(), d, m1, m2, 4, T(1), T(0));
+}
+
+template <class T>
+void contract_d_backward(const T* a, const T* dd, int m1, int m2, T* da) {
+  auto& asub = contraction_scratch<T>();
+  asub.resize(static_cast<std::size_t>(4) * m2 * 2);
+  T* asub_p = asub.data();
+  T* tmp = asub.data() + static_cast<std::size_t>(4) * m2;
+  for (int c = 0; c < 4; ++c) {
+    std::copy(a + static_cast<std::size_t>(c) * m1,
+              a + static_cast<std::size_t>(c) * m1 + m2,
+              asub_p + static_cast<std::size_t>(c) * m2);
+  }
+  // Term 1: dA += A_sub dD^T (NT: dD stored m1 x m2 is the N x K operand).
+  gemm::gemm_nt(asub_p, dd, da, 4, m1, m2, T(1), T(1));
+  // Term 2: dA[:, :m2] += A dD — computed into a packed 4 x m2 block, then
+  // folded into the strided first-m2 columns of dA.
+  gemm::sve_gemm(a, dd, tmp, 4, m2, m1, T(1), T(0));
+  for (int c = 0; c < 4; ++c) {
+    T* __restrict darow = da + static_cast<std::size_t>(c) * m1;
+    const T* __restrict trow = tmp + static_cast<std::size_t>(c) * m2;
+#pragma omp simd
+    for (int q = 0; q < m2; ++q) darow[q] += trow[q];
+  }
+}
+
+template <class T>
+void contract_backward_rows(const T* rmat_rows, const T* g_rows, const T* da,
+                            int rows, int m1, T inv_n, T* dg_rows,
+                            T* dr_rows) {
+  // dG += inv_n * R~ dA: a K = 4 GEMM over the segment's packed rows.
+  gemm::gemm_blocked(rmat_rows, da, dg_rows, rows, m1, 4, inv_n, T(1));
+  if (dr_rows != nullptr) {
+    // dR = inv_n * G dA^T: dA (4 x m1) is the N x K operand of gemm_nt.
+    gemm::gemm_nt(g_rows, da, dr_rows, rows, 4, m1, inv_n, T(0));
+  }
+}
+
+template <class T>
+void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
+                            const T* const* g_base, int m1, int m2, T inv_n,
+                            T* a_slab, T* const* fit_slab) {
+  const int B = batch.natoms;
+  const int fit_in = m1 * m2;
+  for (int a = 0; a < B; ++a) {
+    T* abuf = a_slab + static_cast<std::size_t>(a) * 4 * m1;
+    for (int t = 0; t < batch.ntypes; ++t) {
+      const int lo = batch.type_offset[static_cast<std::size_t>(t)];
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
+      if (seg_hi == seg_lo) continue;
+      contract_a_rows(rmat_rows + static_cast<std::size_t>(seg_lo) * 4,
+                      g_base[static_cast<std::size_t>(t)] +
+                          static_cast<std::size_t>(seg_lo - lo) * m1,
+                      seg_hi - seg_lo, m1, inv_n, abuf);
+    }
+    const int ct = batch.center_type[static_cast<std::size_t>(a)];
+    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
+                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
+    contract_d(abuf, m1, m2,
+               fit_slab[static_cast<std::size_t>(ct)] +
+                   static_cast<std::size_t>(pos) * fit_in);
+  }
+}
+
+template <class T>
+void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
+                             const T* const* g_base, const T* const* dd_base,
+                             int m1, int m2, T inv_n, const T* a_slab,
+                             T* const* dg_base, T* dr_rows) {
+  const int B = batch.natoms;
+  const int fit_in = m1 * m2;
+  // dA scratch; deliberately NOT contraction_scratch<T>() — that buffer is
+  // contract_d_backward's staging and would alias.
+  thread_local std::vector<T> da_buf;
+  da_buf.resize(static_cast<std::size_t>(4) * m1);
+  for (int a = 0; a < B; ++a) {
+    const T* abuf = a_slab + static_cast<std::size_t>(a) * 4 * m1;
+    const int ct = batch.center_type[static_cast<std::size_t>(a)];
+    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
+                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
+    const T* ddmat = dd_base[static_cast<std::size_t>(ct)] +
+                     static_cast<std::size_t>(pos) * fit_in;
+    std::fill(da_buf.begin(), da_buf.end(), T(0));
+    contract_d_backward(abuf, ddmat, m1, m2, da_buf.data());
+    for (int t = 0; t < batch.ntypes; ++t) {
+      const int lo = batch.type_offset[static_cast<std::size_t>(t)];
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
+      if (seg_hi == seg_lo) continue;
+      contract_backward_rows(
+          rmat_rows + static_cast<std::size_t>(seg_lo) * 4,
+          g_base[static_cast<std::size_t>(t)] +
+              static_cast<std::size_t>(seg_lo - lo) * m1,
+          da_buf.data(), seg_hi - seg_lo, m1, inv_n,
+          dg_base[static_cast<std::size_t>(t)] +
+              static_cast<std::size_t>(seg_lo - lo) * m1,
+          dr_rows == nullptr
+              ? nullptr
+              : dr_rows + static_cast<std::size_t>(seg_lo) * 4);
+    }
+  }
+}
+
+template void contract_forward_batch<float>(const AtomEnvBatch&, const float*,
+                                            const float* const*, int, int,
+                                            float, float*, float* const*);
+template void contract_forward_batch<double>(const AtomEnvBatch&,
+                                             const double*,
+                                             const double* const*, int, int,
+                                             double, double*, double* const*);
+template void contract_backward_batch<float>(const AtomEnvBatch&, const float*,
+                                             const float* const*,
+                                             const float* const*, int, int,
+                                             float, const float*,
+                                             float* const*, float*);
+template void contract_backward_batch<double>(const AtomEnvBatch&,
+                                              const double*,
+                                              const double* const*,
+                                              const double* const*, int, int,
+                                              double, const double*,
+                                              double* const*, double*);
+
+template void contract_a_rows<float>(const float*, const float*, int, int,
+                                     float, float*);
+template void contract_a_rows<double>(const double*, const double*, int, int,
+                                      double, double*);
+template void contract_d<float>(const float*, int, int, float*);
+template void contract_d<double>(const double*, int, int, double*);
+template void contract_d_backward<float>(const float*, const float*, int, int,
+                                         float*);
+template void contract_d_backward<double>(const double*, const double*, int,
+                                          int, double*);
+template void contract_backward_rows<float>(const float*, const float*,
+                                            const float*, int, int, float,
+                                            float*, float*);
+template void contract_backward_rows<double>(const double*, const double*,
+                                             const double*, int, int, double,
+                                             double*, double*);
 
 }  // namespace dpmd::dp

@@ -169,4 +169,61 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                      int first, int count, const DescriptorParams& params,
                      int ntypes, AtomEnvBatch& batch);
 
+// ---- GEMM-cast descriptor contraction (PR 2) ------------------------------
+// The contraction A = R~^T G / sel, D = A^T A[:, :m2] and its backward run
+// as block-level GEMMs over contiguous row slabs of an AtomEnvBatch (one
+// call per (center slot, neighbor type) segment).  Shared by the inference
+// pipeline (DPEvaluator::batch_impl) and the batched trainer so both paths
+// are the same kernels by construction; evaluate_atom keeps independent
+// scalar loops as the equality-test reference.
+
+/// A (4 x m1) += inv_n * R~_rows^T G_rows over `rows` packed rows
+/// (gemm_tn: M = 4 environment components, K = rows).
+template <class T>
+void contract_a_rows(const T* rmat_rows, const T* g_rows, int rows, int m1,
+                     T inv_n, T* a);
+
+/// D (m1 x m2, row-major) = A^T A[:, :m2] for one slot's A (4 x m1);
+/// overwrites d (typically a fitting-net input slab row).
+template <class T>
+void contract_d(const T* a, int m1, int m2, T* d);
+
+/// dA (4 x m1) += dE/dA given dD = dE/dD (m1 x m2):
+///   dA[c][p] += sum_q dD[p][q] A[c][q]  +  [p < m2] sum_p' dD[p'][p] A[c][p'].
+template <class T>
+void contract_d_backward(const T* a, const T* dd, int m1, int m2, T* da);
+
+/// Backward over one segment's packed rows:
+///   dG_rows += inv_n * R~_rows dA          (gemm, K = 4)
+///   dR_rows  = inv_n * G_rows dA^T         (gemm_nt, N = 4) — skipped when
+/// dr_rows is null (energy-only training needs no force chain).
+template <class T>
+void contract_backward_rows(const T* rmat_rows, const T* g_rows, const T* da,
+                            int rows, int m1, T inv_n, T* dg_rows,
+                            T* dr_rows);
+
+/// Whole-batch forward driver: for every center slot, accumulates A into
+/// a_slab (natoms x 4 x m1, caller-zeroed) from the slot's (type) row
+/// segments and writes D = A^T A[:, :m2] into its fitting input row
+/// (fit_slab[center_type] + fit-position * m1*m2).  rmat_rows is the packed
+/// batch environment matrix (possibly precision-cast); g_base[t] points at
+/// type t's embedding output slab.  One definition drives both the
+/// inference and training pipelines so the segment bookkeeping cannot
+/// diverge between them.
+template <class T>
+void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
+                            const T* const* g_base, int m1, int m2, T inv_n,
+                            T* a_slab, T* const* fit_slab);
+
+/// Whole-batch backward driver, mirroring contract_forward_batch:
+/// dd_base[t] is type t's dE/dD slab (fit-position-ordered rows),
+/// dg_base[t] the caller-zeroed per-type dG slab to accumulate into, and
+/// dr_rows the packed dE/dR rows (4 per row; null skips the force chain,
+/// as energy-only training does).
+template <class T>
+void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
+                             const T* const* g_base, const T* const* dd_base,
+                             int m1, int m2, T inv_n, const T* a_slab,
+                             T* const* dg_base, T* dr_rows);
+
 }  // namespace dpmd::dp

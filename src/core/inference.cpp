@@ -46,7 +46,6 @@ struct BatchWorkspace {
   std::vector<T> g;          // rows x m1 (compressed path only)
   std::vector<T> dg;         // rows x m1 (compressed path only)
   std::vector<T> a;          // B x 4 x m1: per-slot descriptor factor A
-  std::vector<T> da;         // 4 x m1: dE/dA of the slot being reduced
   std::vector<T> ds;         // rows (compressed path only)
   std::vector<T> dr;         // rows x 4: dE/dR
   std::vector<double> dgds;  // rows x m1 (compressed path)
@@ -360,7 +359,6 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   const auto& dparams = cfg.descriptor;
   const int m1 = dparams.m1();
   const int m2 = dparams.m2();
-  const int fit_in = dparams.fitting_input_dim();
   const int ntypes = cfg.ntypes;
   const int B = batch.natoms;
   const int rows = batch.rows();
@@ -397,12 +395,19 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   };
 
   auto& ws = batch_workspace<T>();
-  ws.rmat.resize(static_cast<std::size_t>(rows) * 4);
-  for (std::size_t i = 0; i < static_cast<std::size_t>(rows) * 4; ++i) {
-    ws.rmat[i] = static_cast<T>(batch.rmat[i]);
+  // The double pipeline reads the batch environment matrix in place; only
+  // the fp32 modes pay a cast copy.
+  const T* rmat;
+  if constexpr (std::is_same_v<T, double>) {
+    rmat = batch.rmat.data();
+  } else {
+    ws.rmat.resize(static_cast<std::size_t>(rows) * 4);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(rows) * 4; ++i) {
+      ws.rmat[i] = static_cast<T>(batch.rmat[i]);
+    }
+    rmat = ws.rmat.data();
   }
   ws.a.assign(static_cast<std::size_t>(B) * 4 * m1, T(0));
-  ws.da.resize(static_cast<std::size_t>(4) * m1);
   ws.dr.resize(static_cast<std::size_t>(rows) * 4);
 
   // ---- embedding forward: ONE net pass per neighbor type per block -------
@@ -413,17 +418,26 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   if (opts_.compressed) {
     ws.g.resize(static_cast<std::size_t>(rows) * m1);
     ws.dgds.resize(static_cast<std::size_t>(rows) * m1);
-    ws.grow.resize(static_cast<std::size_t>(m1));
+    if constexpr (!std::is_same_v<T, double>) {
+      ws.grow.resize(static_cast<std::size_t>(m1));
+    }
     for (int t = 0; t < ntypes; ++t) {
       const int lo = type_lo(t);
       const int hi = lo + type_count(t);
       for (int r = lo; r < hi; ++r) {
-        tables_[static_cast<std::size_t>(t)].eval(
-            batch.rmat[static_cast<std::size_t>(r) * 4], ws.grow.data(),
-            ws.dgds.data() + static_cast<std::size_t>(r) * m1);
         T* grow = ws.g.data() + static_cast<std::size_t>(r) * m1;
-        for (int p = 0; p < m1; ++p) {
-          grow[p] = static_cast<T>(ws.grow[static_cast<std::size_t>(p)]);
+        if constexpr (std::is_same_v<T, double>) {
+          // Table rows land straight in the G slab; only fp32 stages.
+          tables_[static_cast<std::size_t>(t)].eval(
+              batch.rmat[static_cast<std::size_t>(r) * 4], grow,
+              ws.dgds.data() + static_cast<std::size_t>(r) * m1);
+        } else {
+          tables_[static_cast<std::size_t>(t)].eval(
+              batch.rmat[static_cast<std::size_t>(r) * 4], ws.grow.data(),
+              ws.dgds.data() + static_cast<std::size_t>(r) * m1);
+          for (int p = 0; p < m1; ++p) {
+            grow[p] = static_cast<T>(ws.grow[static_cast<std::size_t>(p)]);
+          }
         }
       }
       g_base[static_cast<std::size_t>(t)] =
@@ -457,41 +471,13 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
         count, fit_caches[static_cast<std::size_t>(t)]);
   }
 
+  // GEMM-cast (PR 2): one gemm_tn per (slot, type) segment accumulates A,
+  // one gemm_tn per slot writes D straight into the fitting input slab.
+  // The segment sweep lives in contract_forward_batch, shared with the
+  // batched trainer.
   const T inv_n = T(1) / static_cast<T>(dparams.sel_total());
-  for (int a = 0; a < B; ++a) {
-    T* abuf = ws.a.data() + static_cast<std::size_t>(a) * 4 * m1;
-    for (int t = 0; t < ntypes; ++t) {
-      const int lo = type_lo(t);
-      const T* gb = g_base[static_cast<std::size_t>(t)];
-      const int seg_lo =
-          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
-      const int seg_hi =
-          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
-      for (int r = seg_lo; r < seg_hi; ++r) {
-        const T* grow = gb + static_cast<std::size_t>(r - lo) * m1;
-        const T* rrow = ws.rmat.data() + static_cast<std::size_t>(r) * 4;
-        for (int c = 0; c < 4; ++c) {
-          const T w = rrow[c] * inv_n;
-          T* arow = abuf + static_cast<std::size_t>(c) * m1;
-          for (int p = 0; p < m1; ++p) arow[p] += w * grow[p];
-        }
-      }
-    }
-    const int ct = batch.center_type[static_cast<std::size_t>(a)];
-    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
-                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
-    T* drow_base = fit_slab[static_cast<std::size_t>(ct)] +
-                   static_cast<std::size_t>(pos) * fit_in;
-    std::fill(drow_base, drow_base + fit_in, T(0));
-    for (int c = 0; c < 4; ++c) {
-      const T* arow = abuf + static_cast<std::size_t>(c) * m1;
-      for (int p = 0; p < m1; ++p) {
-        const T apc = arow[p];
-        T* drow = drow_base + static_cast<std::size_t>(p) * m2;
-        for (int q = 0; q < m2; ++q) drow[q] += apc * arow[q];
-      }
-    }
-  }
+  contract_forward_batch(batch, rmat, g_base.data(), m1, m2, inv_n,
+                         ws.a.data(), fit_slab.data());
 
   // ---- fitting nets: forward AND backward at M = centers-per-type --------
   const nn::GemmKind fk = opts_.fitting_gemm;
@@ -539,61 +525,11 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
     }
   }
 
-  for (int a = 0; a < B; ++a) {
-    const T* abuf = ws.a.data() + static_cast<std::size_t>(a) * 4 * m1;
-    const int ct = batch.center_type[static_cast<std::size_t>(a)];
-    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
-                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
-    const T* ddmat = dd_base[static_cast<std::size_t>(ct)] +
-                     static_cast<std::size_t>(pos) * fit_in;
-
-    // dA from D = sum_c a[c][p] a[c][q]
-    std::fill(ws.da.begin(), ws.da.end(), T(0));
-    for (int c = 0; c < 4; ++c) {
-      const T* arow = abuf + static_cast<std::size_t>(c) * m1;
-      T* darow = ws.da.data() + static_cast<std::size_t>(c) * m1;
-      for (int p = 0; p < m1; ++p) {
-        const T* ddrow = ddmat + static_cast<std::size_t>(p) * m2;
-        T acc = 0;
-        for (int q = 0; q < m2; ++q) acc += ddrow[q] * arow[q];
-        darow[p] += acc;
-      }
-      for (int q = 0; q < m2; ++q) {
-        T acc = 0;
-        for (int p = 0; p < m1; ++p) {
-          acc += ddmat[static_cast<std::size_t>(p) * m2 + q] * arow[p];
-        }
-        darow[q] += acc;
-      }
-    }
-
-    // dG and dR over this slot's packed rows
-    for (int t = 0; t < ntypes; ++t) {
-      const int lo = type_lo(t);
-      const T* gb = g_base[static_cast<std::size_t>(t)];
-      T* dgb = dg_base[static_cast<std::size_t>(t)];
-      const int seg_lo =
-          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
-      const int seg_hi =
-          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
-      for (int r = seg_lo; r < seg_hi; ++r) {
-        const T* rrow = ws.rmat.data() + static_cast<std::size_t>(r) * 4;
-        const T* grow = gb + static_cast<std::size_t>(r - lo) * m1;
-        T* dgrow = dgb + static_cast<std::size_t>(r - lo) * m1;
-        T* drrow = ws.dr.data() + static_cast<std::size_t>(r) * 4;
-        for (int c = 0; c < 4; ++c) {
-          const T* darow = ws.da.data() + static_cast<std::size_t>(c) * m1;
-          const T w = rrow[c] * inv_n;
-          T dot = 0;
-          for (int p = 0; p < m1; ++p) {
-            dgrow[p] += w * darow[p];
-            dot += grow[p] * darow[p];
-          }
-          drrow[c] = dot * inv_n;
-        }
-      }
-    }
-  }
+  // dA per slot, then dG and dR over its packed rows — the segment sweep
+  // lives in contract_backward_batch, shared with the batched trainer.
+  contract_backward_batch(batch, rmat, g_base.data(),
+                          dd_base.data(), m1, m2, inv_n, ws.a.data(),
+                          dg_base.data(), ws.dr.data());
 
   // ---- dE/ds through the embedding: ONE backward per type per block -----
   std::vector<const T*> ds_base(static_cast<std::size_t>(ntypes), nullptr);

@@ -13,11 +13,13 @@ namespace dpmd::dp {
 /// LAMMPS-style pair adapter for the Deep Potential (the `pair_style
 /// deepmd` analogue).  Local atoms are evaluated in blocks of
 /// EvalOptions::block_size through the batched pipeline (§III-B: per-atom
-/// small GEMMs merged into block-level large ones); blocks are the parallel
+/// small GEMMs merged into block-level large ones — embedding nets, the
+/// GEMM-cast descriptor contraction, and fitting nets all run over packed
+/// AtomEnvBatch slabs; see src/core/README.md); blocks are the parallel
 /// work unit, claimed dynamically from the thread pool so uneven neighbor
 /// counts balance across threads.  block_size == 1 selects the legacy
-/// atom-by-atom path (the paper baseline's §III-C behaviour), kept for
-/// ablation benches.
+/// atom-by-atom path (the paper baseline's §III-C behaviour, independent
+/// scalar loops), kept as the ablation baseline and equality-test oracle.
 class PairDeepMD : public md::Pair {
  public:
   PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,

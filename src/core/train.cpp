@@ -212,10 +212,147 @@ Trainer::Trainer(DPModel& model, TrainConfig cfg)
   for (int t = 0; t < ntypes; ++t) {
     emb_grads_.push_back(model_.embedding(t).make_grads());
     fit_grads_.push_back(model_.fitting(t).make_grads());
+    semb_grads_.push_back(model_.embedding(t).make_grads());
+    sfit_grads_.push_back(model_.fitting(t).make_grads());
   }
+  bemb_cache_.resize(static_cast<std::size_t>(ntypes));
+  bfit_cache_.resize(static_cast<std::size_t>(ntypes));
 }
 
 double Trainer::accumulate_sample(const TrainSample& sample) {
+  if (cfg_.block_size > 1) return accumulate_sample_batched(sample);
+  return accumulate_sample_reference(sample);
+}
+
+double Trainer::accumulate_sample_batched(const TrainSample& sample) {
+  const auto& cfg = model_.config();
+  const auto& dparams = cfg.descriptor;
+  const int m1 = dparams.m1();
+  const int m2 = dparams.m2();
+  const int ntypes = cfg.ntypes;
+  const int natoms = static_cast<int>(sample.positions.size());
+  const int B = cfg_.block_size;
+  const double inv_n = 1.0 / dparams.sel_total();
+
+  Prepared prep = prepare(sample, dparams.rcut);
+  for (auto& grad : semb_grads_) grad.zero();
+  for (auto& grad : sfit_grads_) grad.zero();
+
+  std::vector<const double*> g_base(static_cast<std::size_t>(ntypes));
+  std::vector<double*> fit_slab(static_cast<std::size_t>(ntypes));
+  std::vector<const double*> dd_base(static_cast<std::size_t>(ntypes));
+  std::vector<double*> dg_base(static_cast<std::size_t>(ntypes));
+  double e_pred = 0.0;
+
+  for (int first = 0; first < natoms; first += B) {
+    const int count = std::min(B, natoms - first);
+    build_env_batch(prep.atoms, prep.list, first, count, dparams, ntypes,
+                    batch_);
+    const auto type_lo = [&](int t) {
+      return batch_.type_offset[static_cast<std::size_t>(t)];
+    };
+    const auto type_count = [&](int t) {
+      return batch_.type_offset[static_cast<std::size_t>(t) + 1] -
+             batch_.type_offset[static_cast<std::size_t>(t)];
+    };
+    const auto fit_count = [&](int t) {
+      return batch_.fit_type_offset[static_cast<std::size_t>(t) + 1] -
+             batch_.fit_type_offset[static_cast<std::size_t>(t)];
+    };
+
+    // ---- embedding forward: one pass per neighbor type per block --------
+    for (int t = 0; t < ntypes; ++t) {
+      const int tc = type_count(t);
+      if (tc == 0) continue;
+      auto& cache = bemb_cache_[static_cast<std::size_t>(t)];
+      double* s_in = model_.embedding(t).batch_input(tc, cache);
+      const int lo = type_lo(t);
+      for (int i = 0; i < tc; ++i) {
+        s_in[i] = batch_.rmat[static_cast<std::size_t>(lo + i) * 4];
+      }
+      g_base[static_cast<std::size_t>(t)] = model_.embedding(t).forward_batch(
+          tc, cache, nn::GemmKind::Auto, nn::GemmKind::Auto);
+    }
+
+    // ---- descriptor contraction: A per slot, D into the fitting slabs ---
+    // (contract_forward_batch: same driver as DPEvaluator::batch_impl)
+    a_slab_.assign(static_cast<std::size_t>(count) * 4 * m1, 0.0);
+    for (int t = 0; t < ntypes; ++t) {
+      const int fc = fit_count(t);
+      if (fc == 0) continue;
+      fit_slab[static_cast<std::size_t>(t)] = model_.fitting(t).batch_input(
+          fc, bfit_cache_[static_cast<std::size_t>(t)]);
+    }
+    contract_forward_batch(batch_, batch_.rmat.data(), g_base.data(), m1, m2,
+                           inv_n, a_slab_.data(), fit_slab.data());
+
+    // ---- fitting forward + parameter backward at M = centers-per-type ---
+    // dy = 1 accumulates dE/dparam; the loss factor dL/dE is applied after
+    // the sample's energy is known (it is uniform across atoms).
+    for (int t = 0; t < ntypes; ++t) {
+      const int fc = fit_count(t);
+      if (fc == 0) continue;
+      auto& cache = bfit_cache_[static_cast<std::size_t>(t)];
+      const double* e_out = model_.fitting(t).forward_batch(
+          fc, cache, nn::GemmKind::Auto, nn::GemmKind::Auto);
+      for (int i = 0; i < fc; ++i) e_pred += e_out[i];
+      e_pred += cfg.energy_bias[static_cast<std::size_t>(t)] * fc;
+      double* dy = model_.fitting(t).batch_output_grad(fc, cache);
+      std::fill(dy, dy + fc, 1.0);
+      dd_base[static_cast<std::size_t>(t)] =
+          model_.fitting(t).backward_full_batch(
+              fc, cache, sfit_grads_[static_cast<std::size_t>(t)],
+              nn::GemmKind::Auto);
+    }
+
+    // ---- backward through the contraction, straight into the embedding
+    // gradient slabs (no staging copy), then parameter backward per type --
+    std::fill(dg_base.begin(), dg_base.end(), nullptr);
+    for (int t = 0; t < ntypes; ++t) {
+      const int tc = type_count(t);
+      if (tc == 0) continue;
+      double* slab = model_.embedding(t).batch_output_grad(
+          tc, bemb_cache_[static_cast<std::size_t>(t)]);
+      std::fill(slab, slab + static_cast<std::size_t>(tc) * m1, 0.0);
+      dg_base[static_cast<std::size_t>(t)] = slab;
+    }
+    contract_backward_batch(batch_, batch_.rmat.data(), g_base.data(),
+                            dd_base.data(), m1, m2, inv_n, a_slab_.data(),
+                            dg_base.data(),
+                            /*dr_rows=*/static_cast<double*>(nullptr));
+    for (int t = 0; t < ntypes; ++t) {
+      const int tc = type_count(t);
+      if (tc == 0) continue;
+      model_.embedding(t).backward_full_batch(
+          tc, bemb_cache_[static_cast<std::size_t>(t)],
+          semb_grads_[static_cast<std::size_t>(t)], nn::GemmKind::Auto);
+    }
+  }
+
+  const double per_atom_err = (e_pred - sample.energy) / natoms;
+  const double loss = cfg_.energy_weight * per_atom_err * per_atom_err;
+  const double dl_de = 2.0 * cfg_.energy_weight * per_atom_err / natoms;
+
+  // Fold the sample's dE/dparam into the step accumulators, scaled by dL/dE.
+  const auto fold = [&](const std::vector<nn::MlpGrads<double>>& src,
+                        std::vector<nn::MlpGrads<double>>& dst) {
+    for (std::size_t g = 0; g < src.size(); ++g) {
+      for (std::size_t l = 0; l < src[g].dw.size(); ++l) {
+        const auto& sw = src[g].dw[l].d;
+        auto& dw = dst[g].dw[l].d;
+        for (std::size_t i = 0; i < sw.size(); ++i) dw[i] += dl_de * sw[i];
+        const auto& sb = src[g].db[l];
+        auto& db = dst[g].db[l];
+        for (std::size_t i = 0; i < sb.size(); ++i) db[i] += dl_de * sb[i];
+      }
+    }
+  };
+  fold(semb_grads_, emb_grads_);
+  fold(sfit_grads_, fit_grads_);
+  return loss;
+}
+
+double Trainer::accumulate_sample_reference(const TrainSample& sample) {
   const auto& cfg = model_.config();
   const auto& dparams = cfg.descriptor;
   const int m1 = dparams.m1();

@@ -54,6 +54,12 @@ struct TrainConfig {
   /// paper consumes pre-trained models, so training is an energy-matching
   /// substrate here; forces are validated post hoc — see DESIGN.md).
   double energy_weight = 1.0;
+  /// Atoms per training block: samples run through the same GEMM-cast
+  /// batched forward/backward as inference (embedding nets over packed
+  /// per-type row slabs, fitting nets and weight gradients at
+  /// M = centers-per-type).  <= 1 selects the legacy per-atom reference
+  /// path, kept as the gradient-equality oracle (tests/test_train.cpp).
+  int block_size = 64;
 };
 
 /// Energy-matching trainer for the Deep Potential substrate models.
@@ -78,6 +84,14 @@ class Trainer {
 
  private:
   double accumulate_sample(const TrainSample& sample);
+  /// Legacy per-atom forward/backward (block_size <= 1): the reference the
+  /// batched path is tested against.
+  double accumulate_sample_reference(const TrainSample& sample);
+  /// GEMM-cast batched path: one AtomEnvBatch block at a time, dE/dparam
+  /// accumulated with unit output gradient and scaled by dL/dE at the end
+  /// (the energy loss factor is uniform across atoms, so the scale commutes
+  /// with the sum and the double forward pass of the reference disappears).
+  double accumulate_sample_batched(const TrainSample& sample);
 
   DPModel& model_;
   TrainConfig cfg_;
@@ -88,6 +102,14 @@ class Trainer {
   // gradient accumulators, one per net
   std::vector<nn::MlpGrads<double>> emb_grads_;
   std::vector<nn::MlpGrads<double>> fit_grads_;
+  // batched-path state, allocated once: per-sample dE/dparam accumulators
+  // and per-type caches of the block forward (reused by its backward).
+  std::vector<nn::MlpGrads<double>> semb_grads_;
+  std::vector<nn::MlpGrads<double>> sfit_grads_;
+  std::vector<nn::MlpCache<double>> bemb_cache_;
+  std::vector<nn::MlpCache<double>> bfit_cache_;
+  AtomEnvBatch batch_;
+  std::vector<double> a_slab_;
 };
 
 /// Model-vs-reference errors at a given numeric configuration; these are

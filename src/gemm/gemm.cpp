@@ -33,11 +33,23 @@ void gemm_nt_ref(const T* a, const T* bt, T* c, int m, int n, int k, T alpha,
 }
 
 namespace {
-// Tile sizes chosen for ~32 KiB L1 / 1 MiB L2 per core; the exact values are
-// not load-bearing for the reproduction (the paper uses the vendor BLAS
-// here), only the "generic blocked kernel" behaviour is.
-constexpr int kMc = 64;
-constexpr int kKc = 128;
+/// Shared beta prologue: C = beta * C applied once before the accumulating
+/// tile sweeps (fill on beta == 0, in-place scale otherwise).
+template <class T>
+inline void scale_c(T* c, std::size_t len, T beta) {
+  if (beta == T(0)) {
+    std::fill(c, c + len, T(0));
+  } else if (beta != T(1)) {
+    for (std::size_t i = 0; i < len; ++i) c[i] *= beta;
+  }
+}
+
+// K-chunk depth of the blocked kernels: each column panel's kKc x NR slice
+// of B stays cache-resident across the whole row sweep.  Chosen for the
+// ~48 KiB L1 / 2 MiB L2 of the build hosts; the exact value is not
+// load-bearing for the reproduction (the paper uses the vendor BLAS here),
+// only the "generic blocked kernel" behaviour is.
+constexpr int kKc = 256;
 
 /// Register-tile geometry: NR spans 3 SIMD registers of the target ISA and
 /// MR rows share each B load, so the accumulator tile (MR x 3 registers)
@@ -65,10 +77,15 @@ struct TileShape {
 /// makes the M >= MR regime (the batched evaluation pipeline's fitting
 /// GEMMs, §III-B) run at high arithmetic intensity; M < MR callers are
 /// served by sve_gemm instead.
+///
+/// A is accessed as a[i * ra + p * ca]: (ra=lda, ca=1) walks row-major A
+/// (gemm_blocked), (ra=1, ca=lda) walks a K x M stored operand column-wise
+/// (gemm_tn) — the strides are template-free ints so both fold to the same
+/// register tile.
 template <class T, int MR, int NR>
 inline void micro_tile(const T* __restrict a, const T* __restrict b,
-                       T* __restrict c, int k, int lda, int ldb, int ldc,
-                       T alpha) {
+                       T* __restrict c, int k, int ra, int ca, int ldb,
+                       int ldc, T alpha) {
   T acc[MR * NR] = {};
   for (int p = 0; p < k; ++p) {
     const T* __restrict brow = b + static_cast<std::size_t>(p) * ldb;
@@ -76,7 +93,8 @@ inline void micro_tile(const T* __restrict a, const T* __restrict b,
 #pragma GCC unroll 8
 #endif
     for (int i = 0; i < MR; ++i) {
-      const T av = a[static_cast<std::size_t>(i) * lda + p];
+      const T av = a[static_cast<std::size_t>(i) * ra +
+                     static_cast<std::size_t>(p) * ca];
       for (int j = 0; j < NR; ++j) acc[i * NR + j] += av * brow[j];
     }
   }
@@ -86,17 +104,53 @@ inline void micro_tile(const T* __restrict a, const T* __restrict b,
   }
 }
 
-/// Fallback ikj micro-kernel for edge tiles (m % MR, n % NR remainders).
+/// Row-remainder dispatch: the m % MR edge rows still run register-tiled
+/// (micro_tile at the exact residual height) instead of through a scalar
+/// sweep — at fitting-block sizes like M = 21 the edge rows are a seventh
+/// of the work.
+template <class T, int NR>
+inline void micro_rows(const T* a, const T* b, T* c, int mr, int k, int ra,
+                       int ca, int ldb, int ldc, T alpha) {
+  static_assert(TileShape<T>::mr <= 8,
+                "micro_rows dispatch covers residues up to 7; extend the "
+                "switch before widening the register tile");
+  switch (mr) {
+    case 1: micro_tile<T, 1, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    case 2: micro_tile<T, 2, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    case 3: micro_tile<T, 3, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    case 4: micro_tile<T, 4, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    case 5: micro_tile<T, 5, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    case 6: micro_tile<T, 6, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    case 7: micro_tile<T, 7, NR>(a, b, c, k, ra, ca, ldb, ldc, alpha); break;
+    default: break;
+  }
+}
+
+/// Column-remainder panel: C[:, j0:j0+nc] += alpha * A * B[:, j0:j0+nc] with
+/// nc < NR, computed as NT dot products against a transposed copy of the B
+/// slice so every reduction streams unit-stride (the strided ikj sweep this
+/// replaces serialized on the C column and cost the embedding GEMMs ~40% at
+/// N = 50/100, whose remainders are 2 and 4 columns).
 template <class T>
-inline void micro_edge(const T* a, const T* b, T* c, int mc, int nc, int kc,
-                       int lda, int ldb, int ldc, T alpha) {
-  for (int i = 0; i < mc; ++i) {
+void skinny_panel(const T* a, const T* b, T* c, int m, int nc, int k, int ldb,
+                  int ldc, T alpha) {
+  thread_local std::vector<T> btbuf;
+  btbuf.resize(static_cast<std::size_t>(nc) * k);
+  for (int p = 0; p < k; ++p) {
+    const T* brow = b + static_cast<std::size_t>(p) * ldb;
+    for (int j = 0; j < nc; ++j) {
+      btbuf[static_cast<std::size_t>(j) * k + p] = brow[j];
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const T* __restrict arow = a + static_cast<std::size_t>(i) * k;
     T* crow = c + static_cast<std::size_t>(i) * ldc;
-    const T* arow = a + static_cast<std::size_t>(i) * lda;
-    for (int p = 0; p < kc; ++p) {
-      const T av = alpha * arow[p];
-      const T* brow = b + static_cast<std::size_t>(p) * ldb;
-      for (int j = 0; j < nc; ++j) crow[j] += av * brow[j];
+    for (int j = 0; j < nc; ++j) {
+      const T* __restrict btrow = btbuf.data() + static_cast<std::size_t>(j) * k;
+      T acc = 0;
+#pragma omp simd reduction(+ : acc)
+      for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+      crow[j] += alpha * acc;
     }
   }
 }
@@ -105,40 +159,232 @@ inline void micro_edge(const T* a, const T* b, T* c, int mc, int nc, int kc,
 template <class T>
 void gemm_blocked(const T* a, const T* b, T* c, int m, int n, int k, T alpha,
                   T beta) {
-  // Scale C by beta once up front.
-  if (beta == T(0)) {
-    std::fill(c, c + static_cast<std::size_t>(m) * n, T(0));
-  } else if (beta != T(1)) {
-    for (std::size_t i = 0; i < static_cast<std::size_t>(m) * n; ++i) {
-      c[i] *= beta;
+  if (k == 1 && n > 1) {
+    // Rank-1 outer product (the embedding net's 1 -> width first layer):
+    // beta folds into a single write pass per row instead of a separate
+    // C-scale sweep plus tile accumulate.
+    for (int i = 0; i < m; ++i) {
+      const T av = alpha * a[i];
+      T* __restrict crow = c + static_cast<std::size_t>(i) * n;
+      const T* __restrict brow = b;
+      if (beta == T(0)) {
+#pragma omp simd
+        for (int j = 0; j < n; ++j) crow[j] = av * brow[j];
+      } else {
+#pragma omp simd
+        for (int j = 0; j < n; ++j) crow[j] = av * brow[j] + beta * crow[j];
+      }
     }
+    return;
+  }
+  // Scale C by beta once up front.
+  scale_c(c, static_cast<std::size_t>(m) * n, beta);
+  if (n == 1) {
+    // Matrix-vector: one reduction per row (a strided column sweep would
+    // serialize on the single C element).  B is contiguous since ldb == 1.
+    for (int i = 0; i < m; ++i) {
+      const T* __restrict arow = a + static_cast<std::size_t>(i) * k;
+      T acc = 0;
+#pragma omp simd reduction(+ : acc)
+      for (int p = 0; p < k; ++p) acc += arow[p] * b[p];
+      c[i] += alpha * acc;
+    }
+    return;
   }
   constexpr int MR = TileShape<T>::mr;
   constexpr int NR = TileShape<T>::nr;
   const int n_main = n - n % NR;
   const int m_main = m - m % MR;
-  for (int jc = 0; jc < n_main; jc += NR) {
-    for (int ic = 0; ic < m_main; ic += MR) {
-      micro_tile<T, MR, NR>(a + static_cast<std::size_t>(ic) * k, b + jc,
-                            c + static_cast<std::size_t>(ic) * n + jc, k, k,
-                            n, n, alpha);
-    }
-    if (m_main < m) {
-      micro_edge(a + static_cast<std::size_t>(m_main) * k, b + jc,
-                 c + static_cast<std::size_t>(m_main) * n + jc, m - m_main,
-                 NR, k, k, n, n, alpha);
+  // K-blocked: the kKc-deep B panel of each jc column stays L1-resident
+  // across the whole ic sweep (at K ~ the fitting net's m1*m2 = 1600 the
+  // unblocked panel is ~20x the L1).  micro_tile accumulates into C, so the
+  // pc chunks add up; beta was already applied above.
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int kc = std::min(kKc, k - pc);
+    const T* ap = a + pc;
+    const T* bp = b + static_cast<std::size_t>(pc) * n;
+    for (int jc = 0; jc < n_main; jc += NR) {
+      for (int ic = 0; ic < m_main; ic += MR) {
+        micro_tile<T, MR, NR>(ap + static_cast<std::size_t>(ic) * k, bp + jc,
+                              c + static_cast<std::size_t>(ic) * n + jc, kc,
+                              k, 1, n, n, alpha);
+      }
+      if (m_main < m) {
+        micro_rows<T, NR>(ap + static_cast<std::size_t>(m_main) * k, bp + jc,
+                          c + static_cast<std::size_t>(m_main) * n + jc,
+                          m - m_main, kc, k, 1, n, n, alpha);
+      }
     }
   }
   if (n_main < n) {
-    // Remaining skinny N panel: cache-blocked ikj sweep, as before.
-    for (int pc = 0; pc < k; pc += kKc) {
-      const int kc = std::min(kKc, k - pc);
-      for (int ic = 0; ic < m; ic += kMc) {
-        const int mc = std::min(kMc, m - ic);
-        micro_edge(a + static_cast<std::size_t>(ic) * k + pc,
-                   b + static_cast<std::size_t>(pc) * n + n_main,
-                   c + static_cast<std::size_t>(ic) * n + n_main, mc,
-                   n - n_main, kc, k, n, n, alpha);
+    // Remaining n % NR columns: unit-stride dot products over the full K
+    // (see skinny_panel — this path carried the embedding layers' 2- and
+    // 4-column remainders).
+    skinny_panel(a, b + n_main, c + n_main, m, n - n_main, k, n, n, alpha);
+  }
+}
+
+template <class T>
+void gemm_tn(const T* at, const T* b, T* c, int m, int n, int k, T alpha,
+             T beta) {
+  // C (M x N) = alpha * A^T B + beta * C with A stored K x M: the shape of
+  // the descriptor contraction A = R~^T G (M = 4, K = neighbor rows) and of
+  // the training weight gradient dW = x^T dy (K = batch).  Column i of the
+  // stored operand is walked at stride m, which micro_tile folds into its
+  // A-access strides (ra=1, ca=m) — no transposition or packing.
+  scale_c(c, static_cast<std::size_t>(m) * n, beta);
+  constexpr int MR = 4;  // matches the 4-row environment-matrix operand
+  constexpr int NR = TileShape<T>::nr;
+  // One vector of columns; narrow-N shapes (D = A^T A at N = m2 = 16) stay
+  // register-tiled instead of dropping to the scalar edge sweep.
+  constexpr int NV = TileShape<T>::vec_bytes / static_cast<int>(sizeof(T));
+  const int n_main = n - n % NR;
+  const int n_vec = n - n % NV;
+  const int m_main = m - m % MR;
+  for (int ic = 0; ic < m_main; ic += MR) {
+    const T* arow = at + ic;
+    T* crow = c + static_cast<std::size_t>(ic) * n;
+    for (int jc = 0; jc < n_main; jc += NR) {
+      micro_tile<T, MR, NR>(arow, b + jc, crow + jc, k, 1, m, n, n, alpha);
+    }
+    for (int jc = n_main; jc < n_vec; jc += NV) {
+      micro_tile<T, MR, NV>(arow, b + jc, crow + jc, k, 1, m, n, n, alpha);
+    }
+  }
+  // Edges (m % 4 rows and n % NV columns): axpy sweep over the K rows.
+  const auto edge = [&](int i0, int i1, int j0, int j1) {
+    for (int p = 0; p < k; ++p) {
+      const T* __restrict atrow = at + static_cast<std::size_t>(p) * m;
+      const T* __restrict brow = b + static_cast<std::size_t>(p) * n;
+      for (int i = i0; i < i1; ++i) {
+        const T av = alpha * atrow[i];
+        T* __restrict crow = c + static_cast<std::size_t>(i) * n;
+#pragma omp simd
+        for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
+    }
+  };
+  if (m_main < m) edge(m_main, m, 0, n_vec);
+  if (n_vec < n) edge(0, m, n_vec, n);
+}
+
+template <class T>
+void gemm_nt(const T* a, const T* bt, T* c, int m, int n, int k, T alpha,
+             T beta) {
+  // B given transposed (N x K): both operands stream unit-stride along K,
+  // so each C element is a vectorizable dot product.  Four B rows are
+  // reduced together per A row to share the A loads; this replaces the
+  // scalar gemm_nt_ref for the dR = G dA^T contraction (N = 4, K = m1).
+  for (int i = 0; i < m; ++i) {
+    const T* __restrict arow = a + static_cast<std::size_t>(i) * k;
+    T* crow = c + static_cast<std::size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const T* __restrict b0 = bt + static_cast<std::size_t>(j) * k;
+      const T* __restrict b1 = b0 + k;
+      const T* __restrict b2 = b1 + k;
+      const T* __restrict b3 = b2 + k;
+      T s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+#pragma omp simd reduction(+ : s0, s1, s2, s3)
+      for (int p = 0; p < k; ++p) {
+        const T av = arow[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      const T base0 = beta == T(0) ? T(0) : beta * crow[j + 0];
+      const T base1 = beta == T(0) ? T(0) : beta * crow[j + 1];
+      const T base2 = beta == T(0) ? T(0) : beta * crow[j + 2];
+      const T base3 = beta == T(0) ? T(0) : beta * crow[j + 3];
+      crow[j + 0] = alpha * s0 + base0;
+      crow[j + 1] = alpha * s1 + base1;
+      crow[j + 2] = alpha * s2 + base2;
+      crow[j + 3] = alpha * s3 + base3;
+    }
+    for (; j < n; ++j) {
+      const T* __restrict brow = bt + static_cast<std::size_t>(j) * k;
+      T acc = 0;
+#pragma omp simd reduction(+ : acc)
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = alpha * acc + (beta == T(0) ? T(0) : beta * crow[j]);
+    }
+  }
+}
+
+template <class T>
+int gemm_panel_width() {
+  return TileShape<T>::nr;
+}
+
+template <class T>
+void pack_b(const T* b, T* dst, int k, int n) {
+  const int NR = TileShape<T>::nr;
+  const int n_main = n - n % NR;
+  for (int j0 = 0; j0 < n_main; j0 += NR) {
+    T* panel = dst + static_cast<std::size_t>(j0) * k;
+    for (int p = 0; p < k; ++p) {
+      const T* brow = b + static_cast<std::size_t>(p) * n + j0;
+      T* out = panel + static_cast<std::size_t>(p) * NR;
+      for (int j = 0; j < NR; ++j) out[j] = brow[j];
+    }
+  }
+  // Remainder columns, transposed: column j is a contiguous K-vector.
+  T* tail = dst + static_cast<std::size_t>(n_main) * k;
+  for (int j = n_main; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      tail[static_cast<std::size_t>(j - n_main) * k + p] =
+          b[static_cast<std::size_t>(p) * n + j];
+    }
+  }
+}
+
+template <class T>
+void gemm_packed(const T* a, const T* bp, T* c, int m, int n, int k, T alpha,
+                 T beta) {
+  if (k == 1 && n > 1) {
+    // At K = 1 the packed layout degenerates to the plain B row; reuse the
+    // rank-1 single-pass path.
+    gemm_blocked(a, bp, c, m, n, k, alpha, beta);
+    return;
+  }
+  scale_c(c, static_cast<std::size_t>(m) * n, beta);
+  constexpr int MR = TileShape<T>::mr;
+  constexpr int NR = TileShape<T>::nr;
+  const int n_main = n - n % NR;
+  const int m_main = m - m % MR;
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int kc = std::min(kKc, k - pc);
+    const T* ap = a + pc;
+    for (int jc = 0; jc < n_main; jc += NR) {
+      // Panel jc: rows contiguous at stride NR; pc selects the row range.
+      const T* panel = bp + static_cast<std::size_t>(jc) * k +
+                       static_cast<std::size_t>(pc) * NR;
+      for (int ic = 0; ic < m_main; ic += MR) {
+        micro_tile<T, MR, NR>(ap + static_cast<std::size_t>(ic) * k, panel,
+                              c + static_cast<std::size_t>(ic) * n + jc, kc,
+                              k, 1, NR, n, alpha);
+      }
+      if (m_main < m) {
+        micro_rows<T, NR>(ap + static_cast<std::size_t>(m_main) * k, panel,
+                          c + static_cast<std::size_t>(m_main) * n + jc,
+                          m - m_main, kc, k, 1, NR, n, alpha);
+      }
+    }
+  }
+  if (n_main < n) {
+    // Remainder columns are stored transposed: unit-stride dots over full K.
+    const T* tail = bp + static_cast<std::size_t>(n_main) * k;
+    for (int i = 0; i < m; ++i) {
+      const T* __restrict arow = a + static_cast<std::size_t>(i) * k;
+      T* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = n_main; j < n; ++j) {
+        const T* __restrict btrow =
+            tail + static_cast<std::size_t>(j - n_main) * k;
+        T acc = 0;
+#pragma omp simd reduction(+ : acc)
+        for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+        crow[j] += alpha * acc;
       }
     }
   }
@@ -220,6 +466,22 @@ template void gemm_blocked<float>(const float*, const float*, float*, int, int,
                                   int, float, float);
 template void gemm_blocked<double>(const double*, const double*, double*, int,
                                    int, int, double, double);
+template void gemm_tn<float>(const float*, const float*, float*, int, int,
+                             int, float, float);
+template void gemm_tn<double>(const double*, const double*, double*, int, int,
+                              int, double, double);
+template void gemm_nt<float>(const float*, const float*, float*, int, int,
+                             int, float, float);
+template void gemm_nt<double>(const double*, const double*, double*, int, int,
+                              int, double, double);
+template int gemm_panel_width<float>();
+template int gemm_panel_width<double>();
+template void pack_b<float>(const float*, float*, int, int);
+template void pack_b<double>(const double*, double*, int, int);
+template void gemm_packed<float>(const float*, const float*, float*, int, int,
+                                 int, float, float);
+template void gemm_packed<double>(const double*, const double*, double*, int,
+                                  int, int, double, double);
 template void sve_gemm<float>(const float*, const float*, float*, int, int,
                               int, float, float);
 template void sve_gemm<double>(const double*, const double*, double*, int, int,

@@ -34,9 +34,51 @@ template <class T>
 void gemm_nt_ref(const T* a, const T* bt, T* c, int m, int n, int k,
                  T alpha = T(1), T beta = T(0));
 
+/// K-blocked since PR 2: the kKc-deep B panel of each column block stays
+/// L1-resident across the row sweep, which is what the fitting net's
+/// K = m1*m2 first layer needs (ROADMAP "K-blocking for very large K").
 template <class T>
 void gemm_blocked(const T* a, const T* b, T* c, int m, int n, int k,
                   T alpha = T(1), T beta = T(0));
+
+/// C (M x N) = alpha * A^T B + beta * C with the A operand stored K x M
+/// (leading dimension M).  The natural layout of the descriptor contraction
+/// A = R~^T G (M = 4 environment components, K = packed neighbor rows) and
+/// of the training weight gradient dW = x^T dy_lin (K = batch): both reduce
+/// along the long packed dimension with no transposition or copy.
+template <class T>
+void gemm_tn(const T* at, const T* b, T* c, int m, int n, int k,
+             T alpha = T(1), T beta = T(0));
+
+/// Vectorized NT kernel (B stored N x K): K-unit-stride dot products, four
+/// B rows per A-row pass.  Used by the dR = G dA^T descriptor backward
+/// (N = 4, K = m1); gemm_nt_ref stays as the scalar oracle.
+template <class T>
+void gemm_nt(const T* a, const T* bt, T* c, int m, int n, int k,
+             T alpha = T(1), T beta = T(0));
+
+/// Number of B columns one register tile spans (3 SIMD vectors of T); the
+/// panel width of the packed-B layout below.
+template <class T>
+int gemm_panel_width();
+
+/// Packs B (K x N row-major) for gemm_packed: full gemm_panel_width()
+/// column panels stored panel-major (each panel K rows x NR contiguous),
+/// then the n % NR remainder columns stored TRANSPOSED (each column a
+/// contiguous K-vector).  dst must hold k*n elements.  Weight matrices are
+/// packed once at DenseLayer::finalize and reused every step — the
+/// ROADMAP's "packed-B variant" (unit-stride panel loads, no strided B
+/// walk in the micro-kernel, remainder dots with no per-call transpose).
+template <class T>
+void pack_b(const T* b, T* dst, int k, int n);
+
+/// C = alpha * A * B + beta * C with B in pack_b layout.  Same tiling as
+/// gemm_blocked (K-blocked, register-tiled, row-remainder dispatch);
+/// measurably faster on the embedding/fitting net shapes because every
+/// B access in the hot loop is contiguous.
+template <class T>
+void gemm_packed(const T* a, const T* bp, T* c, int m, int n, int k,
+                 T alpha = T(1), T beta = T(0));
 
 template <class T>
 void sve_gemm(const T* a, const T* b, T* c, int m, int n, int k,
@@ -50,14 +92,25 @@ void gemm_halfw(const float* a, const Half* b_half, float* c, int m, int n,
 /// SVE kernel is activated when M <= 3), blocked otherwise.
 inline constexpr int kSmallMThreshold = 3;
 
+/// Packed-aware dispatch: small-M shapes go to sve_gemm, larger ones to
+/// gemm_packed when a pack_b form of B is supplied (b_packed may be null)
+/// and gemm_blocked otherwise.  The ONE place the threshold policy lives.
 template <class T>
-void gemm_auto(const T* a, const T* b, T* c, int m, int n, int k,
-               T alpha = T(1), T beta = T(0)) {
+void gemm_auto(const T* a, const T* b, const T* b_packed, T* c, int m, int n,
+               int k, T alpha = T(1), T beta = T(0)) {
   if (m <= kSmallMThreshold) {
     sve_gemm(a, b, c, m, n, k, alpha, beta);
+  } else if (b_packed != nullptr) {
+    gemm_packed(a, b_packed, c, m, n, k, alpha, beta);
   } else {
     gemm_blocked(a, b, c, m, n, k, alpha, beta);
   }
+}
+
+template <class T>
+void gemm_auto(const T* a, const T* b, T* c, int m, int n, int k,
+               T alpha = T(1), T beta = T(0)) {
+  gemm_auto(a, b, static_cast<const T*>(nullptr), c, m, n, k, alpha, beta);
 }
 
 /// dst (cols x rows) = transpose of src (rows x cols); used once at model
@@ -78,6 +131,23 @@ extern template void gemm_blocked<float>(const float*, const float*, float*,
 extern template void gemm_blocked<double>(const double*, const double*,
                                           double*, int, int, int, double,
                                           double);
+extern template void gemm_tn<float>(const float*, const float*, float*, int,
+                                    int, int, float, float);
+extern template void gemm_tn<double>(const double*, const double*, double*,
+                                     int, int, int, double, double);
+extern template void gemm_nt<float>(const float*, const float*, float*, int,
+                                    int, int, float, float);
+extern template void gemm_nt<double>(const double*, const double*, double*,
+                                     int, int, int, double, double);
+extern template int gemm_panel_width<float>();
+extern template int gemm_panel_width<double>();
+extern template void pack_b<float>(const float*, float*, int, int);
+extern template void pack_b<double>(const double*, double*, int, int);
+extern template void gemm_packed<float>(const float*, const float*, float*,
+                                        int, int, int, float, float);
+extern template void gemm_packed<double>(const double*, const double*,
+                                         double*, int, int, int, double,
+                                         double);
 extern template void sve_gemm<float>(const float*, const float*, float*, int,
                                      int, int, float, float);
 extern template void sve_gemm<double>(const double*, const double*, double*,

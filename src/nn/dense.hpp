@@ -35,6 +35,11 @@ struct DenseLayer {
   Matrix<T> wt;            ///< out x in, rebuilt by finalize()
   std::vector<T> b;        ///< out
   std::vector<Half> w_half;  ///< fp16 copy of w for GemmKind::HalfWeights
+  /// Packed-panel copies of w / wt (gemm::pack_b layout), rebuilt by
+  /// finalize(); the Blocked/Auto batch GEMMs run gemm_packed against
+  /// these so every weight access in the micro-kernel is unit-stride.
+  std::vector<T> w_packed;
+  std::vector<T> wt_packed;
 
   DenseLayer() = default;
   DenseLayer(int in_dim, int out_dim, Act a, Resnet r);

@@ -141,22 +141,27 @@ void Mlp<T>::backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
 template <class T>
 void Mlp<T>::backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,
                            MlpGrads<T>& grads, GemmKind kind) const {
+  std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
+            cache.grads[layers_.size()].data());
+  const T* grad_in = backward_full_batch(batch, cache, grads, kind);
+  if (dx != nullptr) {
+    std::copy(grad_in,
+              grad_in + static_cast<std::size_t>(batch) * input_dim(), dx);
+  }
+}
+
+template <class T>
+const T* Mlp<T>::backward_full_batch(int batch, MlpCache<T>& cache,
+                                     MlpGrads<T>& grads, GemmKind kind) const {
   const std::size_t L = layers_.size();
   DPMD_REQUIRE(grads.dw.size() == L, "grads not created for this net");
-  std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
-            cache.grads[L].data());
   for (std::size_t l = L; l-- > 0;) {
     layers_[l].backward_full(cache.acts[l].data(), cache.grads[l + 1].data(),
                              cache.hs[l].data(), cache.grads[l].data(),
                              grads.dw[l], grads.db[l], batch, kind,
                              cache.scratch);
   }
-  if (dx != nullptr) {
-    std::copy(cache.grads[0].data(),
-              cache.grads[0].data() +
-                  static_cast<std::size_t>(batch) * input_dim(),
-              dx);
-  }
+  return cache.grads[0].data();
 }
 
 template <class T>

@@ -98,6 +98,13 @@ class Mlp {
   void backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,
                      MlpGrads<T>& grads, GemmKind kind) const;
 
+  /// Zero-copy variant of backward_full for the batched training pipeline:
+  /// the caller fills the batch_output_grad slab, parameter gradients
+  /// accumulate into `grads`, and the returned slab is dL/dx (batch x in),
+  /// valid until the next forward on the same cache.
+  const T* backward_full_batch(int batch, MlpCache<T>& cache,
+                               MlpGrads<T>& grads, GemmKind kind) const;
+
   MlpGrads<T> make_grads() const;
 
   /// Flattened parameter access for the optimizer / serialization.

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+
+namespace dpmd {
+
+/// In-place vectorizable tanh over a contiguous slab.
+///
+/// glibc's scalar std::tanh costs ~10 ns/element and the batched evaluation
+/// pipeline applies it to every hidden unit of every packed neighbor row —
+/// at water-256 scale that is ~4M calls per force evaluation, a third of
+/// the full-embedding step.  This routine is the branch-free exp-based
+/// identity tanh(x) = 1 - 2/(e^{2|x|} + 1) with a Cody-Waite reduced,
+/// Taylor-13 e^r, written so the compiler keeps the whole loop in SIMD
+/// registers (~6x scalar tanh on AVX-512).
+///
+/// Accuracy: |vtanh(x) - std::tanh(x)| <= ~2.5e-16 absolute over all x
+/// (double), which is below every comparison tolerance in the test suite;
+/// the fp32 overload evaluates the same double pipeline and rounds once.
+void vtanh(double* x, std::size_t n);
+void vtanh(float* x, std::size_t n);
+
+}  // namespace dpmd

@@ -533,6 +533,9 @@ TEST(DpBatch, MatchesPerAtomMixFp32) {
 
 TEST(DpBatch, MatchesPerAtomMixFp16) {
   expect_batched_matches_per_atom(30, Precision::MixFp16, true, 5e-4, 89);
+  // Full embedding exercises the GEMM-cast contraction together with the
+  // fp16-weight first fitting GEMM.
+  expect_batched_matches_per_atom(30, Precision::MixFp16, false, 5e-4, 91);
 }
 
 TEST(DpBatch, ThreadedBlocksMatchSerial) {
@@ -583,7 +586,8 @@ TEST(DpBatch, TinySystemSmallerThanAnyBlock) {
 TEST(DpBatch, ZeroNeighborAtomsAreExact) {
   // Two isolated atoms far outside everyone's cutoff (rcut = 4.5) plus a
   // compact cluster: zero-neighbor descriptors must flow through the
-  // batched fitting GEMM and come out identical to the per-atom path.
+  // batched fitting GEMM (and the GEMM-cast contraction's empty segments)
+  // and come out identical to the per-atom path, in both embedding modes.
   auto model = small_model();
   const md::Box box({0, 0, 0}, {30, 30, 30});
   Rng rng(101);
@@ -597,20 +601,24 @@ TEST(DpBatch, ZeroNeighborAtomsAreExact) {
   atoms.add_local({15, 15, 15}, {0, 0, 0}, 0, id++);
   atoms.add_local({22, 22, 22}, {0, 0, 0}, 1, id++);
 
-  EvalOptions opts;
-  opts.block_size = 1;
-  const Evaluated ref = eval_config(model, opts, box, atoms);
-  opts.block_size = 64;
-  const Evaluated got = eval_config(model, opts, box, atoms);
+  for (const bool compressed : {true, false}) {
+    EvalOptions opts;
+    opts.compressed = compressed;
+    opts.block_size = 1;
+    const Evaluated ref = eval_config(model, opts, box, atoms);
+    opts.block_size = 64;
+    const Evaluated got = eval_config(model, opts, box, atoms);
 
-  ASSERT_EQ(ref.atom_e.size(), got.atom_e.size());
-  for (std::size_t i = 0; i < ref.atom_e.size(); ++i) {
-    EXPECT_LT(rel_diff(got.atom_e[i], ref.atom_e[i]), 1e-12) << i;
+    ASSERT_EQ(ref.atom_e.size(), got.atom_e.size());
+    for (std::size_t i = 0; i < ref.atom_e.size(); ++i) {
+      EXPECT_LT(rel_diff(got.atom_e[i], ref.atom_e[i]), 1e-12)
+          << i << " compressed=" << compressed;
+    }
+    // The isolated atoms see nothing: energy is exactly the zero-descriptor
+    // fitting output, force is zero.
+    EXPECT_NEAR(got.forces[6].norm(), 0.0, 1e-12);
+    EXPECT_NEAR(got.forces[7].norm(), 0.0, 1e-12);
   }
-  // The isolated atoms see nothing: energy is exactly the zero-descriptor
-  // fitting output, force is zero.
-  EXPECT_NEAR(got.forces[6].norm(), 0.0, 1e-12);
-  EXPECT_NEAR(got.forces[7].norm(), 0.0, 1e-12);
 }
 
 TEST(DpBatch, EnvBatchAgreesWithPerAtomEnvs) {
@@ -682,6 +690,8 @@ TEST(DpBatch, EnvBatchAgreesWithPerAtomEnvs) {
 TEST(DpBatch, EvaluateBatchDirectMatchesEvaluateAtom) {
   // Driver-free check of DPEvaluator::evaluate_batch itself (no PairDeepMD
   // in the loop): packed dE_dd rows must equal the per-atom gradients.
+  // Runs both embedding modes — the full-embedding branch feeds the
+  // GEMM-cast contraction straight from the MLP cache slabs.
   Rng rng(107);
   auto model = small_model();
   const md::Box box({0, 0, 0}, {11, 11, 11});
@@ -691,34 +701,38 @@ TEST(DpBatch, EvaluateBatchDirectMatchesEvaluateAtom) {
   list.build(atoms, box);
   const auto& params = model->config().descriptor;
 
-  EvalOptions opts;  // double, compressed
-  DPEvaluator ev(model, opts);
+  for (const bool compressed : {true, false}) {
+    EvalOptions opts;
+    opts.compressed = compressed;
+    DPEvaluator ev(model, opts);
 
-  AtomEnvBatch batch;
-  build_env_batch(atoms, list, 0, atoms.nlocal, params, 2, batch);
-  std::vector<double> energies;
-  std::vector<Vec3> dedd_batch;
-  ev.evaluate_batch(batch, energies, dedd_batch);
-  ASSERT_EQ(static_cast<int>(energies.size()), atoms.nlocal);
-  ASSERT_EQ(static_cast<int>(dedd_batch.size()), batch.rows());
+    AtomEnvBatch batch;
+    build_env_batch(atoms, list, 0, atoms.nlocal, params, 2, batch);
+    std::vector<double> energies;
+    std::vector<Vec3> dedd_batch;
+    ev.evaluate_batch(batch, energies, dedd_batch);
+    ASSERT_EQ(static_cast<int>(energies.size()), atoms.nlocal);
+    ASSERT_EQ(static_cast<int>(dedd_batch.size()), batch.rows());
 
-  AtomEnv env;
-  std::vector<Vec3> dedd;
-  for (int a = 0; a < atoms.nlocal; ++a) {
-    build_env(atoms, list, a, params, 2, env);
-    const double e = ev.evaluate_atom(env, dedd);
-    EXPECT_LT(rel_diff(energies[static_cast<std::size_t>(a)], e), 1e-12)
-        << a;
-    for (int t = 0; t < 2; ++t) {
-      const int seg_lo =
-          batch.seg_offset[static_cast<std::size_t>(t) * batch.natoms + a];
-      const int env_lo = env.type_offset[static_cast<std::size_t>(t)];
-      const int n = env.type_offset[static_cast<std::size_t>(t) + 1] - env_lo;
-      for (int k = 0; k < n; ++k) {
-        const Vec3 d = dedd_batch[static_cast<std::size_t>(seg_lo + k)] -
-                       dedd[static_cast<std::size_t>(env_lo + k)];
-        EXPECT_LT(d.norm(), 1e-10)
-            << "slot " << a << " type " << t << " k " << k;
+    AtomEnv env;
+    std::vector<Vec3> dedd;
+    for (int a = 0; a < atoms.nlocal; ++a) {
+      build_env(atoms, list, a, params, 2, env);
+      const double e = ev.evaluate_atom(env, dedd);
+      EXPECT_LT(rel_diff(energies[static_cast<std::size_t>(a)], e), 1e-12)
+          << a << " compressed=" << compressed;
+      for (int t = 0; t < 2; ++t) {
+        const int seg_lo =
+            batch.seg_offset[static_cast<std::size_t>(t) * batch.natoms + a];
+        const int env_lo = env.type_offset[static_cast<std::size_t>(t)];
+        const int n =
+            env.type_offset[static_cast<std::size_t>(t) + 1] - env_lo;
+        for (int k = 0; k < n; ++k) {
+          const Vec3 d = dedd_batch[static_cast<std::size_t>(seg_lo + k)] -
+                         dedd[static_cast<std::size_t>(env_lo + k)];
+          EXPECT_LT(d.norm(), 1e-10)
+              << "slot " << a << " type " << t << " k " << k;
+        }
       }
     }
   }

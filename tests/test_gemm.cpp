@@ -83,6 +83,50 @@ TEST_P(GemmShapes, NtMatchesTransposedNn) {
   EXPECT_LT(max_abs_diff(c_nn, c_nt), 1e-11);
 }
 
+TEST_P(GemmShapes, VectorizedNtMatchesRef) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(500 + m * 7 + n * 3 + k);
+  const auto a = random_matrix(m, k, rng);
+  const auto bt = random_matrix(n, k, rng);
+  std::vector<double> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  gemm_nt_ref(a.data(), bt.data(), c_ref.data(), m, n, k);
+  gemm_nt(a.data(), bt.data(), c.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-11);
+}
+
+TEST_P(GemmShapes, PackedMatchesRef) {
+  // gemm_packed consumes B in the pack_b panel layout (full NR panels +
+  // transposed remainder columns) — the weight-matrix fast path.
+  const auto [m, n, k] = GetParam();
+  Rng rng(700 + m * 7 + n * 3 + k);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> bp(b.size());
+  pack_b(b.data(), bp.data(), k, n);
+  std::vector<double> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  gemm_packed(a.data(), bp.data(), c.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-11);
+}
+
+TEST_P(GemmShapes, TnMatchesTransposedRef) {
+  // gemm_tn consumes A stored K x M (the packed-row layout of the
+  // descriptor contraction and the training weight gradient).
+  const auto [m, n, k] = GetParam();
+  Rng rng(600 + m * 7 + n * 3 + k);
+  const auto at = random_matrix(k, m, rng);  // K x M storage
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> a(static_cast<std::size_t>(m) * k);
+  transpose(at.data(), a.data(), k, m);  // logical A, M x K
+  std::vector<double> c_ref(static_cast<std::size_t>(m) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
+  gemm_tn(at.data(), b.data(), c.data(), m, n, k);
+  EXPECT_LT(max_abs_diff(c, c_ref), 1e-11);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     ShapeSweep, GemmShapes,
     ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 240, 240},
@@ -90,7 +134,48 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{3, 240, 1600}, std::tuple{8, 64, 64},
                       std::tuple{17, 33, 5}, std::tuple{96, 240, 240},
                       std::tuple{100, 100, 100}, std::tuple{5, 1, 7},
-                      std::tuple{1, 7, 1}, std::tuple{64, 128, 256}));
+                      std::tuple{1, 7, 1}, std::tuple{64, 128, 256},
+                      // K-blocked regime (k > kKc) and the contraction
+                      // shapes: A = R~^T G (m=4, n=m1, k=rows), dG = R~ dA
+                      // (k=4), D = A^T A (n=m2=16, k=4), dR = G dA^T (n=4).
+                      std::tuple{21, 240, 1600}, std::tuple{43, 240, 1600},
+                      std::tuple{43, 1600, 240}, std::tuple{4, 100, 57},
+                      std::tuple{57, 100, 4}, std::tuple{100, 16, 4},
+                      std::tuple{57, 4, 100}, std::tuple{4, 100, 1}));
+
+TEST(Gemm, TnAlphaBetaHandling) {
+  Rng rng(6);
+  const int m = 7, n = 26, k = 31;
+  const auto at = random_matrix(k, m, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> a(static_cast<std::size_t>(m) * k);
+  transpose(at.data(), a.data(), k, m);
+  auto c = random_matrix(m, n, rng);
+  auto expected = c;
+  std::vector<double> ab(static_cast<std::size_t>(m) * n);
+  gemm_ref(a.data(), b.data(), ab.data(), m, n, k);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = 1.5 * ab[i] + 2.0 * expected[i];
+  }
+  gemm_tn(at.data(), b.data(), c.data(), m, n, k, 1.5, 2.0);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-11);
+}
+
+TEST(Gemm, NtAlphaBetaHandling) {
+  Rng rng(7);
+  const int m = 9, n = 6, k = 40;
+  const auto a = random_matrix(m, k, rng);
+  const auto bt = random_matrix(n, k, rng);
+  auto c = random_matrix(m, n, rng);
+  auto expected = c;
+  std::vector<double> ab(static_cast<std::size_t>(m) * n);
+  gemm_nt_ref(a.data(), bt.data(), ab.data(), m, n, k);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = 0.25 * ab[i] + 3.0 * expected[i];
+  }
+  gemm_nt(a.data(), bt.data(), c.data(), m, n, k, 0.25, 3.0);
+  EXPECT_LT(max_abs_diff(c, expected), 1e-11);
+}
 
 TEST(Gemm, AlphaBetaHandling) {
   Rng rng(1);

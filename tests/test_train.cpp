@@ -120,6 +120,40 @@ TEST(Trainer, GradientMatchesFiniteDifference) {
   EXPECT_LT(max_rel, 1e-3);
 }
 
+TEST(Trainer, BatchedGradientsMatchPerAtomPath) {
+  // The default trainer routes samples through the GEMM-cast batched
+  // forward/backward (TrainConfig::block_size = 64); block_size <= 1 keeps
+  // the legacy per-atom evaluate_atom-style path.  Same sample, same
+  // parameters: the gradients must agree to summation round-off, including
+  // at a block size that leaves a remainder block.
+  DPModel model(train_config());
+  Rng rng(91);
+  model.init_random(rng);
+  const Dataset data = make_lj_dataset(1, 29);
+  fit_env_scale(model, data);
+  fit_energy_bias(model, data);
+  const TrainSample& sample = data.samples()[0];  // 32 atoms
+
+  TrainConfig ref_cfg;
+  ref_cfg.block_size = 1;
+  Trainer ref_trainer(model, ref_cfg);
+  const auto ref = ref_trainer.gradient_for(sample);
+
+  for (const int block : {5, 64}) {  // 32 % 5 != 0: remainder block
+    TrainConfig cfg;
+    cfg.block_size = block;
+    Trainer trainer(model, cfg);
+    const auto got = trainer.gradient_for(sample);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const double scale =
+          std::max({std::fabs(ref[i]), std::fabs(got[i]), 1e-8});
+      EXPECT_LT(std::fabs(got[i] - ref[i]) / scale, 1e-7)
+          << "param " << i << " block " << block;
+    }
+  }
+}
+
 TEST(Trainer, LossDecreases) {
   DPModel model(train_config());
   Rng rng(83);

@@ -11,6 +11,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/vec3.hpp"
+#include "util/vtanh.hpp"
 #include "util/xyz_io.hpp"
 
 namespace dpmd {
@@ -327,6 +328,47 @@ TEST(XyzIo, RoundTrip) {
   EXPECT_DOUBLE_EQ(back.box.x, 10.0);
   XyzFrame none;
   EXPECT_FALSE(read_xyz(ss, none, names2));
+}
+
+// --------------------------------------------------------------- vtanh ----
+
+TEST(Vtanh, TracksStdTanhToRoundoff) {
+  // The vectorized tanh replaces std::tanh in every DenseLayer forward; the
+  // comparison tolerances downstream (test_nn 1e-12, test_tflike 1e-14
+  // consistency) assume it stays within a few ulp absolute.
+  std::vector<double> xs;
+  for (double x = -25.0; x <= 25.0; x += 0.0137) xs.push_back(x);
+  xs.push_back(0.0);
+  xs.push_back(1e-12);
+  xs.push_back(-3e-8);
+  std::vector<double> ys = xs;
+  vtanh(ys.data(), ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(ys[i], std::tanh(xs[i]), 5e-16) << "x=" << xs[i];
+  }
+}
+
+TEST(Vtanh, FloatOverloadTracksStdTanh) {
+  std::vector<float> xs;
+  for (float x = -10.0f; x <= 10.0f; x += 0.0171f) xs.push_back(x);
+  std::vector<float> ys = xs;
+  vtanh(ys.data(), ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(ys[i], std::tanh(xs[i]), 2e-7f) << "x=" << xs[i];
+  }
+}
+
+TEST(Vtanh, PropagatesNanAndSaturatesInfinity) {
+  // A diverged trajectory (NaN coordinates) must stay visibly diverged:
+  // NaN in, NaN out — not a silently finite +/-1.
+  double vals[4] = {std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity(), 100.0};
+  vtanh(vals, 4);
+  EXPECT_TRUE(std::isnan(vals[0]));
+  EXPECT_DOUBLE_EQ(vals[1], 1.0);
+  EXPECT_DOUBLE_EQ(vals[2], -1.0);
+  EXPECT_DOUBLE_EQ(vals[3], 1.0);
 }
 
 }  // namespace
