@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "water256.hpp"
+#include "overlap_bench.hpp"
 #include "core/inference.hpp"
 #include "core/pair_deepmd.hpp"
 #include "md/ghosts.hpp"
@@ -82,6 +83,11 @@ int main(int argc, char** argv) {
   const double fullemb_speedup =
       variants[2].us_per_step / variants[3].us_per_step;
 
+  // Overlap rung (ISSUE 3): 2-rank DomainEngine on the water-256 cell
+  // tiled to 512 atoms, staged DP evaluation with the halo exchange
+  // overlapped vs sequential, and the hidden-exchange fraction.
+  const bench::OverlapMeasurement ovl = bench::measure_overlap();
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -105,7 +111,21 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"batched_speedup\": %.3f,\n", speedup);
-  std::fprintf(f, "  \"fullemb_batched_speedup\": %.3f\n", fullemb_speedup);
+  std::fprintf(f, "  \"fullemb_batched_speedup\": %.3f,\n", fullemb_speedup);
+  std::fprintf(f, "  \"overlap\": {\n");
+  std::fprintf(f, "    \"system\": \"water-256 cell tiled 2x (512 atoms), "
+                  "2 ranks, %u threads/rank, block %d\",\n",
+               ovl.threads_per_rank, kBlock);
+  std::fprintf(f, "    \"hardware_threads\": %u,\n", ovl.hardware_threads);
+  std::fprintf(f, "    \"us_per_step_overlap_on\": %.1f,\n",
+               ovl.on_us_per_step);
+  std::fprintf(f, "    \"us_per_step_overlap_off\": %.1f,\n",
+               ovl.off_us_per_step);
+  std::fprintf(f, "    \"halo_us_per_step_off\": %.1f,\n", ovl.halo_off_us);
+  std::fprintf(f, "    \"halo_us_per_step_on\": %.1f,\n", ovl.halo_on_us);
+  std::fprintf(f, "    \"hidden_exchange_fraction\": %.3f\n",
+               ovl.hidden_fraction);
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 
@@ -119,6 +139,10 @@ int main(int argc, char** argv) {
   std::printf("batched full-emb  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
               variants[3].us_per_step, variants[3].us_per_step / kNatoms,
               kBlock);
+  std::printf("overlap (512 atoms, 2 ranks): %8.1f us/step on, %8.1f off; "
+              "halo %.1f us, %.0f%% hidden\n",
+              ovl.on_us_per_step, ovl.off_us_per_step, ovl.halo_off_us,
+              100.0 * ovl.hidden_fraction);
   std::printf("speedup  : %.2fx compressed, %.2fx full-emb  -> %s\n", speedup,
               fullemb_speedup, out_path.c_str());
   return 0;

@@ -16,6 +16,7 @@
 #include "md/sim.hpp"
 #include "md/thermo.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 using namespace dpmd;
 
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   const double temp = args.get_double("temp", 100.0);
   const std::string prec_str = args.get("precision", "fp32");
   const int block_size = static_cast<int>(args.get_int("block-size", 64));
+  DPMD_REQUIRE(block_size >= 1,
+               "--block-size must be >= 1 (1 selects the per-atom path)");
 
   // 1. A Deep Potential model (paper-shaped nets, scaled-down sel).
   dp::ModelConfig cfg;

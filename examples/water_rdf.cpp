@@ -24,6 +24,7 @@
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/error.hpp"
 
 using namespace dpmd;
 
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(args.get_int("steps", 1500));
   const double temp = args.get_double("temp", 300.0);
   const int dp_block = static_cast<int>(args.get_int("dp-block-size", 0));
+  DPMD_REQUIRE(dp_block >= 0,
+               "--dp-block-size must be >= 0 (0 skips DP scoring, >= 1 "
+               "scores frames at that block size)");
 
   Rng rng(11);
   md::Box box;

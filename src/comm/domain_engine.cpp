@@ -38,7 +38,8 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
                            std::shared_ptr<md::Pair> pair, DomainConfig cfg)
     : rank_(rank), grid_(grid), global_box_(global_box),
       masses_(std::move(masses)), pair_(std::move(pair)), cfg_(cfg),
-      nlist_({pair_->cutoff(), 0.0, pair_->needs_full_list()}) {
+      nlist_({pair_->cutoff(), 0.0, pair_->needs_full_list()}),
+      halo_(rank_, grid_, global_box_, pair_->cutoff()) {
   const auto c = grid_.coords_of(rank_.rank());
   const Vec3 len = global_box_.length();
   const Vec3 sub{len.x / grid_.nx(), len.y / grid_.ny(), len.z / grid_.nz()};
@@ -130,10 +131,10 @@ void DomainEngine::migrate() {
   atoms_ = std::move(kept);
 }
 
-void DomainEngine::exchange_ghosts() {
-  LocalDomain dom;
-  dom.sub_box = sub_box_;
-  dom.locals.reserve(static_cast<std::size_t>(atoms_.nlocal));
+void DomainEngine::fill_local_domain() {
+  dom_.sub_box = sub_box_;
+  dom_.locals.clear();
+  dom_.locals.reserve(static_cast<std::size_t>(atoms_.nlocal));
   for (int i = 0; i < atoms_.nlocal; ++i) {
     HaloAtom a;
     const Vec3& p = atoms_.x[static_cast<std::size_t>(i)];
@@ -143,12 +144,11 @@ void DomainEngine::exchange_ghosts() {
     a.type = atoms_.type[static_cast<std::size_t>(i)];
     a.pad = rank_.rank();  // owner travels with the atom for force return
     a.tag = atoms_.tag[static_cast<std::size_t>(i)];
-    dom.locals.push_back(a);
+    dom_.locals.push_back(a);
   }
+}
 
-  const auto ghosts =
-      exchange_three_stage(rank_, grid_, global_box_, dom, pair_->cutoff());
-
+void DomainEngine::adopt_ghosts(const std::vector<HaloAtom>& ghosts) {
   atoms_.clear_ghosts();
   ghost_owner_.clear();
   ghost_owner_.reserve(ghosts.size());
@@ -193,10 +193,103 @@ void DomainEngine::return_ghost_forces() {
   }
 }
 
-void DomainEngine::compute_forces() {
-  atoms_.zero_forces();
-  const md::ForceResult res = pair_->compute(atoms_, nlist_);
-  return_ghost_forces();
+void DomainEngine::exchange_and_compute() {
+  // The locals are snapshotted into the halo wire format once; the
+  // exchange reads the snapshot, never the live atom arrays, which is what
+  // makes overlapping it with force evaluation race-free.
+  fill_local_domain();
+  md::ForceResult res;
+
+  if (!cfg_.staged) {
+    // Legacy sequence: blocking exchange -> full list build -> monolithic
+    // compute.
+    {
+      ScopedTimer timer(timers_, "halo");
+      halo_.begin(dom_);
+      adopt_ghosts(halo_.finish());
+    }
+    {
+      ScopedTimer timer(timers_, "neigh");
+      nlist_.build(atoms_, global_box_);
+    }
+    ScopedTimer timer(timers_, "pair");
+    atoms_.zero_forces();
+    res = pair_->compute(atoms_, nlist_);
+  } else {
+    atoms_.zero_forces();
+    md::classify_partition(atoms_, sub_box_, nlist_.list_cutoff(),
+                           partition_);
+    md::ForceAccum accum;
+    if (cfg_.overlap) {
+      // §III-C overlap: post the halo sends, launch the interior blocks on
+      // the pair's worker threads, drive the remaining exchange rounds on
+      // this thread, then join before the atom arrays are appended to.
+      // An interior center's stencil cannot reach a ghost, so its list is
+      // built from the locals alone while the exchange is in flight.
+      {
+        ScopedTimer timer(timers_, "halo");
+        halo_.begin(dom_);
+      }
+      {
+        ScopedTimer timer(timers_, "neigh");
+        nlist_.build_centers(atoms_, global_box_, partition_.interior,
+                             /*reset=*/true);
+      }
+      pair_->begin_step(atoms_, nlist_);
+      // If the exchange throws (e.g. a poisoned world after a peer rank
+      // failed), the launched partition must be joined before this frame —
+      // which owns the accumulator and atom arrays the workers use —
+      // unwinds.
+      struct JoinGuard {
+        md::Pair* pair;
+        ~JoinGuard() {
+          if (pair != nullptr) pair->join();
+        }
+      } join_guard{pair_.get()};
+      {
+        ScopedTimer timer(timers_, "pair");
+        pair_->compute_partition(atoms_, nlist_, partition_.interior, accum,
+                                 /*async=*/true);
+      }
+      {
+        ScopedTimer timer(timers_, "halo");
+        const auto ghosts = halo_.finish();
+        pair_->join();  // interior reads atoms_.x; join before we append
+        join_guard.pair = nullptr;
+        adopt_ghosts(ghosts);
+      }
+      {
+        ScopedTimer timer(timers_, "neigh");
+        nlist_.build_centers(atoms_, global_box_, partition_.boundary,
+                             /*reset=*/false);
+      }
+      ScopedTimer timer(timers_, "pair");
+      pair_->compute_partition(atoms_, nlist_, partition_.boundary, accum);
+      res = pair_->end_step(atoms_, nlist_, accum);
+    } else {
+      // Staged API, sequential schedule: the A/B baseline the overlap
+      // bench rung compares against (same partitions, same math).
+      {
+        ScopedTimer timer(timers_, "halo");
+        halo_.begin(dom_);
+        adopt_ghosts(halo_.finish());
+      }
+      {
+        ScopedTimer timer(timers_, "neigh");
+        nlist_.build(atoms_, global_box_);
+      }
+      ScopedTimer timer(timers_, "pair");
+      pair_->begin_step(atoms_, nlist_);
+      pair_->compute_partition(atoms_, nlist_, partition_.interior, accum);
+      pair_->compute_partition(atoms_, nlist_, partition_.boundary, accum);
+      res = pair_->end_step(atoms_, nlist_, accum);
+    }
+  }
+
+  {
+    ScopedTimer timer(timers_, "force_return");
+    return_ghost_forces();
+  }
   pe_ = res.pe;
   virial_ = res.virial;
   forces_ready_ = true;
@@ -205,9 +298,7 @@ void DomainEngine::compute_forces() {
 void DomainEngine::step() {
   if (!forces_ready_) {
     migrate();
-    exchange_ghosts();
-    nlist_.build(atoms_, global_box_);
-    compute_forces();
+    exchange_and_compute();
   }
 
   const double dt = cfg_.dt_fs;
@@ -222,9 +313,7 @@ void DomainEngine::step() {
   }
 
   migrate();
-  exchange_ghosts();
-  nlist_.build(atoms_, global_box_);
-  compute_forces();
+  exchange_and_compute();
 
   for (int i = 0; i < atoms_.nlocal; ++i) {
     const double inv_m =

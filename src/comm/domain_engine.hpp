@@ -7,8 +7,10 @@
 #include "md/box.hpp"
 #include "md/neighbor.hpp"
 #include "md/pair.hpp"
+#include "md/partition.hpp"
 #include "md/thermo.hpp"
 #include "simmpi/simmpi.hpp"
+#include "util/timer.hpp"
 
 namespace dpmd::comm {
 
@@ -17,6 +19,20 @@ struct DomainConfig {
   /// The functional engine re-exchanges ghosts and rebuilds lists every
   /// step (correctness-first; the *timing* of smarter cadences is what the
   /// plan models in comm/plans.hpp cover).
+
+  /// Route force evaluation through the staged Pair surface (ISSUE 3):
+  /// local atoms split into interior (stencil entirely inside the sub-box
+  /// shrunk by the list cutoff) and boundary partitions; off = the legacy
+  /// exchange -> build -> monolithic compute sequence.
+  bool staged = true;
+  /// With staged on: post the halo sends, evaluate the interior partition
+  /// (on the pair's thread-pool workers when it supports async) while this
+  /// thread drives the remaining exchange rounds, then receive, append
+  /// ghosts, and evaluate the boundary partition — the §III-C overlap that
+  /// hides ghost communication behind Deep Potential block evaluation.
+  /// Off: same staged API, strictly sequential (the A/B baseline the
+  /// overlap bench rung compares against).
+  bool overlap = true;
 };
 
 /// Distributed MD engine: the LAMMPS-style main loop running on a simmpi
@@ -45,6 +61,14 @@ class DomainEngine {
   const md::Atoms& atoms() const { return atoms_; }
   int steps_done() const { return steps_done_; }
   double local_pe() const { return pe_; }
+  /// Last step's interior/boundary split (staged mode; empty otherwise).
+  const md::StagePartition& partition() const { return partition_; }
+  /// Per-phase wall time on this rank: "halo" (exchange begin/finish +
+  /// ghost adoption), "neigh", "pair", "force_return".  With overlap on,
+  /// "halo" includes the time this thread waits in finish() while the
+  /// workers evaluate the interior — the overlap window itself — so the
+  /// honest exchange cost is the "halo" of an overlap-off run.
+  TimerRegistry& timers() { return timers_; }
 
   /// Collectives over the whole domain.
   double total_pe();
@@ -61,8 +85,13 @@ class DomainEngine {
 
  private:
   void migrate();
-  void exchange_ghosts();
-  void compute_forces();
+  /// Snapshot the locals into dom_ (the halo wire format).
+  void fill_local_domain();
+  /// Append exchanged ghosts to the atom arrays (+ owner bookkeeping).
+  void adopt_ghosts(const std::vector<HaloAtom>& ghosts);
+  /// One step's exchange + neighbor build + force evaluation, staged or
+  /// legacy per cfg_.
+  void exchange_and_compute();
   void return_ghost_forces();
 
   simmpi::Rank& rank_;
@@ -75,6 +104,9 @@ class DomainEngine {
 
   md::Atoms atoms_;
   md::NeighborList nlist_;
+  HaloExchange halo_;
+  LocalDomain dom_;  ///< persists across begin/finish of the exchange
+  md::StagePartition partition_;
   /// Owner rank of each ghost (parallel to the ghost section of atoms_).
   std::vector<int> ghost_owner_;
   /// Neighbor rank ids this rank exchanges with (symmetric set).
@@ -84,6 +116,7 @@ class DomainEngine {
   double virial_ = 0.0;
   int steps_done_ = 0;
   bool forces_ready_ = false;
+  TimerRegistry timers_;
 };
 
 }  // namespace dpmd::comm

@@ -34,81 +34,131 @@ double wrap_shift(int my_idx, int steps, int grid_n, double global_len) {
 
 }  // namespace
 
+HaloExchange::HaloExchange(simmpi::Rank& rank, const simmpi::CartGrid& grid,
+                           const md::Box& global_box, double rcut)
+    : rank_(rank), grid_(grid), global_box_(global_box), rcut_(rcut),
+      my_(grid.coords_of(rank.rank())) {}
+
+int HaloExchange::layers_of(int d) const {
+  const double sub_len = dom_->sub_box.length()[d];
+  return static_cast<int>(std::ceil(rcut_ / sub_len - 1e-12));
+}
+
+void HaloExchange::begin(const LocalDomain& dom) {
+  DPMD_REQUIRE(dom_ == nullptr, "halo exchange already in flight");
+  dom_ = &dom;
+  ghosts_.clear();
+
+  // The two directional forwarding chains of every dimension must deliver
+  // disjoint bands of every source rank, or an atom would arrive twice
+  // with the same image shift.  (grid_n == 1 is legal: both chains are
+  // self-loops delivering opposite-sign periodic images.)  Checked before
+  // any message leaves so a bad decomposition fails on every rank alike.
+  const Vec3 global_len = global_box_.length();
+  for (int d = 0; d < 3; ++d) {
+    const double sub_len = dom.sub_box.length()[d];
+    const int grid_n = d == 0 ? grid_.nx() : d == 1 ? grid_.ny() : grid_.nz();
+    const double slack = grid_n > 1 ? global_len[d] - sub_len : global_len[d];
+    DPMD_REQUIRE(2.0 * rcut_ <= slack + 1e-9,
+                 "ghost bands overlap; grow the grid or the box");
+  }
+
+  // Dimension 0, round 1 depends only on the locals — post it now so peers
+  // can overlap their receive with compute.  Everything downstream (later
+  // rounds forward received atoms; later dimensions forward the acquired
+  // ghosts, so corner regions propagate as in LAMMPS) runs in finish().
+  from_plus_ = dom.locals;
+  from_minus_ = dom.locals;
+  post_round(0, 1);
+}
+
+void HaloExchange::post_round(int d, int round) {
+  const Vec3 global_len = global_box_.length();
+  const int grid_n = d == 0 ? grid_.nx() : d == 1 ? grid_.ny() : grid_.nz();
+  const int minus_nbr = grid_.neighbor(rank_.rank(), d == 0 ? -1 : 0,
+                                       d == 1 ? -1 : 0, d == 2 ? -1 : 0);
+  const int plus_nbr = grid_.neighbor(rank_.rank(), d == 0 ? 1 : 0,
+                                      d == 1 ? 1 : 0, d == 2 ? 1 : 0);
+
+  // Every send targets the *immediate* neighbor, which needs atoms within
+  // rcut of its face (x_d < my_lo + rcut when sending to the -side).  The
+  // forwarded set moves one box per round on its own, so the same filter
+  // is correct in every round.
+  const double minus_limit = dom_->sub_box.lo[d] + rcut_;
+  const double plus_limit = dom_->sub_box.hi[d] - rcut_;
+
+  std::vector<HaloAtom> to_minus;
+  for (const HaloAtom& a : from_plus_) {
+    if (coord(a, d) < minus_limit) to_minus.push_back(a);
+  }
+  std::vector<HaloAtom> to_plus;
+  for (const HaloAtom& a : from_minus_) {
+    if (coord(a, d) >= plus_limit) to_plus.push_back(a);
+  }
+
+  // Apply the periodic shift for the immediate neighbor.
+  const double shift_minus = wrap_shift(my_[static_cast<std::size_t>(d)], -1,
+                                        grid_n, global_len[d]);
+  const double shift_plus = wrap_shift(my_[static_cast<std::size_t>(d)], +1,
+                                       grid_n, global_len[d]);
+  for (HaloAtom& a : to_minus) shift_coord(a, d, shift_minus);
+  for (HaloAtom& a : to_plus) shift_coord(a, d, shift_plus);
+
+  const int tag = kTagHalo + d * 10 + round;
+  rank_.isend_vec(minus_nbr, tag, to_minus);
+  rank_.isend_vec(plus_nbr, tag + 5, to_plus);
+}
+
+void HaloExchange::recv_round(int d, int round) {
+  const int minus_nbr = grid_.neighbor(rank_.rank(), d == 0 ? -1 : 0,
+                                       d == 1 ? -1 : 0, d == 2 ? -1 : 0);
+  const int plus_nbr = grid_.neighbor(rank_.rank(), d == 0 ? 1 : 0,
+                                      d == 1 ? 1 : 0, d == 2 ? 1 : 0);
+  const int tag = kTagHalo + d * 10 + round;
+  simmpi::Request rq_plus = rank_.irecv(plus_nbr, tag);
+  simmpi::Request rq_minus = rank_.irecv(minus_nbr, tag + 5);
+  const auto recv_plus = rq_plus.wait_vec<HaloAtom>();
+  const auto recv_minus = rq_minus.wait_vec<HaloAtom>();
+
+  ghosts_.insert(ghosts_.end(), recv_plus.begin(), recv_plus.end());
+  ghosts_.insert(ghosts_.end(), recv_minus.begin(), recv_minus.end());
+  from_plus_ = recv_plus;   // forward onwards next round
+  from_minus_ = recv_minus;
+}
+
+std::vector<HaloAtom> HaloExchange::finish() {
+  DPMD_REQUIRE(dom_ != nullptr, "finish without begin");
+  for (int d = 0; d < 3; ++d) {
+    const int layers = layers_of(d);
+    if (d > 0) {
+      // Round 1 of a later dimension forwards the locals plus all ghosts
+      // acquired in previous sweeps.
+      from_plus_ = dom_->locals;
+      from_minus_ = dom_->locals;
+      from_plus_.insert(from_plus_.end(), ghosts_.begin(), ghosts_.end());
+      from_minus_.insert(from_minus_.end(), ghosts_.begin(), ghosts_.end());
+      post_round(d, 1);
+    }
+    recv_round(d, 1);
+    for (int round = 2; round <= layers; ++round) {
+      post_round(d, round);
+      recv_round(d, round);
+    }
+  }
+  dom_ = nullptr;
+  from_plus_.clear();
+  from_minus_.clear();
+  return std::move(ghosts_);
+}
+
 std::vector<HaloAtom> exchange_three_stage(simmpi::Rank& rank,
                                            const simmpi::CartGrid& grid,
                                            const md::Box& global_box,
                                            const LocalDomain& dom,
                                            double rcut) {
-  const auto my = grid.coords_of(rank.rank());
-  const Vec3 global_len = global_box.length();
-  std::vector<HaloAtom> ghosts;
-
-  for (int d = 0; d < 3; ++d) {
-    const double sub_len = dom.sub_box.length()[d];
-    const int layers = static_cast<int>(std::ceil(rcut / sub_len - 1e-12));
-    const int grid_n = d == 0 ? grid.nx() : d == 1 ? grid.ny() : grid.nz();
-    // The two directional forwarding chains must deliver disjoint bands of
-    // every source rank, or an atom would arrive twice with the same image
-    // shift.  (grid_n == 1 is legal: both chains are self-loops delivering
-    // opposite-sign periodic images.)
-    const double global_d = global_len[d];
-    const double slack = grid_n > 1 ? global_d - sub_len : global_d;
-    DPMD_REQUIRE(2.0 * rcut <= slack + 1e-9,
-                 "ghost bands overlap; grow the grid or the box");
-
-    // Forwarding chains: what arrived from the +side last round is the
-    // candidate set for the next send to the -side, and vice versa.
-    // Round 1 forwards the locals plus all ghosts acquired in previous
-    // dimension sweeps (so corner regions propagate, as in LAMMPS).
-    std::vector<HaloAtom> from_plus = dom.locals;
-    std::vector<HaloAtom> from_minus = dom.locals;
-    from_plus.insert(from_plus.end(), ghosts.begin(), ghosts.end());
-    from_minus.insert(from_minus.end(), ghosts.begin(), ghosts.end());
-
-    const int minus_nbr = grid.neighbor(rank.rank(), d == 0 ? -1 : 0,
-                                        d == 1 ? -1 : 0, d == 2 ? -1 : 0);
-    const int plus_nbr = grid.neighbor(rank.rank(), d == 0 ? 1 : 0,
-                                       d == 1 ? 1 : 0, d == 2 ? 1 : 0);
-
-    for (int round = 1; round <= layers; ++round) {
-      // Every send targets the *immediate* neighbor, which needs atoms
-      // within rcut of its face (x_d < my_lo + rcut when sending to the
-      // -side).  The forwarded set moves one box per round on its own, so
-      // the same filter is correct in every round.
-      const double minus_limit = dom.sub_box.lo[d] + rcut;
-      const double plus_limit = dom.sub_box.hi[d] - rcut;
-
-      std::vector<HaloAtom> to_minus;
-      for (const HaloAtom& a : from_plus) {
-        if (coord(a, d) < minus_limit) to_minus.push_back(a);
-      }
-      std::vector<HaloAtom> to_plus;
-      for (const HaloAtom& a : from_minus) {
-        if (coord(a, d) >= plus_limit) to_plus.push_back(a);
-      }
-
-      // Apply the periodic shift for the immediate neighbor.
-      const double shift_minus =
-          wrap_shift(my[static_cast<std::size_t>(d)], -1, grid_n,
-                     global_len[d]);
-      const double shift_plus = wrap_shift(my[static_cast<std::size_t>(d)],
-                                           +1, grid_n, global_len[d]);
-      for (HaloAtom& a : to_minus) shift_coord(a, d, shift_minus);
-      for (HaloAtom& a : to_plus) shift_coord(a, d, shift_plus);
-
-      const int tag = kTagHalo + d * 10 + round;
-      rank.send_vec(minus_nbr, tag, to_minus);
-      rank.send_vec(plus_nbr, tag + 5, to_plus);
-      const auto recv_plus = rank.recv_vec<HaloAtom>(plus_nbr, tag);
-      const auto recv_minus = rank.recv_vec<HaloAtom>(minus_nbr, tag + 5);
-
-      ghosts.insert(ghosts.end(), recv_plus.begin(), recv_plus.end());
-      ghosts.insert(ghosts.end(), recv_minus.begin(), recv_minus.end());
-      from_plus = recv_plus;   // forward onwards next round
-      from_minus = recv_minus;
-    }
-  }
-  return ghosts;
+  HaloExchange hx(rank, grid, global_box, rcut);
+  hx.begin(dom);
+  return hx.finish();
 }
 
 NodeExchangeResult exchange_node_based(

@@ -35,6 +35,46 @@ std::vector<HaloAtom> exchange_three_stage(simmpi::Rank& rank,
                                            const LocalDomain& dom,
                                            double rcut);
 
+/// Split three-stage exchange for the staged/overlap force path (ISSUE 3,
+/// paper §III-C): begin() posts the round-1 sends of the first dimension
+/// sweep — the only messages that depend purely on local data — and
+/// returns; finish() runs the remaining receive/forward rounds.  The
+/// engine evaluates its interior partition between the two calls (on the
+/// pool workers, via Pair::compute_partition(async)), so every peer's
+/// sends land in the simmpi mailboxes while compute runs and the receive
+/// side of finish() finds its messages already delivered — the exchange
+/// cost hides behind block evaluation instead of preceding it.
+/// exchange_three_stage() is begin() + finish() back to back, so the
+/// split path and the blocking path are the same code by construction.
+class HaloExchange {
+ public:
+  HaloExchange(simmpi::Rank& rank, const simmpi::CartGrid& grid,
+               const md::Box& global_box, double rcut);
+
+  /// `dom` must outlive finish() (the forward rounds re-filter its locals).
+  void begin(const LocalDomain& dom);
+  std::vector<HaloAtom> finish();
+  bool in_flight() const { return dom_ != nullptr; }
+
+ private:
+  void post_round(int d, int round);
+  void recv_round(int d, int round);
+  int layers_of(int d) const;
+
+  simmpi::Rank& rank_;
+  const simmpi::CartGrid& grid_;
+  md::Box global_box_;
+  double rcut_;
+  std::array<int, 3> my_;
+
+  const LocalDomain* dom_ = nullptr;
+  std::vector<HaloAtom> ghosts_;
+  // Forwarding chains of the in-flight dimension sweep: what arrived from
+  // the +side last round is the candidate set for the next -side send.
+  std::vector<HaloAtom> from_plus_;
+  std::vector<HaloAtom> from_minus_;
+};
+
 /// Result of the functional node-based exchange under the load-balance
 /// atom organization (Fig. 5b): every rank of the node ends up with the
 /// other ranks' locals plus all ghosts of the node-box.

@@ -131,12 +131,12 @@ void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
 }
 
 void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
-                     int first, int count, const DescriptorParams& params,
-                     int ntypes, AtomEnvBatch& batch) {
+                     const int* centers, int count,
+                     const DescriptorParams& params, int ntypes,
+                     AtomEnvBatch& batch) {
   DPMD_REQUIRE(list.config().full, "descriptor needs a full neighbor list");
-  DPMD_REQUIRE(count >= 0 && first >= 0 &&
-                   first + count <= atoms.nlocal,
-               "atom block out of range");
+  DPMD_REQUIRE(count >= 0 && (count == 0 || centers != nullptr),
+               "null center list");
   batch.ntypes = ntypes;
   batch.natoms = count;
   const double rc2 = params.rcut * params.rcut;
@@ -144,9 +144,11 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
   batch.center_index.resize(static_cast<std::size_t>(count));
   batch.center_type.resize(static_cast<std::size_t>(count));
   for (int a = 0; a < count; ++a) {
-    batch.center_index[static_cast<std::size_t>(a)] = first + a;
+    const int i = centers[a];
+    DPMD_REQUIRE(i >= 0 && i < atoms.nlocal, "center out of range");
+    batch.center_index[static_cast<std::size_t>(a)] = i;
     batch.center_type[static_cast<std::size_t>(a)] =
-        atoms.type[static_cast<std::size_t>(first + a)];
+        atoms.type[static_cast<std::size_t>(i)];
   }
 
   // Center-type-sorted slot order (counting sort): gives each fitting net a
@@ -184,7 +186,7 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
   batch.seg_offset.assign(
       static_cast<std::size_t>(ntypes) * count + 1, 0);
   for (int a = 0; a < count; ++a) {
-    const int i = first + a;
+    const int i = centers[a];
     const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
     for (const int j : list.neighbors(i)) {
       const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
@@ -220,7 +222,7 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
   std::vector<int>& cursor = batch.cursor_;
   cursor.assign(batch.seg_offset.begin(), batch.seg_offset.end() - 1);
   for (int a = 0; a < count; ++a) {
-    const Vec3 xi = atoms.x[static_cast<std::size_t>(first + a)];
+    const Vec3 xi = atoms.x[static_cast<std::size_t>(centers[a])];
     const int lo = within_offset[static_cast<std::size_t>(a)];
     const int hi = within_offset[static_cast<std::size_t>(a) + 1];
     for (int w = lo; w < hi; ++w) {
@@ -236,6 +238,17 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                    batch.drmat.data() + static_cast<std::size_t>(r) * 12);
     }
   }
+}
+
+void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
+                     int first, int count, const DescriptorParams& params,
+                     int ntypes, AtomEnvBatch& batch) {
+  DPMD_REQUIRE(count >= 0 && first >= 0 && first + count <= atoms.nlocal,
+               "atom block out of range");
+  thread_local std::vector<int> centers;
+  centers.resize(static_cast<std::size_t>(count));
+  for (int a = 0; a < count; ++a) centers[static_cast<std::size_t>(a)] = first + a;
+  build_env_batch(atoms, list, centers.data(), count, params, ntypes, batch);
 }
 
 // ---- GEMM-cast descriptor contraction -------------------------------------

@@ -153,8 +153,8 @@ struct AtomEnvBatch {
   }
 
  private:
-  friend void build_env_batch(const md::Atoms&, const md::NeighborList&, int,
-                              int, const DescriptorParams&, int,
+  friend void build_env_batch(const md::Atoms&, const md::NeighborList&,
+                              const int*, int, const DescriptorParams&, int,
                               AtomEnvBatch&);
   // build scratch, reused across blocks so steady state does not allocate
   std::vector<int> within_;
@@ -162,9 +162,17 @@ struct AtomEnvBatch {
   std::vector<int> cursor_;
 };
 
-/// Builds the packed environments of local atoms [first, first + count)
-/// from a full neighbor list.  Same physics as `count` build_env calls; the
-/// rows land in the grouped layout described on AtomEnvBatch.
+/// Builds the packed environments of the `count` local atoms listed in
+/// `centers` (any subset, any order — the staged engines pass partition
+/// blocks) from a full neighbor list.  Same physics as `count` build_env
+/// calls; the rows land in the grouped layout described on AtomEnvBatch,
+/// with center_index[a] == centers[a].
+void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
+                     const int* centers, int count,
+                     const DescriptorParams& params, int ntypes,
+                     AtomEnvBatch& batch);
+
+/// Convenience overload over the consecutive block [first, first + count).
 void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                      int first, int count, const DescriptorParams& params,
                      int ntypes, AtomEnvBatch& batch);

@@ -64,6 +64,8 @@ DPEvaluator::DPEvaluator(std::shared_ptr<const DPModel> model,
                          EvalOptions opts)
     : model_(std::move(model)), opts_(opts) {
   DPMD_REQUIRE(model_ != nullptr, "null model");
+  DPMD_REQUIRE(opts_.block_size >= 1,
+               "EvalOptions::block_size must be >= 1 (1 = per-atom path)");
   const auto& cfg = model_->config();
 
   if (opts_.precision != Precision::Double) {
@@ -176,7 +178,8 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
       emb_net(t).forward(ws.s_in.data() + lo,
                          ws.g.data() + static_cast<std::size_t>(lo) * m1,
                          count, emb_caches[static_cast<std::size_t>(t)],
-                         nn::GemmKind::Auto);
+                         nn::GemmKind::Auto, nn::GemmKind::Auto,
+                         opts_.packed_gemm);
     }
   }
 
@@ -212,7 +215,8 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
   }
   T energy_out;
   fit_net(env.center_type)
-      .forward(ws.dmat.data(), &energy_out, 1, fit_cache, fk, first);
+      .forward(ws.dmat.data(), &energy_out, 1, fit_cache, fk, first,
+               opts_.packed_gemm);
   const double energy =
       static_cast<double>(energy_out) +
       cfg.energy_bias[static_cast<std::size_t>(env.center_type)];
@@ -220,7 +224,8 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
   // ---- backward: fitting -> dD ----------------------------------------
   const T one = T(1);
   fit_net(env.center_type)
-      .backward_input(&one, ws.ddmat.data(), 1, fit_cache, fk);
+      .backward_input(&one, ws.ddmat.data(), 1, fit_cache, fk,
+                      opts_.packed_gemm);
 
   // ---- dA from D = sum_c a[c][p] a[c][q] -------------------------------
   for (int c = 0; c < 4; ++c) {
@@ -279,7 +284,8 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
       emb_net(t).backward_input(
           ws.dg.data() + static_cast<std::size_t>(lo) * m1,
           ws.ds_in.data() + lo, count,
-          emb_caches[static_cast<std::size_t>(t)], nn::GemmKind::Auto);
+          emb_caches[static_cast<std::size_t>(t)], nn::GemmKind::Auto,
+          opts_.packed_gemm);
     }
   }
 
@@ -455,7 +461,8 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
             batch.rmat[static_cast<std::size_t>(lo + i) * 4]);
       }
       g_base[static_cast<std::size_t>(t)] = emb_net(t).forward_batch(
-          count, cache, nn::GemmKind::Auto, nn::GemmKind::Auto);
+          count, cache, nn::GemmKind::Auto, nn::GemmKind::Auto,
+          opts_.packed_gemm);
     }
   }
 
@@ -490,7 +497,8 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
     const int count = fit_count(t);
     if (count == 0) continue;
     auto& cache = fit_caches[static_cast<std::size_t>(t)];
-    const T* e_out = fit_net(t).forward_batch(count, cache, fk, first);
+    const T* e_out =
+        fit_net(t).forward_batch(count, cache, fk, first, opts_.packed_gemm);
     const double bias = cfg.energy_bias[static_cast<std::size_t>(t)];
     for (int i = 0; i < count; ++i) {
       const int slot = batch.fit_order[static_cast<std::size_t>(
@@ -501,7 +509,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
     T* dy = fit_net(t).batch_output_grad(count, cache);
     std::fill(dy, dy + count, T(1));
     dd_base[static_cast<std::size_t>(t)] =
-        fit_net(t).backward_input_batch(count, cache, fk);
+        fit_net(t).backward_input_batch(count, cache, fk, opts_.packed_gemm);
   }
 
   // ---- backward through the descriptor: dA, then dG and dR per slot ------
@@ -556,7 +564,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
       ds_base[static_cast<std::size_t>(t)] =
           emb_net(t).backward_input_batch(
               count, emb_caches[static_cast<std::size_t>(t)],
-              nn::GemmKind::Auto);
+              nn::GemmKind::Auto, opts_.packed_gemm);
     }
   }
 

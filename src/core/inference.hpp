@@ -35,7 +35,14 @@ struct EvalOptions {
   /// the embedding nets over all of a block's type-grouped neighbor rows at
   /// once and the fitting nets with M = block size.  1 selects the legacy
   /// per-atom path (evaluate_atom), kept as the ablation baseline.
+  /// Validated >= 1 (DPMD_REQUIRE) by every consumer.
   int block_size = 64;
+  /// Run the Blocked/Auto net GEMMs against the pack_b panel-major weight
+  /// copies built at DenseLayer::finalize (unit-stride B panels in the
+  /// micro-kernel, ~+20% on the embedding shapes — the ROADMAP packed-B
+  /// follow-up).  Off = raw row-major gemm_blocked, kept as the ablation
+  /// baseline.
+  bool packed_gemm = true;
 };
 
 /// Per-thread Deep Potential evaluator: all workspaces are allocated at

@@ -9,6 +9,8 @@ namespace dpmd::dp {
 PairDeepMD::PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
                        rt::ThreadPool* pool)
     : model_(std::move(model)), opts_(opts), pool_(pool) {
+  DPMD_REQUIRE(opts_.block_size >= 1,
+               "EvalOptions::block_size must be >= 1 (1 = per-atom path)");
   const unsigned nthreads = pool_ != nullptr ? pool_->size() : 1u;
   evaluators_.reserve(nthreads);
   for (unsigned t = 0; t < nthreads; ++t) {
@@ -20,143 +22,200 @@ PairDeepMD::PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
   dedd_.resize(nthreads);
   fbuf_.resize(nthreads);
   fbuf_epoch_.assign(nthreads, 0);
+  pass_pe_.assign(nthreads, 0.0);
+  pass_virial_.assign(nthreads, 0.0);
 }
 
-void PairDeepMD::eval_local(md::Atoms& atoms, const md::NeighborList& list,
-                            std::vector<double>* energies,
-                            std::vector<double>& pe_per_thread,
-                            std::vector<double>& virial_per_thread) {
-  const int ntypes = model_->config().ntypes;
-  const int nlocal = atoms.nlocal;
-  const std::size_t ntotal = static_cast<std::size_t>(atoms.ntotal());
-  const int B = std::max(1, opts_.block_size);
-
-  // Per-thread force buffers are zeroed lazily on the thread's first block
-  // of this compute(), so threads that claim no work pay nothing.
+void PairDeepMD::start_pass(md::Atoms& atoms, const md::NeighborList& list,
+                            std::span<const int> centers, bool all,
+                            std::vector<double>* energies) {
+  DPMD_REQUIRE(!async_inflight_, "pass started while another is in flight");
+  pass_atoms_ = &atoms;
+  pass_list_ = &list;
+  pass_all_ = all;
+  if (all) {
+    pass_centers_.clear();
+    pass_count_ = atoms.nlocal;
+  } else {
+    pass_centers_.assign(centers.begin(), centers.end());
+    pass_count_ = static_cast<int>(pass_centers_.size());
+  }
+  pass_ntotal_ = static_cast<std::size_t>(atoms.ntotal());
+  pass_energies_ = energies;
+  const int B = opts_.block_size;
+  pass_items_ = B <= 1 ? static_cast<std::size_t>(pass_count_)
+                       : (static_cast<std::size_t>(pass_count_) + B - 1) / B;
+  std::fill(pass_pe_.begin(), pass_pe_.end(), 0.0);
+  std::fill(pass_virial_.begin(), pass_virial_.end(), 0.0);
+  // Per-thread force buffers are zeroed lazily on the thread's first item
+  // of this pass, so threads that claim no work pay nothing.
   ++compute_epoch_;
-  const auto thread_fbuf = [&](unsigned tid) -> std::vector<Vec3>& {
-    auto& fbuf = fbuf_[tid];
-    if (fbuf_epoch_[tid] != compute_epoch_) {
-      fbuf.assign(ntotal, Vec3{0, 0, 0});
-      fbuf_epoch_[tid] = compute_epoch_;
-    }
-    return fbuf;
-  };
+}
+
+void PairDeepMD::eval_item(std::size_t item, unsigned tid) {
+  md::Atoms& atoms = *pass_atoms_;
+  const md::NeighborList& list = *pass_list_;
+  const int ntypes = model_->config().ntypes;
+  const int B = opts_.block_size;
+
+  auto& fbuf = fbuf_[tid];
+  if (fbuf_epoch_[tid] != compute_epoch_) {
+    fbuf.assign(pass_ntotal_, Vec3{0, 0, 0});
+    fbuf_epoch_[tid] = compute_epoch_;
+  }
+  DPEvaluator& ev = *evaluators_[tid];
+  auto& dedd = dedd_[tid];
 
   if (B <= 1) {
     // Legacy per-atom path (§III-C "atom-by-atom"): the ablation baseline.
-    const auto eval_range = [&](std::size_t begin, std::size_t end,
-                                unsigned tid) {
-      AtomEnv& env = envs_[tid];
-      auto& dedd = dedd_[tid];
-      auto& fbuf = thread_fbuf(tid);
-      DPEvaluator& ev = *evaluators_[tid];
-      for (std::size_t i = begin; i < end; ++i) {
-        build_env(atoms, list, static_cast<int>(i),
-                  model_->config().descriptor, ntypes, env);
-        const double e = ev.evaluate_atom(env, dedd);
-        pe_per_thread[tid] += e;
-        if (energies != nullptr) (*energies)[i] = e;
-        Vec3 fi{0, 0, 0};
-        for (int k = 0; k < env.nnei(); ++k) {
-          // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
-          const Vec3& grad = dedd[static_cast<std::size_t>(k)];
-          const int j = env.nbr_index[static_cast<std::size_t>(k)];
-          fbuf[static_cast<std::size_t>(j)] -= grad;
-          fi += grad;
-          virial_per_thread[tid] -=
-              dot(env.rel[static_cast<std::size_t>(k)], grad);
-        }
-        fbuf[i] += fi;
-      }
-    };
-    if (pool_ != nullptr && nlocal > 1) {
-      pool_->parallel_ranges(static_cast<std::size_t>(nlocal), eval_range);
-    } else {
-      eval_range(0, static_cast<std::size_t>(nlocal), 0);
+    const int i = pass_all_ ? static_cast<int>(item)
+                            : pass_centers_[item];
+    AtomEnv& env = envs_[tid];
+    build_env(atoms, list, i, model_->config().descriptor, ntypes, env);
+    const double e = ev.evaluate_atom(env, dedd);
+    pass_pe_[tid] += e;
+    if (pass_energies_ != nullptr) {
+      (*pass_energies_)[static_cast<std::size_t>(i)] = e;
     }
+    Vec3 fi{0, 0, 0};
+    for (int k = 0; k < env.nnei(); ++k) {
+      // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
+      const Vec3& grad = dedd[static_cast<std::size_t>(k)];
+      const int j = env.nbr_index[static_cast<std::size_t>(k)];
+      fbuf[static_cast<std::size_t>(j)] -= grad;
+      fi += grad;
+      pass_virial_[tid] -= dot(env.rel[static_cast<std::size_t>(k)], grad);
+    }
+    fbuf[static_cast<std::size_t>(i)] += fi;
     return;
   }
 
-  // Batched path (§III-B): blocks of B atoms are the parallel work unit.
-  const std::size_t nblocks =
-      (static_cast<std::size_t>(nlocal) + B - 1) / B;
-  const auto eval_block = [&](std::size_t blk, unsigned tid) {
-    AtomEnvBatch& batch = batches_[tid];
-    auto& dedd = dedd_[tid];
-    auto& eblk = eblk_[tid];
-    auto& fbuf = thread_fbuf(tid);
-    DPEvaluator& ev = *evaluators_[tid];
+  // Batched path (§III-B): blocks of B centers are the parallel work unit.
+  AtomEnvBatch& batch = batches_[tid];
+  auto& eblk = eblk_[tid];
 
-    const int first = static_cast<int>(blk) * B;
-    const int count = std::min(B, nlocal - first);
+  const int first = static_cast<int>(item) * B;
+  const int count = std::min(B, pass_count_ - first);
+  if (pass_all_) {
     build_env_batch(atoms, list, first, count, model_->config().descriptor,
                     ntypes, batch);
-    ev.evaluate_batch(batch, eblk, dedd);
-
-    for (int a = 0; a < count; ++a) {
-      pe_per_thread[tid] += eblk[static_cast<std::size_t>(a)];
-      if (energies != nullptr) {
-        (*energies)[static_cast<std::size_t>(first + a)] =
-            eblk[static_cast<std::size_t>(a)];
-      }
-    }
-    const int rows = batch.rows();
-    for (int r = 0; r < rows; ++r) {
-      // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
-      const Vec3& grad = dedd[static_cast<std::size_t>(r)];
-      const int j = batch.nbr_index[static_cast<std::size_t>(r)];
-      const int i = batch.center_index[static_cast<std::size_t>(
-          batch.row_slot[static_cast<std::size_t>(r)])];
-      fbuf[static_cast<std::size_t>(j)] -= grad;
-      fbuf[static_cast<std::size_t>(i)] += grad;
-      virial_per_thread[tid] -=
-          dot(batch.rel[static_cast<std::size_t>(r)], grad);
-    }
-  };
-  if (pool_ != nullptr && nblocks > 1) {
-    pool_->parallel_dynamic(nblocks, eval_block);
   } else {
-    for (std::size_t blk = 0; blk < nblocks; ++blk) eval_block(blk, 0);
+    build_env_batch(atoms, list, pass_centers_.data() + first, count,
+                    model_->config().descriptor, ntypes, batch);
   }
+  ev.evaluate_batch(batch, eblk, dedd);
+
+  for (int a = 0; a < count; ++a) {
+    pass_pe_[tid] += eblk[static_cast<std::size_t>(a)];
+    if (pass_energies_ != nullptr) {
+      (*pass_energies_)[static_cast<std::size_t>(
+          batch.center_index[static_cast<std::size_t>(a)])] =
+          eblk[static_cast<std::size_t>(a)];
+    }
+  }
+  const int rows = batch.rows();
+  for (int r = 0; r < rows; ++r) {
+    // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
+    const Vec3& grad = dedd[static_cast<std::size_t>(r)];
+    const int j = batch.nbr_index[static_cast<std::size_t>(r)];
+    const int i = batch.center_index[static_cast<std::size_t>(
+        batch.row_slot[static_cast<std::size_t>(r)])];
+    fbuf[static_cast<std::size_t>(j)] -= grad;
+    fbuf[static_cast<std::size_t>(i)] += grad;
+    pass_virial_[tid] -= dot(batch.rel[static_cast<std::size_t>(r)], grad);
+  }
+}
+
+void PairDeepMD::run_pass_sync() {
+  if (pool_ != nullptr && pass_items_ > 1) {
+    pool_->parallel_dynamic(pass_items_, [this](std::size_t item,
+                                                unsigned tid) {
+      eval_item(item, tid);
+    });
+  } else {
+    for (std::size_t item = 0; item < pass_items_; ++item) eval_item(item, 0);
+  }
+}
+
+md::ForceResult PairDeepMD::reduce_pass(bool apply_forces) {
+  md::Atoms& atoms = *pass_atoms_;
+  md::ForceResult res;
+  const unsigned nthreads = static_cast<unsigned>(evaluators_.size());
+  for (unsigned t = 0; t < nthreads; ++t) {
+    res.pe += pass_pe_[t];
+    res.virial += pass_virial_[t];
+    if (!apply_forces) continue;
+    if (fbuf_epoch_[t] != compute_epoch_) continue;  // claimed no work
+    const auto& fbuf = fbuf_[t];
+    for (std::size_t i = 0; i < pass_ntotal_; ++i) {
+      atoms.f[i] += fbuf[i];
+    }
+  }
+  if (apply_forces) {
+    atoms_evaluated_ += static_cast<std::size_t>(pass_count_);
+  }
+  pass_atoms_ = nullptr;
+  pass_list_ = nullptr;
+  pass_energies_ = nullptr;
+  return res;
 }
 
 md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
                                     const md::NeighborList& list) {
-  const int nlocal = atoms.nlocal;
-  const int ntotal = atoms.ntotal();
-  const unsigned nthreads = static_cast<unsigned>(evaluators_.size());
-
-  std::vector<double> pe_per_thread(nthreads, 0.0);
-  std::vector<double> virial_per_thread(nthreads, 0.0);
-  eval_local(atoms, list, nullptr, pe_per_thread, virial_per_thread);
-
   // Reduce per-thread force buffers into the atom array (ghosts included —
   // Newton's third law stays on, as DeePMD requires).
-  md::ForceResult res;
-  for (unsigned t = 0; t < nthreads; ++t) {
-    res.pe += pe_per_thread[t];
-    res.virial += virial_per_thread[t];
-    if (fbuf_epoch_[t] != compute_epoch_) continue;  // claimed no work
-    const auto& fbuf = fbuf_[t];
-    for (int i = 0; i < ntotal; ++i) {
-      atoms.f[static_cast<std::size_t>(i)] += fbuf[static_cast<std::size_t>(i)];
-    }
+  start_pass(atoms, list, {}, /*all=*/true, nullptr);
+  run_pass_sync();
+  return reduce_pass(/*apply_forces=*/true);
+}
+
+void PairDeepMD::begin_step(md::Atoms& atoms, const md::NeighborList& list) {
+  DPMD_REQUIRE(!async_inflight_, "begin_step with a partition in flight");
+  md::Pair::begin_step(atoms, list);
+}
+
+void PairDeepMD::compute_partition(md::Atoms& atoms,
+                                   const md::NeighborList& list,
+                                   std::span<const int> centers,
+                                   md::ForceAccum& accum, bool async) {
+  join();  // at most one partition in flight
+  start_pass(atoms, list, centers, /*all=*/false, nullptr);
+  if (async && pool_ != nullptr && pool_->size() > 1 && pass_items_ > 0) {
+    // Launch on the worker threads and return: the caller's thread is free
+    // to progress the halo exchange while the blocks evaluate.
+    stage_accum_ = &accum;
+    async_inflight_ = true;
+    pool_->submit_dynamic(pass_items_, [this](std::size_t item,
+                                              unsigned tid) {
+      eval_item(item, tid);
+    });
+    return;
   }
-  atoms_evaluated_ += static_cast<std::size_t>(nlocal);
-  return res;
+  run_pass_sync();
+  const md::ForceResult res = reduce_pass(/*apply_forces=*/true);
+  accum.pe += res.pe;
+  accum.virial += res.virial;
+}
+
+void PairDeepMD::join() {
+  if (!async_inflight_) return;
+  pool_->wait_async();
+  async_inflight_ = false;
+  const md::ForceResult res = reduce_pass(/*apply_forces=*/true);
+  stage_accum_->pe += res.pe;
+  stage_accum_->virial += res.virial;
+  stage_accum_ = nullptr;
 }
 
 bool PairDeepMD::per_atom_energy(md::Atoms& atoms,
                                  const md::NeighborList& list,
                                  std::vector<double>& energies) {
-  const unsigned nthreads = static_cast<unsigned>(evaluators_.size());
   energies.assign(static_cast<std::size_t>(atoms.nlocal), 0.0);
   // Rides the same threadpool/batched pipeline as compute(); the force
   // buffers it fills are simply not reduced into atoms.f.
-  std::vector<double> pe_per_thread(nthreads, 0.0);
-  std::vector<double> virial_per_thread(nthreads, 0.0);
-  eval_local(atoms, list, &energies, pe_per_thread, virial_per_thread);
+  start_pass(atoms, list, {}, /*all=*/true, &energies);
+  run_pass_sync();
+  reduce_pass(/*apply_forces=*/false);
   return true;
 }
 

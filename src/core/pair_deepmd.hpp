@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/inference.hpp"
@@ -20,10 +21,25 @@ namespace dpmd::dp {
 /// counts balance across threads.  block_size == 1 selects the legacy
 /// atom-by-atom path (the paper baseline's §III-C behaviour, independent
 /// scalar loops), kept as the ablation baseline and equality-test oracle.
+///
+/// Staged surface (ISSUE 3): compute_partition evaluates any subset of the
+/// local atoms through the same block pipeline, and with `async` set the
+/// blocks are submitted to the pool's worker threads while the calling
+/// thread returns to progress the halo exchange — the overlap the paper's
+/// §III-C scaling depends on.  Forces of a pass land in per-thread buffers
+/// and are reduced into atoms.f when the pass completes (at join() for an
+/// async pass), so an interior pass finishes before the engine appends
+/// ghost atoms to the arrays.
 class PairDeepMD : public md::Pair {
  public:
   PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
              rt::ThreadPool* pool = nullptr);
+  /// Backstop for destruction during unwind: workers of an in-flight async
+  /// pass execute eval_item on this object, so wait for them (without the
+  /// reduce — the deposit targets may already be gone).
+  ~PairDeepMD() override {
+    if (async_inflight_ && pool_ != nullptr) pool_->wait_async();
+  }
 
   std::string name() const override { return "deepmd"; }
   double cutoff() const override {
@@ -33,6 +49,13 @@ class PairDeepMD : public md::Pair {
 
   md::ForceResult compute(md::Atoms& atoms,
                           const md::NeighborList& list) override;
+
+  bool supports_partitions() const override { return true; }
+  void begin_step(md::Atoms& atoms, const md::NeighborList& list) override;
+  void compute_partition(md::Atoms& atoms, const md::NeighborList& list,
+                         std::span<const int> centers, md::ForceAccum& accum,
+                         bool async = false) override;
+  void join() override;
 
   bool per_atom_energy(md::Atoms& atoms, const md::NeighborList& list,
                        std::vector<double>& energies) override;
@@ -46,13 +69,18 @@ class PairDeepMD : public md::Pair {
   std::size_t atoms_evaluated() const { return atoms_evaluated_; }
 
  private:
-  /// Evaluates local atoms (batched blocks or legacy per-atom, depending
-  /// on opts_.block_size) into the per-thread force buffers; per-atom
-  /// energies are scattered into *energies when non-null.
-  void eval_local(md::Atoms& atoms, const md::NeighborList& list,
-                  std::vector<double>* energies,
-                  std::vector<double>& pe_per_thread,
-                  std::vector<double>& virial_per_thread);
+  /// One evaluation pass = a set of centers (whole local range or a staged
+  /// partition) evaluated into the per-thread force buffers.  The pass
+  /// state lives on the object so an async pass can outlive the launching
+  /// call; exactly one pass is ever active.
+  void start_pass(md::Atoms& atoms, const md::NeighborList& list,
+                  std::span<const int> centers, bool all,
+                  std::vector<double>* energies);
+  void eval_item(std::size_t item, unsigned tid);
+  void run_pass_sync();
+  /// Folds per-thread force buffers into atoms.f (unless energies-only)
+  /// and returns the pass's pe/virial.
+  md::ForceResult reduce_pass(bool apply_forces);
 
   std::shared_ptr<const DPModel> model_;
   EvalOptions opts_;
@@ -64,9 +92,23 @@ class PairDeepMD : public md::Pair {
   std::vector<std::vector<double>> eblk_;   ///< per-thread block energies
   std::vector<std::vector<Vec3>> dedd_;     ///< per thread
   std::vector<std::vector<Vec3>> fbuf_;     ///< per-thread force buffers
-  std::vector<std::uint64_t> fbuf_epoch_;   ///< lazy per-compute zeroing
+  std::vector<std::uint64_t> fbuf_epoch_;   ///< lazy per-pass zeroing
   std::uint64_t compute_epoch_ = 0;
   std::size_t atoms_evaluated_ = 0;
+
+  // ---- in-flight pass ---------------------------------------------------
+  md::Atoms* pass_atoms_ = nullptr;
+  const md::NeighborList* pass_list_ = nullptr;
+  std::vector<int> pass_centers_;  ///< copy (stable while workers run)
+  bool pass_all_ = false;          ///< centers are [0, pass_count_)
+  int pass_count_ = 0;
+  std::size_t pass_ntotal_ = 0;    ///< atoms.ntotal() at pass start
+  std::size_t pass_items_ = 0;     ///< parallel work items (blocks/atoms)
+  std::vector<double>* pass_energies_ = nullptr;
+  std::vector<double> pass_pe_;      ///< per thread
+  std::vector<double> pass_virial_;  ///< per thread
+  bool async_inflight_ = false;
+  md::ForceAccum* stage_accum_ = nullptr;  ///< deposit target of async pass
 };
 
 }  // namespace dpmd::dp

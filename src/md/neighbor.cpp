@@ -24,10 +24,9 @@ bool skip_in_half_list(const Atoms& atoms, int i, int j) {
 
 }  // namespace
 
-void NeighborList::build(const Atoms& atoms, const Box& box) {
+void NeighborList::bin_atoms(const Atoms& atoms, const Box& box) {
   DPMD_REQUIRE(cfg_.cutoff > 0.0, "neighbor cutoff not set");
   const double rlist = list_cutoff();
-  const double rlist2 = rlist * rlist;
   const int ntotal = atoms.ntotal();
 
   // Cell grid over the extended region that contains locals + ghosts.
@@ -38,63 +37,82 @@ void NeighborList::build(const Atoms& atoms, const Box& box) {
   }
   // Nudge so max-coordinate atoms land inside the last cell.
   const Vec3 span{hi.x - lo.x + 1e-9, hi.y - lo.y + 1e-9, hi.z - lo.z + 1e-9};
-  int ncell[3];
-  double cell_w[3];
   for (int d = 0; d < 3; ++d) {
-    ncell[d] = std::max(1, static_cast<int>(span[d] / rlist));
-    cell_w[d] = span[d] / ncell[d];
+    ncell_[d] = std::max(1, static_cast<int>(span[d] / rlist));
+    cell_w_[d] = span[d] / ncell_[d];
   }
-  const int ncells = ncell[0] * ncell[1] * ncell[2];
-
-  const auto cell_index = [&](const Vec3& p) {
-    int c[3];
-    for (int d = 0; d < 3; ++d) {
-      c[d] = std::clamp(static_cast<int>((p[d] - lo[d]) / cell_w[d]), 0,
-                        ncell[d] - 1);
-    }
-    return (c[0] * ncell[1] + c[1]) * ncell[2] + c[2];
-  };
+  grid_lo_ = lo;
+  const int ncells = ncell_[0] * ncell_[1] * ncell_[2];
 
   cell_head_.assign(static_cast<std::size_t>(ncells), -1);
   cell_next_.assign(static_cast<std::size_t>(ntotal), -1);
   for (int i = 0; i < ntotal; ++i) {
-    const int c = cell_index(atoms.x[static_cast<std::size_t>(i)]);
-    cell_next_[static_cast<std::size_t>(i)] =
-        cell_head_[static_cast<std::size_t>(c)];
-    cell_head_[static_cast<std::size_t>(c)] = i;
-  }
-
-  neigh_.resize(static_cast<std::size_t>(atoms.nlocal));
-  for (auto& list : neigh_) list.clear();
-
-  for (int i = 0; i < atoms.nlocal; ++i) {
-    auto& list = neigh_[static_cast<std::size_t>(i)];
-    const Vec3& xi = atoms.x[static_cast<std::size_t>(i)];
-    int ci[3];
+    const Vec3& p = atoms.x[static_cast<std::size_t>(i)];
+    int c[3];
     for (int d = 0; d < 3; ++d) {
-      ci[d] = std::clamp(static_cast<int>((xi[d] - lo[d]) / cell_w[d]), 0,
-                         ncell[d] - 1);
+      c[d] = std::clamp(static_cast<int>((p[d] - grid_lo_[d]) / cell_w_[d]),
+                        0, ncell_[d] - 1);
     }
-    for (int dx = -1; dx <= 1; ++dx) {
-      const int cx = ci[0] + dx;
-      if (cx < 0 || cx >= ncell[0]) continue;
-      for (int dy = -1; dy <= 1; ++dy) {
-        const int cy = ci[1] + dy;
-        if (cy < 0 || cy >= ncell[1]) continue;
-        for (int dz = -1; dz <= 1; ++dz) {
-          const int cz = ci[2] + dz;
-          if (cz < 0 || cz >= ncell[2]) continue;
-          const int c = (cx * ncell[1] + cy) * ncell[2] + cz;
-          for (int j = cell_head_[static_cast<std::size_t>(c)]; j >= 0;
-               j = cell_next_[static_cast<std::size_t>(j)]) {
-            if (j == i) continue;
-            if (!cfg_.full && skip_in_half_list(atoms, i, j)) continue;
-            const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
-            if (d.norm2() <= rlist2) list.push_back(j);
-          }
+    const int cell = (c[0] * ncell_[1] + c[1]) * ncell_[2] + c[2];
+    cell_next_[static_cast<std::size_t>(i)] =
+        cell_head_[static_cast<std::size_t>(cell)];
+    cell_head_[static_cast<std::size_t>(cell)] = i;
+  }
+}
+
+void NeighborList::search_center(const Atoms& atoms, int i) {
+  const double rlist = list_cutoff();
+  const double rlist2 = rlist * rlist;
+  auto& list = neigh_[static_cast<std::size_t>(i)];
+  const Vec3& xi = atoms.x[static_cast<std::size_t>(i)];
+  int ci[3];
+  for (int d = 0; d < 3; ++d) {
+    ci[d] = std::clamp(static_cast<int>((xi[d] - grid_lo_[d]) / cell_w_[d]),
+                       0, ncell_[d] - 1);
+  }
+  for (int dx = -1; dx <= 1; ++dx) {
+    const int cx = ci[0] + dx;
+    if (cx < 0 || cx >= ncell_[0]) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int cy = ci[1] + dy;
+      if (cy < 0 || cy >= ncell_[1]) continue;
+      for (int dz = -1; dz <= 1; ++dz) {
+        const int cz = ci[2] + dz;
+        if (cz < 0 || cz >= ncell_[2]) continue;
+        const int c = (cx * ncell_[1] + cy) * ncell_[2] + cz;
+        for (int j = cell_head_[static_cast<std::size_t>(c)]; j >= 0;
+             j = cell_next_[static_cast<std::size_t>(j)]) {
+          if (j == i) continue;
+          if (!cfg_.full && skip_in_half_list(atoms, i, j)) continue;
+          const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+          if (d.norm2() <= rlist2) list.push_back(j);
         }
       }
     }
+  }
+}
+
+void NeighborList::build(const Atoms& atoms, const Box& box) {
+  bin_atoms(atoms, box);
+  neigh_.resize(static_cast<std::size_t>(atoms.nlocal));
+  for (auto& list : neigh_) list.clear();
+  for (int i = 0; i < atoms.nlocal; ++i) search_center(atoms, i);
+}
+
+void NeighborList::build_centers(const Atoms& atoms, const Box& box,
+                                 std::span<const int> centers, bool reset) {
+  bin_atoms(atoms, box);
+  if (reset) {
+    neigh_.resize(static_cast<std::size_t>(atoms.nlocal));
+    for (auto& list : neigh_) list.clear();
+  } else {
+    DPMD_REQUIRE(neigh_.size() == static_cast<std::size_t>(atoms.nlocal),
+                 "build_centers(append) without a matching prior build");
+  }
+  for (const int i : centers) {
+    DPMD_REQUIRE(i >= 0 && i < atoms.nlocal, "center out of range");
+    neigh_[static_cast<std::size_t>(i)].clear();
+    search_center(atoms, i);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "md/atoms.hpp"
@@ -29,6 +30,19 @@ class NeighborList {
   /// Builds the list for all local atoms; ghosts must already be present.
   void build(const Atoms& atoms, const Box& box);
 
+  /// Staged build (ISSUE 3 overlap path): computes the lists of `centers`
+  /// only.  `reset = true` starts a fresh build sized for atoms.nlocal
+  /// (non-center lists left empty); `reset = false` appends to a previous
+  /// build_centers/build of the same nlocal — the cell grid is re-binned
+  /// over whatever atoms are now present, so the engine builds interior
+  /// centers from the locals alone (their stencils cannot reach a ghost)
+  /// while the exchange is in flight, then fills the boundary centers once
+  /// the ghosts have landed.  Per-center results match a monolithic
+  /// build() over the full atom set (the candidate sweep covers every atom
+  /// within the list cutoff regardless of how the grid was binned).
+  void build_centers(const Atoms& atoms, const Box& box,
+                     std::span<const int> centers, bool reset);
+
   const std::vector<int>& neighbors(int i) const {
     return neigh_[static_cast<std::size_t>(i)];
   }
@@ -40,12 +54,19 @@ class NeighborList {
   std::size_t total_entries() const;
 
  private:
+  void bin_atoms(const Atoms& atoms, const Box& box);
+  void search_center(const Atoms& atoms, int i);
+
   Config cfg_;
   std::vector<std::vector<int>> neigh_;
 
   // scratch reused across rebuilds
   std::vector<int> cell_head_;
   std::vector<int> cell_next_;
+  // cell grid of the last bin_atoms (consumed by search_center)
+  Vec3 grid_lo_{};
+  int ncell_[3] = {1, 1, 1};
+  double cell_w_[3] = {0, 0, 0};
 };
 
 /// O(N^2) reference used by tests to validate the cell-list build.

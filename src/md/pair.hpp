@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "md/atoms.hpp"
@@ -14,9 +15,40 @@ struct ForceResult {
   double virial = 0.0;  ///< scalar virial  sum_(i<j) r_ij . f_ij, eV
 };
 
+/// Running pe/virial sums of one staged force evaluation (ISSUE 3).  The
+/// engine owns one accumulator for the whole begin_step..end_step window;
+/// asynchronously launched partitions deposit their share at join time, so
+/// the object must stay alive (and untouched) until end_step returns.
+struct ForceAccum {
+  double pe = 0.0;
+  double virial = 0.0;
+};
+
 /// Pair-style interface (LAMMPS `pair` analogue).  compute() adds forces
 /// into atoms.f for locals *and ghosts* (Newton's third law on, as DeePMD
 /// requires — the engine folds or reverse-communicates ghost forces).
+///
+/// Staged surface (ISSUE 3): engines that want to hide halo exchange behind
+/// force evaluation split the local atoms into an *interior* partition
+/// (neighbor stencil entirely inside the sub-box shrunk by rcut + skin, so
+/// its lists hold local atoms only) and a *boundary* partition, and drive
+///
+///   pair->begin_step(atoms, list);
+///   pair->compute_partition(atoms, list, interior, accum, /*async=*/true);
+///   ... complete the ghost exchange while the partition evaluates ...
+///   pair->join();                       // before mutating the atom arrays
+///   ... append ghosts, build boundary lists ...
+///   pair->compute_partition(atoms, list, boundary, accum);
+///   ForceResult res = pair->end_step(atoms, list, accum);
+///
+/// The two partitions together must cover every local atom exactly once.
+/// The default implementation below is the adapter that keeps existing
+/// styles working unchanged: partition calls defer, and end_step runs the
+/// monolithic compute() once (by which point the engine has made all
+/// ghosts available), so any Pair can be driven through the staged calls.
+/// Styles whose per-center terms are independent override
+/// compute_partition (and report supports_partitions()) to evaluate each
+/// partition in place — the enabler for real exchange/compute overlap.
 class Pair {
  public:
   virtual ~Pair() = default;
@@ -29,12 +61,68 @@ class Pair {
 
   virtual ForceResult compute(Atoms& atoms, const NeighborList& list) = 0;
 
+  // ---- staged surface ---------------------------------------------------
+
+  /// True when compute_partition evaluates its centers in place (and the
+  /// interior partition may therefore run before ghost positions are
+  /// final).  False = default adapter: everything defers to end_step.
+  virtual bool supports_partitions() const { return false; }
+
+  /// Opens a staged evaluation.  Forces must already be zeroed by the
+  /// caller (as for compute()).
+  virtual void begin_step(Atoms& /*atoms*/, const NeighborList& /*list*/) {
+    stage_deferred_ = false;
+  }
+
+  /// Evaluates the `centers` partition, adding forces into atoms.f and
+  /// pe/virial into `accum`.  With `async` set, a native implementation may
+  /// launch the work on background threads and return immediately; results
+  /// are only guaranteed visible after join()/end_step(), and `centers`
+  /// and `accum` must stay valid until then.  The interior partition is,
+  /// by construction, the only one the engine may pass before ghost
+  /// positions are final.  The default adapter ignores the subset (it
+  /// cannot restrict compute() to a partition) and defers the whole
+  /// evaluation to end_step.
+  virtual void compute_partition(Atoms& /*atoms*/,
+                                 const NeighborList& /*list*/,
+                                 std::span<const int> /*centers*/,
+                                 ForceAccum& /*accum*/, bool async = false) {
+    (void)async;
+    stage_deferred_ = true;
+  }
+
+  /// Blocks until every asynchronously launched partition has completed
+  /// and its contributions are deposited.  The engine must call this (or
+  /// end_step) before mutating the atom arrays a launched partition reads.
+  virtual void join() {}
+
+  /// Closes the staged evaluation and returns the totals.  All ghosts must
+  /// be present: the default adapter runs the deferred monolithic
+  /// compute() here.
+  virtual ForceResult end_step(Atoms& atoms, const NeighborList& list,
+                               ForceAccum& accum) {
+    join();
+    ForceResult res{accum.pe, accum.virial};
+    if (stage_deferred_) {
+      const ForceResult mono = compute(atoms, list);
+      res.pe += mono.pe;
+      res.virial += mono.virial;
+      stage_deferred_ = false;
+    }
+    return res;
+  }
+
   /// Per-atom energy decomposition if the style supports it (DP does);
   /// returns false otherwise.  Used by accuracy benches.
   virtual bool per_atom_energy(Atoms& /*atoms*/, const NeighborList& /*list*/,
                                std::vector<double>& /*energies*/) {
     return false;
   }
+
+ private:
+  /// Default-adapter state: a partition call happened and the monolithic
+  /// compute still owes its evaluation at end_step.
+  bool stage_deferred_ = false;
 };
 
 }  // namespace dpmd::md

@@ -33,9 +33,24 @@ double PairLJ::pair_energy(int ti, int tj, double r) const {
 }
 
 ForceResult PairLJ::compute(Atoms& atoms, const NeighborList& list) {
+  return accumulate(atoms, list, nullptr, atoms.nlocal);
+}
+
+void PairLJ::compute_partition(Atoms& atoms, const NeighborList& list,
+                               std::span<const int> centers,
+                               ForceAccum& accum, bool /*async*/) {
+  const ForceResult res =
+      accumulate(atoms, list, centers.data(), static_cast<int>(centers.size()));
+  accum.pe += res.pe;
+  accum.virial += res.virial;
+}
+
+ForceResult PairLJ::accumulate(Atoms& atoms, const NeighborList& list,
+                               const int* centers, int n) const {
   ForceResult res;
   const double rc2 = rc_ * rc_;
-  for (int i = 0; i < atoms.nlocal; ++i) {
+  for (int idx = 0; idx < n; ++idx) {
+    const int i = centers != nullptr ? centers[idx] : idx;
     const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
     const int ti = atoms.type[static_cast<std::size_t>(i)];
     Vec3 fi{0, 0, 0};

@@ -26,10 +26,21 @@ class PairLJ : public Pair {
 
   ForceResult compute(Atoms& atoms, const NeighborList& list) override;
 
+  /// Per-center terms are independent, so any partition evaluates in place
+  /// (staged engines run the interior split before ghosts arrive).
+  bool supports_partitions() const override { return true; }
+  void compute_partition(Atoms& atoms, const NeighborList& list,
+                         std::span<const int> centers, ForceAccum& accum,
+                         bool async = false) override;
+
   /// Analytic pair energy/force for tests.
   double pair_energy(int ti, int tj, double r) const;
 
  private:
+  /// Shared center loop: centers == nullptr evaluates locals [0, n).
+  ForceResult accumulate(Atoms& atoms, const NeighborList& list,
+                         const int* centers, int n) const;
+
   const TypePair& param(int ti, int tj) const {
     return params_[static_cast<std::size_t>(ti) * ntypes_ + tj];
   }

@@ -28,9 +28,18 @@ class PairMorse : public Pair {
 
   ForceResult compute(Atoms& atoms, const NeighborList& list) override;
 
+  /// Per-center terms are independent: partitions evaluate in place.
+  bool supports_partitions() const override { return true; }
+  void compute_partition(Atoms& atoms, const NeighborList& list,
+                         std::span<const int> centers, ForceAccum& accum,
+                         bool async = false) override;
+
   double pair_energy(int ti, int tj, double r) const;
 
  private:
+  ForceResult accumulate(Atoms& atoms, const NeighborList& list,
+                         const int* centers, int n) const;
+
   const TypePair& param(int ti, int tj) const {
     return params_[static_cast<std::size_t>(ti) * ntypes_ + tj];
   }

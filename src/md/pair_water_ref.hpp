@@ -43,6 +43,12 @@ class PairWaterRef : public Pair {
 
   ForceResult compute(Atoms& atoms, const NeighborList& list) override;
 
+  /// Per-center terms are independent: partitions evaluate in place.
+  bool supports_partitions() const override { return true; }
+  void compute_partition(Atoms& atoms, const NeighborList& list,
+                         std::span<const int> centers, ForceAccum& accum,
+                         bool async = false) override;
+
   /// U and dU/dr for a (ti, tj) pair at distance r (switch included);
   /// exposed for tests and for generating training labels.
   void pair_u_du(int ti, int tj, double r, double& u, double& dudr) const;
@@ -50,6 +56,8 @@ class PairWaterRef : public Pair {
   const Params& params() const { return p_; }
 
  private:
+  ForceResult accumulate(Atoms& atoms, const NeighborList& list,
+                         const int* centers, int n) const;
   double switch_fn(double r) const;
   double switch_deriv(double r) const;
 

@@ -1,0 +1,21 @@
+#include "md/partition.hpp"
+
+namespace dpmd::md {
+
+void classify_partition(const Atoms& atoms, const Box& sub_box, double margin,
+                        StagePartition& out) {
+  out.clear();
+  out.interior.reserve(static_cast<std::size_t>(atoms.nlocal));
+  const Vec3 lo = sub_box.lo;
+  const Vec3 hi = sub_box.hi;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const Vec3& p = atoms.x[static_cast<std::size_t>(i)];
+    const bool interior =
+        p.x - lo.x > margin && hi.x - p.x > margin &&
+        p.y - lo.y > margin && hi.y - p.y > margin &&
+        p.z - lo.z > margin && hi.z - p.z > margin;
+    (interior ? out.interior : out.boundary).push_back(i);
+  }
+}
+
+}  // namespace dpmd::md

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+
+namespace dpmd::md {
+
+/// Interior/boundary split of the local atoms for staged force evaluation
+/// (ISSUE 3, paper §III-C): interior atoms can be evaluated before ghost
+/// positions are final, so the engine overlaps the halo exchange with their
+/// computation; boundary atoms wait for the exchange to complete.
+struct StagePartition {
+  std::vector<int> interior;
+  std::vector<int> boundary;
+
+  int nlocal() const {
+    return static_cast<int>(interior.size() + boundary.size());
+  }
+  void clear() {
+    interior.clear();
+    boundary.clear();
+  }
+};
+
+/// Classifies the local atoms of `sub_box`: an atom is *interior* iff it
+/// lies strictly more than `margin` from every face, where margin is the
+/// neighbor-list cutoff (rcut + skin).  Then no atom within the list
+/// cutoff of an interior center can reach a face, so every neighbor is
+/// strictly inside the sub-box — i.e. a local atom, never a ghost — and
+/// the center's list and forces are computable before ghosts exist.  The
+/// strict inequality puts an atom exactly at `margin` from a face in the
+/// boundary partition (conservative: its stencil touches the face).
+/// Classification is done at list-build time; because the guarantee is
+/// about neighbor *indices*, it stays valid while the list does, however
+/// far atoms drift under the skin.  When the sub-box is smaller than
+/// 2*margin in any dimension the interior is empty and staged evaluation
+/// degenerates to the sequential order (still correct).
+void classify_partition(const Atoms& atoms, const Box& sub_box, double margin,
+                        StagePartition& out);
+
+}  // namespace dpmd::md

@@ -42,10 +42,58 @@ void Sim::fold_ghost_forces() {
   }
 }
 
-void Sim::compute_forces() {
-  ScopedTimer timer(timers_, "pair");
+void Sim::rebuild_lists() {
+  ScopedTimer timer(timers_, "neigh");
+  // Wrap all locals, then rebuild ghosts and the list.
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    box_.wrap(atoms_.x[static_cast<std::size_t>(i)],
+              atoms_.image[static_cast<std::size_t>(i)].data());
+  }
+  build_ghosts();
+  nlist_.build(atoms_, box_);
+  // Interior/boundary split for the staged path, pinned to the build
+  // positions: the classification (like the list) stays valid while atoms
+  // drift under the skin, because its guarantee is about neighbor indices.
+  if (cfg_.staged) {
+    classify_partition(atoms_, box_, nlist_.list_cutoff(), partition_);
+  }
+  x_at_build_.assign(atoms_.x.begin(), atoms_.x.begin() + atoms_.nlocal);
+  ++rebuilds_;
+  steps_since_build_ = 0;
+}
+
+void Sim::compute_forces(bool ghosts_stale) {
   atoms_.zero_forces();
-  const ForceResult res = pair_->compute(atoms_, nlist_);
+  ForceResult res;
+  if (cfg_.staged) {
+    // Staged order (same contract as comm::DomainEngine): the interior
+    // partition runs against possibly stale ghost positions — which it
+    // never reads — then the ghost refresh (the engine's "forward comm"),
+    // then the boundary partition and any deferred monolithic styles.
+    ForceAccum accum;
+    {
+      ScopedTimer timer(timers_, "pair");
+      pair_->begin_step(atoms_, nlist_);
+      pair_->compute_partition(atoms_, nlist_, partition_.interior, accum);
+    }
+    if (ghosts_stale) {
+      ScopedTimer timer(timers_, "comm");
+      refresh_ghost_positions();
+    }
+    {
+      ScopedTimer timer(timers_, "pair");
+      pair_->compute_partition(atoms_, nlist_, partition_.boundary, accum);
+      res = pair_->end_step(atoms_, nlist_, accum);
+    }
+  } else {
+    if (ghosts_stale) {
+      ScopedTimer timer(timers_, "comm");
+      refresh_ghost_positions();
+    }
+    ScopedTimer timer(timers_, "pair");
+    res = pair_->compute(atoms_, nlist_);
+  }
+  ScopedTimer timer(timers_, "pair");
   fold_ghost_forces();
   pe_ = res.pe;
   virial_ = res.virial;
@@ -62,21 +110,8 @@ bool Sim::drift_exceeds_skin() const {
 }
 
 void Sim::setup() {
-  {
-    ScopedTimer timer(timers_, "neigh");
-    // Wrap all locals, then rebuild ghosts and the list.
-    for (int i = 0; i < atoms_.nlocal; ++i) {
-      box_.wrap(atoms_.x[static_cast<std::size_t>(i)],
-                atoms_.image[static_cast<std::size_t>(i)].data());
-    }
-    build_ghosts();
-    nlist_.build(atoms_, box_);
-    x_at_build_.assign(atoms_.x.begin(),
-                       atoms_.x.begin() + atoms_.nlocal);
-    ++rebuilds_;
-    steps_since_build_ = 0;
-  }
-  compute_forces();
+  rebuild_lists();
+  compute_forces(/*ghosts_stale=*/false);
   needs_setup_ = false;
 }
 
@@ -101,23 +136,12 @@ void Sim::step() {
   ++steps_since_build_;
   const bool rebuild = steps_since_build_ >= cfg_.rebuild_every ||
                        (cfg_.rebuild_on_drift && drift_exceeds_skin());
-  if (rebuild) {
-    ScopedTimer timer(timers_, "neigh");
-    for (int i = 0; i < atoms_.nlocal; ++i) {
-      box_.wrap(atoms_.x[static_cast<std::size_t>(i)],
-                atoms_.image[static_cast<std::size_t>(i)].data());
-    }
-    build_ghosts();
-    nlist_.build(atoms_, box_);
-    x_at_build_.assign(atoms_.x.begin(), atoms_.x.begin() + atoms_.nlocal);
-    ++rebuilds_;
-    steps_since_build_ = 0;
-  } else {
-    ScopedTimer timer(timers_, "comm");
-    refresh_ghost_positions();
-  }
+  if (rebuild) rebuild_lists();
 
-  compute_forces();
+  // On non-rebuild steps the ghost refresh happens inside compute_forces:
+  // the staged path evaluates the interior partition first and refreshes
+  // "during" it (the distributed engine genuinely overlaps here).
+  compute_forces(/*ghosts_stale=*/!rebuild);
 
   {
     ScopedTimer timer(timers_, "integrate");

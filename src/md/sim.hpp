@@ -8,6 +8,7 @@
 #include "md/box.hpp"
 #include "md/neighbor.hpp"
 #include "md/pair.hpp"
+#include "md/partition.hpp"
 #include "md/thermo.hpp"
 #include "md/thermostat.hpp"
 #include "util/timer.hpp"
@@ -19,6 +20,14 @@ struct SimConfig {
   double skin = 2.0;          ///< paper: 2 A neighbor skin
   int rebuild_every = 50;     ///< paper: lists rebuilt every 50 steps
   bool rebuild_on_drift = true;  ///< also rebuild when drift > skin/2
+  /// Route force evaluation through the staged Pair surface (ISSUE 3):
+  /// interior partition evaluated first (before the ghost positions are
+  /// refreshed — its stencils cannot reach a ghost), then the ghost
+  /// refresh, then the boundary partition.  The single-process engine has
+  /// nothing to overlap, but it exercises and validates the identical API
+  /// and ordering contract the distributed DomainEngine relies on; off =
+  /// the legacy refresh-then-monolithic-compute order.
+  bool staged = true;
 };
 
 /// Single-process MD engine (the LAMMPS analogue, DESIGN.md S1).
@@ -51,6 +60,8 @@ class Sim {
   const Box& box() const { return box_; }
   const std::vector<double>& masses() const { return masses_; }
   const NeighborList& nlist() const { return nlist_; }
+  /// Interior/boundary split of the last list build (staged path).
+  const StagePartition& partition() const { return partition_; }
   Pair& pair() { return *pair_; }
   int steps_done() const { return steps_done_; }
   int rebuild_count() const { return rebuilds_; }
@@ -66,7 +77,11 @@ class Sim {
   void build_ghosts();
   void refresh_ghost_positions();
   void fold_ghost_forces();
-  void compute_forces();
+  void rebuild_lists();
+  /// `ghosts_stale` = ghost positions still need the per-step refresh (any
+  /// non-rebuild step); the staged path refreshes them between the interior
+  /// and boundary partitions, the legacy path up front.
+  void compute_forces(bool ghosts_stale);
   bool drift_exceeds_skin() const;
 
   Box box_;
@@ -78,6 +93,7 @@ class Sim {
   std::unique_ptr<Thermostat> thermostat_;
 
   std::vector<Vec3> x_at_build_;
+  StagePartition partition_;  ///< interior/boundary split at the last build
   double pe_ = 0.0;
   double virial_ = 0.0;
   int steps_done_ = 0;

@@ -12,13 +12,14 @@ namespace {
 
 /// Dispatch one layer GEMM.  `b_packed` is the pack_b form of `b`; the
 /// Blocked path and the Auto path above the small-M threshold use it
-/// (unit-stride weight panels), everything else falls back to the raw
-/// row-major operand.
+/// (unit-stride weight panels) unless `allow_packed` is off (the
+/// EvalOptions::packed_gemm ablation), everything else falls back to the
+/// raw row-major operand.
 template <class T>
 void run_gemm(GemmKind kind, const T* a, const T* b,
               const std::vector<T>& b_packed, T* c, int m, int n, int k,
-              const std::vector<Half>& b_half) {
-  const bool have_packed = !b_packed.empty();
+              const std::vector<Half>& b_half, bool allow_packed) {
+  const bool have_packed = allow_packed && !b_packed.empty();
   switch (kind) {
     case GemmKind::Ref:
       gemm::gemm_ref(a, b, c, m, n, k);
@@ -45,7 +46,8 @@ void run_gemm(GemmKind kind, const T* a, const T* b,
       } else {
         // fp16 storage only makes sense in the fp32 pipeline; fall back so
         // double-precision baselines can share the code path.
-        run_gemm(GemmKind::Auto, a, b, b_packed, c, m, n, k, b_half);
+        run_gemm(GemmKind::Auto, a, b, b_packed, c, m, n, k, b_half,
+                 allow_packed);
         return;
       }
   }
@@ -87,12 +89,13 @@ void DenseLayer<T>::finalize() {
 
 template <class T>
 void DenseLayer<T>::forward(const T* x, T* y, T* h_cache, int batch,
-                            GemmKind kind) const {
+                            GemmKind kind, bool packed) const {
   // h = act(x W + b), y = h (+ skip).  Bias, activation and skip run as ONE
   // pass per row while it is cache-hot: at block-batch sizes the h/y slabs
   // exceed L2, so every extra slab sweep is a round trip to L3 (vtanh keeps
   // the activation vectorized at row granularity).
-  run_gemm(kind, x, w.data(), w_packed, h_cache, batch, out, in, w_half);
+  run_gemm(kind, x, w.data(), w_packed, h_cache, batch, out, in, w_half,
+           packed);
   const T* __restrict bias = b.data();
   for (int r = 0; r < batch; ++r) {
     T* __restrict hr = h_cache + static_cast<std::size_t>(r) * out;
@@ -167,14 +170,15 @@ void add_skip_grad(Resnet resnet, const T* dy, T* dx, int batch, int in,
 template <class T>
 void DenseLayer<T>::backward_input(const T* dy, const T* h_cache, T* dx,
                                    int batch, GemmKind kind,
-                                   std::vector<T>& scratch) const {
+                                   std::vector<T>& scratch,
+                                   bool packed) const {
   scratch.resize(static_cast<std::size_t>(batch) * out);
   apply_act_grad(act, dy, h_cache, scratch.data(), batch, out);
   // dx = dy_lin * W^T, executed as GEMM-NN against the pre-transposed wt.
   const GemmKind data_kind = kind == GemmKind::HalfWeights ? GemmKind::Auto
                                                            : kind;
   run_gemm(data_kind, scratch.data(), wt.data(), wt_packed, dx, batch, in,
-           out, w_half);
+           out, w_half, packed);
   add_skip_grad(resnet, dy, dx, batch, in, out);
 }
 
@@ -182,7 +186,8 @@ template <class T>
 void DenseLayer<T>::backward_full(const T* x, const T* dy, const T* h_cache,
                                   T* dx, Matrix<T>& dw, std::vector<T>& db,
                                   int batch, GemmKind kind,
-                                  std::vector<T>& scratch) const {
+                                  std::vector<T>& scratch,
+                                  bool packed) const {
   scratch.resize(static_cast<std::size_t>(batch) * out);
   apply_act_grad(act, dy, h_cache, scratch.data(), batch, out);
 
@@ -203,7 +208,7 @@ void DenseLayer<T>::backward_full(const T* x, const T* dy, const T* h_cache,
   const GemmKind data_kind = kind == GemmKind::HalfWeights ? GemmKind::Auto
                                                            : kind;
   run_gemm(data_kind, scratch.data(), wt.data(), wt_packed, dx, batch, in,
-           out, w_half);
+           out, w_half, packed);
   add_skip_grad(resnet, dy, dx, batch, in, out);
 }
 

@@ -48,19 +48,24 @@ struct DenseLayer {
   void finalize();
 
   /// x: batch x in, y: batch x out, h_cache: batch x out (activated output
-  /// before the skip, needed by backward).
-  void forward(const T* x, T* y, T* h_cache, int batch, GemmKind kind) const;
+  /// before the skip, needed by backward).  `packed = false` forbids the
+  /// pack_b weight copies so the Blocked/Auto GEMMs run against the raw
+  /// row-major operands — the EvalOptions::packed_gemm ablation toggle.
+  void forward(const T* x, T* y, T* h_cache, int batch, GemmKind kind,
+               bool packed = true) const;
 
   /// Data backward: given dy (batch x out) and caches, writes dx
   /// (batch x in; overwritten).  Used for force evaluation.
   void backward_input(const T* dy, const T* h_cache, T* dx, int batch,
-                      GemmKind kind, std::vector<T>& scratch) const;
+                      GemmKind kind, std::vector<T>& scratch,
+                      bool packed = true) const;
 
   /// Parameter backward for training: accumulates dW (in x out) and db (out)
   /// given the layer input x and dy.  Also writes dx as backward_input.
   void backward_full(const T* x, const T* dy, const T* h_cache, T* dx,
                      Matrix<T>& dw, std::vector<T>& db, int batch,
-                     GemmKind kind, std::vector<T>& scratch) const;
+                     GemmKind kind, std::vector<T>& scratch,
+                     bool packed = true) const;
 
   std::size_t param_count() const {
     return w.size() + b.size();

@@ -88,13 +88,13 @@ T* Mlp<T>::batch_input(int batch, MlpCache<T>& cache) const {
 
 template <class T>
 const T* Mlp<T>::forward_batch(int batch, MlpCache<T>& cache, GemmKind kind,
-                               GemmKind first_kind) const {
+                               GemmKind first_kind, bool packed) const {
   DPMD_REQUIRE(!layers_.empty(), "empty network");
   ensure_cache(batch, cache);
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     layers_[l].forward(cache.acts[l].data(), cache.acts[l + 1].data(),
                        cache.hs[l].data(), batch,
-                       l == 0 ? first_kind : kind);
+                       l == 0 ? first_kind : kind, packed);
   }
   return cache.acts.back().data();
 }
@@ -108,32 +108,32 @@ T* Mlp<T>::batch_output_grad(int batch, MlpCache<T>& cache) const {
 
 template <class T>
 const T* Mlp<T>::backward_input_batch(int batch, MlpCache<T>& cache,
-                                      GemmKind kind) const {
+                                      GemmKind kind, bool packed) const {
   const std::size_t L = layers_.size();
   for (std::size_t l = L; l-- > 0;) {
     layers_[l].backward_input(cache.grads[l + 1].data(), cache.hs[l].data(),
                               cache.grads[l].data(), batch, kind,
-                              cache.scratch);
+                              cache.scratch, packed);
   }
   return cache.grads[0].data();
 }
 
 template <class T>
 void Mlp<T>::forward(const T* x, T* y, int batch, MlpCache<T>& cache,
-                     GemmKind kind, GemmKind first_kind) const {
+                     GemmKind kind, GemmKind first_kind, bool packed) const {
   T* in = batch_input(batch, cache);
   std::copy(x, x + static_cast<std::size_t>(batch) * input_dim(), in);
-  const T* out = forward_batch(batch, cache, kind, first_kind);
+  const T* out = forward_batch(batch, cache, kind, first_kind, packed);
   std::copy(out, out + static_cast<std::size_t>(batch) * output_dim(), y);
 }
 
 template <class T>
 void Mlp<T>::backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
-                            GemmKind kind) const {
+                            GemmKind kind, bool packed) const {
   T* grad_out = batch_output_grad(batch, cache);
   std::copy(dy, dy + static_cast<std::size_t>(batch) * output_dim(),
             grad_out);
-  const T* grad_in = backward_input_batch(batch, cache, kind);
+  const T* grad_in = backward_input_batch(batch, cache, kind, packed);
   std::copy(grad_in,
             grad_in + static_cast<std::size_t>(batch) * input_dim(), dx);
 }

@@ -64,12 +64,12 @@ class Mlp {
     forward(x, y, batch, cache, kind, kind);
   }
   void forward(const T* x, T* y, int batch, MlpCache<T>& cache, GemmKind kind,
-               GemmKind first_kind) const;
+               GemmKind first_kind, bool packed = true) const;
 
   /// Given dL/dy, returns dL/dx in dx (batch x in).  Requires the cache of
   /// the matching forward call.
   void backward_input(const T* dy, T* dx, int batch, MlpCache<T>& cache,
-                      GemmKind kind) const;
+                      GemmKind kind, bool packed = true) const;
 
   /// Zero-copy batched entry points (§III-B batching): when `batch` is a
   /// whole atom block, the x/y staging copies of forward()/backward_input()
@@ -87,12 +87,14 @@ class Mlp {
   /// Slabs stay valid until the next forward on the same cache; a
   /// forward_batch/backward_input_batch pair on one cache is safe (backward
   /// reads hs/acts, writes grads).
+  /// `packed = false` (EvalOptions::packed_gemm off) makes every layer run
+  /// against the raw row-major weights instead of the pack_b panel copies.
   T* batch_input(int batch, MlpCache<T>& cache) const;
   const T* forward_batch(int batch, MlpCache<T>& cache, GemmKind kind,
-                         GemmKind first_kind) const;
+                         GemmKind first_kind, bool packed = true) const;
   T* batch_output_grad(int batch, MlpCache<T>& cache) const;
   const T* backward_input_batch(int batch, MlpCache<T>& cache,
-                                GemmKind kind) const;
+                                GemmKind kind, bool packed = true) const;
 
   /// Training backward: also accumulates parameter gradients.
   void backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,

@@ -10,6 +10,13 @@ ThreadPool::ThreadPool(unsigned nthreads) {
   if (nthreads == 0) {
     nthreads = std::max(1u, std::thread::hardware_concurrency());
   }
+  async_runner_ = [this](unsigned tid) {
+    for (;;) {
+      const std::size_t i = async_next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= async_n_) break;
+      async_fn_(i, tid);
+    }
+  };
   const unsigned nworkers = nthreads - 1;  // caller participates as thread 0
   slots_ = std::vector<WorkerSlot>(nworkers);
   workers_.reserve(nworkers);
@@ -28,6 +35,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
+  // A parallel_* call while an async job is draining would overwrite the
+  // shared job slot and corrupt remaining_ — fail loudly instead.
+  DPMD_REQUIRE(!async_active_, "parallel call while an async job is in flight");
   if (workers_.empty()) {
     fn(0);
     return;
@@ -112,6 +122,47 @@ void ThreadPool::parallel_dynamic(
       fn(i, tid);
     }
   });
+}
+
+void ThreadPool::submit_dynamic(std::size_t n,
+                                std::function<void(std::size_t, unsigned)> fn) {
+  DPMD_REQUIRE(!async_active_, "async job already in flight");
+  async_fn_ = std::move(fn);
+  async_n_ = n;
+  async_next_.store(0, std::memory_order_relaxed);
+  async_active_ = true;
+  async_dispatched_ = !workers_.empty() && n > 0;
+  if (!async_dispatched_) return;  // drained inline by wait_async
+  {
+    std::lock_guard lock(mu_);
+    job_ = &async_runner_;
+    remaining_.store(static_cast<unsigned>(workers_.size()),
+                     std::memory_order_release);
+    job_generation_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::wait_async() {
+  DPMD_REQUIRE(async_active_, "wait_async without a submitted job");
+  // The caller is free now (comm done) — help drain the remaining items.
+  for (;;) {
+    const std::size_t i = async_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= async_n_) break;
+    async_fn_(i, 0);
+  }
+  if (async_dispatched_) {
+    if (remaining_.load(std::memory_order_acquire) != 0) {
+      std::unique_lock lock(done_mu_);
+      done_cv_.wait(lock, [this] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    job_ = nullptr;
+  }
+  async_active_ = false;
+  async_dispatched_ = false;
+  async_fn_ = nullptr;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -48,6 +48,20 @@ class ThreadPool {
   void parallel_dynamic(
       std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
 
+  /// Asynchronous variant of parallel_dynamic (ISSUE 3 overlap path):
+  /// launches fn(item, thread_id) over [0, n) on the WORKER threads only
+  /// and returns immediately — the caller keeps its own thread free to
+  /// progress something else (the staged engines drive the halo exchange)
+  /// and joins via wait_async(), where it also helps drain the remaining
+  /// items as thread 0.  At most one async job may be in flight per pool,
+  /// and no parallel_* call may run while one is.  With no workers
+  /// (size() == 1) nothing is dispatched and every item runs inline in
+  /// wait_async() — sequential, but the same contract.
+  void submit_dynamic(std::size_t n,
+                      std::function<void(std::size_t, unsigned)> fn);
+  void wait_async();
+  bool async_in_flight() const { return async_active_; }
+
   /// Process-wide default pool (created on first use).
   static ThreadPool& global();
 
@@ -69,6 +83,16 @@ class ThreadPool {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   std::atomic<bool> stop_{false};
+
+  // Async job state (submit_dynamic/wait_async).  Only the submitting
+  // thread reads/writes the flags; workers see fn/n through the same
+  // generation handshake as run_on_all.
+  std::function<void(unsigned)> async_runner_;
+  std::function<void(std::size_t, unsigned)> async_fn_;
+  std::size_t async_n_ = 0;
+  std::atomic<std::size_t> async_next_{0};
+  bool async_active_ = false;
+  bool async_dispatched_ = false;
 };
 
 /// Static partition helper: the i-th of `parts` chunks of [0, n).

@@ -21,6 +21,13 @@ std::vector<std::byte> Rank::recv(int src, int tag) {
   return world_.take(rank_, src, tag);
 }
 
+std::vector<std::byte> Request::wait() {
+  DPMD_REQUIRE(rank_ != nullptr, "wait on an empty or consumed Request");
+  Rank* r = rank_;
+  rank_ = nullptr;
+  return r->recv(src_, tag_);
+}
+
 void Rank::barrier() { world_.barrier_.arrive_and_wait(); }
 
 std::vector<double> Rank::allreduce_sum(const std::vector<double>& v) {

@@ -27,6 +27,40 @@ namespace dpmd::simmpi {
 ///  * recv blocks until a matching (src, tag) message arrives;
 ///  * message order between a fixed (src, dst, tag) pair is FIFO.
 class World;
+class Rank;
+
+/// Handle of a non-blocking receive posted with Rank::irecv.  Because
+/// sends are buffered at the receiver, posting a receive costs nothing —
+/// the message is claimed from the mailbox at wait() time.  This mirrors
+/// the MPI_Irecv/Wait subset the staged engines use: post early, overlap
+/// compute, synchronize late.  wait() may be called exactly once.
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const { return rank_ != nullptr; }
+
+  /// Blocks until the matching message arrives and returns its payload.
+  std::vector<std::byte> wait();
+
+  template <class T>
+  std::vector<T> wait_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto raw = wait();
+    DPMD_REQUIRE(raw.size() % sizeof(T) == 0, "message size not multiple of T");
+    std::vector<T> v(raw.size() / sizeof(T));
+    std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+ private:
+  friend class Rank;
+  Request(Rank& rank, int src, int tag) : rank_(&rank), src_(src), tag_(tag) {}
+
+  Rank* rank_ = nullptr;
+  int src_ = -1;
+  int tag_ = 0;
+};
 
 class Rank {
  public:
@@ -35,6 +69,22 @@ class Rank {
 
   void send(int dst, int tag, const void* data, std::size_t bytes);
   std::vector<std::byte> recv(int src, int tag);
+
+  /// Non-blocking send: identical to send() (which is buffered and never
+  /// blocks), named for API parity with the staged exchange code.
+  void isend(int dst, int tag, const void* data, std::size_t bytes) {
+    send(dst, tag, data, bytes);
+  }
+  template <class T>
+  void isend_vec(int dst, int tag, const std::vector<T>& v) {
+    send_vec(dst, tag, v);
+  }
+
+  /// Posts a non-blocking receive; Request::wait() blocks and claims it.
+  Request irecv(int src, int tag) {
+    DPMD_REQUIRE(src >= 0 && src < size(), "irecv source out of range");
+    return Request(*this, src, tag);
+  }
 
   template <class T>
   void send_vec(int dst, int tag, const std::vector<T>& v) {
