@@ -12,6 +12,8 @@
 
 #include "water256.hpp"
 #include "overlap_bench.hpp"
+#include "core/compression.hpp"
+#include "core/descriptor.hpp"
 #include "core/inference.hpp"
 #include "core/pair_deepmd.hpp"
 #include "md/ghosts.hpp"
@@ -35,6 +37,161 @@ struct Variant {
 double ns_day_proxy(double us_per_step) {
   const double steps_per_day = 86400.0 * 1e6 / us_per_step;
   return steps_per_day * kTimestepNs;
+}
+
+/// Compression-table microbench (ISSUE 4): scalar per-channel eval vs the
+/// SIMD channel-major eval_row over the same coefficient-major table, on
+/// realistic s samples.  Reported per row (one neighbor's m1 channels).
+struct TableBench {
+  double scalar_ns_per_row = 0.0;
+  double row_ns_per_row = 0.0;
+  double speedup = 0.0;
+};
+
+TableBench bench_table(const dp::DPModel& model,
+                       const std::vector<double>& s_samples) {
+  const auto& cfg = model.config();
+  const double s_max = 4.0 / cfg.descriptor.rcut_smth;
+  const auto table = dp::CompressedEmbedding::build(
+      model.embedding(0), {0.0, s_max, 1024});
+  const int m1 = table.m1();
+  // Real s values from the packed water-256 env rows: the realistic bin
+  // distribution (and its cache locality), not a uniform sweep of a table
+  // mostly unvisited in MD.
+  const std::vector<double>& s = s_samples;
+  const int rows = static_cast<int>(s.size());
+  std::vector<double> g(static_cast<std::size_t>(m1));
+  std::vector<double> dg(static_cast<std::size_t>(m1));
+
+  TableBench out;
+  volatile double sink = 0.0;
+  const int reps = 40;
+  {
+    for (int i = 0; i < rows; ++i) table.eval(s[i], g.data(), dg.data());
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (int i = 0; i < rows; ++i) table.eval(s[i], g.data(), dg.data());
+      sink += g[0];
+    }
+    out.scalar_ns_per_row = sw.elapsed_us() * 1e3 / (reps * rows);
+  }
+  {
+    for (int i = 0; i < rows; ++i) table.eval_row(s[i], g.data(), dg.data());
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (int i = 0; i < rows; ++i) {
+        table.eval_row(s[i], g.data(), dg.data());
+      }
+      sink += g[0];
+    }
+    out.row_ns_per_row = sw.elapsed_us() * 1e3 / (reps * rows);
+  }
+  out.speedup = out.scalar_ns_per_row / out.row_ns_per_row;
+  return out;
+}
+
+/// Per-phase breakdown of one batched water-256 force evaluation: packed
+/// env build (the rebuild-step cost) vs position-only refresh (the
+/// steady-state cost, measured on keep_list_rows blocks from a skinned
+/// list — exactly what the cadenced engines refresh, skin-band walk and
+/// re-partition included), table work, and the GEMM remainder of
+/// evaluate_batch (= evaluate_batch minus the table sweep; the two are
+/// measured independently so the split is approximate but stable).
+struct PhaseBench {
+  double env_build_us = 0.0;    // build_env_batch over all blocks
+  double env_refresh_us = 0.0;  // refresh_env_batch, skinned keep blocks
+  double table_us = 0.0;        // eval_row over all packed rows
+  double gemm_us = 0.0;         // evaluate_batch - table_us
+  double eval_us = 0.0;         // evaluate_batch total
+};
+
+PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
+                        const md::Atoms& atoms_in, const md::Box& box,
+                        const md::NeighborList& list, double skin) {
+  const auto& cfg = model->config();
+  md::Atoms atoms = atoms_in;
+  const int B = kBlock;
+  const int nblocks = (atoms.nlocal + B - 1) / B;
+  std::vector<dp::AtomEnvBatch> blocks(static_cast<std::size_t>(nblocks));
+  const int reps = 20;
+  PhaseBench out;
+
+  const auto build_all = [&](const md::Atoms& a, const md::NeighborList& l,
+                             bool keep) {
+    for (int b = 0; b < nblocks; ++b) {
+      const int first = b * B;
+      const int count = std::min(B, a.nlocal - first);
+      dp::build_env_batch(a, l, first, count, cfg.descriptor, cfg.ntypes,
+                          blocks[static_cast<std::size_t>(b)], keep);
+    }
+  };
+
+  build_all(atoms, list, false);
+  {
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) build_all(atoms, list, false);
+    out.env_build_us = sw.elapsed_us() / reps;
+  }
+  {
+    // Refresh leg on the production shape: keep_list_rows blocks over a
+    // skinned list (wider ghosts), so the skin-band rows the steady-state
+    // refresh re-tests and zeroes are part of the measurement.
+    md::Atoms skinned = atoms_in;
+    md::build_periodic_ghosts(skinned, box, cfg.descriptor.rcut + skin);
+    md::NeighborList slist({cfg.descriptor.rcut, skin, true});
+    slist.build(skinned, box);
+    build_all(skinned, slist, true);
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (auto& blk : blocks) {
+        dp::refresh_env_batch(skinned, cfg.descriptor, blk);
+      }
+    }
+    out.env_refresh_us = sw.elapsed_us() / reps;
+    // Rebuild the skinless filtered blocks for the table/GEMM legs below.
+    build_all(atoms, list, false);
+  }
+  {
+    // Table sweep over every packed row, as batch_impl performs it.
+    const double s_max = 4.0 / cfg.descriptor.rcut_smth;
+    std::vector<dp::CompressedEmbedding> tables;
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      tables.push_back(dp::CompressedEmbedding::build(
+          model->embedding(t),
+          {0.0, s_max * cfg.descriptor.scale_of(t, 0), 1024}));
+    }
+    const int m1 = cfg.descriptor.m1();
+    std::vector<double> g(static_cast<std::size_t>(m1));
+    std::vector<double> dg(static_cast<std::size_t>(m1));
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& blk : blocks) {
+        for (int t = 0; t < blk.ntypes; ++t) {
+          const int lo = blk.type_offset[static_cast<std::size_t>(t)];
+          const int hi = blk.type_offset[static_cast<std::size_t>(t) + 1];
+          for (int row = lo; row < hi; ++row) {
+            tables[static_cast<std::size_t>(t)].eval_row(
+                blk.rmat[static_cast<std::size_t>(row) * 4], g.data(),
+                dg.data());
+          }
+        }
+      }
+    }
+    out.table_us = sw.elapsed_us() / reps;
+  }
+  {
+    dp::DPEvaluator ev(model, dp::EvalOptions{});
+    std::vector<double> energies;
+    std::vector<Vec3> dedd;
+    for (const auto& blk : blocks) ev.evaluate_batch(blk, energies, dedd);
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& blk : blocks) ev.evaluate_batch(blk, energies, dedd);
+    }
+    out.eval_us = sw.elapsed_us() / reps;
+  }
+  out.gemm_us = std::max(0.0, out.eval_us - out.table_us);
+  return out;
 }
 
 }  // namespace
@@ -88,6 +245,24 @@ int main(int argc, char** argv) {
   // overlapped vs sequential, and the hidden-exchange fraction.
   const bench::OverlapMeasurement ovl = bench::measure_overlap();
 
+  // ISSUE 4 rungs: table microbench, per-phase breakdown, cadence sweep.
+  std::vector<double> s_samples;
+  {
+    dp::AtomEnvBatch probe;
+    dp::build_env_batch(atoms, list, 0, atoms.nlocal, cfg.descriptor,
+                        cfg.ntypes, probe);
+    for (int r = 0; r < probe.rows(); ++r) {
+      s_samples.push_back(probe.rmat[static_cast<std::size_t>(r) * 4]);
+    }
+  }
+  const TableBench tbl = bench_table(*model, s_samples);
+  const PhaseBench ph = bench_phases(model, atoms, box, list, 0.6);
+  // Cadence 1 runs skinless (the honest rebuild-every-step baseline: no
+  // skin is needed if you rebuild anyway); the amortized rungs use the
+  // widest skin the water-512 two-rank decomposition admits.
+  const std::vector<bench::CadenceMeasurement> cadence =
+      bench::measure_cadence_sweep({{1, 0.0}, {10, 0.6}, {50, 0.6}});
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -125,6 +300,38 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"halo_us_per_step_on\": %.1f,\n", ovl.halo_on_us);
   std::fprintf(f, "    \"hidden_exchange_fraction\": %.3f\n",
                ovl.hidden_fraction);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"table_eval\": {\n");
+  std::fprintf(f, "    \"m1\": 100, \"bins\": 1024,\n");
+  std::fprintf(f, "    \"scalar_ns_per_row\": %.2f,\n", tbl.scalar_ns_per_row);
+  std::fprintf(f, "    \"eval_row_ns_per_row\": %.2f,\n", tbl.row_ns_per_row);
+  std::fprintf(f, "    \"speedup\": %.2f\n", tbl.speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"phases\": {\n");
+  std::fprintf(f, "    \"system\": \"water-256 single process, block %d, "
+                  "fp64 compressed\",\n", kBlock);
+  std::fprintf(f, "    \"env_build_us\": %.1f,\n", ph.env_build_us);
+  std::fprintf(f, "    \"env_refresh_us\": %.1f,\n", ph.env_refresh_us);
+  std::fprintf(f, "    \"table_us\": %.1f,\n", ph.table_us);
+  std::fprintf(f, "    \"gemm_us\": %.1f,\n", ph.gemm_us);
+  std::fprintf(f, "    \"eval_us\": %.1f\n", ph.eval_us);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cadence\": {\n");
+  std::fprintf(f, "    \"system\": \"water-256 tiled 2x (512 atoms), 2 ranks, "
+                  "staged+overlap, block %d\",\n", kBlock);
+  std::fprintf(f, "    \"rungs\": [\n");
+  for (std::size_t i = 0; i < cadence.size(); ++i) {
+    const auto& c = cadence[i];
+    std::fprintf(f,
+                 "      {\"rebuild_every\": %d, \"skin\": %.2f, "
+                 "\"steps\": %d, \"rebuilds\": %d, \"us_per_step\": %.1f, "
+                 "\"halo_us\": %.1f, \"neigh_us\": %.1f, "
+                 "\"pair_us\": %.1f}%s\n",
+                 c.rebuild_every, c.skin, c.steps, c.rebuilds, c.us_per_step,
+                 c.halo_us, c.neigh_us, c.pair_us,
+                 i + 1 < cadence.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -143,6 +350,18 @@ int main(int argc, char** argv) {
               "halo %.1f us, %.0f%% hidden\n",
               ovl.on_us_per_step, ovl.off_us_per_step, ovl.halo_off_us,
               100.0 * ovl.hidden_fraction);
+  std::printf("table eval: %.1f ns/row scalar, %.1f ns/row eval_row "
+              "(%.2fx)\n",
+              tbl.scalar_ns_per_row, tbl.row_ns_per_row, tbl.speedup);
+  std::printf("phases (256 atoms): env build %.0f us, refresh %.0f us, "
+              "table %.0f us, gemm %.0f us\n",
+              ph.env_build_us, ph.env_refresh_us, ph.table_us, ph.gemm_us);
+  for (const auto& c : cadence) {
+    std::printf("cadence %2d (skin %.2f): %8.1f us/step amortized "
+                "(%d rebuilds/%d steps; halo %.0f, neigh %.0f, pair %.0f)\n",
+                c.rebuild_every, c.skin, c.us_per_step, c.rebuilds, c.steps,
+                c.halo_us, c.neigh_us, c.pair_us);
+  }
   std::printf("speedup  : %.2fx compressed, %.2fx full-emb  -> %s\n", speedup,
               fullemb_speedup, out_path.c_str());
   return 0;

@@ -3,11 +3,16 @@
 // short NVE trajectory printing LAMMPS-style thermo lines.
 //
 //   ./quickstart [--steps=200] [--cells=3] [--temp=100] [--precision=fp32]
-//                [--block-size=64]
+//                [--block-size=64] [--skin=1.0] [--rebuild-every=50]
 //
 // --block-size sets EvalOptions::block_size (atoms per batched evaluation
 // block, §III-B); 1 selects the legacy per-atom path.  Tune it per system
 // and thread count — 32-128 are all reasonable (see src/core/README.md).
+// --skin / --rebuild-every set the neighbor-list cadence (ISSUE 4, the
+// paper's 2 A / 50-step steady state): between rebuilds the engine reuses
+// lists AND the packed env-batch structure, so steady-state steps are pure
+// GEMM + table work.  --rebuild-every=1 rebuilds every step (the ablation
+// baseline); drift > skin/2 always forces a rebuild regardless.
 #include <cstdio>
 #include <memory>
 
@@ -29,6 +34,11 @@ int main(int argc, char** argv) {
   const int block_size = static_cast<int>(args.get_int("block-size", 64));
   DPMD_REQUIRE(block_size >= 1,
                "--block-size must be >= 1 (1 selects the per-atom path)");
+  const double skin = args.get_double("skin", 1.0);
+  const int rebuild_every =
+      static_cast<int>(args.get_int("rebuild-every", 50));
+  DPMD_REQUIRE(skin >= 0.0, "--skin must be >= 0");
+  DPMD_REQUIRE(rebuild_every >= 1, "--rebuild-every must be >= 1");
 
   // 1. A Deep Potential model (paper-shaped nets, scaled-down sel).
   dp::ModelConfig cfg;
@@ -58,7 +68,7 @@ int main(int argc, char** argv) {
   // 3. The engine.
   auto pair = std::make_shared<dp::PairDeepMD>(model, opts);
   md::Sim sim(box, std::move(atoms), {md::kMassCu}, pair,
-              {.dt_fs = 0.5, .skin = 1.0});
+              {.dt_fs = 0.5, .skin = skin, .rebuild_every = rebuild_every});
   sim.setup();
 
   std::printf("quickstart: %d Cu atoms, %s precision, %d steps, "

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Repo verification driver (see .claude/skills/verify/SKILL.md for the
+# full build-and-drive recipe and runtime surfaces).
+#
+#   scripts/verify.sh            # tier-1: native Release build + ctest
+#   scripts/verify.sh --portable # add the -DDPMD_NATIVE=OFF leg
+#   scripts/verify.sh --asan     # add the sanitizer leg (threaded suites)
+#   scripts/verify.sh --all      # everything
+#
+# The portability leg exists because the hot kernels (vtanh, gemm, the
+# SIMD compression-table eval_row) are written against `#pragma omp simd`
+# and must build AND pass on a plain baseline ISA — a kernel that silently
+# requires -march=native is a bug this leg catches.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-4}"
+run_portable=0
+run_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --portable) run_portable=1 ;;
+    --asan) run_asan=1 ;;
+    --all) run_portable=1; run_asan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: native build + ctest =="
+cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
+cmake --build "$repo_root/build" -j"$jobs"
+(cd "$repo_root/build" && ctest --output-on-failure -j2)
+
+if [[ "$run_portable" == 1 ]]; then
+  echo "== portability: -DDPMD_NATIVE=OFF build + ctest =="
+  cmake -B "$repo_root/build-portable" -S "$repo_root" \
+        -DDPMD_NATIVE=OFF >/dev/null
+  cmake --build "$repo_root/build-portable" -j"$jobs"
+  (cd "$repo_root/build-portable" && ctest --output-on-failure -j2)
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== sanitizers: ASan+UBSan, threaded suites =="
+  cmake -B "$repo_root/build-asan" -S "$repo_root" \
+        -DDPMD_SANITIZE=ON >/dev/null
+  cmake --build "$repo_root/build-asan" -j"$jobs"
+  (cd "$repo_root/build-asan" && ctest -L threaded --output-on-failure)
+fi
+
+echo "verify: OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 
 #include "comm/geometry.hpp"
@@ -30,6 +31,16 @@ struct ForceMsg {
 };
 static_assert(std::is_trivially_copyable_v<ForceMsg>);
 
+/// If the exchange throws (e.g. a poisoned world after a peer rank
+/// failed), a launched partition must be joined before the frame — which
+/// owns the accumulator and atom arrays the workers use — unwinds.
+struct JoinGuard {
+  md::Pair* pair;
+  ~JoinGuard() {
+    if (pair != nullptr) pair->join();
+  }
+};
+
 }  // namespace
 
 DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
@@ -38,8 +49,10 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
                            std::shared_ptr<md::Pair> pair, DomainConfig cfg)
     : rank_(rank), grid_(grid), global_box_(global_box),
       masses_(std::move(masses)), pair_(std::move(pair)), cfg_(cfg),
-      nlist_({pair_->cutoff(), 0.0, pair_->needs_full_list()}),
-      halo_(rank_, grid_, global_box_, pair_->cutoff()) {
+      nlist_({pair_->cutoff(), cfg.skin, pair_->needs_full_list()}),
+      halo_(rank_, grid_, global_box_, pair_->cutoff() + cfg.skin) {
+  DPMD_REQUIRE(cfg_.skin >= 0.0 && cfg_.rebuild_every >= 1,
+               "bad skin/rebuild cadence");
   const auto c = grid_.coords_of(rank_.rank());
   const Vec3 len = global_box_.length();
   const Vec3 sub{len.x / grid_.nx(), len.y / grid_.ny(), len.z / grid_.nz()};
@@ -52,8 +65,8 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
 
   // Symmetric peer set: every rank whose offset has a non-empty ghost
   // overlap (covers force return from multi-hop ghosts) plus the 26-cell
-  // migration shell.
-  const auto regions = enumerate_ghost_regions(sub, pair_->cutoff());
+  // migration shell.  The ghost band includes the skin.
+  const auto regions = enumerate_ghost_regions(sub, pair_->cutoff() + cfg.skin);
   std::vector<int> peers;
   for (const auto& region : regions) {
     peers.push_back(grid_.neighbor(rank_.rank(), region.offset[0],
@@ -129,6 +142,15 @@ void DomainEngine::migrate() {
     }
   }
   atoms_ = std::move(kept);
+
+  // Locals changed (order and membership): refresh the force-return map.
+  // Migration only happens on rebuild steps, so the map (like the halo
+  // plan) is steady-state between rebuilds.
+  tag_to_local_.clear();
+  tag_to_local_.reserve(static_cast<std::size_t>(atoms_.nlocal));
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    tag_to_local_[atoms_.tag[static_cast<std::size_t>(i)]] = i;
+  }
 }
 
 void DomainEngine::fill_local_domain() {
@@ -160,12 +182,7 @@ void DomainEngine::adopt_ghosts(const std::vector<HaloAtom>& ghosts) {
 }
 
 void DomainEngine::return_ghost_forces() {
-  std::unordered_map<std::int64_t, int> tag_to_local;
-  tag_to_local.reserve(static_cast<std::size_t>(atoms_.nlocal));
-  for (int i = 0; i < atoms_.nlocal; ++i) {
-    tag_to_local[atoms_.tag[static_cast<std::size_t>(i)]] = i;
-  }
-
+  const auto& tag_to_local = tag_to_local_;
   std::unordered_map<int, std::vector<ForceMsg>> outbox;
   for (const int peer : exchange_peers_) outbox[peer];
   for (int g = 0; g < atoms_.nghost; ++g) {
@@ -198,6 +215,9 @@ void DomainEngine::exchange_and_compute() {
   // exchange reads the snapshot, never the live atom arrays, which is what
   // makes overlapping it with force evaluation race-free.
   fill_local_domain();
+  // With a rebuild cadence, this full exchange doubles as the recording
+  // pass for the steady-state position-only replays.
+  halo_.record_plan(cfg_.rebuild_every > 1 ? &plan_ : nullptr);
   md::ForceResult res;
 
   if (!cfg_.staged) {
@@ -213,12 +233,14 @@ void DomainEngine::exchange_and_compute() {
       nlist_.build(atoms_, global_box_);
     }
     ScopedTimer timer(timers_, "pair");
+    pair_->on_lists_rebuilt();
     atoms_.zero_forces();
     res = pair_->compute(atoms_, nlist_);
   } else {
     atoms_.zero_forces();
     md::classify_partition(atoms_, sub_box_, nlist_.list_cutoff(),
                            partition_);
+    pair_->on_lists_rebuilt();
     md::ForceAccum accum;
     if (cfg_.overlap) {
       // §III-C overlap: post the halo sends, launch the interior blocks on
@@ -236,16 +258,7 @@ void DomainEngine::exchange_and_compute() {
                              /*reset=*/true);
       }
       pair_->begin_step(atoms_, nlist_);
-      // If the exchange throws (e.g. a poisoned world after a peer rank
-      // failed), the launched partition must be joined before this frame —
-      // which owns the accumulator and atom arrays the workers use —
-      // unwinds.
-      struct JoinGuard {
-        md::Pair* pair;
-        ~JoinGuard() {
-          if (pair != nullptr) pair->join();
-        }
-      } join_guard{pair_.get()};
+      JoinGuard join_guard{pair_.get()};
       {
         ScopedTimer timer(timers_, "pair");
         pair_->compute_partition(atoms_, nlist_, partition_.interior, accum,
@@ -290,9 +303,105 @@ void DomainEngine::exchange_and_compute() {
     ScopedTimer timer(timers_, "force_return");
     return_ghost_forces();
   }
+  // Cadence bookkeeping: this step's positions are the drift reference.
+  x_at_build_.assign(atoms_.x.begin(),
+                     atoms_.x.begin() + atoms_.nlocal);
+  steps_since_build_ = 0;
+  ++rebuilds_;
   pe_ = res.pe;
   virial_ = res.virial;
   forces_ready_ = true;
+}
+
+void DomainEngine::refresh_and_compute() {
+  // Steady-state step (ISSUE 4): no migration, no list build, no env
+  // re-pack — ghosts keep their identity and only their positions travel,
+  // over the schedule recorded at the last rebuild.
+  DPMD_REQUIRE(plan_.recorded && plan_.nlocal == atoms_.nlocal &&
+                   plan_.nghost == atoms_.nghost,
+               "halo plan out of date (missed rebuild?)");
+  const std::span<const Vec3> locals{
+      atoms_.x.data(), static_cast<std::size_t>(atoms_.nlocal)};
+  const auto write_ghosts = [&](const std::vector<Vec3>& gx) {
+    for (int g = 0; g < atoms_.nghost; ++g) {
+      atoms_.x[static_cast<std::size_t>(atoms_.nlocal + g)] =
+          gx[static_cast<std::size_t>(g)];
+    }
+  };
+  md::ForceResult res;
+  atoms_.zero_forces();
+
+  if (!cfg_.staged) {
+    {
+      ScopedTimer timer(timers_, "halo");
+      halo_.refresh_begin(locals, plan_);
+      write_ghosts(halo_.refresh_finish());
+    }
+    ScopedTimer timer(timers_, "pair");
+    res = pair_->compute(atoms_, nlist_);
+  } else {
+    md::ForceAccum accum;
+    if (cfg_.overlap) {
+      // Same overlap shape as the rebuild step, minus every list: the
+      // interior partition (whose lists reference locals only) evaluates
+      // on the workers while this thread replays the forward rounds; the
+      // refreshed ghost positions are written after join, then the
+      // boundary partition runs against them.
+      {
+        ScopedTimer timer(timers_, "halo");
+        halo_.refresh_begin(locals, plan_);
+      }
+      pair_->begin_step(atoms_, nlist_);
+      JoinGuard join_guard{pair_.get()};
+      {
+        ScopedTimer timer(timers_, "pair");
+        pair_->compute_partition(atoms_, nlist_, partition_.interior, accum,
+                                 /*async=*/true);
+      }
+      {
+        ScopedTimer timer(timers_, "halo");
+        const auto& gx = halo_.refresh_finish();
+        pair_->join();  // interior reads atoms_.x; join before ghost writes
+        join_guard.pair = nullptr;
+        write_ghosts(gx);
+      }
+      ScopedTimer timer(timers_, "pair");
+      pair_->compute_partition(atoms_, nlist_, partition_.boundary, accum);
+      res = pair_->end_step(atoms_, nlist_, accum);
+    } else {
+      {
+        ScopedTimer timer(timers_, "halo");
+        halo_.refresh_begin(locals, plan_);
+        write_ghosts(halo_.refresh_finish());
+      }
+      ScopedTimer timer(timers_, "pair");
+      pair_->begin_step(atoms_, nlist_);
+      pair_->compute_partition(atoms_, nlist_, partition_.interior, accum);
+      pair_->compute_partition(atoms_, nlist_, partition_.boundary, accum);
+      res = pair_->end_step(atoms_, nlist_, accum);
+    }
+  }
+
+  {
+    ScopedTimer timer(timers_, "force_return");
+    return_ghost_forces();
+  }
+  pe_ = res.pe;
+  virial_ = res.virial;
+  forces_ready_ = true;
+}
+
+bool DomainEngine::drift_exceeds_skin() {
+  double max2 = 0.0;
+  for (int i = 0; i < atoms_.nlocal; ++i) {
+    const Vec3 d = atoms_.x[static_cast<std::size_t>(i)] -
+                   x_at_build_[static_cast<std::size_t>(i)];
+    max2 = std::max(max2, d.norm2());
+  }
+  // Collective: every rank sees the global maximum, so the rebuild
+  // decision (migration + exchange are synchronizing) is unanimous.
+  const double limit = 0.5 * cfg_.skin;
+  return rank_.allreduce_max(max2) > limit * limit;
 }
 
 void DomainEngine::step() {
@@ -312,8 +421,18 @@ void DomainEngine::step() {
         atoms_.v[static_cast<std::size_t>(i)] * dt;
   }
 
-  migrate();
-  exchange_and_compute();
+  // Rebuild cadence: the fixed-interval check and the plan validity are
+  // deterministic and rank-synchronized; the drift check is collective.
+  ++steps_since_build_;
+  bool rebuild = cfg_.rebuild_every <= 1 ||
+                 steps_since_build_ >= cfg_.rebuild_every || !plan_.recorded;
+  if (!rebuild && cfg_.rebuild_on_drift) rebuild = drift_exceeds_skin();
+  if (rebuild) {
+    migrate();
+    exchange_and_compute();
+  } else {
+    refresh_and_compute();
+  }
 
   for (int i = 0; i < atoms_.nlocal; ++i) {
     const double inv_m =
@@ -341,7 +460,8 @@ std::vector<DomainEngine::GlobalAtom> DomainEngine::gather_all() {
   for (int i = 0; i < atoms_.nlocal; ++i) {
     mine.push_back({atoms_.tag[static_cast<std::size_t>(i)],
                     atoms_.x[static_cast<std::size_t>(i)],
-                    atoms_.v[static_cast<std::size_t>(i)]});
+                    atoms_.v[static_cast<std::size_t>(i)],
+                    atoms_.f[static_cast<std::size_t>(i)]});
   }
   const auto all = rank_.allgatherv(mine);
   std::vector<GlobalAtom> out;

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "comm/halo.hpp"
 #include "md/atoms.hpp"
@@ -16,9 +19,22 @@ namespace dpmd::comm {
 
 struct DomainConfig {
   double dt_fs = 1.0;
-  /// The functional engine re-exchanges ghosts and rebuilds lists every
-  /// step (correctness-first; the *timing* of smarter cadences is what the
-  /// plan models in comm/plans.hpp cover).
+
+  /// Neighbor skin + rebuild cadence (ISSUE 4, the paper's steady-state
+  /// amortization: lists rebuilt every ~50 steps with a 2 A skin).  On a
+  /// *rebuild* step the engine migrates atoms, runs the full three-stage
+  /// exchange (recording the halo plan), rebuilds lists and re-classifies
+  /// the interior/boundary split; on the steps in between it skips all of
+  /// that and replays the recorded plan as a position-only ghost refresh.
+  /// skin = 0 with rebuild_every = 1 (the defaults) reproduce the
+  /// rebuild-every-step engine exactly.  The ghost band (and the
+  /// decomposition constraint 2*(rcut+skin) <= slack) widens by the skin.
+  double skin = 0.0;
+  int rebuild_every = 1;
+  /// Also rebuild when any atom drifted more than skin/2 since the last
+  /// build (collective decision — every rank rebuilds together).  Keeps a
+  /// long cadence correct for fast atoms; no-op when rebuild_every <= 1.
+  bool rebuild_on_drift = true;
 
   /// Route force evaluation through the staged Pair surface (ISSUE 3):
   /// local atoms split into interior (stencil entirely inside the sub-box
@@ -60,6 +76,9 @@ class DomainEngine {
   const md::Box& sub_box() const { return sub_box_; }
   const md::Atoms& atoms() const { return atoms_; }
   int steps_done() const { return steps_done_; }
+  /// Full rebuilds (migrate + exchange + list build) performed, including
+  /// the setup one; steps in between ran the position-only refresh.
+  int rebuild_count() const { return rebuilds_; }
   double local_pe() const { return pe_; }
   /// Last step's interior/boundary split (staged mode; empty otherwise).
   const md::StagePartition& partition() const { return partition_; }
@@ -74,12 +93,15 @@ class DomainEngine {
   double total_pe();
   double total_kinetic();
 
-  /// Gathers (tag, position, velocity) of every atom in the domain on all
-  /// ranks — the validation hook.
+  /// Gathers (tag, position, velocity, force) of every atom in the domain
+  /// on all ranks — the validation hook.  Positions are NOT wrapped into
+  /// the global box between rebuilds (wrapping happens at migration);
+  /// compare via Box::minimum_image.
   struct GlobalAtom {
     std::int64_t tag;
     Vec3 x;
     Vec3 v;
+    Vec3 f;
   };
   std::vector<GlobalAtom> gather_all();
 
@@ -89,9 +111,14 @@ class DomainEngine {
   void fill_local_domain();
   /// Append exchanged ghosts to the atom arrays (+ owner bookkeeping).
   void adopt_ghosts(const std::vector<HaloAtom>& ghosts);
-  /// One step's exchange + neighbor build + force evaluation, staged or
-  /// legacy per cfg_.
+  /// Rebuild step: full exchange (plan recorded) + neighbor build + force
+  /// evaluation, staged or legacy per cfg_.
   void exchange_and_compute();
+  /// Steady-state step: position-only halo replay over the recorded plan,
+  /// persistent lists/partition/env, force evaluation.
+  void refresh_and_compute();
+  /// Collective skin/2 drift check (identical verdict on every rank).
+  bool drift_exceeds_skin();
   void return_ghost_forces();
 
   simmpi::Rank& rank_;
@@ -106,15 +133,22 @@ class DomainEngine {
   md::NeighborList nlist_;
   HaloExchange halo_;
   LocalDomain dom_;  ///< persists across begin/finish of the exchange
+  HaloPlan plan_;    ///< halo schedule recorded at the last rebuild
   md::StagePartition partition_;
   /// Owner rank of each ghost (parallel to the ghost section of atoms_).
   std::vector<int> ghost_owner_;
   /// Neighbor rank ids this rank exchanges with (symmetric set).
   std::vector<int> exchange_peers_;
+  /// tag -> local index, rebuilt after every migration (force return).
+  std::unordered_map<std::int64_t, int> tag_to_local_;
+  /// Local positions at the last list build (drift check).
+  std::vector<Vec3> x_at_build_;
 
   double pe_ = 0.0;
   double virial_ = 0.0;
   int steps_done_ = 0;
+  int steps_since_build_ = 0;
+  int rebuilds_ = 0;
   bool forces_ready_ = false;
   TimerRegistry timers_;
 };

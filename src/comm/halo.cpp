@@ -15,6 +15,9 @@ constexpr int kTagNodeGather = 200;
 constexpr int kTagNodeP2p = 300;
 constexpr int kTagNodeBcast = 400;
 constexpr int kTagOracle = 500;
+/// Position-only refresh replays use their own tag namespace so a refresh
+/// message can never collide with a (re)build exchange of a later step.
+constexpr int kTagRefresh = 600;
 
 double coord(const HaloAtom& a, int d) {
   return d == 0 ? a.x : d == 1 ? a.y : a.z;
@@ -63,6 +66,17 @@ void HaloExchange::begin(const LocalDomain& dom) {
                  "ghost bands overlap; grow the grid or the box");
   }
 
+  if (plan_rec_ != nullptr) {
+    plan_rec_->clear();
+    plan_rec_->nlocal = static_cast<int>(dom.locals.size());
+    refs_plus_.resize(dom.locals.size());
+    refs_minus_.resize(dom.locals.size());
+    for (std::size_t i = 0; i < dom.locals.size(); ++i) {
+      refs_plus_[i] = HaloPlan::ref_local(static_cast<int>(i));
+      refs_minus_[i] = refs_plus_[i];
+    }
+  }
+
   // Dimension 0, round 1 depends only on the locals — post it now so peers
   // can overlap their receive with compute.  Everything downstream (later
   // rounds forward received atoms; later dimensions forward the acquired
@@ -88,12 +102,20 @@ void HaloExchange::post_round(int d, int round) {
   const double plus_limit = dom_->sub_box.hi[d] - rcut_;
 
   std::vector<HaloAtom> to_minus;
-  for (const HaloAtom& a : from_plus_) {
-    if (coord(a, d) < minus_limit) to_minus.push_back(a);
+  std::vector<std::int32_t> refs_to_minus;
+  for (std::size_t i = 0; i < from_plus_.size(); ++i) {
+    if (coord(from_plus_[i], d) < minus_limit) {
+      to_minus.push_back(from_plus_[i]);
+      if (plan_rec_ != nullptr) refs_to_minus.push_back(refs_plus_[i]);
+    }
   }
   std::vector<HaloAtom> to_plus;
-  for (const HaloAtom& a : from_minus_) {
-    if (coord(a, d) >= plus_limit) to_plus.push_back(a);
+  std::vector<std::int32_t> refs_to_plus;
+  for (std::size_t i = 0; i < from_minus_.size(); ++i) {
+    if (coord(from_minus_[i], d) >= plus_limit) {
+      to_plus.push_back(from_minus_[i]);
+      if (plan_rec_ != nullptr) refs_to_plus.push_back(refs_minus_[i]);
+    }
   }
 
   // Apply the periodic shift for the immediate neighbor.
@@ -105,6 +127,15 @@ void HaloExchange::post_round(int d, int round) {
   for (HaloAtom& a : to_plus) shift_coord(a, d, shift_plus);
 
   const int tag = kTagHalo + d * 10 + round;
+  if (plan_rec_ != nullptr) {
+    const int rtag = kTagRefresh + d * 10 + round;
+    plan_rec_->order.push_back(HaloPlan::Op::kSend);
+    plan_rec_->sends.push_back(
+        {minus_nbr, rtag, d, shift_minus, std::move(refs_to_minus)});
+    plan_rec_->order.push_back(HaloPlan::Op::kSend);
+    plan_rec_->sends.push_back(
+        {plus_nbr, rtag + 5, d, shift_plus, std::move(refs_to_plus)});
+  }
   rank_.isend_vec(minus_nbr, tag, to_minus);
   rank_.isend_vec(plus_nbr, tag + 5, to_plus);
 }
@@ -119,6 +150,28 @@ void HaloExchange::recv_round(int d, int round) {
   simmpi::Request rq_minus = rank_.irecv(minus_nbr, tag + 5);
   const auto recv_plus = rq_plus.wait_vec<HaloAtom>();
   const auto recv_minus = rq_minus.wait_vec<HaloAtom>();
+
+  if (plan_rec_ != nullptr) {
+    // Arriving atoms become ghost slots [base, ...): record the two recv
+    // events and reference the new slots as the next round's forward set.
+    const int rtag = kTagRefresh + d * 10 + round;
+    const int base = static_cast<int>(ghosts_.size());
+    const int np = static_cast<int>(recv_plus.size());
+    const int nm = static_cast<int>(recv_minus.size());
+    plan_rec_->order.push_back(HaloPlan::Op::kRecv);
+    plan_rec_->recvs.push_back({plus_nbr, rtag, base, np});
+    plan_rec_->order.push_back(HaloPlan::Op::kRecv);
+    plan_rec_->recvs.push_back({minus_nbr, rtag + 5, base + np, nm});
+    refs_plus_.resize(static_cast<std::size_t>(np));
+    refs_minus_.resize(static_cast<std::size_t>(nm));
+    for (int i = 0; i < np; ++i) {
+      refs_plus_[static_cast<std::size_t>(i)] = HaloPlan::ref_ghost(base + i);
+    }
+    for (int i = 0; i < nm; ++i) {
+      refs_minus_[static_cast<std::size_t>(i)] =
+          HaloPlan::ref_ghost(base + np + i);
+    }
+  }
 
   ghosts_.insert(ghosts_.end(), recv_plus.begin(), recv_plus.end());
   ghosts_.insert(ghosts_.end(), recv_minus.begin(), recv_minus.end());
@@ -137,6 +190,17 @@ std::vector<HaloAtom> HaloExchange::finish() {
       from_minus_ = dom_->locals;
       from_plus_.insert(from_plus_.end(), ghosts_.begin(), ghosts_.end());
       from_minus_.insert(from_minus_.end(), ghosts_.begin(), ghosts_.end());
+      if (plan_rec_ != nullptr) {
+        refs_plus_.resize(from_plus_.size());
+        for (std::size_t i = 0; i < dom_->locals.size(); ++i) {
+          refs_plus_[i] = HaloPlan::ref_local(static_cast<int>(i));
+        }
+        for (std::size_t g = 0; g < ghosts_.size(); ++g) {
+          refs_plus_[dom_->locals.size() + g] =
+              HaloPlan::ref_ghost(static_cast<int>(g));
+        }
+        refs_minus_ = refs_plus_;
+      }
       post_round(d, 1);
     }
     recv_round(d, 1);
@@ -148,7 +212,70 @@ std::vector<HaloAtom> HaloExchange::finish() {
   dom_ = nullptr;
   from_plus_.clear();
   from_minus_.clear();
+  if (plan_rec_ != nullptr) {
+    plan_rec_->nghost = static_cast<int>(ghosts_.size());
+    plan_rec_->recorded = true;
+    plan_rec_ = nullptr;
+    refs_plus_.clear();
+    refs_minus_.clear();
+  }
   return std::move(ghosts_);
+}
+
+void HaloExchange::replay_events(bool stop_at_recv) {
+  const HaloPlan& plan = *rplan_;
+  while (rcursor_ < plan.order.size()) {
+    if (plan.order[rcursor_] == HaloPlan::Op::kSend) {
+      const HaloPlan::Send& send = plan.sends[rcursor_send_];
+      rsend_buf_.clear();
+      rsend_buf_.reserve(send.src.size());
+      for (const std::int32_t ref : send.src) {
+        Vec3 p = HaloPlan::is_ghost(ref)
+                     ? rghost_x_[static_cast<std::size_t>(
+                           HaloPlan::ghost_of(ref))]
+                     : rlocals_[static_cast<std::size_t>(ref)];
+        p[send.dim] += send.shift;
+        rsend_buf_.push_back(p);
+      }
+      rank_.isend_vec(send.peer, send.tag, rsend_buf_);
+      ++rcursor_send_;
+      ++rcursor_;
+    } else {
+      if (stop_at_recv) return;
+      const HaloPlan::Recv& recv = plan.recvs[rcursor_recv_];
+      const auto got = rank_.recv_vec<Vec3>(recv.peer, recv.tag);
+      DPMD_REQUIRE(static_cast<int>(got.size()) == recv.count,
+                   "halo refresh count drifted from the recorded plan");
+      std::copy(got.begin(), got.end(),
+                rghost_x_.begin() + recv.first);
+      ++rcursor_recv_;
+      ++rcursor_;
+    }
+  }
+}
+
+void HaloExchange::refresh_begin(std::span<const Vec3> locals_x,
+                                 const HaloPlan& plan) {
+  DPMD_REQUIRE(dom_ == nullptr && rplan_ == nullptr,
+               "halo exchange already in flight");
+  DPMD_REQUIRE(plan.recorded, "refresh of an unrecorded plan");
+  DPMD_REQUIRE(static_cast<int>(locals_x.size()) == plan.nlocal,
+               "locals changed since the plan was recorded");
+  rplan_ = &plan;
+  rlocals_ = locals_x;
+  rghost_x_.resize(static_cast<std::size_t>(plan.nghost));
+  rcursor_ = rcursor_send_ = rcursor_recv_ = 0;
+  // Post every send that precedes the first receive — exactly the
+  // dimension-0 round-1 messages, which depend on local positions only.
+  replay_events(/*stop_at_recv=*/true);
+}
+
+const std::vector<Vec3>& HaloExchange::refresh_finish() {
+  DPMD_REQUIRE(rplan_ != nullptr, "refresh_finish without refresh_begin");
+  replay_events(/*stop_at_recv=*/false);
+  rplan_ = nullptr;
+  rlocals_ = {};
+  return rghost_x_;
 }
 
 std::vector<HaloAtom> exchange_three_stage(simmpi::Rank& rank,
@@ -161,43 +288,70 @@ std::vector<HaloAtom> exchange_three_stage(simmpi::Rank& rank,
   return hx.finish();
 }
 
-NodeExchangeResult exchange_node_based(
-    simmpi::Rank& rank, const simmpi::CartGrid& grid,
-    const md::Box& global_box, const LocalDomain& dom, double rcut,
-    const std::array<int, 3>& ranks_per_node, int leaders) {
-  const auto my = grid.coords_of(rank.rank());
-  const Vec3 global_len = global_box.length();
-  const Vec3 sub_len = dom.sub_box.length();
-
-  const int rpn = ranks_per_node[0] * ranks_per_node[1] * ranks_per_node[2];
-  DPMD_REQUIRE(leaders >= 1 && leaders <= rpn, "bad leader count");
-  DPMD_REQUIRE(grid.nx() % ranks_per_node[0] == 0 &&
-                   grid.ny() % ranks_per_node[1] == 0 &&
-                   grid.nz() % ranks_per_node[2] == 0,
+NodeExchange::NodeExchange(simmpi::Rank& rank, const simmpi::CartGrid& grid,
+                           const md::Box& global_box, double rcut,
+                           const std::array<int, 3>& ranks_per_node,
+                           int leaders)
+    : rank_(rank), grid_(grid), global_box_(global_box), rcut_(rcut),
+      ranks_per_node_(ranks_per_node), leaders_(leaders),
+      rpn_(ranks_per_node[0] * ranks_per_node[1] * ranks_per_node[2]) {
+  DPMD_REQUIRE(leaders_ >= 1 && leaders_ <= rpn_, "bad leader count");
+  DPMD_REQUIRE(grid_.nx() % ranks_per_node_[0] == 0 &&
+                   grid_.ny() % ranks_per_node_[1] == 0 &&
+                   grid_.nz() % ranks_per_node_[2] == 0,
                "rank grid does not tile into nodes");
-
   // Node identity and in-node rank index.
-  const std::array<int, 3> node_coord = {my[0] / ranks_per_node[0],
-                                         my[1] / ranks_per_node[1],
-                                         my[2] / ranks_per_node[2]};
-  const std::array<int, 3> in_node = {my[0] % ranks_per_node[0],
-                                      my[1] % ranks_per_node[1],
-                                      my[2] % ranks_per_node[2]};
-  const int my_slot = (in_node[0] * ranks_per_node[1] + in_node[1]) *
-                          ranks_per_node[2] +
-                      in_node[2];
-  const std::array<int, 3> node_grid = {grid.nx() / ranks_per_node[0],
-                                        grid.ny() / ranks_per_node[1],
-                                        grid.nz() / ranks_per_node[2]};
+  const auto my = grid_.coords_of(rank_.rank());
+  node_coord_ = {my[0] / ranks_per_node_[0], my[1] / ranks_per_node_[1],
+                 my[2] / ranks_per_node_[2]};
+  const std::array<int, 3> in_node = {my[0] % ranks_per_node_[0],
+                                      my[1] % ranks_per_node_[1],
+                                      my[2] % ranks_per_node_[2]};
+  my_slot_ = (in_node[0] * ranks_per_node_[1] + in_node[1]) *
+                 ranks_per_node_[2] +
+             in_node[2];
+  node_grid_ = {grid_.nx() / ranks_per_node_[0],
+                grid_.ny() / ranks_per_node_[1],
+                grid_.nz() / ranks_per_node_[2]};
+}
 
-  const auto rank_of_slot = [&](const std::array<int, 3>& ncoord, int slot) {
-    const int sx = slot / (ranks_per_node[1] * ranks_per_node[2]);
-    const int sy = (slot / ranks_per_node[2]) % ranks_per_node[1];
-    const int sz = slot % ranks_per_node[2];
-    return grid.rank_of(ncoord[0] * ranks_per_node[0] + sx,
-                        ncoord[1] * ranks_per_node[1] + sy,
-                        ncoord[2] * ranks_per_node[2] + sz);
-  };
+int NodeExchange::rank_of_slot(const std::array<int, 3>& ncoord,
+                               int slot) const {
+  const int sx = slot / (ranks_per_node_[1] * ranks_per_node_[2]);
+  const int sy = (slot / ranks_per_node_[2]) % ranks_per_node_[1];
+  const int sz = slot % ranks_per_node_[2];
+  return grid_.rank_of(ncoord[0] * ranks_per_node_[0] + sx,
+                       ncoord[1] * ranks_per_node_[1] + sy,
+                       ncoord[2] * ranks_per_node_[2] + sz);
+}
+
+void NodeExchange::begin(const LocalDomain& dom) {
+  DPMD_REQUIRE(dom_ == nullptr, "node exchange already in flight");
+  dom_ = &dom;
+  // ---- Step 1 sends: intra-node allgather of locals ("workers copy into
+  // the leaders' shared memory"; with 4 leaders this is a true Allgather).
+  // These depend only on this rank's locals, so they post before compute
+  // and the gather side of finish() finds them already delivered.
+  for (int slot = 0; slot < rpn_; ++slot) {
+    if (slot == my_slot_) continue;
+    rank_.send_vec(rank_of_slot(node_coord_, slot), kTagNodeGather + my_slot_,
+                   dom.locals);
+  }
+}
+
+NodeExchangeResult NodeExchange::finish() {
+  DPMD_REQUIRE(dom_ != nullptr, "finish without begin");
+  const LocalDomain& dom = *dom_;
+  const Vec3 global_len = global_box_.length();
+  const Vec3 sub_len = dom.sub_box.length();
+  const auto& ranks_per_node = ranks_per_node_;
+  const auto& node_coord = node_coord_;
+  const auto& node_grid = node_grid_;
+  const int rpn = rpn_;
+  const int leaders = leaders_;
+  const int my_slot = my_slot_;
+  const double rcut = rcut_;
+  simmpi::Rank& rank = rank_;
 
   // Node box in global coordinates.
   const Vec3 node_len{sub_len.x * ranks_per_node[0],
@@ -208,13 +362,7 @@ NodeExchangeResult exchange_node_based(
 
   NodeExchangeResult result;
 
-  // ---- Step 1: intra-node allgather of locals ("workers copy into the
-  // leaders' shared memory"; with 4 leaders this is a true Allgather).
-  for (int slot = 0; slot < rpn; ++slot) {
-    if (slot == my_slot) continue;
-    rank.send_vec(rank_of_slot(node_coord, slot), kTagNodeGather + my_slot,
-                  dom.locals);
-  }
+  // ---- Step 1 receives: complete the intra-node allgather.
   std::vector<HaloAtom> node_atoms = dom.locals;
   for (int slot = 0; slot < rpn; ++slot) {
     if (slot == my_slot) continue;
@@ -302,7 +450,17 @@ NodeExchangeResult exchange_node_based(
     result.node_ghosts.insert(result.node_ghosts.end(), theirs.begin(),
                               theirs.end());
   }
+  dom_ = nullptr;
   return result;
+}
+
+NodeExchangeResult exchange_node_based(
+    simmpi::Rank& rank, const simmpi::CartGrid& grid,
+    const md::Box& global_box, const LocalDomain& dom, double rcut,
+    const std::array<int, 3>& ranks_per_node, int leaders) {
+  NodeExchange nx(rank, grid, global_box, rcut, ranks_per_node, leaders);
+  nx.begin(dom);
+  return nx.finish();
 }
 
 std::vector<HaloAtom> expected_ghosts_bruteforce(simmpi::Rank& rank,

@@ -2,10 +2,13 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "comm/plans.hpp"
 #include "md/box.hpp"
 #include "simmpi/simmpi.hpp"
+#include "util/vec3.hpp"
 
 namespace dpmd::comm {
 
@@ -56,10 +59,35 @@ class HaloExchange {
   std::vector<HaloAtom> finish();
   bool in_flight() const { return dom_ != nullptr; }
 
+  /// Arms plan recording for the next begin()..finish() pair (ISSUE 4):
+  /// while the full exchange runs, every send's source references (local
+  /// index or ghost slot) + per-hop periodic shift and every receive's
+  /// ghost-slot range are written into `plan`, in execution order.  One
+  /// shot: finish() marks the plan recorded and disarms.
+  void record_plan(HaloPlan* plan) { plan_rec_ = plan; }
+
+  /// Position-only replay of a recorded plan — the steady-state halo
+  /// between neighbor-list rebuilds.  refresh_begin posts the leading
+  /// sends that depend on local data only (dimension-0 round 1), gathering
+  /// fresh positions from `locals_x` (index i = local atom i of the
+  /// recording exchange; the engine guarantees ordering stability between
+  /// rebuilds).  refresh_finish replays the remaining recv/forward rounds
+  /// and returns the nghost refreshed ghost positions, slot-compatible
+  /// with the ghost array the recording exchange produced.  Overlappable
+  /// exactly like begin()/finish(): the caller computes its interior
+  /// partition between the two calls.  `locals_x` and `plan` must outlive
+  /// refresh_finish().
+  void refresh_begin(std::span<const Vec3> locals_x, const HaloPlan& plan);
+  const std::vector<Vec3>& refresh_finish();
+  bool refresh_in_flight() const { return rplan_ != nullptr; }
+
  private:
   void post_round(int d, int round);
   void recv_round(int d, int round);
   int layers_of(int d) const;
+  /// Replays plan events [rcursor_, ...) until `stop_at_recv` (begin stops
+  /// before the first recv so compute can run inside the gap).
+  void replay_events(bool stop_at_recv);
 
   simmpi::Rank& rank_;
   const simmpi::CartGrid& grid_;
@@ -73,6 +101,21 @@ class HaloExchange {
   // the +side last round is the candidate set for the next -side send.
   std::vector<HaloAtom> from_plus_;
   std::vector<HaloAtom> from_minus_;
+
+  // ---- plan recording (armed by record_plan) --------------------------
+  HaloPlan* plan_rec_ = nullptr;
+  // Provenance refs parallel to from_plus_/from_minus_ while recording.
+  std::vector<std::int32_t> refs_plus_;
+  std::vector<std::int32_t> refs_minus_;
+
+  // ---- refresh replay state -------------------------------------------
+  const HaloPlan* rplan_ = nullptr;
+  std::span<const Vec3> rlocals_;
+  std::vector<Vec3> rghost_x_;   ///< refreshed ghost positions, plan order
+  std::vector<Vec3> rsend_buf_;  ///< gather staging
+  std::size_t rcursor_send_ = 0;
+  std::size_t rcursor_recv_ = 0;
+  std::size_t rcursor_ = 0;
 };
 
 /// Result of the functional node-based exchange under the load-balance
@@ -83,10 +126,45 @@ struct NodeExchangeResult {
   std::vector<HaloAtom> node_ghosts;
 };
 
-/// Functional node-based exchange (§III-A): intra-node allgather, node-level
-/// leader-to-leader messages (offsets partitioned round-robin across the
-/// `leaders` leader ranks), intra-node broadcast of the received ghosts.
-/// `ranks_per_node` groups the rank grid (2x2x1 in the paper's runs).
+/// Functional node-based exchange (§III-A) with the same begin/finish
+/// staging as HaloExchange: begin() posts the intra-node allgather sends —
+/// the only messages that depend purely on this rank's locals — and
+/// returns, so the engine can evaluate its interior partition while every
+/// rank's step-1 traffic drains; finish() gathers the node atoms, runs the
+/// leader-to-leader p2p (offsets partitioned round-robin across the
+/// `leaders` leader ranks) and the intra-node broadcast of the received
+/// ghosts.  `ranks_per_node` groups the rank grid (2x2x1 in the paper's
+/// runs).  exchange_node_based() is begin() + finish() back to back.
+class NodeExchange {
+ public:
+  NodeExchange(simmpi::Rank& rank, const simmpi::CartGrid& grid,
+               const md::Box& global_box, double rcut,
+               const std::array<int, 3>& ranks_per_node = {2, 2, 1},
+               int leaders = 4);
+
+  /// `dom` must outlive finish() (steps 2-3 re-read its locals).
+  void begin(const LocalDomain& dom);
+  NodeExchangeResult finish();
+  bool in_flight() const { return dom_ != nullptr; }
+
+ private:
+  int rank_of_slot(const std::array<int, 3>& ncoord, int slot) const;
+
+  simmpi::Rank& rank_;
+  const simmpi::CartGrid& grid_;
+  md::Box global_box_;
+  double rcut_;
+  std::array<int, 3> ranks_per_node_;
+  int leaders_;
+  int rpn_;
+  std::array<int, 3> node_coord_;
+  std::array<int, 3> node_grid_;
+  int my_slot_;
+
+  const LocalDomain* dom_ = nullptr;
+};
+
+/// Blocking wrapper: NodeExchange::begin + finish back to back.
 NodeExchangeResult exchange_node_based(
     simmpi::Rank& rank, const simmpi::CartGrid& grid,
     const md::Box& global_box, const LocalDomain& dom, double rcut,

@@ -6,6 +6,21 @@
 
 namespace dpmd::comm {
 
+void HaloPlan::clear() {
+  order.clear();
+  sends.clear();
+  recvs.clear();
+  nlocal = 0;
+  nghost = 0;
+  recorded = false;
+}
+
+std::size_t HaloPlan::total_sent_atoms() const {
+  std::size_t n = 0;
+  for (const Send& s : sends) n += s.src.size();
+  return n;
+}
+
 namespace {
 
 /// Node id of a rank in the 2x2x1-per-node grouping.

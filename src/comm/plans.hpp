@@ -1,9 +1,73 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "comm/geometry.hpp"
 #include "tofu/netsim.hpp"
 
 namespace dpmd::comm {
+
+// ---- recorded halo plan (ISSUE 4) -----------------------------------------
+
+/// Recorded forward schedule of one full three-stage exchange.  Between
+/// neighbor-list rebuilds the ghost *membership* of every rank is frozen
+/// (the skin guarantees no relevant neighbor appears or vanishes), so the
+/// steady-state steps replay this plan with a position-only payload
+/// (HaloExchange::refresh_begin / refresh_finish) instead of re-running
+/// the filter/forward logic over full HaloAtom records — the paper's
+/// "forward communication only" cadence between rebuilds.
+///
+/// The plan is rank-local: each rank records what *it* sent and received.
+/// Because every rank replays its own plan, the pairwise message sequence
+/// is reproduced exactly, and the receive order repopulates the ghost
+/// array slot-for-slot in the order the rebuild exchange created it.
+struct HaloPlan {
+  /// One recorded isend: gather the positions referenced by `src`, add
+  /// `shift` to coordinate `dim`, send to `peer` with `tag`.  A reference
+  /// r >= 0 names local atom r; r < 0 names ghost slot ghost_of(r) —
+  /// forwarded atoms were received (and their replayed positions stored)
+  /// in a strictly earlier recv event, so a sequential replay always has
+  /// them ready.
+  struct Send {
+    int peer = -1;
+    int tag = 0;
+    int dim = 0;
+    double shift = 0.0;
+    std::vector<std::int32_t> src;
+  };
+  /// One recorded blocking receive: `count` positions from `peer` landing
+  /// in ghost slots [first, first + count).
+  struct Recv {
+    int peer = -1;
+    int tag = 0;
+    int first = 0;
+    int count = 0;
+  };
+  enum class Op : std::uint8_t { kSend, kRecv };
+
+  static std::int32_t ref_local(int i) { return i; }
+  static std::int32_t ref_ghost(int g) { return -1 - g; }
+  static bool is_ghost(std::int32_t r) { return r < 0; }
+  static int ghost_of(std::int32_t r) { return -1 - r; }
+
+  /// Replay schedule: sends posted / receives waited in exactly the order
+  /// the recording exchange executed them (order[i] names the next entry
+  /// of `sends` or `recvs`; both are consumed front to back).
+  std::vector<Op> order;
+  std::vector<Send> sends;
+  std::vector<Recv> recvs;
+  int nlocal = 0;   ///< locals at record time (replay validation)
+  int nghost = 0;   ///< ghosts the replay fills
+  bool recorded = false;
+
+  void clear();
+  /// Total positions this rank forwards per refresh step (comm-volume
+  /// accounting: refresh traffic is 24 B/atom vs the rebuild's 32 B).
+  std::size_t total_sent_atoms() const;
+};
+
+// ---- at-scale timing models (Fig. 7) --------------------------------------
 
 /// Knobs shared by all scheme planners.
 struct SchemeConfig {

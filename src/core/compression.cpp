@@ -61,39 +61,89 @@ CompressedEmbedding CompressedEmbedding::build(const nn::Mlp<double>& net,
       const double v0 = val[i0], v1 = val[i1];
       const double g0 = d1[i0] * width, g1 = d1[i1] * width;
       const double c0 = d2[i0] * width * width, c1 = d2[i1] * width * width;
+      // Coefficient-major: power k of channel c of this bin lands at
+      // ((bin * 6) + k) * m1 + c (see the layout note in the header).
       double* a = table.coeff_.data() +
-                  (static_cast<std::size_t>(bin) * m1 + c) * 6;
-      a[0] = v0;
-      a[1] = g0;
-      a[2] = 0.5 * c0;
-      a[3] = -10.0 * v0 - 6.0 * g0 - 1.5 * c0 + 10.0 * v1 - 4.0 * g1 +
-             0.5 * c1;
-      a[4] = 15.0 * v0 + 8.0 * g0 + 1.5 * c0 - 15.0 * v1 + 7.0 * g1 - c1;
-      a[5] = -6.0 * v0 - 3.0 * g0 - 0.5 * c0 + 6.0 * v1 - 3.0 * g1 +
-             0.5 * c1;
+                  static_cast<std::size_t>(bin) * 6 * m1 + c;
+      const auto at = [&](int k) -> double& {
+        return a[static_cast<std::size_t>(k) * m1];
+      };
+      at(0) = v0;
+      at(1) = g0;
+      at(2) = 0.5 * c0;
+      at(3) = -10.0 * v0 - 6.0 * g0 - 1.5 * c0 + 10.0 * v1 - 4.0 * g1 +
+              0.5 * c1;
+      at(4) = 15.0 * v0 + 8.0 * g0 + 1.5 * c0 - 15.0 * v1 + 7.0 * g1 - c1;
+      at(5) = -6.0 * v0 - 3.0 * g0 - 0.5 * c0 + 6.0 * v1 - 3.0 * g1 +
+              0.5 * c1;
     }
   }
   return table;
 }
 
-void CompressedEmbedding::eval(double s, double* g, double* dg) const {
+int CompressedEmbedding::locate(double s, double& t, double& extension) const {
   const double clamped = std::clamp(s, s_min_, s_max_);
   const double pos = (clamped - s_min_) * inv_width_;
-  int bin = std::min(static_cast<int>(pos), nbins_ - 1);
-  const double t = pos - bin;
-  const double extension = s - clamped;  // non-zero only out of range
+  const int bin = std::min(static_cast<int>(pos), nbins_ - 1);
+  t = pos - bin;
+  extension = s - clamped;  // non-zero only out of range
+  return bin;
+}
+
+void CompressedEmbedding::eval(double s, double* g, double* dg) const {
+  double t, extension;
+  const int bin = locate(s, t, extension);
 
   const double* base =
-      coeff_.data() + static_cast<std::size_t>(bin) * m1_ * 6;
+      coeff_.data() + static_cast<std::size_t>(bin) * 6 * m1_;
   for (int c = 0; c < m1_; ++c) {
-    const double* a = base + static_cast<std::size_t>(c) * 6;
+    const auto a = [&](int k) {
+      return base[static_cast<std::size_t>(k) * m1_ + c];
+    };
     // Horner for value and dt-derivative.
     const double v =
-        a[0] + t * (a[1] + t * (a[2] + t * (a[3] + t * (a[4] + t * a[5]))));
+        a(0) + t * (a(1) + t * (a(2) + t * (a(3) + t * (a(4) + t * a(5)))));
     const double dv_dt =
-        a[1] +
-        t * (2 * a[2] + t * (3 * a[3] + t * (4 * a[4] + t * 5 * a[5])));
+        a(1) +
+        t * (2 * a(2) + t * (3 * a(3) + t * (4 * a(4) + t * 5 * a(5))));
     const double dv_ds = dv_dt * inv_width_;
+    g[c] = v + dv_ds * extension;  // linear extension out of range
+    dg[c] = dv_ds;
+  }
+}
+
+void CompressedEmbedding::eval_row(double s, double* __restrict g,
+                                   double* __restrict dg) const {
+  double t, extension;
+  const int bin = locate(s, t, extension);
+  const int m1 = m1_;
+
+  // Dual Horner (value v <- v*t + a_k, derivative dv <- dv*t + v), channel
+  // loop vectorized: the six coefficient rows of the bin are unit-stride
+  // vectors, the k-chain is unrolled so each SIMD lane keeps v/dv in
+  // registers — one pass, 6 loads + 2 stores per channel.
+  const double* __restrict base =
+      coeff_.data() + static_cast<std::size_t>(bin) * 6 * m1;
+  const double* __restrict a0 = base;
+  const double* __restrict a1 = base + static_cast<std::size_t>(1) * m1;
+  const double* __restrict a2 = base + static_cast<std::size_t>(2) * m1;
+  const double* __restrict a3 = base + static_cast<std::size_t>(3) * m1;
+  const double* __restrict a4 = base + static_cast<std::size_t>(4) * m1;
+  const double* __restrict a5 = base + static_cast<std::size_t>(5) * m1;
+  const double w = inv_width_;
+#pragma omp simd
+  for (int c = 0; c < m1; ++c) {
+    double dv = a5[c];
+    double v = a5[c] * t + a4[c];
+    dv = dv * t + v;
+    v = v * t + a3[c];
+    dv = dv * t + v;
+    v = v * t + a2[c];
+    dv = dv * t + v;
+    v = v * t + a1[c];
+    dv = dv * t + v;
+    v = v * t + a0[c];
+    const double dv_ds = dv * w;
     g[c] = v + dv_ds * extension;  // linear extension out of range
     dg[c] = dv_ds;
   }

@@ -34,7 +34,18 @@ class CompressedEmbedding {
 
   /// Writes G(s) into g[0..m1) and dG/ds into dg[0..m1).  Outside the table
   /// range the edge value is linearly extended (constant derivative).
+  /// Scalar per-channel Horner over the coefficient-major storage; kept as
+  /// the reference (and ablation baseline) for eval_row.
   void eval(double s, double* g, double* dg) const;
+
+  /// Same contract as eval(), vectorized: the [bin][power][m1] layout puts
+  /// every power's m1 coefficients unit-stride, so one dual Horner
+  /// recurrence (value + dt-derivative) sweeps all channels per power with
+  /// `omp simd` lanes.  This is the batch entry point of the hot paths
+  /// (DPEvaluator::batch_impl and evaluate_atom call it per packed row);
+  /// equality with eval() is pinned by tests across bins, clamping and the
+  /// linear extension.
+  void eval_row(double s, double* g, double* dg) const;
 
  private:
   double s_min_ = 0.0;
@@ -42,9 +53,15 @@ class CompressedEmbedding {
   double inv_width_ = 0.0;
   int nbins_ = 0;
   int m1_ = 0;
-  /// coeff_[((bin * m1) + channel) * 6 + k]: monomial coefficient of t^k on
-  /// the unit interval of that bin.
+  /// Coefficient-major storage: coeff_[((bin * 6) + k) * m1 + channel] is
+  /// the monomial coefficient of t^k on the unit interval of that bin.
+  /// Power-major-within-bin keeps all m1 coefficients of one power
+  /// contiguous — the unit-stride operand eval_row's SIMD Horner needs
+  /// (channel-major storage forced a stride-6 walk per channel instead).
   std::vector<double> coeff_;
+
+  /// bin/t/extension lookup shared by eval and eval_row.
+  int locate(double s, double& t, double& extension) const;
 };
 
 }  // namespace dpmd::dp

@@ -133,7 +133,7 @@ void build_env(const md::Atoms& atoms, const md::NeighborList& list, int i,
 void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                      const int* centers, int count,
                      const DescriptorParams& params, int ntypes,
-                     AtomEnvBatch& batch) {
+                     AtomEnvBatch& batch, bool keep_list_rows) {
   DPMD_REQUIRE(list.config().full, "descriptor needs a full neighbor list");
   DPMD_REQUIRE(count >= 0 && (count == 0 || centers != nullptr),
                "null center list");
@@ -176,31 +176,40 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
     }
   }
 
-  // Pass 1: collect in-range neighbors per center and count per (type, slot)
-  // segment.  `within_` keeps the surviving neighbor indices so pass 2 does
-  // not repeat the cutoff test.
+  // Pass 1: collect surviving neighbors per center and count per
+  // (type, slot) segment.  `within_` keeps the neighbor indices so pass 2
+  // does not repeat the cutoff test; with keep_list_rows, a skin-band
+  // neighbor (inside the list but at/beyond rcut) is kept with its index
+  // bit-complemented so pass 2 can route it to the segment's zeroed tail.
   std::vector<int>& within = batch.within_;
   std::vector<int>& within_offset = batch.within_offset_;
   within.clear();
   within_offset.assign(static_cast<std::size_t>(count) + 1, 0);
-  batch.seg_offset.assign(
-      static_cast<std::size_t>(ntypes) * count + 1, 0);
+  const std::size_t nseg = static_cast<std::size_t>(ntypes) * count;
+  batch.seg_offset.assign(nseg + 1, 0);
+  if (keep_list_rows) {
+    batch.seg_active.assign(nseg, 0);
+  } else {
+    batch.seg_active.clear();
+  }
   for (int a = 0; a < count; ++a) {
     const int i = centers[a];
     const Vec3 xi = atoms.x[static_cast<std::size_t>(i)];
     for (const int j : list.neighbors(i)) {
       const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
-      if (d.norm2() >= rc2) continue;
-      within.push_back(j);
+      const bool in_range = d.norm2() < rc2;
+      if (!in_range && !keep_list_rows) continue;
+      within.push_back(in_range ? j : ~j);
       const int t = atoms.type[static_cast<std::size_t>(j)];
+      const std::size_t seg = static_cast<std::size_t>(t) * count + a;
       // +1: build counts shifted by one slot for the prefix sum below.
-      ++batch.seg_offset[static_cast<std::size_t>(t) * count + a + 1];
+      ++batch.seg_offset[seg + 1];
+      if (keep_list_rows && in_range) ++batch.seg_active[seg];
     }
     within_offset[static_cast<std::size_t>(a) + 1] =
         static_cast<int>(within.size());
   }
   // Prefix-sum the (type-major, slot-minor) segment counts into offsets.
-  const std::size_t nseg = static_cast<std::size_t>(ntypes) * count;
   for (std::size_t s = 1; s <= nseg; ++s) {
     batch.seg_offset[s] += batch.seg_offset[s - 1];
   }
@@ -217,38 +226,108 @@ void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
   batch.rmat.resize(static_cast<std::size_t>(rows) * 4);
   batch.drmat.resize(static_cast<std::size_t>(rows) * 12);
 
-  // Pass 2: place every surviving neighbor in its (type, slot) segment and
-  // fill the environment-matrix rows.
+  // Pass 2: place every surviving neighbor in its (type, slot) segment —
+  // in-range rows at the segment front (list order preserved), skin-band
+  // rows into the zeroed tail — and fill the environment-matrix rows.
   std::vector<int>& cursor = batch.cursor_;
   cursor.assign(batch.seg_offset.begin(), batch.seg_offset.end() - 1);
+  std::vector<int>& cursor_back = batch.cursor_back_;
+  if (keep_list_rows) {
+    cursor_back.resize(nseg);
+    for (std::size_t s = 0; s < nseg; ++s) {
+      cursor_back[s] = batch.seg_offset[s] + batch.seg_active[s];
+    }
+  }
   for (int a = 0; a < count; ++a) {
     const Vec3 xi = atoms.x[static_cast<std::size_t>(centers[a])];
     const int lo = within_offset[static_cast<std::size_t>(a)];
     const int hi = within_offset[static_cast<std::size_t>(a) + 1];
     for (int w = lo; w < hi; ++w) {
-      const int j = within[static_cast<std::size_t>(w)];
+      const int enc = within[static_cast<std::size_t>(w)];
+      const bool in_range = enc >= 0;
+      const int j = in_range ? enc : ~enc;
       const int t = atoms.type[static_cast<std::size_t>(j)];
-      const int r = cursor[static_cast<std::size_t>(t) * count + a]++;
+      const std::size_t seg = static_cast<std::size_t>(t) * count + a;
       const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+      const int r = in_range ? cursor[seg]++ : cursor_back[seg]++;
       batch.row_slot[static_cast<std::size_t>(r)] = a;
       batch.nbr_index[static_cast<std::size_t>(r)] = j;
       batch.rel[static_cast<std::size_t>(r)] = d;
-      fill_env_row(d, t, params,
-                   batch.rmat.data() + static_cast<std::size_t>(r) * 4,
-                   batch.drmat.data() + static_cast<std::size_t>(r) * 12);
+      double* rrow = batch.rmat.data() + static_cast<std::size_t>(r) * 4;
+      double* drow = batch.drmat.data() + static_cast<std::size_t>(r) * 12;
+      if (in_range) {
+        fill_env_row(d, t, params, rrow, drow);
+      } else {
+        std::fill(rrow, rrow + 4, 0.0);
+        std::fill(drow, drow + 12, 0.0);
+      }
     }
   }
 }
 
 void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                      int first, int count, const DescriptorParams& params,
-                     int ntypes, AtomEnvBatch& batch) {
+                     int ntypes, AtomEnvBatch& batch, bool keep_list_rows) {
   DPMD_REQUIRE(count >= 0 && first >= 0 && first + count <= atoms.nlocal,
                "atom block out of range");
   thread_local std::vector<int> centers;
   centers.resize(static_cast<std::size_t>(count));
   for (int a = 0; a < count; ++a) centers[static_cast<std::size_t>(a)] = first + a;
-  build_env_batch(atoms, list, centers.data(), count, params, ntypes, batch);
+  build_env_batch(atoms, list, centers.data(), count, params, ntypes, batch,
+                  keep_list_rows);
+}
+
+void refresh_env_batch(const md::Atoms& atoms, const DescriptorParams& params,
+                       AtomEnvBatch& batch) {
+  const int rows = batch.rows();
+  DPMD_REQUIRE(batch.rmat.size() == static_cast<std::size_t>(rows) * 4,
+               "refresh of an unbuilt batch");
+  const double rc2 = params.rcut * params.rcut;
+  const int B = batch.natoms;
+  batch.seg_active.assign(static_cast<std::size_t>(batch.ntypes) * B, 0);
+  // Deferred skin-band rows of the segment being re-partitioned (the
+  // in-place front compaction writes position `front` <= r, so tail rows
+  // stage here until the front is known).
+  thread_local std::vector<int> back_j;
+  thread_local std::vector<Vec3> back_d;
+  for (int t = 0; t < batch.ntypes; ++t) {
+    for (int a = 0; a < B; ++a) {
+      const std::size_t seg = static_cast<std::size_t>(t) * B + a;
+      const int lo = batch.seg_offset[seg];
+      const int hi = batch.seg_offset[seg + 1];
+      if (lo == hi) continue;
+      const Vec3 xi = atoms.x[static_cast<std::size_t>(
+          batch.center_index[static_cast<std::size_t>(a)])];
+      int front = lo;
+      back_j.clear();
+      back_d.clear();
+      for (int r = lo; r < hi; ++r) {
+        const int j = batch.nbr_index[static_cast<std::size_t>(r)];
+        const Vec3 d = atoms.x[static_cast<std::size_t>(j)] - xi;
+        if (d.norm2() < rc2) {
+          batch.nbr_index[static_cast<std::size_t>(front)] = j;
+          batch.rel[static_cast<std::size_t>(front)] = d;
+          fill_env_row(
+              d, t, params,
+              batch.rmat.data() + static_cast<std::size_t>(front) * 4,
+              batch.drmat.data() + static_cast<std::size_t>(front) * 12);
+          ++front;
+        } else {
+          back_j.push_back(j);
+          back_d.push_back(d);
+        }
+      }
+      batch.seg_active[seg] = front - lo;
+      for (std::size_t k = 0; k < back_j.size(); ++k) {
+        const std::size_t r = static_cast<std::size_t>(front) + k;
+        batch.nbr_index[r] = back_j[k];
+        batch.rel[r] = back_d[k];
+        std::fill_n(batch.rmat.data() + r * 4, 4, 0.0);
+        std::fill_n(batch.drmat.data() + r * 12, 12, 0.0);
+      }
+      // row_slot is constant (= a) across the segment; untouched.
+    }
+  }
 }
 
 // ---- GEMM-cast descriptor contraction -------------------------------------
@@ -335,13 +414,14 @@ void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
       const int lo = batch.type_offset[static_cast<std::size_t>(t)];
       const int seg_lo =
           batch.seg_offset[static_cast<std::size_t>(t) * B + a];
-      const int seg_hi =
-          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
-      if (seg_hi == seg_lo) continue;
+      // Only the in-range prefix carries non-zero rows (skin compaction);
+      // the GEMM never touches the zeroed tail.
+      const int active = batch.active_rows(t, a);
+      if (active == 0) continue;
       contract_a_rows(rmat_rows + static_cast<std::size_t>(seg_lo) * 4,
                       g_base[static_cast<std::size_t>(t)] +
                           static_cast<std::size_t>(seg_lo - lo) * m1,
-                      seg_hi - seg_lo, m1, inv_n, abuf);
+                      active, m1, inv_n, abuf);
     }
     const int ct = batch.center_type[static_cast<std::size_t>(a)];
     const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
@@ -376,14 +456,15 @@ void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
       const int lo = batch.type_offset[static_cast<std::size_t>(t)];
       const int seg_lo =
           batch.seg_offset[static_cast<std::size_t>(t) * B + a];
-      const int seg_hi =
-          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
-      if (seg_hi == seg_lo) continue;
+      // In-range prefix only; the zeroed tail rows have dG = 0 (their R~
+      // is zero) and their dE/dd is killed by the zeroed dR/dd anyway.
+      const int active = batch.active_rows(t, a);
+      if (active == 0) continue;
       contract_backward_rows(
           rmat_rows + static_cast<std::size_t>(seg_lo) * 4,
           g_base[static_cast<std::size_t>(t)] +
               static_cast<std::size_t>(seg_lo - lo) * m1,
-          da_buf.data(), seg_hi - seg_lo, m1, inv_n,
+          da_buf.data(), active, m1, inv_n,
           dg_base[static_cast<std::size_t>(t)] +
               static_cast<std::size_t>(seg_lo - lo) * m1,
           dr_rows == nullptr

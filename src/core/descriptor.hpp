@@ -115,8 +115,24 @@ struct AtomEnvBatch {
   /// Within type block t, the rows of center slot a are the contiguous
   /// segment [seg_offset[t*natoms + a], seg_offset[t*natoms + a + 1]).
   std::vector<int> seg_offset;  ///< ntypes * natoms + 1
+  /// Skin-row compaction (keep_list_rows builds and refresh_env_batch):
+  /// within each segment, the rows whose neighbor is currently inside rcut
+  /// form the leading [seg_lo, seg_lo + seg_active[t*natoms + a]) prefix;
+  /// the suffix holds the skin-band rows with zeroed R~/dR (they
+  /// contribute exactly nothing and the GEMM sweeps skip them).  Empty =
+  /// rcut-filtered batch, every row active.
+  std::vector<int> seg_active;  ///< ntypes * natoms, or empty
   std::vector<int> row_slot;    ///< rows: owning center slot
   std::vector<int> nbr_index;   ///< rows: neighbor atom index (local+ghost)
+
+  /// GEMM-relevant rows of segment (t, a): the in-range prefix length.
+  int active_rows(int t, int a) const {
+    const std::size_t seg = static_cast<std::size_t>(t) * natoms + a;
+    if (seg_active.empty()) {
+      return seg_offset[seg + 1] - seg_offset[seg];
+    }
+    return seg_active[seg];
+  }
 
   /// R-tilde rows (s, s*dx/r, s*dy/r, s*dz/r) and dR/dd, same per-row
   /// layout as AtomEnv but over the packed block rows.
@@ -145,6 +161,7 @@ struct AtomEnvBatch {
     fit_type_offset.clear();
     type_offset.clear();
     seg_offset.clear();
+    seg_active.clear();
     row_slot.clear();
     nbr_index.clear();
     rmat.clear();
@@ -155,11 +172,12 @@ struct AtomEnvBatch {
  private:
   friend void build_env_batch(const md::Atoms&, const md::NeighborList&,
                               const int*, int, const DescriptorParams&, int,
-                              AtomEnvBatch&);
+                              AtomEnvBatch&, bool);
   // build scratch, reused across blocks so steady state does not allocate
   std::vector<int> within_;
   std::vector<int> within_offset_;
   std::vector<int> cursor_;
+  std::vector<int> cursor_back_;  ///< tail cursors of the compacted build
 };
 
 /// Builds the packed environments of the `count` local atoms listed in
@@ -167,15 +185,37 @@ struct AtomEnvBatch {
 /// blocks) from a full neighbor list.  Same physics as `count` build_env
 /// calls; the rows land in the grouped layout described on AtomEnvBatch,
 /// with center_index[a] == centers[a].
+///
+/// `keep_list_rows = true` keeps EVERY list neighbor as a packed row
+/// instead of filtering at rcut — the mode behind skin-cadence env reuse
+/// (PairDeepMD): the row set then stays a superset of the within-rcut set
+/// for as long as the list itself is valid, so refresh_env_batch can
+/// recompute positions-only between rebuilds.  Each segment is compacted
+/// (in-range prefix + zeroed skin-band suffix, see seg_active) so the
+/// evaluator's GEMM and table sweeps still touch only the within-rcut
+/// rows; the suffix rows contribute exactly nothing to energies or
+/// forces.
 void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                      const int* centers, int count,
                      const DescriptorParams& params, int ntypes,
-                     AtomEnvBatch& batch);
+                     AtomEnvBatch& batch, bool keep_list_rows = false);
 
 /// Convenience overload over the consecutive block [first, first + count).
 void build_env_batch(const md::Atoms& atoms, const md::NeighborList& list,
                      int first, int count, const DescriptorParams& params,
-                     int ntypes, AtomEnvBatch& batch);
+                     int ntypes, AtomEnvBatch& batch,
+                     bool keep_list_rows = false);
+
+/// Steady-state refill of a batch built with keep_list_rows: recomputes the
+/// position-dependent payload (rel, R~, dR/dd) of every packed row from the
+/// current atom positions while the *structure* (centers, type/segment
+/// offsets, row ownership, fitting order) is reused untouched — the
+/// non-rebuild-step fast path with zero sort/pack work.  Valid while the
+/// neighbor list the batch was built from is valid (same atom ordering,
+/// drift under skin/2); neighbors that drifted across rcut in either
+/// direction are handled by the switch function reaching exactly zero.
+void refresh_env_batch(const md::Atoms& atoms, const DescriptorParams& params,
+                       AtomEnvBatch& batch);
 
 // ---- GEMM-cast descriptor contraction (PR 2) ------------------------------
 // The contraction A = R~^T G / sel, D = A^T A[:, :m2] and its backward run

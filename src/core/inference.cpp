@@ -163,7 +163,7 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
     grow_d.resize(static_cast<std::size_t>(m1));
     for (int k = 0; k < nnei; ++k) {
       const int t = env.nbr_type[static_cast<std::size_t>(k)];
-      tables_[static_cast<std::size_t>(t)].eval(
+      tables_[static_cast<std::size_t>(t)].eval_row(
           env.rmat[static_cast<std::size_t>(k) * 4], grow_d.data(),
           dgds.data() + static_cast<std::size_t>(k) * m1);
       T* grow = ws.g.data() + static_cast<std::size_t>(k) * m1;
@@ -432,14 +432,24 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
       const int hi = lo + type_count(t);
       for (int r = lo; r < hi; ++r) {
         T* grow = ws.g.data() + static_cast<std::size_t>(r) * m1;
+        const double s_row = batch.rmat[static_cast<std::size_t>(r) * 4];
+        if (s_row == 0.0) {
+          // A compacted skin-band tail row (env reuse keeps full-list rows
+          // between rebuilds): its R~ and dR/dd rows are all zeros and the
+          // GEMM sweeps skip it via seg_active, so neither its G nor its
+          // dG/ds is ever read — skip the table walk outright.  (dG rows
+          // are zero-initialized per block, so the dE/ds chain still sees
+          // an exact zero for it.)
+          continue;
+        }
         if constexpr (std::is_same_v<T, double>) {
           // Table rows land straight in the G slab; only fp32 stages.
-          tables_[static_cast<std::size_t>(t)].eval(
-              batch.rmat[static_cast<std::size_t>(r) * 4], grow,
+          tables_[static_cast<std::size_t>(t)].eval_row(
+              s_row, grow,
               ws.dgds.data() + static_cast<std::size_t>(r) * m1);
         } else {
-          tables_[static_cast<std::size_t>(t)].eval(
-              batch.rmat[static_cast<std::size_t>(r) * 4], ws.grow.data(),
+          tables_[static_cast<std::size_t>(t)].eval_row(
+              s_row, ws.grow.data(),
               ws.dgds.data() + static_cast<std::size_t>(r) * m1);
           for (int p = 0; p < m1; ++p) {
             grow[p] = static_cast<T>(ws.grow[static_cast<std::size_t>(p)]);
@@ -540,18 +550,28 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
                           dg_base.data(), ws.dr.data());
 
   // ---- dE/ds through the embedding: ONE backward per type per block -----
+  // Compressed path walks only each segment's in-range prefix — the
+  // compacted skin tails have dG = 0 and their dE/dd is written as an
+  // exact zero by the chain sweep below, so their ds is never read.
   std::vector<const T*> ds_base(static_cast<std::size_t>(ntypes), nullptr);
   if (opts_.compressed) {
     ws.ds.resize(static_cast<std::size_t>(rows));
-    for (int r = 0; r < rows; ++r) {
-      const T* dgrow = ws.dg.data() + static_cast<std::size_t>(r) * m1;
-      const double* dgdsrow =
-          ws.dgds.data() + static_cast<std::size_t>(r) * m1;
-      double acc = 0;
-      for (int p = 0; p < m1; ++p) {
-        acc += static_cast<double>(dgrow[p]) * dgdsrow[p];
+    for (int t = 0; t < ntypes; ++t) {
+      for (int a = 0; a < B; ++a) {
+        const int seg_lo =
+            batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+        const int seg_end = seg_lo + batch.active_rows(t, a);
+        for (int r = seg_lo; r < seg_end; ++r) {
+          const T* dgrow = ws.dg.data() + static_cast<std::size_t>(r) * m1;
+          const double* dgdsrow =
+              ws.dgds.data() + static_cast<std::size_t>(r) * m1;
+          double acc = 0;
+          for (int p = 0; p < m1; ++p) {
+            acc += static_cast<double>(dgrow[p]) * dgdsrow[p];
+          }
+          ws.ds[static_cast<std::size_t>(r)] = static_cast<T>(acc);
+        }
       }
-      ws.ds[static_cast<std::size_t>(r)] = static_cast<T>(acc);
     }
     for (int t = 0; t < ntypes; ++t) {
       ds_base[static_cast<std::size_t>(t)] =
@@ -569,25 +589,37 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   }
 
   // ---- chain rule to neighbor displacements (always fp64) ----------------
+  // Per-segment sweep: real work on the in-range prefix, exact zeros for
+  // the compacted skin tails (their dR/dd is zeroed, their forces are
+  // zero by construction — don't even read the stale workspaces).
   for (int t = 0; t < ntypes; ++t) {
     const int lo = type_lo(t);
-    const int hi = lo + type_count(t);
     const T* dsb = ds_base[static_cast<std::size_t>(t)];
-    for (int r = lo; r < hi; ++r) {
-      const double* der =
-          batch.drmat.data() + static_cast<std::size_t>(r) * 12;
-      const T* drrow = ws.dr.data() + static_cast<std::size_t>(r) * 4;
-      const double ds_emb = static_cast<double>(dsb[r - lo]);
-      Vec3 grad{0, 0, 0};
-      for (int axis = 0; axis < 3; ++axis) {
-        double acc = 0;
-        for (int c = 0; c < 4; ++c) {
-          acc += static_cast<double>(drrow[c]) * der[c * 3 + axis];
+    for (int a = 0; a < B; ++a) {
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
+      const int seg_end = seg_lo + batch.active_rows(t, a);
+      for (int r = seg_lo; r < seg_end; ++r) {
+        const double* der =
+            batch.drmat.data() + static_cast<std::size_t>(r) * 12;
+        const T* drrow = ws.dr.data() + static_cast<std::size_t>(r) * 4;
+        const double ds_emb = static_cast<double>(dsb[r - lo]);
+        Vec3 grad{0, 0, 0};
+        for (int axis = 0; axis < 3; ++axis) {
+          double acc = 0;
+          for (int c = 0; c < 4; ++c) {
+            acc += static_cast<double>(drrow[c]) * der[c * 3 + axis];
+          }
+          acc += ds_emb * der[0 * 3 + axis];  // embedding input is R comp 0
+          grad[axis] = acc;
         }
-        acc += ds_emb * der[0 * 3 + axis];  // embedding input is R comp 0
-        grad[axis] = acc;
+        dE_dd[static_cast<std::size_t>(r)] = grad;
       }
-      dE_dd[static_cast<std::size_t>(r)] = grad;
+      for (int r = seg_end; r < seg_hi; ++r) {
+        dE_dd[static_cast<std::size_t>(r)] = Vec3{0, 0, 0};
+      }
     }
   }
 

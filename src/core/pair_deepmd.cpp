@@ -45,6 +45,29 @@ void PairDeepMD::start_pass(md::Atoms& atoms, const md::NeighborList& list,
   const int B = opts_.block_size;
   pass_items_ = B <= 1 ? static_cast<std::size_t>(pass_count_)
                        : (static_cast<std::size_t>(pass_count_) + B - 1) / B;
+
+  // Skin-cadence env reuse: claim this pass's cache slot.  A hit (same
+  // centers, same atom counts since the last rebuild signal) lets
+  // eval_item refresh each block's packed structure instead of rebuilding
+  // it; any mismatch resets the slot and rebuilds.
+  pass_cache_ = nullptr;
+  if (pass_ordinal_ >= 0 && B > 1) {
+    const auto ordinal = static_cast<std::size_t>(pass_ordinal_++);
+    if (env_caches_.size() <= ordinal) env_caches_.resize(ordinal + 1);
+    EnvCache& cache = env_caches_[ordinal];
+    const bool hit = cache.all == pass_all_ && cache.count == pass_count_ &&
+                     cache.ntotal == pass_ntotal_ &&
+                     (pass_all_ || cache.centers == pass_centers_);
+    if (!hit) {
+      cache.all = pass_all_;
+      cache.count = pass_count_;
+      cache.ntotal = pass_ntotal_;
+      cache.centers = pass_centers_;
+      cache.blocks.resize(pass_items_);
+      cache.built.assign(pass_items_, 0);
+    }
+    pass_cache_ = &cache;
+  }
   std::fill(pass_pe_.begin(), pass_pe_.end(), 0.0);
   std::fill(pass_virial_.begin(), pass_virial_.end(), 0.0);
   // Per-thread force buffers are zeroed lazily on the thread's first item
@@ -91,38 +114,60 @@ void PairDeepMD::eval_item(std::size_t item, unsigned tid) {
   }
 
   // Batched path (§III-B): blocks of B centers are the parallel work unit.
-  AtomEnvBatch& batch = batches_[tid];
   auto& eblk = eblk_[tid];
 
   const int first = static_cast<int>(item) * B;
   const int count = std::min(B, pass_count_ - first);
-  if (pass_all_) {
-    build_env_batch(atoms, list, first, count, model_->config().descriptor,
-                    ntypes, batch);
+  AtomEnvBatch* batch;
+  if (pass_cache_ != nullptr) {
+    // Cadenced engine: the block's packed structure persists between list
+    // rebuilds.  First touch builds it with every list row (rcut + skin);
+    // steady-state touches refresh R~/s/switch from current positions.
+    batch = &pass_cache_->blocks[item];
+    if (pass_cache_->built[item] != 0) {
+      refresh_env_batch(atoms, model_->config().descriptor, *batch);
+    } else {
+      if (pass_all_) {
+        build_env_batch(atoms, list, first, count,
+                        model_->config().descriptor, ntypes, *batch,
+                        /*keep_list_rows=*/true);
+      } else {
+        build_env_batch(atoms, list, pass_centers_.data() + first, count,
+                        model_->config().descriptor, ntypes, *batch,
+                        /*keep_list_rows=*/true);
+      }
+      pass_cache_->built[item] = 1;
+    }
   } else {
-    build_env_batch(atoms, list, pass_centers_.data() + first, count,
-                    model_->config().descriptor, ntypes, batch);
+    batch = &batches_[tid];
+    if (pass_all_) {
+      build_env_batch(atoms, list, first, count, model_->config().descriptor,
+                      ntypes, *batch);
+    } else {
+      build_env_batch(atoms, list, pass_centers_.data() + first, count,
+                      model_->config().descriptor, ntypes, *batch);
+    }
   }
-  ev.evaluate_batch(batch, eblk, dedd);
+  ev.evaluate_batch(*batch, eblk, dedd);
 
   for (int a = 0; a < count; ++a) {
     pass_pe_[tid] += eblk[static_cast<std::size_t>(a)];
     if (pass_energies_ != nullptr) {
       (*pass_energies_)[static_cast<std::size_t>(
-          batch.center_index[static_cast<std::size_t>(a)])] =
+          batch->center_index[static_cast<std::size_t>(a)])] =
           eblk[static_cast<std::size_t>(a)];
     }
   }
-  const int rows = batch.rows();
+  const int rows = batch->rows();
   for (int r = 0; r < rows; ++r) {
     // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
     const Vec3& grad = dedd[static_cast<std::size_t>(r)];
-    const int j = batch.nbr_index[static_cast<std::size_t>(r)];
-    const int i = batch.center_index[static_cast<std::size_t>(
-        batch.row_slot[static_cast<std::size_t>(r)])];
+    const int j = batch->nbr_index[static_cast<std::size_t>(r)];
+    const int i = batch->center_index[static_cast<std::size_t>(
+        batch->row_slot[static_cast<std::size_t>(r)])];
     fbuf[static_cast<std::size_t>(j)] -= grad;
     fbuf[static_cast<std::size_t>(i)] += grad;
-    pass_virial_[tid] -= dot(batch.rel[static_cast<std::size_t>(r)], grad);
+    pass_virial_[tid] -= dot(batch->rel[static_cast<std::size_t>(r)], grad);
   }
 }
 
@@ -157,13 +202,27 @@ md::ForceResult PairDeepMD::reduce_pass(bool apply_forces) {
   pass_atoms_ = nullptr;
   pass_list_ = nullptr;
   pass_energies_ = nullptr;
+  pass_cache_ = nullptr;
   return res;
+}
+
+void PairDeepMD::on_lists_rebuilt() {
+  DPMD_REQUIRE(!async_inflight_, "list rebuild with a partition in flight");
+  // Invalidate, don't deallocate: every cached block's structure must be
+  // rebuilt against the new list, but the packed vectors keep their
+  // capacity — a rebuild-every-step engine stays allocation-free in
+  // steady state just like the pre-cadence per-thread batches did.
+  for (EnvCache& cache : env_caches_) {
+    std::fill(cache.built.begin(), cache.built.end(), 0);
+  }
+  pass_ordinal_ = 0;  // enables reuse from now on
 }
 
 md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
                                     const md::NeighborList& list) {
   // Reduce per-thread force buffers into the atom array (ghosts included —
   // Newton's third law stays on, as DeePMD requires).
+  if (pass_ordinal_ >= 0) pass_ordinal_ = 0;  // a full step window of its own
   start_pass(atoms, list, {}, /*all=*/true, nullptr);
   run_pass_sync();
   return reduce_pass(/*apply_forces=*/true);
@@ -171,6 +230,7 @@ md::ForceResult PairDeepMD::compute(md::Atoms& atoms,
 
 void PairDeepMD::begin_step(md::Atoms& atoms, const md::NeighborList& list) {
   DPMD_REQUIRE(!async_inflight_, "begin_step with a partition in flight");
+  if (pass_ordinal_ >= 0) pass_ordinal_ = 0;  // new step window
   md::Pair::begin_step(atoms, list);
 }
 
@@ -212,10 +272,15 @@ bool PairDeepMD::per_atom_energy(md::Atoms& atoms,
                                  std::vector<double>& energies) {
   energies.assign(static_cast<std::size_t>(atoms.nlocal), 0.0);
   // Rides the same threadpool/batched pipeline as compute(); the force
-  // buffers it fills are simply not reduced into atoms.f.
+  // buffers it fills are simply not reduced into atoms.f.  The ordinal is
+  // restored afterwards so repeated scoring sweeps reuse ONE stable cache
+  // slot (advancing every call would leak a full-system env copy per
+  // call; resetting to 0 would thrash the step window's interior slot).
+  const int saved_ordinal = pass_ordinal_;
   start_pass(atoms, list, {}, /*all=*/true, &energies);
   run_pass_sync();
   reduce_pass(/*apply_forces=*/false);
+  pass_ordinal_ = saved_ordinal;
   return true;
 }
 

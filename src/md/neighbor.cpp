@@ -46,18 +46,28 @@ void NeighborList::bin_atoms(const Atoms& atoms, const Box& box) {
 
   cell_head_.assign(static_cast<std::size_t>(ncells), -1);
   cell_next_.assign(static_cast<std::size_t>(ntotal), -1);
-  for (int i = 0; i < ntotal; ++i) {
-    const Vec3& p = atoms.x[static_cast<std::size_t>(i)];
-    int c[3];
-    for (int d = 0; d < 3; ++d) {
-      c[d] = std::clamp(static_cast<int>((p[d] - grid_lo_[d]) / cell_w_[d]),
-                        0, ncell_[d] - 1);
-    }
-    const int cell = (c[0] * ncell_[1] + c[1]) * ncell_[2] + c[2];
-    cell_next_[static_cast<std::size_t>(i)] =
-        cell_head_[static_cast<std::size_t>(cell)];
-    cell_head_[static_cast<std::size_t>(cell)] = i;
+  for (int i = 0; i < ntotal; ++i) bin_one(atoms, i);
+  nbinned_ = ntotal;
+}
+
+void NeighborList::bin_one(const Atoms& atoms, int i) {
+  const Vec3& p = atoms.x[static_cast<std::size_t>(i)];
+  int c[3];
+  for (int d = 0; d < 3; ++d) {
+    c[d] = std::clamp(static_cast<int>((p[d] - grid_lo_[d]) / cell_w_[d]),
+                      0, ncell_[d] - 1);
   }
+  const int cell = (c[0] * ncell_[1] + c[1]) * ncell_[2] + c[2];
+  cell_next_[static_cast<std::size_t>(i)] =
+      cell_head_[static_cast<std::size_t>(cell)];
+  cell_head_[static_cast<std::size_t>(cell)] = i;
+}
+
+void NeighborList::bin_new_atoms(const Atoms& atoms) {
+  const int ntotal = atoms.ntotal();
+  cell_next_.resize(static_cast<std::size_t>(ntotal), -1);
+  for (int i = nbinned_; i < ntotal; ++i) bin_one(atoms, i);
+  nbinned_ = ntotal;
 }
 
 void NeighborList::search_center(const Atoms& atoms, int i) {
@@ -101,7 +111,14 @@ void NeighborList::build(const Atoms& atoms, const Box& box) {
 
 void NeighborList::build_centers(const Atoms& atoms, const Box& box,
                                  std::span<const int> centers, bool reset) {
-  bin_atoms(atoms, box);
+  if (reset || nbinned_ <= 0 || nbinned_ > atoms.ntotal()) {
+    bin_atoms(atoms, box);
+  } else if (atoms.ntotal() > nbinned_) {
+    // Append pass of the staged overlap build: the locals were binned by
+    // the reset pass and have not moved; only the freshly adopted ghosts
+    // need threading into the grid.
+    bin_new_atoms(atoms);
+  }
   if (reset) {
     neigh_.resize(static_cast<std::size_t>(atoms.nlocal));
     for (auto& list : neigh_) list.clear();

@@ -33,13 +33,15 @@ class NeighborList {
   /// Staged build (ISSUE 3 overlap path): computes the lists of `centers`
   /// only.  `reset = true` starts a fresh build sized for atoms.nlocal
   /// (non-center lists left empty); `reset = false` appends to a previous
-  /// build_centers/build of the same nlocal — the cell grid is re-binned
-  /// over whatever atoms are now present, so the engine builds interior
-  /// centers from the locals alone (their stencils cannot reach a ghost)
-  /// while the exchange is in flight, then fills the boundary centers once
-  /// the ghosts have landed.  Per-center results match a monolithic
-  /// build() over the full atom set (the candidate sweep covers every atom
-  /// within the list cutoff regardless of how the grid was binned).
+  /// build_centers/build whose first `ntotal` atoms are unchanged — only
+  /// the atoms appended since that build (the ghosts that landed after
+  /// the locals-only interior pass) are binned into the existing cell
+  /// grid, instead of re-binning the whole array.  New atoms outside the
+  /// grid extent clamp into the edge cells; clamping is a monotone
+  /// contraction of the cell index, so any pair within the list cutoff
+  /// still lands in adjacent (searched) cells and far pairs it folds
+  /// together are rejected by the distance test.  Per-center results
+  /// therefore match a monolithic build() over the full atom set.
   void build_centers(const Atoms& atoms, const Box& box,
                      std::span<const int> centers, bool reset);
 
@@ -55,6 +57,9 @@ class NeighborList {
 
  private:
   void bin_atoms(const Atoms& atoms, const Box& box);
+  /// Append-bins atoms [nbinned_, ntotal) into the existing grid.
+  void bin_new_atoms(const Atoms& atoms);
+  void bin_one(const Atoms& atoms, int i);
   void search_center(const Atoms& atoms, int i);
 
   Config cfg_;
@@ -67,6 +72,7 @@ class NeighborList {
   Vec3 grid_lo_{};
   int ncell_[3] = {1, 1, 1};
   double cell_w_[3] = {0, 0, 0};
+  int nbinned_ = 0;  ///< atoms currently threaded into the cell lists
 };
 
 /// O(N^2) reference used by tests to validate the cell-list build.

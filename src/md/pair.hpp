@@ -112,6 +112,18 @@ class Pair {
     return res;
   }
 
+  /// Cadenced engines (md::Sim, comm::DomainEngine) call this at every
+  /// neighbor-list rebuild, before the first evaluation against the new
+  /// list.  Between calls the engine guarantees that the list contents,
+  /// the atom ordering (locals and ghosts alike) and the center set of
+  /// each staged pass are unchanged — atoms only *move*, under the skin
+  /// guarantee.  A style may therefore cache list-derived structures
+  /// across steps and refresh only position-dependent data (PairDeepMD
+  /// reuses its packed env-batch layout this way).  Engines that never
+  /// call it get the uncached per-step behaviour; styles without caches
+  /// ignore it.
+  virtual void on_lists_rebuilt() {}
+
   /// Per-atom energy decomposition if the style supports it (DP does);
   /// returns false otherwise.  Used by accuracy benches.
   virtual bool per_atom_energy(Atoms& /*atoms*/, const NeighborList& /*list*/,

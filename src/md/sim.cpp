@@ -58,6 +58,9 @@ void Sim::rebuild_lists() {
     classify_partition(atoms_, box_, nlist_.list_cutoff(), partition_);
   }
   x_at_build_.assign(atoms_.x.begin(), atoms_.x.begin() + atoms_.nlocal);
+  // Let the style drop/refresh list-derived caches (PairDeepMD keeps its
+  // packed env-batch structure between rebuilds; see md::Pair).
+  pair_->on_lists_rebuilt();
   ++rebuilds_;
   steps_since_build_ = 0;
 }

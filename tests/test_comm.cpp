@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <vector>
 
 #include "comm/geometry.hpp"
 #include "comm/halo.hpp"
@@ -143,6 +145,100 @@ TEST(Halo, NodeBasedCoversRankGhosts) {
     }
     EXPECT_EQ(ghost_keys(filtered), ghost_keys(expected))
         << "rank " << rank.rank();
+  });
+}
+
+TEST(Halo, RecordedPlanRefreshMatchesMovedPositions) {
+  // Record a plan during a full exchange, drift every atom (well under any
+  // band edge), replay positions-only: every ghost slot must equal its
+  // source atom's new position plus the slot's recorded total shift
+  // (ghost_old - local_old, an exact box-multiple).
+  const simmpi::CartGrid grid(2, 2, 2);
+  const Vec3 sub_len{12, 12, 12};
+  const md::Box global({0, 0, 0}, {24, 24, 24});
+  const double rcut = 4.5;
+
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    LocalDomain dom = make_domain(rank, grid, sub_len, 40, 17);
+    HaloExchange hx(rank, grid, global, rcut);
+    HaloPlan plan;
+    hx.record_plan(&plan);
+    hx.begin(dom);
+    const auto ghosts = hx.finish();
+    ASSERT_TRUE(plan.recorded);
+    ASSERT_EQ(plan.nghost, static_cast<int>(ghosts.size()));
+    ASSERT_EQ(plan.nlocal, static_cast<int>(dom.locals.size()));
+    EXPECT_GT(plan.total_sent_atoms(), 0u);
+
+    // Every rank drifts its atoms deterministically by tag.
+    std::vector<Vec3> new_x(dom.locals.size());
+    for (std::size_t i = 0; i < dom.locals.size(); ++i) {
+      const auto& a = dom.locals[i];
+      const double t = static_cast<double>(a.tag % 97);
+      new_x[i] = {a.x + 0.01 * std::sin(t), a.y + 0.01 * std::cos(t),
+                  a.z + 0.005 * std::sin(2 * t)};
+    }
+    hx.refresh_begin({new_x.data(), new_x.size()}, plan);
+    const auto& refreshed = hx.refresh_finish();
+    ASSERT_EQ(refreshed.size(), ghosts.size());
+
+    // Exchange tag -> new position so every rank can resolve any ghost.
+    struct TagPos {
+      std::int64_t tag;
+      double x, y, z;
+    };
+    std::vector<TagPos> mine;
+    for (std::size_t i = 0; i < dom.locals.size(); ++i) {
+      mine.push_back({dom.locals[i].tag, new_x[i].x, new_x[i].y, new_x[i].z});
+    }
+    std::map<std::int64_t, Vec3> global_new;
+    for (const auto& part : rank.allgatherv(mine)) {
+      for (const auto& tp : part) global_new[tp.tag] = {tp.x, tp.y, tp.z};
+    }
+    std::map<std::int64_t, Vec3> global_old;
+    std::vector<TagPos> mine_old;
+    for (const auto& a : dom.locals) {
+      mine_old.push_back({a.tag, a.x, a.y, a.z});
+    }
+    for (const auto& part : rank.allgatherv(mine_old)) {
+      for (const auto& tp : part) global_old[tp.tag] = {tp.x, tp.y, tp.z};
+    }
+
+    for (std::size_t g = 0; g < ghosts.size(); ++g) {
+      const Vec3 shift =
+          Vec3{ghosts[g].x, ghosts[g].y, ghosts[g].z} - global_old[ghosts[g].tag];
+      const Vec3 want = global_new[ghosts[g].tag] + shift;
+      EXPECT_LT((refreshed[g] - want).norm(), 1e-12)
+          << "rank " << rank.rank() << " ghost " << g;
+    }
+  });
+}
+
+TEST(Halo, NodeExchangeSplitMatchesBlocking) {
+  // begin/finish staging of the node-based exchange: identical result to
+  // the blocking wrapper, with in_flight() tracking the window.
+  const simmpi::CartGrid grid(4, 4, 1);  // 2x2 nodes of 2x2x1 ranks
+  const Vec3 sub_len{7, 7, 22};
+  const md::Box global({0, 0, 0}, {28, 28, 22});
+  const double rcut = 5.0;
+
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    const LocalDomain dom = make_domain(rank, grid, sub_len, 25, 19);
+    const auto blocking =
+        exchange_node_based(rank, grid, global, dom, rcut, {2, 2, 1}, 4);
+
+    NodeExchange nx(rank, grid, global, rcut, {2, 2, 1}, 4);
+    EXPECT_FALSE(nx.in_flight());
+    nx.begin(dom);
+    EXPECT_TRUE(nx.in_flight());
+    // (compute would run here: only step-1 sends are in the mailboxes)
+    const auto staged = nx.finish();
+    EXPECT_FALSE(nx.in_flight());
+
+    EXPECT_EQ(ghost_keys(staged.node_ghosts),
+              ghost_keys(blocking.node_ghosts));
+    EXPECT_EQ(ghost_keys(staged.node_locals_other),
+              ghost_keys(blocking.node_locals_other));
   });
 }
 
