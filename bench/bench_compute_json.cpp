@@ -4,8 +4,14 @@
 // the perf trajectory is tracked from PR to PR.  Driven by
 // bench/run_bench.sh or the CMake `bench` target.
 //
-//   usage: bench_compute_json [output.json]
+//   usage: bench_compute_json [--smoke] [output.json]
+//
+// --smoke shrinks every rung to a rep or two (and the distributed legs to
+// 2 steps) so the whole binary runs in seconds — registered as the
+// `bench_smoke` ctest so the bench pipeline cannot silently rot.  Smoke
+// numbers are build-health numbers, not measurements.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,7 +55,7 @@ struct TableBench {
 };
 
 TableBench bench_table(const dp::DPModel& model,
-                       const std::vector<double>& s_samples) {
+                       const std::vector<double>& s_samples, int reps) {
   const auto& cfg = model.config();
   const double s_max = 4.0 / cfg.descriptor.rcut_smth;
   const auto table = dp::CompressedEmbedding::build(
@@ -64,8 +70,7 @@ TableBench bench_table(const dp::DPModel& model,
   std::vector<double> dg(static_cast<std::size_t>(m1));
 
   TableBench out;
-  volatile double sink = 0.0;
-  const int reps = 40;
+  double sink = 0.0;
   {
     for (int i = 0; i < rows; ++i) table.eval(s[i], g.data(), dg.data());
     Stopwatch sw;
@@ -86,34 +91,146 @@ TableBench bench_table(const dp::DPModel& model,
     }
     out.row_ns_per_row = sw.elapsed_us() * 1e3 / (reps * rows);
   }
+  if (sink == 0.12345) std::printf("-");  // keep the loops observable
   out.speedup = out.scalar_ns_per_row / out.row_ns_per_row;
   return out;
 }
 
+/// Per-block slab workspaces of the unfused table+contraction phase — what
+/// batch_impl allocates around the G/dG slabs, reproduced here so the phase
+/// can be timed in isolation (and against the fused drivers, which need
+/// none of it beyond A and the fitting slabs).
+struct SlabWork {
+  std::vector<double> g;     // rows x m1
+  std::vector<double> dgds;  // rows x m1
+  std::vector<double> dg;    // rows x m1
+  std::vector<double> dr;    // rows x 4
+  std::vector<double> ds;    // rows
+  std::vector<double> a;     // B x 4 x m1
+  std::vector<Vec3> dedd;    // rows
+  std::vector<std::vector<double>> fit;  // per type: fc x m1*m2
+  std::vector<std::vector<double>> dd;   // per type: fc x m1*m2 (ones)
+  std::vector<const double*> g_base, dd_base;
+  std::vector<double*> fit_base, dg_base;
+};
+
+SlabWork make_slab_work(const dp::AtomEnvBatch& b, int m1, int m2) {
+  SlabWork w;
+  const std::size_t rows = static_cast<std::size_t>(b.rows());
+  w.g.resize(rows * m1);
+  w.dgds.resize(rows * m1);
+  w.dg.resize(rows * m1);
+  w.dr.resize(rows * 4);
+  w.ds.resize(rows);
+  w.a.resize(static_cast<std::size_t>(b.natoms) * 4 * m1);
+  w.dedd.resize(rows);
+  w.fit.resize(static_cast<std::size_t>(b.ntypes));
+  w.dd.resize(static_cast<std::size_t>(b.ntypes));
+  w.g_base.resize(static_cast<std::size_t>(b.ntypes));
+  w.dd_base.resize(static_cast<std::size_t>(b.ntypes));
+  w.fit_base.resize(static_cast<std::size_t>(b.ntypes));
+  w.dg_base.resize(static_cast<std::size_t>(b.ntypes));
+  for (int t = 0; t < b.ntypes; ++t) {
+    const int fc = b.fit_type_offset[static_cast<std::size_t>(t) + 1] -
+                   b.fit_type_offset[static_cast<std::size_t>(t)];
+    w.fit[static_cast<std::size_t>(t)].resize(
+        static_cast<std::size_t>(fc) * m1 * m2);
+    // Synthetic dE/dD = 1: a fixed, full-rank stand-in for the fitting
+    // net's input gradient, identical for both pipelines.
+    w.dd[static_cast<std::size_t>(t)].assign(
+        static_cast<std::size_t>(fc) * m1 * m2, 1.0);
+    const int lo = b.type_offset[static_cast<std::size_t>(t)];
+    w.g_base[static_cast<std::size_t>(t)] =
+        w.g.data() + static_cast<std::size_t>(lo) * m1;
+    w.dg_base[static_cast<std::size_t>(t)] =
+        w.dg.data() + static_cast<std::size_t>(lo) * m1;
+    w.dd_base[static_cast<std::size_t>(t)] =
+        w.dd[static_cast<std::size_t>(t)].data();
+    w.fit_base[static_cast<std::size_t>(t)] =
+        w.fit[static_cast<std::size_t>(t)].data();
+  }
+  return w;
+}
+
+/// The unfused table sweep: eval_row over every packed row into the G/dG
+/// slabs, exactly as batch_impl's slab path performs it.
+void slab_table_sweep(const dp::AtomEnvBatch& b,
+                      const std::vector<dp::CompressedEmbedding>& tables,
+                      SlabWork& w, int m1) {
+  for (int t = 0; t < b.ntypes; ++t) {
+    const int lo = b.type_offset[static_cast<std::size_t>(t)];
+    const int hi = b.type_offset[static_cast<std::size_t>(t) + 1];
+    for (int r = lo; r < hi; ++r) {
+      tables[static_cast<std::size_t>(t)].eval_row(
+          b.rmat[static_cast<std::size_t>(r) * 4],
+          w.g.data() + static_cast<std::size_t>(r) * m1,
+          w.dgds.data() + static_cast<std::size_t>(r) * m1);
+    }
+  }
+}
+
+/// The unfused chain tail: dE/ds through the table derivative, then the
+/// fp64 chain rule to dE/dd — the loops the fused backward folds away.
+void slab_chain_tail(const dp::AtomEnvBatch& b, SlabWork& w, int m1) {
+  const int B = b.natoms;
+  for (int t = 0; t < b.ntypes; ++t) {
+    for (int a = 0; a < B; ++a) {
+      const int seg_lo = b.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_end = seg_lo + b.active_rows(t, a);
+      for (int r = seg_lo; r < seg_end; ++r) {
+        const double* dgrow = w.dg.data() + static_cast<std::size_t>(r) * m1;
+        const double* dgdsrow =
+            w.dgds.data() + static_cast<std::size_t>(r) * m1;
+        double acc = 0;
+        for (int p = 0; p < m1; ++p) acc += dgrow[p] * dgdsrow[p];
+        w.ds[static_cast<std::size_t>(r)] = acc;
+        const double* der =
+            b.drmat.data() + static_cast<std::size_t>(r) * 12;
+        const double* drrow = w.dr.data() + static_cast<std::size_t>(r) * 4;
+        Vec3 grad{0, 0, 0};
+        for (int axis = 0; axis < 3; ++axis) {
+          double s = acc * der[axis];
+          for (int c = 0; c < 4; ++c) s += drrow[c] * der[c * 3 + axis];
+          grad[axis] = s;
+        }
+        w.dedd[static_cast<std::size_t>(r)] = grad;
+      }
+    }
+  }
+}
+
 /// Per-phase breakdown of one batched water-256 force evaluation: packed
 /// env build (the rebuild-step cost) vs position-only refresh (the
-/// steady-state cost, measured on keep_list_rows blocks from a skinned
-/// list — exactly what the cadenced engines refresh, skin-band walk and
-/// re-partition included), table work, and the GEMM remainder of
-/// evaluate_batch (= evaluate_batch minus the table sweep; the two are
-/// measured independently so the split is approximate but stable).
+/// steady-state cost), table sweep, the slab contraction (the M = 4 GEMMs
+/// fused away by ISSUE 5), and the remainder of evaluate_batch.
 struct PhaseBench {
   double env_build_us = 0.0;    // build_env_batch over all blocks
   double env_refresh_us = 0.0;  // refresh_env_batch, skinned keep blocks
   double table_us = 0.0;        // eval_row over all packed rows
-  double gemm_us = 0.0;         // evaluate_batch - table_us
-  double eval_us = 0.0;         // evaluate_batch total
+  double contract_us = 0.0;     // slab contraction fwd+bwd (gemm_tn et al.)
+  double gemm_us = 0.0;         // unfused evaluate_batch - table - contract
+  double eval_us = 0.0;         // evaluate_batch total (unfused pipeline)
+};
+
+/// Fused-table ablation (ISSUE 5 acceptance rung): the combined
+/// table+contraction phase — forward table -> A -> D and backward dD -> dA
+/// -> force chain with a synthetic dD — timed through the unfused slab
+/// pipeline vs the fused drivers, interleaved, min of `repeats`.
+struct FusedBench {
+  double unfused_us = 0.0;
+  double fused_us = 0.0;
+  double speedup = 0.0;
 };
 
 PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
                         const md::Atoms& atoms_in, const md::Box& box,
-                        const md::NeighborList& list, double skin) {
+                        const md::NeighborList& list, double skin, int reps,
+                        FusedBench& fused_out, int fused_repeats) {
   const auto& cfg = model->config();
   md::Atoms atoms = atoms_in;
   const int B = kBlock;
   const int nblocks = (atoms.nlocal + B - 1) / B;
   std::vector<dp::AtomEnvBatch> blocks(static_cast<std::size_t>(nblocks));
-  const int reps = 20;
   PhaseBench out;
 
   const auto build_all = [&](const md::Atoms& a, const md::NeighborList& l,
@@ -151,36 +268,108 @@ PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
     // Rebuild the skinless filtered blocks for the table/GEMM legs below.
     build_all(atoms, list, false);
   }
-  {
-    // Table sweep over every packed row, as batch_impl performs it.
-    const double s_max = 4.0 / cfg.descriptor.rcut_smth;
-    std::vector<dp::CompressedEmbedding> tables;
-    for (int t = 0; t < cfg.ntypes; ++t) {
-      tables.push_back(dp::CompressedEmbedding::build(
-          model->embedding(t),
-          {0.0, s_max * cfg.descriptor.scale_of(t, 0), 1024}));
+
+  const double s_max = 4.0 / cfg.descriptor.rcut_smth;
+  std::vector<dp::CompressedEmbedding> tables;
+  for (int t = 0; t < cfg.ntypes; ++t) {
+    tables.push_back(dp::CompressedEmbedding::build(
+        model->embedding(t),
+        {0.0, s_max * cfg.descriptor.scale_of(t, 0), 1024}));
+  }
+  const int m1 = cfg.descriptor.m1();
+  const int m2 = cfg.descriptor.m2();
+  const double inv_n = 1.0 / cfg.descriptor.sel_total();
+  std::vector<SlabWork> work;
+  for (const auto& blk : blocks) work.push_back(make_slab_work(blk, m1, m2));
+
+  const auto unfused_pass = [&]() {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const auto& blk = blocks[b];
+      SlabWork& w = work[b];
+      slab_table_sweep(blk, tables, w, m1);
+      std::fill(w.a.begin(), w.a.end(), 0.0);
+      dp::contract_forward_batch(blk, blk.rmat.data(), w.g_base.data(),
+                                 nullptr, m1, m2, inv_n, w.a.data(),
+                                 w.fit_base.data());
+      std::fill(w.dg.begin(), w.dg.end(), 0.0);
+      dp::contract_backward_batch(blk, blk.rmat.data(), w.g_base.data(),
+                                  nullptr, w.dd_base.data(), m1, m2, inv_n,
+                                  w.a.data(), w.dg_base.data(), w.dr.data());
+      slab_chain_tail(blk, w, m1);
     }
-    const int m1 = cfg.descriptor.m1();
-    std::vector<double> g(static_cast<std::size_t>(m1));
-    std::vector<double> dg(static_cast<std::size_t>(m1));
+  };
+  const auto fused_pass = [&]() {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const auto& blk = blocks[b];
+      SlabWork& w = work[b];
+      std::fill(w.a.begin(), w.a.end(), 0.0);
+      dp::fused_contract_forward_batch(blk, tables, m1, m2, inv_n,
+                                       w.a.data(), w.fit_base.data());
+      dp::fused_contract_backward_batch(blk, tables, w.dd_base.data(), m1,
+                                        m2, inv_n, w.a.data(),
+                                        w.dedd.data());
+    }
+  };
+
+  {
+    // Table sweep over every packed row, as the unfused path performs it.
+    slab_table_sweep(blocks[0], tables, work[0], m1);  // warm
     Stopwatch sw;
     for (int r = 0; r < reps; ++r) {
-      for (const auto& blk : blocks) {
-        for (int t = 0; t < blk.ntypes; ++t) {
-          const int lo = blk.type_offset[static_cast<std::size_t>(t)];
-          const int hi = blk.type_offset[static_cast<std::size_t>(t) + 1];
-          for (int row = lo; row < hi; ++row) {
-            tables[static_cast<std::size_t>(t)].eval_row(
-                blk.rmat[static_cast<std::size_t>(row) * 4], g.data(),
-                dg.data());
-          }
-        }
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        slab_table_sweep(blocks[b], tables, work[b], m1);
       }
     }
     out.table_us = sw.elapsed_us() / reps;
   }
   {
-    dp::DPEvaluator ev(model, dp::EvalOptions{});
+    // Slab contraction alone (the PR-2 GEMM cast the fusion replaces):
+    // A/D forward + dA/dG/dR backward over prebuilt G slabs.
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const auto& blk = blocks[b];
+        SlabWork& w = work[b];
+        std::fill(w.a.begin(), w.a.end(), 0.0);
+        dp::contract_forward_batch(blk, blk.rmat.data(), w.g_base.data(),
+                                   nullptr, m1, m2, inv_n, w.a.data(),
+                                   w.fit_base.data());
+        std::fill(w.dg.begin(), w.dg.end(), 0.0);
+        dp::contract_backward_batch(blk, blk.rmat.data(), w.g_base.data(),
+                                    nullptr, w.dd_base.data(), m1, m2,
+                                    inv_n, w.a.data(), w.dg_base.data(),
+                                    w.dr.data());
+      }
+    }
+    out.contract_us = sw.elapsed_us() / reps;
+  }
+  {
+    // Fused ablation: interleaved min-of-repeats of the combined phase.
+    unfused_pass();
+    fused_pass();  // warm both
+    fused_out.unfused_us = 0.0;
+    fused_out.fused_us = 0.0;
+    for (int rep = 0; rep < fused_repeats; ++rep) {
+      Stopwatch su;
+      for (int r = 0; r < reps; ++r) unfused_pass();
+      const double uu = su.elapsed_us() / reps;
+      Stopwatch sf;
+      for (int r = 0; r < reps; ++r) fused_pass();
+      const double fu = sf.elapsed_us() / reps;
+      if (rep == 0 || uu < fused_out.unfused_us) fused_out.unfused_us = uu;
+      if (rep == 0 || fu < fused_out.fused_us) fused_out.fused_us = fu;
+    }
+    fused_out.speedup = fused_out.unfused_us / fused_out.fused_us;
+  }
+  {
+    // The breakdown decomposes the *unfused* slab pipeline (table_us and
+    // contract_us are its stages), so the whole-eval reference must run
+    // unfused too — the fused default would skew gemm_us by the fusion
+    // saving.  The fused-vs-unfused comparison lives in the fused_table
+    // rung above, not here.
+    dp::EvalOptions unfused_opts;
+    unfused_opts.fused_table = false;
+    dp::DPEvaluator ev(model, unfused_opts);
     std::vector<double> energies;
     std::vector<Vec3> dedd;
     for (const auto& blk : blocks) ev.evaluate_batch(blk, energies, dedd);
@@ -190,14 +379,26 @@ PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
     }
     out.eval_us = sw.elapsed_us() / reps;
   }
-  out.gemm_us = std::max(0.0, out.eval_us - out.table_us);
+  out.gemm_us =
+      std::max(0.0, out.eval_us - out.table_us - out.contract_us);
   return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_compute.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_compute.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const int reps = smoke ? 2 : 20;
+  const int table_reps = smoke ? 2 : 40;
+  const int fused_repeats = smoke ? 1 : 5;
 
   auto model = bench::water256_model();
   const auto& cfg = model->config();
@@ -209,15 +410,16 @@ int main(int argc, char** argv) {
 
   // Full pair-style timing (env build + evaluation + force scatter), the
   // honest per-step number a simulation would pay.
-  const auto time_variant = [&](int block_size, bool compressed) {
+  const auto time_variant = [&](int block_size, bool compressed,
+                                bool fused_table = true) {
     dp::EvalOptions opts;  // double, GemmKind::Auto
     opts.block_size = block_size;
     opts.compressed = compressed;
+    opts.fused_table = fused_table;
     dp::PairDeepMD pair(model, opts);
     md::Atoms work = atoms;
     work.zero_forces();
     pair.compute(work, list);  // warm-up: builds tables and caches
-    const int reps = 20;
     Stopwatch sw;
     for (int r = 0; r < reps; ++r) {
       work.zero_forces();
@@ -229,6 +431,12 @@ int main(int argc, char** argv) {
   std::vector<Variant> variants;
   variants.push_back({"per_atom", time_variant(1, true), 0.0});
   variants.push_back({"batched_b64", time_variant(kBlock, true), 0.0});
+  // End-to-end fused ablation (ISSUE 5): identical pipeline with the
+  // unfused slab path selected — the per-step cost of the G/dG slabs plus
+  // the M = 4 contraction GEMMs the fusion removes.
+  variants.push_back({"batched_b64_unfused_table",
+                      time_variant(kBlock, true, /*fused_table=*/false),
+                      0.0});
   // Full-embedding rungs (PR 2): the mode the GEMM-cast descriptor
   // contraction gains the most, tracked since ISSUE 2.
   variants.push_back({"per_atom_fullemb", time_variant(1, false), 0.0});
@@ -237,13 +445,16 @@ int main(int argc, char** argv) {
   for (auto& v : variants) v.ns_day_proxy = ns_day_proxy(v.us_per_step);
   const double speedup =
       variants[0].us_per_step / variants[1].us_per_step;
+  const double fused_e2e_speedup =
+      variants[2].us_per_step / variants[1].us_per_step;
   const double fullemb_speedup =
-      variants[2].us_per_step / variants[3].us_per_step;
+      variants[3].us_per_step / variants[4].us_per_step;
 
   // Overlap rung (ISSUE 3): 2-rank DomainEngine on the water-256 cell
   // tiled to 512 atoms, staged DP evaluation with the halo exchange
   // overlapped vs sequential, and the hidden-exchange fraction.
-  const bench::OverlapMeasurement ovl = bench::measure_overlap();
+  const bench::OverlapMeasurement ovl =
+      smoke ? bench::measure_overlap(2, 0, 1) : bench::measure_overlap();
 
   // ISSUE 4 rungs: table microbench, per-phase breakdown, cadence sweep.
   std::vector<double> s_samples;
@@ -255,13 +466,16 @@ int main(int argc, char** argv) {
       s_samples.push_back(probe.rmat[static_cast<std::size_t>(r) * 4]);
     }
   }
-  const TableBench tbl = bench_table(*model, s_samples);
-  const PhaseBench ph = bench_phases(model, atoms, box, list, 0.6);
+  const TableBench tbl = bench_table(*model, s_samples, table_reps);
+  FusedBench fused;
+  const PhaseBench ph = bench_phases(model, atoms, box, list, 0.6, reps,
+                                     fused, fused_repeats);
   // Cadence 1 runs skinless (the honest rebuild-every-step baseline: no
   // skin is needed if you rebuild anyway); the amortized rungs use the
   // widest skin the water-512 two-rank decomposition admits.
   const std::vector<bench::CadenceMeasurement> cadence =
-      bench::measure_cadence_sweep({{1, 0.0}, {10, 0.6}, {50, 0.6}});
+      smoke ? bench::measure_cadence_sweep({{1, 0.0}, {2, 0.6}}, 2, 1)
+            : bench::measure_cadence_sweep({{1, 0.0}, {10, 0.6}, {50, 0.6}});
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -270,6 +484,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"dp_compute_water256\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"natoms\": %d,\n", kNatoms);
   std::fprintf(f, "  \"block_size\": %d,\n", kBlock);
   std::fprintf(f, "  \"model\": \"emb 25-50-100, axis 16, fit 240^3, "
@@ -313,8 +528,18 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"env_build_us\": %.1f,\n", ph.env_build_us);
   std::fprintf(f, "    \"env_refresh_us\": %.1f,\n", ph.env_refresh_us);
   std::fprintf(f, "    \"table_us\": %.1f,\n", ph.table_us);
+  std::fprintf(f, "    \"contract_us\": %.1f,\n", ph.contract_us);
   std::fprintf(f, "    \"gemm_us\": %.1f,\n", ph.gemm_us);
   std::fprintf(f, "    \"eval_us\": %.1f\n", ph.eval_us);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fused_table\": {\n");
+  std::fprintf(f, "    \"system\": \"water-256 single process, block %d, "
+                  "fp64 compressed, table+contraction fwd+bwd, min of %d "
+                  "interleaved\",\n", kBlock, fused_repeats);
+  std::fprintf(f, "    \"unfused_us\": %.1f,\n", fused.unfused_us);
+  std::fprintf(f, "    \"fused_us\": %.1f,\n", fused.fused_us);
+  std::fprintf(f, "    \"phase_speedup\": %.2f,\n", fused.speedup);
+  std::fprintf(f, "    \"end_to_end_speedup\": %.2f\n", fused_e2e_speedup);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"cadence\": {\n");
   std::fprintf(f, "    \"system\": \"water-256 tiled 2x (512 atoms), 2 ranks, "
@@ -338,13 +563,15 @@ int main(int argc, char** argv) {
 
   std::printf("per-atom          : %8.1f us/step (%6.2f us/atom)\n",
               variants[0].us_per_step, variants[0].us_per_step / kNatoms);
-  std::printf("batched           : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+  std::printf("batched fused     : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
               variants[1].us_per_step, variants[1].us_per_step / kNatoms,
               kBlock);
-  std::printf("per-atom full-emb : %8.1f us/step (%6.2f us/atom)\n",
+  std::printf("batched unfused   : %8.1f us/step (%6.2f us/atom)\n",
               variants[2].us_per_step, variants[2].us_per_step / kNatoms);
+  std::printf("per-atom full-emb : %8.1f us/step (%6.2f us/atom)\n",
+              variants[3].us_per_step, variants[3].us_per_step / kNatoms);
   std::printf("batched full-emb  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
-              variants[3].us_per_step, variants[3].us_per_step / kNatoms,
+              variants[4].us_per_step, variants[4].us_per_step / kNatoms,
               kBlock);
   std::printf("overlap (512 atoms, 2 ranks): %8.1f us/step on, %8.1f off; "
               "halo %.1f us, %.0f%% hidden\n",
@@ -354,8 +581,13 @@ int main(int argc, char** argv) {
               "(%.2fx)\n",
               tbl.scalar_ns_per_row, tbl.row_ns_per_row, tbl.speedup);
   std::printf("phases (256 atoms): env build %.0f us, refresh %.0f us, "
-              "table %.0f us, gemm %.0f us\n",
-              ph.env_build_us, ph.env_refresh_us, ph.table_us, ph.gemm_us);
+              "table %.0f us, contract %.0f us, rest %.0f us\n",
+              ph.env_build_us, ph.env_refresh_us, ph.table_us, ph.contract_us,
+              ph.gemm_us);
+  std::printf("fused table+contract phase: %.0f us unfused, %.0f us fused "
+              "(%.2fx; end-to-end %.2fx)\n",
+              fused.unfused_us, fused.fused_us, fused.speedup,
+              fused_e2e_speedup);
   for (const auto& c : cadence) {
     std::printf("cadence %2d (skin %.2f): %8.1f us/step amortized "
                 "(%d rebuilds/%d steps; halo %.0f, neigh %.0f, pair %.0f)\n",

@@ -3,7 +3,8 @@
 // short NVE trajectory printing LAMMPS-style thermo lines.
 //
 //   ./quickstart [--steps=200] [--cells=3] [--temp=100] [--precision=fp32]
-//                [--block-size=64] [--skin=1.0] [--rebuild-every=50]
+//                [--block-size=64] [--skin=-1] [--rebuild-every=50]
+//                [--fused-table=1]
 //
 // --block-size sets EvalOptions::block_size (atoms per batched evaluation
 // block, §III-B); 1 selects the legacy per-atom path.  Tune it per system
@@ -11,8 +12,12 @@
 // --skin / --rebuild-every set the neighbor-list cadence (ISSUE 4, the
 // paper's 2 A / 50-step steady state): between rebuilds the engine reuses
 // lists AND the packed env-batch structure, so steady-state steps are pure
-// GEMM + table work.  --rebuild-every=1 rebuilds every step (the ablation
-// baseline); drift > skin/2 always forces a rebuild regardless.
+// GEMM + table work.  --skin=-1 (the default) auto-picks the largest skin
+// the cell admits, capped at the paper's 2 A, so the quickstart runs the
+// steady state out of the box.  --rebuild-every=1 rebuilds every step (the
+// ablation baseline); drift > skin/2 always forces a rebuild regardless.
+// --fused-table=0 falls back to the unfused table-then-GEMM slab pipeline
+// (ISSUE 5 ablation baseline; 1 = the fused register-resident default).
 #include <cstdio>
 #include <memory>
 
@@ -34,10 +39,10 @@ int main(int argc, char** argv) {
   const int block_size = static_cast<int>(args.get_int("block-size", 64));
   DPMD_REQUIRE(block_size >= 1,
                "--block-size must be >= 1 (1 selects the per-atom path)");
-  const double skin = args.get_double("skin", 1.0);
+  const double skin = args.get_double("skin", -1.0);  // negative = auto
   const int rebuild_every =
       static_cast<int>(args.get_int("rebuild-every", 50));
-  DPMD_REQUIRE(skin >= 0.0, "--skin must be >= 0");
+  const bool fused_table = args.get_bool("fused-table", true);
   DPMD_REQUIRE(rebuild_every >= 1, "--rebuild-every must be >= 1");
 
   // 1. A Deep Potential model (paper-shaped nets, scaled-down sel).
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
                                         : dp::Precision::MixFp32;
   opts.compressed = true;
   opts.block_size = block_size;
+  opts.fused_table = fused_table;
 
   // 2. The physical system.
   md::Box box;
@@ -72,9 +78,12 @@ int main(int argc, char** argv) {
   sim.setup();
 
   std::printf("quickstart: %d Cu atoms, %s precision, %d steps, "
-              "block size %d%s\n",
+              "block size %d%s%s\n",
               sim.atoms().nlocal, dp::precision_name(opts.precision), steps,
-              block_size, block_size <= 1 ? " (per-atom path)" : "");
+              block_size, block_size <= 1 ? " (per-atom path)" : "",
+              fused_table ? "" : " (unfused table)");
+  std::printf("cadence: skin %.2f A%s, rebuild every %d steps\n",
+              sim.config().skin, skin < 0.0 ? " (auto)" : "", rebuild_every);
   std::printf("%8s %12s %12s %12s %10s\n", "step", "PE [eV]", "KE [eV]",
               "Etot [eV]", "T [K]");
   const auto print = [](int step, const md::Sim& s) {

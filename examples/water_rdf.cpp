@@ -3,16 +3,20 @@
 // O-H and H-H radial distribution functions.
 //
 //   ./water_rdf [--molecules-side=4] [--steps=1500] [--temp=300]
-//               [--dp-block-size=0] [--skin=2.0] [--rebuild-every=50]
+//               [--dp-block-size=0] [--skin=-1] [--rebuild-every=50]
+//               [--fused-table=1]
 //
 // --dp-block-size=N (N >= 1) additionally re-scores every RDF frame through
 // a paper-shaped Deep Potential at EvalOptions::block_size = N and reports
 // the evaluation throughput — the knob the ROADMAP asks to tune per system
 // (1 = per-atom path, 0 = off).  The DP carries random weights, so the
-// numbers measure the compute pipeline, not the physics.
+// numbers measure the compute pipeline, not the physics.  --fused-table=0
+// runs the DP scoring through the unfused table-then-GEMM slab pipeline
+// (ISSUE 5 ablation baseline).
 // --skin / --rebuild-every set the driving simulation's neighbor cadence
 // (the paper's steady-state amortization; drift > skin/2 still forces a
-// rebuild).
+// rebuild).  --skin=-1 (the default) auto-picks the largest admissible
+// skin, capped at the paper's 2 A.
 #include <cstdio>
 #include <memory>
 
@@ -40,11 +44,11 @@ int main(int argc, char** argv) {
   DPMD_REQUIRE(dp_block >= 0,
                "--dp-block-size must be >= 0 (0 skips DP scoring, >= 1 "
                "scores frames at that block size)");
-  const double skin = args.get_double("skin", 2.0);
+  const double skin = args.get_double("skin", -1.0);  // negative = auto
   const int rebuild_every =
       static_cast<int>(args.get_int("rebuild-every", 50));
-  DPMD_REQUIRE(skin >= 0.0 && rebuild_every >= 1,
-               "--skin must be >= 0 and --rebuild-every >= 1");
+  const bool fused_table = args.get_bool("fused-table", true);
+  DPMD_REQUIRE(rebuild_every >= 1, "--rebuild-every must be >= 1");
 
   Rng rng(11);
   md::Box box;
@@ -58,7 +62,9 @@ int main(int argc, char** argv) {
   sim.set_thermostat(std::make_unique<md::LangevinThermostat>(temp, 0.02, 3));
 
   std::printf("water-like reference MD: %d atoms (%d molecules), %d steps at "
-              "%.0f K\n", natoms, side * side * side, steps, temp);
+              "%.0f K (skin %.2f A%s, rebuild every %d)\n",
+              natoms, side * side * side, steps, temp, sim.config().skin,
+              skin < 0.0 ? " auto" : "", rebuild_every);
   sim.run(steps / 3);  // equilibrate
 
   // Optional DP scoring pipeline (--dp-block-size): evaluates each sampled
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
   if (dp_block >= 1) {
     dp::EvalOptions opts;  // fp64 compressed
     opts.block_size = dp_block;
+    opts.fused_table = fused_table;
     // Same paper-shaped random-weight model as the compute benches
     // (bench/water256.hpp), so the example and BENCH_compute.json time the
     // identical workload.

@@ -41,6 +41,31 @@ struct JoinGuard {
   }
 };
 
+/// Resolves DomainConfig::skin < 0 (auto, ISSUE 5 satellite) to the largest
+/// admissible skin of this decomposition: the halo exchange requires
+/// 2*(rcut+skin) <= slack per dimension (slack = global - sub length where
+/// the grid splits the dimension, the full box length otherwise — see
+/// HaloExchange::begin), so the auto skin is the tightest dimension's
+/// slack/2 - rcut, clamped to [0, md::kMaxAutoSkin].  The grid and global
+/// box are replicated, so every rank derives the same value; an allreduce
+/// pins the agreement anyway (cadence decisions must be collective).
+DomainConfig resolve_config(DomainConfig cfg, const simmpi::CartGrid& grid,
+                            const md::Box& box, double rcut,
+                            simmpi::Rank& rank) {
+  if (cfg.skin >= 0.0) return cfg;
+  const Vec3 len = box.length();
+  const int n[3] = {grid.nx(), grid.ny(), grid.nz()};
+  double skin = md::kMaxAutoSkin;
+  for (int d = 0; d < 3; ++d) {
+    const double sub = len[d] / n[d];
+    const double slack = n[d] > 1 ? len[d] - sub : len[d];
+    skin = std::min(skin, 0.5 * slack - rcut);
+  }
+  skin = std::max(0.0, skin);
+  cfg.skin = -rank.allreduce_max(-skin);  // collective min
+  return cfg;
+}
+
 }  // namespace
 
 DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
@@ -48,9 +73,10 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
                            std::vector<double> masses,
                            std::shared_ptr<md::Pair> pair, DomainConfig cfg)
     : rank_(rank), grid_(grid), global_box_(global_box),
-      masses_(std::move(masses)), pair_(std::move(pair)), cfg_(cfg),
-      nlist_({pair_->cutoff(), cfg.skin, pair_->needs_full_list()}),
-      halo_(rank_, grid_, global_box_, pair_->cutoff() + cfg.skin) {
+      masses_(std::move(masses)), pair_(std::move(pair)),
+      cfg_(resolve_config(cfg, grid, global_box, pair_->cutoff(), rank)),
+      nlist_({pair_->cutoff(), cfg_.skin, pair_->needs_full_list()}),
+      halo_(rank_, grid_, global_box_, pair_->cutoff() + cfg_.skin) {
   DPMD_REQUIRE(cfg_.skin >= 0.0 && cfg_.rebuild_every >= 1,
                "bad skin/rebuild cadence");
   const auto c = grid_.coords_of(rank_.rank());
@@ -66,7 +92,8 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
   // Symmetric peer set: every rank whose offset has a non-empty ghost
   // overlap (covers force return from multi-hop ghosts) plus the 26-cell
   // migration shell.  The ghost band includes the skin.
-  const auto regions = enumerate_ghost_regions(sub, pair_->cutoff() + cfg.skin);
+  const auto regions =
+      enumerate_ghost_regions(sub, pair_->cutoff() + cfg_.skin);
   std::vector<int> peers;
   for (const auto& region : regions) {
     peers.push_back(grid_.neighbor(rank_.rank(), region.offset[0],

@@ -29,6 +29,12 @@ struct DomainConfig {
   /// skin = 0 with rebuild_every = 1 (the defaults) reproduce the
   /// rebuild-every-step engine exactly.  The ghost band (and the
   /// decomposition constraint 2*(rcut+skin) <= slack) widens by the skin.
+  ///
+  /// A negative skin (canonically -1) selects auto: the engine picks the
+  /// largest admissible skin under the decomposition slack rule, capped at
+  /// the paper's 2 A production skin, and the ranks agree on it
+  /// collectively at setup — the distributed steady state out of the box.
+  /// Read the resolved value back via DomainEngine::config().
   double skin = 0.0;
   int rebuild_every = 1;
   /// Also rebuild when any atom drifted more than skin/2 since the last
@@ -74,6 +80,9 @@ class DomainEngine {
 
   // Observers ---------------------------------------------------------
   const md::Box& sub_box() const { return sub_box_; }
+  /// Effective configuration: cfg as passed, with a negative (auto) skin
+  /// replaced by the collectively agreed admissible value.
+  const DomainConfig& config() const { return cfg_; }
   const md::Atoms& atoms() const { return atoms_; }
   int steps_done() const { return steps_done_; }
   /// Full rebuilds (migrate + exchange + list build) performed, including

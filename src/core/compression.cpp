@@ -78,7 +78,22 @@ CompressedEmbedding CompressedEmbedding::build(const nn::Mlp<double>& net,
               0.5 * c1;
     }
   }
+  // fp32 coefficient layout for the Mix-mode fused kernels: derived once at
+  // finalization so the hot loop never converts fp64 coefficients per row.
+  table.coeff_f_.resize(table.coeff_.size());
+  for (std::size_t i = 0; i < table.coeff_.size(); ++i) {
+    table.coeff_f_[i] = static_cast<float>(table.coeff_[i]);
+  }
   return table;
+}
+
+template <>
+const double* CompressedEmbedding::coeff_base<double>() const {
+  return coeff_.data();
+}
+template <>
+const float* CompressedEmbedding::coeff_base<float>() const {
+  return coeff_f_.data();
 }
 
 int CompressedEmbedding::locate(double s, double& t, double& extension) const {
@@ -148,5 +163,241 @@ void CompressedEmbedding::eval_row(double s, double* __restrict g,
     dg[c] = dv_ds;
   }
 }
+
+// ---- fused tabulate-contraction kernels (ISSUE 5) --------------------------
+
+namespace {
+
+/// Per-thread fp64 accumulation tile of one fused forward call (4 x m1).
+std::vector<double>& fused_acc_tile() {
+  thread_local std::vector<double> tile;
+  return tile;
+}
+
+}  // namespace
+
+template <class T>
+void CompressedEmbedding::eval_contract_rows(
+    const double* __restrict rmat_rows, int rows, double inv_n,
+    T* __restrict a) const {
+  const int m1 = m1_;
+  auto& acc = fused_acc_tile();
+  acc.assign(static_cast<std::size_t>(4) * m1, 0.0);
+  double* __restrict acc0 = acc.data();
+  double* __restrict acc1 = acc.data() + static_cast<std::size_t>(1) * m1;
+  double* __restrict acc2 = acc.data() + static_cast<std::size_t>(2) * m1;
+  double* __restrict acc3 = acc.data() + static_cast<std::size_t>(3) * m1;
+  const T* __restrict coeff = coeff_base<T>();
+
+  for (int r = 0; r < rows; ++r) {
+    const double* __restrict rrow =
+        rmat_rows + static_cast<std::size_t>(r) * 4;
+    double t_d, ext_d;
+    const int bin = locate(rrow[0], t_d, ext_d);
+    const T t = static_cast<T>(t_d);
+    // Linear extension out of range, folded into one per-row factor:
+    // g = v + dv * inv_width * extension.
+    const T extw = static_cast<T>(ext_d * inv_width_);
+    const double w0 = rrow[0];
+    const double w1 = rrow[1];
+    const double w2 = rrow[2];
+    const double w3 = rrow[3];
+    const T* __restrict base =
+        coeff + static_cast<std::size_t>(bin) * 6 * m1;
+    const T* __restrict a0 = base;
+    const T* __restrict a1 = base + static_cast<std::size_t>(1) * m1;
+    const T* __restrict a2 = base + static_cast<std::size_t>(2) * m1;
+    const T* __restrict a3 = base + static_cast<std::size_t>(3) * m1;
+    const T* __restrict a4 = base + static_cast<std::size_t>(4) * m1;
+    const T* __restrict a5 = base + static_cast<std::size_t>(5) * m1;
+#pragma omp simd
+    for (int p = 0; p < m1; ++p) {
+      T dv = a5[p];
+      T v = a5[p] * t + a4[p];
+      dv = dv * t + v;
+      v = v * t + a3[p];
+      dv = dv * t + v;
+      v = v * t + a2[p];
+      dv = dv * t + v;
+      v = v * t + a1[p];
+      dv = dv * t + v;
+      v = v * t + a0[p];
+      const double g = static_cast<double>(v + dv * extw);
+      acc0[p] += w0 * g;
+      acc1[p] += w1 * g;
+      acc2[p] += w2 * g;
+      acc3[p] += w3 * g;
+    }
+  }
+  // Per-segment fp64 reduction folded into the caller's slab once.
+  for (std::size_t i = 0; i < static_cast<std::size_t>(4) * m1; ++i) {
+    a[i] += static_cast<T>(inv_n * acc[i]);
+  }
+}
+
+template <class T>
+void CompressedEmbedding::eval_contract_backward_rows(
+    const double* __restrict rmat_rows, const double* __restrict drmat_rows,
+    const T* __restrict da, int rows, double inv_n, Vec3* dE_dd) const {
+  const int m1 = m1_;
+  const T invw = static_cast<T>(inv_width_);
+  const T* __restrict coeff = coeff_base<T>();
+  const T* __restrict da0 = da;
+  const T* __restrict da1 = da + static_cast<std::size_t>(1) * m1;
+  const T* __restrict da2 = da + static_cast<std::size_t>(2) * m1;
+  const T* __restrict da3 = da + static_cast<std::size_t>(3) * m1;
+
+  for (int r = 0; r < rows; ++r) {
+    const double* __restrict rrow =
+        rmat_rows + static_cast<std::size_t>(r) * 4;
+    double t_d, ext_d;
+    const int bin = locate(rrow[0], t_d, ext_d);
+    const T t = static_cast<T>(t_d);
+    const T ext = static_cast<T>(ext_d);
+    const T w0 = static_cast<T>(rrow[0]);
+    const T w1 = static_cast<T>(rrow[1]);
+    const T w2 = static_cast<T>(rrow[2]);
+    const T w3 = static_cast<T>(rrow[3]);
+    const T* __restrict base =
+        coeff + static_cast<std::size_t>(bin) * 6 * m1;
+    const T* __restrict a0 = base;
+    const T* __restrict a1 = base + static_cast<std::size_t>(1) * m1;
+    const T* __restrict a2 = base + static_cast<std::size_t>(2) * m1;
+    const T* __restrict a3 = base + static_cast<std::size_t>(3) * m1;
+    const T* __restrict a4 = base + static_cast<std::size_t>(4) * m1;
+    const T* __restrict a5 = base + static_cast<std::size_t>(5) * m1;
+    // Channel sweep with in-register reductions: dr_c = sum_p G_p dA[c][p]
+    // (the dE/dR row) and ds = sum_p (sum_c R~_c dA[c][p]) dG_p/ds (the
+    // dE/ds chain through the embedding input) — fp64 accumulators, the
+    // same precision contract as the unfused force chain.
+    double dr0 = 0.0, dr1 = 0.0, dr2 = 0.0, dr3 = 0.0, ds = 0.0;
+#pragma omp simd reduction(+ : dr0, dr1, dr2, dr3, ds)
+    for (int p = 0; p < m1; ++p) {
+      T dv = a5[p];
+      T v = a5[p] * t + a4[p];
+      dv = dv * t + v;
+      v = v * t + a3[p];
+      dv = dv * t + v;
+      v = v * t + a2[p];
+      dv = dv * t + v;
+      v = v * t + a1[p];
+      dv = dv * t + v;
+      v = v * t + a0[p];
+      const T dv_ds = dv * invw;
+      const T g = v + dv_ds * ext;  // linear extension out of range
+      const T dg_p = w0 * da0[p] + w1 * da1[p] + w2 * da2[p] + w3 * da3[p];
+      dr0 += static_cast<double>(g * da0[p]);
+      dr1 += static_cast<double>(g * da1[p]);
+      dr2 += static_cast<double>(g * da2[p]);
+      dr3 += static_cast<double>(g * da3[p]);
+      ds += static_cast<double>(dg_p * dv_ds);
+    }
+    // Chain rule to the neighbor displacement (always fp64): the embedding
+    // input is R~ component 0, so its chain rides dR0/dd.
+    const double* __restrict der =
+        drmat_rows + static_cast<std::size_t>(r) * 12;
+    Vec3 grad{0, 0, 0};
+    for (int axis = 0; axis < 3; ++axis) {
+      grad[axis] = inv_n * (dr0 * der[0 * 3 + axis] + dr1 * der[1 * 3 + axis] +
+                            dr2 * der[2 * 3 + axis] + dr3 * der[3 * 3 + axis] +
+                            ds * der[0 * 3 + axis]);
+    }
+    dE_dd[r] = grad;
+  }
+}
+
+template void CompressedEmbedding::eval_contract_rows<double>(const double*,
+                                                              int, double,
+                                                              double*) const;
+template void CompressedEmbedding::eval_contract_rows<float>(const double*,
+                                                             int, double,
+                                                             float*) const;
+template void CompressedEmbedding::eval_contract_backward_rows<double>(
+    const double*, const double*, const double*, int, double, Vec3*) const;
+template void CompressedEmbedding::eval_contract_backward_rows<float>(
+    const double*, const double*, const float*, int, double, Vec3*) const;
+
+// ---- fused whole-batch drivers ---------------------------------------------
+
+template <class T>
+void fused_contract_forward_batch(
+    const AtomEnvBatch& batch, const std::vector<CompressedEmbedding>& tables,
+    int m1, int m2, double inv_n, T* a_slab, T* const* fit_slab) {
+  const int B = batch.natoms;
+  const int fit_in = m1 * m2;
+  for (int a = 0; a < B; ++a) {
+    T* abuf = a_slab + static_cast<std::size_t>(a) * 4 * m1;
+    for (int t = 0; t < batch.ntypes; ++t) {
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      // Only the in-range prefix carries non-zero rows (skin compaction);
+      // the fused sweep never touches the zeroed tail.
+      const int active = batch.active_rows(t, a);
+      if (active == 0) continue;
+      tables[static_cast<std::size_t>(t)].eval_contract_rows(
+          batch.rmat.data() + static_cast<std::size_t>(seg_lo) * 4, active,
+          inv_n, abuf);
+    }
+    const int ct = batch.center_type[static_cast<std::size_t>(a)];
+    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
+                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
+    contract_d(abuf, m1, m2,
+               fit_slab[static_cast<std::size_t>(ct)] +
+                   static_cast<std::size_t>(pos) * fit_in);
+  }
+}
+
+template <class T>
+void fused_contract_backward_batch(
+    const AtomEnvBatch& batch, const std::vector<CompressedEmbedding>& tables,
+    const T* const* dd_base, int m1, int m2, double inv_n, const T* a_slab,
+    Vec3* dE_dd) {
+  const int B = batch.natoms;
+  const int fit_in = m1 * m2;
+  // dA scratch; NOT descriptor.cpp's contraction_scratch (that buffer is
+  // contract_d_backward's staging and would alias).
+  thread_local std::vector<T> da_buf;
+  da_buf.assign(static_cast<std::size_t>(4) * m1, T(0));
+  for (int a = 0; a < B; ++a) {
+    const T* abuf = a_slab + static_cast<std::size_t>(a) * 4 * m1;
+    const int ct = batch.center_type[static_cast<std::size_t>(a)];
+    const int pos = batch.fit_pos[static_cast<std::size_t>(a)] -
+                    batch.fit_type_offset[static_cast<std::size_t>(ct)];
+    const T* ddmat = dd_base[static_cast<std::size_t>(ct)] +
+                     static_cast<std::size_t>(pos) * fit_in;
+    std::fill(da_buf.begin(), da_buf.end(), T(0));
+    contract_d_backward(abuf, ddmat, m1, m2, da_buf.data());
+    for (int t = 0; t < batch.ntypes; ++t) {
+      const int seg_lo =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+      const int seg_hi =
+          batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
+      const int active = batch.active_rows(t, a);
+      if (active > 0) {
+        tables[static_cast<std::size_t>(t)].eval_contract_backward_rows(
+            batch.rmat.data() + static_cast<std::size_t>(seg_lo) * 4,
+            batch.drmat.data() + static_cast<std::size_t>(seg_lo) * 12,
+            da_buf.data(), active, inv_n, dE_dd + seg_lo);
+      }
+      // Compacted skin-band tails contribute exactly nothing.
+      for (int r = seg_lo + active; r < seg_hi; ++r) {
+        dE_dd[static_cast<std::size_t>(r)] = Vec3{0, 0, 0};
+      }
+    }
+  }
+}
+
+template void fused_contract_forward_batch<double>(
+    const AtomEnvBatch&, const std::vector<CompressedEmbedding>&, int, int,
+    double, double*, double* const*);
+template void fused_contract_forward_batch<float>(
+    const AtomEnvBatch&, const std::vector<CompressedEmbedding>&, int, int,
+    double, float*, float* const*);
+template void fused_contract_backward_batch<double>(
+    const AtomEnvBatch&, const std::vector<CompressedEmbedding>&,
+    const double* const*, int, int, double, const double*, Vec3*);
+template void fused_contract_backward_batch<float>(
+    const AtomEnvBatch&, const std::vector<CompressedEmbedding>&,
+    const float* const*, int, int, double, const float*, Vec3*);
 
 }  // namespace dpmd::dp

@@ -404,8 +404,9 @@ void contract_backward_rows(const T* rmat_rows, const T* g_rows, const T* da,
 
 template <class T>
 void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
-                            const T* const* g_base, int m1, int m2, T inv_n,
-                            T* a_slab, T* const* fit_slab) {
+                            const T* const* g_base, const int* g_row_off,
+                            int m1, int m2, T inv_n, T* a_slab,
+                            T* const* fit_slab) {
   const int B = batch.natoms;
   const int fit_in = m1 * m2;
   for (int a = 0; a < B; ++a) {
@@ -418,9 +419,12 @@ void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
       // the GEMM never touches the zeroed tail.
       const int active = batch.active_rows(t, a);
       if (active == 0) continue;
+      const int goff = g_row_off != nullptr
+                           ? g_row_off[static_cast<std::size_t>(t) * B + a]
+                           : seg_lo - lo;
       contract_a_rows(rmat_rows + static_cast<std::size_t>(seg_lo) * 4,
                       g_base[static_cast<std::size_t>(t)] +
-                          static_cast<std::size_t>(seg_lo - lo) * m1,
+                          static_cast<std::size_t>(goff) * m1,
                       active, m1, inv_n, abuf);
     }
     const int ct = batch.center_type[static_cast<std::size_t>(a)];
@@ -434,9 +438,9 @@ void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
 
 template <class T>
 void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
-                             const T* const* g_base, const T* const* dd_base,
-                             int m1, int m2, T inv_n, const T* a_slab,
-                             T* const* dg_base, T* dr_rows) {
+                             const T* const* g_base, const int* g_row_off,
+                             const T* const* dd_base, int m1, int m2, T inv_n,
+                             const T* a_slab, T* const* dg_base, T* dr_rows) {
   const int B = batch.natoms;
   const int fit_in = m1 * m2;
   // dA scratch; deliberately NOT contraction_scratch<T>() — that buffer is
@@ -460,13 +464,16 @@ void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
       // is zero) and their dE/dd is killed by the zeroed dR/dd anyway.
       const int active = batch.active_rows(t, a);
       if (active == 0) continue;
+      const int goff = g_row_off != nullptr
+                           ? g_row_off[static_cast<std::size_t>(t) * B + a]
+                           : seg_lo - lo;
       contract_backward_rows(
           rmat_rows + static_cast<std::size_t>(seg_lo) * 4,
           g_base[static_cast<std::size_t>(t)] +
-              static_cast<std::size_t>(seg_lo - lo) * m1,
+              static_cast<std::size_t>(goff) * m1,
           da_buf.data(), active, m1, inv_n,
           dg_base[static_cast<std::size_t>(t)] +
-              static_cast<std::size_t>(seg_lo - lo) * m1,
+              static_cast<std::size_t>(goff) * m1,
           dr_rows == nullptr
               ? nullptr
               : dr_rows + static_cast<std::size_t>(seg_lo) * 4);
@@ -475,20 +482,23 @@ void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
 }
 
 template void contract_forward_batch<float>(const AtomEnvBatch&, const float*,
-                                            const float* const*, int, int,
-                                            float, float*, float* const*);
+                                            const float* const*, const int*,
+                                            int, int, float, float*,
+                                            float* const*);
 template void contract_forward_batch<double>(const AtomEnvBatch&,
                                              const double*,
-                                             const double* const*, int, int,
-                                             double, double*, double* const*);
+                                             const double* const*, const int*,
+                                             int, int, double, double*,
+                                             double* const*);
 template void contract_backward_batch<float>(const AtomEnvBatch&, const float*,
-                                             const float* const*,
+                                             const float* const*, const int*,
                                              const float* const*, int, int,
                                              float, const float*,
                                              float* const*, float*);
 template void contract_backward_batch<double>(const AtomEnvBatch&,
                                               const double*,
                                               const double* const*,
+                                              const int*,
                                               const double* const*, int, int,
                                               double, const double*,
                                               double* const*, double*);

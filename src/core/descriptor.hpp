@@ -255,23 +255,31 @@ void contract_backward_rows(const T* rmat_rows, const T* g_rows, const T* da,
 /// segments and writes D = A^T A[:, :m2] into its fitting input row
 /// (fit_slab[center_type] + fit-position * m1*m2).  rmat_rows is the packed
 /// batch environment matrix (possibly precision-cast); g_base[t] points at
-/// type t's embedding output slab.  One definition drives both the
-/// inference and training pipelines so the segment bookkeeping cannot
-/// diverge between them.
+/// type t's embedding output slab.  g_row_off (nullable) maps segment
+/// (t, a) to the row offset of its G rows inside the type-t slab
+/// (ntypes * natoms entries): null means the slab is row-parallel to the
+/// packed batch (offset seg_offset - type_offset, skin tails included); the
+/// skin-tail pack of the full-embedding reuse path passes the
+/// active-compacted offsets instead, so the embedding net only ever ran
+/// over in-range rows.  One definition drives both the inference and
+/// training pipelines so the segment bookkeeping cannot diverge between
+/// them.
 template <class T>
 void contract_forward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
-                            const T* const* g_base, int m1, int m2, T inv_n,
-                            T* a_slab, T* const* fit_slab);
+                            const T* const* g_base, const int* g_row_off,
+                            int m1, int m2, T inv_n, T* a_slab,
+                            T* const* fit_slab);
 
 /// Whole-batch backward driver, mirroring contract_forward_batch:
 /// dd_base[t] is type t's dE/dD slab (fit-position-ordered rows),
-/// dg_base[t] the caller-zeroed per-type dG slab to accumulate into, and
-/// dr_rows the packed dE/dR rows (4 per row; null skips the force chain,
+/// dg_base[t] the caller-zeroed per-type dG slab to accumulate into
+/// (g_row_off-indexed exactly like g_base), and dr_rows the packed dE/dR
+/// rows (4 per row, always batch-row-indexed; null skips the force chain,
 /// as energy-only training does).
 template <class T>
 void contract_backward_batch(const AtomEnvBatch& batch, const T* rmat_rows,
-                             const T* const* g_base, const T* const* dd_base,
-                             int m1, int m2, T inv_n, const T* a_slab,
-                             T* const* dg_base, T* dr_rows);
+                             const T* const* g_base, const int* g_row_off,
+                             const T* const* dd_base, int m1, int m2, T inv_n,
+                             const T* a_slab, T* const* dg_base, T* dr_rows);
 
 }  // namespace dpmd::dp

@@ -50,6 +50,8 @@ struct BatchWorkspace {
   std::vector<T> dr;         // rows x 4: dE/dR
   std::vector<double> dgds;  // rows x m1 (compressed path)
   std::vector<double> grow;  // m1 (compressed table output staging)
+  std::vector<int> gseg;     // ntypes x B: active-compacted G row offsets
+  std::vector<int> gcount;   // ntypes: active rows per type slab
 };
 
 template <class T>
@@ -401,27 +403,65 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   };
 
   auto& ws = batch_workspace<T>();
-  // The double pipeline reads the batch environment matrix in place; only
-  // the fp32 modes pay a cast copy.
-  const T* rmat;
-  if constexpr (std::is_same_v<T, double>) {
-    rmat = batch.rmat.data();
-  } else {
-    ws.rmat.resize(static_cast<std::size_t>(rows) * 4);
-    for (std::size_t i = 0; i < static_cast<std::size_t>(rows) * 4; ++i) {
-      ws.rmat[i] = static_cast<T>(batch.rmat[i]);
+  // Fused tabulate-contraction (ISSUE 5): the compressed default.  The
+  // table eval and the descriptor contraction run as one register-resident
+  // sweep per segment — no G/dG slabs, no rmat precision cast, no M = 4
+  // contraction GEMMs.  fused_table = false keeps the slab pipeline below
+  // as the ablation baseline.
+  const bool fused = opts_.compressed && opts_.fused_table;
+  // Full-embedding skin-tail pack (ISSUE 5 satellite): with env reuse the
+  // packed segments carry zeroed skin-band tails; compact the embedding
+  // MLP's input to the active prefixes so the net never runs over them.
+  // g_row_off then maps each segment to its rows inside the type slab.
+  const bool pack_active = !opts_.compressed && !batch.seg_active.empty();
+  const int* g_row_off = nullptr;
+  if (pack_active) {
+    ws.gseg.resize(static_cast<std::size_t>(ntypes) * B);
+    ws.gcount.assign(static_cast<std::size_t>(ntypes), 0);
+    for (int t = 0; t < ntypes; ++t) {
+      int off = 0;
+      for (int a = 0; a < B; ++a) {
+        ws.gseg[static_cast<std::size_t>(t) * B + a] = off;
+        off += batch.active_rows(t, a);
+      }
+      ws.gcount[static_cast<std::size_t>(t)] = off;
     }
-    rmat = ws.rmat.data();
+    g_row_off = ws.gseg.data();
+  }
+  // Embedding rows of type t in the net caches/slabs: every packed row of
+  // the dense layout, or only the active prefixes when packed.
+  const auto emb_rows = [&](int t) {
+    return pack_active ? ws.gcount[static_cast<std::size_t>(t)]
+                       : batch.type_offset[static_cast<std::size_t>(t) + 1] -
+                             batch.type_offset[static_cast<std::size_t>(t)];
+  };
+  // The double pipeline reads the batch environment matrix in place; only
+  // the fp32 modes pay a cast copy — and the fused path reads the fp64
+  // matrix directly (per-row in-register casts), so it skips even that.
+  const T* rmat = nullptr;
+  if (!fused) {
+    if constexpr (std::is_same_v<T, double>) {
+      rmat = batch.rmat.data();
+    } else {
+      ws.rmat.resize(static_cast<std::size_t>(rows) * 4);
+      for (std::size_t i = 0; i < static_cast<std::size_t>(rows) * 4; ++i) {
+        ws.rmat[i] = static_cast<T>(batch.rmat[i]);
+      }
+      rmat = ws.rmat.data();
+    }
   }
   ws.a.assign(static_cast<std::size_t>(B) * 4 * m1, T(0));
-  ws.dr.resize(static_cast<std::size_t>(rows) * 4);
+  if (!fused) ws.dr.resize(static_cast<std::size_t>(rows) * 4);
 
   // ---- embedding forward: ONE net pass per neighbor type per block -------
-  // g_base[t] + (r - type_lo(t)) * m1 is the embedding row of packed row r;
-  // the slab lives either in ws.g (compressed) or in the type's MLP cache
-  // (uncompressed, zero-copy via forward_batch).
+  // g_base[t] + (r - type_lo(t)) * m1 is the embedding row of packed row r
+  // (g_row_off-adjusted when the active pack is on); the slab lives either
+  // in ws.g (compressed, unfused) or in the type's MLP cache (uncompressed,
+  // zero-copy via forward_batch).  The fused path has no G slab at all.
   std::vector<const T*> g_base(static_cast<std::size_t>(ntypes), nullptr);
-  if (opts_.compressed) {
+  if (fused) {
+    // Table eval happens inside the fused contraction drivers below.
+  } else if (opts_.compressed) {
     ws.g.resize(static_cast<std::size_t>(rows) * m1);
     ws.dgds.resize(static_cast<std::size_t>(rows) * m1);
     if constexpr (!std::is_same_v<T, double>) {
@@ -461,14 +501,29 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
     }
   } else {
     for (int t = 0; t < ntypes; ++t) {
-      const int count = type_count(t);
+      const int count = emb_rows(t);
       if (count == 0) continue;
       auto& cache = emb_caches[static_cast<std::size_t>(t)];
       T* s_in = emb_net(t).batch_input(count, cache);
       const int lo = type_lo(t);
-      for (int i = 0; i < count; ++i) {
-        s_in[i] = static_cast<T>(
-            batch.rmat[static_cast<std::size_t>(lo + i) * 4]);
+      if (pack_active) {
+        // Compacted input: only each segment's in-range prefix, placed at
+        // its g_row_off slot — the MLP never sees a zeroed skin row.
+        for (int a = 0; a < B; ++a) {
+          const int seg_lo =
+              batch.seg_offset[static_cast<std::size_t>(t) * B + a];
+          const int active = batch.active_rows(t, a);
+          T* dst = s_in + ws.gseg[static_cast<std::size_t>(t) * B + a];
+          for (int k = 0; k < active; ++k) {
+            dst[k] = static_cast<T>(
+                batch.rmat[static_cast<std::size_t>(seg_lo + k) * 4]);
+          }
+        }
+      } else {
+        for (int i = 0; i < count; ++i) {
+          s_in[i] = static_cast<T>(
+              batch.rmat[static_cast<std::size_t>(lo + i) * 4]);
+        }
       }
       g_base[static_cast<std::size_t>(t)] = emb_net(t).forward_batch(
           count, cache, nn::GemmKind::Auto, nn::GemmKind::Auto,
@@ -488,13 +543,20 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
         count, fit_caches[static_cast<std::size_t>(t)]);
   }
 
-  // GEMM-cast (PR 2): one gemm_tn per (slot, type) segment accumulates A,
-  // one gemm_tn per slot writes D straight into the fitting input slab.
-  // The segment sweep lives in contract_forward_batch, shared with the
-  // batched trainer.
+  // Fused (default): one register-resident tabulate-and-contract sweep per
+  // (slot, type) segment accumulates A with no G materialization.
+  // Unfused: one gemm_tn per segment over the G slab (PR 2), the ablation
+  // baseline; its segment sweep lives in contract_forward_batch, shared
+  // with the batched trainer.
+  const double inv_n_d = 1.0 / static_cast<double>(dparams.sel_total());
   const T inv_n = T(1) / static_cast<T>(dparams.sel_total());
-  contract_forward_batch(batch, rmat, g_base.data(), m1, m2, inv_n,
-                         ws.a.data(), fit_slab.data());
+  if (fused) {
+    fused_contract_forward_batch(batch, tables_, m1, m2, inv_n_d,
+                                 ws.a.data(), fit_slab.data());
+  } else {
+    contract_forward_batch(batch, rmat, g_base.data(), g_row_off, m1, m2,
+                           inv_n, ws.a.data(), fit_slab.data());
+  }
 
   // ---- fitting nets: forward AND backward at M = centers-per-type --------
   const nn::GemmKind fk = opts_.fitting_gemm;
@@ -522,9 +584,16 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
         fit_net(t).backward_input_batch(count, cache, fk, opts_.packed_gemm);
   }
 
-  // ---- backward through the descriptor: dA, then dG and dR per slot ------
-  // dG rows accumulate into per-type slabs: the embedding grad slab
-  // (uncompressed) or ws.dg (compressed), mirroring g_base.
+  // ---- backward through the descriptor ------------------------------------
+  // Fused: dA per slot, then one register-resident sweep per segment that
+  // re-evaluates the table and contracts straight through to the fp64
+  // dE/dd rows — no dG/dR/dE-ds slabs, and nothing left to do after it.
+  if (fused) {
+    fused_contract_backward_batch(batch, tables_, dd_base.data(), m1, m2,
+                                  inv_n_d, ws.a.data(), dE_dd.data());
+  } else {
+  // Unfused: dG rows accumulate into per-type slabs — the embedding grad
+  // slab (uncompressed) or ws.dg (compressed), mirroring g_base.
   std::vector<T*> dg_base(static_cast<std::size_t>(ntypes), nullptr);
   if (opts_.compressed) {
     ws.dg.assign(static_cast<std::size_t>(rows) * m1, T(0));
@@ -534,7 +603,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
     }
   } else {
     for (int t = 0; t < ntypes; ++t) {
-      const int count = type_count(t);
+      const int count = emb_rows(t);
       if (count == 0) continue;
       T* slab = emb_net(t).batch_output_grad(
           count, emb_caches[static_cast<std::size_t>(t)]);
@@ -545,7 +614,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
 
   // dA per slot, then dG and dR over its packed rows — the segment sweep
   // lives in contract_backward_batch, shared with the batched trainer.
-  contract_backward_batch(batch, rmat, g_base.data(),
+  contract_backward_batch(batch, rmat, g_base.data(), g_row_off,
                           dd_base.data(), m1, m2, inv_n, ws.a.data(),
                           dg_base.data(), ws.dr.data());
 
@@ -579,7 +648,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
     }
   } else {
     for (int t = 0; t < ntypes; ++t) {
-      const int count = type_count(t);
+      const int count = emb_rows(t);
       if (count == 0) continue;
       ds_base[static_cast<std::size_t>(t)] =
           emb_net(t).backward_input_batch(
@@ -601,11 +670,16 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
       const int seg_hi =
           batch.seg_offset[static_cast<std::size_t>(t) * B + a + 1];
       const int seg_end = seg_lo + batch.active_rows(t, a);
+      // ds of packed row r inside the type-t slab: dense rows (r - lo), or
+      // the active-compacted slot when the skin-tail pack is on.
+      const int ds_off =
+          pack_active ? ws.gseg[static_cast<std::size_t>(t) * B + a] - seg_lo
+                      : -lo;
       for (int r = seg_lo; r < seg_end; ++r) {
         const double* der =
             batch.drmat.data() + static_cast<std::size_t>(r) * 12;
         const T* drrow = ws.dr.data() + static_cast<std::size_t>(r) * 4;
-        const double ds_emb = static_cast<double>(dsb[r - lo]);
+        const double ds_emb = static_cast<double>(dsb[r + ds_off]);
         Vec3 grad{0, 0, 0};
         for (int axis = 0; axis < 3; ++axis) {
           double acc = 0;
@@ -622,6 +696,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
       }
     }
   }
+  }  // !fused
 
   // flop estimate (same per-atom formula as eval_impl, over the block).
   const double fin = dparams.fitting_input_dim();

@@ -37,6 +37,16 @@ struct EvalOptions {
   /// per-atom path (evaluate_atom), kept as the ablation baseline.
   /// Validated >= 1 (DPMD_REQUIRE) by every consumer.
   int block_size = 64;
+  /// Fused tabulate-contraction pipeline (ISSUE 5, the SC'20 aggregated
+  /// kernel lineage): with compression on, the batched path evaluates the
+  /// quintic table and folds each neighbor's embedding row straight into
+  /// the descriptor accumulation (forward) / the fp64 force chain
+  /// (backward), in registers — the G/dG slabs and the M = 4 contraction
+  /// GEMMs of the slab pipeline never exist.  Off = the unfused slab path
+  /// (table sweep, then gemm_tn/gemm_nt contraction), kept compiled as the
+  /// ablation baseline and gradient oracle.  Ignored when compressed is
+  /// false or block_size == 1 (the per-atom path is always unfused).
+  bool fused_table = true;
   /// Run the Blocked/Auto net GEMMs against the pack_b panel-major weight
   /// copies built at DenseLayer::finalize (unit-stride B panels in the
   /// micro-kernel, ~+20% on the embedding shapes — the ROADMAP packed-B

@@ -283,8 +283,14 @@ double Trainer::accumulate_sample_batched(const TrainSample& sample) {
       fit_slab[static_cast<std::size_t>(t)] = model_.fitting(t).batch_input(
           fc, bfit_cache_[static_cast<std::size_t>(t)]);
     }
-    contract_forward_batch(batch_, batch_.rmat.data(), g_base.data(), m1, m2,
-                           inv_n, a_slab_.data(), fit_slab.data());
+    // Trainer batches are rcut-filtered (no skin tails), so the G slabs are
+    // row-parallel to the packed batch: g_row_off = null.  Training keeps
+    // the unfused slab drivers by construction — gradients flow through the
+    // embedding *network*, which the fused table path replaces; this is the
+    // gradient oracle the fused pipeline is equality-tested against.
+    contract_forward_batch(batch_, batch_.rmat.data(), g_base.data(),
+                           /*g_row_off=*/nullptr, m1, m2, inv_n,
+                           a_slab_.data(), fit_slab.data());
 
     // ---- fitting forward + parameter backward at M = centers-per-type ---
     // dy = 1 accumulates dE/dparam; the loss factor dL/dE is applied after
@@ -317,8 +323,8 @@ double Trainer::accumulate_sample_batched(const TrainSample& sample) {
       dg_base[static_cast<std::size_t>(t)] = slab;
     }
     contract_backward_batch(batch_, batch_.rmat.data(), g_base.data(),
-                            dd_base.data(), m1, m2, inv_n, a_slab_.data(),
-                            dg_base.data(),
+                            /*g_row_off=*/nullptr, dd_base.data(), m1, m2,
+                            inv_n, a_slab_.data(), dg_base.data(),
                             /*dr_rows=*/static_cast<double*>(nullptr));
     for (int t = 0; t < ntypes; ++t) {
       const int tc = type_count(t);

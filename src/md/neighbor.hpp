@@ -8,6 +8,11 @@
 
 namespace dpmd::md {
 
+/// Cap of the auto-picked neighbor skin (SimConfig::skin < 0 /
+/// DomainConfig::skin < 0): the paper's 2 A production skin.  Shared by
+/// both engines' resolvers so the rule cannot diverge.
+inline constexpr double kMaxAutoSkin = 2.0;
+
 /// Verlet neighbor list built through a cell (link-cell) grid, as in
 /// LAMMPS.  The list is built with cutoff + skin and reused until atoms have
 /// moved more than skin/2 (or a fixed rebuild cadence fires — the paper

@@ -1,5 +1,6 @@
 #include "md/sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "md/ghosts.hpp"
@@ -8,11 +9,28 @@
 
 namespace dpmd::md {
 
+namespace {
+
+/// SimConfig::skin < 0 = auto (ISSUE 5 satellite): the largest skin the
+/// periodic cell admits — the ghost band may not wrap past the far image,
+/// so 2*(rcut+skin) <= shortest box length — capped at kMaxAutoSkin (the
+/// paper's 2 A production skin) and floored at 0.
+SimConfig resolve_config(SimConfig cfg, const Box& box, double rcut) {
+  if (cfg.skin >= 0.0) return cfg;
+  const Vec3 len = box.length();
+  const double shortest = std::min({len.x, len.y, len.z});
+  cfg.skin = std::clamp(0.5 * shortest - rcut, 0.0, kMaxAutoSkin);
+  return cfg;
+}
+
+}  // namespace
+
 Sim::Sim(Box box, Atoms atoms, std::vector<double> masses,
          std::shared_ptr<Pair> pair, SimConfig cfg)
     : box_(box), atoms_(std::move(atoms)), masses_(std::move(masses)),
-      pair_(std::move(pair)), cfg_(cfg),
-      nlist_({pair_->cutoff(), cfg.skin, pair_->needs_full_list()}) {
+      pair_(std::move(pair)),
+      cfg_(resolve_config(cfg, box_, pair_->cutoff())),
+      nlist_({pair_->cutoff(), cfg_.skin, pair_->needs_full_list()}) {
   DPMD_REQUIRE(pair_ != nullptr, "pair style required");
   for (int i = 0; i < atoms_.nlocal; ++i) {
     const int t = atoms_.type[static_cast<std::size_t>(i)];

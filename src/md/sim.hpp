@@ -17,7 +17,11 @@ namespace dpmd::md {
 
 struct SimConfig {
   double dt_fs = 1.0;
-  double skin = 2.0;          ///< paper: 2 A neighbor skin
+  /// Neighbor skin; paper: 2 A.  Negative (canonically -1) = auto: the
+  /// largest skin the periodic cell admits (2*(rcut+skin) <= shortest box
+  /// length, the single-process analogue of the decomposition slack rule),
+  /// capped at 2 A.  Read the resolved value back via Sim::config().
+  double skin = 2.0;
   int rebuild_every = 50;     ///< paper: lists rebuilt every 50 steps
   bool rebuild_on_drift = true;  ///< also rebuild when drift > skin/2
   /// Route force evaluation through the staged Pair surface (ISSUE 3):
@@ -57,6 +61,8 @@ class Sim {
   // Observers -------------------------------------------------------------
   const Atoms& atoms() const { return atoms_; }
   Atoms& atoms() { return atoms_; }
+  /// Effective configuration (a negative auto skin arrives resolved).
+  const SimConfig& config() const { return cfg_; }
   const Box& box() const { return box_; }
   const std::vector<double>& masses() const { return masses_; }
   const NeighborList& nlist() const { return nlist_; }

@@ -301,6 +301,47 @@ TEST(Cadence, DriftCheckOffFollowsFixedCadenceOnly) {
   EXPECT_EQ(rebuilds, 3);
 }
 
+TEST(Cadence, AutoSkinPicksLargestAdmissibleAndStaysCorrect) {
+  // DomainConfig::skin < 0 = auto (ISSUE 5 satellite): the engine resolves
+  // the largest skin the decomposition slack rule admits, capped at the
+  // paper's 2 A, identically on every rank — and the cadenced trajectory
+  // stays pinned to the fresh-evaluation oracle.
+  const GlobalSystem sys = make_lj_gas(140, 24.0, 60.0, 40.0, 47);
+  const auto mk = [] { return make_lj(5.0); };
+  {
+    // 2x2x1 over a 24 A cube: split dims have slack 24 - 12 = 12, so the
+    // admissible skin is 12/2 - 5 = 1.0 (under the 2 A cap).
+    const simmpi::CartGrid grid(2, 2, 1);
+    std::mutex mu;
+    double resolved = -1.0;
+    simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+      comm::DomainEngine engine(rank, grid, sys.box, sys.masses, mk(),
+                                {.dt_fs = 1.0, .skin = -1.0});
+      const double got = engine.config().skin;
+      std::lock_guard lock(mu);
+      if (resolved < 0.0) resolved = got;
+      EXPECT_EQ(got, resolved);  // every rank agrees
+    });
+    EXPECT_NEAR(resolved, 1.0, 1e-12);
+  }
+  {
+    // Single rank: slack is the full box length per dim (24/2 - 5 = 7),
+    // so the 2 A production cap binds.
+    const simmpi::CartGrid grid(1, 1, 1);
+    simmpi::run_world(1, [&](simmpi::Rank& rank) {
+      comm::DomainEngine engine(rank, grid, sys.box, sys.masses, mk(),
+                                {.dt_fs = 1.0, .skin = -1.0});
+      EXPECT_NEAR(engine.config().skin, 2.0, 1e-12);
+    });
+  }
+  // Trajectory correctness under the auto skin, forces vs oracle each step.
+  const simmpi::CartGrid grid(2, 2, 1);
+  const int rebuilds = run_and_check_every_step(
+      sys, grid, mk, {.dt_fs = 1.0, .skin = -1.0, .rebuild_every = 6}, 12,
+      1e-10);
+  EXPECT_LT(rebuilds, 8);
+}
+
 TEST(Cadence, MigrationConservesTagsUnderCadence) {
   // Hot gas on a long cadence with drift rebuilds: atoms hand off between
   // ranks only on rebuild steps and nothing is lost or duplicated.

@@ -898,6 +898,396 @@ TEST(DpBatch, EvaluateBatchDirectMatchesEvaluateAtom) {
   }
 }
 
+// -------------------------------------- fused tabulate-contraction (IS5) ----
+
+/// Full-pipeline fused vs unfused comparison on one configuration: same
+/// model, same positions, only EvalOptions::fused_table differs.
+void expect_fused_matches_unfused(const std::shared_ptr<DPModel>& model,
+                                  const md::Box& box, const md::Atoms& atoms,
+                                  Precision prec, double tol,
+                                  double s_max = 0.0) {
+  EvalOptions opts;
+  opts.precision = prec;
+  opts.compressed = true;
+  opts.compression_s_max = s_max;
+  for (const int block : {8, 64}) {
+    opts.block_size = block;
+    opts.fused_table = false;
+    const Evaluated ref = eval_config(model, opts, box, atoms);
+    opts.fused_table = true;
+    const Evaluated got = eval_config(model, opts, box, atoms);
+    EXPECT_LT(rel_diff(got.pe, ref.pe), tol) << "pe, block=" << block;
+    EXPECT_LT(rel_diff(got.virial, ref.virial), tol)
+        << "virial, block=" << block;
+    ASSERT_EQ(got.atom_e.size(), ref.atom_e.size());
+    for (std::size_t i = 0; i < ref.atom_e.size(); ++i) {
+      EXPECT_LT(rel_diff(got.atom_e[i], ref.atom_e[i]), tol)
+          << "atom energy " << i << ", block=" << block;
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_LT(rel_diff(got.forces[i][d], ref.forces[i][d]), tol)
+            << "force atom " << i << " dim " << d << ", block=" << block;
+      }
+    }
+  }
+}
+
+TEST(DpFused, MatchesUnfusedDoubleAtTightTolerance) {
+  // ISSUE 5 acceptance bar: fused == unfused at <= 1e-12 in fp64.  Mixed
+  // types, plus two isolated atoms (zero-neighbor slots: the fused drivers
+  // must still emit their zero-descriptor energy and an exactly empty
+  // backward).
+  Rng rng(211);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {22, 22, 22});
+  md::Atoms atoms = random_config(30, box, 2, rng);
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    // Compress the cloud into one corner so the two far atoms are isolated.
+    atoms.x[static_cast<std::size_t>(i)] *= 0.5;
+  }
+  // x = 16.5 sits 5.5 A from both faces of the cloud's [0, 11] slab (also
+  // through the periodic wrap), beyond the 4.5 A cutoff.
+  atoms.add_local({16.5, 3.0, 3.0}, {0, 0, 0}, 0, 30);
+  atoms.add_local({16.5, 8.0, 8.0}, {0, 0, 0}, 1, 31);
+  expect_fused_matches_unfused(model, box, atoms, Precision::Double, 1e-12);
+}
+
+TEST(DpFused, MatchesUnfusedWithEmptyTypeSegments) {
+  // Every atom is type 0 under a two-type model: all type-1 segments are
+  // empty in every block, the empty-segment skip of both drivers.
+  Rng rng(223);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(24, box, 1, rng);
+  expect_fused_matches_unfused(model, box, atoms, Precision::Double, 1e-12);
+}
+
+TEST(DpFused, MatchesUnfusedAcrossClampAndExtensionBins) {
+  // A deliberately short table (compression_s_max = 0.4) pushes many rows
+  // past s_max into the linear-extension branch, and close pairs visit the
+  // top bins; the fused Horner must track eval_row through both.
+  Rng rng(227);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(30, box, 2, rng, /*min_sep=*/1.0);
+  expect_fused_matches_unfused(model, box, atoms, Precision::Double, 1e-12,
+                               /*s_max=*/0.4);
+}
+
+TEST(DpFused, MixModesMatchUnfusedWithinMixTolerance) {
+  // The fused Mix kernels evaluate the fp32 coefficient table natively
+  // (the unfused path tabulates in fp64 and casts), so agreement is fp32
+  // round-off — the same tolerance the batched-vs-per-atom mix tests use.
+  Rng rng(229);
+  auto model = small_model();
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(30, box, 2, rng);
+  expect_fused_matches_unfused(model, box, atoms, Precision::MixFp32, 5e-4);
+  expect_fused_matches_unfused(model, box, atoms, Precision::MixFp16, 5e-4);
+}
+
+TEST(DpFused, ContractRowsMatchEvalRowReference) {
+  // Kernel-level check against the unfused math spelled out with eval_row:
+  // forward A accumulation and backward dE/dd on synthetic rows spanning
+  // in-range bins and the out-of-range linear extension.
+  auto model = small_model();
+  const double s_max = 1.1;
+  const auto table = CompressedEmbedding::build(model->embedding(0),
+                                                {0.0, s_max, 64});
+  const int m1 = table.m1();
+  Rng rng(233);
+  const int rows = 17;
+  std::vector<double> rmat(static_cast<std::size_t>(rows) * 4);
+  std::vector<double> drmat(static_cast<std::size_t>(rows) * 12);
+  for (int r = 0; r < rows; ++r) {
+    // Rows 0..11 inside the table, the rest beyond s_max (extension).
+    rmat[static_cast<std::size_t>(r) * 4] =
+        r < 12 ? rng.uniform(0.01, s_max) : rng.uniform(s_max, 2.0 * s_max);
+    for (int c = 1; c < 4; ++c) {
+      rmat[static_cast<std::size_t>(r) * 4 + c] = rng.uniform(-0.5, 0.5);
+    }
+    for (int c = 0; c < 12; ++c) {
+      drmat[static_cast<std::size_t>(r) * 12 + c] = rng.uniform(-1.0, 1.0);
+    }
+  }
+  std::vector<double> da(static_cast<std::size_t>(4) * m1);
+  for (auto& v : da) v = rng.uniform(-1.0, 1.0);
+  const double inv_n = 1.0 / 48.0;
+
+  // Reference: eval_row per row, then the unfused contraction loops.
+  std::vector<double> g(static_cast<std::size_t>(m1));
+  std::vector<double> dgds(static_cast<std::size_t>(m1));
+  std::vector<double> a_ref(static_cast<std::size_t>(4) * m1, 0.0);
+  std::vector<Vec3> dedd_ref(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const double* rrow = rmat.data() + static_cast<std::size_t>(r) * 4;
+    table.eval_row(rrow[0], g.data(), dgds.data());
+    double dr[4] = {0, 0, 0, 0};
+    double ds = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      for (int p = 0; p < m1; ++p) {
+        a_ref[static_cast<std::size_t>(c) * m1 + p] +=
+            inv_n * rrow[c] * g[static_cast<std::size_t>(p)];
+        dr[c] += g[static_cast<std::size_t>(p)] *
+                 da[static_cast<std::size_t>(c) * m1 + p];
+      }
+      dr[c] *= inv_n;
+    }
+    for (int p = 0; p < m1; ++p) {
+      double dg_p = 0.0;
+      for (int c = 0; c < 4; ++c) {
+        dg_p += rrow[c] * da[static_cast<std::size_t>(c) * m1 + p];
+      }
+      ds += inv_n * dg_p * dgds[static_cast<std::size_t>(p)];
+    }
+    const double* der = drmat.data() + static_cast<std::size_t>(r) * 12;
+    for (int axis = 0; axis < 3; ++axis) {
+      double acc = ds * der[axis];
+      for (int c = 0; c < 4; ++c) acc += dr[c] * der[c * 3 + axis];
+      dedd_ref[static_cast<std::size_t>(r)][axis] = acc;
+    }
+  }
+
+  std::vector<double> a_fused(static_cast<std::size_t>(4) * m1, 0.0);
+  table.eval_contract_rows(rmat.data(), rows, inv_n, a_fused.data());
+  std::vector<Vec3> dedd_fused(static_cast<std::size_t>(rows));
+  table.eval_contract_backward_rows(rmat.data(), drmat.data(), da.data(),
+                                    rows, inv_n, dedd_fused.data());
+  for (int i = 0; i < 4 * m1; ++i) {
+    EXPECT_LT(rel_diff(a_fused[static_cast<std::size_t>(i)],
+                       a_ref[static_cast<std::size_t>(i)]), 1e-12)
+        << i;
+  }
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_LT((dedd_fused[static_cast<std::size_t>(r)] -
+               dedd_ref[static_cast<std::size_t>(r)]).norm(),
+              1e-12 * std::max(1.0,
+                               dedd_ref[static_cast<std::size_t>(r)].norm()))
+        << r;
+  }
+
+  // fp32 kernels over the fp32 coefficient layout: fp32 round-off only.
+  std::vector<float> a_f(static_cast<std::size_t>(4) * m1, 0.0f);
+  std::vector<float> da_f(da.begin(), da.end());
+  table.eval_contract_rows(rmat.data(), rows, inv_n, a_f.data());
+  std::vector<Vec3> dedd_f(static_cast<std::size_t>(rows));
+  table.eval_contract_backward_rows(rmat.data(), drmat.data(), da_f.data(),
+                                    rows, inv_n, dedd_f.data());
+  for (int i = 0; i < 4 * m1; ++i) {
+    EXPECT_LT(rel_diff(static_cast<double>(a_f[static_cast<std::size_t>(i)]),
+                       a_ref[static_cast<std::size_t>(i)]), 5e-4)
+        << i;
+  }
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_LT((dedd_f[static_cast<std::size_t>(r)] -
+               dedd_ref[static_cast<std::size_t>(r)]).norm(),
+              5e-4 * std::max(1.0,
+                              dedd_ref[static_cast<std::size_t>(r)].norm()))
+        << r;
+  }
+}
+
+TEST(DpFused, RefreshedBatchMatchesRebuiltAndUnfused) {
+  // The steady-state fast path: a keep_list_rows batch refreshed after
+  // drift, evaluated through the fused drivers, must match (a) the unfused
+  // slab pipeline on the identical batch at <= 1e-12 and (b) the fused
+  // evaluation of a freshly rebuilt rcut-filtered batch — skin tails
+  // contribute exactly nothing through the fused sweep too.
+  auto model = small_model();
+  const auto& dparams = model->config().descriptor;
+  Rng rng(239);
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(40, box, 2, rng);
+  const double skin = 1.0;
+  md::build_periodic_ghosts(atoms, box, dparams.rcut + skin);
+  md::NeighborList list({dparams.rcut, skin, true});
+  list.build(atoms, box);
+
+  std::vector<int> centers(static_cast<std::size_t>(atoms.nlocal));
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    centers[static_cast<std::size_t>(i)] = i;
+  }
+  AtomEnvBatch reuse;
+  build_env_batch(atoms, list, centers.data(), atoms.nlocal, dparams, 2,
+                  reuse, /*keep_list_rows=*/true);
+  // Drift (well under skin/2) and refresh positions-only.
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double t = 0.51 * i;
+    atoms.x[static_cast<std::size_t>(i)] +=
+        Vec3{0.2 * std::sin(t), 0.15 * std::cos(t), 0.2 * std::sin(3 * t)};
+  }
+  for (int g = 0; g < atoms.nghost; ++g) {
+    atoms.x[static_cast<std::size_t>(atoms.nlocal + g)] =
+        atoms.x[static_cast<std::size_t>(
+            atoms.ghost_parent[static_cast<std::size_t>(g)])] +
+        atoms.ghost_shift[static_cast<std::size_t>(g)];
+  }
+  refresh_env_batch(atoms, dparams, reuse);
+  AtomEnvBatch filtered;
+  build_env_batch(atoms, list, centers.data(), atoms.nlocal, dparams, 2,
+                  filtered, /*keep_list_rows=*/false);
+
+  EvalOptions fused_opts;
+  EvalOptions unfused_opts;
+  unfused_opts.fused_table = false;
+  DPEvaluator ev_fused(model, fused_opts);
+  DPEvaluator ev_unfused(model, unfused_opts);
+
+  std::vector<double> e_fused, e_unfused, e_filt;
+  std::vector<Vec3> d_fused, d_unfused, d_filt;
+  ev_fused.evaluate_batch(reuse, e_fused, d_fused);
+  ev_unfused.evaluate_batch(reuse, e_unfused, d_unfused);
+  ev_fused.evaluate_batch(filtered, e_filt, d_filt);
+
+  ASSERT_EQ(e_fused.size(), e_unfused.size());
+  for (std::size_t a = 0; a < e_fused.size(); ++a) {
+    EXPECT_LT(rel_diff(e_fused[a], e_unfused[a]), 1e-12) << a;
+    EXPECT_LT(rel_diff(e_fused[a], e_filt[a]), 1e-12) << a;
+  }
+  for (std::size_t r = 0; r < d_fused.size(); ++r) {
+    EXPECT_LT((d_fused[r] - d_unfused[r]).norm(),
+              1e-12 * std::max(1.0, d_unfused[r].norm()))
+        << r;
+  }
+  // Skin-tail rows are exact zeros out of the fused backward.
+  for (int t = 0; t < reuse.ntypes; ++t) {
+    for (int a = 0; a < reuse.natoms; ++a) {
+      const std::size_t seg =
+          static_cast<std::size_t>(t) * reuse.natoms + a;
+      for (int r = reuse.seg_offset[seg] + reuse.seg_active[seg];
+           r < reuse.seg_offset[seg + 1]; ++r) {
+        EXPECT_EQ(d_fused[static_cast<std::size_t>(r)].norm(), 0.0) << r;
+      }
+    }
+  }
+}
+
+TEST(DpBatch, FullEmbeddingActivePackMatchesFilteredBatch) {
+  // The full-embedding skin-tail pack (ISSUE 5 satellite): an uncompressed
+  // keep_list_rows batch — refreshed after drift so the compaction is
+  // genuinely re-partitioned — routes the embedding MLP over active-packed
+  // slabs (g_row_off indexing), and must match the rcut-filtered batch at
+  // the same positions to fp64 round-off.
+  auto model = small_model();
+  const auto& dparams = model->config().descriptor;
+  Rng rng(251);
+  const md::Box box({0, 0, 0}, {11, 11, 11});
+  md::Atoms atoms = random_config(40, box, 2, rng);
+  const double skin = 1.0;
+  md::build_periodic_ghosts(atoms, box, dparams.rcut + skin);
+  md::NeighborList list({dparams.rcut, skin, true});
+  list.build(atoms, box);
+
+  std::vector<int> centers(static_cast<std::size_t>(atoms.nlocal));
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    centers[static_cast<std::size_t>(i)] = i;
+  }
+  AtomEnvBatch reuse;
+  build_env_batch(atoms, list, centers.data(), atoms.nlocal, dparams, 2,
+                  reuse, /*keep_list_rows=*/true);
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    const double t = 0.43 * i;
+    atoms.x[static_cast<std::size_t>(i)] +=
+        Vec3{0.18 * std::sin(t), 0.2 * std::cos(2 * t), 0.15 * std::sin(t)};
+  }
+  for (int g = 0; g < atoms.nghost; ++g) {
+    atoms.x[static_cast<std::size_t>(atoms.nlocal + g)] =
+        atoms.x[static_cast<std::size_t>(
+            atoms.ghost_parent[static_cast<std::size_t>(g)])] +
+        atoms.ghost_shift[static_cast<std::size_t>(g)];
+  }
+  refresh_env_batch(atoms, dparams, reuse);
+  // The pack must have real work to do: some segment carries a tail.
+  int tails = 0;
+  for (std::size_t s = 0; s < reuse.seg_active.size(); ++s) {
+    tails += reuse.seg_offset[s + 1] - reuse.seg_offset[s] -
+             reuse.seg_active[s];
+  }
+  ASSERT_GT(tails, 0);
+  AtomEnvBatch filtered;
+  build_env_batch(atoms, list, centers.data(), atoms.nlocal, dparams, 2,
+                  filtered, /*keep_list_rows=*/false);
+
+  EvalOptions opts;
+  opts.compressed = false;
+  DPEvaluator ev(model, opts);
+  std::vector<double> e_pack, e_filt;
+  std::vector<Vec3> d_pack, d_filt;
+  ev.evaluate_batch(reuse, e_pack, d_pack);
+  ev.evaluate_batch(filtered, e_filt, d_filt);
+  ASSERT_EQ(e_pack.size(), e_filt.size());
+  for (std::size_t a = 0; a < e_pack.size(); ++a) {
+    EXPECT_LT(rel_diff(e_pack[a], e_filt[a]), 1e-12) << a;
+  }
+  // Per-row gradients: match active rows by (segment, neighbor index) —
+  // the compaction may permute rows within a segment vs the filtered
+  // build's list order.
+  const auto row_map = [](const AtomEnvBatch& b,
+                          const std::vector<Vec3>& dedd) {
+    std::map<std::pair<int, int>, Vec3> out;
+    for (int t = 0; t < b.ntypes; ++t) {
+      for (int a = 0; a < b.natoms; ++a) {
+        const std::size_t seg = static_cast<std::size_t>(t) * b.natoms + a;
+        const int lo = b.seg_offset[seg];
+        for (int r = lo; r < lo + b.active_rows(t, a); ++r) {
+          out[{static_cast<int>(seg),
+               b.nbr_index[static_cast<std::size_t>(r)]}] =
+              dedd[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+    return out;
+  };
+  const auto m_pack = row_map(reuse, d_pack);
+  const auto m_filt = row_map(filtered, d_filt);
+  ASSERT_EQ(m_pack.size(), m_filt.size());
+  for (const auto& [key, grad] : m_filt) {
+    const auto it = m_pack.find(key);
+    ASSERT_NE(it, m_pack.end());
+    EXPECT_LT((it->second - grad).norm(),
+              1e-12 * std::max(1.0, grad.norm()))
+        << key.first << "/" << key.second;
+  }
+}
+
+TEST(DpFused, TrajectoryMatchesUnfusedRecomputationEveryStep) {
+  // The acceptance pin: a fused-driven NVE trajectory whose forces are
+  // recomputed every step by the unfused pipeline at the same positions
+  // agrees to <= 1e-12 — no drift source besides round-off exists between
+  // the two pipelines.
+  Rng rng(241);
+  auto model = small_model(/*ntypes=*/1, /*seed=*/103);
+  const md::Box box({0, 0, 0}, {12, 12, 12});
+  md::Atoms atoms = random_config(32, box, 1, rng, /*min_sep=*/2.0);
+  md::thermalize(atoms, {30.0}, 40.0, rng);
+
+  EvalOptions opts;  // fp64 compressed, fused default
+  auto pair = std::make_shared<PairDeepMD>(model, opts);
+  md::Sim sim(box, std::move(atoms), {30.0}, pair,
+              {.dt_fs = 0.25, .skin = 1.0, .rebuild_every = 10});
+  sim.setup();
+
+  EvalOptions unfused = opts;
+  unfused.fused_table = false;
+  for (int s = 0; s < 20; ++s) {
+    sim.step();
+    md::Atoms snap;
+    for (int i = 0; i < sim.atoms().nlocal; ++i) {
+      snap.add_local(sim.atoms().x[static_cast<std::size_t>(i)],
+                     {0, 0, 0},
+                     sim.atoms().type[static_cast<std::size_t>(i)], i);
+    }
+    const Evaluated ref = eval_config(model, unfused, box, snap);
+    double fscale = 1.0;
+    for (const Vec3& f : ref.forces) fscale = std::max(fscale, f.norm());
+    for (int i = 0; i < sim.atoms().nlocal; ++i) {
+      const Vec3 d = sim.atoms().f[static_cast<std::size_t>(i)] -
+                     ref.forces[static_cast<std::size_t>(i)];
+      EXPECT_LT(d.norm() / fscale, 1e-12) << "step " << s << " atom " << i;
+    }
+    EXPECT_LT(rel_diff(sim.pe(), ref.pe), 1e-12) << "step " << s;
+  }
+}
+
 TEST(DpPair, PerAtomEnergySumsToTotal) {
   Rng rng(67);
   auto model = small_model();

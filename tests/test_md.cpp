@@ -449,6 +449,39 @@ TEST(Sim, RebuildPolicyKeepsTrajectoryConsistent) {
   }
 }
 
+TEST(Sim, AutoSkinResolvesToLargestAdmissible) {
+  // SimConfig::skin < 0 = auto (ISSUE 5 satellite): largest skin the
+  // periodic cell admits (2*(rcut+skin) <= shortest box length), capped at
+  // the paper's 2 A, and the resolved trajectory equals an explicit-skin
+  // run.
+  Rng rng(15);
+  Box box;
+  Atoms atoms = make_fcc(4.4, 2, 2, 2, 0, box);  // 8.8 A cube
+  thermalize(atoms, {40.0}, 40.0, rng);
+  auto make_sim = [&](double rcut, double skin) {
+    auto pair = std::make_shared<PairLJ>(1, rcut);
+    pair->set_pair(0, 0, 0.0104, 3.4);
+    return Sim(box, atoms, {40.0}, pair,
+               {.dt_fs = 2.0, .skin = skin, .rebuild_every = 10});
+  };
+  // 8.8 / 2 - 3.5 = 0.9 admissible; under the 2 A cap.
+  Sim auto_skin = make_sim(3.5, -1.0);
+  EXPECT_NEAR(auto_skin.config().skin, 0.9, 1e-12);
+  // A roomy cutoff hits the 2 A cap; an oversized one floors at 0.
+  EXPECT_NEAR(make_sim(2.0, -1.0).config().skin, 2.0, 1e-12);
+  EXPECT_NEAR(make_sim(4.5, -1.0).config().skin, 0.0, 1e-12);
+
+  Sim explicit_skin = make_sim(3.5, 0.9);
+  auto_skin.run(40);
+  explicit_skin.run(40);
+  for (int i = 0; i < auto_skin.atoms().nlocal; ++i) {
+    const Vec3 d = box.minimum_image(
+        auto_skin.atoms().x[static_cast<std::size_t>(i)],
+        explicit_skin.atoms().x[static_cast<std::size_t>(i)]);
+    EXPECT_LT(d.norm(), 1e-12) << i;
+  }
+}
+
 TEST(Sim, LangevinEquilibratesTemperature) {
   Rng rng(15);
   Box box;

@@ -120,6 +120,10 @@ TEST(Trainer, GradientMatchesFiniteDifference) {
   EXPECT_LT(max_rel, 1e-3);
 }
 
+// The trainer is deliberately unfused (ISSUE 5): it differentiates the
+// embedding *network* that the fused table path replaces, so it rides the
+// slab contract_*_batch drivers and serves as a gradient oracle for them
+// regardless of the inference default EvalOptions::fused_table = true.
 TEST(Trainer, BatchedGradientsMatchPerAtomPath) {
   // The default trainer routes samples through the GEMM-cast batched
   // forward/backward (TrainConfig::block_size = 64); block_size <= 1 keeps
