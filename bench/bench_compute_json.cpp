@@ -23,6 +23,10 @@
 #include "core/inference.hpp"
 #include "core/pair_deepmd.hpp"
 #include "md/ghosts.hpp"
+#include "md/lattice.hpp"
+#include "md/pair_water_ref.hpp"
+#include "md/sim.hpp"
+#include "util/checkpoint.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
 
@@ -384,6 +388,68 @@ PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
   return out;
 }
 
+/// Checkpoint-overhead rung (ISSUE 6): what the --checkpoint-every=50
+/// safety net costs a production run.  Driven on the water-256 cell with
+/// the cheap reference potential so the measured delta is the checkpoint
+/// machinery (serialize + checksum + tmp-file rename), not force work.
+struct CkptBench {
+  int cadence = 50;
+  std::size_t bytes = 0;          // one framed snapshot
+  double write_us = 0.0;          // one save_checkpoint_file call
+  double base_us_per_step = 0.0;  // no checkpointing
+  double ckpt_us_per_step = 0.0;  // save_checkpoint_file every `cadence`
+  double overhead_fraction = 0.0;
+};
+
+CkptBench bench_checkpoint(int steps, int cadence) {
+  const auto mk_sim = [] {
+    // The MD-stable water-like box (the water_rdf system, 4^3 molecules =
+    // 192 atoms), not the bench packing: this rung runs real dynamics.
+    Rng rng(17);
+    md::Box box;
+    md::Atoms atoms = md::make_water_like(4, 0.0334, 0.97, rng, box);
+    md::thermalize(atoms, {md::kMassO, md::kMassH}, 300.0, rng);
+    auto sim = std::make_unique<md::Sim>(
+        box, std::move(atoms), std::vector<double>{md::kMassO, md::kMassH},
+        std::make_shared<md::PairWaterRef>(),
+        md::SimConfig{.dt_fs = 0.5, .skin = 0.6, .rebuild_every = 10});
+    sim->setup();
+    return sim;
+  };
+  const std::string path = "BENCH_ckpt_probe.ckpt";
+
+  CkptBench out;
+  out.cadence = cadence;
+  {
+    auto sim = mk_sim();
+    ckpt::Writer w;
+    sim->save_checkpoint(w);
+    out.bytes = w.framed().size();
+    Stopwatch sw;
+    const int writes = 5;
+    for (int i = 0; i < writes; ++i) sim->save_checkpoint_file(path);
+    out.write_us = sw.elapsed_us() / writes;
+  }
+  {
+    auto sim = mk_sim();
+    Stopwatch sw;
+    sim->run(steps);
+    out.base_us_per_step = sw.elapsed_us() / steps;
+  }
+  {
+    auto sim = mk_sim();
+    Stopwatch sw;
+    sim->run(steps, 1, [&](int step, const md::Sim& s) {
+      if (step % cadence == 0) s.save_checkpoint_file(path);
+    });
+    out.ckpt_us_per_step = sw.elapsed_us() / steps;
+  }
+  std::remove(path.c_str());
+  out.overhead_fraction =
+      out.ckpt_us_per_step / out.base_us_per_step - 1.0;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -477,6 +543,11 @@ int main(int argc, char** argv) {
       smoke ? bench::measure_cadence_sweep({{1, 0.0}, {2, 0.6}}, 2, 1)
             : bench::measure_cadence_sweep({{1, 0.0}, {10, 0.6}, {50, 0.6}});
 
+  // ISSUE 6 rung: the cost of the checkpoint safety net at the paper's
+  // 50-step cadence (smoke: a handful of steps at cadence 10).
+  const CkptBench ckpt = smoke ? bench_checkpoint(20, 10)
+                               : bench_checkpoint(200, 50);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -557,6 +628,18 @@ int main(int argc, char** argv) {
                  i + 1 < cadence.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"checkpoint\": {\n");
+  std::fprintf(f, "    \"system\": \"water-like 192 atoms single process, "
+                  "reference potential, save_checkpoint_file every %d "
+                  "steps\",\n",
+               ckpt.cadence);
+  std::fprintf(f, "    \"snapshot_bytes\": %zu,\n", ckpt.bytes);
+  std::fprintf(f, "    \"write_us\": %.1f,\n", ckpt.write_us);
+  std::fprintf(f, "    \"base_us_per_step\": %.1f,\n", ckpt.base_us_per_step);
+  std::fprintf(f, "    \"ckpt_us_per_step\": %.1f,\n", ckpt.ckpt_us_per_step);
+  std::fprintf(f, "    \"overhead_fraction\": %.4f\n",
+               ckpt.overhead_fraction);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -594,6 +677,10 @@ int main(int argc, char** argv) {
                 c.rebuild_every, c.skin, c.us_per_step, c.rebuilds, c.steps,
                 c.halo_us, c.neigh_us, c.pair_us);
   }
+  std::printf("checkpoint (cadence %d): %zu bytes, %.0f us/write, "
+              "%.1f -> %.1f us/step (%.2f%% overhead)\n",
+              ckpt.cadence, ckpt.bytes, ckpt.write_us, ckpt.base_us_per_step,
+              ckpt.ckpt_us_per_step, 100.0 * ckpt.overhead_fraction);
   std::printf("speedup  : %.2fx compressed, %.2fx full-emb  -> %s\n", speedup,
               fullemb_speedup, out_path.c_str());
   return 0;

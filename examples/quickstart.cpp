@@ -4,7 +4,8 @@
 //
 //   ./quickstart [--steps=200] [--cells=3] [--temp=100] [--precision=fp32]
 //                [--block-size=64] [--skin=-1] [--rebuild-every=50]
-//                [--fused-table=1]
+//                [--fused-table=1] [--checkpoint-every=0]
+//                [--checkpoint-file=quickstart.ckpt] [--restart=FILE]
 //
 // --block-size sets EvalOptions::block_size (atoms per batched evaluation
 // block, §III-B); 1 selects the legacy per-atom path.  Tune it per system
@@ -18,6 +19,10 @@
 // ablation baseline); drift > skin/2 always forces a rebuild regardless.
 // --fused-table=0 falls back to the unfused table-then-GEMM slab pipeline
 // (ISSUE 5 ablation baseline; 1 = the fused register-resident default).
+// --checkpoint-every=N writes a restart file every N completed steps
+// (ISSUE 6; 0 = off) to --checkpoint-file; --restart=FILE resumes a
+// previous run from its checkpoint — mid-cadence restarts are handled by
+// forcing a list rebuild on the first resumed step.
 #include <cstdio>
 #include <memory>
 
@@ -44,6 +49,12 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("rebuild-every", 50));
   const bool fused_table = args.get_bool("fused-table", true);
   DPMD_REQUIRE(rebuild_every >= 1, "--rebuild-every must be >= 1");
+  const int checkpoint_every =
+      static_cast<int>(args.get_int("checkpoint-every", 0));
+  const std::string checkpoint_file =
+      args.get("checkpoint-file", "quickstart.ckpt");
+  const std::string restart = args.get("restart", "");
+  DPMD_REQUIRE(checkpoint_every >= 0, "--checkpoint-every must be >= 0");
 
   // 1. A Deep Potential model (paper-shaped nets, scaled-down sel).
   dp::ModelConfig cfg;
@@ -75,6 +86,11 @@ int main(int argc, char** argv) {
   auto pair = std::make_shared<dp::PairDeepMD>(model, opts);
   md::Sim sim(box, std::move(atoms), {md::kMassCu}, pair,
               {.dt_fs = 0.5, .skin = skin, .rebuild_every = rebuild_every});
+  if (!restart.empty()) {
+    sim.restore_checkpoint_file(restart);
+    std::printf("restart: resumed from %s at step %d\n", restart.c_str(),
+                sim.steps_done());
+  }
   sim.setup();
 
   std::printf("quickstart: %d Cu atoms, %s precision, %d steps, "
@@ -91,8 +107,22 @@ int main(int argc, char** argv) {
     std::printf("%8d %12.4f %12.4f %12.4f %10.2f\n", step, t.potential,
                 t.kinetic, t.total(), t.temperature);
   };
-  print(0, sim);
-  sim.run(steps, std::max(1, steps / 10), print);
+  print(sim.steps_done(), sim);
+  const int print_every = std::max(1, steps / 10);
+  if (checkpoint_every > 0) {
+    // Drive the callback every step so printing and checkpointing can run
+    // on independent cadences.
+    sim.run(steps, 1, [&](int step, const md::Sim& s) {
+      if (step % print_every == 0) print(step, s);
+      if (step % checkpoint_every == 0) {
+        s.save_checkpoint_file(checkpoint_file);
+      }
+    });
+    std::printf("checkpoint: last state written to %s\n",
+                checkpoint_file.c_str());
+  } else {
+    sim.run(steps, print_every, print);
+  }
 
   const auto t = sim.thermo();
   std::printf("\nfinished: total energy %.6f eV after %d steps "

@@ -31,6 +31,14 @@ cmake -B "$repo_root/build" -S "$repo_root" >/dev/null
 cmake --build "$repo_root/build" -j"$jobs"
 (cd "$repo_root/build" && ctest --output-on-failure -j2)
 
+# Trajectory-integrity suites (checkpoint/restart round-trips, comm fault
+# injection, health-guard recovery) run as part of tier-1 above; re-run
+# them by name so a regression there is called out on its own line.  Both
+# carry the `threaded` label, so the --asan leg covers them too.
+echo "== trajectory integrity: checkpoint + fault-injection suites =="
+(cd "$repo_root/build" && ctest -R 'test_checkpoint|test_faults' \
+     --output-on-failure)
+
 if [[ "$run_portable" == 1 ]]; then
   echo "== portability: -DDPMD_NATIVE=OFF build + ctest =="
   cmake -B "$repo_root/build-portable" -S "$repo_root" \

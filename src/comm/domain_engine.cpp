@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <string>
 #include <unordered_map>
 
 #include "comm/geometry.hpp"
+#include "comm/wire.hpp"
 #include "md/units.hpp"
 #include "util/error.hpp"
 
@@ -161,10 +163,11 @@ void DomainEngine::migrate() {
   }
 
   for (const int peer : exchange_peers_) {
-    rank_.send_vec(peer, kTagMigrate, outbox[peer]);
+    wire::send_checked(rank_, peer, kTagMigrate, outbox[peer]);
   }
   for (const int peer : exchange_peers_) {
-    for (const auto& m : rank_.recv_vec<MigrantAtom>(peer, kTagMigrate)) {
+    for (const auto& m : wire::recv_checked<MigrantAtom>(
+             rank_, peer, kTagMigrate, "migration atoms")) {
       kept.add_local({m.x, m.y, m.z}, {m.vx, m.vy, m.vz}, m.type, m.tag);
     }
   }
@@ -227,10 +230,11 @@ void DomainEngine::return_ghost_forces() {
   }
 
   for (const int peer : exchange_peers_) {
-    rank_.send_vec(peer, kTagForce, outbox[peer]);
+    wire::send_checked(rank_, peer, kTagForce, outbox[peer]);
   }
   for (const int peer : exchange_peers_) {
-    for (const auto& msg : rank_.recv_vec<ForceMsg>(peer, kTagForce)) {
+    for (const auto& msg : wire::recv_checked<ForceMsg>(
+             rank_, peer, kTagForce, "returned ghost forces")) {
       atoms_.f[static_cast<std::size_t>(tag_to_local.at(msg.tag))] +=
           Vec3{msg.fx, msg.fy, msg.fz};
     }
@@ -431,10 +435,27 @@ bool DomainEngine::drift_exceeds_skin() {
   return rank_.allreduce_max(max2) > limit * limit;
 }
 
+bool DomainEngine::health_tripped() {
+  // The verdict must be collective: one rank's NaN rewinds every rank, or
+  // the domains would disagree about which step they are on.
+  const bool bad =
+      md::local_forces_unhealthy(atoms_, cfg_.health.max_force) ||
+      md::local_pe_unhealthy(pe_, atoms_.nlocal, cfg_.health.max_pe_per_atom);
+  return rank_.allreduce_max(bad ? 1.0 : 0.0) > 0.5;
+}
+
 void DomainEngine::step() {
   if (!forces_ready_) {
     migrate();
     exchange_and_compute();
+    if (cfg_.health.enabled) {
+      if (health_tripped()) {
+        recover_or_abort("non-finite or blown-up forces/energy");
+        return;  // the rewound step re-runs on the next call
+      }
+      // First healthy state: the rewind target until the cadence takes over.
+      if (snapshot_.empty() && cfg_.health.snapshot_every > 0) take_snapshot();
+    }
   }
 
   const double dt = cfg_.dt_fs;
@@ -461,6 +482,14 @@ void DomainEngine::step() {
     refresh_and_compute();
   }
 
+  // Health guard (ISSUE 6): scan before the forces enter the velocities.
+  // On a trip the whole step is abandoned — no second kick, no counter
+  // advance — and every rank rewinds to its snapshot of the same step.
+  if (cfg_.health.enabled && health_tripped()) {
+    recover_or_abort("non-finite or blown-up forces/energy");
+    return;
+  }
+
   for (int i = 0; i < atoms_.nlocal; ++i) {
     const double inv_m =
         md::kForceConv / masses_[static_cast<std::size_t>(
@@ -469,10 +498,157 @@ void DomainEngine::step() {
         atoms_.f[static_cast<std::size_t>(i)] * (0.5 * dt * inv_m);
   }
   ++steps_done_;
+  if (cfg_.health.enabled && cfg_.health.snapshot_every > 0 &&
+      steps_done_ % cfg_.health.snapshot_every == 0) {
+    take_snapshot();
+  }
 }
 
 void DomainEngine::run(int nsteps) {
-  for (int s = 0; s < nsteps; ++s) step();
+  // A health rewind rolls steps_done_ back, so count against the target
+  // rather than the loop index — rewound steps re-run.
+  const int target = steps_done_ + nsteps;
+  while (steps_done_ < target) step();
+}
+
+namespace {
+/// Leading tag word of a DomainEngine checkpoint section ("DOM1"), so a
+/// file saved by md::Sim (or garbage) is rejected by kind, not mis-read.
+constexpr std::uint32_t kDomainCkptTag = 0x444f4d31u;
+}  // namespace
+
+void DomainEngine::save_checkpoint(ckpt::Writer& w) const {
+  w.scalar(kDomainCkptTag);
+  w.scalar(rank_.rank());
+  w.scalar(rank_.size());
+  w.scalar(grid_.nx());
+  w.scalar(grid_.ny());
+  w.scalar(grid_.nz());
+  w.scalar(global_box_.lo);
+  w.scalar(global_box_.hi);
+  w.scalar(cfg_.dt_fs);
+  w.scalar(cfg_.skin);
+  w.scalar(cfg_.rebuild_every);
+  w.scalar(steps_done_);
+  w.scalar(steps_since_build_);
+  w.scalar(rebuilds_);
+  w.scalar(pe_);
+  w.scalar(virial_);
+  const auto n = static_cast<std::size_t>(atoms_.nlocal);
+  w.vec(std::vector<Vec3>(atoms_.x.begin(), atoms_.x.begin() + n));
+  w.vec(std::vector<Vec3>(atoms_.v.begin(), atoms_.v.begin() + n));
+  w.vec(std::vector<int>(atoms_.type.begin(), atoms_.type.begin() + n));
+  w.vec(std::vector<std::int64_t>(atoms_.tag.begin(), atoms_.tag.begin() + n));
+  w.vec(x_at_build_);
+}
+
+void DomainEngine::restore_checkpoint(ckpt::Reader& r) {
+  const auto ctx = [&](const char* msg) { return r.context() + ": " + msg; };
+  DPMD_REQUIRE(r.scalar<std::uint32_t>() == kDomainCkptTag,
+               ctx("not a DomainEngine checkpoint (engine kind mismatch)"));
+  DPMD_REQUIRE(r.scalar<int>() == rank_.rank(),
+               ctx("checkpoint belongs to a different rank"));
+  DPMD_REQUIRE(r.scalar<int>() == rank_.size(),
+               ctx("checkpoint was written by a different rank count"));
+  DPMD_REQUIRE(r.scalar<int>() == grid_.nx() && r.scalar<int>() == grid_.ny() &&
+                   r.scalar<int>() == grid_.nz(),
+               ctx("checkpoint was written on a different rank grid"));
+  const Vec3 lo = r.scalar<Vec3>();
+  const Vec3 hi = r.scalar<Vec3>();
+  DPMD_REQUIRE(lo.x == global_box_.lo.x && lo.y == global_box_.lo.y &&
+                   lo.z == global_box_.lo.z && hi.x == global_box_.hi.x &&
+                   hi.y == global_box_.hi.y && hi.z == global_box_.hi.z,
+               ctx("checkpoint global box differs from this engine's"));
+  // dt is *restored* (the health guard may have backed it off before the
+  // save); the cadence geometry must match the engine it restores into.
+  cfg_.dt_fs = r.scalar<double>();
+  DPMD_REQUIRE(r.scalar<double>() == cfg_.skin,
+               ctx("checkpoint skin differs from this engine's"));
+  DPMD_REQUIRE(r.scalar<int>() == cfg_.rebuild_every,
+               ctx("checkpoint rebuild cadence differs from this engine's"));
+  steps_done_ = r.scalar<int>();
+  steps_since_build_ = r.scalar<int>();
+  rebuilds_ = r.scalar<int>();
+  pe_ = r.scalar<double>();
+  virial_ = r.scalar<double>();
+  const auto x = r.vec<Vec3>();
+  const auto v = r.vec<Vec3>();
+  const auto type = r.vec<int>();
+  const auto tag = r.vec<std::int64_t>();
+  DPMD_REQUIRE(v.size() == x.size() && type.size() == x.size() &&
+                   tag.size() == x.size(),
+               ctx("checkpoint atom arrays disagree in length"));
+  atoms_ = md::Atoms{};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    atoms_.add_local(x[i], v[i], type[i], tag[i]);
+  }
+  x_at_build_ = r.vec<Vec3>();
+  // Everything derived (ghosts, lists, halo plan, force-return map) is
+  // rebuilt by the forced migrate + full exchange of the next step; a
+  // restart therefore resumes mid-cadence correctly — the rebuild just
+  // happens one step early, which the cadence logic treats as normal.
+  forces_ready_ = false;
+  plan_.recorded = false;
+  ghost_owner_.clear();
+  tag_to_local_.clear();
+}
+
+std::string DomainEngine::rank_checkpoint_path(const std::string& base,
+                                               int rank) {
+  return base + ".rank" + std::to_string(rank);
+}
+
+void DomainEngine::save_checkpoint_file(const std::string& base) const {
+  ckpt::Writer w;
+  save_checkpoint(w);
+  w.save_file(rank_checkpoint_path(base, rank_.rank()));
+}
+
+void DomainEngine::restore_checkpoint_file(const std::string& base) {
+  auto r = ckpt::Reader::from_file(rank_checkpoint_path(base, rank_.rank()));
+  restore_checkpoint(r);
+  r.expect_end();
+}
+
+void DomainEngine::take_snapshot() {
+  ckpt::Writer w;
+  save_checkpoint(w);
+  snapshot_ = w.framed();
+  snapshot_step_ = steps_done_;
+  // Fresh snapshot = forward progress: the retry budget starts over.
+  trips_since_progress_ = 0;
+}
+
+void DomainEngine::recover_or_abort(const char* cause) {
+  ++trips_since_progress_;
+  if (snapshot_.empty() || trips_since_progress_ > cfg_.health.max_retries) {
+    incidents_.record(steps_done_, "health", cause, "abort");
+    throw dpmd::Error(
+        "numerical health trip on rank " + std::to_string(rank_.rank()) +
+        " at step " + std::to_string(steps_done_) +
+        (snapshot_.empty() ? " with no snapshot to rewind to"
+                           : " after exhausting the retry budget") +
+        "; incidents:\n" + incidents_.summary());
+  }
+  std::string action = "rewind to step " + std::to_string(snapshot_step_) +
+                       " + forced rebuild";
+  ckpt::Reader r(snapshot_, "in-memory rewind snapshot");
+  restore_checkpoint(r);
+  r.expect_end();
+  // Escalation ladder: retry 1 is a pure rewind + rebuild (clears transient
+  // faults and, crucially, keeps the retried trajectory identical to an
+  // undisturbed run).  Later retries change the numerics — applied *after*
+  // the restore, which just overwrote cfg_.dt_fs with the snapshot's value.
+  // trips_since_progress_ advances in lockstep on every rank (the verdict
+  // is collective), so the ladder is collective too.
+  if (trips_since_progress_ >= 2) {
+    cfg_.dt_fs *= cfg_.health.dt_backoff;
+    action += ", dt -> " + std::to_string(cfg_.dt_fs) + " fs";
+  }
+  if (trips_since_progress_ >= 3 && pair_->degrade_to_conservative()) {
+    action += ", pair degraded to conservative numerics";
+  }
+  incidents_.record(steps_done_, "health", cause, action);
 }
 
 double DomainEngine::total_pe() { return rank_.allreduce_sum(pe_); }

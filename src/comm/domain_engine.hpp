@@ -8,11 +8,14 @@
 #include "comm/halo.hpp"
 #include "md/atoms.hpp"
 #include "md/box.hpp"
+#include "md/health.hpp"
 #include "md/neighbor.hpp"
 #include "md/pair.hpp"
 #include "md/partition.hpp"
 #include "md/thermo.hpp"
 #include "simmpi/simmpi.hpp"
+#include "util/checkpoint.hpp"
+#include "util/incident.hpp"
 #include "util/timer.hpp"
 
 namespace dpmd::comm {
@@ -55,6 +58,11 @@ struct DomainConfig {
   /// Off: same staged API, strictly sequential (the A/B baseline the
   /// overlap bench rung compares against).
   bool overlap = true;
+
+  /// Numerical health guard + rewind recovery (ISSUE 6).  The trip verdict
+  /// is collective (allreduce over the per-rank scans), so every rank
+  /// rewinds to its snapshot of the same step together.
+  md::HealthConfig health;
 };
 
 /// Distributed MD engine: the LAMMPS-style main loop running on a simmpi
@@ -114,6 +122,22 @@ class DomainEngine {
   };
   std::vector<GlobalAtom> gather_all();
 
+  // Checkpoint/restart (ISSUE 6) ---------------------------------------
+  /// Serializes this rank's full dynamic state (counters, locals,
+  /// cadence bookkeeping) into `w`.  Restore rebuilds the locals and
+  /// forces a migrate + full exchange on the next step, so a restart
+  /// resumes mid-cadence correctly on any rank count that matches the
+  /// checkpoint's grid.
+  void save_checkpoint(ckpt::Writer& w) const;
+  void restore_checkpoint(ckpt::Reader& r);
+  /// Per-rank checkpoint file: base path + ".rank<r>".
+  static std::string rank_checkpoint_path(const std::string& base, int rank);
+  void save_checkpoint_file(const std::string& base) const;
+  void restore_checkpoint_file(const std::string& base);
+
+  /// Recovery events on this rank (health trips, rewinds, escalations).
+  const IncidentLog& incidents() const { return incidents_; }
+
  private:
   void migrate();
   /// Snapshot the locals into dom_ (the halo wire format).
@@ -129,6 +153,15 @@ class DomainEngine {
   /// Collective skin/2 drift check (identical verdict on every rank).
   bool drift_exceeds_skin();
   void return_ghost_forces();
+  /// Collective health verdict: any rank's local NaN/blow-up scan trips
+  /// every rank (allreduce), so recovery is lockstep.
+  bool health_tripped();
+  /// In-memory rewind snapshot (framed checkpoint bytes) of this rank.
+  void take_snapshot();
+  /// Collective recovery ladder after a health trip: rewind every rank to
+  /// its snapshot, escalate (dt backoff, conservative numerics), or abort
+  /// with the incident log once the retry budget is spent.
+  void recover_or_abort(const char* cause);
 
   simmpi::Rank& rank_;
   const simmpi::CartGrid& grid_;
@@ -160,6 +193,14 @@ class DomainEngine {
   int rebuilds_ = 0;
   bool forces_ready_ = false;
   TimerRegistry timers_;
+
+  // Health-guard state (ISSUE 6).  The snapshot holds framed checkpoint
+  // bytes; trips_since_progress_ resets whenever a snapshot is taken, so
+  // the retry budget measures trips *without forward progress*.
+  std::vector<std::byte> snapshot_;
+  int snapshot_step_ = -1;
+  int trips_since_progress_ = 0;
+  IncidentLog incidents_;
 };
 
 }  // namespace dpmd::comm

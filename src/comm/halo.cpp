@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "comm/geometry.hpp"
+#include "comm/wire.hpp"
 #include "util/error.hpp"
 
 namespace dpmd::comm {
@@ -136,8 +137,8 @@ void HaloExchange::post_round(int d, int round) {
     plan_rec_->sends.push_back(
         {plus_nbr, rtag + 5, d, shift_plus, std::move(refs_to_plus)});
   }
-  rank_.isend_vec(minus_nbr, tag, to_minus);
-  rank_.isend_vec(plus_nbr, tag + 5, to_plus);
+  wire::send_checked(rank_, minus_nbr, tag, to_minus);
+  wire::send_checked(rank_, plus_nbr, tag + 5, to_plus);
 }
 
 void HaloExchange::recv_round(int d, int round) {
@@ -148,8 +149,10 @@ void HaloExchange::recv_round(int d, int round) {
   const int tag = kTagHalo + d * 10 + round;
   simmpi::Request rq_plus = rank_.irecv(plus_nbr, tag);
   simmpi::Request rq_minus = rank_.irecv(minus_nbr, tag + 5);
-  const auto recv_plus = rq_plus.wait_vec<HaloAtom>();
-  const auto recv_minus = rq_minus.wait_vec<HaloAtom>();
+  const auto recv_plus = wire::unpack_checked<HaloAtom>(
+      rq_plus.wait(), "halo atoms", plus_nbr, tag);
+  const auto recv_minus = wire::unpack_checked<HaloAtom>(
+      rq_minus.wait(), "halo atoms", minus_nbr, tag + 5);
 
   if (plan_rec_ != nullptr) {
     // Arriving atoms become ghost slots [base, ...): record the two recv
@@ -237,13 +240,14 @@ void HaloExchange::replay_events(bool stop_at_recv) {
         p[send.dim] += send.shift;
         rsend_buf_.push_back(p);
       }
-      rank_.isend_vec(send.peer, send.tag, rsend_buf_);
+      wire::send_checked(rank_, send.peer, send.tag, rsend_buf_);
       ++rcursor_send_;
       ++rcursor_;
     } else {
       if (stop_at_recv) return;
       const HaloPlan::Recv& recv = plan.recvs[rcursor_recv_];
-      const auto got = rank_.recv_vec<Vec3>(recv.peer, recv.tag);
+      const auto got = wire::recv_checked<Vec3>(rank_, recv.peer, recv.tag,
+                                                "halo refresh positions");
       DPMD_REQUIRE(static_cast<int>(got.size()) == recv.count,
                    "halo refresh count drifted from the recorded plan");
       std::copy(got.begin(), got.end(),
@@ -334,8 +338,8 @@ void NodeExchange::begin(const LocalDomain& dom) {
   // and the gather side of finish() finds them already delivered.
   for (int slot = 0; slot < rpn_; ++slot) {
     if (slot == my_slot_) continue;
-    rank_.send_vec(rank_of_slot(node_coord_, slot), kTagNodeGather + my_slot_,
-                   dom.locals);
+    wire::send_checked(rank_, rank_of_slot(node_coord_, slot),
+                       kTagNodeGather + my_slot_, dom.locals);
   }
 }
 
@@ -366,8 +370,9 @@ NodeExchangeResult NodeExchange::finish() {
   std::vector<HaloAtom> node_atoms = dom.locals;
   for (int slot = 0; slot < rpn; ++slot) {
     if (slot == my_slot) continue;
-    const auto theirs = rank.recv_vec<HaloAtom>(
-        rank_of_slot(node_coord, slot), kTagNodeGather + slot);
+    const auto theirs = wire::recv_checked<HaloAtom>(
+        rank, rank_of_slot(node_coord, slot), kTagNodeGather + slot,
+        "node gather locals");
     result.node_locals_other.insert(result.node_locals_other.end(),
                                     theirs.begin(), theirs.end());
     node_atoms.insert(node_atoms.end(), theirs.begin(), theirs.end());
@@ -411,8 +416,8 @@ NodeExchangeResult NodeExchange::finish() {
           node_coord[static_cast<std::size_t>(d)] + o,
           node_grid[static_cast<std::size_t>(d)]);
     }
-    rank.send_vec(rank_of_slot(dst_node, my_slot),
-                  kTagNodeP2p + static_cast<int>(ri), payload);
+    wire::send_checked(rank, rank_of_slot(dst_node, my_slot),
+                       kTagNodeP2p + static_cast<int>(ri), payload);
   }
 
   // Receive: region ri arrives from the node at -offset, sent by the leader
@@ -429,8 +434,9 @@ NodeExchangeResult NodeExchange::finish() {
               region.offset[static_cast<std::size_t>(d)],
           node_grid[static_cast<std::size_t>(d)]);
     }
-    const auto payload = rank.recv_vec<HaloAtom>(
-        rank_of_slot(src_node, owner_slot), kTagNodeP2p + static_cast<int>(ri));
+    const auto payload = wire::recv_checked<HaloAtom>(
+        rank, rank_of_slot(src_node, owner_slot),
+        kTagNodeP2p + static_cast<int>(ri), "node p2p ghosts");
     received.insert(received.end(), payload.begin(), payload.end());
   }
 
@@ -439,14 +445,15 @@ NodeExchangeResult NodeExchange::finish() {
   // corresponding MPI ranks"; under the lb layout everyone gets everything).
   for (int slot = 0; slot < rpn; ++slot) {
     if (slot == my_slot) continue;
-    rank.send_vec(rank_of_slot(node_coord, slot), kTagNodeBcast + my_slot,
-                  received);
+    wire::send_checked(rank, rank_of_slot(node_coord, slot),
+                       kTagNodeBcast + my_slot, received);
   }
   result.node_ghosts = received;
   for (int slot = 0; slot < rpn; ++slot) {
     if (slot == my_slot) continue;
-    const auto theirs = rank.recv_vec<HaloAtom>(
-        rank_of_slot(node_coord, slot), kTagNodeBcast + slot);
+    const auto theirs = wire::recv_checked<HaloAtom>(
+        rank, rank_of_slot(node_coord, slot), kTagNodeBcast + slot,
+        "node bcast ghosts");
     result.node_ghosts.insert(result.node_ghosts.end(), theirs.begin(),
                               theirs.end());
   }

@@ -284,4 +284,22 @@ bool PairDeepMD::per_atom_energy(md::Atoms& atoms,
   return true;
 }
 
+bool PairDeepMD::degrade_to_conservative() {
+  DPMD_REQUIRE(!async_inflight_, "degrade with a partition in flight");
+  if (opts_.precision == Precision::Double && !opts_.fused_table) {
+    return false;  // already at the conservative floor
+  }
+  opts_.precision = Precision::Double;
+  opts_.fused_table = false;
+  // Evaluators own precision-dependent workspaces and tables; rebuild them
+  // against the new options.  The env caches go too — their packed layout
+  // is option-independent, but the engine rebuilds lists right after a
+  // rewind anyway, so starting clean is the simplest safe state.
+  for (auto& ev : evaluators_) {
+    ev = std::make_unique<DPEvaluator>(model_, opts_);
+  }
+  for (EnvCache& cache : env_caches_) cache = EnvCache{};
+  return true;
+}
+
 }  // namespace dpmd::dp

@@ -72,6 +72,12 @@ class PairDeepMD : public md::Pair {
   bool per_atom_energy(md::Atoms& atoms, const md::NeighborList& list,
                        std::vector<double>& energies) override;
 
+  /// Health-guard fallback (ISSUE 6): rebuild every evaluator at fp64 with
+  /// the fused table off — the slow, maximally checked configuration the
+  /// accuracy tests pin against.  Drops the env caches; the engine's
+  /// post-rewind rebuild repopulates them.
+  bool degrade_to_conservative() override;
+
   const EvalOptions& options() const { return opts_; }
   DPEvaluator& evaluator(unsigned thread) {
     return *evaluators_[thread];

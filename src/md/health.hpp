@@ -1,0 +1,50 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/atoms.hpp"
+
+namespace dpmd::md {
+
+/// Numerical health guard knobs (ISSUE 6), shared by md::Sim and
+/// comm::DomainEngine.  The per-step scan is cheap (one pass over the local
+/// forces, folded next to the ghost-force reduction); the recovery ladder
+/// on a trip is: rewind to the last in-memory snapshot and force a list
+/// rebuild (retry 1 — clears transient faults), additionally back off the
+/// timestep (retry 2+), additionally drop the pair style to its most
+/// conservative numerics via Pair::degrade_to_conservative (retry 3+).
+/// More than `max_retries` trips without a snapshot's worth of progress is
+/// a clean diagnosable abort carrying the incident log.
+struct HealthConfig {
+  bool enabled = true;
+  /// Any local |f| beyond this (or NaN/Inf) trips the guard, eV/A.  MD
+  /// forces live in O(1..10) eV/A; 1e4 flags a blow-up long before the
+  /// integrator turns it into overflow.
+  double max_force = 1.0e4;
+  /// |PE|/nlocal limit, eV/atom — the energy-blow-up tripwire.
+  double max_pe_per_atom = 1.0e3;
+  int max_retries = 3;
+  double dt_backoff = 0.5;  ///< dt multiplier per escalated retry
+  /// In-memory rewind snapshot cadence, steps (0 disables snapshots — a
+  /// trip then aborts immediately).  The paper's 50-step list cadence is a
+  /// natural default: one snapshot per rebuild window.
+  int snapshot_every = 50;
+};
+
+/// NaN/Inf/threshold scan over the local forces.  Written as a negated
+/// comparison so NaN (every comparison false) registers unhealthy.
+inline bool local_forces_unhealthy(const Atoms& atoms, double max_force) {
+  const double limit2 = max_force * max_force;
+  for (int i = 0; i < atoms.nlocal; ++i) {
+    if (!(atoms.f[static_cast<std::size_t>(i)].norm2() <= limit2)) return true;
+  }
+  return false;
+}
+
+/// Energy blow-up check on this rank's potential-energy share.
+inline bool local_pe_unhealthy(double pe, int nlocal, double max_pe_per_atom) {
+  return !(std::abs(pe) <= max_pe_per_atom * std::max(1, nlocal));
+}
+
+}  // namespace dpmd::md

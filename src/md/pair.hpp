@@ -124,6 +124,15 @@ class Pair {
   /// ignore it.
   virtual void on_lists_rebuilt() {}
 
+  /// Health-guard degradation hook (ISSUE 6): switch to the most
+  /// conservative numeric configuration the style has.  The engines'
+  /// recovery ladder calls this when rewind + rebuild and a timestep
+  /// backoff did not clear a numerical-health trip; PairDeepMD drops to
+  /// fp64 with the fused table off.  Returns true when anything changed
+  /// (i.e. another retry is worth it); the default has no knobs.  Only
+  /// called between steps, never during a staged evaluation.
+  virtual bool degrade_to_conservative() { return false; }
+
   /// Per-atom energy decomposition if the style supports it (DP does);
   /// returns false otherwise.  Used by accuracy benches.
   virtual bool per_atom_energy(Atoms& /*atoms*/, const NeighborList& /*list*/,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "md/ghosts.hpp"
 #include "md/units.hpp"
@@ -134,6 +136,17 @@ void Sim::setup() {
   rebuild_lists();
   compute_forces(/*ghosts_stale=*/false);
   needs_setup_ = false;
+  // First rewind target until the cadence takes over.  No health verdict
+  // here: the guard protects *trajectories* (the first step() scans these
+  // same forces before they enter the velocities), while a setup-only Sim
+  // is a legitimate static evaluator of arbitrarily pathological
+  // configurations (the force-field gradient tests rely on that).  The
+  // snapshot stores positions/velocities, not forces, so it is a valid
+  // rewind target either way.
+  if (cfg_.health.enabled && cfg_.health.snapshot_every > 0 &&
+      snapshot_.empty()) {
+    take_snapshot();
+  }
 }
 
 void Sim::step() {
@@ -164,6 +177,14 @@ void Sim::step() {
   // "during" it (the distributed engine genuinely overlaps here).
   compute_forces(/*ghosts_stale=*/!rebuild);
 
+  // Health guard (ISSUE 6): scan before the forces enter the velocities.
+  // On a trip the whole step is abandoned — no second kick, no counter
+  // advance — and the engine rewinds to the last snapshot (or aborts).
+  if (cfg_.health.enabled && health_tripped()) {
+    recover_or_abort("non-finite or blown-up forces/energy");
+    return;
+  }
+
   {
     ScopedTimer timer(timers_, "integrate");
     for (int i = 0; i < atoms_.nlocal; ++i) {
@@ -180,16 +201,154 @@ void Sim::step() {
     thermostat_->apply(atoms_, masses_, dt);
   }
   ++steps_done_;
+  if (cfg_.health.enabled && cfg_.health.snapshot_every > 0 &&
+      steps_done_ % cfg_.health.snapshot_every == 0) {
+    take_snapshot();
+  }
 }
 
 void Sim::run(int nsteps, int callback_every, const Callback& cb) {
   if (needs_setup_) setup();
-  for (int s = 0; s < nsteps; ++s) {
+  // A health rewind rolls steps_done_ back, so count against the target
+  // rather than a loop index — rewound steps re-run.  The callback only
+  // fires on steps that actually completed.
+  const int target = steps_done_ + nsteps;
+  while (steps_done_ < target) {
+    const int before = steps_done_;
     step();
-    if (cb && callback_every > 0 && (steps_done_ % callback_every) == 0) {
+    if (cb && callback_every > 0 && steps_done_ > before &&
+        (steps_done_ % callback_every) == 0) {
       cb(steps_done_, *this);
     }
   }
+}
+
+namespace {
+/// Leading tag word of a Sim checkpoint section ("SIM1"): a checkpoint can
+/// only be restored into the engine kind that wrote it.
+constexpr std::uint32_t kSimCkptTag = 0x53494d31u;
+}  // namespace
+
+void Sim::save_checkpoint(ckpt::Writer& w) const {
+  w.scalar(kSimCkptTag);
+  w.scalar(box_.lo);
+  w.scalar(box_.hi);
+  w.scalar(cfg_.dt_fs);
+  w.scalar(cfg_.skin);
+  w.scalar(cfg_.rebuild_every);
+  w.scalar(steps_done_);
+  w.scalar(steps_since_build_);
+  w.scalar(rebuilds_);
+  w.scalar(pe_);
+  w.scalar(virial_);
+  const auto n = static_cast<std::size_t>(atoms_.nlocal);
+  w.vec(std::vector<Vec3>(atoms_.x.begin(), atoms_.x.begin() + n));
+  w.vec(std::vector<Vec3>(atoms_.v.begin(), atoms_.v.begin() + n));
+  w.vec(std::vector<int>(atoms_.type.begin(), atoms_.type.begin() + n));
+  w.vec(std::vector<std::int64_t>(atoms_.tag.begin(), atoms_.tag.begin() + n));
+  w.vec(std::vector<std::array<int, 3>>(atoms_.image.begin(),
+                                        atoms_.image.begin() + n));
+  w.vec(x_at_build_);
+  const std::uint8_t has_thermostat = thermostat_ != nullptr ? 1 : 0;
+  w.scalar(has_thermostat);
+  if (thermostat_ != nullptr) thermostat_->save_state(w);
+}
+
+void Sim::restore_checkpoint(ckpt::Reader& r) {
+  const auto ctx = [&](const char* msg) { return r.context() + ": " + msg; };
+  DPMD_REQUIRE(r.scalar<std::uint32_t>() == kSimCkptTag,
+               ctx("not a Sim checkpoint (engine kind mismatch)"));
+  const Vec3 lo = r.scalar<Vec3>();
+  const Vec3 hi = r.scalar<Vec3>();
+  DPMD_REQUIRE(lo.x == box_.lo.x && lo.y == box_.lo.y && lo.z == box_.lo.z &&
+                   hi.x == box_.hi.x && hi.y == box_.hi.y && hi.z == box_.hi.z,
+               ctx("checkpoint box differs from this simulation's"));
+  // dt is *restored* (the health guard may have backed it off before the
+  // save); the list-cadence geometry must match the engine it restores into.
+  cfg_.dt_fs = r.scalar<double>();
+  DPMD_REQUIRE(r.scalar<double>() == cfg_.skin,
+               ctx("checkpoint skin differs from this simulation's"));
+  DPMD_REQUIRE(r.scalar<int>() == cfg_.rebuild_every,
+               ctx("checkpoint rebuild cadence differs from this simulation's"));
+  steps_done_ = r.scalar<int>();
+  steps_since_build_ = r.scalar<int>();
+  rebuilds_ = r.scalar<int>();
+  pe_ = r.scalar<double>();
+  virial_ = r.scalar<double>();
+  const auto x = r.vec<Vec3>();
+  const auto v = r.vec<Vec3>();
+  const auto type = r.vec<int>();
+  const auto tag = r.vec<std::int64_t>();
+  const auto image = r.vec<std::array<int, 3>>();
+  DPMD_REQUIRE(v.size() == x.size() && type.size() == x.size() &&
+                   tag.size() == x.size() && image.size() == x.size(),
+               ctx("checkpoint atom arrays disagree in length"));
+  atoms_ = Atoms{};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    atoms_.add_local(x[i], v[i], type[i], tag[i]);
+    atoms_.image[i] = image[i];
+  }
+  x_at_build_ = r.vec<Vec3>();
+  const auto has_thermostat = r.scalar<std::uint8_t>();
+  DPMD_REQUIRE((has_thermostat != 0) == (thermostat_ != nullptr),
+               ctx("checkpoint thermostat presence differs from this "
+                   "simulation's"));
+  if (thermostat_ != nullptr) thermostat_->restore_state(r);
+  // Ghosts, lists, partition and forces are derived state: the forced
+  // rebuild of the next step regenerates them, which also makes a
+  // mid-cadence restart correct (the rebuild lands one step early and the
+  // cadence restarts from there).
+  needs_setup_ = true;
+}
+
+void Sim::save_checkpoint_file(const std::string& path) const {
+  ckpt::Writer w;
+  save_checkpoint(w);
+  w.save_file(path);
+}
+
+void Sim::restore_checkpoint_file(const std::string& path) {
+  auto r = ckpt::Reader::from_file(path);
+  restore_checkpoint(r);
+  r.expect_end();
+}
+
+void Sim::take_snapshot() {
+  ckpt::Writer w;
+  save_checkpoint(w);
+  snapshot_ = w.framed();
+  snapshot_step_ = steps_done_;
+  // Fresh snapshot = forward progress: the retry budget starts over.
+  trips_since_progress_ = 0;
+}
+
+void Sim::recover_or_abort(const char* cause) {
+  ++trips_since_progress_;
+  if (snapshot_.empty() || trips_since_progress_ > cfg_.health.max_retries) {
+    incidents_.record(steps_done_, "health", cause, "abort");
+    throw dpmd::Error(
+        "numerical health trip at step " + std::to_string(steps_done_) +
+        (snapshot_.empty() ? " with no snapshot to rewind to"
+                           : " after exhausting the retry budget") +
+        "; incidents:\n" + incidents_.summary());
+  }
+  std::string action = "rewind to step " + std::to_string(snapshot_step_) +
+                       " + forced rebuild";
+  ckpt::Reader r(snapshot_, "in-memory rewind snapshot");
+  restore_checkpoint(r);
+  r.expect_end();
+  // Escalation ladder: retry 1 is a pure rewind + rebuild, so a transient
+  // fault recovers onto the undisturbed trajectory; later retries change
+  // the numerics — applied *after* the restore, which just overwrote
+  // cfg_.dt_fs with the snapshot's value.
+  if (trips_since_progress_ >= 2) {
+    cfg_.dt_fs *= cfg_.health.dt_backoff;
+    action += ", dt -> " + std::to_string(cfg_.dt_fs) + " fs";
+  }
+  if (trips_since_progress_ >= 3 && pair_->degrade_to_conservative()) {
+    action += ", pair degraded to conservative numerics";
+  }
+  incidents_.record(steps_done_, "health", cause, action);
 }
 
 ThermoState Sim::thermo() const {

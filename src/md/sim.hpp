@@ -6,11 +6,14 @@
 
 #include "md/atoms.hpp"
 #include "md/box.hpp"
+#include "md/health.hpp"
 #include "md/neighbor.hpp"
 #include "md/pair.hpp"
 #include "md/partition.hpp"
 #include "md/thermo.hpp"
 #include "md/thermostat.hpp"
+#include "util/checkpoint.hpp"
+#include "util/incident.hpp"
 #include "util/timer.hpp"
 
 namespace dpmd::md {
@@ -32,6 +35,9 @@ struct SimConfig {
   /// and ordering contract the distributed DomainEngine relies on; off =
   /// the legacy refresh-then-monolithic-compute order.
   bool staged = true;
+
+  /// Numerical health guard + rewind recovery (ISSUE 6).
+  HealthConfig health;
 };
 
 /// Single-process MD engine (the LAMMPS analogue, DESIGN.md S1).
@@ -79,6 +85,20 @@ class Sim {
   /// Force refresh after external position edits (tests).
   void invalidate() { needs_setup_ = true; }
 
+  // Checkpoint/restart (ISSUE 6) ------------------------------------------
+  /// Serializes the full dynamic state — positions, velocities, images,
+  /// integration counters, thermostat accumulators and RNG stream — so a
+  /// restored Sim resumes bit-exactly (state-wise; forces are recomputed
+  /// through the forced rebuild of the next step, which also makes a
+  /// mid-cadence restart correct: the rebuild just lands one step early).
+  void save_checkpoint(ckpt::Writer& w) const;
+  void restore_checkpoint(ckpt::Reader& r);
+  void save_checkpoint_file(const std::string& path) const;
+  void restore_checkpoint_file(const std::string& path);
+
+  /// Recovery events (health trips, rewinds, escalations) on this engine.
+  const IncidentLog& incidents() const { return incidents_; }
+
  private:
   void build_ghosts();
   void refresh_ghost_positions();
@@ -89,6 +109,17 @@ class Sim {
   /// and boundary partitions, the legacy path up front.
   void compute_forces(bool ghosts_stale);
   bool drift_exceeds_skin() const;
+  /// In-memory rewind snapshot (framed checkpoint bytes).
+  void take_snapshot();
+  /// Recovery ladder after a health trip: rewind to the snapshot and force
+  /// a rebuild (retry 1), additionally back off dt (retry 2+), additionally
+  /// degrade the pair numerics (retry 3+); abort with the incident log once
+  /// the retry budget is spent without forward progress.
+  void recover_or_abort(const char* cause);
+  bool health_tripped() const {
+    return local_forces_unhealthy(atoms_, cfg_.health.max_force) ||
+           local_pe_unhealthy(pe_, atoms_.nlocal, cfg_.health.max_pe_per_atom);
+  }
 
   Box box_;
   Atoms atoms_;
@@ -107,6 +138,14 @@ class Sim {
   int rebuilds_ = 0;
   bool needs_setup_ = true;
   TimerRegistry timers_;
+
+  // Health-guard state (ISSUE 6): framed checkpoint bytes of the last
+  // healthy cadence point; the retry budget counts trips since the last
+  // snapshot (i.e. without forward progress).
+  std::vector<std::byte> snapshot_;
+  int snapshot_step_ = -1;
+  int trips_since_progress_ = 0;
+  IncidentLog incidents_;
 };
 
 }  // namespace dpmd::md

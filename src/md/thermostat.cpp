@@ -26,6 +26,18 @@ void LangevinThermostat::apply(Atoms& atoms, const std::vector<double>& masses,
   }
 }
 
+void LangevinThermostat::save_state(ckpt::Writer& w) const {
+  w.scalar(t_);
+  w.scalar(gamma_);
+  w.scalar(rng_.state());
+}
+
+void LangevinThermostat::restore_state(ckpt::Reader& r) {
+  t_ = r.scalar<double>();
+  gamma_ = r.scalar<double>();
+  rng_.set_state(r.scalar<std::array<uint64_t, 6>>());
+}
+
 BerendsenThermostat::BerendsenThermostat(double t_kelvin, double tau_fs)
     : t_(t_kelvin), tau_(tau_fs) {}
 

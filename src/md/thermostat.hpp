@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "md/atoms.hpp"
+#include "util/checkpoint.hpp"
 #include "util/random.hpp"
 
 namespace dpmd::md {
@@ -13,6 +14,13 @@ class Thermostat {
   virtual ~Thermostat() = default;
   virtual void apply(Atoms& atoms, const std::vector<double>& masses,
                      double dt_fs) = 0;
+
+  /// Checkpoint hooks (ISSUE 6): a thermostat with internal state (Langevin
+  /// RNG stream, future Nose-Hoover accumulators) must serialize it so a
+  /// restarted trajectory draws the identical noise sequence.  Stateless
+  /// styles keep the no-op defaults.
+  virtual void save_state(ckpt::Writer& /*w*/) const {}
+  virtual void restore_state(ckpt::Reader& /*r*/) {}
 };
 
 /// Exact Ornstein-Uhlenbeck (Langevin) velocity update:
@@ -27,6 +35,9 @@ class LangevinThermostat final : public Thermostat {
              double dt_fs) override;
 
   void set_temperature(double t_kelvin) { t_ = t_kelvin; }
+
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   double t_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <string>
 #include <thread>
 
 namespace dpmd::simmpi {
@@ -92,6 +94,30 @@ World::World(int nranks)
 void World::deliver(int src, int dst, int tag, std::vector<std::byte> payload) {
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (fault_hook_) {
+    const Fault fault = fault_hook_(src, dst, tag, payload.size());
+    switch (fault.kind) {
+      case Fault::Kind::kDeliver:
+        break;
+      case Fault::Kind::kDrop:
+        // The message vanishes; the receiver's deadline converts the
+        // resulting indefinite wait into a TimeoutError.
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      case Fault::Kind::kCorrupt:
+        if (!payload.empty()) {
+          payload[fault.corrupt_offset % payload.size()] ^= std::byte{0xFF};
+        }
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Fault::Kind::kDelay:
+        // Sleeping the *sending* thread both delays the message and models
+        // a stalled rank (the sender makes no progress meanwhile).
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::duration<double>(fault.delay_s));
+        break;
+    }
+  }
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mu);
@@ -104,9 +130,25 @@ std::vector<std::byte> World::take(int dst, int src, int tag) {
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
   std::unique_lock lock(box.mu);
   auto& queue = box.queues[{src, tag}];
-  box.cv.wait(lock, [&] {
+  const auto ready = [&] {
     return !queue.empty() || poisoned_.load(std::memory_order_acquire);
-  });
+  };
+  if (recv_timeout_s_ <= 0.0) {
+    box.cv.wait(lock, ready);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(recv_timeout_s_));
+    if (!box.cv.wait_until(lock, deadline, ready)) {
+      // Deadline passed with nothing delivered: the message was lost or the
+      // peer stalled.  Name the edge so the failure is diagnosable.
+      throw TimeoutError("recv timeout on rank " + std::to_string(dst) +
+                         " waiting for src " + std::to_string(src) + " tag " +
+                         std::to_string(tag) + " after " +
+                         std::to_string(recv_timeout_s_) +
+                         " s: message lost or peer stalled");
+    }
+  }
   if (queue.empty()) {
     throw dpmd::Error("world poisoned: a peer rank failed");
   }

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -15,6 +16,31 @@
 #include "util/error.hpp"
 
 namespace dpmd::simmpi {
+
+/// A receive exceeded the world's deadline: the message was lost (dropped,
+/// or its sender stalled/died without poisoning).  Distinct from Error so
+/// fault-tolerance tests can assert the hang was converted, not masked.
+class TimeoutError : public dpmd::Error {
+ public:
+  using Error::Error;
+};
+
+/// Fault-injection decision for one message at delivery time (ISSUE 6).
+/// Returned by the hook installed with World::set_fault_hook; the default
+/// (no hook) delivers everything untouched.
+struct Fault {
+  enum class Kind {
+    kDeliver,  ///< pass through unmodified
+    kDrop,     ///< discard silently — the receiver's deadline turns this
+               ///< into a TimeoutError instead of a hang
+    kCorrupt,  ///< flip one payload byte (at corrupt_offset % size)
+    kDelay,    ///< sleep delay_s on the sending thread before delivery —
+               ///< models a slow link AND a stalled sender rank
+  };
+  Kind kind = Kind::kDeliver;
+  double delay_s = 0.0;
+  std::size_t corrupt_offset = 0;
+};
 
 /// In-process stand-in for MPI.  Ranks are threads inside one process;
 /// messages are buffered byte vectors; collectives are built on a shared
@@ -37,6 +63,39 @@ class Rank;
 class Request {
  public:
   Request() = default;
+
+  /// A pending receive is a claim on a message: copying would double-claim
+  /// it and silently dropping it would leak it, so the handle is move-only
+  /// and enforces exactly-one wait() (ISSUE 6 satellite).
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  Request(Request&& other) noexcept
+      : rank_(other.rank_), src_(other.src_), tag_(other.tag_) {
+    other.rank_ = nullptr;
+  }
+  Request& operator=(Request&& other) noexcept {
+    if (this != &other) {
+      rank_ = other.rank_;
+      src_ = other.src_;
+      tag_ = other.tag_;
+      other.rank_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Destroying a pending request means the posted receive was never
+  /// consumed — its message would sit in the mailbox forever.  That is a
+  /// programming error, flagged loudly (except during unwind, where a
+  /// second throw would terminate()).
+  ~Request() noexcept(false) {
+    if (rank_ == nullptr) return;
+    if (std::uncaught_exceptions() > 0) return;
+    Rank* leaked = rank_;
+    rank_ = nullptr;
+    DPMD_REQUIRE(leaked == nullptr,
+                 "Request destroyed without wait(): the posted receive would "
+                 "leak its message");
+  }
 
   bool valid() const { return rank_ != nullptr; }
 
@@ -165,6 +224,24 @@ class World {
   std::size_t bytes_sent() const { return bytes_sent_; }
   std::size_t messages_sent() const { return messages_sent_; }
 
+  /// Receive deadline, seconds.  A recv/wait that blocks longer throws
+  /// TimeoutError naming the (dst, src, tag) edge — a lost message or a
+  /// stalled peer becomes a diagnosable error instead of a hang.  <= 0
+  /// waits forever.  The default is deliberately generous: real exchanges
+  /// complete in microseconds, so only a genuine loss ever trips it.
+  void set_recv_timeout(double seconds) { recv_timeout_s_ = seconds; }
+  double recv_timeout() const { return recv_timeout_s_; }
+
+  /// Per-message fault decision, consulted on the *sending* thread at
+  /// delivery time.  The hook must be thread-safe (every rank's sends call
+  /// it concurrently) and must be installed before run().  nullptr (the
+  /// default) delivers everything.
+  using FaultHook =
+      std::function<Fault(int src, int dst, int tag, std::size_t bytes)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  /// Messages the hook dropped, corrupted or delayed so far.
+  std::size_t faults_injected() const { return faults_injected_; }
+
  private:
   friend class Rank;
 
@@ -189,6 +266,10 @@ class World {
 
   std::atomic<std::size_t> bytes_sent_{0};
   std::atomic<std::size_t> messages_sent_{0};
+
+  double recv_timeout_s_ = 120.0;
+  FaultHook fault_hook_;
+  std::atomic<std::size_t> faults_injected_{0};
 };
 
 /// Runs an nranks-rank program in one call.

@@ -1,0 +1,76 @@
+#include "util/checkpoint.hpp"
+
+#include <cstdio>
+
+namespace dpmd::ckpt {
+
+namespace {
+
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t pad;
+  std::uint64_t payload_bytes;
+  std::uint64_t checksum;
+};
+static_assert(std::is_trivially_copyable_v<Header>);
+static_assert(sizeof(Header) == 32);
+
+}  // namespace
+
+std::vector<std::byte> Writer::framed() const {
+  Header h{kMagic, kVersion, 0, buf_.size(), fnv1a(buf_.data(), buf_.size())};
+  std::vector<std::byte> out(sizeof(Header) + buf_.size());
+  std::memcpy(out.data(), &h, sizeof(Header));
+  std::memcpy(out.data() + sizeof(Header), buf_.data(), buf_.size());
+  return out;
+}
+
+void Writer::save_file(const std::string& path) const {
+  const std::vector<std::byte> bytes = framed();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  DPMD_REQUIRE(f != nullptr, "cannot open checkpoint file for write: " + tmp);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  DPMD_REQUIRE(written == bytes.size() && closed,
+               "short write saving checkpoint: " + tmp);
+  DPMD_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot move checkpoint into place: " + path);
+}
+
+Reader::Reader(std::vector<std::byte> framed, std::string context)
+    : context_(std::move(context)) {
+  DPMD_REQUIRE(framed.size() >= sizeof(Header),
+               context_ + ": too short to be a checkpoint");
+  Header h;
+  std::memcpy(&h, framed.data(), sizeof(Header));
+  DPMD_REQUIRE(h.magic == kMagic,
+               context_ + ": not a dpmd checkpoint (bad magic)");
+  DPMD_REQUIRE(h.version == kVersion,
+               context_ + ": unsupported checkpoint version " +
+                   std::to_string(h.version) + " (expected " +
+                   std::to_string(kVersion) + ")");
+  DPMD_REQUIRE(h.payload_bytes == framed.size() - sizeof(Header),
+               context_ + ": checkpoint truncated (payload length mismatch)");
+  payload_.assign(framed.begin() + sizeof(Header), framed.end());
+  DPMD_REQUIRE(fnv1a(payload_.data(), payload_.size()) == h.checksum,
+               context_ + ": checkpoint checksum mismatch (file corrupted)");
+}
+
+Reader Reader::from_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  DPMD_REQUIRE(f != nullptr, "cannot open checkpoint file: " + path);
+  std::vector<std::byte> bytes;
+  std::byte chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  DPMD_REQUIRE(ok, "read error on checkpoint file: " + path);
+  return Reader(std::move(bytes), path);
+}
+
+}  // namespace dpmd::ckpt

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dpmd::ckpt {
+
+/// Versioned binary snapshot container (ISSUE 6).  A checkpoint is a flat
+/// sequence of trivially-copyable scalars and vectors framed by a header
+/// (magic + format version + payload length) and an FNV-1a checksum over
+/// the payload, so a truncated or bit-flipped file is rejected with a named
+/// error instead of being restored into wrong physics.  The same framing
+/// backs both the on-disk restart files and the engines' in-memory
+/// health-guard snapshots (and the comm layer reuses fnv1a for payload
+/// validation on receipt).
+///
+/// Writer and Reader are strictly sequential: the restore side must read
+/// the exact type/shape sequence the save side wrote.  Each engine guards
+/// its section with a leading tag word so a checkpoint cannot be restored
+/// into the wrong engine kind.
+
+inline constexpr std::uint64_t kMagic = 0x44504d44434b5054ull;  // "DPMDCKPT"
+inline constexpr std::uint32_t kVersion = 1;
+
+/// FNV-1a 64-bit over a byte range; chainable via the seed parameter.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+class Writer {
+ public:
+  template <class T>
+  void scalar(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(T));
+  }
+
+  template <class T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = v.size();
+    raw(&count, sizeof(count));
+    raw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Header + payload + checksum, ready for Reader or a file.
+  std::vector<std::byte> framed() const;
+
+  /// Atomic write: the framed bytes land under a temporary name and are
+  /// renamed into place, so a crash mid-write never truncates a previously
+  /// valid checkpoint.
+  void save_file(const std::string& path) const;
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    if (n == 0) return;
+    const auto old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  /// Validates magic, version, length and checksum before any field is
+  /// read; every error names `context` (the file path, or a description of
+  /// the in-memory snapshot).
+  Reader(std::vector<std::byte> framed, std::string context);
+
+  static Reader from_file(const std::string& path);
+
+  template <class T>
+  T scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    raw(&v, sizeof(T));
+    return v;
+  }
+
+  template <class T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = scalar<std::uint64_t>();
+    DPMD_REQUIRE(count * sizeof(T) <= payload_.size() - pos_,
+                 context_ + ": checkpoint vector length exceeds payload");
+    std::vector<T> v(static_cast<std::size_t>(count));
+    raw(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  const std::string& context() const { return context_; }
+
+  /// Restore completeness check: every byte consumed.
+  void expect_end() const {
+    DPMD_REQUIRE(pos_ == payload_.size(),
+                 context_ + ": trailing bytes after the last checkpoint field");
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    DPMD_REQUIRE(n <= payload_.size() - pos_,
+                 context_ + ": checkpoint truncated (read past payload end)");
+    if (n > 0) std::memcpy(p, payload_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string context_;
+  std::vector<std::byte> payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dpmd::ckpt

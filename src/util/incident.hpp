@@ -1,0 +1,48 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dpmd {
+
+/// One recovery/failure event of an engine (ISSUE 6 observability): which
+/// step tripped, in which phase, why, and what the engine did about it.
+struct Incident {
+  int step = 0;
+  std::string phase;   ///< e.g. "health_guard", "restore"
+  std::string cause;   ///< e.g. "non-finite forces"
+  std::string action;  ///< e.g. "rewind to step 50; dt -> 0.25 fs"
+};
+
+/// Per-rank append-only incident log.  Engines record every health-guard
+/// trip and recovery action here; benches and postmortems read it back so
+/// a trajectory that survived a fault says so instead of looking clean.
+/// Owned by one engine and accessed on its rank thread only.
+class IncidentLog {
+ public:
+  void record(int step, std::string phase, std::string cause,
+              std::string action) {
+    entries_.push_back(
+        {step, std::move(phase), std::move(cause), std::move(action)});
+  }
+
+  const std::vector<Incident>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// One line per incident, for error messages and bench output.
+  std::string summary() const {
+    std::ostringstream os;
+    for (const Incident& e : entries_) {
+      os << "step " << e.step << " [" << e.phase << "] " << e.cause << " -> "
+         << e.action << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  std::vector<Incident> entries_;
+};
+
+}  // namespace dpmd

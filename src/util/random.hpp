@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -67,6 +69,23 @@ class Rng {
 
   double normal(double mean, double stddev) {
     return mean + stddev * normal();
+  }
+
+  /// Full serializable state (checkpoint/restart): the four xoshiro words
+  /// plus the Box-Muller cache as a bit pattern and validity flag, so a
+  /// restored stream continues bit-exactly mid-pair.
+  std::array<uint64_t, 6> state() const {
+    return {s_[0], s_[1], s_[2], s_[3], std::bit_cast<uint64_t>(cached_normal_),
+            has_cached_normal_ ? 1ull : 0ull};
+  }
+
+  void set_state(const std::array<uint64_t, 6>& st) {
+    s_[0] = st[0];
+    s_[1] = st[1];
+    s_[2] = st[2];
+    s_[3] = st[3];
+    cached_normal_ = std::bit_cast<double>(st[4]);
+    has_cached_normal_ = st[5] != 0;
   }
 
  private:

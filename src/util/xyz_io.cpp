@@ -36,16 +36,30 @@ void append_xyz_file(const std::string& path, const XyzFrame& frame,
 }
 
 bool read_xyz(std::istream& is, XyzFrame& frame,
-              std::vector<std::string>& type_names) {
+              std::vector<std::string>& type_names, const std::string& source,
+              std::size_t* line_no) {
+  std::size_t local_line = 0;
+  std::size_t& lineno = line_no != nullptr ? *line_no : local_line;
+  // Every failure names the source and the 1-based offending line, so a
+  // truncated download or a hand-edited trajectory is diagnosable at a
+  // glance instead of "bad line" somewhere in a million-line file.
+  const auto at = [&] { return source + ":" + std::to_string(lineno) + ": "; };
+
   std::string line;
   if (!std::getline(is, line)) return false;
+  ++lineno;
   std::size_t natoms = 0;
   {
     std::istringstream ss(line);
     ss >> natoms;
-    DPMD_REQUIRE(!ss.fail(), "bad XYZ atom-count line: " + line);
+    DPMD_REQUIRE(!ss.fail(), at() + "bad XYZ atom-count line: \"" + line +
+                                 "\" (expected an atom count)");
   }
-  DPMD_REQUIRE(std::getline(is, line), "truncated XYZ frame (comment)");
+  DPMD_REQUIRE(std::getline(is, line),
+               at() + "truncated XYZ frame: file ends before the comment "
+                      "line of a frame announcing " +
+                   std::to_string(natoms) + " atoms");
+  ++lineno;
   frame.comment = line;
   frame.box = Vec3{0, 0, 0};
   const auto pos = line.find("box=");
@@ -53,17 +67,24 @@ bool read_xyz(std::istream& is, XyzFrame& frame,
     std::istringstream ss(line.substr(pos + 4));
     char comma = 0;
     ss >> frame.box.x >> comma >> frame.box.y >> comma >> frame.box.z;
+    DPMD_REQUIRE(!ss.fail(),
+                 at() + "bad box= specification in XYZ comment: \"" + line +
+                     "\" (expected box=Lx,Ly,Lz)");
   }
 
   frame.types.resize(natoms);
   frame.positions.resize(natoms);
   for (std::size_t i = 0; i < natoms; ++i) {
-    DPMD_REQUIRE(std::getline(is, line), "truncated XYZ frame (atoms)");
+    DPMD_REQUIRE(std::getline(is, line),
+                 at() + "truncated XYZ frame: file ends after atom " +
+                     std::to_string(i) + " of " + std::to_string(natoms));
+    ++lineno;
     std::istringstream ss(line);
     std::string name;
     Vec3 p;
     ss >> name >> p.x >> p.y >> p.z;
-    DPMD_REQUIRE(!ss.fail(), "bad XYZ atom line: " + line);
+    DPMD_REQUIRE(!ss.fail(), at() + "bad XYZ atom line: \"" + line +
+                                 "\" (expected: name x y z)");
     auto it = std::find(type_names.begin(), type_names.end(), name);
     if (it == type_names.end()) {
       type_names.push_back(name);

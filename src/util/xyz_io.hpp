@@ -22,10 +22,18 @@ void write_xyz(std::ostream& os, const XyzFrame& frame,
 void append_xyz_file(const std::string& path, const XyzFrame& frame,
                      const std::vector<std::string>& type_names);
 
-/// Reads one frame; returns false on clean EOF, throws on malformed input.
-/// Type names are mapped back to indices via `type_names` (unknown names
-/// are appended).
+/// Reads one frame; returns false on clean EOF, throws on malformed or
+/// truncated input.  Type names are mapped back to indices via `type_names`
+/// (unknown names are appended).
+///
+/// Every parse error names the source and the 1-based line it occurred on
+/// ("water.xyz:17: bad XYZ atom line ...").  Pass the file path as `source`;
+/// `line_no`, when given, is the running line counter across frames of the
+/// same stream (updated in place), so multi-frame trajectories report
+/// absolute line numbers.
 bool read_xyz(std::istream& is, XyzFrame& frame,
-              std::vector<std::string>& type_names);
+              std::vector<std::string>& type_names,
+              const std::string& source = "<xyz stream>",
+              std::size_t* line_no = nullptr);
 
 }  // namespace dpmd

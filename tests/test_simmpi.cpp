@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
+#include <utility>
 
 #include "simmpi/simmpi.hpp"
 
@@ -163,6 +165,124 @@ TEST(SimMpi, FailedRankReleasesBarrierWaiters) {
                            r.barrier();
                          }),
                dpmd::Error);
+}
+
+// ------------------------------------------------- Request contract ----
+
+TEST(SimMpi, RequestDoubleWaitThrows) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      r.send_vec(1, 5, std::vector<int>{42});
+    } else {
+      Request rq = r.irecv(0, 5);
+      EXPECT_EQ(rq.wait_vec<int>()[0], 42);
+      EXPECT_FALSE(rq.valid());
+      EXPECT_THROW(rq.wait(), dpmd::Error);
+    }
+  });
+}
+
+TEST(SimMpi, RequestDestructionWithoutWaitThrows) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      r.send_vec(1, 5, std::vector<int>{42});
+    } else {
+      EXPECT_THROW(
+          {
+            Request rq = r.irecv(0, 5);
+            // rq destroyed here without wait(): the posted receive would
+            // leak its message in the mailbox.
+          },
+          dpmd::Error);
+      r.recv_vec<int>(0, 5);  // drain so the world ends clean
+    }
+  });
+}
+
+TEST(SimMpi, RequestMoveTransfersTheClaim) {
+  run_world(2, [](Rank& r) {
+    if (r.rank() == 0) {
+      r.send_vec(1, 5, std::vector<int>{7});
+    } else {
+      Request a = r.irecv(0, 5);
+      Request b = std::move(a);
+      EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): the test
+      EXPECT_TRUE(b.valid());
+      EXPECT_EQ(b.wait_vec<int>()[0], 7);
+    }
+  });
+}
+
+// ---------------------------------------------- timeouts and faults ----
+
+TEST(SimMpi, RecvTimeoutIsNamedError) {
+  World w(2);
+  w.set_recv_timeout(0.2);
+  try {
+    w.run([](Rank& r) {
+      if (r.rank() == 1) r.recv_vec<int>(0, 3);  // rank 0 never sends
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv timeout"), std::string::npos) << what;
+    EXPECT_NE(what.find("src 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag 3"), std::string::npos) << what;
+  }
+}
+
+TEST(SimMpi, DroppedMessageBecomesTimeoutNotHang) {
+  World w(2);
+  w.set_recv_timeout(0.2);
+  w.set_fault_hook([](int /*src*/, int /*dst*/, int tag, std::size_t) {
+    Fault f;
+    if (tag == 3) f.kind = Fault::Kind::kDrop;
+    return f;
+  });
+  EXPECT_THROW(w.run([](Rank& r) {
+                 if (r.rank() == 0) r.send_vec(1, 3, std::vector<int>{1});
+                 else r.recv_vec<int>(0, 3);
+               }),
+               TimeoutError);
+  EXPECT_EQ(w.faults_injected(), 1u);
+}
+
+TEST(SimMpi, CorruptFaultFlipsOneByte) {
+  World w(2);
+  w.set_fault_hook([](int, int, int tag, std::size_t) {
+    Fault f;
+    if (tag == 3) {
+      f.kind = Fault::Kind::kCorrupt;
+      f.corrupt_offset = 0;
+    }
+    return f;
+  });
+  w.run([](Rank& r) {
+    if (r.rank() == 0) {
+      r.send_vec(1, 3, std::vector<unsigned char>{0x0F});
+    } else {
+      EXPECT_EQ(r.recv_vec<unsigned char>(0, 3)[0], 0xF0);
+    }
+  });
+  EXPECT_EQ(w.faults_injected(), 1u);
+}
+
+TEST(SimMpi, StalledSenderBecomesTimeout) {
+  World w(2);
+  w.set_recv_timeout(0.2);
+  w.set_fault_hook([](int, int, int tag, std::size_t) {
+    Fault f;
+    if (tag == 3) {
+      f.kind = Fault::Kind::kDelay;
+      f.delay_s = 2.0;  // well past the receiver's deadline
+    }
+    return f;
+  });
+  EXPECT_THROW(w.run([](Rank& r) {
+                 if (r.rank() == 0) r.send_vec(1, 3, std::vector<int>{1});
+                 else r.recv_vec<int>(0, 3);
+               }),
+               TimeoutError);
 }
 
 // -------------------------------------------------------------- CartGrid ----
