@@ -18,6 +18,7 @@
 
 #include "water256.hpp"
 #include "overlap_bench.hpp"
+#include "scaling_bench.hpp"
 #include "core/compression.hpp"
 #include "core/descriptor.hpp"
 #include "core/inference.hpp"
@@ -548,6 +549,14 @@ int main(int argc, char** argv) {
   const CkptBench ckpt = smoke ? bench_checkpoint(20, 10)
                                : bench_checkpoint(200, 50);
 
+  // ISSUE 7 rung: 2-rank live rebalance A/B on the corner LJ droplet —
+  // the cheap structural check that the boundary-shift planner still
+  // flattens a measured pair-time skew (the full 4-rank A/B lives in
+  // bench_fig10_table3_loadbalance).
+  const bench::RebalanceAB reb =
+      smoke ? bench::measure_rebalance_ab(2, 1, 1, 7, 7, 4, 10, 10, 1)
+            : bench::measure_rebalance_ab(2, 1, 1, 7, 7, 4, 30, 40, 2);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -640,6 +649,18 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"ckpt_us_per_step\": %.1f,\n", ckpt.ckpt_us_per_step);
   std::fprintf(f, "    \"overhead_fraction\": %.4f\n",
                ckpt.overhead_fraction);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"rebalance_2rank\": {\n");
+  std::fprintf(f, "    \"system\": \"corner LJ droplet, %d atoms, 2x1x1 "
+                  "ranks, rebuild 5, rebalance 5, damping 1.0\",\n",
+               reb.uniform.natoms);
+  std::fprintf(f, "    \"uniform_imbalance_excess\": %.4f,\n",
+               reb.uniform.imbalance_excess);
+  std::fprintf(f, "    \"balanced_imbalance_excess\": %.4f,\n",
+               reb.balanced.imbalance_excess);
+  std::fprintf(f, "    \"imbalance_excess_ratio\": %.4f,\n",
+               reb.excess_ratio);
+  std::fprintf(f, "    \"rebalances\": %d\n", reb.balanced.rebalances);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -681,6 +702,11 @@ int main(int argc, char** argv) {
               "%.1f -> %.1f us/step (%.2f%% overhead)\n",
               ckpt.cadence, ckpt.bytes, ckpt.write_us, ckpt.base_us_per_step,
               ckpt.ckpt_us_per_step, 100.0 * ckpt.overhead_fraction);
+  std::printf("rebalance (2 ranks, %d atoms): pair imbalance excess "
+              "%.3f -> %.3f (ratio %.2f, %d shifts)\n",
+              reb.uniform.natoms, reb.uniform.imbalance_excess,
+              reb.balanced.imbalance_excess, reb.excess_ratio,
+              reb.balanced.rebalances);
   std::printf("speedup  : %.2fx compressed, %.2fx full-emb  -> %s\n", speedup,
               fullemb_speedup, out_path.c_str());
   return 0;

@@ -1,9 +1,23 @@
 // Reproduces Table III and Fig. 10: pair time and atom-count statistics
-// across MPI ranks with and without the intra-node load balance, at 1, 2
-// and 8 atoms per core on a 96-node (384-rank) decomposition.
+// across MPI ranks with and without load balancing.  Two legs:
+//
+//  1. The offline 384-rank model (Table III's scale): multinomial atom
+//     counts, the PairTimeModel wall-time surrogate, intra-node balancing.
+//  2. A live-engine A/B (ISSUE 7): the corner-heavy LJ droplet on a real
+//     4-rank DomainEngine, measured per-rank pair-phase seconds with the
+//     boundary-shift rebalancer on vs off.
+//
+//   usage: bench_fig10_table3_loadbalance [--steps=N] [--repeats=N]
+//                                         [--json=PATH]
+//
+// --json writes the live-leg numbers as a `"rebalance": {...}` JSON
+// fragment (no outer braces) for bench/run_scaling_bench.sh to assemble
+// into BENCH_scaling.json.
 #include <cstdio>
 
+#include "scaling_bench.hpp"
 #include "loadbalance/loadbalance.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -68,16 +82,79 @@ void run_case(int atoms_per_core) {
   std::printf("\n");
 }
 
+void print_live_row(const char* name, const bench::RebalanceMeasurement& m) {
+  std::printf("  %-9s: %8.1f us/step, pair max %.3f ms avg %.3f ms, "
+              "imbalance excess %.3f, %d boundary shifts\n",
+              name, m.us_per_step, m.pair_max_s * 1e3, m.pair_avg_s * 1e3,
+              m.imbalance_excess, m.rebalances);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int steps = static_cast<int>(args.get_int("steps", 60));
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+
+  const lb::PairTimeModel pt;
   std::printf("=== Table III + Fig. 10: intra-node load balance ===\n"
               "384 ranks (96 nodes, 4 ranks/node), uniform-density system;\n"
-              "pair time = atoms x per-atom cost x (1 + jitter).\n\n");
+              "pair time = atoms x per-atom cost x (1 + jitter)\n"
+              "model: per_atom_cost_s = %.2e s, jitter_frac = %.3f, "
+              "seed = %llu\n\n",
+              pt.per_atom_cost_s, pt.jitter_frac,
+              static_cast<unsigned long long>(pt.seed));
   run_case(1);
   run_case(2);
   run_case(8);
   std::printf("(paper, water: natom SDMR 79.9 -> 24.3 at 1 atom/core, "
-              "90.8 -> 11.1 at 2; max pair time -16%% / -12%%)\n");
+              "90.8 -> 11.1 at 2; max pair time -16%% / -12%%)\n\n");
+
+  // Live-engine A/B (ISSUE 7): measured pair-time spread on a real 2x2x1
+  // DomainEngine, corner-heavy droplet, rebalancing off vs on.
+  std::printf("=== live DomainEngine A/B: corner droplet, 2x2x1 ranks ===\n");
+  const bench::RebalanceAB ab =
+      bench::measure_rebalance_ab(2, 2, 1, 7, 7, 4, 30, steps, repeats);
+  std::printf("  %d atoms, %d ranks, %d timed steps, min of %d repeats\n",
+              ab.uniform.natoms, ab.uniform.ranks, steps, repeats);
+  print_live_row("uniform", ab.uniform);
+  print_live_row("rebalance", ab.balanced);
+  std::printf("  imbalance-excess ratio (balanced/uniform): %.3f "
+              "(acceptance <= 0.60)\n",
+              ab.excess_ratio);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const auto leg = [&](const char* name,
+                         const bench::RebalanceMeasurement& m,
+                         const char* tail) {
+      std::fprintf(f,
+                   "    \"%s\": {\"us_per_step\": %.1f, "
+                   "\"pair_max_s\": %.6f, \"pair_avg_s\": %.6f, "
+                   "\"imbalance_excess\": %.4f, \"rebalances\": %d}%s\n",
+                   name, m.us_per_step, m.pair_max_s, m.pair_avg_s,
+                   m.imbalance_excess, m.rebalances, tail);
+    };
+    std::fprintf(f, "  \"rebalance\": {\n");
+    std::fprintf(f, "    \"system\": \"corner LJ droplet, %d atoms, 2x2x1 "
+                    "ranks, rebuild 5, rebalance 5, damping 1.0, %d timed "
+                    "steps, min of %d\",\n",
+                 ab.uniform.natoms, steps, repeats);
+    std::fprintf(f, "    \"model_per_atom_cost_s\": %.2e,\n",
+                 pt.per_atom_cost_s);
+    std::fprintf(f, "    \"model_jitter_frac\": %.3f,\n", pt.jitter_frac);
+    leg("uniform", ab.uniform, ",");
+    leg("balanced", ab.balanced, ",");
+    std::fprintf(f, "    \"imbalance_excess_ratio\": %.4f\n",
+                 ab.excess_ratio);
+    std::fprintf(f, "  }");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+  }
   return 0;
 }

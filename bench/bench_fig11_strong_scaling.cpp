@@ -1,9 +1,20 @@
 // Reproduces Fig. 11: strong scaling of the fully optimized code from 768
 // to 12,000 nodes for the 0.54M-atom copper and 0.56M-atom water systems,
-// with the paper's node topologies.
+// with the paper's node topologies — plus a *measured* leg (ISSUE 7): the
+// same engine the tests pin, run live on 1 -> 16 in-process ranks with
+// rebalancing on, reporting wall us/step and the per-rank pair spread.
+//
+//   usage: bench_fig11_strong_scaling [--steps=N] [--repeats=N]
+//                                     [--json=PATH]
+//
+// --json writes the measured leg as a `"scaling": {...}` JSON fragment
+// (no outer braces) for bench/run_scaling_bench.sh to assemble into
+// BENCH_scaling.json.
 #include <cstdio>
 
+#include "scaling_bench.hpp"
 #include "perfmodel/perfmodel.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace dpmd;
@@ -61,13 +72,70 @@ void run_system(const perf::SystemSpec& sys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int steps = static_cast<int>(args.get_int("steps", 10));
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+
   std::printf("=== Fig. 11: strong scaling 768 -> 12000 nodes (model) ===\n\n");
   run_system(perf::copper_system(),
              {15.308, 31.444, 62.116, 76.378, 149.016});
   run_system(perf::water_system(),
              {7.58, 18.477, 31.672, 41.598, 68.584});
   std::printf("(paper headline: 149 ns/day copper at 62.3%% efficiency, "
-              "68.5 ns/day water at 57.9%%)\n");
+              "68.5 ns/day water at 57.9%%)\n\n");
+
+  // Measured leg (ISSUE 7): live DomainEngine on 1 -> 16 in-process ranks,
+  // 12^3 LJ lattice, rebalancing on.  The ranks timeshare the host's
+  // cores, so us/step tracks engine overhead rather than parallel speedup;
+  // the pair max/avg spread is the structural scaling quantity.
+  std::printf("=== measured: 12^3 LJ lattice, 1 -> 16 in-process ranks ===\n");
+  const std::vector<bench::ScalingPoint> pts =
+      bench::measure_strong_scaling({{1, 1, 1},
+                                     {2, 1, 1},
+                                     {2, 2, 1},
+                                     {2, 2, 2},
+                                     {4, 2, 2}},
+                                    5, steps, repeats);
+  for (const auto& p : pts) {
+    std::printf("  %dx%dx%d (%2d ranks): %9.1f us/step, pair max/avg "
+                "%.3f/%.3f ms, imbalance excess %.3f, %d shifts\n",
+                p.grid[0], p.grid[1], p.grid[2], p.ranks, p.us_per_step,
+                p.pair_max_s * 1e3, p.pair_avg_s * 1e3, p.imbalance_excess,
+                p.rebalances);
+  }
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "  \"scaling\": {\n");
+    std::fprintf(f, "    \"system\": \"12^3 LJ lattice (%d atoms), box 48, "
+                    "rebuild 5, rebalance 5, damping 0.5, %d timed steps, "
+                    "min of %d\",\n",
+                 pts.empty() ? 0 : pts[0].natoms, steps, repeats);
+    std::fprintf(f, "    \"note\": \"in-process ranks timeshare the host; "
+                    "us_per_step tracks engine overhead, the pair spread "
+                    "is the structural quantity\",\n");
+    std::fprintf(f, "    \"rungs\": [\n");
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const auto& p = pts[i];
+      std::fprintf(f,
+                   "      {\"grid\": \"%dx%dx%d\", \"ranks\": %d, "
+                   "\"us_per_step\": %.1f, \"pair_max_s\": %.6f, "
+                   "\"pair_avg_s\": %.6f, \"imbalance_excess\": %.4f, "
+                   "\"rebalances\": %d}%s\n",
+                   p.grid[0], p.grid[1], p.grid[2], p.ranks, p.us_per_step,
+                   p.pair_max_s, p.pair_avg_s, p.imbalance_excess,
+                   p.rebalances, i + 1 < pts.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Load-balance / scaling trajectory runner (ISSUE 7): builds the two figure
+# benches, runs their live-engine legs, and assembles BENCH_scaling.json —
+# the measured pair-time imbalance with/without rebalancing (4-rank corner
+# droplet) plus the 1 -> 16 rank us/step + imbalance sweep.
+#
+#   bench/run_scaling_bench.sh [output.json]
+#
+# Output defaults to BENCH_scaling.json in the repo root.  Track the
+# "imbalance_excess_ratio" (acceptance <= 0.60) and the per-rung
+# "imbalance_excess" fields across PRs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_scaling.json}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target bench_fig10_table3_loadbalance \
+      --target bench_fig11_strong_scaling -j >/dev/null
+
+frag_dir="$(mktemp -d)"
+trap 'rm -rf "$frag_dir"' EXIT
+
+"$build_dir/bench_fig10_table3_loadbalance" --json="$frag_dir/rebalance.json"
+"$build_dir/bench_fig11_strong_scaling" --json="$frag_dir/scaling.json"
+
+{
+  echo '{'
+  echo '  "bench": "domain_engine_loadbalance_scaling",'
+  cat "$frag_dir/rebalance.json"
+  echo ','
+  cat "$frag_dir/scaling.json"
+  echo ''
+  echo '}'
+} > "$out"
+
+echo "wrote $out"

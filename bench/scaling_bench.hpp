@@ -1,0 +1,285 @@
+#pragma once
+
+// Live-engine load-balance measurements (ISSUE 7, paper §III-C / Fig. 10
+// and Fig. 11) shared by bench_fig10_table3_loadbalance (the with/without
+// rebalancing A/B on a corner-heavy droplet), bench_fig11_strong_scaling
+// (the measured 1 -> 16 rank leg) and bench_compute_json (the 2-rank smoke
+// rung): a deterministic LJ cluster parked in one corner of the box so the
+// uniform grid starts badly imbalanced, run through the real DomainEngine
+// with rebalancing on vs off, reporting wall us/step and the measured
+// per-rank pair-phase spread.
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/domain_engine.hpp"
+#include "md/atoms.hpp"
+#include "md/box.hpp"
+#include "md/pair_lj.hpp"
+#include "md/thermo.hpp"
+#include "simmpi/simmpi.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace dpmd::bench {
+
+// The shared LJ workhorse (argon-flavored, the engine-test parameters).
+inline constexpr double kLbRcut = 5.0;
+inline constexpr double kLbSkin = 1.0;
+inline constexpr double kLbEps = 0.0104;   // eV
+inline constexpr double kLbSigma = 3.4;    // Angstrom
+inline constexpr double kLbMass = 39.948;  // amu
+
+inline std::shared_ptr<md::PairLJ> make_lb_pair() {
+  auto lj = std::make_shared<md::PairLJ>(1, kLbRcut);
+  lj->set_pair(0, 0, kLbEps, kLbSigma);
+  return lj;
+}
+
+/// nx x ny x nz simple-cubic LJ block at `spacing`, anchored at `origin` in
+/// the corner of the box — deterministic (no rejection sampling), and under
+/// a uniform split most of its columns land in the low-coordinate slabs, so
+/// the uniform grid starts with a structural pair-work imbalance that a
+/// boundary shift can actually remove.
+inline md::Atoms corner_lattice(int nx, int ny, int nz, double spacing,
+                                double origin, double t_kelvin, Rng& rng) {
+  md::Atoms atoms;
+  std::int64_t tag = 0;
+  for (int i = 0; i < nx; ++i) {
+    for (int j = 0; j < ny; ++j) {
+      for (int k = 0; k < nz; ++k) {
+        atoms.add_local({origin + i * spacing, origin + j * spacing,
+                         origin + k * spacing},
+                        {0, 0, 0}, 0, tag++);
+      }
+    }
+  }
+  md::thermalize(atoms, {kLbMass}, t_kelvin, rng);
+  return atoms;
+}
+
+/// One measured variant of the rebalance A/B: wall time and the per-rank
+/// pair-phase seconds over the timed window (after a warm-up long enough
+/// for the planes to converge when balancing is on).
+struct RebalanceMeasurement {
+  bool balanced = false;
+  int ranks = 0;
+  int natoms = 0;
+  int steps = 0;
+  int rebalances = 0;             ///< applied boundary shifts, whole run
+  double us_per_step = 0.0;       ///< rank-0 wall over the timed window
+  double pair_max_s = 0.0;        ///< slowest rank's pair seconds in window
+  double pair_avg_s = 0.0;
+  /// max/avg - 1 of the measured per-rank pair time: 0 on a perfectly
+  /// balanced decomposition.  (The raw max/avg ratio cannot drop below 1,
+  /// so the *excess* is what a boundary shift can actually shrink.)
+  double imbalance_excess = 0.0;
+};
+
+/// Runs the corner-lattice droplet once on a gx x gy x gz grid and measures
+/// the timed window.  Timer deltas, never timers().reset(): the engine's
+/// own rebalance window is anchored to the cumulative "pair" total.
+inline RebalanceMeasurement measure_rebalance_once(
+    bool balance_on, int gx, int gy, int gz, int nx, int ny, int nz,
+    int warm_steps, int steps) {
+  const md::Box box({0, 0, 0}, {32, 32, 32});
+  Rng rng(2024);
+  // Spacing 3.4 from 1.5: columns at x = 1.5..21.9, so the uniform split
+  // at 16 gives the low slab 5 of 7 columns — a ~2.5x atom-count skew.
+  md::Atoms atoms = corner_lattice(nx, ny, nz, 3.4, 1.5, 30.0, rng);
+  const std::vector<double> masses{kLbMass};
+  const std::vector<Vec3> x(atoms.x.begin(), atoms.x.begin() + atoms.nlocal);
+  std::vector<Vec3> v(atoms.v.begin(), atoms.v.begin() + atoms.nlocal);
+  std::vector<int> type(atoms.type.begin(),
+                        atoms.type.begin() + atoms.nlocal);
+
+  RebalanceMeasurement m;
+  m.balanced = balance_on;
+  m.natoms = atoms.nlocal;
+  m.steps = steps;
+
+  const simmpi::CartGrid grid(gx, gy, gz);
+  m.ranks = grid.size();
+  std::mutex mu;
+  simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+    comm::DomainEngine engine(rank, grid, box, masses, make_lb_pair(),
+                              {.dt_fs = 1.0, .skin = kLbSkin,
+                               .rebuild_every = 5,
+                               .rebalance_every = balance_on ? 5 : 0,
+                               .rebalance_damping = 1.0});
+    engine.seed(x, v, type);
+    engine.run(warm_steps);  // planes converge before the window opens
+    const double pair0 = engine.timers().total("pair");
+    rank.barrier();
+    Stopwatch sw;
+    engine.run(steps);
+    const double us = sw.elapsed_us() / steps;
+    rank.barrier();
+    const double mine = engine.timers().total("pair") - pair0;
+    const std::vector<double> all = rank.allgather(mine);
+    if (rank.rank() == 0) {
+      double mx = 0.0;
+      double sum = 0.0;
+      for (const double t : all) {
+        mx = std::max(mx, t);
+        sum += t;
+      }
+      const double avg = sum / static_cast<double>(all.size());
+      std::lock_guard lock(mu);
+      m.us_per_step = us;
+      m.pair_max_s = mx;
+      m.pair_avg_s = avg;
+      m.imbalance_excess = avg > 0.0 ? mx / avg - 1.0 : 0.0;
+      m.rebalances = engine.rebalance_count();
+    }
+  });
+  return m;
+}
+
+/// The Fig. 10 live A/B: uniform grid vs rebalancing on the same droplet,
+/// interleaved min-of-repeats (per metric — us/step and imbalance excess
+/// are floor estimates, so host noise cannot masquerade as either an
+/// imbalance or a balancing win).
+struct RebalanceAB {
+  RebalanceMeasurement uniform;
+  RebalanceMeasurement balanced;
+  /// balanced excess / uniform excess — the acceptance number (<= 0.6).
+  double excess_ratio = 0.0;
+};
+
+inline RebalanceAB measure_rebalance_ab(int gx = 2, int gy = 2, int gz = 1,
+                                        int nx = 7, int ny = 7, int nz = 4,
+                                        int warm_steps = 30, int steps = 60,
+                                        int repeats = 3) {
+  RebalanceAB ab;
+  const auto keep_min = [](RebalanceMeasurement& best,
+                           const RebalanceMeasurement& m, bool first) {
+    if (first) {
+      best = m;
+      return;
+    }
+    best.us_per_step = std::min(best.us_per_step, m.us_per_step);
+    if (m.imbalance_excess < best.imbalance_excess) {
+      best.imbalance_excess = m.imbalance_excess;
+      best.pair_max_s = m.pair_max_s;
+      best.pair_avg_s = m.pair_avg_s;
+    }
+    best.rebalances = std::max(best.rebalances, m.rebalances);
+  };
+  for (int rep = 0; rep < repeats; ++rep) {
+    keep_min(ab.uniform,
+             measure_rebalance_once(false, gx, gy, gz, nx, ny, nz,
+                                    warm_steps, steps),
+             rep == 0);
+    keep_min(ab.balanced,
+             measure_rebalance_once(true, gx, gy, gz, nx, ny, nz,
+                                    warm_steps, steps),
+             rep == 0);
+  }
+  ab.excess_ratio = ab.uniform.imbalance_excess > 0.0
+                        ? ab.balanced.imbalance_excess /
+                              ab.uniform.imbalance_excess
+                        : 0.0;
+  return ab;
+}
+
+/// One rung of the measured strong-scaling leg (Fig. 11 flavor at this
+/// host's scale): the same 12^3 LJ lattice on growing rank grids.
+struct ScalingPoint {
+  std::array<int, 3> grid{1, 1, 1};
+  int ranks = 1;
+  int natoms = 0;
+  int steps = 0;
+  int rebalances = 0;
+  double us_per_step = 0.0;       ///< rank-0 wall, min over repeats
+  double pair_max_s = 0.0;
+  double pair_avg_s = 0.0;
+  double imbalance_excess = 0.0;  ///< max/avg - 1 over the timed window
+};
+
+/// Measured 1 -> 16 rank sweep on a 12^3 lattice (1728 atoms, box 48, so
+/// the 4-way x split still admits 2*(rcut+skin) = 12 A sub-boxes).  The
+/// in-process ranks timeshare whatever cores the host offers, so us/step
+/// is an overhead trajectory rather than a speedup claim; the per-rank
+/// pair spread is the structural quantity (and what rebalancing flattens).
+inline std::vector<ScalingPoint> measure_strong_scaling(
+    const std::vector<std::array<int, 3>>& grids = {{1, 1, 1},
+                                                    {2, 1, 1},
+                                                    {2, 2, 1},
+                                                    {2, 2, 2},
+                                                    {4, 2, 2}},
+    int warm_steps = 5, int steps = 10, int repeats = 3,
+    int rebalance_every = 5) {
+  const md::Box box({0, 0, 0}, {48, 48, 48});
+  Rng rng(4242);
+  // Spacing 4.0 (just past the LJ minimum) from 1.0: a stable bulk-like
+  // block filling most of the box, near-uniform across any split.
+  md::Atoms atoms = corner_lattice(12, 12, 12, 4.0, 1.0, 40.0, rng);
+  const std::vector<double> masses{kLbMass};
+  const std::vector<Vec3> x(atoms.x.begin(), atoms.x.begin() + atoms.nlocal);
+  std::vector<Vec3> v(atoms.v.begin(), atoms.v.begin() + atoms.nlocal);
+  std::vector<int> type(atoms.type.begin(),
+                        atoms.type.begin() + atoms.nlocal);
+
+  std::vector<ScalingPoint> out;
+  for (const auto& g : grids) {
+    ScalingPoint best;
+    for (int rep = 0; rep < repeats; ++rep) {
+      ScalingPoint p;
+      p.grid = g;
+      p.natoms = atoms.nlocal;
+      p.steps = steps;
+      const simmpi::CartGrid grid(g[0], g[1], g[2]);
+      p.ranks = grid.size();
+      std::mutex mu;
+      simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+        comm::DomainEngine engine(rank, grid, box, masses, make_lb_pair(),
+                                  {.dt_fs = 1.0, .skin = kLbSkin,
+                                   .rebuild_every = 5,
+                                   .rebalance_every = rebalance_every,
+                                   .rebalance_damping = 0.5});
+        engine.seed(x, v, type);
+        engine.run(warm_steps);
+        const double pair0 = engine.timers().total("pair");
+        rank.barrier();
+        Stopwatch sw;
+        engine.run(steps);
+        const double us = sw.elapsed_us() / steps;
+        rank.barrier();
+        const double mine = engine.timers().total("pair") - pair0;
+        const std::vector<double> all = rank.allgather(mine);
+        if (rank.rank() == 0) {
+          double mx = 0.0;
+          double sum = 0.0;
+          for (const double t : all) {
+            mx = std::max(mx, t);
+            sum += t;
+          }
+          const double avg = sum / static_cast<double>(all.size());
+          std::lock_guard lock(mu);
+          p.us_per_step = us;
+          p.pair_max_s = mx;
+          p.pair_avg_s = avg;
+          p.imbalance_excess = avg > 0.0 ? mx / avg - 1.0 : 0.0;
+          p.rebalances = engine.rebalance_count();
+        }
+      });
+      if (rep == 0 || p.us_per_step < best.us_per_step) {
+        const double ex = best.imbalance_excess;
+        best = p;
+        if (rep > 0) {
+          best.imbalance_excess = std::min(p.imbalance_excess, ex);
+        }
+      } else if (p.imbalance_excess < best.imbalance_excess) {
+        best.imbalance_excess = p.imbalance_excess;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace dpmd::bench

@@ -6,6 +6,7 @@
 //               [--dp-block-size=0] [--skin=-1] [--rebuild-every=50]
 //               [--fused-table=1] [--checkpoint-every=0]
 //               [--checkpoint-file=water_rdf.ckpt] [--restart=FILE]
+//               [--ranks=1] [--rebalance-every=0] [--rebalance-damping=0.5]
 //
 // --dp-block-size=N (N >= 1) additionally re-scores every RDF frame through
 // a paper-shaped Deep Potential at EvalOptions::block_size = N and reports
@@ -23,10 +24,21 @@
 // *dynamics* (positions, velocities, thermostat RNG stream) from a
 // checkpoint — the RDF accumulators restart fresh, they are statistics of
 // the analysis pass, not simulation state.
+// --ranks=N (1, 2, 4, 8 or 16) samples the RDF from a distributed
+// DomainEngine world instead of md::Sim: NVE from the thermalized start
+// (the distributed engine carries no thermostat), frames gathered to rank
+// 0, per-rank checkpoint files.  The reference potential's 6 A cutoff
+// needs sub-boxes >= 2*(rcut+skin) wide, so 2 ranks want
+// --molecules-side>=8.  --rebalance-every=N / --rebalance-damping=F
+// (ISSUE 7, distributed mode only) enable the workload-aware boundary
+// shift (0 = off, uniform grid); --dp-block-size scoring stays a
+// single-process knob.
 #include <cstdio>
 #include <memory>
+#include <mutex>
 
 #include "water256.hpp"  // bench::water256_model — the shared DP reference
+#include "comm/domain_engine.hpp"
 #include "core/pair_deepmd.hpp"
 #include "md/ghosts.hpp"
 #include "md/lattice.hpp"
@@ -34,12 +46,31 @@
 #include "md/rdf.hpp"
 #include "md/sim.hpp"
 #include "md/thermo.hpp"
+#include "simmpi/simmpi.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/error.hpp"
 
 using namespace dpmd;
+
+namespace {
+
+/// Rank grids the examples support for --ranks (the bench sweep's shapes).
+simmpi::CartGrid grid_for_ranks(int ranks) {
+  switch (ranks) {
+    case 1: return {1, 1, 1};
+    case 2: return {2, 1, 1};
+    case 4: return {2, 2, 1};
+    case 8: return {2, 2, 2};
+    case 16: return {4, 2, 2};
+    default:
+      DPMD_REQUIRE(false, "--ranks must be 1, 2, 4, 8 or 16");
+      return {1, 1, 1};
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
@@ -61,12 +92,119 @@ int main(int argc, char** argv) {
       args.get("checkpoint-file", "water_rdf.ckpt");
   const std::string restart = args.get("restart", "");
   DPMD_REQUIRE(checkpoint_every >= 0, "--checkpoint-every must be >= 0");
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  const int rebalance_every =
+      static_cast<int>(args.get_int("rebalance-every", 0));
+  const double rebalance_damping =
+      args.get_double("rebalance-damping", 0.5);
+  DPMD_REQUIRE(rebalance_every == 0 || ranks > 1,
+               "--rebalance-every needs a distributed run (--ranks > 1)");
+  DPMD_REQUIRE(dp_block == 0 || ranks == 1,
+               "--dp-block-size scoring runs single-process; drop it with "
+               "--ranks > 1");
 
   Rng rng(11);
   md::Box box;
   md::Atoms atoms = md::make_water_like(side, 0.0334, 0.97, rng, box);
   md::thermalize(atoms, {md::kMassO, md::kMassH}, temp, rng);
   const int natoms = atoms.nlocal;
+
+  const double rmax0 = 0.45 * box.length().x;
+  md::RdfAccumulator oo(0, 0, rmax0, 60);
+  md::RdfAccumulator oh(0, 1, rmax0, 60);
+  md::RdfAccumulator hh(1, 1, rmax0, 60);
+  const auto print_rdf = [&](double final_t) {
+    AsciiTable table({"r [A]", "g_OO", "g_OH", "g_HH", "g_OO bar"});
+    table.set_title("Radial distribution functions");
+    const auto goo = oo.result();
+    const auto goh = oh.result();
+    const auto ghh = hh.result();
+    double gmax = 0.1;
+    for (const auto& p : goo) gmax = std::max(gmax, p.g);
+    for (std::size_t b = 0; b < goo.size(); b += 2) {
+      table.add_row({fmt_fix(goo[b].r, 2), fmt_fix(goo[b].g, 2),
+                     fmt_fix(goh[b].g, 2), fmt_fix(ghh[b].g, 2),
+                     ascii_bar(goo[b].g, gmax, 24)});
+    }
+    table.print();
+    std::printf("final T = %.1f K over %d frames\n", final_t, oo.frames());
+  };
+
+  // Distributed sampling leg (--ranks > 1): NVE on a DomainEngine world,
+  // frames gathered to rank 0, the ISSUE 7 rebalancer behind
+  // --rebalance-every / --rebalance-damping.
+  if (ranks > 1) {
+    const simmpi::CartGrid grid = grid_for_ranks(ranks);
+    const std::vector<Vec3> x0(atoms.x.begin(),
+                               atoms.x.begin() + atoms.nlocal);
+    const std::vector<Vec3> v0(atoms.v.begin(),
+                               atoms.v.begin() + atoms.nlocal);
+    const std::vector<int> t0(atoms.type.begin(),
+                              atoms.type.begin() + atoms.nlocal);
+    std::printf("water-like reference MD (NVE): %d atoms on %d ranks "
+                "(%dx%dx%d), %d steps from a %.0f K start, rebalance %s\n",
+                natoms, grid.size(), grid.nx(), grid.ny(), grid.nz(), steps,
+                temp, rebalance_every > 0 ? "on" : "off");
+    double final_t = 0.0;
+    std::mutex mu;
+    simmpi::run_world(grid.size(), [&](simmpi::Rank& rank) {
+      auto rpair = std::make_shared<md::PairWaterRef>();
+      comm::DomainEngine eng(rank, grid, box,
+                             {md::kMassO, md::kMassH}, rpair,
+                             {.dt_fs = 0.5, .skin = skin,
+                              .rebuild_every = rebuild_every,
+                              .rebalance_every = rebalance_every,
+                              .rebalance_damping = rebalance_damping});
+      if (restart.empty()) {
+        eng.seed(x0, v0, t0);
+      } else {
+        eng.restore_checkpoint_file(restart);
+        if (rank.rank() == 0) {
+          std::printf("restart: resumed from %s.rank* at step %d (RDF "
+                      "statistics start fresh)\n",
+                      restart.c_str(), eng.steps_done());
+        }
+      }
+      const auto run_block = [&](int nsteps) {
+        for (int s = 0; s < nsteps; ++s) {
+          eng.step();
+          if (checkpoint_every > 0 &&
+              eng.steps_done() % checkpoint_every == 0) {
+            eng.save_checkpoint_file(checkpoint_file);
+          }
+        }
+      };
+      run_block(steps / 3);  // settle from the thermalized start
+      for (int block = 0; block < 2 * steps / 30; ++block) {
+        run_block(10);
+        // gather_all is collective; only rank 0 accumulates.  Positions
+        // are unwrapped between rebuilds, so wrap before binning.
+        const auto global = eng.gather_all();
+        if (rank.rank() == 0) {
+          md::Atoms frame;
+          for (const auto& ga : global) {
+            Vec3 p = ga.x;
+            box.wrap(p);
+            frame.add_local(p, {0, 0, 0},
+                            t0[static_cast<std::size_t>(ga.tag)], ga.tag);
+          }
+          std::lock_guard lock(mu);
+          oo.add_frame(frame, box);
+          oh.add_frame(frame, box);
+          hh.add_frame(frame, box);
+        }
+      }
+      const double ke = eng.total_kinetic();
+      if (rank.rank() == 0) {
+        std::lock_guard lock(mu);
+        final_t = 2.0 * ke / (3.0 * natoms * 8.617333262e-5);
+        std::printf("(%d rebuilds, %d boundary shifts)\n",
+                    eng.rebuild_count(), eng.rebalance_count());
+      }
+    });
+    print_rdf(final_t);
+    return 0;
+  }
 
   auto pair = std::make_shared<md::PairWaterRef>();
   md::Sim sim(box, std::move(atoms), {md::kMassO, md::kMassH}, pair,
@@ -113,10 +251,6 @@ int main(int argc, char** argv) {
   double dp_us = 0.0;
   int dp_frames = 0;
 
-  const double rmax = 0.45 * box.length().x;
-  md::RdfAccumulator oo(0, 0, rmax, 60);
-  md::RdfAccumulator oh(0, 1, rmax, 60);
-  md::RdfAccumulator hh(1, 1, rmax, 60);
   for (int block = 0; block < 2 * steps / 30; ++block) {
     run_with_ckpt(10);
     oo.add_frame(sim.atoms(), box);
@@ -136,21 +270,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  AsciiTable table({"r [A]", "g_OO", "g_OH", "g_HH", "g_OO bar"});
-  table.set_title("Radial distribution functions");
-  const auto goo = oo.result();
-  const auto goh = oh.result();
-  const auto ghh = hh.result();
-  double gmax = 0.1;
-  for (const auto& p : goo) gmax = std::max(gmax, p.g);
-  for (std::size_t b = 0; b < goo.size(); b += 2) {
-    table.add_row({fmt_fix(goo[b].r, 2), fmt_fix(goo[b].g, 2),
-                   fmt_fix(goh[b].g, 2), fmt_fix(ghh[b].g, 2),
-                   ascii_bar(goo[b].g, gmax, 24)});
-  }
-  table.print();
-  std::printf("final T = %.1f K over %d frames\n", sim.thermo().temperature,
-              oo.frames());
+  print_rdf(sim.thermo().temperature);
   if (dp_frames > 0) {
     const double us = dp_us / dp_frames;
     std::printf("DP scoring (block size %d): %.0f us/frame, %.2f us/atom "

@@ -39,6 +39,14 @@ echo "== trajectory integrity: checkpoint + fault-injection suites =="
 (cd "$repo_root/build" && ctest -R 'test_checkpoint|test_faults' \
      --output-on-failure)
 
+# Load-balancing suites (ISSUE 7): the Rebalancer planner properties and
+# the oracle-pinned balanced-trajectory tests (non-uniform grids through
+# halo, migration, cadence, overlap, checkpoint/restart).  Also threaded,
+# so the --asan leg covers them.
+echo "== load balancing: rebalancer + balanced-trajectory suites =="
+(cd "$repo_root/build" && ctest -R 'test_loadbalance|test_rebalance' \
+     --output-on-failure)
+
 if [[ "$run_portable" == 1 ]]; then
   echo "== portability: -DDPMD_NATIVE=OFF build + ctest =="
   cmake -B "$repo_root/build-portable" -S "$repo_root" \

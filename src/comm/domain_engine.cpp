@@ -8,6 +8,7 @@
 
 #include "comm/geometry.hpp"
 #include "comm/wire.hpp"
+#include "loadbalance/loadbalance.hpp"
 #include "md/units.hpp"
 #include "util/error.hpp"
 
@@ -62,6 +63,12 @@ DomainConfig resolve_config(DomainConfig cfg, const simmpi::CartGrid& grid,
     const double sub = len[d] / n[d];
     const double slack = n[d] > 1 ? len[d] - sub : len[d];
     skin = std::min(skin, 0.5 * slack - rcut);
+    // Rebalancing additionally needs every initial sub-box to satisfy the
+    // planner's min-width guard, sub >= 2*(rcut+skin): cap the auto skin so
+    // the feasibility check in the constructor holds by construction.
+    if (cfg.rebalance_every > 0 && n[d] > 1) {
+      skin = std::min(skin, 0.5 * sub - rcut);
+    }
   }
   skin = std::max(0.0, skin);
   cfg.skin = -rank.allreduce_max(-skin);  // collective min
@@ -81,15 +88,28 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
       halo_(rank_, grid_, global_box_, pair_->cutoff() + cfg_.skin) {
   DPMD_REQUIRE(cfg_.skin >= 0.0 && cfg_.rebuild_every >= 1,
                "bad skin/rebuild cadence");
-  const auto c = grid_.coords_of(rank_.rank());
+  DPMD_REQUIRE(cfg_.rebalance_every >= 0 && cfg_.rebalance_damping >= 0.0 &&
+                   cfg_.rebalance_damping <= 1.0,
+               "bad rebalance cadence/damping");
   const Vec3 len = global_box_.length();
+  const int n[3] = {grid_.nx(), grid_.ny(), grid_.nz()};
+  for (int d = 0; d < 3; ++d) {
+    // lb::uniform_planes uses lo + i * (len/n) — the exact arithmetic the
+    // uniform sub-box construction has always used, so rebalancing off is
+    // bit-identical to the pre-rebalance engine.
+    planes_[static_cast<std::size_t>(d)] =
+        lb::uniform_planes(global_box_.lo[d], global_box_.hi[d], n[d]);
+    // Feasibility of the planner's min-width guard: a slab can never grow
+    // thinner than 2*(rcut+skin), so the uniform start must already be at
+    // least that wide on every split dimension.
+    DPMD_REQUIRE(cfg_.rebalance_every <= 0 || n[d] == 1 ||
+                     len[d] / n[d] + 1e-9 >=
+                         2.0 * (pair_->cutoff() + cfg_.skin),
+                 "rebalancing requires every initial sub-box to be at least "
+                 "2*(rcut+skin) wide on split dimensions");
+  }
+  set_sub_box_from_planes();
   const Vec3 sub{len.x / grid_.nx(), len.y / grid_.ny(), len.z / grid_.nz()};
-  sub_box_ = md::Box(
-      {global_box_.lo.x + c[0] * sub.x, global_box_.lo.y + c[1] * sub.y,
-       global_box_.lo.z + c[2] * sub.z},
-      {global_box_.lo.x + (c[0] + 1) * sub.x,
-       global_box_.lo.y + (c[1] + 1) * sub.y,
-       global_box_.lo.z + (c[2] + 1) * sub.z});
 
   // Symmetric peer set: every rank whose offset has a non-empty ghost
   // overlap (covers force return from multi-hop ghosts) plus the 26-cell
@@ -113,6 +133,59 @@ DomainEngine::DomainEngine(simmpi::Rank& rank, const simmpi::CartGrid& grid,
   peers.erase(std::remove(peers.begin(), peers.end(), rank_.rank()),
               peers.end());
   exchange_peers_ = std::move(peers);
+}
+
+void DomainEngine::set_sub_box_from_planes() {
+  const auto c = grid_.coords_of(rank_.rank());
+  sub_box_ = md::Box({planes_[0][static_cast<std::size_t>(c[0])],
+                      planes_[1][static_cast<std::size_t>(c[1])],
+                      planes_[2][static_cast<std::size_t>(c[2])]},
+                     {planes_[0][static_cast<std::size_t>(c[0]) + 1],
+                      planes_[1][static_cast<std::size_t>(c[1]) + 1],
+                      planes_[2][static_cast<std::size_t>(c[2]) + 1]});
+}
+
+int DomainEngine::slab_of(int d, double x) const {
+  const auto& p = planes_[static_cast<std::size_t>(d)];
+  const int n = static_cast<int>(p.size()) - 1;
+  const int i =
+      static_cast<int>(std::upper_bound(p.begin(), p.end(), x) - p.begin()) -
+      1;
+  return std::clamp(i, 0, n - 1);
+}
+
+void DomainEngine::maybe_rebalance() {
+  // The expiry decision must be collective without a message:
+  // steps_since_balance_ advances in lockstep on every rank and rebuild
+  // steps are collectively agreed, so every rank reaches the allgather
+  // below together (or none does).
+  if (cfg_.rebalance_every <= 0 ||
+      steps_since_balance_ < cfg_.rebalance_every) {
+    return;
+  }
+  steps_since_balance_ = 0;
+  // Measured cost: this rank's pair-phase seconds since the last balance
+  // event (clamped at 0 in case a caller reset the timer registry
+  // mid-window).
+  const double pair_s = timers_.total("pair");
+  const double cost = std::max(0.0, pair_s - pair_mark_);
+  pair_mark_ = pair_s;
+  const auto costs = rank_.allgather(cost);
+  // plan() is a pure function of (planes, costs) and every rank holds the
+  // identical allgathered vector, so all ranks derive the same geometry.
+  lb::RebalanceConfig rcfg;
+  rcfg.damping = cfg_.rebalance_damping;
+  rcfg.min_width = 2.0 * (pair_->cutoff() + cfg_.skin);
+  const lb::Rebalancer planner({grid_.nx(), grid_.ny(), grid_.nz()}, rcfg);
+  auto next = planner.plan(planes_, costs);
+  if (next == planes_) return;  // balanced (or nothing measured): no event
+  planes_ = std::move(next);
+  set_sub_box_from_planes();
+  ++rebalances_;
+  // The caller (the rebuild branch) now migrates onto the new geometry and
+  // re-records the halo plan; min_width >= 2*(rcut+skin) bounds the plane
+  // move to under half the neighboring slab, so one migration through the
+  // 26-cell shell always suffices.
 }
 
 void DomainEngine::seed(const std::vector<Vec3>& x, const std::vector<Vec3>& v,
@@ -144,15 +217,11 @@ void DomainEngine::migrate() {
                      atoms_.tag[static_cast<std::size_t>(i)]);
       continue;
     }
-    const Vec3 rel = p - global_box_.lo;
-    const Vec3 len = global_box_.length();
-    const int cx = std::min(grid_.nx() - 1,
-                            static_cast<int>(rel.x / len.x * grid_.nx()));
-    const int cy = std::min(grid_.ny() - 1,
-                            static_cast<int>(rel.y / len.y * grid_.ny()));
-    const int cz = std::min(grid_.nz() - 1,
-                            static_cast<int>(rel.z / len.z * grid_.nz()));
-    const int owner = grid_.rank_of(cx, cy, cz);
+    // Owner lookup searches the decomposition planes — the same values
+    // Box::contains compares against — so ownership and membership can
+    // never disagree, uniform grid or not.
+    const int owner = grid_.rank_of(slab_of(0, p.x), slab_of(1, p.y),
+                                    slab_of(2, p.z));
     const auto it = outbox.find(owner);
     DPMD_REQUIRE(it != outbox.end(),
                  "atom migrated beyond the exchange shell in one step");
@@ -472,10 +541,15 @@ void DomainEngine::step() {
   // Rebuild cadence: the fixed-interval check and the plan validity are
   // deterministic and rank-synchronized; the drift check is collective.
   ++steps_since_build_;
+  ++steps_since_balance_;
   bool rebuild = cfg_.rebuild_every <= 1 ||
                  steps_since_build_ >= cfg_.rebuild_every || !plan_.recorded;
   if (!rebuild && cfg_.rebuild_on_drift) rebuild = drift_exceeds_skin();
   if (rebuild) {
+    // Boundary shift first (ISSUE 7), so the migration below hands atoms
+    // over to the new geometry and the exchange records the halo plan on
+    // it — the shift rides the normal rebuild path end to end.
+    maybe_rebalance();
     migrate();
     exchange_and_compute();
   } else {
@@ -529,6 +603,14 @@ void DomainEngine::save_checkpoint(ckpt::Writer& w) const {
   w.scalar(cfg_.dt_fs);
   w.scalar(cfg_.skin);
   w.scalar(cfg_.rebuild_every);
+  w.scalar(cfg_.rebalance_every);
+  w.scalar(steps_since_balance_);
+  w.scalar(rebalances_);
+  // The decomposition planes ARE the balanced geometry: restoring them is
+  // what lets a restart resume a non-uniform grid mid-balance.
+  w.vec(planes_[0]);
+  w.vec(planes_[1]);
+  w.vec(planes_[2]);
   w.scalar(steps_done_);
   w.scalar(steps_since_build_);
   w.scalar(rebuilds_);
@@ -566,6 +648,27 @@ void DomainEngine::restore_checkpoint(ckpt::Reader& r) {
                ctx("checkpoint skin differs from this engine's"));
   DPMD_REQUIRE(r.scalar<int>() == cfg_.rebuild_every,
                ctx("checkpoint rebuild cadence differs from this engine's"));
+  DPMD_REQUIRE(r.scalar<int>() == cfg_.rebalance_every,
+               ctx("checkpoint rebalance cadence differs from this engine's"));
+  steps_since_balance_ = r.scalar<int>();
+  rebalances_ = r.scalar<int>();
+  for (int d = 0; d < 3; ++d) {
+    auto p = r.vec<double>();
+    auto& cur = planes_[static_cast<std::size_t>(d)];
+    DPMD_REQUIRE(p.size() == cur.size(),
+                 ctx("checkpoint plane count does not match the rank grid"));
+    DPMD_REQUIRE(std::is_sorted(p.begin(), p.end()),
+                 ctx("checkpoint planes are not sorted"));
+    // The end planes never move, so they must be bit-equal to the ones the
+    // constructor derived from the (already validated) global box.
+    DPMD_REQUIRE(p.front() == cur.front() && p.back() == cur.back(),
+                 ctx("checkpoint plane endpoints differ from the global box"));
+    cur = std::move(p);
+  }
+  set_sub_box_from_planes();
+  // Re-arm the measurement window at the current timer total: the seconds
+  // accumulated before the restore belong to the discarded trajectory.
+  pair_mark_ = timers_.total("pair");
   steps_done_ = r.scalar<int>();
   steps_since_build_ = r.scalar<int>();
   rebuilds_ = r.scalar<int>();

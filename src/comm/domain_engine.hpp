@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -63,6 +64,24 @@ struct DomainConfig {
   /// is collective (allreduce over the per-rank scans), so every rank
   /// rewinds to its snapshot of the same step together.
   md::HealthConfig health;
+
+  /// Workload-aware dynamic load balancing (ISSUE 7, paper §III-C /
+  /// Fig. 10): every `rebalance_every` steps the engine allgathers each
+  /// rank's measured pair-phase seconds since the last balance and, on the
+  /// next *rebuild* step, shifts the decomposition planes toward equal
+  /// cost (lb::Rebalancer) before the migration runs — so the boundary
+  /// shift rides the normal rebuild path: migration hands the atoms over,
+  /// the full exchange re-records the halo plan on the new geometry, and
+  /// cadence/overlap/checkpointing never see anything but a rebuild.
+  /// 0 = off: the grid stays uniform and the engine is bit-identical to
+  /// the pre-rebalance one.  Requires every initial sub-box to be at
+  /// least 2*(rcut+skin) wide on split dimensions (the planner's
+  /// min-width guard; also what keeps the halo at one layer per
+  /// dimension on any balanced geometry).
+  int rebalance_every = 0;
+  /// Fraction of the ideal (equal-cost) plane move applied per balance
+  /// event; see lb::RebalanceConfig::damping.  0 freezes the grid.
+  double rebalance_damping = 0.5;
 };
 
 /// Distributed MD engine: the LAMMPS-style main loop running on a simmpi
@@ -96,6 +115,13 @@ class DomainEngine {
   /// Full rebuilds (migrate + exchange + list build) performed, including
   /// the setup one; steps in between ran the position-only refresh.
   int rebuild_count() const { return rebuilds_; }
+  /// Applied boundary shifts (rebalance events that actually moved a
+  /// plane); 0 with rebalancing off or on a perfectly balanced system.
+  int rebalance_count() const { return rebalances_; }
+  /// Decomposition planes per dimension: planes()[d] has grid_n(d) + 1
+  /// sorted entries; slab i of dimension d spans planes()[d][i] ..
+  /// planes()[d][i+1].  Uniform until a rebalance event moves them.
+  const std::array<std::vector<double>, 3>& planes() const { return planes_; }
   double local_pe() const { return pe_; }
   /// Last step's interior/boundary split (staged mode; empty otherwise).
   const md::StagePartition& partition() const { return partition_; }
@@ -139,6 +165,17 @@ class DomainEngine {
   const IncidentLog& incidents() const { return incidents_; }
 
  private:
+  /// Recomputes sub_box_ from planes_ and this rank's grid coordinates.
+  void set_sub_box_from_planes();
+  /// Slab index of coordinate x along dimension d (plane binary search,
+  /// clamped to the grid) — the same comparisons Box::contains uses, so
+  /// migration ownership and sub-box membership can never disagree.
+  int slab_of(int d, double x) const;
+  /// Rebalance window expiry check + the collective boundary shift
+  /// (allgather pair-phase seconds, plan, move planes).  Called at the top
+  /// of every rebuild step; a no-op unless cfg_.rebalance_every has
+  /// elapsed since the last balance.
+  void maybe_rebalance();
   void migrate();
   /// Snapshot the locals into dom_ (the halo wire format).
   void fill_local_domain();
@@ -166,6 +203,12 @@ class DomainEngine {
   simmpi::Rank& rank_;
   const simmpi::CartGrid& grid_;
   md::Box global_box_;
+  /// Decomposition planes per dimension (size grid_n(d) + 1, end planes
+  /// pinned to the global box).  Uniform at construction; rebalance
+  /// events move the interior planes.  sub_box_ is always derived from
+  /// these, and migration owner lookup searches them — one source of
+  /// truth for the (possibly non-uniform) geometry.
+  std::array<std::vector<double>, 3> planes_;
   md::Box sub_box_;
   std::vector<double> masses_;
   std::shared_ptr<md::Pair> pair_;
@@ -191,6 +234,13 @@ class DomainEngine {
   int steps_done_ = 0;
   int steps_since_build_ = 0;
   int rebuilds_ = 0;
+  // Rebalance bookkeeping (ISSUE 7): steps since the last balance event
+  // advances in lockstep on every rank (so the expiry decision is
+  // collective without a message), and pair_mark_ is the "pair" timer
+  // total at the last event — the measurement window is the delta.
+  int steps_since_balance_ = 0;
+  int rebalances_ = 0;
+  double pair_mark_ = 0.0;
   bool forces_ready_ = false;
   TimerRegistry timers_;
 

@@ -54,6 +54,116 @@ std::vector<double> pair_times(const std::vector<int>& atoms_per_rank,
   return times;
 }
 
+std::vector<double> uniform_planes(double lo, double hi, int n) {
+  DPMD_REQUIRE(n > 0 && hi > lo, "degenerate axis");
+  const double sub = (hi - lo) / n;
+  std::vector<double> planes(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    planes[static_cast<std::size_t>(i)] = lo + i * sub;
+  }
+  return planes;
+}
+
+Rebalancer::Rebalancer(const std::array<int, 3>& rank_grid,
+                       RebalanceConfig cfg)
+    : n_(rank_grid), cfg_(cfg) {
+  DPMD_REQUIRE(n_[0] > 0 && n_[1] > 0 && n_[2] > 0, "empty rank grid");
+  DPMD_REQUIRE(cfg_.damping >= 0.0 && cfg_.damping <= 1.0,
+               "rebalance damping must lie in [0, 1]");
+  DPMD_REQUIRE(cfg_.min_width >= 0.0, "negative min slab width");
+}
+
+std::vector<double> Rebalancer::slab_costs(
+    int d, const std::vector<double>& cost) const {
+  const std::size_t nranks = static_cast<std::size_t>(n_[0]) * n_[1] * n_[2];
+  DPMD_REQUIRE(cost.size() == nranks, "cost vector does not match rank grid");
+  std::vector<double> w(static_cast<std::size_t>(n_[d]), 0.0);
+  std::size_t r = 0;
+  for (int x = 0; x < n_[0]; ++x) {
+    for (int y = 0; y < n_[1]; ++y) {
+      for (int z = 0; z < n_[2]; ++z, ++r) {
+        const int slab = d == 0 ? x : (d == 1 ? y : z);
+        w[static_cast<std::size_t>(slab)] += cost[r];
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<double> Rebalancer::plan_dim(
+    const std::vector<double>& planes,
+    const std::vector<double>& slab_cost) const {
+  const int n = static_cast<int>(slab_cost.size());
+  DPMD_REQUIRE(static_cast<int>(planes.size()) == n + 1,
+               "plane array does not match slab count");
+  if (n <= 1) return planes;
+  double total = 0.0;
+  for (const double c : slab_cost) {
+    DPMD_REQUIRE(c >= 0.0, "negative slab cost");
+    total += c;
+  }
+  if (total <= 0.0) return planes;  // nothing measured: keep the grid
+
+  // Piecewise-linear cumulative cost along the axis, sampled at the old
+  // planes (uniform cost density within a slab).
+  std::vector<double> cum(planes.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    cum[static_cast<std::size_t>(i) + 1] =
+        cum[static_cast<std::size_t>(i)] + slab_cost[static_cast<std::size_t>(i)];
+  }
+
+  std::vector<double> out = planes;
+  for (int k = 1; k < n; ++k) {
+    // Ideal plane k: the k/n cost quantile.  The bracketing slab always
+    // has positive cost (cum[j] <= target < cum[j+1]), so the
+    // interpolation below never divides by zero.
+    const double target = total * k / n;
+    int j = static_cast<int>(std::upper_bound(cum.begin(), cum.end(), target) -
+                             cum.begin()) -
+            1;
+    j = std::clamp(j, 0, n - 1);
+    const double wj = slab_cost[static_cast<std::size_t>(j)];
+    const double ideal =
+        wj > 0.0
+            ? planes[static_cast<std::size_t>(j)] +
+                  (target - cum[static_cast<std::size_t>(j)]) / wj *
+                      (planes[static_cast<std::size_t>(j) + 1] -
+                       planes[static_cast<std::size_t>(j)])
+            : planes[static_cast<std::size_t>(j) + 1];
+    const double damped = planes[static_cast<std::size_t>(k)] +
+                          cfg_.damping *
+                              (ideal - planes[static_cast<std::size_t>(k)]);
+    // Guard rails, both measured against the OLD planes so every interior
+    // plane is clamped independently: each side of the move may consume at
+    // most half of the adjacent slab's width above min_width.  That keeps
+    // every new width >= min_width and every new plane strictly between
+    // its old neighbors (ownership changes by at most one slab).
+    const double room_left =
+        std::max(0.0, planes[static_cast<std::size_t>(k)] -
+                          planes[static_cast<std::size_t>(k) - 1] -
+                          cfg_.min_width);
+    const double room_right =
+        std::max(0.0, planes[static_cast<std::size_t>(k) + 1] -
+                          planes[static_cast<std::size_t>(k)] -
+                          cfg_.min_width);
+    out[static_cast<std::size_t>(k)] =
+        std::clamp(damped,
+                   planes[static_cast<std::size_t>(k)] - 0.5 * room_left,
+                   planes[static_cast<std::size_t>(k)] + 0.5 * room_right);
+  }
+  return out;
+}
+
+Planes Rebalancer::plan(const Planes& planes,
+                        const std::vector<double>& cost) const {
+  Planes out;
+  for (int d = 0; d < 3; ++d) {
+    out[static_cast<std::size_t>(d)] =
+        plan_dim(planes[static_cast<std::size_t>(d)], slab_costs(d, cost));
+  }
+  return out;
+}
+
 namespace {
 template <class T>
 Spread spread_impl(const std::vector<T>& values) {

@@ -27,13 +27,78 @@ std::vector<int> balance_within_nodes(const std::vector<int>& per_rank,
 /// noise, cache contention — the residual variance the paper notes stays
 /// even after balancing).
 struct PairTimeModel {
-  double per_atom_cost_s = 3.5e-3;  ///< matches Table III's ~0.04 s scale
+  /// Per-atom pair cost in seconds.  At Table III's ~12 atoms/rank this
+  /// puts the *rank* pair time on the table's ~0.04 s scale
+  /// (12 x 3.5e-3 s = 0.042 s); the per-atom value itself is three
+  /// orders below that scale.
+  double per_atom_cost_s = 3.5e-3;
   double jitter_frac = 0.03;
   uint64_t seed = 99;
 };
 
 std::vector<double> pair_times(const std::vector<int>& atoms_per_rank,
                                const PairTimeModel& model);
+
+/// Per-dimension plane positions of an orthogonal rank-grid decomposition:
+/// planes[d] has n_d + 1 sorted entries, planes[d][i]..planes[d][i+1] being
+/// slab i of dimension d.  The end planes are the global box faces and
+/// never move.
+using Planes = std::array<std::vector<double>, 3>;
+
+/// The uniform decomposition of [lo, lo + (hi-lo)] into n slabs, computed
+/// as lo + i * ((hi - lo) / n) — the exact arithmetic DomainEngine has
+/// always used for its sub-boxes, so a Rebalancer-managed engine that
+/// never shifts a plane is bit-identical to the uniform-grid engine.
+std::vector<double> uniform_planes(double lo, double hi, int n);
+
+/// Workload-aware boundary-shift planner (ISSUE 7, paper §III-C / Fig. 10
+/// lineage): maps measured per-rank cost to new decomposition plane
+/// positions that move work off overloaded slabs.
+struct RebalanceConfig {
+  /// Fraction of the ideal (equal-cost) plane move applied per event.
+  /// 0 = never move (the uniform grid), 1 = jump straight to the
+  /// equal-cost quantiles (subject to the guard rails below).
+  double damping = 0.5;
+  /// Hard floor on slab width.  The engine passes 2*(rcut+skin): a slab at
+  /// least that wide keeps the halo at one forwarding layer per dimension
+  /// on every rank and keeps single-step migration inside the 26-cell
+  /// exchange shell.
+  double min_width = 0.0;
+};
+
+/// Plans plane moves from per-rank cost.  plan() is a pure function of its
+/// arguments — every rank feeds it the same allgathered cost vector and
+/// derives the identical decomposition, so no plane ever needs to travel
+/// over the wire.
+///
+/// Per dimension: rank costs are summed into per-slab costs, the
+/// cumulative cost along the axis is treated as piecewise linear (uniform
+/// cost density within a slab), and the ideal position of interior plane k
+/// is the k/n cost quantile — the recursive-bisection split point of the
+/// axis.  The damped move toward it is then clamped so that (a) no slab
+/// drops below min_width and (b) no plane crosses an *old* neighbor plane,
+/// which bounds any atom's ownership change to one slab per event.
+class Rebalancer {
+ public:
+  Rebalancer(const std::array<int, 3>& rank_grid, RebalanceConfig cfg);
+
+  /// `cost`: one entry per rank, laid out like simmpi::CartGrid::rank_of
+  /// ((x * ny + y) * nz + z).  Returns the new planes; dimensions with one
+  /// slab (or zero total cost) come back unchanged.
+  Planes plan(const Planes& planes, const std::vector<double>& cost) const;
+
+  /// Per-slab cost along dimension d (sum over the slab's ranks).
+  std::vector<double> slab_costs(int d, const std::vector<double>& cost) const;
+
+  const RebalanceConfig& config() const { return cfg_; }
+
+ private:
+  std::vector<double> plan_dim(const std::vector<double>& planes,
+                               const std::vector<double>& slab_cost) const;
+
+  std::array<int, 3> n_;
+  RebalanceConfig cfg_;
+};
 
 /// Table III row: min / avg / max / SDMR of a per-rank series.
 struct Spread {

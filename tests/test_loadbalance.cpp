@@ -112,6 +112,156 @@ TEST(NodeBoxLayout, EvenSplitAcross48Threads) {
   EXPECT_EQ(busiest, 1);  // 46 atoms over 48 threads
 }
 
+// ---------------------------------------------------------- rebalancer ----
+
+// Property tests for the boundary-shift planner that DomainEngine drives
+// (ISSUE 7).  The engine-level behavior (trajectory oracle, conservation,
+// checkpointing) lives in test_rebalance.cpp; these pin the planner math.
+
+lb::Planes uniform3(double lo, double hi, const std::array<int, 3>& n) {
+  return {lb::uniform_planes(lo, hi, n[0]), lb::uniform_planes(lo, hi, n[1]),
+          lb::uniform_planes(lo, hi, n[2])};
+}
+
+TEST(Rebalancer, IdempotentOnBalancedCost) {
+  // Equal cost everywhere: every quantile target lands exactly on its old
+  // plane, so the planner is a fixed point — no drift on balanced systems.
+  const std::array<int, 3> grid = {4, 2, 1};
+  const lb::Rebalancer reb(grid, {.damping = 1.0, .min_width = 2.0});
+  const auto planes = uniform3(0.0, 40.0, grid);
+  const std::vector<double> cost(8, 3.25);
+  EXPECT_EQ(reb.plan(planes, cost), planes);
+}
+
+TEST(Rebalancer, MonotoneCostMonotoneShift) {
+  // More cost on the low-x side pulls every x-plane down (shrinking the
+  // overloaded slabs); a heavier high side pushes them up.  Other
+  // dimensions are untouched when their slab sums stay equal.
+  const std::array<int, 3> grid = {4, 1, 1};
+  const lb::Rebalancer reb(grid, {.damping = 0.5, .min_width = 1.0});
+  const auto planes = uniform3(0.0, 40.0, grid);
+  const std::vector<double> heavy_low = {8.0, 4.0, 2.0, 1.0};
+  const std::vector<double> heavy_high = {1.0, 2.0, 4.0, 8.0};
+  const auto down = reb.plan(planes, heavy_low);
+  const auto up = reb.plan(planes, heavy_high);
+  for (int k = 1; k < 4; ++k) {
+    EXPECT_LT(down[0][k], planes[0][k]) << "plane " << k;
+    EXPECT_GT(up[0][k], planes[0][k]) << "plane " << k;
+  }
+  EXPECT_EQ(down[1], planes[1]);
+  EXPECT_EQ(down[2], planes[2]);
+}
+
+TEST(Rebalancer, InvariantToCostScaling) {
+  // Only relative cost matters: microseconds and hours plan the same grid.
+  const std::array<int, 3> grid = {3, 2, 1};
+  const lb::Rebalancer reb(grid, {.damping = 0.7, .min_width = 1.5});
+  const auto planes = uniform3(0.0, 30.0, grid);
+  std::vector<double> cost = {5.0, 1.0, 2.0, 9.0, 4.0, 3.0};
+  const auto a = reb.plan(planes, cost);
+  for (double& c : cost) c *= 3600.0 * 1e6;
+  const auto b = reb.plan(planes, cost);
+  for (int d = 0; d < 3; ++d) {
+    ASSERT_EQ(a[d].size(), b[d].size());
+    for (std::size_t k = 0; k < a[d].size(); ++k) {
+      EXPECT_NEAR(a[d][k], b[d][k], 1e-12);
+    }
+  }
+}
+
+TEST(Rebalancer, MinWidthGuardUnderExtremeImbalance) {
+  // All cost on one rank, damping 1, iterated: the greedy quantile target
+  // wants a degenerate slab, the guard must keep every width >= min_width.
+  const std::array<int, 3> grid = {4, 2, 2};
+  const double min_w = 8.0;  // 2*(rcut+skin) in engine terms
+  const lb::Rebalancer reb(grid, {.damping = 1.0, .min_width = min_w});
+  auto planes = uniform3(0.0, 64.0, grid);
+  std::vector<double> cost(16, 1e-6);
+  cost[0] = 1e3;  // rank (0,0,0) dominates
+  for (int iter = 0; iter < 50; ++iter) {
+    planes = reb.plan(planes, cost);
+    for (int d = 0; d < 3; ++d) {
+      for (std::size_t k = 0; k + 1 < planes[d].size(); ++k) {
+        ASSERT_GE(planes[d][k + 1] - planes[d][k], min_w - 1e-9)
+            << "dim " << d << " slab " << k << " iter " << iter;
+        ASSERT_LT(planes[d][k], planes[d][k + 1]);
+      }
+    }
+  }
+}
+
+TEST(Rebalancer, PlaneStaysBetweenOldNeighbors) {
+  // One balance event moves a plane by at most half the adjacent slab: no
+  // atom's owner changes by more than one slab per event, which is what
+  // keeps migration inside the 26-cell exchange shell.
+  const std::array<int, 3> grid = {5, 1, 1};
+  const lb::Rebalancer reb(grid, {.damping = 1.0, .min_width = 0.0});
+  const auto planes = uniform3(0.0, 50.0, grid);
+  const std::vector<double> cost = {100.0, 1e-9, 1e-9, 1e-9, 1e-9};
+  const auto out = reb.plan(planes, cost);
+  for (int k = 1; k < 5; ++k) {
+    EXPECT_GT(out[0][k], planes[0][k - 1]);
+    EXPECT_LT(out[0][k], planes[0][k + 1]);
+  }
+}
+
+TEST(Rebalancer, DeterministicAcrossRanks) {
+  // plan() is a pure function: every rank feeds it the same allgathered
+  // cost vector and must derive the bit-identical decomposition.
+  const std::array<int, 3> grid = {4, 3, 2};
+  const lb::Rebalancer a(grid, {.damping = 0.6, .min_width = 2.5});
+  const lb::Rebalancer b(grid, {.damping = 0.6, .min_width = 2.5});
+  const auto planes = uniform3(-10.0, 50.0, grid);
+  std::vector<double> cost(24);
+  for (std::size_t r = 0; r < cost.size(); ++r) {
+    cost[r] = 1.0 + 0.37 * static_cast<double>((r * 7919) % 13);
+  }
+  const auto pa = a.plan(planes, cost);
+  const auto pb = b.plan(planes, cost);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(pa[d], pb[d]);  // bit-exact, not approximate
+  }
+}
+
+TEST(Rebalancer, DampingZeroFreezesAndScalesTheMove) {
+  const std::array<int, 3> grid = {2, 1, 1};
+  const auto planes = uniform3(0.0, 20.0, grid);
+  const std::vector<double> cost = {3.0, 1.0};
+  const lb::Rebalancer frozen(grid, {.damping = 0.0, .min_width = 0.0});
+  EXPECT_EQ(frozen.plan(planes, cost), planes);
+  // The damped move is linear in damping until a guard rail clips it.
+  const lb::Rebalancer half(grid, {.damping = 0.25, .min_width = 0.0});
+  const lb::Rebalancer full(grid, {.damping = 0.5, .min_width = 0.0});
+  const double d_half = half.plan(planes, cost)[0][1] - planes[0][1];
+  const double d_full = full.plan(planes, cost)[0][1] - planes[0][1];
+  EXPECT_NEAR(d_full, 2.0 * d_half, 1e-12);
+  EXPECT_LT(d_full, 0.0);  // heavier low side pulls the plane down
+}
+
+TEST(Rebalancer, ZeroCostKeepsTheGrid) {
+  // Nothing measured (e.g. the very first window): keep the grid rather
+  // than dividing by zero or moving planes on noise.
+  const std::array<int, 3> grid = {4, 4, 1};
+  const lb::Rebalancer reb(grid, {.damping = 1.0, .min_width = 1.0});
+  const auto planes = uniform3(0.0, 32.0, grid);
+  EXPECT_EQ(reb.plan(planes, std::vector<double>(16, 0.0)), planes);
+}
+
+TEST(Rebalancer, SlabCostsSumRanksByGridLayout) {
+  // cost is laid out like CartGrid::rank_of: (x*ny + y)*nz + z.
+  const std::array<int, 3> grid = {2, 2, 2};
+  const lb::Rebalancer reb(grid, {});
+  std::vector<double> cost(8);
+  for (std::size_t r = 0; r < 8; ++r) cost[r] = static_cast<double>(1 << r);
+  const auto wx = reb.slab_costs(0, cost);
+  ASSERT_EQ(wx.size(), 2u);
+  EXPECT_DOUBLE_EQ(wx[0], 1 + 2 + 4 + 8);      // ranks 0..3 are x=0
+  EXPECT_DOUBLE_EQ(wx[1], 16 + 32 + 64 + 128);  // ranks 4..7 are x=1
+  const auto wz = reb.slab_costs(2, cost);
+  EXPECT_DOUBLE_EQ(wz[0], 1 + 4 + 16 + 64);    // even ranks are z=0
+  EXPECT_DOUBLE_EQ(wz[1], 2 + 8 + 32 + 128);
+}
+
 // --------------------------------------------------------------- perf ----
 
 TEST(PerfModel, VariantLadderMonotone) {
