@@ -12,6 +12,7 @@
 // numbers are build-health numbers, not measurements.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "md/lattice.hpp"
 #include "md/pair_water_ref.hpp"
 #include "md/sim.hpp"
+#include "tofu/mempool.hpp"
 #include "util/checkpoint.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
@@ -451,6 +453,60 @@ CkptBench bench_checkpoint(int steps, int cadence) {
   return out;
 }
 
+/// Serving-arena rung (ISSUE 8): the per-job scratch pattern of the serve
+/// subsystem — a concatenated gang force buffer plus node-based tag->slot
+/// bookkeeping — allocated per job on the fresh heap vs re-bumped through
+/// a warm tofu::BumpArena.  The contiguous buffers are a wash (malloc's
+/// tcache handles repeated same-size blocks well); the map nodes are where
+/// the bump allocator's constant-time alloc + wholesale reclaim pays.
+struct MempoolBench {
+  double heap_ns_per_job = 0.0;
+  double arena_ns_per_job = 0.0;
+  double speedup = 0.0;
+};
+
+MempoolBench bench_mempool(int jobs) {
+  constexpr int kGangAtoms = 1024;  // concatenated locals + ghosts
+  constexpr int kTags = 64;         // per-gang tag->slot bookkeeping
+  MempoolBench out;
+  double sink = 0.0;
+  {
+    Stopwatch sw;
+    for (int j = 0; j < jobs; ++j) {
+      std::vector<Vec3> fbuf(kGangAtoms, Vec3{});
+      std::map<int, double> slot_energy;
+      for (int i = 0; i < kTags; ++i) {
+        slot_energy[(i * 7 + j) % kTags] = i;
+      }
+      fbuf[kGangAtoms - 1].x += slot_energy.begin()->second + j;
+      sink += fbuf[kGangAtoms - 1].x;
+    }
+    out.heap_ns_per_job = sw.elapsed_us() * 1e3 / jobs;
+  }
+  {
+    tofu::BumpArena arena(std::size_t{1} << 20);
+    using ArenaMap = std::map<int, double, std::less<int>,
+                              tofu::ArenaAllocator<std::pair<const int, double>>>;
+    Stopwatch sw;
+    for (int j = 0; j < jobs; ++j) {
+      std::vector<Vec3, tofu::ArenaAllocator<Vec3>> fbuf(
+          kGangAtoms, Vec3{}, tofu::ArenaAllocator<Vec3>(arena));
+      ArenaMap slot_energy{
+          tofu::ArenaAllocator<std::pair<const int, double>>(arena)};
+      for (int i = 0; i < kTags; ++i) {
+        slot_energy[(i * 7 + j) % kTags] = i;
+      }
+      fbuf[kGangAtoms - 1].x += slot_energy.begin()->second + j;
+      sink += fbuf[kGangAtoms - 1].x;
+      arena.reset();
+    }
+    out.arena_ns_per_job = sw.elapsed_us() * 1e3 / jobs;
+  }
+  if (sink == 12345.6789) std::printf("\n");  // defeat dead-code elimination
+  out.speedup = out.heap_ns_per_job / out.arena_ns_per_job;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -557,6 +613,10 @@ int main(int argc, char** argv) {
       smoke ? bench::measure_rebalance_ab(2, 1, 1, 7, 7, 4, 10, 10, 1)
             : bench::measure_rebalance_ab(2, 1, 1, 7, 7, 4, 30, 40, 2);
 
+  // ISSUE 8 rung: per-job arena scratch vs fresh heap (the serving
+  // subsystem's allocation pattern).
+  const MempoolBench mem = bench_mempool(smoke ? 2000 : 20000);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -661,6 +721,13 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"imbalance_excess_ratio\": %.4f,\n",
                reb.excess_ratio);
   std::fprintf(f, "    \"rebalances\": %d\n", reb.balanced.rebalances);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"mempool\": {\n");
+  std::fprintf(f, "    \"pattern\": \"per-job gang scratch: 1024 Vec3 force "
+                  "buffer + 64-node tag->slot map\",\n");
+  std::fprintf(f, "    \"heap_ns_per_job\": %.1f,\n", mem.heap_ns_per_job);
+  std::fprintf(f, "    \"arena_ns_per_job\": %.1f,\n", mem.arena_ns_per_job);
+  std::fprintf(f, "    \"speedup\": %.2f\n", mem.speedup);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -698,6 +765,9 @@ int main(int argc, char** argv) {
                 c.rebuild_every, c.skin, c.us_per_step, c.rebuilds, c.steps,
                 c.halo_us, c.neigh_us, c.pair_us);
   }
+  std::printf("job-scratch mempool: %.0f ns/job heap, %.0f ns/job arena "
+              "(%.2fx)\n",
+              mem.heap_ns_per_job, mem.arena_ns_per_job, mem.speedup);
   std::printf("checkpoint (cadence %d): %zu bytes, %.0f us/write, "
               "%.1f -> %.1f us/step (%.2f%% overhead)\n",
               ckpt.cadence, ckpt.bytes, ckpt.write_us, ckpt.base_us_per_step,

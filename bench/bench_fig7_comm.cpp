@@ -3,11 +3,18 @@
 //
 // Bars (as in the paper): baseline (MPI 3-stage) | 3stage-utofu | p2p-utofu
 // | lb-1l | lb-2l | lb-4l | sg-lb-4l | ref-4l, all normalized to baseline.
+//
+//   usage: bench_fig7_comm [--json=PATH]
+//
+// --json writes the per-case lb-4l numbers as a `"comm_fig7": {...}` JSON
+// fragment (no outer braces) for bench/run_bench.sh to assemble into
+// BENCH_comm_mempool.json.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "comm/plans.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace dpmd;
@@ -29,8 +36,15 @@ struct Bar {
   double paper_rel;  ///< the paper's normalized value for this bar
 };
 
-void run_case(const char* label, double qx, double qy, double qz, double rcut,
-              const std::vector<double>& paper) {
+struct CaseResult {
+  std::string label;
+  double lb4l_rel = 0.0;      ///< model lb-4l time / baseline
+  double lb4l_paper = 0.0;    ///< paper's Fig. 7 bar for lb-4l
+  double reduction = 0.0;     ///< 1 - lb4l_rel
+};
+
+CaseResult run_case(const char* label, double qx, double qy, double qz,
+                    double rcut, const std::vector<double>& paper) {
   const auto geom = geometry(qx, qy, qz, rcut);
   const tofu::MachineParams mp;
 
@@ -91,11 +105,13 @@ void run_case(const char* label, double qx, double qy, double qz, double rcut,
   std::printf("  node-based (lb-4l) reduces communication by %.0f%%"
               " (paper headline: 81%% in the strong-scaling cases)\n\n",
               reduction * 100.0);
+  return {label, bars[5].time_s / base, paper[5], reduction};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
   std::printf("=== Fig. 7: step-by-step communication results (model) ===\n"
               "Schemes are evaluated on the TofuD network model with the\n"
               "same message counts/sizes/phases as the real exchanges;\n"
@@ -103,17 +119,40 @@ int main() {
               "tests/test_comm.cpp.\n\n");
 
   // Paper-normalized values read from Fig. 7 bars.
-  run_case("cut-8  [1,1,1]rcut", 1, 1, 1, 8.0,
-           {1.00, 0.44, 0.44, 0.90, 0.69, 0.71, 0.74, 0.67});
-  run_case("cut-8  [0.5,0.5,1]rcut", 0.5, 0.5, 1, 8.0,
-           {1.00, 0.37, 0.43, 0.28, 0.21, 0.21, 0.22, 0.21});
-  run_case("cut-8  [0.5,0.5,0.5]rcut", 0.5, 0.5, 0.5, 8.0,
-           {1.00, 0.31, 0.46, 0.32, 0.20, 0.19, 0.24, 0.19});
-  run_case("cut-10 [1,1,1]rcut", 1, 1, 1, 10.0,
-           {1.00, 0.51, 0.51, 1.07, 0.82, 0.84, 0.88, 0.79});
-  run_case("cut-10 [0.5,0.5,1]rcut", 0.5, 0.5, 1, 10.0,
-           {1.00, 0.42, 0.51, 0.31, 0.23, 0.23, 0.26, 0.23});
-  run_case("cut-10 [0.5,0.5,0.5]rcut", 0.5, 0.5, 0.5, 10.0,
-           {1.00, 0.34, 0.48, 0.29, 0.21, 0.20, 0.22, 0.21});
+  std::vector<CaseResult> cases;
+  cases.push_back(run_case("cut-8  [1,1,1]rcut", 1, 1, 1, 8.0,
+                           {1.00, 0.44, 0.44, 0.90, 0.69, 0.71, 0.74, 0.67}));
+  cases.push_back(run_case("cut-8  [0.5,0.5,1]rcut", 0.5, 0.5, 1, 8.0,
+                           {1.00, 0.37, 0.43, 0.28, 0.21, 0.21, 0.22, 0.21}));
+  cases.push_back(run_case("cut-8  [0.5,0.5,0.5]rcut", 0.5, 0.5, 0.5, 8.0,
+                           {1.00, 0.31, 0.46, 0.32, 0.20, 0.19, 0.24, 0.19}));
+  cases.push_back(run_case("cut-10 [1,1,1]rcut", 1, 1, 1, 10.0,
+                           {1.00, 0.51, 0.51, 1.07, 0.82, 0.84, 0.88, 0.79}));
+  cases.push_back(run_case("cut-10 [0.5,0.5,1]rcut", 0.5, 0.5, 1, 10.0,
+                           {1.00, 0.42, 0.51, 0.31, 0.23, 0.23, 0.26, 0.23}));
+  cases.push_back(run_case("cut-10 [0.5,0.5,0.5]rcut", 0.5, 0.5, 0.5, 10.0,
+                           {1.00, 0.34, 0.48, 0.29, 0.21, 0.20, 0.22, 0.21}));
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "  \"comm_fig7\": {\n");
+    std::fprintf(f, "    \"cases\": [\n");
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      std::fprintf(f,
+                   "      {\"case\": \"%s\", \"lb4l_rel\": %.3f, "
+                   "\"lb4l_paper\": %.2f, \"reduction\": %.3f}%s\n",
+                   cases[i].label.c_str(), cases[i].lb4l_rel,
+                   cases[i].lb4l_paper, cases[i].reduction,
+                   i + 1 < cases.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }");
+    std::fclose(f);
+  }
   return 0;
 }

@@ -5,11 +5,19 @@
 // The mechanism: the NIC caches connection + address-translation entries;
 // per-neighbor registration overflows the cache past ~44 neighbors and
 // every message starts paying host-memory fetches.
+//
+//   usage: bench_fig8_mempool [--json=PATH]
+//
+// --json writes the headline numbers as a `"mempool_fig8": {...}` JSON
+// fragment (no outer braces) for bench/run_bench.sh to assemble into
+// BENCH_comm_mempool.json.
 #include <cstdio>
+#include <string>
 
 #include "tofu/mempool.hpp"
 #include "tofu/nic_cache.hpp"
 #include "tofu/params.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace dpmd;
@@ -59,7 +67,8 @@ double simulate(int neighbors, int iterations, bool use_pool,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
   const tofu::MachineParams mp;
   const int iterations = 10000;
 
@@ -92,9 +101,31 @@ int main() {
               pool_124 / pool_26, 124.0 / 26.0);
   const double knee_before = simulate(40, iterations, false, mp);
   const double knee_after = simulate(52, iterations, false, mp);
+  const double knee_slope_jump =
+      (knee_after - knee_before) / 12.0 /
+      ((knee_before - simulate(28, iterations, false, mp)) / 12.0);
   std::printf("no-pool kink past 44 neighbors: per-neighbor slope jumps "
               "%.1fx across the 40->52 range\n",
-              (knee_after - knee_before) / 12.0 /
-                  ((knee_before - simulate(28, iterations, false, mp)) / 12.0));
+              knee_slope_jump);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const double nopool_124 = simulate(124, iterations, false, mp);
+    std::fprintf(f, "  \"mempool_fig8\": {\n");
+    std::fprintf(f, "    \"iterations\": %d,\n", iterations);
+    std::fprintf(f, "    \"pool_scaling_124_over_26\": %.3f,\n",
+                 pool_124 / pool_26);
+    std::fprintf(f, "    \"pool_scaling_ideal\": %.3f,\n", 124.0 / 26.0);
+    std::fprintf(f, "    \"nopool_over_pool_at_124\": %.3f,\n",
+                 nopool_124 / pool_124);
+    std::fprintf(f, "    \"knee_slope_jump\": %.3f\n", knee_slope_jump);
+    std::fprintf(f, "  }");
+    std::fclose(f);
+  }
   return 0;
 }

@@ -1,0 +1,251 @@
+// Serving-throughput benchmark (ISSUE 8): jobs/sec and p50/p99 latency of
+// the serve::SimService under queue pressure, written as BENCH_serving.json
+// so the serving perf trajectory is tracked from PR to PR.
+//
+//   usage: bench_serving [--smoke] [output.json]
+//
+// Three measurements:
+//  * throughput: 256 queued single-point score jobs, 4 workers, shared
+//    registry + gang co-scheduling + arenas, against the serial baseline
+//    (1 worker, no shared registry -> a private weight-pack build per job,
+//    no gangs, fresh heap).  Acceptance: speedup >= 2x.
+//  * latency sweep: p50/p99 job latency (queue + run) at 1 .. 10k queued
+//    jobs.
+//  * worker sweep: jobs/sec at 1..4 workers at fixed depth.
+//
+// --smoke shrinks every rung to a handful of jobs — registered as the
+// `bench_serving_smoke` ctest (threaded label) so the serving pipeline
+// cannot silently rot.  Smoke numbers are build-health, not measurements.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "util/random.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+std::shared_ptr<const dp::DPModel> bench_model() {
+  dp::ModelConfig cfg;
+  cfg.ntypes = 2;
+  cfg.descriptor.rcut = 4.5;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel = {48, 48};
+  cfg.descriptor.emb_widths = {16, 32, 64};
+  cfg.descriptor.axis_neurons = 8;
+  auto model = std::make_shared<dp::DPModel>(cfg);
+  Rng rng(7);
+  model->init_random(rng);
+  return model;
+}
+
+/// One small scoring system per job — the workload the gang merge exists
+/// for: alone it evaluates at M = natoms, merged it rides a >= gang_block
+/// sweep.
+serve::JobSpec make_job(int natoms, uint64_t seed) {
+  serve::JobSpec spec;
+  spec.kind = serve::JobKind::Score;
+  spec.model = "bench";
+  const double box_len = 11.0;
+  spec.box = md::Box::cubic(box_len);
+  Rng rng(seed);
+  int placed = 0;
+  int attempts = 0;
+  while (placed < natoms && ++attempts < 100000) {
+    const Vec3 p{rng.uniform(0.0, box_len), rng.uniform(0.0, box_len),
+                 rng.uniform(0.0, box_len)};
+    bool ok = true;
+    for (const Vec3& q : spec.x) {
+      if (spec.box.minimum_image(p, q).norm() < 1.8) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    spec.x.push_back(p);
+    spec.type.push_back(static_cast<int>(rng.uniform_int(2)));
+    ++placed;
+  }
+  return spec;
+}
+
+struct RunStats {
+  double jobs_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  serve::SimService::Stats service;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Queues `jobs` score jobs, drains them, reports throughput + latency.
+RunStats run_depth(const std::shared_ptr<serve::ModelRegistry>& registry,
+                   const serve::ServiceConfig& cfg, int jobs, int natoms) {
+  serve::SimService service(registry, cfg);
+  std::vector<serve::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j)
+    specs.push_back(make_job(natoms, 1000 + static_cast<uint64_t>(j) % 64));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::JobId> ids;
+  ids.reserve(specs.size());
+  for (auto& s : specs) ids.push_back(service.submit(std::move(s)));
+  service.wait_all();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunStats out;
+  std::vector<double> latency_us;
+  latency_us.reserve(ids.size());
+  for (const serve::JobId id : ids) {
+    const serve::JobResult r = service.wait(id);
+    if (r.status != serve::JobStatus::Done) {
+      std::fprintf(stderr, "bench job failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    latency_us.push_back(r.queue_us + r.run_us);
+  }
+  const double secs =
+      std::chrono::duration<double>(t1 - t0).count();
+  out.jobs_per_s = static_cast<double>(jobs) / secs;
+  out.p50_us = percentile(latency_us, 0.50);
+  out.p99_us = percentile(latency_us, 0.99);
+  out.service = service.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("bench", bench_model());
+
+  const int natoms = 16;
+  const int depth = smoke ? 16 : 256;
+  const unsigned workers = 4;
+
+  // Serial one-job-at-a-time baseline: no registry sharing (a private pack
+  // build per job — the pre-subsystem cost), no gangs, fresh heap.
+  serve::ServiceConfig serial_cfg;
+  serial_cfg.workers = 1;
+  serial_cfg.share_registry = false;
+  serial_cfg.coschedule = false;
+  serial_cfg.use_arena = false;
+
+  serve::ServiceConfig served_cfg;
+  served_cfg.workers = workers;
+  served_cfg.gang_block = 64;
+  served_cfg.max_gang = 16;
+
+  std::printf("serving bench: %d score jobs of %d atoms%s\n", depth, natoms,
+              smoke ? " (smoke)" : "");
+  const RunStats serial = run_depth(registry, serial_cfg, depth, natoms);
+  std::printf("  serial baseline: %8.1f jobs/s  p50 %8.0f us  p99 %8.0f us\n",
+              serial.jobs_per_s, serial.p50_us, serial.p99_us);
+  const RunStats served = run_depth(registry, served_cfg, depth, natoms);
+  const double speedup = served.jobs_per_s / serial.jobs_per_s;
+  std::printf("  served (%uw):    %8.1f jobs/s  p50 %8.0f us  p99 %8.0f us  "
+              "speedup %.2fx\n",
+              workers, served.jobs_per_s, served.p50_us, served.p99_us,
+              speedup);
+
+  // Latency under queue pressure.
+  std::vector<int> depths = smoke ? std::vector<int>{1, 8}
+                                  : std::vector<int>{1, 64, 1024, 10000};
+  struct DepthRow {
+    int depth;
+    RunStats stats;
+  };
+  std::vector<DepthRow> sweep;
+  for (const int d : depths) {
+    sweep.push_back({d, run_depth(registry, served_cfg, d, natoms)});
+    std::printf("  depth %6d: %8.1f jobs/s  p50 %8.0f us  p99 %8.0f us\n",
+                d, sweep.back().stats.jobs_per_s, sweep.back().stats.p50_us,
+                sweep.back().stats.p99_us);
+  }
+
+  // Worker sweep at fixed depth.
+  const int sweep_depth = smoke ? 8 : 128;
+  std::vector<std::pair<unsigned, double>> worker_sweep;
+  for (unsigned w = 1; w <= workers; w <<= 1) {
+    serve::ServiceConfig cfg = served_cfg;
+    cfg.workers = w;
+    const RunStats r = run_depth(registry, cfg, sweep_depth, natoms);
+    worker_sweep.emplace_back(w, r.jobs_per_s);
+    std::printf("  workers %u: %8.1f jobs/s\n", w, r.jobs_per_s);
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"job\": {\"kind\": \"score\", \"natoms\": %d},\n",
+               natoms);
+  std::fprintf(f, "  \"throughput\": {\n");
+  std::fprintf(f, "    \"queued_jobs\": %d,\n", depth);
+  std::fprintf(f, "    \"workers\": %u,\n", workers);
+  std::fprintf(f, "    \"serial_baseline_jobs_per_s\": %.2f,\n",
+               serial.jobs_per_s);
+  std::fprintf(f, "    \"served_jobs_per_s\": %.2f,\n", served.jobs_per_s);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "    \"acceptance_min_speedup\": 2.0\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"latency_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"queued\": %d, \"jobs_per_s\": %.2f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 sweep[i].depth, sweep[i].stats.jobs_per_s,
+                 sweep[i].stats.p50_us, sweep[i].stats.p99_us,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"worker_sweep\": [\n");
+  for (std::size_t i = 0; i < worker_sweep.size(); ++i) {
+    std::fprintf(f, "    {\"workers\": %u, \"jobs_per_s\": %.2f}%s\n",
+                 worker_sweep[i].first, worker_sweep[i].second,
+                 i + 1 < worker_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  const auto& st = served.service;
+  std::fprintf(f,
+               "  \"served_run\": {\"gangs\": %llu, \"gang_jobs\": %llu, "
+               "\"pack_builds\": %zu, \"pack_hits\": %zu, "
+               "\"arena_high_water\": %zu, \"arena_reserved\": %zu}\n",
+               static_cast<unsigned long long>(st.gangs),
+               static_cast<unsigned long long>(st.gang_jobs),
+               st.registry.pack_builds, st.registry.pack_hits,
+               st.arena_high_water, st.arena_reserved);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,18 +1,44 @@
 #!/usr/bin/env bash
 # Perf-trajectory runner: builds the compute benchmark and emits
-# BENCH_compute.json (per-atom vs batched DP evaluation, ns/day proxy).
+# BENCH_compute.json (per-atom vs batched DP evaluation, ns/day proxy),
+# then assembles BENCH_comm_mempool.json from the Fig. 7 communication
+# model and the Fig. 8 RDMA-mempool bench.
 #
-#   bench/run_bench.sh [output.json]
+#   bench/run_bench.sh [output.json] [comm_mempool_output.json]
 #
-# Output defaults to BENCH_compute.json in the repo root.  The same artifact
-# is available through the CMake `bench` target (written into the build
-# dir).  Track the "batched_speedup" and "ns_day_proxy" fields across PRs.
+# Outputs default to BENCH_compute.json and BENCH_comm_mempool.json in the
+# repo root.  The compute artifact is also available through the CMake
+# `bench` target (written into the build dir).  Track the
+# "batched_speedup", "ns_day_proxy" and "mempool.speedup" fields across
+# PRs.  The serving-throughput artifact has its own runner,
+# bench/run_serving_bench.sh.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 out="${1:-$repo_root/BENCH_compute.json}"
+comm_out="${2:-$repo_root/BENCH_comm_mempool.json}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" --target bench_compute_json -j >/dev/null
+cmake --build "$build_dir" --target bench_compute_json \
+      --target bench_fig7_comm --target bench_fig8_mempool -j >/dev/null
 "$build_dir/bench_compute_json" "$out"
+
+frag_dir="$(mktemp -d)"
+trap 'rm -rf "$frag_dir"' EXIT
+
+"$build_dir/bench_fig7_comm" --json="$frag_dir/fig7.json" >/dev/null
+"$build_dir/bench_fig8_mempool" --json="$frag_dir/fig8.json" >/dev/null
+
+{
+  echo '{'
+  echo '  "bench": "comm_model_mempool",'
+  cat "$frag_dir/fig7.json"
+  echo ','
+  cat "$frag_dir/fig8.json"
+  echo ''
+  echo '}'
+} > "$comm_out"
+
+echo "wrote $out"
+echo "wrote $comm_out"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Serving-throughput trajectory runner (ISSUE 8): builds bench_serving and
+# emits BENCH_serving.json — jobs/sec + p50/p99 latency of the SimService
+# under queue pressure, against the serial one-job-at-a-time baseline.
+#
+#   bench/run_serving_bench.sh [output.json]
+#
+# Output defaults to BENCH_serving.json in the repo root.  Track the
+# "throughput.speedup" field (acceptance: >= 2.0 at 4 workers / 256 queued
+# score jobs) and the per-depth "p99_us" fields across PRs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_serving.json}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target bench_serving -j >/dev/null
+"$build_dir/bench_serving" "$out"

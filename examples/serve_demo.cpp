@@ -1,0 +1,173 @@
+// serve_demo: the serving subsystem end to end — register a model once,
+// queue a mixed batch of jobs (single-point scores, a relaxation, short
+// NVT trajectories) and drain them through the SimService worker pool.
+//
+//   usage: serve_demo [--workers=N] [--jobs=N] [--steps=N] [--natoms=N]
+//                     [--no-share] [--no-gang] [--no-arena]
+//
+//   --workers=N   worker threads draining the queue        (default 2)
+//   --jobs=N      score jobs to queue                      (default 24)
+//   --steps=N     steps per trajectory job                 (default 20)
+//   --natoms=N    atoms per scoring system                 (default 16)
+//   --no-share    build a private weight pack per job (baseline mode)
+//   --no-gang     disable score co-scheduling
+//   --no-arena    job scratch on the heap instead of the per-worker arena
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
+#include "util/random.hpp"
+
+using namespace dpmd;
+
+namespace {
+
+std::shared_ptr<const dp::DPModel> demo_model() {
+  dp::ModelConfig cfg;
+  cfg.ntypes = 2;
+  cfg.descriptor.rcut = 4.5;
+  cfg.descriptor.rcut_smth = 1.5;
+  cfg.descriptor.sel = {48, 48};
+  cfg.descriptor.emb_widths = {8, 16, 32};
+  cfg.descriptor.axis_neurons = 4;
+  auto model = std::make_shared<dp::DPModel>(cfg);
+  Rng rng(7);
+  model->init_random(rng);
+  return model;
+}
+
+serve::JobSpec base_system(int natoms, uint64_t seed) {
+  serve::JobSpec spec;
+  spec.model = "demo";
+  const double box_len = 11.0;
+  spec.box = md::Box::cubic(box_len);
+  Rng rng(seed);
+  int placed = 0;
+  int attempts = 0;
+  while (placed < natoms && ++attempts < 100000) {
+    const Vec3 p{rng.uniform(0.0, box_len), rng.uniform(0.0, box_len),
+                 rng.uniform(0.0, box_len)};
+    bool ok = true;
+    for (const Vec3& q : spec.x) {
+      if (spec.box.minimum_image(p, q).norm() < 1.8) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    spec.x.push_back(p);
+    spec.type.push_back(static_cast<int>(rng.uniform_int(2)));
+    ++placed;
+  }
+  return spec;
+}
+
+int arg_int(const char* arg, const char* name, int fallback) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+    return std::atoi(arg + n + 1);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned workers = 2;
+  int njobs = 24;
+  int steps = 20;
+  int natoms = 16;
+  serve::ServiceConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    workers = static_cast<unsigned>(
+        arg_int(argv[i], "--workers", static_cast<int>(workers)));
+    njobs = arg_int(argv[i], "--jobs", njobs);
+    steps = arg_int(argv[i], "--steps", steps);
+    natoms = arg_int(argv[i], "--natoms", natoms);
+    if (std::strcmp(argv[i], "--no-share") == 0) cfg.share_registry = false;
+    if (std::strcmp(argv[i], "--no-gang") == 0) cfg.coschedule = false;
+    if (std::strcmp(argv[i], "--no-arena") == 0) cfg.use_arena = false;
+  }
+  cfg.workers = workers;
+
+  // One registration, N concurrent consumers: every job below reads the
+  // same frozen weight copy and the same derived pack.
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("demo", demo_model());
+  serve::SimService service(registry, cfg);
+
+  std::printf("serve_demo: %u worker(s), share=%s gang=%s arena=%s\n\n",
+              cfg.workers, cfg.share_registry ? "on" : "off",
+              cfg.coschedule ? "on" : "off", cfg.use_arena ? "on" : "off");
+
+  // A mixed queue: scores (gang fodder), one relax, two NVT trajectories.
+  std::vector<serve::JobId> scores;
+  for (int j = 0; j < njobs; ++j)
+    scores.push_back(service.submit(
+        base_system(natoms, 100 + static_cast<uint64_t>(j))));
+
+  serve::JobSpec relax = base_system(natoms, 500);
+  relax.kind = serve::JobKind::Relax;
+  relax.max_iters = 30;
+  relax.force_tol = 1e-4;
+  const serve::JobId relax_id = service.submit(relax);
+
+  std::vector<serve::JobId> trajs;
+  for (int j = 0; j < 2; ++j) {
+    serve::JobSpec t = base_system(natoms, 600 + static_cast<uint64_t>(j));
+    t.kind = serve::JobKind::Trajectory;
+    t.masses = {30.0, 20.0};
+    t.steps = steps;
+    t.dt_fs = 0.25;
+    t.temperature = 120.0;
+    t.seed = 42 + static_cast<uint64_t>(j);
+    trajs.push_back(service.submit(t));
+  }
+
+  service.wait_all();
+
+  double e_sum = 0.0;
+  int max_gang = 0;
+  for (const serve::JobId id : scores) {
+    const serve::JobResult r = service.wait(id);
+    if (r.status != serve::JobStatus::Done) {
+      std::fprintf(stderr, "score failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    e_sum += r.energy;
+    max_gang = std::max(max_gang, r.gang_size);
+  }
+  std::printf("scores:     %d jobs, mean energy %10.4f eV, largest gang %d\n",
+              njobs, e_sum / njobs, max_gang);
+
+  const serve::JobResult rr = service.wait(relax_id);
+  std::printf("relax:      %s in %d iter(s), E %10.4f eV, fmax %.2e eV/A\n",
+              serve::job_status_name(rr.status), rr.iters, rr.energy,
+              rr.fmax);
+
+  for (const serve::JobId id : trajs) {
+    const serve::JobResult r = service.wait(id);
+    std::printf("trajectory: %s, %d steps, final E %10.4f eV\n",
+                serve::job_status_name(r.status), r.iters, r.energy);
+  }
+
+  const auto s = service.stats();
+  std::printf("\nservice:  %llu done / %llu submitted, %llu gang sweep(s) "
+              "covering %llu jobs\n",
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.submitted),
+              static_cast<unsigned long long>(s.gangs),
+              static_cast<unsigned long long>(s.gang_jobs));
+  std::printf("registry: %zu pack build(s), %zu hit(s), %.1f KiB resident\n",
+              s.registry.pack_builds, s.registry.pack_hits,
+              static_cast<double>(s.registry.pack_bytes) / 1024.0);
+  std::printf("arena:    high water %zu B, reserved %zu B\n",
+              s.arena_high_water, s.arena_reserved);
+  return 0;
+}

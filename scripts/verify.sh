@@ -4,24 +4,29 @@
 #
 #   scripts/verify.sh            # tier-1: native Release build + ctest
 #   scripts/verify.sh --portable # add the -DDPMD_NATIVE=OFF leg
-#   scripts/verify.sh --asan     # add the sanitizer leg (threaded suites)
+#   scripts/verify.sh --asan     # add the ASan+UBSan leg (threaded suites)
+#   scripts/verify.sh --tsan     # add the TSan leg (threaded suites)
 #   scripts/verify.sh --all      # everything
 #
 # The portability leg exists because the hot kernels (vtanh, gemm, the
 # SIMD compression-table eval_row) are written against `#pragma omp simd`
 # and must build AND pass on a plain baseline ISA — a kernel that silently
-# requires -march=native is a bug this leg catches.
+# requires -march=native is a bug this leg catches.  The TSan leg (ISSUE 8)
+# guards the shared-ModelPack serving paths: N SimService workers reading
+# one immutable weight pack while the queue mutates under its mutex.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-4}"
 run_portable=0
 run_asan=0
+run_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --portable) run_portable=1 ;;
     --asan) run_asan=1 ;;
-    --all) run_portable=1; run_asan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --all) run_portable=1; run_asan=1; run_tsan=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,7 +39,7 @@ cmake --build "$repo_root/build" -j"$jobs"
 # Trajectory-integrity suites (checkpoint/restart round-trips, comm fault
 # injection, health-guard recovery) run as part of tier-1 above; re-run
 # them by name so a regression there is called out on its own line.  Both
-# carry the `threaded` label, so the --asan leg covers them too.
+# carry the `threaded` label, so the sanitizer legs cover them too.
 echo "== trajectory integrity: checkpoint + fault-injection suites =="
 (cd "$repo_root/build" && ctest -R 'test_checkpoint|test_faults' \
      --output-on-failure)
@@ -42,10 +47,16 @@ echo "== trajectory integrity: checkpoint + fault-injection suites =="
 # Load-balancing suites (ISSUE 7): the Rebalancer planner properties and
 # the oracle-pinned balanced-trajectory tests (non-uniform grids through
 # halo, migration, cadence, overlap, checkpoint/restart).  Also threaded,
-# so the --asan leg covers them.
+# so the sanitizer legs cover them.
 echo "== load balancing: rebalancer + balanced-trajectory suites =="
 (cd "$repo_root/build" && ctest -R 'test_loadbalance|test_rebalance' \
      --output-on-failure)
+
+# Serving suites (ISSUE 8): registry sharing bit-identity, gang merge
+# numerics, queue semantics, arena equality.  Threaded label, so the
+# sanitizer legs below re-run them under ASan/TSan.
+echo "== serving: registry/queue/gang/arena suite =="
+(cd "$repo_root/build" && ctest -R 'test_serve' --output-on-failure)
 
 if [[ "$run_portable" == 1 ]]; then
   echo "== portability: -DDPMD_NATIVE=OFF build + ctest =="
@@ -58,9 +69,17 @@ fi
 if [[ "$run_asan" == 1 ]]; then
   echo "== sanitizers: ASan+UBSan, threaded suites =="
   cmake -B "$repo_root/build-asan" -S "$repo_root" \
-        -DDPMD_SANITIZE=ON >/dev/null
+        -DDPMD_SANITIZE=address >/dev/null
   cmake --build "$repo_root/build-asan" -j"$jobs"
   (cd "$repo_root/build-asan" && ctest -L threaded --output-on-failure)
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== sanitizers: ThreadSanitizer, threaded suites =="
+  cmake -B "$repo_root/build-tsan" -S "$repo_root" \
+        -DDPMD_SANITIZE=thread >/dev/null
+  cmake --build "$repo_root/build-tsan" -j"$jobs"
+  (cd "$repo_root/build-tsan" && ctest -L threaded --output-on-failure)
 fi
 
 echo "verify: OK"

@@ -62,33 +62,30 @@ BatchWorkspace<T>& batch_workspace() {
 
 }  // namespace
 
+ModelPackKey pack_key(const EvalOptions& opts) {
+  ModelPackKey key;
+  key.fp32_nets = opts.precision != Precision::Double;
+  key.compressed = opts.compressed;
+  key.compression_bins = opts.compression_bins;
+  key.compression_s_max = opts.compression_s_max;
+  return key;
+}
+
 DPEvaluator::DPEvaluator(std::shared_ptr<const DPModel> model,
                          EvalOptions opts)
-    : model_(std::move(model)), opts_(opts) {
-  DPMD_REQUIRE(model_ != nullptr, "null model");
+    : DPEvaluator(ModelPack::build(std::move(model), pack_key(opts)), opts) {}
+
+DPEvaluator::DPEvaluator(std::shared_ptr<const ModelPack> pack,
+                         EvalOptions opts)
+    : pack_(std::move(pack)), opts_(opts) {
+  DPMD_REQUIRE(pack_ != nullptr, "null model pack");
+  model_ = pack_->model_ptr();
   DPMD_REQUIRE(opts_.block_size >= 1,
                "EvalOptions::block_size must be >= 1 (1 = per-atom path)");
+  DPMD_REQUIRE(pack_->key().covers(pack_key(opts_)),
+               "ModelPack does not cover these EvalOptions (fp32 nets or "
+               "compression table mismatch)");
   const auto& cfg = model_->config();
-
-  if (opts_.precision != Precision::Double) {
-    emb_f_.reserve(static_cast<std::size_t>(cfg.ntypes));
-    fit_f_.reserve(static_cast<std::size_t>(cfg.ntypes));
-    for (int t = 0; t < cfg.ntypes; ++t) {
-      emb_f_.push_back(model_->embedding(t).cast<float>());
-      fit_f_.push_back(model_->fitting(t).cast<float>());
-    }
-  }
-  if (opts_.compressed) {
-    double s_max_raw = opts_.compression_s_max;
-    if (s_max_raw <= 0.0) s_max_raw = 4.0 / cfg.descriptor.rcut_smth;
-    for (int t = 0; t < cfg.ntypes; ++t) {
-      // The embedding consumes the *scaled* s (env_scale component 0).
-      const double s_max = s_max_raw * cfg.descriptor.scale_of(t, 0);
-      tables_.push_back(CompressedEmbedding::build(
-          model_->embedding(t),
-          {0.0, s_max, opts_.compression_bins}));
-    }
-  }
   emb_cache_d_.resize(static_cast<std::size_t>(cfg.ntypes));
   emb_cache_f_.resize(static_cast<std::size_t>(cfg.ntypes));
   fit_batch_cache_d_.resize(static_cast<std::size_t>(cfg.ntypes));
@@ -105,8 +102,8 @@ double DPEvaluator::evaluate_atom(const AtomEnv& env,
     return eval_impl<double>(env, dE_dd, kEmpty, kEmpty, emb_cache_d_,
                              fit_cache_d_);
   }
-  return eval_impl<float>(env, dE_dd, emb_f_, fit_f_, emb_cache_f_,
-                          fit_cache_f_);
+  return eval_impl<float>(env, dE_dd, pack_->embeddings_f(),
+                          pack_->fittings_f(), emb_cache_f_, fit_cache_f_);
 }
 
 template <class T>
@@ -161,11 +158,12 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
   thread_local std::vector<double> dgds;  // nnei x m1 (compressed path)
   thread_local std::vector<double> grow_d, dgrow_d;
   if (opts_.compressed) {
+    const auto& tables = pack_->tables();
     dgds.resize(static_cast<std::size_t>(nnei) * m1);
     grow_d.resize(static_cast<std::size_t>(m1));
     for (int k = 0; k < nnei; ++k) {
       const int t = env.nbr_type[static_cast<std::size_t>(k)];
-      tables_[static_cast<std::size_t>(t)].eval_row(
+      tables[static_cast<std::size_t>(t)].eval_row(
           env.rmat[static_cast<std::size_t>(k) * 4], grow_d.data(),
           dgds.data() + static_cast<std::size_t>(k) * m1);
       T* grow = ws.g.data() + static_cast<std::size_t>(k) * m1;
@@ -351,8 +349,8 @@ void DPEvaluator::evaluate_batch(const AtomEnvBatch& batch,
                        fit_batch_cache_d_);
     return;
   }
-  batch_impl<float>(batch, energies, dE_dd, emb_f_, fit_f_, emb_cache_f_,
-                    fit_batch_cache_f_);
+  batch_impl<float>(batch, energies, dE_dd, pack_->embeddings_f(),
+                    pack_->fittings_f(), emb_cache_f_, fit_batch_cache_f_);
 }
 
 template <class T>
@@ -462,6 +460,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   if (fused) {
     // Table eval happens inside the fused contraction drivers below.
   } else if (opts_.compressed) {
+    const auto& tables = pack_->tables();
     ws.g.resize(static_cast<std::size_t>(rows) * m1);
     ws.dgds.resize(static_cast<std::size_t>(rows) * m1);
     if constexpr (!std::is_same_v<T, double>) {
@@ -484,11 +483,11 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
         }
         if constexpr (std::is_same_v<T, double>) {
           // Table rows land straight in the G slab; only fp32 stages.
-          tables_[static_cast<std::size_t>(t)].eval_row(
+          tables[static_cast<std::size_t>(t)].eval_row(
               s_row, grow,
               ws.dgds.data() + static_cast<std::size_t>(r) * m1);
         } else {
-          tables_[static_cast<std::size_t>(t)].eval_row(
+          tables[static_cast<std::size_t>(t)].eval_row(
               s_row, ws.grow.data(),
               ws.dgds.data() + static_cast<std::size_t>(r) * m1);
           for (int p = 0; p < m1; ++p) {
@@ -551,7 +550,7 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   const double inv_n_d = 1.0 / static_cast<double>(dparams.sel_total());
   const T inv_n = T(1) / static_cast<T>(dparams.sel_total());
   if (fused) {
-    fused_contract_forward_batch(batch, tables_, m1, m2, inv_n_d,
+    fused_contract_forward_batch(batch, pack_->tables(), m1, m2, inv_n_d,
                                  ws.a.data(), fit_slab.data());
   } else {
     contract_forward_batch(batch, rmat, g_base.data(), g_row_off, m1, m2,
@@ -589,8 +588,8 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   // re-evaluates the table and contracts straight through to the fp64
   // dE/dd rows — no dG/dR/dE-ds slabs, and nothing left to do after it.
   if (fused) {
-    fused_contract_backward_batch(batch, tables_, dd_base.data(), m1, m2,
-                                  inv_n_d, ws.a.data(), dE_dd.data());
+    fused_contract_backward_batch(batch, pack_->tables(), dd_base.data(), m1,
+                                  m2, inv_n_d, ws.a.data(), dE_dd.data());
   } else {
   // Unfused: dG rows accumulate into per-type slabs — the embedding grad
   // slab (uncompressed) or ws.dg (compressed), mirroring g_base.

@@ -6,6 +6,7 @@
 #include "core/compression.hpp"
 #include "core/descriptor.hpp"
 #include "core/model.hpp"
+#include "core/model_pack.hpp"
 #include "nn/dense.hpp"
 
 namespace dpmd::dp {
@@ -55,13 +56,26 @@ struct EvalOptions {
   bool packed_gemm = true;
 };
 
+/// Derived-weight artifacts these options need from a ModelPack (fp32 net
+/// casts for the Mix modes, compression tables with these bins/s_max).
+ModelPackKey pack_key(const EvalOptions& opts);
+
 /// Per-thread Deep Potential evaluator: all workspaces are allocated at
 /// construction ("memory allocated in the initial phase", §III-B1) and the
 /// hot path performs no allocation.  Instances are not thread-safe; create
 /// one per thread (PairDeepMD does).
+///
+/// The weights — fp64 master nets, fp32 casts, compression tables — are NOT
+/// per-instance: they live in an immutable shared ModelPack (ISSUE 8), so N
+/// evaluators across N threads/simulations read one copy.  The convenience
+/// constructor builds a private pack; sharing callers (PairDeepMD, the
+/// serve::ModelRegistry) pass one in.
 class DPEvaluator {
  public:
+  /// Convenience: builds a private pack for exactly these options.
   DPEvaluator(std::shared_ptr<const DPModel> model, EvalOptions opts);
+  /// Shares `pack` (which must cover pack_key(opts) — DPMD_REQUIRE).
+  DPEvaluator(std::shared_ptr<const ModelPack> pack, EvalOptions opts);
 
   /// Atomic energy of the environment plus dE/dd_k for every neighbor k
   /// (d_k = x_k - x_i).  dE_dd is resized to env.nnei().
@@ -80,6 +94,7 @@ class DPEvaluator {
 
   const EvalOptions& options() const { return opts_; }
   const DPModel& model() const { return *model_; }
+  const std::shared_ptr<const ModelPack>& pack() const { return pack_; }
 
   /// Cumulative flop estimate of the evaluations performed (perf model).
   double flops_used() const { return flops_; }
@@ -100,14 +115,11 @@ class DPEvaluator {
                   std::vector<nn::MlpCache<T>>& emb_caches,
                   std::vector<nn::MlpCache<T>>& fit_caches);
 
-  std::shared_ptr<const DPModel> model_;
+  /// Shared immutable weights: fp32 casts + compression tables (and the
+  /// fp64 master model it holds alive).  Read-only after construction.
+  std::shared_ptr<const ModelPack> pack_;
+  std::shared_ptr<const DPModel> model_;  ///< == pack_->model_ptr()
   EvalOptions opts_;
-
-  // fp32 working copies (only materialized for the Mix modes).
-  std::vector<nn::Mlp<float>> emb_f_;
-  std::vector<nn::Mlp<float>> fit_f_;
-  // compression tables per neighbor type
-  std::vector<CompressedEmbedding> tables_;
 
   // caches / workspaces
   std::vector<nn::MlpCache<double>> emb_cache_d_;

@@ -1,0 +1,42 @@
+#include "core/model_pack.hpp"
+
+#include "util/error.hpp"
+
+namespace dpmd::dp {
+
+ModelPack::ModelPack(std::shared_ptr<const DPModel> model, ModelPackKey key)
+    : model_(std::move(model)), key_(key) {
+  DPMD_REQUIRE(model_ != nullptr, "null model");
+  const auto& cfg = model_->config();
+
+  if (key_.fp32_nets) {
+    emb_f_.reserve(static_cast<std::size_t>(cfg.ntypes));
+    fit_f_.reserve(static_cast<std::size_t>(cfg.ntypes));
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      // cast<float>() finalizes every layer (w^T, packed-B panels, fp16
+      // copy), so nothing on the shared eval path initializes lazily.
+      emb_f_.push_back(model_->embedding(t).cast<float>());
+      fit_f_.push_back(model_->fitting(t).cast<float>());
+    }
+    // ~3x params: row-major, transposed, and packed-B panel copies.
+    bytes_ += 3 * model_->param_count() * sizeof(float);
+  }
+  if (key_.compressed) {
+    DPMD_REQUIRE(key_.compression_bins > 0, "compression_bins must be > 0");
+    double s_max_raw = key_.compression_s_max;
+    if (s_max_raw <= 0.0) s_max_raw = 4.0 / cfg.descriptor.rcut_smth;
+    tables_.reserve(static_cast<std::size_t>(cfg.ntypes));
+    for (int t = 0; t < cfg.ntypes; ++t) {
+      // The embedding consumes the *scaled* s (env_scale component 0).
+      const double s_max = s_max_raw * cfg.descriptor.scale_of(t, 0);
+      tables_.push_back(CompressedEmbedding::build(
+          model_->embedding(t), {0.0, s_max, key_.compression_bins}));
+      // 6 quintic coefficients per bin per channel, fp64 + fp32 layouts.
+      bytes_ += static_cast<std::size_t>(key_.compression_bins) * 6 *
+                static_cast<std::size_t>(cfg.descriptor.m1()) *
+                (sizeof(double) + sizeof(float));
+    }
+  }
+}
+
+}  // namespace dpmd::dp

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compression.hpp"
+#include "core/model.hpp"
+#include "nn/mlp.hpp"
+
+namespace dpmd::dp {
+
+/// Which derived weight artifacts a ModelPack materializes.  The key is a
+/// pure function of EvalOptions (see dp::pack_key in inference.hpp) so a
+/// registry can cache packs per (model, options) pair; the raw values are
+/// stored un-resolved (compression_s_max == 0 means "auto" and is resolved
+/// against the model config at build time) so key equality never depends on
+/// the model.
+struct ModelPackKey {
+  /// fp32 casts of the embedding + fitting nets (the Mix-precision modes;
+  /// the cast also finalizes each DenseLayer's transposed/packed/fp16
+  /// panels, so nothing is initialized lazily on the eval path).
+  bool fp32_nets = false;
+  bool compressed = true;
+  int compression_bins = 1024;
+  double compression_s_max = 0.0;  ///< raw option value; 0 = auto
+
+  bool operator==(const ModelPackKey& o) const {
+    return fp32_nets == o.fp32_nets && compressed == o.compressed &&
+           compression_bins == o.compression_bins &&
+           compression_s_max == o.compression_s_max;
+  }
+
+  /// True when a pack built with this key serves an evaluator that *needs*
+  /// `need`: fp32 nets may be present unused, but a compressed evaluator
+  /// must find tables built with exactly its bins/s_max.
+  bool covers(const ModelPackKey& need) const {
+    if (need.fp32_nets && !fp32_nets) return false;
+    if (need.compressed) {
+      if (!compressed) return false;
+      if (compression_bins != need.compression_bins) return false;
+      if (compression_s_max != need.compression_s_max) return false;
+    }
+    return true;
+  }
+};
+
+/// Immutable bundle of everything DPEvaluator derives from a DPModel at
+/// construction: the fp32 working copies of the nets (Mix modes) and the
+/// per-neighbor-type compression tables.  Built once, then shared read-only
+/// by any number of evaluators on any number of threads — the serving
+/// refactor (ISSUE 8): N concurrent simulations reference ONE copy of the
+/// weights instead of rebuilding tables and casts per evaluator per thread.
+///
+/// Thread-safety contract: after the constructor returns the pack is never
+/// mutated (all accessors are const, there is no lazy state — DenseLayer
+/// panels, fp16 copies and fp32 table coefficients are all finalized inside
+/// build), so concurrent readers need no synchronization.  Hold it by
+/// shared_ptr<const ModelPack>.
+class ModelPack {
+ public:
+  ModelPack(std::shared_ptr<const DPModel> model, ModelPackKey key);
+
+  static std::shared_ptr<const ModelPack> build(
+      std::shared_ptr<const DPModel> model, ModelPackKey key) {
+    return std::make_shared<const ModelPack>(std::move(model), key);
+  }
+
+  const DPModel& model() const { return *model_; }
+  const std::shared_ptr<const DPModel>& model_ptr() const { return model_; }
+  const ModelPackKey& key() const { return key_; }
+
+  /// Empty unless key().fp32_nets.
+  const std::vector<nn::Mlp<float>>& embeddings_f() const { return emb_f_; }
+  const std::vector<nn::Mlp<float>>& fittings_f() const { return fit_f_; }
+  /// Empty unless key().compressed; indexed by neighbor type.
+  const std::vector<CompressedEmbedding>& tables() const { return tables_; }
+
+  /// Approximate resident bytes of the derived artifacts (registry stats):
+  /// fp32 net copies (~3x params for w/wt/pack panels) + table coefficients
+  /// (fp64 + fp32 layouts).  The fp64 master weights live in the DPModel
+  /// and are not counted here.
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::shared_ptr<const DPModel> model_;
+  ModelPackKey key_;
+  std::vector<nn::Mlp<float>> emb_f_;
+  std::vector<nn::Mlp<float>> fit_f_;
+  std::vector<CompressedEmbedding> tables_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace dpmd::dp

@@ -8,13 +8,23 @@ namespace dpmd::dp {
 
 PairDeepMD::PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
                        rt::ThreadPool* pool)
-    : model_(std::move(model)), opts_(opts), pool_(pool) {
+    : PairDeepMD(ModelPack::build(std::move(model), pack_key(opts)), opts,
+                 pool) {}
+
+PairDeepMD::PairDeepMD(std::shared_ptr<const ModelPack> pack, EvalOptions opts,
+                       rt::ThreadPool* pool)
+    : pack_(std::move(pack)), opts_(opts), pool_(pool) {
+  DPMD_REQUIRE(pack_ != nullptr, "null model pack");
+  model_ = pack_->model_ptr();
   DPMD_REQUIRE(opts_.block_size >= 1,
                "EvalOptions::block_size must be >= 1 (1 = per-atom path)");
+  // One shared pack for every per-thread evaluator: the fp32 casts and
+  // compression tables are built once per pack, not once per thread (they
+  // used to be rebuilt nthreads times per pair style).
   const unsigned nthreads = pool_ != nullptr ? pool_->size() : 1u;
   evaluators_.reserve(nthreads);
   for (unsigned t = 0; t < nthreads; ++t) {
-    evaluators_.push_back(std::make_unique<DPEvaluator>(model_, opts_));
+    evaluators_.push_back(std::make_unique<DPEvaluator>(pack_, opts_));
   }
   envs_.resize(nthreads);
   batches_.resize(nthreads);
@@ -291,12 +301,15 @@ bool PairDeepMD::degrade_to_conservative() {
   }
   opts_.precision = Precision::Double;
   opts_.fused_table = false;
-  // Evaluators own precision-dependent workspaces and tables; rebuild them
-  // against the new options.  The env caches go too — their packed layout
-  // is option-independent, but the engine rebuilds lists right after a
-  // rewind anyway, so starting clean is the simplest safe state.
+  // Evaluators own precision-dependent workspaces; rebuild them against the
+  // new options.  The shared pack still covers the degraded configuration
+  // (fp64 ignores the fp32 casts, the tables are precision-independent), so
+  // it is reused as-is — degrading one simulation never touches the weights
+  // other simulations are reading.  The env caches go too — their packed
+  // layout is option-independent, but the engine rebuilds lists right after
+  // a rewind anyway, so starting clean is the simplest safe state.
   for (auto& ev : evaluators_) {
-    ev = std::make_unique<DPEvaluator>(model_, opts_);
+    ev = std::make_unique<DPEvaluator>(pack_, opts_);
   }
   for (EnvCache& cache : env_caches_) cache = EnvCache{};
   return true;

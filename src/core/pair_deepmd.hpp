@@ -32,7 +32,14 @@ namespace dpmd::dp {
 /// ghost atoms to the arrays.
 class PairDeepMD : public md::Pair {
  public:
+  /// Convenience: derives a private ModelPack (fp32 casts + compression
+  /// tables) shared by this pair style's per-thread evaluators.
   PairDeepMD(std::shared_ptr<const DPModel> model, EvalOptions opts,
+             rt::ThreadPool* pool = nullptr);
+  /// Serving path (ISSUE 8): shares an externally owned immutable pack —
+  /// typically from a serve::ModelRegistry — so N pair styles across N
+  /// concurrent simulations reference ONE copy of the derived weights.
+  PairDeepMD(std::shared_ptr<const ModelPack> pack, EvalOptions opts,
              rt::ThreadPool* pool = nullptr);
   /// Backstop for destruction during unwind: workers of an in-flight async
   /// pass execute eval_item on this object, so wait for them (without the
@@ -79,6 +86,7 @@ class PairDeepMD : public md::Pair {
   bool degrade_to_conservative() override;
 
   const EvalOptions& options() const { return opts_; }
+  const std::shared_ptr<const ModelPack>& pack() const { return pack_; }
   DPEvaluator& evaluator(unsigned thread) {
     return *evaluators_[thread];
   }
@@ -100,7 +108,8 @@ class PairDeepMD : public md::Pair {
   /// and returns the pass's pe/virial.
   md::ForceResult reduce_pass(bool apply_forces);
 
-  std::shared_ptr<const DPModel> model_;
+  std::shared_ptr<const ModelPack> pack_;  ///< shared immutable weights
+  std::shared_ptr<const DPModel> model_;   ///< == pack_->model_ptr()
   EvalOptions opts_;
   rt::ThreadPool* pool_;  ///< nullptr = serial
 

@@ -10,6 +10,12 @@ namespace dpmd::nn {
 /// Forward-pass cache for one MLP evaluation; reused across calls so the
 /// steady state performs no allocation (paper §III-B1: "memory for all
 /// computations is allocated in the initial phase").
+///
+/// This is also the thread-sharing contract the serving registry leans on
+/// (src/serve): every mutable byte of an evaluation lives here, in the
+/// caller-owned cache — the Mlp itself is read-only through every
+/// forward/backward entry point, so one `const Mlp` (inside a shared
+/// dp::ModelPack) serves N threads as long as each brings its own cache.
 template <class T>
 struct MlpCache {
   /// acts[0] is the input, acts[l+1] the output of layer l.

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tofu/mempool.hpp"
+
+namespace dpmd::serve {
+
+/// Per-job arena (ISSUE 8): one tofu::BumpArena owned by a service worker,
+/// wrapped with the job lifecycle.  Ownership rules (see src/serve/README):
+///
+///   worker thread ──owns──> JobArena ──owns──> tofu::BumpArena (chunks)
+///        │                                         ▲
+///        └── executes job ── job-scoped vectors ───┘  (ArenaAllocator)
+///
+///  * begin() opens a job scope; every Vec<T> created from the arena bump-
+///    allocates from the worker's chunks;
+///  * end() closes the scope and resets the arena — ALL job-scoped storage
+///    is reclaimed at once, so the vectors must not outlive the scope
+///    (results are copied into the heap-owned JobResult before end());
+///  * chunks are retained across jobs: after the first few jobs the arena
+///    reaches its high-water size and job execution allocates nothing.
+///
+/// Not thread-safe — one JobArena per worker, never shared.
+class JobArena {
+ public:
+  explicit JobArena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : arena_(chunk_bytes) {}
+
+  /// Arena-backed vector for job-scoped scratch.
+  template <class T>
+  using Vec = std::vector<T, tofu::ArenaAllocator<T>>;
+
+  template <class T>
+  Vec<T> vec() {
+    return Vec<T>(tofu::ArenaAllocator<T>(arena_));
+  }
+
+  void begin() { ++jobs_; }
+  void end() { arena_.reset(); }
+
+  tofu::BumpArena& arena() { return arena_; }
+  std::size_t jobs_served() const { return jobs_; }
+  std::size_t high_water() const { return arena_.high_water(); }
+  std::size_t bytes_reserved() const { return arena_.bytes_reserved(); }
+
+ private:
+  tofu::BumpArena arena_;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace dpmd::serve

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "core/inference.hpp"
+#include "core/model_pack.hpp"
+#include "serve/arena.hpp"
+#include "serve/job.hpp"
+
+namespace dpmd::serve {
+
+/// Merges K per-job packed env batches into ONE AtomEnvBatch whose center
+/// count is the sum of the parts (ISSUE 8 co-scheduling): the embedding /
+/// table sweeps and the fitting GEMMs then run at the merged M, so many
+/// small scoring systems still hit GEMM-friendly shapes.  parts[p]'s atom
+/// indices (center_index / nbr_index) are rebased by atom_base[p] so the
+/// merged rows address one concatenated atom array; slots are rebased
+/// part-major, preserving each part's slot and row order — every merged row
+/// carries bit-identical R~/dR/rel values to its source part, and segment
+/// row order is preserved, so the per-slot contraction accumulates in the
+/// same order as an isolated evaluation.
+///
+/// All parts must share ntypes.  Parts built with keep_list_rows (non-empty
+/// seg_active) merge correctly, though the serving score path builds
+/// rcut-filtered batches (empty seg_active).
+void merge_env_batches(const dp::AtomEnvBatch* const* parts, int nparts,
+                       const int* atom_base, dp::AtomEnvBatch& out);
+
+/// Per-job output of a score sweep.
+struct ScoreOutput {
+  double energy = 0.0;
+  double virial = 0.0;
+  std::vector<double> per_atom_energy;  ///< nlocal
+  std::vector<Vec3> forces;             ///< nlocal (ghost-folded)
+  int gang_size = 1;  ///< jobs co-evaluated in this job's merged sweep
+};
+
+/// Scores a run of jobs through one shared ModelPack, co-scheduling
+/// consecutive jobs into merged batches of >= gang_block centers (a job
+/// large enough on its own evaluates unmerged).  All jobs must share the
+/// model/options the pack was resolved for — the service groups them so.
+/// Deterministic: one evaluator, serial sweep order, serial force deposit;
+/// a job scored in a gang matches the same job scored alone to numerical
+/// round-off (the per-slot contraction is slot-local), pinned by
+/// tests/test_serve.cpp.
+///
+/// `arena` (nullable) backs the transient scratch — the concatenated force
+/// buffer, slot/atom maps, staging — reclaimed wholesale when the gang
+/// completes; null falls back to a call-local arena (fresh heap chunks).
+void score_jobs(const std::vector<const JobSpec*>& jobs,
+                const std::shared_ptr<const dp::ModelPack>& pack,
+                int gang_block, JobArena* arena,
+                std::vector<ScoreOutput>& out);
+
+/// True when two option sets resolve to the same evaluation numerics — the
+/// co-scheduling compatibility test (same pack key AND same sweep shape).
+bool same_eval_options(const dp::EvalOptions& a, const dp::EvalOptions& b);
+
+}  // namespace dpmd::serve

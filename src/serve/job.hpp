@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "md/box.hpp"
+#include "util/vec3.hpp"
+
+namespace dpmd::serve {
+
+using JobId = std::uint64_t;
+
+/// The three serving workloads (ROADMAP item 1): a single-point energy +
+/// force evaluation, a steepest-descent relaxation, and a short (N)VT/NVE
+/// trajectory.
+enum class JobKind { Score, Relax, Trajectory };
+
+const char* job_kind_name(JobKind k);
+
+/// Job lifecycle: Queued -> Running -> Done/Failed, or Queued -> Cancelled.
+/// A Running job cannot be cancelled (workers never poll mid-physics; a
+/// cancel request for a running/finished job returns false).
+enum class JobStatus { Queued, Running, Done, Failed, Cancelled };
+
+const char* job_status_name(JobStatus s);
+
+/// One independent unit of work.  The system description is self-contained
+/// (box + positions + types); the model is referenced by registry name so
+/// the spec never carries weights.
+struct JobSpec {
+  JobKind kind = JobKind::Score;
+  std::string model;      ///< serve::ModelRegistry name
+  dp::EvalOptions opts;   ///< per-job numerics (precision, table, block)
+
+  md::Box box;
+  std::vector<Vec3> x;
+  std::vector<int> type;
+  std::vector<Vec3> v;          ///< optional (Trajectory); empty = at rest
+  std::vector<double> masses;   ///< per type (Relax/Trajectory)
+
+  // Trajectory parameters.
+  int steps = 10;
+  double dt_fs = 0.5;
+  double temperature = 0.0;     ///< > 0 attaches a Langevin thermostat
+  double langevin_gamma = 0.01; ///< 1/fs
+  std::uint64_t seed = 1234;    ///< thermostat RNG stream
+
+  // Relax parameters (steepest descent with a trust-radius step cap).
+  int max_iters = 100;
+  double force_tol = 5e-2;      ///< eV/A, on the max force component
+  double max_move = 0.05;       ///< A per iteration per component
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::Queued;
+  std::string error;         ///< set when status == Failed
+
+  double energy = 0.0;       ///< total PE (final state for Relax/Trajectory)
+  double virial = 0.0;
+  std::vector<double> per_atom_energy;  ///< Score only
+  std::vector<Vec3> forces;  ///< final forces (locals)
+  std::vector<Vec3> x;       ///< final positions (Relax/Trajectory)
+  std::vector<Vec3> v;       ///< final velocities (Trajectory)
+  int iters = 0;             ///< Relax iterations / Trajectory steps done
+  double fmax = 0.0;         ///< Relax: final max |f| component
+
+  // Service-side accounting.
+  double queue_us = 0.0;     ///< submit -> execution start
+  double run_us = 0.0;       ///< execution start -> done
+  int gang_size = 1;         ///< Score jobs co-evaluated in this job's sweep
+};
+
+}  // namespace dpmd::serve

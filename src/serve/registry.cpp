@@ -1,0 +1,76 @@
+#include "serve/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace dpmd::serve {
+
+void ModelRegistry::add(const std::string& name,
+                        std::shared_ptr<const dp::DPModel> model) {
+  DPMD_REQUIRE(model != nullptr, "cannot register a null model");
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    DPMD_REQUIRE(it->second.model == model,
+                 "model name already registered with different weights");
+    return;
+  }
+  entries_.emplace(name, Entry{std::move(model), {}});
+}
+
+bool ModelRegistry::has(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return entries_.count(name) != 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<const dp::DPModel> ModelRegistry::model(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  DPMD_REQUIRE(it != entries_.end(), "unknown model name");
+  return it->second.model;
+}
+
+std::shared_ptr<const dp::ModelPack> ModelRegistry::pack(
+    const std::string& name, const dp::EvalOptions& opts) {
+  const dp::ModelPackKey key = dp::pack_key(opts);
+  // Building under the lock is deliberate: a pack build is a few ms, and
+  // serializing it guarantees "at most one build per key" — the whole point
+  // of the registry.  Concurrent requests for an already-built key still
+  // only pay a map lookup.
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  DPMD_REQUIRE(it != entries_.end(), "unknown model name");
+  for (const auto& [k, p] : it->second.packs) {
+    if (k == key) {
+      ++pack_hits_;
+      return p;
+    }
+  }
+  auto pack = dp::ModelPack::build(it->second.model, key);
+  it->second.packs.emplace_back(key, pack);
+  ++pack_builds_;
+  return pack;
+}
+
+ModelRegistry::Stats ModelRegistry::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.models = entries_.size();
+  s.pack_builds = pack_builds_;
+  s.pack_hits = pack_hits_;
+  for (const auto& [name, entry] : entries_) {
+    s.packs += entry.packs.size();
+    for (const auto& [k, p] : entry.packs) s.pack_bytes += p->bytes();
+  }
+  return s;
+}
+
+}  // namespace dpmd::serve

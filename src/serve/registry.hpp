@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "core/model_pack.hpp"
+
+namespace dpmd::serve {
+
+/// Thread-safe registry of named immutable models and their derived weight
+/// packs (ISSUE 8).  The sharing rules of the serving subsystem:
+///
+///  * a DPModel registered here is frozen — the registry holds it as
+///    shared_ptr<const DPModel> and every consumer reads the same copy;
+///  * dp::ModelPack artifacts (fp32 casts, compression tables) are built at
+///    most once per (model, pack key) and shared by every job, worker and
+///    concurrent simulation that asks for compatible EvalOptions;
+///  * packs are immutable after construction, so handing the same
+///    shared_ptr<const ModelPack> to N threads requires no locking beyond
+///    the registry's own map mutex.
+///
+/// This is what turns "N queued jobs" from N table builds + N weight casts
+/// into one of each.
+class ModelRegistry {
+ public:
+  /// Registers `model` under `name`.  Re-registering the same pointer is
+  /// idempotent; a different model under a taken name throws (models are
+  /// immutable — replacing weights mid-service would silently change
+  /// results of queued jobs).
+  void add(const std::string& name, std::shared_ptr<const dp::DPModel> model);
+
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// The registered model (throws on unknown name).
+  std::shared_ptr<const dp::DPModel> model(const std::string& name) const;
+
+  /// The shared pack for `name` under these options: built on first use,
+  /// cached by dp::pack_key(opts) afterwards.  Callers on any thread get
+  /// the same pointer for compatible options.
+  std::shared_ptr<const dp::ModelPack> pack(const std::string& name,
+                                            const dp::EvalOptions& opts);
+
+  struct Stats {
+    std::size_t models = 0;       ///< registered models
+    std::size_t packs = 0;        ///< distinct packs resident
+    std::size_t pack_builds = 0;  ///< pack() calls that had to build
+    std::size_t pack_hits = 0;    ///< pack() calls served from cache
+    std::size_t pack_bytes = 0;   ///< sum of ModelPack::bytes()
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const dp::DPModel> model;
+    /// Few packs per model (one per distinct EvalOptions shape) — a linear
+    /// scan under the lock is cheaper than hashing the key.
+    std::vector<std::pair<dp::ModelPackKey,
+                          std::shared_ptr<const dp::ModelPack>>> packs;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::size_t pack_builds_ = 0;
+  std::size_t pack_hits_ = 0;
+};
+
+}  // namespace dpmd::serve

@@ -1,0 +1,449 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/pair_deepmd.hpp"
+#include "md/sim.hpp"
+#include "md/thermostat.hpp"
+#include "serve/gang.hpp"
+#include "util/error.hpp"
+
+namespace dpmd::serve {
+
+const char* job_kind_name(JobKind k) {
+  switch (k) {
+    case JobKind::Score: return "score";
+    case JobKind::Relax: return "relax";
+    case JobKind::Trajectory: return "trajectory";
+  }
+  return "?";
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Done: return "done";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Spec system -> local Atoms (positions wrapped, tags 1..n).
+md::Atoms make_atoms(const JobSpec& spec, const md::Box& box,
+                     bool with_velocities) {
+  const std::size_t n = spec.x.size();
+  DPMD_REQUIRE(spec.type.size() == n, "job: type/x size mismatch");
+  DPMD_REQUIRE(spec.v.empty() || spec.v.size() == n, "job: v/x size mismatch");
+  md::Atoms atoms;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 p = spec.x[i];
+    box.wrap(p);
+    const Vec3 vel = (with_velocities && !spec.v.empty()) ? spec.v[i] : Vec3{};
+    atoms.add_local(p, vel, spec.type[i], static_cast<std::int64_t>(i) + 1);
+  }
+  return atoms;
+}
+
+std::vector<double> resolve_masses(const JobSpec& spec, int ntypes) {
+  if (!spec.masses.empty()) {
+    DPMD_REQUIRE(static_cast<int>(spec.masses.size()) >= ntypes,
+                 "job: fewer masses than model types");
+    return spec.masses;
+  }
+  // Relax does not integrate, so unit masses are an acceptable default.
+  DPMD_REQUIRE(spec.kind == JobKind::Relax,
+               "trajectory job needs per-type masses");
+  return std::vector<double>(static_cast<std::size_t>(ntypes), 1.0);
+}
+
+void harvest_locals(const md::Sim& sim, JobResult& res, bool velocities) {
+  const md::Atoms& a = sim.atoms();
+  res.energy = sim.pe();
+  res.virial = sim.virial();
+  res.x.assign(a.x.begin(), a.x.begin() + a.nlocal);
+  res.forces.assign(a.f.begin(), a.f.begin() + a.nlocal);
+  if (velocities) res.v.assign(a.v.begin(), a.v.begin() + a.nlocal);
+}
+
+JobResult run_trajectory(const JobSpec& spec,
+                         std::shared_ptr<const dp::ModelPack> pack) {
+  const md::Box box = spec.box;
+  md::Atoms atoms = make_atoms(spec, box, /*with_velocities=*/true);
+  const int ntypes = pack->model().config().ntypes;
+  // No pool: each job integrates serially inside its worker, so the numbers
+  // are independent of service concurrency (the bit-identity contract).
+  auto pair =
+      std::make_shared<dp::PairDeepMD>(std::move(pack), spec.opts, nullptr);
+  md::SimConfig scfg;
+  scfg.dt_fs = spec.dt_fs;
+  scfg.skin = -1.0;  // auto: largest skin the (possibly tiny) cell admits
+  md::Sim sim(box, std::move(atoms), resolve_masses(spec, ntypes),
+              std::move(pair), scfg);
+  if (spec.temperature > 0.0)
+    sim.set_thermostat(std::make_unique<md::LangevinThermostat>(
+        spec.temperature, spec.langevin_gamma, spec.seed));
+  sim.run(spec.steps);
+  JobResult res;
+  harvest_locals(sim, res, /*velocities=*/true);
+  res.iters = sim.steps_done();
+  return res;
+}
+
+JobResult run_relax(const JobSpec& spec,
+                    std::shared_ptr<const dp::ModelPack> pack) {
+  const md::Box box = spec.box;
+  md::Atoms atoms = make_atoms(spec, box, /*with_velocities=*/false);
+  const int ntypes = pack->model().config().ntypes;
+  auto pair =
+      std::make_shared<dp::PairDeepMD>(std::move(pack), spec.opts, nullptr);
+  md::SimConfig scfg;
+  scfg.dt_fs = spec.dt_fs;
+  scfg.skin = -1.0;
+  md::Sim sim(box, std::move(atoms), resolve_masses(spec, ntypes),
+              std::move(pair), scfg);
+  sim.setup();
+
+  const auto fmax_of = [&sim] {
+    double m = 0.0;
+    const md::Atoms& a = sim.atoms();
+    for (int i = 0; i < a.nlocal; ++i)
+      for (int d = 0; d < 3; ++d) m = std::max(m, std::abs(a.f[i][d]));
+    return m;
+  };
+
+  // Backtracking steepest descent: trial step x += g*f with the largest
+  // single-component move capped at max_move; a trial that raises the
+  // energy is rejected and the step shrinks, so the energy is monotone
+  // non-increasing even on nearly-flat landscapes.
+  double e_prev = sim.pe();
+  double fmax = fmax_of();
+  double gamma = spec.max_move / std::max(fmax, 1e-300);
+  int it = 0;
+  while (it < spec.max_iters && fmax > spec.force_tol) {
+    const double g = std::min(gamma, spec.max_move / std::max(fmax, 1e-300));
+    const md::Atoms& before = sim.atoms();
+    const std::vector<Vec3> x_old(before.x.begin(),
+                                  before.x.begin() + before.nlocal);
+    md::Atoms& a = sim.atoms();
+    for (int i = 0; i < a.nlocal; ++i) {
+      Vec3 p = a.x[i];
+      for (int d = 0; d < 3; ++d) p[d] += g * a.f[i][d];
+      box.wrap(p);
+      a.x[i] = p;
+    }
+    sim.invalidate();
+    sim.setup();  // fresh ghosts + list + forces at the moved positions
+    ++it;
+    if (sim.pe() < e_prev) {
+      e_prev = sim.pe();
+      fmax = fmax_of();
+      gamma = g * 1.5;
+    } else {
+      std::copy(x_old.begin(), x_old.end(), sim.atoms().x.begin());
+      sim.invalidate();
+      sim.setup();  // restore forces/energy at the rejected point
+      gamma = g * 0.25;
+      if (gamma * fmax < 1e-12) break;  // step collapsed: local minimum
+    }
+  }
+  JobResult res;
+  harvest_locals(sim, res, /*velocities=*/false);
+  res.iters = it;
+  res.fmax = fmax;
+  return res;
+}
+
+}  // namespace
+
+SimService::SimService(std::shared_ptr<ModelRegistry> registry,
+                       ServiceConfig cfg)
+    : registry_(std::move(registry)), cfg_(cfg) {
+  DPMD_REQUIRE(registry_ != nullptr, "SimService needs a ModelRegistry");
+  if (cfg_.workers == 0)
+    cfg_.workers = std::max(1u, std::thread::hardware_concurrency());
+  cfg_.gang_block = std::max(1, cfg_.gang_block);
+  cfg_.max_gang = std::max(1, cfg_.max_gang);
+  arenas_.reserve(cfg_.workers);
+  for (unsigned t = 0; t < cfg_.workers; ++t)
+    arenas_.push_back(std::make_unique<JobArena>(cfg_.arena_chunk_bytes));
+  // The queue is drained by the existing rt::ThreadPool: a dedicated
+  // dispatcher thread parks the pool in run_on_all, which gives exactly
+  // cfg_.workers execution contexts (the dispatcher participates as tid 0).
+  pool_ = std::make_unique<rt::ThreadPool>(cfg_.workers);
+  dispatcher_ = std::thread([this] {
+    pool_->run_on_all([this](unsigned tid) { worker_loop(tid); });
+  });
+}
+
+SimService::~SimService() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();
+  // Jobs still queued at shutdown are abandoned, not executed.
+  for (auto& [id, rec] : jobs_) {
+    (void)id;
+    if (rec.status == JobStatus::Queued) {
+      rec.status = JobStatus::Cancelled;
+      rec.result.status = JobStatus::Cancelled;
+      ++cancelled_;
+    }
+  }
+}
+
+JobId SimService::submit(JobSpec spec) {
+  DPMD_REQUIRE(registry_->has(spec.model), "submit: unknown model name");
+  DPMD_REQUIRE(!spec.x.empty(), "submit: empty system");
+  DPMD_REQUIRE(spec.type.size() == spec.x.size(),
+               "submit: type/x size mismatch");
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mu_);
+  DPMD_REQUIRE(!stop_, "submit on a stopped service");
+  const JobId id = next_id_++;
+  Record rec;
+  rec.spec = std::move(spec);
+  rec.submitted_at = now;
+  jobs_.emplace(id, std::move(rec));
+  queue_.push_back(id);
+  ++queued_;
+  ++submitted_;
+  work_cv_.notify_one();
+  return id;
+}
+
+bool SimService::cancel(JobId id) {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.status != JobStatus::Queued) return false;
+  // Lazy removal: the id stays in the deque and is skipped when popped.
+  it->second.status = JobStatus::Cancelled;
+  it->second.result.status = JobStatus::Cancelled;
+  --queued_;
+  ++cancelled_;
+  done_cv_.notify_all();
+  return true;
+}
+
+JobResult SimService::wait(JobId id) {
+  std::unique_lock lock(mu_);
+  auto it = jobs_.find(id);
+  DPMD_REQUIRE(it != jobs_.end(), "wait: unknown job id");
+  Record& rec = it->second;
+  done_cv_.wait(lock, [&rec] {
+    return rec.status != JobStatus::Queued && rec.status != JobStatus::Running;
+  });
+  return rec.result;
+}
+
+void SimService::wait_all() {
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return queued_ == 0 && inflight_ == 0; });
+}
+
+JobStatus SimService::status(JobId id) const {
+  std::lock_guard lock(mu_);
+  auto it = jobs_.find(id);
+  DPMD_REQUIRE(it != jobs_.end(), "status: unknown job id");
+  return it->second.status;
+}
+
+SimService::Stats SimService::stats() const {
+  Stats s;
+  {
+    std::lock_guard lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.gangs = gangs_;
+    s.gang_jobs = gang_jobs_;
+  }
+  // Arena counters are worker-written; they are stable (and race-free: the
+  // writes happen-before the worker's post() lock release) once wait_all()
+  // returned and nothing new was submitted.
+  for (const auto& a : arenas_) {
+    s.arena_high_water = std::max(s.arena_high_water, a->high_water());
+    s.arena_reserved += a->bytes_reserved();
+  }
+  s.registry = registry_->stats();
+  return s;
+}
+
+std::shared_ptr<const dp::ModelPack> SimService::pack_for(const JobSpec& spec) {
+  if (cfg_.share_registry) return registry_->pack(spec.model, spec.opts);
+  // Baseline mode: every job pays its own fp32 cast + table build — the
+  // pre-registry behavior bench_serving measures the registry against.
+  return dp::ModelPack::build(registry_->model(spec.model),
+                              dp::pack_key(spec.opts));
+}
+
+void SimService::worker_loop(unsigned tid) {
+  for (;;) {
+    std::vector<std::pair<JobId, Record*>> batch;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+
+      const auto claim = [&](JobId id, Record& r) {
+        r.status = JobStatus::Running;
+        r.started_at = std::chrono::steady_clock::now();
+        --queued_;
+        ++inflight_;
+        batch.emplace_back(id, &r);
+      };
+
+      Record* first = nullptr;
+      while (!queue_.empty()) {
+        const JobId id = queue_.front();
+        queue_.pop_front();
+        Record& r = jobs_.at(id);
+        if (r.status == JobStatus::Cancelled) continue;  // lazy removal
+        first = &r;
+        claim(id, r);
+        break;
+      }
+      if (first == nullptr) continue;  // everything popped was cancelled
+
+      // Drain consecutive compatible Score jobs into one gang claim; the
+      // merged sweep is what gives small jobs a GEMM-friendly M.
+      if (first->spec.kind == JobKind::Score && cfg_.coschedule) {
+        while (static_cast<int>(batch.size()) < cfg_.max_gang &&
+               !queue_.empty()) {
+          const JobId id = queue_.front();
+          Record& r = jobs_.at(id);
+          if (r.status == JobStatus::Cancelled) {
+            queue_.pop_front();
+            continue;
+          }
+          if (r.spec.kind != JobKind::Score ||
+              r.spec.model != first->spec.model ||
+              !same_eval_options(r.spec.opts, first->spec.opts))
+            break;
+          queue_.pop_front();
+          claim(id, r);
+        }
+      }
+    }
+
+    Record* first = batch.front().second;
+    if (first->spec.kind == JobKind::Score) {
+      run_scores(batch, tid);
+    } else {
+      run_single(batch.front().first, first, tid);
+    }
+  }
+}
+
+void SimService::run_scores(
+    const std::vector<std::pair<JobId, Record*>>& batch, unsigned tid) {
+  std::vector<const JobSpec*> specs;
+  specs.reserve(batch.size());
+  // Specs are safe to read lock-free: std::map nodes are stable and a spec
+  // is immutable once submitted.
+  for (const auto& [id, rec] : batch) {
+    (void)id;
+    specs.push_back(&rec->spec);
+  }
+
+  std::vector<ScoreOutput> outs;
+  std::string error;
+  JobArena* arena = cfg_.use_arena ? arenas_[tid].get() : nullptr;
+  if (arena) arena->begin();
+  try {
+    score_jobs(specs, pack_for(*specs.front()), cfg_.gang_block, arena, outs);
+  } catch (const std::exception& e) {
+    error = e.what();
+    outs.clear();
+  } catch (...) {
+    error = "unknown serving error";
+    outs.clear();
+  }
+  if (arena) arena->end();
+
+  if (error.empty()) {
+    std::uint64_t gangs = 0, gang_jobs = 0;
+    for (std::size_t i = 0; i < outs.size();) {
+      const int gs = std::max(1, outs[i].gang_size);
+      if (gs > 1) {
+        ++gangs;
+        gang_jobs += static_cast<std::uint64_t>(gs);
+      }
+      i += static_cast<std::size_t>(gs);
+    }
+    if (gangs) {
+      std::lock_guard lock(mu_);
+      gangs_ += gangs;
+      gang_jobs_ += gang_jobs;
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    JobResult res;
+    if (!error.empty() || i >= outs.size()) {
+      res.status = JobStatus::Failed;
+      res.error = error.empty() ? "score job produced no output" : error;
+    } else {
+      res.status = JobStatus::Done;
+      res.energy = outs[i].energy;
+      res.virial = outs[i].virial;
+      res.per_atom_energy = std::move(outs[i].per_atom_energy);
+      res.forces = std::move(outs[i].forces);
+      res.gang_size = outs[i].gang_size;
+    }
+    post(batch[i].second, std::move(res));
+  }
+}
+
+void SimService::run_single(JobId id, Record* rec, unsigned tid) {
+  (void)id;
+  (void)tid;
+  JobResult res;
+  try {
+    auto pack = pack_for(rec->spec);
+    res = rec->spec.kind == JobKind::Relax
+              ? run_relax(rec->spec, std::move(pack))
+              : run_trajectory(rec->spec, std::move(pack));
+    res.status = JobStatus::Done;
+  } catch (const std::exception& e) {
+    res = JobResult{};
+    res.status = JobStatus::Failed;
+    res.error = e.what();
+  } catch (...) {
+    res = JobResult{};
+    res.status = JobStatus::Failed;
+    res.error = "unknown serving error";
+  }
+  post(rec, std::move(res));
+}
+
+void SimService::post(Record* rec, JobResult&& res) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mu_);
+  res.queue_us = elapsed_us(rec->submitted_at, rec->started_at);
+  res.run_us = elapsed_us(rec->started_at, now);
+  rec->status = res.status;
+  rec->result = std::move(res);
+  --inflight_;
+  if (rec->status == JobStatus::Done)
+    ++completed_;
+  else
+    ++failed_;
+  done_cv_.notify_all();
+}
+
+}  // namespace dpmd::serve

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/model_pack.hpp"
+#include "runtime/threadpool.hpp"
+#include "serve/arena.hpp"
+#include "serve/job.hpp"
+#include "serve/registry.hpp"
+
+namespace dpmd::serve {
+
+struct ServiceConfig {
+  /// Execution contexts draining the queue (rt::ThreadPool semantics: total
+  /// threads, dispatcher included).  0 = hardware concurrency.
+  unsigned workers = 1;
+  /// Resolve weight packs through the shared ModelRegistry (the subsystem's
+  /// point).  Off = each job builds a private dp::ModelPack — the pre-registry
+  /// behavior, kept as the honest serial baseline for bench_serving.
+  bool share_registry = true;
+  /// Co-schedule consecutive compatible Score jobs into one merged sweep so
+  /// small systems still evaluate at GEMM-friendly M (serve/gang.hpp).
+  bool coschedule = true;
+  /// Target centers per merged sweep; jobs are gathered until the running
+  /// center count reaches this.
+  int gang_block = 64;
+  /// Cap on Score jobs drained per queue claim (bounds tail latency of the
+  /// jobs stuck behind a gang).
+  int max_gang = 16;
+  /// Back job-scoped scratch with the worker's JobArena; off = plain heap
+  /// vectors (the equality baseline pinned by tests/test_serve.cpp).
+  bool use_arena = true;
+  std::size_t arena_chunk_bytes = std::size_t{1} << 20;
+};
+
+/// Throughput simulation service (ISSUE 8 tentpole): a FIFO queue of
+/// independent jobs (Score / Relax / Trajectory) drained by the existing
+/// rt::ThreadPool.  A dedicated dispatcher thread parks the pool in
+/// run_on_all(worker_loop); each of the `workers` contexts loops popping
+/// jobs until shutdown.
+///
+/// Determinism contract: each job runs serially inside its worker (the
+/// per-job PairDeepMD gets no pool), so a job's numbers depend only on its
+/// spec and pack — never on queue depth, worker count, or what ran before.
+/// Shared-registry trajectories are bit-identical to isolated ones
+/// (tests/test_serve.cpp).
+class SimService {
+ public:
+  explicit SimService(std::shared_ptr<ModelRegistry> registry,
+                      ServiceConfig cfg = ServiceConfig());
+  ~SimService();
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Enqueues a job (validated shallowly: registered model, matching x/type
+  /// sizes).  Returns immediately with the job's id.
+  JobId submit(JobSpec spec);
+
+  /// Cancels a still-Queued job.  Returns false once the job is running or
+  /// finished — workers never interrupt mid-physics.
+  bool cancel(JobId id);
+
+  /// Blocks until the job reaches a terminal state; returns its result.
+  JobResult wait(JobId id);
+
+  /// Blocks until the queue is empty and no job is in flight.
+  void wait_all();
+
+  JobStatus status(JobId id) const;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< Done
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t gangs = 0;      ///< merged sweeps with >= 2 jobs
+    std::uint64_t gang_jobs = 0;  ///< jobs that rode in those sweeps
+    std::size_t arena_high_water = 0;  ///< max over workers
+    std::size_t arena_reserved = 0;    ///< sum over workers
+    ModelRegistry::Stats registry;
+  };
+  Stats stats() const;
+
+  ModelRegistry& registry() { return *registry_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Record {
+    JobSpec spec;
+    JobResult result;
+    JobStatus status = JobStatus::Queued;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point started_at;
+  };
+
+  void worker_loop(unsigned tid);
+  /// Runs a drained batch of compatible Score jobs through one gang sweep.
+  void run_scores(const std::vector<std::pair<JobId, Record*>>& batch,
+                  unsigned tid);
+  /// Runs one Relax/Trajectory job.
+  void run_single(JobId id, Record* rec, unsigned tid);
+  std::shared_ptr<const dp::ModelPack> pack_for(const JobSpec& spec);
+  void post(Record* rec, JobResult&& res);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ServiceConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
+  std::condition_variable done_cv_;  ///< waiters: some job reached terminal
+  std::deque<JobId> queue_;
+  std::map<JobId, Record> jobs_;  ///< node-stable: specs readable lock-free
+  JobId next_id_ = 1;
+  bool stop_ = false;
+  std::size_t queued_ = 0;  ///< still-Queued entries in the deque
+  std::uint64_t inflight_ = 0;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t gangs_ = 0;
+  std::uint64_t gang_jobs_ = 0;
+
+  std::vector<std::unique_ptr<JobArena>> arenas_;  ///< one per worker tid
+  std::unique_ptr<rt::ThreadPool> pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace dpmd::serve

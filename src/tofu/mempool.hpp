@@ -1,7 +1,12 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace dpmd::tofu {
 
@@ -51,6 +56,156 @@ class PerBufferRegistration {
 
  private:
   uint64_t next_region_ = 2;  // 1 is reserved for the pool
+};
+
+/// Memory-owning bump allocator (ISSUE 8): the RdmaMemoryPool design —
+/// reserve slabs up front, hand out bump offsets, reclaim everything with
+/// one reset — grown from offset bookkeeping into a real arena.  This is
+/// what backs serve::JobArena: per-job transient storage comes from here
+/// instead of the heap, and job completion reclaims it all at once.
+///
+/// Unlike RdmaMemoryPool it never throws on exhaustion: allocation that
+/// does not fit the active chunk opens the next one (at least chunk_bytes,
+/// or the request size if larger), so chunks grow to the steady-state
+/// high-water mark and then stop — after the first few jobs an arena-backed
+/// job performs zero heap allocations.  Not thread-safe: one arena per
+/// worker/job.
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : chunk_bytes_(chunk_bytes) {
+    DPMD_REQUIRE(chunk_bytes_ > 0, "BumpArena chunk size must be > 0");
+  }
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Aligned bump allocation.  The returned storage is valid until reset().
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    DPMD_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+                 "alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (active_ < chunks_.size()) {
+        Chunk& c = chunks_[active_];
+        // Align the absolute address, not the chunk offset — the chunk base
+        // is only guaranteed alignof(max_align_t).
+        const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+        const std::size_t at =
+            ((base + c.used + align - 1) & ~(align - 1)) - base;
+        if (at + bytes <= c.size) {
+          c.used = at + bytes;
+          used_ = at + bytes;
+          ++allocations_;
+          bump_high_water();
+          return c.data.get() + at;
+        }
+        // Chunk full: seal it at its true size and move on.
+        ++active_;
+        used_ = 0;
+        continue;
+      }
+      grow(bytes + align);
+    }
+  }
+
+  /// Reclaims every allocation at once (end of job).  Chunks are retained
+  /// at capacity, so the next job re-bumps through warm memory.
+  void reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    active_ = 0;
+    used_ = 0;
+    ++resets_;
+  }
+
+  /// Frees the chunk memory itself (tests / teardown).
+  void release() {
+    chunks_.clear();
+    active_ = 0;
+    used_ = 0;
+  }
+
+  std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.size;
+    return n;
+  }
+  std::size_t bytes_used() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.used;
+    return n;
+  }
+  /// Largest bytes_used() ever observed (sizing feedback for chunk_bytes).
+  std::size_t high_water() const { return high_water_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t allocations() const { return allocations_; }
+  std::size_t resets() const { return resets_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void grow(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes
+                                                      : chunk_bytes_;
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    active_ = chunks_.size() - 1;
+    used_ = 0;
+  }
+
+  void bump_high_water() {
+    const std::size_t total = bytes_used();
+    if (total > high_water_) high_water_ = total;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t used_ = 0;  ///< used bytes of the active chunk (mirror)
+  std::size_t high_water_ = 0;
+  std::size_t allocations_ = 0;
+  std::size_t resets_ = 0;
+};
+
+/// std::allocator adapter over a BumpArena, so standard containers can live
+/// in per-job arena storage: `std::vector<T, ArenaAllocator<T>>`.
+/// deallocate() is a no-op — storage is reclaimed wholesale by
+/// BumpArena::reset(), which must not run while any container using the
+/// arena is still alive.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(BumpArena& arena) noexcept : arena_(&arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& o) noexcept : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}  // bump: reclaimed at reset()
+
+  BumpArena* arena() const noexcept { return arena_; }
+
+  template <class U>
+  bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+  template <class U>
+  bool operator!=(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ != o.arena();
+  }
+
+ private:
+  BumpArena* arena_;
 };
 
 }  // namespace dpmd::tofu

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "tofu/mempool.hpp"
 #include "tofu/netsim.hpp"
 #include "tofu/nic_cache.hpp"
@@ -265,6 +268,70 @@ TEST(NetSim, SelfMessageSkipsHopLatencyAndTni) {
       evaluate(one_message_plan(8, Api::Mpi, /*dst=*/1), mp, topo).total_s;
   EXPECT_LT(local, remote);
   EXPECT_NEAR(remote - local, mp.hop_latency + mp.tni_injection_gap, 1e-8);
+}
+
+// ------------------------------------------------------------ BumpArena ----
+
+TEST(BumpArena, BumpsWithinOneChunkAndAligns) {
+  BumpArena arena(1 << 12);
+  void* a = arena.allocate(100);
+  void* b = arena.allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  void* c = arena.allocate(1, 256);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 256, 0u);
+  EXPECT_EQ(arena.allocations(), 3u);
+  EXPECT_GT(arena.bytes_used(), 0u);
+}
+
+TEST(BumpArena, GrowsInsteadOfThrowing) {
+  BumpArena arena(256);
+  arena.allocate(200);
+  EXPECT_NO_THROW(arena.allocate(200));  // second chunk, not an exception
+  EXPECT_GE(arena.chunk_count(), 2u);
+  // An oversized request gets a dedicated chunk at least that big.
+  arena.allocate(10000);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+}
+
+TEST(BumpArena, ResetRetainsCapacityAndReusesMemory) {
+  BumpArena arena(1 << 12);
+  void* first = arena.allocate(64);
+  arena.allocate(3000);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t hw = arena.high_water();
+  EXPECT_GT(hw, 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);  // chunks retained
+  // The warm chunk is re-bumped from the start: same address comes back.
+  void* again = arena.allocate(64);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(arena.resets(), 1u);
+  EXPECT_EQ(arena.high_water(), hw);
+
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+}
+
+TEST(BumpArena, ArenaAllocatorBacksStdVector) {
+  BumpArena arena(1 << 12);
+  std::vector<double, ArenaAllocator<double>> v{ArenaAllocator<double>(arena)};
+  std::vector<double> ref;
+  for (int i = 0; i < 300; ++i) {
+    v.push_back(1.5 * i);
+    ref.push_back(1.5 * i);
+  }
+  ASSERT_EQ(v.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(v[i], ref[i]);
+  EXPECT_GT(arena.allocations(), 0u);
+  // Rebinding (map/node allocations) and copies compare equal on the same
+  // arena.
+  ArenaAllocator<int> ai(arena);
+  ArenaAllocator<double> ad(ai);
+  EXPECT_TRUE(ai == ArenaAllocator<int>(ad));
 }
 
 }  // namespace
