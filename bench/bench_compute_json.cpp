@@ -10,6 +10,7 @@
 // 2 steps) so the whole binary runs in seconds — registered as the
 // `bench_smoke` ctest so the bench pipeline cannot silently rot.  Smoke
 // numbers are build-health numbers, not measurements.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -62,7 +63,8 @@ struct TableBench {
 };
 
 TableBench bench_table(const dp::DPModel& model,
-                       const std::vector<double>& s_samples, int reps) {
+                       const std::vector<double>& s_samples, int reps,
+                       int repeats) {
   const auto& cfg = model.config();
   const double s_max = 4.0 / cfg.descriptor.rcut_smth;
   const auto table = dp::CompressedEmbedding::build(
@@ -78,25 +80,30 @@ TableBench bench_table(const dp::DPModel& model,
 
   TableBench out;
   double sink = 0.0;
-  {
-    for (int i = 0; i < rows; ++i) table.eval(s[i], g.data(), dg.data());
-    Stopwatch sw;
+  // Min-of-repeats, interleaved like the fused_table rung: this VM's timer
+  // noise used to land entirely on whichever leg ran second, so a single
+  // shot could report half the real speedup.
+  for (int i = 0; i < rows; ++i) table.eval(s[i], g.data(), dg.data());
+  for (int i = 0; i < rows; ++i) table.eval_row(s[i], g.data(), dg.data());
+  for (int rep = 0; rep < repeats; ++rep) {
+    Stopwatch ss;
     for (int r = 0; r < reps; ++r) {
       for (int i = 0; i < rows; ++i) table.eval(s[i], g.data(), dg.data());
       sink += g[0];
     }
-    out.scalar_ns_per_row = sw.elapsed_us() * 1e3 / (reps * rows);
-  }
-  {
-    for (int i = 0; i < rows; ++i) table.eval_row(s[i], g.data(), dg.data());
-    Stopwatch sw;
+    const double scalar_ns = ss.elapsed_us() * 1e3 / (reps * rows);
+    Stopwatch sr;
     for (int r = 0; r < reps; ++r) {
       for (int i = 0; i < rows; ++i) {
         table.eval_row(s[i], g.data(), dg.data());
       }
       sink += g[0];
     }
-    out.row_ns_per_row = sw.elapsed_us() * 1e3 / (reps * rows);
+    const double row_ns = sr.elapsed_us() * 1e3 / (reps * rows);
+    if (rep == 0 || scalar_ns < out.scalar_ns_per_row) {
+      out.scalar_ns_per_row = scalar_ns;
+    }
+    if (rep == 0 || row_ns < out.row_ns_per_row) out.row_ns_per_row = row_ns;
   }
   if (sink == 0.12345) std::printf("-");  // keep the loops observable
   out.speedup = out.scalar_ns_per_row / out.row_ns_per_row;
@@ -215,7 +222,8 @@ struct PhaseBench {
   double env_refresh_us = 0.0;  // refresh_env_batch, skinned keep blocks
   double table_us = 0.0;        // eval_row over all packed rows
   double contract_us = 0.0;     // slab contraction fwd+bwd (gemm_tn et al.)
-  double gemm_us = 0.0;         // unfused evaluate_batch - table - contract
+  double fitnet_us = 0.0;       // fitting nets fwd + dE/dD bwd, per block
+  double embed_gemm_us = 0.0;   // eval - table - contract - fitnet remainder
   double eval_us = 0.0;         // evaluate_batch total (unfused pipeline)
 };
 
@@ -229,10 +237,21 @@ struct FusedBench {
   double speedup = 0.0;
 };
 
+/// Fitting-net fast-path ablation (ISSUE 9): the 240^3 fitting stage —
+/// forward, dy = 1, dE/dD backward on real staged D slabs — run per block
+/// (the pre-sweep path: one Mlp call chain per block) vs as one multi-block
+/// forward_sweep/backward_sweep.  Interleaved, min of `repeats`.
+struct FitnetBench {
+  double perblock_us = 0.0;
+  double sweep_us = 0.0;
+  double speedup = 0.0;
+};
+
 PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
                         const md::Atoms& atoms_in, const md::Box& box,
                         const md::NeighborList& list, double skin, int reps,
-                        FusedBench& fused_out, int fused_repeats) {
+                        FusedBench& fused_out, FitnetBench& fitnet_out,
+                        int fused_repeats) {
   const auto& cfg = model->config();
   md::Atoms atoms = atoms_in;
   const int B = kBlock;
@@ -351,6 +370,83 @@ PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
     out.contract_us = sw.elapsed_us() / reps;
   }
   {
+    // Fitting stage on the real D slabs the contraction just staged:
+    // forward, dy = 1, dE/dD backward — per block (one Mlp call chain per
+    // block, the pre-ISSUE-9 path) vs ONE multi-block sweep per net.
+    std::vector<std::vector<nn::MlpCache<double>>> fcache(
+        static_cast<std::size_t>(cfg.ntypes));
+    for (auto& c : fcache) c.resize(blocks.size());
+    const auto fit_count = [&](std::size_t b, int t) {
+      return blocks[b].fit_type_offset[static_cast<std::size_t>(t) + 1] -
+             blocks[b].fit_type_offset[static_cast<std::size_t>(t)];
+    };
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      for (int t = 0; t < cfg.ntypes; ++t) {
+        const int fc = fit_count(b, t);
+        if (fc == 0) continue;
+        const auto& net = model->fitting(t);
+        auto& cache = fcache[static_cast<std::size_t>(t)][b];
+        double* in = net.batch_input(fc, cache);
+        std::copy_n(work[b].fit[static_cast<std::size_t>(t)].data(),
+                    static_cast<std::size_t>(fc) * m1 * m2, in);
+      }
+    }
+    const auto perblock_pass = [&]() {
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        for (int t = 0; t < cfg.ntypes; ++t) {
+          const int fc = fit_count(b, t);
+          if (fc == 0) continue;
+          const auto& net = model->fitting(t);
+          auto& cache = fcache[static_cast<std::size_t>(t)][b];
+          net.forward_batch(fc, cache, nn::GemmKind::Auto,
+                            nn::GemmKind::Auto);
+          double* dy = net.batch_output_grad(fc, cache);
+          std::fill_n(dy, fc, 1.0);
+          net.backward_input_batch(fc, cache, nn::GemmKind::Auto);
+        }
+      }
+    };
+    std::vector<nn::MlpSweepItem<double>> items;
+    const auto sweep_pass = [&]() {
+      for (int t = 0; t < cfg.ntypes; ++t) {
+        items.clear();
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+          const int fc = fit_count(b, t);
+          if (fc == 0) continue;
+          items.push_back({fc, &fcache[static_cast<std::size_t>(t)][b]});
+        }
+        if (items.empty()) continue;
+        const auto& net = model->fitting(t);
+        net.forward_sweep(items.data(), static_cast<int>(items.size()),
+                          nn::GemmKind::Auto, nn::GemmKind::Auto);
+        for (const auto& it : items) {
+          double* dy = net.batch_output_grad(it.m, *it.cache);
+          std::fill_n(dy, it.m, 1.0);
+        }
+        net.backward_sweep(items.data(), static_cast<int>(items.size()),
+                           nn::GemmKind::Auto);
+      }
+    };
+    perblock_pass();
+    sweep_pass();  // warm both
+    {
+      Stopwatch sw;
+      for (int r = 0; r < reps; ++r) perblock_pass();
+      out.fitnet_us = sw.elapsed_us() / reps;
+    }
+    for (int rep = 0; rep < fused_repeats; ++rep) {
+      Stopwatch sp;
+      for (int r = 0; r < reps; ++r) perblock_pass();
+      const double pu = sp.elapsed_us() / reps;
+      Stopwatch ss;
+      for (int r = 0; r < reps; ++r) sweep_pass();
+      const double su = ss.elapsed_us() / reps;
+      if (rep == 0 || pu < fitnet_out.perblock_us) fitnet_out.perblock_us = pu;
+      if (rep == 0 || su < fitnet_out.sweep_us) fitnet_out.sweep_us = su;
+    }
+    fitnet_out.speedup = fitnet_out.perblock_us / fitnet_out.sweep_us;
+  }
+  {
     // Fused ablation: interleaved min-of-repeats of the combined phase.
     unfused_pass();
     fused_pass();  // warm both
@@ -386,8 +482,8 @@ PhaseBench bench_phases(const std::shared_ptr<dp::DPModel>& model,
     }
     out.eval_us = sw.elapsed_us() / reps;
   }
-  out.gemm_us =
-      std::max(0.0, out.eval_us - out.table_us - out.contract_us);
+  out.embed_gemm_us = std::max(
+      0.0, out.eval_us - out.table_us - out.contract_us - out.fitnet_us);
   return out;
 }
 
@@ -534,11 +630,14 @@ int main(int argc, char** argv) {
   // Full pair-style timing (env build + evaluation + force scatter), the
   // honest per-step number a simulation would pay.
   const auto time_variant = [&](int block_size, bool compressed,
-                                bool fused_table = true) {
+                                bool fused_table = true,
+                                dp::FittingPrecision fitprec =
+                                    dp::FittingPrecision::Inherit) {
     dp::EvalOptions opts;  // double, GemmKind::Auto
     opts.block_size = block_size;
     opts.compressed = compressed;
     opts.fused_table = fused_table;
+    opts.fitting_precision = fitprec;
     dp::PairDeepMD pair(model, opts);
     md::Atoms work = atoms;
     work.zero_forces();
@@ -560,6 +659,17 @@ int main(int argc, char** argv) {
   variants.push_back({"batched_b64_unfused_table",
                       time_variant(kBlock, true, /*fused_table=*/false),
                       0.0});
+  // Reduced-precision fitting rungs (ISSUE 9, §III-B3): fp64 pipeline with
+  // the 240^3 fitting nets in fp32 / bf16-stored weights, energy head and
+  // force chain re-accumulated in fp64.
+  variants.push_back({"batched_b64_fit_fp32",
+                      time_variant(kBlock, true, true,
+                                   dp::FittingPrecision::Fp32),
+                      0.0});
+  variants.push_back({"batched_b64_fit_bf16",
+                      time_variant(kBlock, true, true,
+                                   dp::FittingPrecision::Bf16),
+                      0.0});
   // Full-embedding rungs (PR 2): the mode the GEMM-cast descriptor
   // contraction gains the most, tracked since ISSUE 2.
   variants.push_back({"per_atom_fullemb", time_variant(1, false), 0.0});
@@ -571,7 +681,7 @@ int main(int argc, char** argv) {
   const double fused_e2e_speedup =
       variants[2].us_per_step / variants[1].us_per_step;
   const double fullemb_speedup =
-      variants[3].us_per_step / variants[4].us_per_step;
+      variants[5].us_per_step / variants[6].us_per_step;
 
   // Overlap rung (ISSUE 3): 2-rank DomainEngine on the water-256 cell
   // tiled to 512 atoms, staged DP evaluation with the halo exchange
@@ -589,10 +699,12 @@ int main(int argc, char** argv) {
       s_samples.push_back(probe.rmat[static_cast<std::size_t>(r) * 4]);
     }
   }
-  const TableBench tbl = bench_table(*model, s_samples, table_reps);
+  const TableBench tbl =
+      bench_table(*model, s_samples, table_reps, fused_repeats);
   FusedBench fused;
+  FitnetBench fitnet;
   const PhaseBench ph = bench_phases(model, atoms, box, list, 0.6, reps,
-                                     fused, fused_repeats);
+                                     fused, fitnet, fused_repeats);
   // Cadence 1 runs skinless (the honest rebuild-every-step baseline: no
   // skin is needed if you rebuild anyway); the amortized rungs use the
   // widest skin the water-512 two-rank decomposition admits.
@@ -657,7 +769,8 @@ int main(int argc, char** argv) {
                ovl.hidden_fraction);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"table_eval\": {\n");
-  std::fprintf(f, "    \"m1\": 100, \"bins\": 1024,\n");
+  std::fprintf(f, "    \"m1\": 100, \"bins\": 1024, \"min_of\": %d,\n",
+               fused_repeats);
   std::fprintf(f, "    \"scalar_ns_per_row\": %.2f,\n", tbl.scalar_ns_per_row);
   std::fprintf(f, "    \"eval_row_ns_per_row\": %.2f,\n", tbl.row_ns_per_row);
   std::fprintf(f, "    \"speedup\": %.2f\n", tbl.speedup);
@@ -669,8 +782,17 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"env_refresh_us\": %.1f,\n", ph.env_refresh_us);
   std::fprintf(f, "    \"table_us\": %.1f,\n", ph.table_us);
   std::fprintf(f, "    \"contract_us\": %.1f,\n", ph.contract_us);
-  std::fprintf(f, "    \"gemm_us\": %.1f,\n", ph.gemm_us);
+  std::fprintf(f, "    \"fitnet_us\": %.1f,\n", ph.fitnet_us);
+  std::fprintf(f, "    \"embed_gemm_us\": %.1f,\n", ph.embed_gemm_us);
   std::fprintf(f, "    \"eval_us\": %.1f\n", ph.eval_us);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fitnet\": {\n");
+  std::fprintf(f, "    \"system\": \"water-256 fitting stage (240^3, fp64), "
+                  "real D slabs, fwd + dE/dD bwd, min of %d interleaved\",\n",
+               fused_repeats);
+  std::fprintf(f, "    \"perblock_us\": %.1f,\n", fitnet.perblock_us);
+  std::fprintf(f, "    \"sweep_us\": %.1f,\n", fitnet.sweep_us);
+  std::fprintf(f, "    \"sweep_speedup\": %.2f\n", fitnet.speedup);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fused_table\": {\n");
   std::fprintf(f, "    \"system\": \"water-256 single process, block %d, "
@@ -739,10 +861,16 @@ int main(int argc, char** argv) {
               kBlock);
   std::printf("batched unfused   : %8.1f us/step (%6.2f us/atom)\n",
               variants[2].us_per_step, variants[2].us_per_step / kNatoms);
-  std::printf("per-atom full-emb : %8.1f us/step (%6.2f us/atom)\n",
-              variants[3].us_per_step, variants[3].us_per_step / kNatoms);
-  std::printf("batched full-emb  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+  std::printf("batched fit-fp32  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+              variants[3].us_per_step, variants[3].us_per_step / kNatoms,
+              kBlock);
+  std::printf("batched fit-bf16  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
               variants[4].us_per_step, variants[4].us_per_step / kNatoms,
+              kBlock);
+  std::printf("per-atom full-emb : %8.1f us/step (%6.2f us/atom)\n",
+              variants[5].us_per_step, variants[5].us_per_step / kNatoms);
+  std::printf("batched full-emb  : %8.1f us/step (%6.2f us/atom)  [B=%d]\n",
+              variants[6].us_per_step, variants[6].us_per_step / kNatoms,
               kBlock);
   std::printf("overlap (512 atoms, 2 ranks): %8.1f us/step on, %8.1f off; "
               "halo %.1f us, %.0f%% hidden\n",
@@ -752,9 +880,12 @@ int main(int argc, char** argv) {
               "(%.2fx)\n",
               tbl.scalar_ns_per_row, tbl.row_ns_per_row, tbl.speedup);
   std::printf("phases (256 atoms): env build %.0f us, refresh %.0f us, "
-              "table %.0f us, contract %.0f us, rest %.0f us\n",
+              "table %.0f us, contract %.0f us, fitnet %.0f us, "
+              "rest %.0f us\n",
               ph.env_build_us, ph.env_refresh_us, ph.table_us, ph.contract_us,
-              ph.gemm_us);
+              ph.fitnet_us, ph.embed_gemm_us);
+  std::printf("fitnet stage: %.0f us per-block, %.0f us sweep (%.2fx)\n",
+              fitnet.perblock_us, fitnet.sweep_us, fitnet.speedup);
   std::printf("fused table+contract phase: %.0f us unfused, %.0f us fused "
               "(%.2fx; end-to-end %.2fx)\n",
               fused.unfused_us, fused.fused_us, fused.speedup,

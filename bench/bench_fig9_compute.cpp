@@ -79,12 +79,15 @@ void measured_section() {
     rows.push_back({"baseline (TFLike fp64)", time_pair(baseline, 2)});
   }
   const auto direct = [&](dp::Precision prec, nn::GemmKind kind,
-                          bool compressed, int block_size) {
+                          bool compressed, int block_size,
+                          dp::FittingPrecision fitprec =
+                              dp::FittingPrecision::Inherit) {
     dp::EvalOptions opts;
     opts.precision = prec;
     opts.fitting_gemm = kind;
     opts.compressed = compressed;
     opts.block_size = block_size;
+    opts.fitting_precision = fitprec;
     dp::PairDeepMD pair(model, opts);
     return time_pair(pair, 3);
   };
@@ -107,6 +110,14 @@ void measured_section() {
   rows.push_back({"batched-fp32 (B=64)",
                   direct(dp::Precision::MixFp32, nn::GemmKind::Auto, true,
                          64)});
+  // Reduced-precision fitting inside the fp64 pipeline (ISSUE 9, §III-B3):
+  // fitting nets in fp32 / bf16-stored weights, fp64 energy head + chain.
+  rows.push_back({"batched-fp64+fit-fp32 (B=64)",
+                  direct(dp::Precision::Double, nn::GemmKind::Auto, true, 64,
+                         dp::FittingPrecision::Fp32)});
+  rows.push_back({"batched-fp64+fit-bf16 (B=64)",
+                  direct(dp::Precision::Double, nn::GemmKind::Auto, true, 64,
+                         dp::FittingPrecision::Bf16)});
   // Full-embedding rungs (ISSUE 2): the accuracy-reference mode without
   // DP-Compress tables.  The GEMM-cast descriptor contraction + batched
   // embedding passes are what close the gap to the compressed rungs.

@@ -4,7 +4,8 @@
 //
 //   ./quickstart [--steps=200] [--cells=3] [--temp=100] [--precision=fp32]
 //                [--block-size=64] [--skin=-1] [--rebuild-every=50]
-//                [--fused-table=1] [--checkpoint-every=0]
+//                [--fused-table=1] [--fitting-precision=inherit]
+//                [--checkpoint-every=0]
 //                [--checkpoint-file=quickstart.ckpt] [--restart=FILE]
 //                [--ranks=1] [--rebalance-every=0] [--rebalance-damping=0.5]
 //
@@ -20,6 +21,11 @@
 // ablation baseline); drift > skin/2 always forces a rebuild regardless.
 // --fused-table=0 falls back to the unfused table-then-GEMM slab pipeline
 // (ISSUE 5 ablation baseline; 1 = the fused register-resident default).
+// --fitting-precision=inherit|fp32|bf16 (ISSUE 9, fp64 pipeline only, i.e.
+// --precision=fp64): runs the hidden fitting-net layers reduced (fp32, or
+// bf16-stored first-layer weights) with the energy head and the whole
+// force chain kept fp64 — the fp32 rung is what puts water-sized systems
+// under the fp64 step-time target on x86 (see src/core/README.md).
 // --checkpoint-every=N writes a restart file every N completed steps
 // (ISSUE 6; 0 = off) to --checkpoint-file; --restart=FILE resumes a
 // previous run from its checkpoint — mid-cadence restarts are handled by
@@ -81,6 +87,13 @@ int main(int argc, char** argv) {
   const int rebuild_every =
       static_cast<int>(args.get_int("rebuild-every", 50));
   const bool fused_table = args.get_bool("fused-table", true);
+  const std::string fitprec_str = args.get("fitting-precision", "inherit");
+  DPMD_REQUIRE(fitprec_str == "inherit" || fitprec_str == "fp32" ||
+                   fitprec_str == "bf16",
+               "--fitting-precision must be inherit, fp32 or bf16");
+  DPMD_REQUIRE(fitprec_str == "inherit" || prec_str == "fp64",
+               "--fitting-precision needs the fp64 pipeline "
+               "(--precision=fp64)");
   DPMD_REQUIRE(rebuild_every >= 1, "--rebuild-every must be >= 1");
   const int checkpoint_every =
       static_cast<int>(args.get_int("checkpoint-every", 0));
@@ -116,6 +129,9 @@ int main(int argc, char** argv) {
   opts.compressed = true;
   opts.block_size = block_size;
   opts.fused_table = fused_table;
+  opts.fitting_precision = fitprec_str == "fp32"   ? dp::FittingPrecision::Fp32
+                           : fitprec_str == "bf16" ? dp::FittingPrecision::Bf16
+                                                   : dp::FittingPrecision::Inherit;
 
   // 2. The physical system.
   md::Box box;

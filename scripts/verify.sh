@@ -58,6 +58,17 @@ echo "== load balancing: rebalancer + balanced-trajectory suites =="
 echo "== serving: registry/queue/gang/arena suite =="
 (cd "$repo_root/build" && ctest -R 'test_serve' --output-on-failure)
 
+# Fitting-net fast path (ISSUE 9): batched-GEMM/epilogue bitwise parity,
+# sweep parity, the reduced-precision oracle bounds, then one short
+# reduced-precision trajectory end to end through the quickstart CLI (the
+# fp32-fitting rung with the fp64 energy head and force chain).
+echo "== fitting fast path: gemm/nn/core suites + fp32-fitting trajectory =="
+(cd "$repo_root/build" && ctest -R 'test_gemm|test_nn|test_core_dp' \
+     --output-on-failure)
+"$repo_root/build/quickstart" --steps=20 --cells=2 --precision=fp64 \
+    --fitting-precision=fp32 >/dev/null
+echo "fp32-fitting trajectory: OK"
+
 if [[ "$run_portable" == 1 ]]; then
   echo "== portability: -DDPMD_NATIVE=OFF build + ctest =="
   cmake -B "$repo_root/build-portable" -S "$repo_root" \

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/threadpool.hpp"
 #include "util/error.hpp"
 
 namespace dpmd::dp {
@@ -11,6 +12,15 @@ const char* precision_name(Precision p) {
     case Precision::Double: return "double";
     case Precision::MixFp32: return "MIX-fp32";
     case Precision::MixFp16: return "MIX-fp16";
+  }
+  return "?";
+}
+
+const char* fitting_precision_name(FittingPrecision p) {
+  switch (p) {
+    case FittingPrecision::Inherit: return "inherit";
+    case FittingPrecision::Fp32: return "fp32";
+    case FittingPrecision::Bf16: return "bf16";
   }
   return "?";
 }
@@ -64,7 +74,8 @@ BatchWorkspace<T>& batch_workspace() {
 
 ModelPackKey pack_key(const EvalOptions& opts) {
   ModelPackKey key;
-  key.fp32_nets = opts.precision != Precision::Double;
+  key.fp32_nets = opts.precision != Precision::Double ||
+                  opts.fitting_precision != FittingPrecision::Inherit;
   key.compressed = opts.compressed;
   key.compression_bins = opts.compression_bins;
   key.compression_s_max = opts.compression_s_max;
@@ -82,6 +93,10 @@ DPEvaluator::DPEvaluator(std::shared_ptr<const ModelPack> pack,
   model_ = pack_->model_ptr();
   DPMD_REQUIRE(opts_.block_size >= 1,
                "EvalOptions::block_size must be >= 1 (1 = per-atom path)");
+  DPMD_REQUIRE(opts_.fitting_precision == FittingPrecision::Inherit ||
+                   opts_.precision == Precision::Double,
+               "fitting_precision applies to the fp64 pipeline only (the Mix "
+               "modes already run the fitting net in fp32)");
   DPMD_REQUIRE(pack_->key().covers(pack_key(opts_)),
                "ModelPack does not cover these EvalOptions (fp32 nets or "
                "compression table mismatch)");
@@ -90,6 +105,7 @@ DPEvaluator::DPEvaluator(std::shared_ptr<const ModelPack> pack,
   emb_cache_f_.resize(static_cast<std::size_t>(cfg.ntypes));
   fit_batch_cache_d_.resize(static_cast<std::size_t>(cfg.ntypes));
   fit_batch_cache_f_.resize(static_cast<std::size_t>(cfg.ntypes));
+  fit_batch_cache_rp_.resize(static_cast<std::size_t>(cfg.ntypes));
 }
 
 double DPEvaluator::evaluate_atom(const AtomEnv& env,
@@ -213,19 +229,51 @@ double DPEvaluator::eval_impl(const AtomEnv& env, std::vector<Vec3>& dE_dd,
   if (opts_.precision == Precision::MixFp16) {
     first = nn::GemmKind::HalfWeights;
   }
-  T energy_out;
-  fit_net(env.center_type)
-      .forward(ws.dmat.data(), &energy_out, 1, fit_cache, fk, first,
-               opts_.packed_gemm);
-  const double energy =
-      static_cast<double>(energy_out) +
-      cfg.energy_bias[static_cast<std::size_t>(env.center_type)];
-
-  // ---- backward: fitting -> dD ----------------------------------------
-  const T one = T(1);
-  fit_net(env.center_type)
-      .backward_input(&one, ws.ddmat.data(), 1, fit_cache, fk,
-                      opts_.packed_gemm);
+  double energy = cfg.energy_bias[static_cast<std::size_t>(env.center_type)];
+  bool fit_done = false;
+  if constexpr (std::is_same_v<T, double>) {
+    if (opts_.fitting_precision != FittingPrecision::Inherit) {
+      // Reduced-precision fitting (M = 1): the fp32 cast runs the net, the
+      // energy head re-accumulates in fp64 against the master final layer,
+      // and dE/dD casts back into the fp64 force chain.
+      const nn::Mlp<float>& fnet =
+          pack_->fittings_f()[static_cast<std::size_t>(env.center_type)];
+      const int fin = fnet.input_dim();
+      float* fx = fnet.batch_input(1, fit_cache_f_);
+      for (int q = 0; q < fin; ++q) fx[q] = static_cast<float>(ws.dmat[q]);
+      const nn::GemmKind ffirst =
+          opts_.fitting_precision == FittingPrecision::Bf16
+              ? nn::GemmKind::Bf16Weights
+              : fk;
+      fnet.forward_batch(1, fit_cache_f_, fk, ffirst, opts_.packed_gemm);
+      const auto& last = model_->fitting(env.center_type).layers().back();
+      const float* h = fit_cache_f_.acts[fnet.layers().size() - 1].data();
+      double acc = 0.0;
+      for (int q = 0; q < last.in; ++q) {
+        acc += static_cast<double>(h[q]) *
+               last.w.d[static_cast<std::size_t>(q)];
+      }
+      energy += acc + last.b[0];
+      float* dy = fnet.batch_output_grad(1, fit_cache_f_);
+      dy[0] = 1.0f;
+      const float* gf =
+          fnet.backward_input_batch(1, fit_cache_f_, fk, opts_.packed_gemm);
+      for (int q = 0; q < fin; ++q) ws.ddmat[q] = static_cast<T>(gf[q]);
+      fit_done = true;
+    }
+  }
+  if (!fit_done) {
+    T energy_out;
+    fit_net(env.center_type)
+        .forward(ws.dmat.data(), &energy_out, 1, fit_cache, fk, first,
+                 opts_.packed_gemm);
+    energy += static_cast<double>(energy_out);
+    // ---- backward: fitting -> dD --------------------------------------
+    const T one = T(1);
+    fit_net(env.center_type)
+        .backward_input(&one, ws.ddmat.data(), 1, fit_cache, fk,
+                        opts_.packed_gemm);
+  }
 
   // ---- dA from D = sum_c a[c][p] a[c][q] -------------------------------
   for (int c = 0; c < 4; ++c) {
@@ -343,15 +391,470 @@ template double DPEvaluator::eval_impl<float>(
 void DPEvaluator::evaluate_batch(const AtomEnvBatch& batch,
                                  std::vector<double>& energies,
                                  std::vector<Vec3>& dE_dd) {
-  if (opts_.precision == Precision::Double) {
-    static const std::vector<nn::Mlp<double>> kEmpty;
-    batch_impl<double>(batch, energies, dE_dd, kEmpty, kEmpty, emb_cache_d_,
-                       fit_batch_cache_d_);
+  // Single-item sweep: evaluate_batch and evaluate_sweep share one code
+  // path, so a gang-merged serve batch and a PairDeepMD block sweep can
+  // never diverge numerically.
+  SweepJob job;
+  job.batch = &batch;
+  job.energies = &energies;
+  job.dE_dd = &dE_dd;
+  evaluate_sweep(&job, 1, nullptr);
+}
+
+void DPEvaluator::evaluate_sweep(const SweepJob* jobs, int njobs,
+                                 rt::ThreadPool* pool) {
+  if (njobs <= 0) return;
+  for (int i = 0; i < njobs; ++i) {
+    DPMD_REQUIRE(jobs[i].batch != nullptr && jobs[i].energies != nullptr &&
+                     jobs[i].dE_dd != nullptr,
+                 "null SweepJob field");
+  }
+  if (!(opts_.compressed && opts_.fused_table)) {
+    // Slab pipeline: sequential per-item evaluation.  Each item's fitting
+    // stage still runs through fit_stage, so the precision knob and the
+    // fused epilogues apply here too — only the cross-item GEMM batching
+    // needs the fused descriptor path's per-item state isolation.
+    for (int i = 0; i < njobs; ++i) {
+      const SweepJob& j = jobs[i];
+      if (opts_.precision == Precision::Double) {
+        static const std::vector<nn::Mlp<double>> kEmpty;
+        batch_impl<double>(*j.batch, *j.energies, *j.dE_dd, kEmpty, kEmpty,
+                           emb_cache_d_, fit_batch_cache_d_);
+      } else {
+        batch_impl<float>(*j.batch, *j.energies, *j.dE_dd,
+                          pack_->embeddings_f(), pack_->fittings_f(),
+                          emb_cache_f_, fit_batch_cache_f_);
+      }
+    }
     return;
   }
-  batch_impl<float>(batch, energies, dE_dd, pack_->embeddings_f(),
-                    pack_->fittings_f(), emb_cache_f_, fit_batch_cache_f_);
+  if (opts_.precision == Precision::Double) {
+    sweep_impl<double>(jobs, njobs, pool);
+  } else {
+    sweep_impl<float>(jobs, njobs, pool);
+  }
 }
+
+/// One item's handles through fit_stage: where its staged D rows live
+/// (caches, one per center type, inputs already in acts[0]), where its
+/// energies and per-type dE/dD slab pointers go.
+///
+/// Concatenated mode (row_offset != nullptr): every task points at the SAME
+/// per-type cache vector and its type-t rows occupy rows
+/// [row_offset[t], row_offset[t] + count) of that shared cache — the whole
+/// sweep then runs each fitting net as ONE large-M pass instead of one
+/// small-M pass per block, which is worth ~1.3x on the GEMM throughput at
+/// water-256 block sizes.
+template <class T>
+struct DPEvaluator::FitTask {
+  const AtomEnvBatch* batch = nullptr;
+  std::vector<nn::MlpCache<T>>* caches = nullptr;
+  std::vector<nn::MlpCache<float>>* rp_caches = nullptr;
+  std::vector<double>* energies = nullptr;
+  const T** dd_base = nullptr;
+  const int* row_offset = nullptr;  ///< per-type row offsets (concat mode)
+};
+
+template <class T>
+void DPEvaluator::fit_stage(FitTask<T>* tasks, int ntasks,
+                            rt::ThreadPool* pool) {
+  const auto& cfg = model_->config();
+  const int ntypes = cfg.ntypes;
+  const nn::GemmKind fk = opts_.fitting_gemm;
+  nn::GemmKind first = fk;
+  if (opts_.precision == Precision::MixFp16) {
+    first = nn::GemmKind::HalfWeights;
+  }
+  const auto fit_net = [&](int t) -> const nn::Mlp<T>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return model_->fitting(t);
+    } else {
+      return pack_->fittings_f()[static_cast<std::size_t>(t)];
+    }
+  };
+  const auto count_of = [](const FitTask<T>& task, int t) {
+    return task.batch->fit_type_offset[static_cast<std::size_t>(t) + 1] -
+           task.batch->fit_type_offset[static_cast<std::size_t>(t)];
+  };
+  const auto slot_of = [](const FitTask<T>& task, int t, int i) {
+    return task.batch->fit_order[static_cast<std::size_t>(
+        task.batch->fit_type_offset[static_cast<std::size_t>(t)] + i)];
+  };
+
+  // Concatenated mode: all tasks share one per-type cache (see FitTask doc).
+  const bool concat = ntasks > 0 && tasks[0].row_offset != nullptr;
+
+  thread_local std::vector<int> live;  // tasks with type-t centers
+  thread_local std::vector<nn::MlpSweepItem<T>> items;
+  for (int t = 0; t < ntypes; ++t) {
+    live.clear();
+    int total = 0;
+    for (int i = 0; i < ntasks; ++i) {
+      const int c = count_of(tasks[i], t);
+      if (c > 0) live.push_back(i);
+      total += c;
+    }
+    if (live.empty()) continue;
+    const int n = static_cast<int>(live.size());
+    const double bias = cfg.energy_bias[static_cast<std::size_t>(t)];
+
+    if constexpr (std::is_same_v<T, double>) {
+      if (concat && opts_.fitting_precision != FittingPrecision::Inherit) {
+        // Reduced-precision fitting over the concatenated slab: one
+        // fp64 -> fp32 cast of the whole staged D slab, one large-M fp32
+        // sweep, fp64 energy head against the master weights, one cast of
+        // dE/dD back into the fp64 chain.
+        const nn::Mlp<float>& fnet =
+            pack_->fittings_f()[static_cast<std::size_t>(t)];
+        const int fin = fnet.input_dim();
+        const std::size_t L = fnet.layers().size();
+        auto& rp = *tasks[0].rp_caches;
+        if (rp.size() != static_cast<std::size_t>(ntypes)) {
+          rp.resize(static_cast<std::size_t>(ntypes));
+        }
+        nn::MlpCache<float>& fcache = rp[static_cast<std::size_t>(t)];
+        nn::MlpCache<T>& dcache =
+            (*tasks[0].caches)[static_cast<std::size_t>(t)];
+        float* fx = fnet.batch_input(total, fcache);
+        const double* dx = dcache.acts[0].data();
+        const std::size_t nq = static_cast<std::size_t>(total) * fin;
+        for (std::size_t q = 0; q < nq; ++q) {
+          fx[q] = static_cast<float>(dx[q]);
+        }
+        const nn::GemmKind ffirst =
+            opts_.fitting_precision == FittingPrecision::Bf16
+                ? nn::GemmKind::Bf16Weights
+                : fk;
+        nn::MlpSweepItem<float> fone{total, &fcache};
+        fnet.forward_sweep(&fone, 1, fk, ffirst, opts_.packed_gemm, pool);
+        const auto& last = model_->fitting(t).layers().back();
+        const float* h = fcache.acts[L - 1].data();
+        for (int j = 0; j < n; ++j) {
+          FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+          const int count = count_of(task, t);
+          const int off = task.row_offset[t];
+          for (int i = 0; i < count; ++i) {
+            const float* hrow =
+                h + static_cast<std::size_t>(off + i) * last.in;
+            double acc = 0.0;
+            for (int q = 0; q < last.in; ++q) {
+              acc += static_cast<double>(hrow[q]) *
+                     last.w.d[static_cast<std::size_t>(q)];
+            }
+            (*task.energies)[static_cast<std::size_t>(slot_of(task, t, i))] =
+                acc + last.b[0] + bias;
+          }
+        }
+        float* dy = fnet.batch_output_grad(total, fcache);
+        std::fill(dy, dy + total, 1.0f);
+        fnet.backward_sweep(&fone, 1, fk, opts_.packed_gemm, pool);
+        const float* gf = fcache.grads[0].data();
+        double* gd = dcache.grads[0].data();
+        for (std::size_t q = 0; q < nq; ++q) {
+          gd[q] = static_cast<double>(gf[q]);
+        }
+        for (int j = 0; j < n; ++j) {
+          FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+          task.dd_base[t] =
+              gd + static_cast<std::size_t>(task.row_offset[t]) * fin;
+        }
+        continue;
+      }
+      if (opts_.fitting_precision != FittingPrecision::Inherit) {
+        // Reduced-precision fitting (§III-B3 applied to the fitting net):
+        // the staged fp64 D rows cast into the fp32 net's caches, the
+        // sweep runs there (bf16-stored weights in the big first GEMM when
+        // selected), the energy head — the final in -> 1 reduction plus
+        // biases — re-accumulates in fp64 against the master weights, and
+        // dE/dD casts back into the fp64 force chain.
+        const nn::Mlp<float>& fnet =
+            pack_->fittings_f()[static_cast<std::size_t>(t)];
+        const int fin = fnet.input_dim();
+        const std::size_t L = fnet.layers().size();
+        thread_local std::vector<nn::MlpSweepItem<float>> fitems;
+        fitems.resize(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+          const int count = count_of(task, t);
+          auto& rp = *task.rp_caches;
+          if (rp.size() != static_cast<std::size_t>(ntypes)) {
+            rp.resize(static_cast<std::size_t>(ntypes));
+          }
+          float* fx = fnet.batch_input(count, rp[static_cast<std::size_t>(t)]);
+          const double* dx =
+              (*task.caches)[static_cast<std::size_t>(t)].acts[0].data();
+          const std::size_t nq = static_cast<std::size_t>(count) * fin;
+          for (std::size_t q = 0; q < nq; ++q) {
+            fx[q] = static_cast<float>(dx[q]);
+          }
+          fitems[static_cast<std::size_t>(j)] = {
+              count, &rp[static_cast<std::size_t>(t)]};
+        }
+        const nn::GemmKind ffirst =
+            opts_.fitting_precision == FittingPrecision::Bf16
+                ? nn::GemmKind::Bf16Weights
+                : fk;
+        fnet.forward_sweep(fitems.data(), n, fk, ffirst, opts_.packed_gemm,
+                           pool);
+        const auto& last = model_->fitting(t).layers().back();
+        for (int j = 0; j < n; ++j) {
+          FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+          const int count = count_of(task, t);
+          auto& rp = (*task.rp_caches)[static_cast<std::size_t>(t)];
+          const float* h = rp.acts[L - 1].data();
+          for (int i = 0; i < count; ++i) {
+            const float* hrow = h + static_cast<std::size_t>(i) * last.in;
+            double acc = 0.0;
+            for (int q = 0; q < last.in; ++q) {
+              acc += static_cast<double>(hrow[q]) *
+                     last.w.d[static_cast<std::size_t>(q)];
+            }
+            (*task.energies)[static_cast<std::size_t>(slot_of(task, t, i))] =
+                acc + last.b[0] + bias;
+          }
+          float* dy = fnet.batch_output_grad(count, rp);
+          std::fill(dy, dy + count, 1.0f);
+        }
+        fnet.backward_sweep(fitems.data(), n, fk, opts_.packed_gemm, pool);
+        for (int j = 0; j < n; ++j) {
+          FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+          const int count = count_of(task, t);
+          const float* gf =
+              (*task.rp_caches)[static_cast<std::size_t>(t)].grads[0].data();
+          double* gd =
+              (*task.caches)[static_cast<std::size_t>(t)].grads[0].data();
+          const std::size_t nq = static_cast<std::size_t>(count) * fin;
+          for (std::size_t q = 0; q < nq; ++q) {
+            gd[q] = static_cast<double>(gf[q]);
+          }
+          task.dd_base[t] = gd;
+        }
+        continue;
+      }
+    }
+
+    if (concat) {
+      // Full-precision concatenated sweep: the staged slab already holds
+      // every item's type-t rows back to back, so the whole multi-block
+      // fitting stage is one large-M forward + backward per net.
+      const nn::Mlp<T>& net = fit_net(t);
+      nn::MlpCache<T>& cache = (*tasks[0].caches)[static_cast<std::size_t>(t)];
+      nn::MlpSweepItem<T> one{total, &cache};
+      net.forward_sweep(&one, 1, fk, first, opts_.packed_gemm, pool);
+      const T* e_out = cache.acts.back().data();
+      for (int j = 0; j < n; ++j) {
+        FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+        const int count = count_of(task, t);
+        const int off = task.row_offset[t];
+        for (int i = 0; i < count; ++i) {
+          (*task.energies)[static_cast<std::size_t>(slot_of(task, t, i))] =
+              static_cast<double>(e_out[off + i]) + bias;
+        }
+      }
+      T* dy = net.batch_output_grad(total, cache);
+      std::fill(dy, dy + total, T(1));
+      net.backward_sweep(&one, 1, fk, opts_.packed_gemm, pool);
+      const T* gbase = cache.grads[0].data();
+      for (int j = 0; j < n; ++j) {
+        FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+        task.dd_base[t] =
+            gbase +
+            static_cast<std::size_t>(task.row_offset[t]) * net.input_dim();
+      }
+      continue;
+    }
+
+    // Full-precision path in T: forward sweep, energy + dE/dy staging,
+    // backward sweep — all items of this net batched per layer.
+    const nn::Mlp<T>& net = fit_net(t);
+    items.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+      items[static_cast<std::size_t>(j)] = {
+          count_of(task, t), &(*task.caches)[static_cast<std::size_t>(t)]};
+    }
+    net.forward_sweep(items.data(), n, fk, first, opts_.packed_gemm, pool);
+    for (int j = 0; j < n; ++j) {
+      FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+      const int count = count_of(task, t);
+      auto& cache = (*task.caches)[static_cast<std::size_t>(t)];
+      const T* e_out = cache.acts.back().data();
+      for (int i = 0; i < count; ++i) {
+        (*task.energies)[static_cast<std::size_t>(slot_of(task, t, i))] =
+            static_cast<double>(e_out[i]) + bias;
+      }
+      T* dy = net.batch_output_grad(count, cache);
+      std::fill(dy, dy + count, T(1));
+    }
+    net.backward_sweep(items.data(), n, fk, opts_.packed_gemm, pool);
+    for (int j = 0; j < n; ++j) {
+      FitTask<T>& task = tasks[live[static_cast<std::size_t>(j)]];
+      task.dd_base[t] =
+          (*task.caches)[static_cast<std::size_t>(t)].grads[0].data();
+    }
+  }
+}
+
+template <class T>
+void DPEvaluator::sweep_impl(const SweepJob* jobs, int njobs,
+                             rt::ThreadPool* pool) {
+  const auto& cfg = model_->config();
+  const auto& dparams = cfg.descriptor;
+  const int m1 = dparams.m1();
+  const int m2 = dparams.m2();
+  const int ntypes = cfg.ntypes;
+  const double inv_n_d = 1.0 / static_cast<double>(dparams.sel_total());
+
+  auto& slots = [this]() -> std::vector<SweepSlot<T>>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return sweep_slots_d_;
+    } else {
+      return sweep_slots_f_;
+    }
+  }();
+  if (static_cast<int>(slots.size()) < njobs) {
+    slots.resize(static_cast<std::size_t>(njobs));
+  }
+  const auto fit_net = [&](int t) -> const nn::Mlp<T>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return model_->fitting(t);
+    } else {
+      return pack_->fittings_f()[static_cast<std::size_t>(t)];
+    }
+  };
+
+  // Concatenated fitting-slab layout: all items' type-t D rows go back to
+  // back into ONE shared per-type cache, so the fitting stage runs each net
+  // as a single large-M sweep (M = all fit rows of the whole block sweep)
+  // instead of one small-M pass per item.  Offsets are computed serially up
+  // front; the parallel prepare below then writes disjoint row ranges.
+  auto& concat = [this]() -> std::vector<nn::MlpCache<T>>& {
+    if constexpr (std::is_same_v<T, double>) {
+      return fit_batch_cache_d_;
+    } else {
+      return fit_batch_cache_f_;
+    }
+  }();
+  if (concat.size() != static_cast<std::size_t>(ntypes)) {
+    concat.resize(static_cast<std::size_t>(ntypes));
+  }
+  thread_local std::vector<int> offsets;  // njobs x ntypes row offsets
+  thread_local std::vector<int> totals;   // per-type row totals
+  offsets.assign(static_cast<std::size_t>(njobs) * ntypes, 0);
+  totals.assign(static_cast<std::size_t>(ntypes), 0);
+  for (int i = 0; i < njobs; ++i) {
+    const AtomEnvBatch& batch = *jobs[i].batch;
+    DPMD_REQUIRE(batch.ntypes == ntypes, "batch built for a different ntypes");
+    for (int t = 0; t < ntypes; ++t) {
+      offsets[static_cast<std::size_t>(i) * ntypes + t] =
+          totals[static_cast<std::size_t>(t)];
+      totals[static_cast<std::size_t>(t)] +=
+          batch.fit_type_offset[static_cast<std::size_t>(t) + 1] -
+          batch.fit_type_offset[static_cast<std::size_t>(t)];
+    }
+  }
+  thread_local std::vector<T*> bases;  // per-type slab base pointers
+  bases.assign(static_cast<std::size_t>(ntypes), nullptr);
+  for (int t = 0; t < ntypes; ++t) {
+    if (totals[static_cast<std::size_t>(t)] > 0) {
+      bases[static_cast<std::size_t>(t)] = fit_net(t).batch_input(
+          totals[static_cast<std::size_t>(t)],
+          concat[static_cast<std::size_t>(t)]);
+    }
+  }
+
+  // Phase 1 — per-item fused tabulate-and-contract forward into the item's
+  // A slab and its rows of the shared fitting slabs.  Items are
+  // independent (disjoint slab rows); every scratch the fused drivers
+  // touch is thread_local, so the split is safe.  The offset/base pointers
+  // are captured as raw data pointers: the lambda runs on pool threads,
+  // where the thread_local vectors above resolve to DIFFERENT (empty)
+  // instances.
+  const int* const offsets_p = offsets.data();
+  T* const* const bases_p = bases.data();
+  const auto prepare = [&, offsets_p, bases_p](int i, int) {
+    const SweepJob& job = jobs[i];
+    const AtomEnvBatch& batch = *job.batch;
+    SweepSlot<T>& slot = slots[static_cast<std::size_t>(i)];
+    const int B = batch.natoms;
+    job.energies->assign(static_cast<std::size_t>(B), 0.0);
+    job.dE_dd->resize(static_cast<std::size_t>(batch.rows()));
+    if (B == 0) return;
+    slot.a.assign(static_cast<std::size_t>(B) * 4 * m1, T(0));
+    slot.fit_slab.assign(static_cast<std::size_t>(ntypes), nullptr);
+    slot.dd_base.assign(static_cast<std::size_t>(ntypes), nullptr);
+    for (int t = 0; t < ntypes; ++t) {
+      const int count =
+          batch.fit_type_offset[static_cast<std::size_t>(t) + 1] -
+          batch.fit_type_offset[static_cast<std::size_t>(t)];
+      if (count == 0) continue;
+      slot.fit_slab[static_cast<std::size_t>(t)] =
+          bases_p[static_cast<std::size_t>(t)] +
+          static_cast<std::size_t>(
+              offsets_p[static_cast<std::size_t>(i) * ntypes + t]) *
+              fit_net(t).input_dim();
+    }
+    fused_contract_forward_batch(batch, pack_->tables(), m1, m2, inv_n_d,
+                                 slot.a.data(), slot.fit_slab.data());
+  };
+  const bool threaded = pool != nullptr && pool->size() > 1 && njobs > 1;
+  if (threaded) {
+    pool->parallel_dynamic(njobs, prepare);
+  } else {
+    for (int i = 0; i < njobs; ++i) prepare(i, 0);
+  }
+
+  // Phase 2 — the fitting stage: each net once over the concatenated rows.
+  thread_local std::vector<FitTask<T>> tasks;
+  tasks.resize(static_cast<std::size_t>(njobs));
+  for (int i = 0; i < njobs; ++i) {
+    SweepSlot<T>& slot = slots[static_cast<std::size_t>(i)];
+    FitTask<T>& task = tasks[static_cast<std::size_t>(i)];
+    task.batch = jobs[i].batch;
+    task.caches = &concat;
+    task.rp_caches = &fit_batch_cache_rp_;
+    task.energies = jobs[i].energies;
+    task.dd_base = slot.dd_base.data();
+    task.row_offset = offsets.data() + static_cast<std::size_t>(i) * ntypes;
+  }
+  fit_stage(tasks.data(), njobs, pool);
+
+  // Phase 3 — per-item fused backward through the descriptor into dE/dd.
+  const auto finish = [&](int i, int) {
+    const AtomEnvBatch& batch = *jobs[i].batch;
+    if (batch.natoms == 0) return;
+    SweepSlot<T>& slot = slots[static_cast<std::size_t>(i)];
+    fused_contract_backward_batch(batch, pack_->tables(),
+                                  slot.dd_base.data(), m1, m2, inv_n_d,
+                                  slot.a.data(), jobs[i].dE_dd->data());
+  };
+  if (threaded) {
+    pool->parallel_dynamic(njobs, finish);
+  } else {
+    for (int i = 0; i < njobs; ++i) finish(i, 0);
+  }
+
+  // Flop estimate (batch_impl's fused-branch formula), accumulated outside
+  // the parallel phases.
+  for (int i = 0; i < njobs; ++i) {
+    const AtomEnvBatch& batch = *jobs[i].batch;
+    const int B = batch.natoms;
+    const int rows = batch.rows();
+    const double fin = dparams.fitting_input_dim();
+    double flops = 2.0 * rows * 4 * m1 * 2 + 2.0 * B * 4 * m1 * m2 * 2 +
+                   6.0 * B * (fin * cfg.fit_widths.front());
+    for (std::size_t l = 1; l < cfg.fit_widths.size(); ++l) {
+      flops += 6.0 * B * cfg.fit_widths[l - 1] * cfg.fit_widths[l];
+    }
+    flops += 12.0 * rows * m1;  // table eval
+    flops_ += flops;
+  }
+}
+
+template void DPEvaluator::sweep_impl<double>(const SweepJob*, int,
+                                              rt::ThreadPool*);
+template void DPEvaluator::sweep_impl<float>(const SweepJob*, int,
+                                             rt::ThreadPool*);
 
 template <class T>
 void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
@@ -558,29 +1061,18 @@ void DPEvaluator::batch_impl(const AtomEnvBatch& batch,
   }
 
   // ---- fitting nets: forward AND backward at M = centers-per-type --------
-  const nn::GemmKind fk = opts_.fitting_gemm;
-  nn::GemmKind first = fk;
-  if (opts_.precision == Precision::MixFp16) {
-    first = nn::GemmKind::HalfWeights;
-  }
+  // One single-task fit_stage call — the same code the multi-block sweep
+  // path batches over, with the fused epilogues and the fitting-precision
+  // knob applied identically.
   std::vector<const T*> dd_base(static_cast<std::size_t>(ntypes), nullptr);
-  for (int t = 0; t < ntypes; ++t) {
-    const int count = fit_count(t);
-    if (count == 0) continue;
-    auto& cache = fit_caches[static_cast<std::size_t>(t)];
-    const T* e_out =
-        fit_net(t).forward_batch(count, cache, fk, first, opts_.packed_gemm);
-    const double bias = cfg.energy_bias[static_cast<std::size_t>(t)];
-    for (int i = 0; i < count; ++i) {
-      const int slot = batch.fit_order[static_cast<std::size_t>(
-          batch.fit_type_offset[static_cast<std::size_t>(t)] + i)];
-      energies[static_cast<std::size_t>(slot)] =
-          static_cast<double>(e_out[i]) + bias;
-    }
-    T* dy = fit_net(t).batch_output_grad(count, cache);
-    std::fill(dy, dy + count, T(1));
-    dd_base[static_cast<std::size_t>(t)] =
-        fit_net(t).backward_input_batch(count, cache, fk, opts_.packed_gemm);
+  {
+    FitTask<T> task;
+    task.batch = &batch;
+    task.caches = &fit_caches;
+    task.rp_caches = &fit_batch_cache_rp_;
+    task.energies = &energies;
+    task.dd_base = dd_base.data();
+    fit_stage(&task, 1, nullptr);
   }
 
   // ---- backward through the descriptor ------------------------------------

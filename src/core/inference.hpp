@@ -9,6 +9,10 @@
 #include "core/model_pack.hpp"
 #include "nn/dense.hpp"
 
+namespace dpmd::rt {
+class ThreadPool;
+}
+
 namespace dpmd::dp {
 
 /// Numeric configuration of the paper's accuracy study (Table II):
@@ -20,10 +24,26 @@ enum class Precision { Double, MixFp32, MixFp16 };
 
 const char* precision_name(Precision p);
 
+/// Reduced-precision fitting inside the fp64 pipeline (§III-B3 applied to
+/// the fitting net): the fitting forward/backward runs on the pack's fp32
+/// cast (optionally with bf16-stored weights in the first, K = m1*m2,
+/// layer), while the energy head — the final 240 -> 1 reduction plus biases
+/// — re-accumulates in fp64 against the master weights and the whole
+/// descriptor/force chain stays fp64.  Inherit = the fitting net follows
+/// EvalOptions::precision (the only legal value for the Mix modes, which
+/// already run it in fp32).
+enum class FittingPrecision { Inherit, Fp32, Bf16 };
+
+const char* fitting_precision_name(FittingPrecision p);
+
 struct EvalOptions {
   Precision precision = Precision::Double;
   /// GEMM backend for the fitting net (the Fig. 9 "blas" vs "sve" knob).
   nn::GemmKind fitting_gemm = nn::GemmKind::Auto;
+  /// Fitting-net storage/compute precision within the fp64 pipeline; see
+  /// FittingPrecision.  Requires precision == Double when not Inherit
+  /// (DPMD_REQUIRE at construction).
+  FittingPrecision fitting_precision = FittingPrecision::Inherit;
   /// Tabulated embedding (DP-Compress); when false the full embedding MLP
   /// runs (slower, used as the accuracy reference for the table).
   bool compressed = true;
@@ -92,6 +112,29 @@ class DPEvaluator {
                       std::vector<double>& energies,
                       std::vector<Vec3>& dE_dd);
 
+  /// One item of a multi-block sweep (evaluate_sweep).  The output vectors
+  /// are sized by the call exactly as evaluate_batch sizes its outputs.
+  struct SweepJob {
+    const AtomEnvBatch* batch = nullptr;
+    std::vector<double>* energies = nullptr;
+    std::vector<Vec3>* dE_dd = nullptr;
+  };
+
+  /// Multi-block sweep (the fitting-net fast path): evaluates njobs batches
+  /// with the fitting-net layers of ALL items run back-to-back through one
+  /// batched GEMM per layer (nn::Mlp::forward_sweep/backward_sweep), so the
+  /// fitting weights stream from cache once per sweep instead of once per
+  /// block.  Per-item results are bitwise identical to evaluate_batch — the
+  /// batched driver preserves gemm_auto's accumulation order.  Fused
+  /// compressed path only (compressed && fused_table); other option
+  /// combinations fall back to sequential evaluate_batch semantics.
+  /// evaluate_batch itself routes through here with njobs = 1, so the two
+  /// entry points can never diverge.  `pool` (optional) spreads per-item
+  /// work and the per-layer GEMM batches across threads; results do not
+  /// depend on the thread count.
+  void evaluate_sweep(const SweepJob* jobs, int njobs,
+                      rt::ThreadPool* pool = nullptr);
+
   const EvalOptions& options() const { return opts_; }
   const DPModel& model() const { return *model_; }
   const std::shared_ptr<const ModelPack>& pack() const { return pack_; }
@@ -115,6 +158,31 @@ class DPEvaluator {
                   std::vector<nn::MlpCache<T>>& emb_caches,
                   std::vector<nn::MlpCache<T>>& fit_caches);
 
+  /// One item's handles through the shared fitting stage (defined in
+  /// inference.cpp): where its staged D rows live, where its energies and
+  /// per-type dE/dD slabs go.
+  template <class T>
+  struct FitTask;
+
+  /// The fitting stage shared by batch_impl (ntasks = 1) and sweep_impl:
+  /// forward + energy head + dE/dD backward for every task, each net's
+  /// layers batched across tasks, honoring opts_.fitting_precision.
+  template <class T>
+  void fit_stage(FitTask<T>* tasks, int ntasks, rt::ThreadPool* pool);
+
+  template <class T>
+  void sweep_impl(const SweepJob* jobs, int njobs, rt::ThreadPool* pool);
+
+  /// Per-item state of an evaluate_sweep job (grown on demand, reused
+  /// across sweeps — steady state allocates nothing).
+  template <class T>
+  struct SweepSlot {
+    std::vector<T> a;              ///< natoms x 4 x m1
+    std::vector<T*> fit_slab;      ///< per-type D row slabs (into the shared
+                                   ///< concatenated fitting caches)
+    std::vector<const T*> dd_base; ///< per-type dE/dD slabs
+  };
+
   /// Shared immutable weights: fp32 casts + compression tables (and the
   /// fp64 master model it holds alive).  Read-only after construction.
   std::shared_ptr<const ModelPack> pack_;
@@ -127,9 +195,17 @@ class DPEvaluator {
   nn::MlpCache<double> fit_cache_d_;
   nn::MlpCache<float> fit_cache_f_;
   // batched path: one fitting cache per center type — every type's forward
-  // completes before any backward runs, so the caches must not alias.
+  // completes before any backward runs, so the caches must not alias.  The
+  // fused sweep path reuses these as its per-type CONCATENATED slabs (all
+  // items' D rows of a type back to back), which is safe because a single
+  // evaluate_sweep call runs either the slab pipeline or the fused sweep,
+  // never both.
   std::vector<nn::MlpCache<double>> fit_batch_cache_d_;
   std::vector<nn::MlpCache<float>> fit_batch_cache_f_;
+  // reduced-precision fitting scratch (shared by both paths, same argument).
+  std::vector<nn::MlpCache<float>> fit_batch_cache_rp_;
+  std::vector<SweepSlot<double>> sweep_slots_d_;
+  std::vector<SweepSlot<float>> sweep_slots_f_;
 
   double flops_ = 0.0;
 };

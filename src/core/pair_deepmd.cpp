@@ -128,60 +128,88 @@ void PairDeepMD::eval_item(std::size_t item, unsigned tid) {
 
   const int first = static_cast<int>(item) * B;
   const int count = std::min(B, pass_count_ - first);
-  AtomEnvBatch* batch;
+  AtomEnvBatch& batch = prepare_item_batch(item, batches_[tid]);
+  ev.evaluate_batch(batch, eblk, dedd);
+  scatter_item(batch, count, eblk, dedd, tid);
+}
+
+AtomEnvBatch& PairDeepMD::prepare_item_batch(std::size_t item,
+                                             AtomEnvBatch& fallback) {
+  md::Atoms& atoms = *pass_atoms_;
+  const md::NeighborList& list = *pass_list_;
+  const int ntypes = model_->config().ntypes;
+  const int B = opts_.block_size;
+  const int first = static_cast<int>(item) * B;
+  const int count = std::min(B, pass_count_ - first);
   if (pass_cache_ != nullptr) {
     // Cadenced engine: the block's packed structure persists between list
     // rebuilds.  First touch builds it with every list row (rcut + skin);
     // steady-state touches refresh R~/s/switch from current positions.
-    batch = &pass_cache_->blocks[item];
+    AtomEnvBatch& batch = pass_cache_->blocks[item];
     if (pass_cache_->built[item] != 0) {
-      refresh_env_batch(atoms, model_->config().descriptor, *batch);
+      refresh_env_batch(atoms, model_->config().descriptor, batch);
     } else {
       if (pass_all_) {
         build_env_batch(atoms, list, first, count,
-                        model_->config().descriptor, ntypes, *batch,
+                        model_->config().descriptor, ntypes, batch,
                         /*keep_list_rows=*/true);
       } else {
         build_env_batch(atoms, list, pass_centers_.data() + first, count,
-                        model_->config().descriptor, ntypes, *batch,
+                        model_->config().descriptor, ntypes, batch,
                         /*keep_list_rows=*/true);
       }
       pass_cache_->built[item] = 1;
     }
-  } else {
-    batch = &batches_[tid];
-    if (pass_all_) {
-      build_env_batch(atoms, list, first, count, model_->config().descriptor,
-                      ntypes, *batch);
-    } else {
-      build_env_batch(atoms, list, pass_centers_.data() + first, count,
-                      model_->config().descriptor, ntypes, *batch);
-    }
+    return batch;
   }
-  ev.evaluate_batch(*batch, eblk, dedd);
+  if (pass_all_) {
+    build_env_batch(atoms, list, first, count, model_->config().descriptor,
+                    ntypes, fallback);
+  } else {
+    build_env_batch(atoms, list, pass_centers_.data() + first, count,
+                    model_->config().descriptor, ntypes, fallback);
+  }
+  return fallback;
+}
 
+void PairDeepMD::scatter_item(const AtomEnvBatch& batch, int count,
+                              const std::vector<double>& eblk,
+                              const std::vector<Vec3>& dedd, unsigned tid) {
+  auto& fbuf = fbuf_[tid];
+  if (fbuf_epoch_[tid] != compute_epoch_) {
+    fbuf.assign(pass_ntotal_, Vec3{0, 0, 0});
+    fbuf_epoch_[tid] = compute_epoch_;
+  }
   for (int a = 0; a < count; ++a) {
     pass_pe_[tid] += eblk[static_cast<std::size_t>(a)];
     if (pass_energies_ != nullptr) {
       (*pass_energies_)[static_cast<std::size_t>(
-          batch->center_index[static_cast<std::size_t>(a)])] =
+          batch.center_index[static_cast<std::size_t>(a)])] =
           eblk[static_cast<std::size_t>(a)];
     }
   }
-  const int rows = batch->rows();
+  const int rows = batch.rows();
   for (int r = 0; r < rows; ++r) {
     // d = x_j - x_i:  f_j = -dE/dd,  f_i += dE/dd.
     const Vec3& grad = dedd[static_cast<std::size_t>(r)];
-    const int j = batch->nbr_index[static_cast<std::size_t>(r)];
-    const int i = batch->center_index[static_cast<std::size_t>(
-        batch->row_slot[static_cast<std::size_t>(r)])];
+    const int j = batch.nbr_index[static_cast<std::size_t>(r)];
+    const int i = batch.center_index[static_cast<std::size_t>(
+        batch.row_slot[static_cast<std::size_t>(r)])];
     fbuf[static_cast<std::size_t>(j)] -= grad;
     fbuf[static_cast<std::size_t>(i)] += grad;
-    pass_virial_[tid] -= dot(batch->rel[static_cast<std::size_t>(r)], grad);
+    pass_virial_[tid] -= dot(batch.rel[static_cast<std::size_t>(r)], grad);
   }
 }
 
 void PairDeepMD::run_pass_sync() {
+  // Fitting-net fast path: a sync pass over fused compressed blocks runs as
+  // ONE gathered sweep — the fitting layers of every block batch into one
+  // GEMM per layer instead of one per block.
+  if (opts_.block_size > 1 && opts_.compressed && opts_.fused_table &&
+      pass_items_ > 0) {
+    run_pass_sweep();
+    return;
+  }
   if (pool_ != nullptr && pass_items_ > 1) {
     pool_->parallel_dynamic(pass_items_, [this](std::size_t item,
                                                 unsigned tid) {
@@ -189,6 +217,52 @@ void PairDeepMD::run_pass_sync() {
     });
   } else {
     for (std::size_t item = 0; item < pass_items_; ++item) eval_item(item, 0);
+  }
+}
+
+void PairDeepMD::run_pass_sweep() {
+  const int B = opts_.block_size;
+  const std::size_t nitems = pass_items_;
+  if (pass_cache_ == nullptr && sweep_batches_.size() < nitems) {
+    sweep_batches_.resize(nitems);
+  }
+  if (sweep_eblk_.size() < nitems) sweep_eblk_.resize(nitems);
+  if (sweep_dedd_.size() < nitems) sweep_dedd_.resize(nitems);
+  sweep_jobs_.resize(nitems);
+  const bool threaded = pool_ != nullptr && pool_->size() > 1 && nitems > 1;
+
+  // Phase 1: build (or cadence-refresh) every block's packed env.  Items
+  // write disjoint slots, so they parallelize freely.
+  auto build_one = [this](std::size_t item, unsigned tid) {
+    AtomEnvBatch& fallback =
+        pass_cache_ != nullptr ? batches_[tid] : sweep_batches_[item];
+    AtomEnvBatch& batch = prepare_item_batch(item, fallback);
+    sweep_jobs_[item] =
+        DPEvaluator::SweepJob{&batch, &sweep_eblk_[item], &sweep_dedd_[item]};
+  };
+  if (threaded) {
+    pool_->parallel_dynamic(nitems, build_one);
+  } else {
+    for (std::size_t item = 0; item < nitems; ++item) build_one(item, 0);
+  }
+
+  // Phase 2: one multi-block sweep.  Evaluator 0 drives it; the sweep
+  // itself spreads per-item env work and the batched fitting GEMMs across
+  // the pool's workers.
+  evaluators_[0]->evaluate_sweep(sweep_jobs_.data(),
+                                 static_cast<int>(nitems), pool_);
+
+  // Phase 3: scatter energies/forces into the per-thread accumulators.
+  auto scatter_one = [this, B](std::size_t item, unsigned tid) {
+    const int first = static_cast<int>(item) * B;
+    const int count = std::min(B, pass_count_ - first);
+    scatter_item(*sweep_jobs_[item].batch, count, sweep_eblk_[item],
+                 sweep_dedd_[item], tid);
+  };
+  if (threaded) {
+    pool_->parallel_dynamic(nitems, scatter_one);
+  } else {
+    for (std::size_t item = 0; item < nitems; ++item) scatter_one(item, 0);
   }
 }
 
@@ -296,11 +370,13 @@ bool PairDeepMD::per_atom_energy(md::Atoms& atoms,
 
 bool PairDeepMD::degrade_to_conservative() {
   DPMD_REQUIRE(!async_inflight_, "degrade with a partition in flight");
-  if (opts_.precision == Precision::Double && !opts_.fused_table) {
+  if (opts_.precision == Precision::Double && !opts_.fused_table &&
+      opts_.fitting_precision == FittingPrecision::Inherit) {
     return false;  // already at the conservative floor
   }
   opts_.precision = Precision::Double;
   opts_.fused_table = false;
+  opts_.fitting_precision = FittingPrecision::Inherit;
   // Evaluators own precision-dependent workspaces; rebuild them against the
   // new options.  The shared pack still covers the degraded configuration
   // (fp64 ignores the fp32 casts, the tables are precision-independent), so

@@ -103,7 +103,27 @@ class PairDeepMD : public md::Pair {
                   std::span<const int> centers, bool all,
                   std::vector<double>* energies);
   void eval_item(std::size_t item, unsigned tid);
+  /// Build (or cadence-refresh) work item `item`'s packed env batch.
+  /// Returns the cache's block when this pass is cadenced, else builds into
+  /// `fallback` and returns it.
+  AtomEnvBatch& prepare_item_batch(std::size_t item, AtomEnvBatch& fallback);
+  /// Scatters one evaluated block into thread `tid`'s accumulators:
+  /// energies into pass_pe_/pass_energies_, dE/dd rows into the force
+  /// buffer (f_j -= g, f_i += g) and the virial.  Zeroes fbuf_[tid] lazily
+  /// on the thread's first block of the pass.
+  void scatter_item(const AtomEnvBatch& batch, int count,
+                    const std::vector<double>& eblk,
+                    const std::vector<Vec3>& dedd, unsigned tid);
   void run_pass_sync();
+  /// Gathered sync pass (the fitting-net fast path): build/refresh ALL of
+  /// the pass's blocks first (parallel), evaluate them through ONE
+  /// DPEvaluator::evaluate_sweep — fitting-net layers batched across
+  /// blocks — then scatter energies/forces into the per-thread buffers
+  /// (parallel).  Used by the sync passes when the fused compressed batched
+  /// pipeline is selected; the async staged path keeps the per-block
+  /// eval_item flow (its blocks must finish independently, and the two are
+  /// numerically identical anyway).
+  void run_pass_sweep();
   /// Folds per-thread force buffers into atoms.f (unless energies-only)
   /// and returns the pass's pe/virial.
   md::ForceResult reduce_pass(bool apply_forces);
@@ -139,6 +159,13 @@ class PairDeepMD : public md::Pair {
   int pass_ordinal_ = -1;
   std::vector<std::vector<double>> eblk_;   ///< per-thread block energies
   std::vector<std::vector<Vec3>> dedd_;     ///< per thread
+  // Gathered-sweep state (run_pass_sweep): per-ITEM batches (when no env
+  // cache holds them) and per-item energy/gradient outputs, grown on
+  // demand and reused across passes.
+  std::vector<AtomEnvBatch> sweep_batches_;
+  std::vector<std::vector<double>> sweep_eblk_;
+  std::vector<std::vector<Vec3>> sweep_dedd_;
+  std::vector<DPEvaluator::SweepJob> sweep_jobs_;
   std::vector<std::vector<Vec3>> fbuf_;     ///< per-thread force buffers
   std::vector<std::uint64_t> fbuf_epoch_;   ///< lazy per-pass zeroing
   std::uint64_t compute_epoch_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/vtanh.hpp"
+
 namespace dpmd::gemm {
 
 template <class T>
@@ -54,13 +56,14 @@ constexpr int kKc = 256;
 /// Register-tile geometry: NR spans 3 SIMD registers of the target ISA and
 /// MR rows share each B load, so the accumulator tile (MR x 3 registers)
 /// plus the B panel and the broadcast stay within the register file
-/// (measured on AVX-512: 6x24 runs ~7x the memory-streaming ikj kernel at
-/// M = 64; the 3-register width is what lets GCC keep the tile resident).
+/// (measured on AVX-512: the 8x24 tile runs ~1.1-1.2x the previous 6x24
+/// tile at fitting-net shapes -- more FMAs amortize each B row load -- and
+/// the 3-register width is what lets GCC keep the tile resident).
 template <class T>
 struct TileShape {
 #if defined(__AVX512F__)
   static constexpr int vec_bytes = 64;
-  static constexpr int mr = 6;  // 18 of 32 zmm accumulators
+  static constexpr int mr = 8;  // 24 of 32 zmm accumulators
 #elif defined(__AVX__)
   static constexpr int vec_bytes = 32;
   static constexpr int mr = 4;  // 12 of 16 ymm accumulators
@@ -444,6 +447,296 @@ void gemm_halfw(const float* a, const Half* b_half, float* c, int m, int n,
   }
 }
 
+void gemm_bf16w(const float* a, const Bf16* b_bf16, float* c, int m, int n,
+                int k, float alpha, float beta) {
+  // bf16-stored B, fp32 accumulation: same row-expansion scheme as
+  // gemm_halfw (one widening pass per B row, amortized over all M rows).
+  std::vector<float> brow_f(static_cast<std::size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    float* __restrict crow = c + static_cast<std::size_t>(i) * n;
+    if (beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    convert_to_float(b_bf16 + static_cast<std::size_t>(p) * n, brow_f.data(),
+                     static_cast<std::size_t>(n));
+    for (int i = 0; i < m; ++i) {
+      const float av = alpha * a[static_cast<std::size_t>(i) * k + p];
+      float* __restrict crow = c + static_cast<std::size_t>(i) * n;
+      const float* __restrict br = brow_f.data();
+#pragma omp simd
+      for (int j = 0; j < n; ++j) crow[j] += av * br[j];
+    }
+  }
+}
+
+namespace {
+
+/// Applies a fused epilogue (table in gemm.hpp) to rows [i0, i1) x columns
+/// [j0, j1) of one item, with the GEMM accumulation of that region already
+/// complete in c.  Row segments are contiguous, so the bias/tanh/skip
+/// passes vectorize exactly like DenseLayer's unfused row sweeps — and
+/// since every op is elementwise, segment-at-a-time application after each
+/// output tile is bitwise identical to the full-slab passes it replaces.
+template <class T>
+void apply_epilogue(Epilogue ep, const GemmBatchItem<T>& it, const T* bias,
+                    int n, int i0, int i1, int j0, int j1) {
+  if (ep == Epilogue::None) return;
+  const int len = j1 - j0;
+  for (int r = i0; r < i1; ++r) {
+    const std::size_t off = static_cast<std::size_t>(r) * n + j0;
+    T* __restrict cr = it.c + off;
+    switch (ep) {
+      case Epilogue::None:
+        break;
+      case Epilogue::Bias:
+      case Epilogue::BiasTanh:
+      case Epilogue::BiasTanhSkip: {
+        const T* __restrict bi = bias + j0;
+#pragma omp simd
+        for (int j = 0; j < len; ++j) cr[j] += bi[j];
+        if (ep != Epilogue::Bias) vtanh(cr, static_cast<std::size_t>(len));
+        if (ep == Epilogue::BiasTanhSkip) {
+          T* __restrict c2r = it.c2 + off;
+          const T* __restrict sk = it.skip + off;
+#pragma omp simd
+          for (int j = 0; j < len; ++j) c2r[j] = cr[j] + sk[j];
+        } else if (it.c2 != nullptr) {
+          T* __restrict c2r = it.c2 + off;
+          for (int j = 0; j < len; ++j) c2r[j] = cr[j];
+        }
+        break;
+      }
+      case Epilogue::GradSkip: {
+        const T* __restrict sk = it.skip + off;
+#pragma omp simd
+        for (int j = 0; j < len; ++j) cr[j] += sk[j];
+        [[fallthrough]];
+      }
+      case Epilogue::Grad:
+        if (it.c2 != nullptr) {
+          // c2 holds the next layer down's cached tanh output; transform it
+          // in place into that layer's dy_lin (dy * (1 - h^2)).
+          T* __restrict c2r = it.c2 + off;
+#pragma omp simd
+          for (int j = 0; j < len; ++j) {
+            c2r[j] = cr[j] * (T(1) - c2r[j] * c2r[j]);
+          }
+        }
+        break;
+    }
+  }
+}
+
+/// One item of a gemm_batched sweep.  The dispatch ladder and the loop
+/// structure of each rung mirror gemm_auto's callees exactly; the only
+/// addition is the epilogue applied to each output region right after its
+/// accumulation completes (last K chunk for the tiled path), while the
+/// region is still cache-hot.
+template <class T>
+void batched_one(const GemmBatchItem<T>& it, const T* b, const T* bp,
+                 const T* bias, int n, int k, Epilogue ep, bool small_m_sve) {
+  const int m = it.m;
+  if (m <= 0) return;
+  T* c = it.c;
+  if (small_m_sve && m <= kSmallMThreshold) {
+    sve_gemm(it.a, b, c, m, n, k, T(1), T(0));
+    apply_epilogue(ep, it, bias, n, 0, m, 0, n);
+    return;
+  }
+  if (k == 1 && n > 1) {
+    // Rank-1 (the fitting head's backward: dy (m x 1) times wt (1 x n)):
+    // one write pass per row, epilogue applied while the row is hot.
+    for (int i = 0; i < m; ++i) {
+      const T av = it.a[i];
+      T* __restrict crow = c + static_cast<std::size_t>(i) * n;
+      const T* __restrict brow = b;
+#pragma omp simd
+      for (int j = 0; j < n; ++j) crow[j] = av * brow[j];
+      apply_epilogue(ep, it, bias, n, i, i + 1, 0, n);
+    }
+    return;
+  }
+  if (n == 1) {
+    // Matrix-vector (the fitting head's forward): one dot per row.
+    for (int i = 0; i < m; ++i) {
+      const T* __restrict arow = it.a + static_cast<std::size_t>(i) * k;
+      T acc = 0;
+#pragma omp simd reduction(+ : acc)
+      for (int p = 0; p < k; ++p) acc += arow[p] * b[p];
+      c[i] = acc;
+    }
+    apply_epilogue(ep, it, bias, 1, 0, m, 0, 1);
+    return;
+  }
+  scale_c(c, static_cast<std::size_t>(m) * n, T(0));
+  constexpr int MR = TileShape<T>::mr;
+  constexpr int NR = TileShape<T>::nr;
+  const int n_main = n - n % NR;
+  const int m_main = m - m % MR;
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int kc = std::min(kKc, k - pc);
+    const bool last = pc + kc == k;
+    const T* ap = it.a + pc;
+    for (int jc = 0; jc < n_main; jc += NR) {
+      const T* panel;
+      int ldb;
+      if (bp != nullptr) {
+        panel = bp + static_cast<std::size_t>(jc) * k +
+                static_cast<std::size_t>(pc) * NR;
+        ldb = NR;
+      } else {
+        panel = b + static_cast<std::size_t>(pc) * n + jc;
+        ldb = n;
+      }
+      for (int ic = 0; ic < m_main; ic += MR) {
+        micro_tile<T, MR, NR>(ap + static_cast<std::size_t>(ic) * k, panel,
+                              c + static_cast<std::size_t>(ic) * n + jc, kc,
+                              k, 1, ldb, n, T(1));
+        if (last) apply_epilogue(ep, it, bias, n, ic, ic + MR, jc, jc + NR);
+      }
+      if (m_main < m) {
+        micro_rows<T, NR>(ap + static_cast<std::size_t>(m_main) * k, panel,
+                          c + static_cast<std::size_t>(m_main) * n + jc,
+                          m - m_main, kc, k, 1, ldb, n, T(1));
+        if (last) apply_epilogue(ep, it, bias, n, m_main, m, jc, jc + NR);
+      }
+    }
+  }
+  if (n_main < n) {
+    // Remainder columns: full-K unit-stride dots (the packed tail is stored
+    // transposed; the raw layout goes through the skinny transpose buffer),
+    // then the epilogue over the completed tail region.
+    if (bp != nullptr) {
+      const T* tail = bp + static_cast<std::size_t>(n_main) * k;
+      for (int i = 0; i < m; ++i) {
+        const T* __restrict arow = it.a + static_cast<std::size_t>(i) * k;
+        T* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = n_main; j < n; ++j) {
+          const T* __restrict btrow =
+              tail + static_cast<std::size_t>(j - n_main) * k;
+          T acc = 0;
+#pragma omp simd reduction(+ : acc)
+          for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+          crow[j] += acc;
+        }
+      }
+    } else {
+      skinny_panel(it.a, b + n_main, c + n_main, m, n - n_main, k, n, n,
+                   T(1));
+    }
+    apply_epilogue(ep, it, bias, n, 0, m, n_main, n);
+  }
+}
+
+}  // namespace
+
+template <class T>
+void gemm_batched(const GemmBatchItem<T>* items, int nitems, const T* b,
+                  const T* b_packed, const T* bias, int n, int k, Epilogue ep,
+                  bool small_m_sve) {
+  // Special shapes (k == 1 rank-1 rows, n == 1 dots) have no B panels worth
+  // sharing; run them per item through the mirrored dispatch ladder.
+  if (k == 1 || n == 1) {
+    for (int i = 0; i < nitems; ++i) {
+      batched_one(items[i], b, b_packed, bias, n, k, ep, small_m_sve);
+    }
+    return;
+  }
+  thread_local std::vector<int> tiled;
+  tiled.clear();
+  for (int i = 0; i < nitems; ++i) {
+    if (items[i].m <= 0) continue;
+    if (small_m_sve && items[i].m <= kSmallMThreshold) {
+      batched_one(items[i], b, b_packed, bias, n, k, ep, small_m_sve);
+    } else {
+      tiled.push_back(i);
+    }
+  }
+  if (tiled.empty()) return;
+  // Jointly tiled rung — the point of the multi-block sweep: the items'
+  // row-tile loops run INSIDE the shared (pc, jc) panel loops, so each B
+  // panel streams from memory once per sweep instead of once per item.  At
+  // the fitting sweep's per-block M of ~20-50 a lone block reuses a panel
+  // over only m/MR row tiles, which leaves the big-K layers bound on B
+  // traffic; the sweep multiplies that reuse by the number of blocks.  Each
+  // item's C element still accumulates its pc chunks in ascending order
+  // through the same micro-kernels, so per-item results are bitwise
+  // identical to a lone batched_one (and to gemm_blocked + unfused
+  // epilogue passes).
+  constexpr int MR = TileShape<T>::mr;
+  constexpr int NR = TileShape<T>::nr;
+  const int n_main = n - n % NR;
+  for (const int idx : tiled) {
+    scale_c(items[idx].c, static_cast<std::size_t>(items[idx].m) * n, T(0));
+  }
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int kc = std::min(kKc, k - pc);
+    const bool last = pc + kc == k;
+    for (int jc = 0; jc < n_main; jc += NR) {
+      const T* panel;
+      int ldb;
+      if (b_packed != nullptr) {
+        panel = b_packed + static_cast<std::size_t>(jc) * k +
+                static_cast<std::size_t>(pc) * NR;
+        ldb = NR;
+      } else {
+        panel = b + static_cast<std::size_t>(pc) * n + jc;
+        ldb = n;
+      }
+      for (const int idx : tiled) {
+        const GemmBatchItem<T>& it = items[idx];
+        const int m = it.m;
+        const int m_main = m - m % MR;
+        const T* ap = it.a + pc;
+        T* c = it.c;
+        for (int ic = 0; ic < m_main; ic += MR) {
+          micro_tile<T, MR, NR>(ap + static_cast<std::size_t>(ic) * k, panel,
+                                c + static_cast<std::size_t>(ic) * n + jc, kc,
+                                k, 1, ldb, n, T(1));
+          if (last) {
+            apply_epilogue(ep, it, bias, n, ic, ic + MR, jc, jc + NR);
+          }
+        }
+        if (m_main < m) {
+          micro_rows<T, NR>(ap + static_cast<std::size_t>(m_main) * k, panel,
+                            c + static_cast<std::size_t>(m_main) * n + jc,
+                            m - m_main, kc, k, 1, ldb, n, T(1));
+          if (last) apply_epilogue(ep, it, bias, n, m_main, m, jc, jc + NR);
+        }
+      }
+    }
+  }
+  if (n_main < n) {
+    for (const int idx : tiled) {
+      const GemmBatchItem<T>& it = items[idx];
+      const int m = it.m;
+      if (b_packed != nullptr) {
+        const T* tail = b_packed + static_cast<std::size_t>(n_main) * k;
+        for (int i = 0; i < m; ++i) {
+          const T* __restrict arow = it.a + static_cast<std::size_t>(i) * k;
+          T* crow = it.c + static_cast<std::size_t>(i) * n;
+          for (int j = n_main; j < n; ++j) {
+            const T* __restrict btrow =
+                tail + static_cast<std::size_t>(j - n_main) * k;
+            T acc = 0;
+#pragma omp simd reduction(+ : acc)
+            for (int p = 0; p < k; ++p) acc += arow[p] * btrow[p];
+            crow[j] += acc;
+          }
+        }
+      } else {
+        skinny_panel(it.a, b + n_main, it.c + n_main, m, n - n_main, k, n, n,
+                     T(1));
+      }
+      apply_epilogue(ep, it, bias, n, 0, m, n_main, n);
+    }
+  }
+}
+
 template <class T>
 void transpose(const T* src, T* dst, int rows, int cols) {
   for (int i = 0; i < rows; ++i) {
@@ -486,6 +779,12 @@ template void sve_gemm<float>(const float*, const float*, float*, int, int,
                               int, float, float);
 template void sve_gemm<double>(const double*, const double*, double*, int, int,
                                int, double, double);
+template void gemm_batched<float>(const GemmBatchItem<float>*, int,
+                                  const float*, const float*, const float*,
+                                  int, int, Epilogue, bool);
+template void gemm_batched<double>(const GemmBatchItem<double>*, int,
+                                   const double*, const double*, const double*,
+                                   int, int, Epilogue, bool);
 template void transpose<float>(const float*, float*, int, int);
 template void transpose<double>(const double*, double*, int, int);
 

@@ -88,6 +88,64 @@ void sve_gemm(const T* a, const T* b, T* c, int m, int n, int k,
 void gemm_halfw(const float* a, const Half* b_half, float* c, int m, int n,
                 int k, float alpha = 1.0f, float beta = 0.0f);
 
+/// A is fp32, B is bf16-stored (row-major K x N), accumulate in fp32: the
+/// reduced-precision fitting path's weight GEMM (same widening-load scheme
+/// as gemm_halfw, bf16's fp32-range exponent means trained weights never
+/// saturate the way binary16 can).
+void gemm_bf16w(const float* a, const Bf16* b_bf16, float* c, int m, int n,
+                int k, float alpha = 1.0f, float beta = 0.0f);
+
+/// GEMM-tail epilogue fused into gemm_batched's C writeback while the
+/// output tile is register/L1 resident — the dense-layer bias/activation/
+/// resnet passes (forward) and the act-grad/skip passes (backward) that
+/// otherwise each re-stream the full M x N slab.  With acc the completed
+/// GEMM sum of an element (alpha = 1, beta = 0 semantics):
+///
+///  | epilogue     | c                   | c2 (optional)            |
+///  |--------------|---------------------|--------------------------|
+///  | None         | acc                 | untouched                |
+///  | Bias         | acc + bias[j]       | copy of c                |
+///  | BiasTanh     | tanh(acc + bias[j]) | copy of c                |
+///  | BiasTanhSkip | tanh(acc + bias[j]) | c + skip[j]              |
+///  | Grad         | acc                 | c2 <- c * (1 - c2^2)     |
+///  | GradSkip     | acc + skip[j]       | c2 <- c * (1 - c2^2)     |
+///
+/// Forward layers write the pre-skip activation to c (the h cache) and the
+/// resnet output to c2 (the activation slab); backward layers write dx to c
+/// (skip = the incoming dy for Identity resnets) and transform c2 — the
+/// NEXT layer down's h cache — into its dy_lin in place, so the act-grad
+/// sweep of the following backward step never runs.  The element order of
+/// every epilogue matches DenseLayer's unfused row passes exactly, so fused
+/// and unfused results are bitwise identical.
+enum class Epilogue { None, Bias, BiasTanh, BiasTanhSkip, Grad, GradSkip };
+
+/// One operand set of a gemm_batched sweep: strided slabs sharing B.
+template <class T>
+struct GemmBatchItem {
+  const T* a = nullptr;    ///< m x k row-major (lda = k)
+  T* c = nullptr;          ///< m x n primary output (ldc = n)
+  T* c2 = nullptr;         ///< m x n secondary output (see Epilogue table)
+  const T* skip = nullptr; ///< m x n skip operand (BiasTanhSkip / GradSkip)
+  int m = 0;
+};
+
+/// Multi-block batched GEMM driver (the fitting-net fast path): C_i =
+/// epilogue(A_i * B) for every item against ONE shared B, so a sweep's
+/// blocks run a layer back-to-back — the weight panels stream from cache
+/// once per call instead of once per block.  Per-item shape dispatch
+/// mirrors gemm_auto exactly (m <= kSmallMThreshold -> sve_gemm when
+/// small_m_sve, else the packed/blocked K-chunked register tiling), and
+/// epilogues are applied to each output tile right after its last K chunk,
+/// preserving gemm_auto's per-element accumulation order — a batched item
+/// is bitwise identical to its standalone gemm_auto + unfused-epilogue run.
+/// `b` is the raw row-major K x N operand (always required); `b_packed` its
+/// pack_b form or nullptr; `bias` (length n) may be nullptr for the
+/// bias-free epilogues.
+template <class T>
+void gemm_batched(const GemmBatchItem<T>* items, int nitems, const T* b,
+                  const T* b_packed, const T* bias, int n, int k, Epilogue ep,
+                  bool small_m_sve = true);
+
 /// Dispatch used by the fitting net: sve_gemm for M <= threshold (paper: the
 /// SVE kernel is activated when M <= 3), blocked otherwise.
 inline constexpr int kSmallMThreshold = 3;
@@ -152,6 +210,14 @@ extern template void sve_gemm<float>(const float*, const float*, float*, int,
                                      int, int, float, float);
 extern template void sve_gemm<double>(const double*, const double*, double*,
                                       int, int, int, double, double);
+extern template void gemm_batched<float>(const GemmBatchItem<float>*, int,
+                                         const float*, const float*,
+                                         const float*, int, int, Epilogue,
+                                         bool);
+extern template void gemm_batched<double>(const GemmBatchItem<double>*, int,
+                                          const double*, const double*,
+                                          const double*, int, int, Epilogue,
+                                          bool);
 extern template void transpose<float>(const float*, float*, int, int);
 extern template void transpose<double>(const double*, double*, int, int);
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "gemm/gemm.hpp"
+#include "runtime/threadpool.hpp"
 #include "util/error.hpp"
 
 namespace dpmd::nn {
@@ -116,6 +118,166 @@ const T* Mlp<T>::backward_input_batch(int batch, MlpCache<T>& cache,
                               cache.scratch, packed);
   }
   return cache.grads[0].data();
+}
+
+namespace {
+
+/// True when the batched driver covers this GEMM backend (the packed /
+/// blocked / small-M paths gemm_batched mirrors).
+inline bool sweep_kind_ok(GemmKind k) {
+  return k == GemmKind::Auto || k == GemmKind::Blocked;
+}
+
+/// Runs one layer's batched GEMM sweep, optionally spreading items across
+/// the pool.  Per-item work is independent, so the split changes nothing
+/// numerically.
+template <class T>
+void run_layer_sweep(const gemm::GemmBatchItem<T>* gitems, int nitems,
+                     const DenseLayer<T>& ly, const T* b, const T* bp,
+                     const T* bias, gemm::Epilogue ep, bool small_m_sve,
+                     rt::ThreadPool* pool) {
+  if (pool != nullptr && pool->size() > 1 && nitems > 1) {
+    pool->parallel_dynamic(nitems, [&, gitems](int i, int) {
+      gemm::gemm_batched(gitems + i, 1, b, bp, bias, ly.out, ly.in, ep,
+                         small_m_sve);
+    });
+  } else {
+    gemm::gemm_batched(gitems, nitems, b, bp, bias, ly.out, ly.in, ep,
+                       small_m_sve);
+  }
+}
+
+}  // namespace
+
+template <class T>
+void Mlp<T>::forward_sweep(const MlpSweepItem<T>* items, int nitems,
+                           GemmKind kind, GemmKind first_kind, bool packed,
+                           rt::ThreadPool* pool) const {
+  DPMD_REQUIRE(!layers_.empty(), "empty network");
+  if (nitems <= 0) return;
+  for (int i = 0; i < nitems; ++i) {
+    ensure_cache(items[i].m, *items[i].cache);
+  }
+  const std::size_t L = layers_.size();
+  // Staging reused across calls (steady state allocates nothing); workers
+  // only ever see it through the data pointer captured below.
+  thread_local std::vector<gemm::GemmBatchItem<T>> gitems;
+  gitems.resize(static_cast<std::size_t>(nitems));
+  for (std::size_t l = 0; l < L; ++l) {
+    const DenseLayer<T>& ly = layers_[l];
+    const GemmKind lk = l == 0 ? first_kind : kind;
+    gemm::Epilogue ep = gemm::Epilogue::None;
+    bool fused = sweep_kind_ok(lk);
+    if (ly.act == Act::Tanh && ly.resnet == Resnet::None) {
+      ep = gemm::Epilogue::BiasTanh;
+    } else if (ly.act == Act::Tanh && ly.resnet == Resnet::Identity) {
+      ep = gemm::Epilogue::BiasTanhSkip;
+    } else if (ly.act == Act::Linear && ly.resnet == Resnet::None) {
+      ep = gemm::Epilogue::Bias;
+    } else {
+      fused = false;
+    }
+    if (!fused) {
+      // Backend or layer shape outside the fused driver: per-item layer
+      // forward (identical math, just not batched).
+      for (int i = 0; i < nitems; ++i) {
+        MlpCache<T>& c = *items[i].cache;
+        ly.forward(c.acts[l].data(), c.acts[l + 1].data(), c.hs[l].data(),
+                   items[i].m, lk, packed);
+      }
+      continue;
+    }
+    for (int i = 0; i < nitems; ++i) {
+      MlpCache<T>& c = *items[i].cache;
+      gemm::GemmBatchItem<T>& g = gitems[static_cast<std::size_t>(i)];
+      g.m = items[i].m;
+      g.a = c.acts[l].data();
+      if (ep == gemm::Epilogue::Bias) {
+        // Linear output layer: y = xW + b; keep hs in sync via the c2 copy
+        // so the cache matches the unfused path byte for byte.
+        g.c = c.acts[l + 1].data();
+        g.c2 = c.hs[l].data();
+        g.skip = nullptr;
+      } else {
+        g.c = c.hs[l].data();
+        g.c2 = c.acts[l + 1].data();
+        g.skip = ep == gemm::Epilogue::BiasTanhSkip ? c.acts[l].data()
+                                                    : nullptr;
+      }
+    }
+    const T* bp =
+        packed && !ly.w_packed.empty() ? ly.w_packed.data() : nullptr;
+    run_layer_sweep(gitems.data(), nitems, ly, ly.w.data(), bp, ly.b.data(),
+                    ep, lk == GemmKind::Auto, pool);
+  }
+}
+
+template <class T>
+void Mlp<T>::backward_sweep(const MlpSweepItem<T>* items, int nitems,
+                            GemmKind kind, bool packed,
+                            rt::ThreadPool* pool) const {
+  const std::size_t L = layers_.size();
+  DPMD_REQUIRE(L != 0, "empty network");
+  if (nitems <= 0) return;
+  // Reduced-storage weight kinds run their data backward against the full
+  // fp32/fp64 weights, exactly as DenseLayer::backward_input does.
+  if (kind == GemmKind::HalfWeights || kind == GemmKind::Bf16Weights) {
+    kind = GemmKind::Auto;
+  }
+  // Whole-net eligibility: the fused chain threads each layer's act-grad
+  // through the PREVIOUS gemm's epilogue, so every link must fit — a linear
+  // skip-free output layer on top of tanh layers with None/Identity skips
+  // (the fitting-net shape).  Anything else: per-item unfused backward.
+  bool fused = sweep_kind_ok(kind) &&
+               layers_[L - 1].act == Act::Linear &&
+               layers_[L - 1].resnet == Resnet::None;
+  for (std::size_t l = 0; l + 1 < L && fused; ++l) {
+    fused = layers_[l].act == Act::Tanh &&
+            (layers_[l].resnet == Resnet::None ||
+             layers_[l].resnet == Resnet::Identity);
+  }
+  if (!fused) {
+    for (int i = 0; i < nitems; ++i) {
+      backward_input_batch(items[i].m, *items[i].cache, kind, packed);
+    }
+    return;
+  }
+  thread_local std::vector<gemm::GemmBatchItem<T>> gitems;
+  gitems.resize(static_cast<std::size_t>(nitems));
+  for (std::size_t l = L; l-- > 0;) {
+    const DenseLayer<T>& ly = layers_[l];
+    // Layer l's dy_lin: grads[L] itself for the linear top layer, otherwise
+    // hs[l] — already transformed in place by the layer above's epilogue.
+    const gemm::Epilogue ep = ly.resnet == Resnet::Identity
+                                  ? gemm::Epilogue::GradSkip
+                                  : gemm::Epilogue::Grad;
+    for (int i = 0; i < nitems; ++i) {
+      MlpCache<T>& c = *items[i].cache;
+      gemm::GemmBatchItem<T>& g = gitems[static_cast<std::size_t>(i)];
+      g.m = items[i].m;
+      g.a = l == L - 1 ? c.grads[L].data() : c.hs[l].data();
+      g.c = c.grads[l].data();
+      g.c2 = l > 0 ? c.hs[l - 1].data() : nullptr;
+      g.skip = ep == gemm::Epilogue::GradSkip ? c.grads[l + 1].data()
+                                              : nullptr;
+    }
+    // dx = dy_lin * W^T as GEMM-NN against the pre-transposed wt
+    // (n = ly.in, k = ly.out).
+    const T* bp =
+        packed && !ly.wt_packed.empty() ? ly.wt_packed.data() : nullptr;
+    if (pool != nullptr && pool->size() > 1 && nitems > 1) {
+      const gemm::GemmBatchItem<T>* gi = gitems.data();
+      pool->parallel_dynamic(nitems, [&, gi](int i, int) {
+        gemm::gemm_batched(gi + i, 1, ly.wt.data(), bp,
+                           static_cast<const T*>(nullptr), ly.in, ly.out, ep,
+                           kind == GemmKind::Auto);
+      });
+    } else {
+      gemm::gemm_batched(gitems.data(), nitems, ly.wt.data(), bp,
+                         static_cast<const T*>(nullptr), ly.in, ly.out, ep,
+                         kind == GemmKind::Auto);
+    }
+  }
 }
 
 template <class T>

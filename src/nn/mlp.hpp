@@ -5,6 +5,10 @@
 #include "nn/dense.hpp"
 #include "util/random.hpp"
 
+namespace dpmd::rt {
+class ThreadPool;
+}
+
 namespace dpmd::nn {
 
 /// Forward-pass cache for one MLP evaluation; reused across calls so the
@@ -25,6 +29,16 @@ struct MlpCache {
   /// per-layer gradient buffers for backward
   std::vector<Matrix<T>> grads;
   std::vector<T> scratch;
+};
+
+/// One member of a forward_sweep/backward_sweep batch: `m` rows staged in
+/// `cache` (input in acts[0] for forward, output gradient in grads[L] for
+/// backward — the same slabs the batch_input/batch_output_grad entry points
+/// hand out).  Caches must be distinct per item.
+template <class T>
+struct MlpSweepItem {
+  int m = 0;
+  MlpCache<T>* cache = nullptr;
 };
 
 /// Gradients of all parameters of an Mlp (same shapes as the layers).
@@ -101,6 +115,41 @@ class Mlp {
   T* batch_output_grad(int batch, MlpCache<T>& cache) const;
   const T* backward_input_batch(int batch, MlpCache<T>& cache,
                                 GemmKind kind, bool packed = true) const;
+
+  /// Multi-block sweep entry points — the fitting-net fast path.  All items
+  /// run each layer back-to-back through ONE gemm_batched call, so the
+  /// weight panels stream from cache once per sweep instead of once per
+  /// block, and the bias/activation/resnet passes (forward) and the
+  /// act-grad/skip passes (backward) are fused into the GEMM epilogue
+  /// (gemm::Epilogue) instead of re-streaming the output slabs.
+  ///
+  /// Usage mirrors the batched entry points, N caches at a time:
+  ///
+  ///   for each item: fill net.batch_input(m_i, cache_i)
+  ///   net.forward_sweep(items, N, kind, first_kind);
+  ///   ... read cache_i.acts.back(), fill net.batch_output_grad(...) ...
+  ///   net.backward_sweep(items, N, kind);
+  ///   ... read cache_i.grads[0] ...
+  ///
+  /// Results are bitwise identical to per-item forward_batch /
+  /// backward_input_batch calls.  Layers whose GEMM backend or
+  /// act/resnet combination the fused driver does not cover (Sve/Ref/
+  /// HalfWeights/Bf16Weights kinds, Doubled resnets, non-tanh hidden
+  /// activations) fall back to the per-item path for that layer (forward)
+  /// or for the whole net (backward) transparently.
+  ///
+  /// backward_sweep CLOBBERS cache.hs: each layer's fused GEMM transforms
+  /// the layer below's cached tanh output into its dy_lin in place, which
+  /// is exactly why the per-layer act-grad pass disappears.  Re-run a
+  /// forward before reusing the cache for another backward.
+  ///
+  /// `pool` (optional) spreads the items of each layer across threads;
+  /// per-item results do not depend on the thread count.
+  void forward_sweep(const MlpSweepItem<T>* items, int nitems, GemmKind kind,
+                     GemmKind first_kind, bool packed = true,
+                     rt::ThreadPool* pool = nullptr) const;
+  void backward_sweep(const MlpSweepItem<T>* items, int nitems, GemmKind kind,
+                      bool packed = true, rt::ThreadPool* pool = nullptr) const;
 
   /// Training backward: also accumulates parameter gradients.
   void backward_full(const T* dy, T* dx, int batch, MlpCache<T>& cache,

@@ -11,6 +11,7 @@ namespace dpmd::serve {
 bool same_eval_options(const dp::EvalOptions& a, const dp::EvalOptions& b) {
   // block_size is intentionally ignored: the gang sweep chooses its own M.
   return a.precision == b.precision && a.fitting_gemm == b.fitting_gemm &&
+         a.fitting_precision == b.fitting_precision &&
          a.compressed == b.compressed &&
          a.compression_bins == b.compression_bins &&
          a.compression_s_max == b.compression_s_max &&

@@ -7,6 +7,7 @@
 #include "gemm/gemm.hpp"
 #include "util/half.hpp"
 #include "util/random.hpp"
+#include "util/vtanh.hpp"
 
 namespace dpmd::gemm {
 namespace {
@@ -270,6 +271,199 @@ TEST(Gemm, HalfWeightsExactForHalfRepresentable) {
   gemm_ref(a.data(), b.data(), c_ref.data(), m, n, k);
   gemm_halfw(a.data(), bh.data(), c.data(), m, n, k);
   for (int i = 0; i < n; ++i) EXPECT_EQ(c[i], c_ref[i]);
+}
+
+// ------------------------------------------------------- gemm_batched ----
+
+/// Unfused reference for one batched item: gemm_auto into c, then the
+/// Epilogue table of gemm.hpp applied as separate whole-slab passes (the
+/// row passes DenseLayer runs when fusion is off).  gemm_batched promises
+/// bitwise identity against exactly this.
+void batched_item_ref(const GemmBatchItem<double>& it, const double* b,
+                      const double* bp, const double* bias, int n, int k,
+                      Epilogue ep) {
+  gemm_auto(it.a, b, bp, it.c, it.m, n, k);
+  const std::size_t mn = static_cast<std::size_t>(it.m) * n;
+  switch (ep) {
+    case Epilogue::None:
+      break;
+    case Epilogue::Bias:
+    case Epilogue::BiasTanh:
+    case Epilogue::BiasTanhSkip:
+      for (int i = 0; i < it.m; ++i) {
+        double* cr = it.c + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) cr[j] += bias[j];
+        if (ep != Epilogue::Bias) vtanh(cr, static_cast<std::size_t>(n));
+      }
+      if (ep == Epilogue::BiasTanhSkip) {
+        for (std::size_t i = 0; i < mn; ++i) it.c2[i] = it.c[i] + it.skip[i];
+      } else if (it.c2 != nullptr) {
+        for (std::size_t i = 0; i < mn; ++i) it.c2[i] = it.c[i];
+      }
+      break;
+    case Epilogue::GradSkip:
+      for (std::size_t i = 0; i < mn; ++i) it.c[i] += it.skip[i];
+      [[fallthrough]];
+    case Epilogue::Grad:
+      if (it.c2 != nullptr) {
+        for (std::size_t i = 0; i < mn; ++i) {
+          it.c2[i] = it.c[i] * (1.0 - it.c2[i] * it.c2[i]);
+        }
+      }
+      break;
+  }
+}
+
+/// Per-item operand storage for a batched sweep test.
+struct BatchedFixture {
+  std::vector<int> ms;
+  int n = 0, k = 0;
+  std::vector<std::vector<double>> a, c, c2, skip;
+  std::vector<double> b, bp, bias;
+  std::vector<GemmBatchItem<double>> items;
+
+  BatchedFixture(std::vector<int> ms_in, int n_in, int k_in, Rng& rng)
+      : ms(std::move(ms_in)), n(n_in), k(k_in) {
+    b = random_matrix(k, n, rng);
+    bp.resize(b.size());
+    pack_b(b.data(), bp.data(), k, n);
+    bias = random_matrix(1, n, rng);
+    for (const int m : ms) {
+      a.push_back(random_matrix(m, k, rng));
+      // tanh-range c2/skip seeds so Grad's (1 - h^2) stays well-scaled
+      c.push_back(random_matrix(m, n, rng, 0.9));
+      c2.push_back(random_matrix(m, n, rng, 0.9));
+      skip.push_back(random_matrix(m, n, rng, 0.9));
+    }
+  }
+
+  /// Builds the item list over fresh copies of the c/c2 seeds (both the
+  /// fused run and the reference mutate them in place).
+  std::vector<GemmBatchItem<double>> make_items(
+      std::vector<std::vector<double>>& cw,
+      std::vector<std::vector<double>>& c2w, bool with_c2) {
+    cw = c;
+    c2w = c2;
+    std::vector<GemmBatchItem<double>> out;
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      GemmBatchItem<double> it;
+      it.a = a[i].data();
+      it.c = cw[i].data();
+      it.c2 = with_c2 ? c2w[i].data() : nullptr;
+      it.skip = skip[i].data();
+      it.m = ms[i];
+      out.push_back(it);
+    }
+    return out;
+  }
+};
+
+class GemmBatchedEpilogues : public ::testing::TestWithParam<Epilogue> {};
+
+TEST_P(GemmBatchedEpilogues, BitwiseMatchesLoopedAutoPlusUnfused) {
+  const Epilogue ep = GetParam();
+  // m values straddle the sve threshold (<= 3), the MR = 8 register tile,
+  // its row remainders, and the real water-256 per-type counts; k = 300
+  // crosses the kKc K-chunk boundary, n = 52 leaves remainder columns
+  // beyond the packed panels.
+  Rng rng(900 + static_cast<int>(ep));
+  BatchedFixture fx({1, 3, 5, 8, 21, 43, 7}, 52, 300, rng);
+  for (const bool packed : {false, true}) {
+    for (const bool with_c2 : {true, false}) {
+      // c2 is mandatory only for BiasTanhSkip; every other epilogue must
+      // tolerate a missing secondary slab.
+      if (!with_c2 && ep == Epilogue::BiasTanhSkip) continue;
+      std::vector<std::vector<double>> c_f, c2_f, c_r, c2_r;
+      auto fused = fx.make_items(c_f, c2_f, with_c2);
+      auto ref = fx.make_items(c_r, c2_r, with_c2);
+      const double* bp = packed ? fx.bp.data() : nullptr;
+      gemm_batched(fused.data(), static_cast<int>(fused.size()), fx.b.data(),
+                   bp, fx.bias.data(), fx.n, fx.k, ep);
+      for (auto& it : ref) {
+        batched_item_ref(it, fx.b.data(), bp, fx.bias.data(), fx.n, fx.k,
+                         ep);
+      }
+      for (std::size_t i = 0; i < fused.size(); ++i) {
+        EXPECT_EQ(c_f[i], c_r[i])
+            << "item " << i << " packed " << packed << " c2 " << with_c2;
+        EXPECT_EQ(c2_f[i], c2_r[i])
+            << "item " << i << " packed " << packed << " c2 " << with_c2;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEpilogues, GemmBatchedEpilogues,
+                         ::testing::Values(Epilogue::None, Epilogue::Bias,
+                                           Epilogue::BiasTanh,
+                                           Epilogue::BiasTanhSkip,
+                                           Epilogue::Grad,
+                                           Epilogue::GradSkip));
+
+TEST(GemmBatched, FittingLayerShapesBitwise) {
+  // The production first-layer shape: per-type row counts of water-256
+  // sweeps against the 1600 x 240 weight, bias + tanh + identity resnet.
+  Rng rng(77);
+  BatchedFixture fx({21, 43, 22, 42}, 240, 1600, rng);
+  std::vector<std::vector<double>> c_f, c2_f, c_r, c2_r;
+  auto fused = fx.make_items(c_f, c2_f, true);
+  auto ref = fx.make_items(c_r, c2_r, true);
+  gemm_batched(fused.data(), static_cast<int>(fused.size()), fx.b.data(),
+               fx.bp.data(), fx.bias.data(), fx.n, fx.k,
+               Epilogue::BiasTanhSkip);
+  for (auto& it : ref) {
+    batched_item_ref(it, fx.b.data(), fx.bp.data(), fx.bias.data(), fx.n,
+                     fx.k, Epilogue::BiasTanhSkip);
+  }
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(c_f[i], c_r[i]) << "item " << i;
+    EXPECT_EQ(c2_f[i], c2_r[i]) << "item " << i;
+  }
+}
+
+TEST(GemmBatched, HeadShapesAndEmptyItems) {
+  // The energy head's forward is matrix-vector (n = 1), its backward a
+  // rank-1 outer product (k = 1); both get dedicated rungs in batched_one.
+  // m = 0 items must be skipped without touching their outputs.
+  Rng rng(78);
+  {
+    BatchedFixture fx({4, 0, 9, 1}, 1, 240, rng);
+    std::vector<std::vector<double>> c_f, c2_f, c_r, c2_r;
+    auto fused = fx.make_items(c_f, c2_f, true);
+    auto ref = fx.make_items(c_r, c2_r, true);
+    gemm_batched(fused.data(), static_cast<int>(fused.size()), fx.b.data(),
+                 static_cast<const double*>(nullptr), fx.bias.data(), fx.n,
+                 fx.k, Epilogue::Bias);
+    for (auto& it : ref) {
+      if (it.m > 0) {
+        batched_item_ref(it, fx.b.data(), nullptr, fx.bias.data(), fx.n,
+                         fx.k, Epilogue::Bias);
+      }
+    }
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      EXPECT_EQ(c_f[i], c_r[i]) << "head fwd item " << i;
+    }
+  }
+  {
+    BatchedFixture fx({6, 0, 3}, 240, 1, rng);
+    std::vector<std::vector<double>> c_f, c2_f, c_r, c2_r;
+    auto fused = fx.make_items(c_f, c2_f, true);
+    auto ref = fx.make_items(c_r, c2_r, true);
+    gemm_batched(fused.data(), static_cast<int>(fused.size()), fx.b.data(),
+                 static_cast<const double*>(nullptr),
+                 static_cast<const double*>(nullptr), fx.n, fx.k,
+                 Epilogue::GradSkip);
+    for (auto& it : ref) {
+      if (it.m > 0) {
+        batched_item_ref(it, fx.b.data(), nullptr, nullptr, fx.n, fx.k,
+                         Epilogue::GradSkip);
+      }
+    }
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      EXPECT_EQ(c_f[i], c_r[i]) << "head bwd item " << i;
+      EXPECT_EQ(c2_f[i], c2_r[i]) << "head bwd item " << i;
+    }
+  }
 }
 
 TEST(Transpose, RoundTrip) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -261,6 +262,117 @@ TEST(Mlp, BatchMatchesPerSample) {
     net.forward(x.data() + 4 * b, y.data(), 1, c2, GemmKind::Auto);
     EXPECT_NEAR(y[0], y_batch[2 * b], 1e-12);
     EXPECT_NEAR(y[1], y_batch[2 * b + 1], 1e-12);
+  }
+}
+
+TEST(Mlp, SweepBitwiseMatchesPerItemBatch) {
+  // forward_sweep/backward_sweep promise bitwise identity against per-item
+  // forward_batch/backward_input_batch — fitting-net shape (identity
+  // resnets, linear head), item sizes straddling the sve threshold and the
+  // register-tile remainders.
+  Rng rng(23);
+  Mlp<double> net = Mlp<double>::stack(40, {48, 48, 48}, 1);
+  net.init_random(rng);
+  net.finalize();
+  const std::vector<int> ms = {5, 1, 9, 3, 16};
+  const int fin = net.input_dim();
+
+  for (const bool packed : {true, false}) {
+    // Reference: independent per-item round trips.
+    std::vector<MlpCache<double>> ref_caches(ms.size());
+    std::vector<std::vector<double>> x(ms.size()), dy(ms.size());
+    std::vector<std::vector<double>> y_ref(ms.size()), dx_ref(ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const int m = ms[i];
+      x[i].resize(static_cast<std::size_t>(m) * fin);
+      for (auto& v : x[i]) v = rng.uniform(-1, 1);
+      dy[i].resize(static_cast<std::size_t>(m));
+      for (auto& v : dy[i]) v = rng.uniform(-1, 1);
+
+      double* in = net.batch_input(m, ref_caches[i]);
+      std::copy(x[i].begin(), x[i].end(), in);
+      const double* y =
+          net.forward_batch(m, ref_caches[i], GemmKind::Auto, GemmKind::Auto,
+                            packed);
+      y_ref[i].assign(y, y + m);
+      double* g = net.batch_output_grad(m, ref_caches[i]);
+      std::copy(dy[i].begin(), dy[i].end(), g);
+      const double* dx =
+          net.backward_input_batch(m, ref_caches[i], GemmKind::Auto, packed);
+      dx_ref[i].assign(dx, dx + static_cast<std::size_t>(m) * fin);
+    }
+
+    // Sweep: same inputs, all items per layer through one gemm_batched.
+    std::vector<MlpCache<double>> caches(ms.size());
+    std::vector<MlpSweepItem<double>> items(ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      items[i].m = ms[i];
+      items[i].cache = &caches[i];
+      double* in = net.batch_input(ms[i], caches[i]);
+      std::copy(x[i].begin(), x[i].end(), in);
+    }
+    net.forward_sweep(items.data(), static_cast<int>(items.size()),
+                      GemmKind::Auto, GemmKind::Auto, packed);
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const double* y = caches[i].acts.back().data();
+      for (int r = 0; r < ms[i]; ++r) {
+        EXPECT_EQ(y[r], y_ref[i][r]) << "item " << i << " packed " << packed;
+      }
+      double* g = net.batch_output_grad(ms[i], caches[i]);
+      std::copy(dy[i].begin(), dy[i].end(), g);
+    }
+    net.backward_sweep(items.data(), static_cast<int>(items.size()),
+                       GemmKind::Auto, packed);
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const double* dx = caches[i].grads[0].data();
+      for (std::size_t e = 0; e < dx_ref[i].size(); ++e) {
+        EXPECT_EQ(dx[e], dx_ref[i][e]) << "item " << i << " packed "
+                                       << packed;
+      }
+    }
+  }
+}
+
+TEST(Mlp, SweepSingleItemMatchesBatch) {
+  // The concatenated fitting slab runs ONE big item per net; pin the
+  // degenerate nitems = 1 case, embedding-style Doubled resnets included
+  // (those layers take the per-item fallback inside the sweep).
+  Rng rng(29);
+  Mlp<double> net = Mlp<double>::stack(1, {8, 16, 32}, 0);
+  net.init_random(rng);
+  net.finalize();
+  const int m = 37;
+  const int fin = net.input_dim();
+  const int fout = net.output_dim();
+
+  std::vector<double> x(static_cast<std::size_t>(m) * fin);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  MlpCache<double> ref_cache;
+  std::copy(x.begin(), x.end(), net.batch_input(m, ref_cache));
+  const double* y_ref =
+      net.forward_batch(m, ref_cache, GemmKind::Auto, GemmKind::Auto);
+  std::vector<double> dy(static_cast<std::size_t>(m) * fout);
+  for (auto& v : dy) v = rng.uniform(-1, 1);
+  std::copy(dy.begin(), dy.end(), net.batch_output_grad(m, ref_cache));
+  const double* dx_ref =
+      net.backward_input_batch(m, ref_cache, GemmKind::Auto);
+  const std::vector<double> y_want(y_ref,
+                                   y_ref + static_cast<std::size_t>(m) * fout);
+  const std::vector<double> dx_want(
+      dx_ref, dx_ref + static_cast<std::size_t>(m) * fin);
+
+  MlpCache<double> cache;
+  std::copy(x.begin(), x.end(), net.batch_input(m, cache));
+  MlpSweepItem<double> item{m, &cache};
+  net.forward_sweep(&item, 1, GemmKind::Auto, GemmKind::Auto);
+  const double* y = cache.acts.back().data();
+  for (std::size_t e = 0; e < y_want.size(); ++e) EXPECT_EQ(y[e], y_want[e]);
+  std::copy(dy.begin(), dy.end(), net.batch_output_grad(m, cache));
+  net.backward_sweep(&item, 1, GemmKind::Auto);
+  const double* dx = cache.grads[0].data();
+  for (std::size_t e = 0; e < dx_want.size(); ++e) {
+    EXPECT_EQ(dx[e], dx_want[e]);
   }
 }
 

@@ -245,6 +245,53 @@ TEST(Gang, MergedScoringMatchesIsolated) {
   EXPECT_EQ(co_scheduled, 4);  // all four jobs rode one merged sweep
 }
 
+TEST(Gang, MergedReducedPrecisionFittingMatchesIsolated) {
+  // Gang-merged jobs ride the evaluator's multi-block sweep, whose fitting
+  // stage runs all jobs' rows through one concatenated slab per net — with
+  // reduced-precision fitting the whole slab is cast and swept at once, so
+  // the merged/isolated contract must hold there too.
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("m", small_model());
+
+  std::vector<serve::JobSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    auto s = score_spec("m", 10 + 3 * i, 500 + static_cast<uint64_t>(i));
+    s.opts.fitting_precision = dp::FittingPrecision::Fp32;
+    specs.push_back(std::move(s));
+  }
+  std::vector<const serve::JobSpec*> ptrs;
+  for (const auto& s : specs) ptrs.push_back(&s);
+  auto pack = registry->pack("m", specs[0].opts);
+
+  std::vector<serve::ScoreOutput> isolated;
+  serve::score_jobs(ptrs, pack, /*gang_block=*/1, nullptr, isolated);
+  std::vector<serve::ScoreOutput> merged;
+  serve::score_jobs(ptrs, pack, /*gang_block=*/1024, nullptr, merged);
+
+  int co_scheduled = 0;
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    co_scheduled = std::max(co_scheduled, merged[j].gang_size);
+    EXPECT_NEAR(merged[j].energy, isolated[j].energy, 1e-10);
+    ASSERT_EQ(merged[j].forces.size(), isolated[j].forces.size());
+    for (std::size_t i = 0; i < merged[j].forces.size(); ++i)
+      for (int d = 0; d < 3; ++d)
+        EXPECT_NEAR(merged[j].forces[i][d], isolated[j].forces[i][d], 1e-10);
+  }
+  EXPECT_EQ(co_scheduled, 4);
+}
+
+TEST(Gang, EvalOptionsGateIncludesFittingPrecision) {
+  // SimService's gang claim merges queued score jobs only while
+  // same_eval_options holds — a job asking for the fp64 oracle must never
+  // ride a reduced-precision sweep (and vice versa).
+  dp::EvalOptions a, b;
+  EXPECT_TRUE(serve::same_eval_options(a, b));
+  b.fitting_precision = dp::FittingPrecision::Fp32;
+  EXPECT_FALSE(serve::same_eval_options(a, b));
+  b.fitting_precision = dp::FittingPrecision::Bf16;
+  EXPECT_FALSE(serve::same_eval_options(a, b));
+}
+
 TEST(Gang, ServiceCoSchedulesQueuedScores) {
   auto registry = std::make_shared<serve::ModelRegistry>();
   registry->add("m", small_model());
