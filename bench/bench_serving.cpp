@@ -128,6 +128,63 @@ RunStats run_depth(const std::shared_ptr<serve::ModelRegistry>& registry,
   return out;
 }
 
+struct OverloadStats {
+  double jobs_per_s = 0.0;  ///< completed jobs per second
+  double p50_us = 0.0;      ///< latency percentiles over completed jobs
+  double p99_us = 0.0;
+  double shed_rate = 0.0;   ///< rejected / submitted
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Overload rung (ISSUE 10): submit `jobs` (sized at ~2x the queue cap) in
+/// one burst and measure what admission control buys — with a cap the shed
+/// jobs bound the queue and the p99 of the jobs actually served; uncapped,
+/// everything completes but the tail latency carries the whole backlog.
+OverloadStats run_overload(const std::shared_ptr<serve::ModelRegistry>& registry,
+                           const serve::ServiceConfig& base, std::size_t cap,
+                           int jobs, int natoms) {
+  serve::ServiceConfig cfg = base;
+  cfg.queue_cap = cap;
+  cfg.shed_policy = serve::ShedPolicy::RejectNew;
+  serve::SimService service(registry, cfg);
+
+  std::vector<serve::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j)
+    specs.push_back(make_job(natoms, 1000 + static_cast<uint64_t>(j) % 64));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::JobId> ids;
+  ids.reserve(specs.size());
+  for (auto& s : specs) ids.push_back(service.submit(std::move(s)));
+  service.wait_all();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  OverloadStats out;
+  std::vector<double> latency_us;
+  for (const serve::JobId id : ids) {
+    const serve::JobResult r = service.wait(id);
+    if (r.status == serve::JobStatus::Rejected) {
+      ++out.rejected;
+      continue;
+    }
+    if (r.status != serve::JobStatus::Done) {
+      std::fprintf(stderr, "overload job failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    ++out.completed;
+    latency_us.push_back(r.queue_us + r.run_us);
+  }
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  out.jobs_per_s = static_cast<double>(out.completed) / secs;
+  out.p50_us = percentile(latency_us, 0.50);
+  out.p99_us = percentile(latency_us, 0.99);
+  out.shed_rate = static_cast<double>(out.rejected) /
+                  static_cast<double>(jobs);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +256,23 @@ int main(int argc, char** argv) {
     std::printf("  workers %u: %8.1f jobs/s\n", w, r.jobs_per_s);
   }
 
+  // Overload rung (ISSUE 10): a burst of 2x the admission cap, with and
+  // without admission control, at the same worker count.
+  const std::size_t cap = smoke ? 8 : 64;
+  const int burst = static_cast<int>(2 * cap);
+  const OverloadStats capped =
+      run_overload(registry, served_cfg, cap, burst, natoms);
+  const OverloadStats uncapped =
+      run_overload(registry, served_cfg, /*cap=*/0, burst, natoms);
+  std::printf("  overload %dj/cap %zu: %8.1f jobs/s  p50 %8.0f us  "
+              "p99 %8.0f us  shed %4.1f%%\n",
+              burst, cap, capped.jobs_per_s, capped.p50_us, capped.p99_us,
+              100.0 * capped.shed_rate);
+  std::printf("  overload %dj/uncapped: %7.1f jobs/s  p50 %8.0f us  "
+              "p99 %8.0f us  shed %4.1f%%\n",
+              burst, uncapped.jobs_per_s, uncapped.p50_us, uncapped.p99_us,
+              100.0 * uncapped.shed_rate);
+
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -235,6 +309,27 @@ int main(int argc, char** argv) {
                  i + 1 < worker_sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f, "    \"burst_jobs\": %d,\n", burst);
+  std::fprintf(f, "    \"queue_cap\": %zu,\n", cap);
+  std::fprintf(f, "    \"shed_policy\": \"reject-new\",\n");
+  std::fprintf(f,
+               "    \"capped\": {\"completed\": %llu, \"rejected\": %llu, "
+               "\"shed_rate\": %.3f, \"jobs_per_s\": %.2f, "
+               "\"p50_us\": %.1f, \"p99_us\": %.1f},\n",
+               static_cast<unsigned long long>(capped.completed),
+               static_cast<unsigned long long>(capped.rejected),
+               capped.shed_rate, capped.jobs_per_s, capped.p50_us,
+               capped.p99_us);
+  std::fprintf(f,
+               "    \"uncapped\": {\"completed\": %llu, \"rejected\": %llu, "
+               "\"shed_rate\": %.3f, \"jobs_per_s\": %.2f, "
+               "\"p50_us\": %.1f, \"p99_us\": %.1f}\n",
+               static_cast<unsigned long long>(uncapped.completed),
+               static_cast<unsigned long long>(uncapped.rejected),
+               uncapped.shed_rate, uncapped.jobs_per_s, uncapped.p50_us,
+               uncapped.p99_us);
+  std::fprintf(f, "  },\n");
   const auto& st = served.service;
   std::fprintf(f,
                "  \"served_run\": {\"gangs\": %llu, \"gang_jobs\": %llu, "

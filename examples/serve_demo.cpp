@@ -3,15 +3,25 @@
 // NVT trajectories) and drain them through the SimService worker pool.
 //
 //   usage: serve_demo [--workers=N] [--jobs=N] [--steps=N] [--natoms=N]
+//                     [--queue-cap=N] [--deadline-ms=N] [--priority=N]
+//                     [--shed-policy=reject|evict]
 //                     [--no-share] [--no-gang] [--no-arena]
 //
-//   --workers=N   worker threads draining the queue        (default 2)
-//   --jobs=N      score jobs to queue                      (default 24)
-//   --steps=N     steps per trajectory job                 (default 20)
-//   --natoms=N    atoms per scoring system                 (default 16)
-//   --no-share    build a private weight pack per job (baseline mode)
-//   --no-gang     disable score co-scheduling
-//   --no-arena    job scratch on the heap instead of the per-worker arena
+//   --workers=N      worker threads draining the queue        (default 2)
+//   --jobs=N         score jobs to queue                      (default 24)
+//   --steps=N        steps per trajectory job                 (default 20)
+//   --natoms=N       atoms per scoring system                 (default 16)
+//   --queue-cap=N    admission control: max queued jobs; overflow is shed
+//                    (default 0 = unbounded)
+//   --deadline-ms=N  queue deadline per score job; still queued past it ->
+//                    Expired without running (default 0 = none)
+//   --priority=N     priority class of the trajectory jobs — watch them jump
+//                    the score backlog (default 0)
+//   --shed-policy=P  reject (drop the newcomer) or evict (displace the
+//                    lowest-priority queued job)             (default reject)
+//   --no-share       build a private weight pack per job (baseline mode)
+//   --no-gang        disable score co-scheduling
+//   --no-arena       job scratch on the heap instead of the per-worker arena
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +93,8 @@ int main(int argc, char** argv) {
   int njobs = 24;
   int steps = 20;
   int natoms = 16;
+  int deadline_ms = 0;
+  int priority = 0;
   serve::ServiceConfig cfg;
   for (int i = 1; i < argc; ++i) {
     workers = static_cast<unsigned>(
@@ -90,6 +102,14 @@ int main(int argc, char** argv) {
     njobs = arg_int(argv[i], "--jobs", njobs);
     steps = arg_int(argv[i], "--steps", steps);
     natoms = arg_int(argv[i], "--natoms", natoms);
+    cfg.queue_cap = static_cast<std::size_t>(arg_int(
+        argv[i], "--queue-cap", static_cast<int>(cfg.queue_cap)));
+    deadline_ms = arg_int(argv[i], "--deadline-ms", deadline_ms);
+    priority = arg_int(argv[i], "--priority", priority);
+    if (std::strcmp(argv[i], "--shed-policy=evict") == 0)
+      cfg.shed_policy = serve::ShedPolicy::EvictLowestPriority;
+    if (std::strcmp(argv[i], "--shed-policy=reject") == 0)
+      cfg.shed_policy = serve::ShedPolicy::RejectNew;
     if (std::strcmp(argv[i], "--no-share") == 0) cfg.share_registry = false;
     if (std::strcmp(argv[i], "--no-gang") == 0) cfg.coschedule = false;
     if (std::strcmp(argv[i], "--no-arena") == 0) cfg.use_arena = false;
@@ -102,15 +122,22 @@ int main(int argc, char** argv) {
   registry->add("demo", demo_model());
   serve::SimService service(registry, cfg);
 
-  std::printf("serve_demo: %u worker(s), share=%s gang=%s arena=%s\n\n",
+  std::printf("serve_demo: %u worker(s), share=%s gang=%s arena=%s",
               cfg.workers, cfg.share_registry ? "on" : "off",
               cfg.coschedule ? "on" : "off", cfg.use_arena ? "on" : "off");
+  if (cfg.queue_cap > 0)
+    std::printf(", cap=%zu (%s)", cfg.queue_cap,
+                cfg.shed_policy == serve::ShedPolicy::RejectNew ? "reject"
+                                                                : "evict");
+  std::printf("\n\n");
 
   // A mixed queue: scores (gang fodder), one relax, two NVT trajectories.
   std::vector<serve::JobId> scores;
-  for (int j = 0; j < njobs; ++j)
-    scores.push_back(service.submit(
-        base_system(natoms, 100 + static_cast<uint64_t>(j))));
+  for (int j = 0; j < njobs; ++j) {
+    serve::JobSpec s = base_system(natoms, 100 + static_cast<uint64_t>(j));
+    s.deadline_ms = static_cast<double>(deadline_ms);
+    scores.push_back(service.submit(std::move(s)));
+  }
 
   serve::JobSpec relax = base_system(natoms, 500);
   relax.kind = serve::JobKind::Relax;
@@ -127,24 +154,34 @@ int main(int argc, char** argv) {
     t.dt_fs = 0.25;
     t.temperature = 120.0;
     t.seed = 42 + static_cast<uint64_t>(j);
+    t.priority = priority;  // jump the score backlog when > 0
     trajs.push_back(service.submit(t));
   }
 
   service.wait_all();
 
   double e_sum = 0.0;
+  int done = 0;
+  int shed = 0;
   int max_gang = 0;
   for (const serve::JobId id : scores) {
     const serve::JobResult r = service.wait(id);
+    if (r.status == serve::JobStatus::Rejected ||
+        r.status == serve::JobStatus::Expired) {
+      ++shed;  // admission control / deadline did its job
+      continue;
+    }
     if (r.status != serve::JobStatus::Done) {
       std::fprintf(stderr, "score failed: %s\n", r.error.c_str());
       return 1;
     }
+    ++done;
     e_sum += r.energy;
     max_gang = std::max(max_gang, r.gang_size);
   }
-  std::printf("scores:     %d jobs, mean energy %10.4f eV, largest gang %d\n",
-              njobs, e_sum / njobs, max_gang);
+  std::printf("scores:     %d done / %d shed of %d, mean energy %10.4f eV, "
+              "largest gang %d\n",
+              done, shed, njobs, done > 0 ? e_sum / done : 0.0, max_gang);
 
   const serve::JobResult rr = service.wait(relax_id);
   std::printf("relax:      %s in %d iter(s), E %10.4f eV, fmax %.2e eV/A\n",
@@ -164,6 +201,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.submitted),
               static_cast<unsigned long long>(s.gangs),
               static_cast<unsigned long long>(s.gang_jobs));
+  std::printf("robust:   %llu rejected (%llu evicted), %llu expired, "
+              "%llu timed out, %llu retries, queue high water %zu\n",
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.evicted),
+              static_cast<unsigned long long>(s.expired),
+              static_cast<unsigned long long>(s.timed_out),
+              static_cast<unsigned long long>(s.retries),
+              s.queue_high_water);
   std::printf("registry: %zu pack build(s), %zu hit(s), %.1f KiB resident\n",
               s.registry.pack_builds, s.registry.pack_hits,
               static_cast<double>(s.registry.pack_bytes) / 1024.0);

@@ -56,7 +56,18 @@ echo "== load balancing: rebalancer + balanced-trajectory suites =="
 # numerics, queue semantics, arena equality.  Threaded label, so the
 # sanitizer legs below re-run them under ASan/TSan.
 echo "== serving: registry/queue/gang/arena suite =="
-(cd "$repo_root/build" && ctest -R 'test_serve' --output-on-failure)
+(cd "$repo_root/build" && ctest -R 'test_serve$' --output-on-failure)
+
+# Serving robustness (ISSUE 10): admission control/shedding, priorities,
+# deadlines, cooperative cancellation of running jobs, budget watchdog
+# (including a wedged-in-simmpi job), transient retry, drain-vs-now
+# shutdown, plus the stop-token plumbing in the runtime pool.  These suites
+# carry the threaded label, so the TSan leg below re-runs the whole
+# cancel/watchdog/shutdown surface under the race detector — the
+# shutdown(Now)-never-deadlocks guarantee is only as good as that pass.
+echo "== serving robustness: deadlines/cancel/retry/drain suite =="
+(cd "$repo_root/build" && ctest -R 'test_serve_robust|test_runtime' \
+     --output-on-failure)
 
 # Fitting-net fast path (ISSUE 9): batched-GEMM/epilogue bitwise parity,
 # sweep parity, the reduced-precision oracle bounds, then one short

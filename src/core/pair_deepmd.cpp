@@ -211,12 +211,19 @@ void PairDeepMD::run_pass_sync() {
     return;
   }
   if (pool_ != nullptr && pass_items_ > 1) {
+    // The pool's claim loops stop handing out blocks once the token trips;
+    // the throw happens here, on the single-threaded frame, after the
+    // partial sweep drained.
     pool_->parallel_dynamic(pass_items_, [this](std::size_t item,
                                                 unsigned tid) {
       eval_item(item, tid);
     });
+    stop_.check("deepmd block sweep");
   } else {
-    for (std::size_t item = 0; item < pass_items_; ++item) eval_item(item, 0);
+    for (std::size_t item = 0; item < pass_items_; ++item) {
+      stop_.check("deepmd block sweep");
+      eval_item(item, 0);
+    }
   }
 }
 
@@ -243,14 +250,19 @@ void PairDeepMD::run_pass_sweep() {
   if (threaded) {
     pool_->parallel_dynamic(nitems, build_one);
   } else {
-    for (std::size_t item = 0; item < nitems; ++item) build_one(item, 0);
+    for (std::size_t item = 0; item < nitems; ++item) {
+      stop_.check("deepmd sweep build");
+      build_one(item, 0);
+    }
   }
+  stop_.check("deepmd sweep build");
 
   // Phase 2: one multi-block sweep.  Evaluator 0 drives it; the sweep
   // itself spreads per-item env work and the batched fitting GEMMs across
   // the pool's workers.
   evaluators_[0]->evaluate_sweep(sweep_jobs_.data(),
                                  static_cast<int>(nitems), pool_);
+  stop_.check("deepmd sweep eval");
 
   // Phase 3: scatter energies/forces into the per-thread accumulators.
   auto scatter_one = [this, B](std::size_t item, unsigned tid) {
@@ -288,6 +300,12 @@ md::ForceResult PairDeepMD::reduce_pass(bool apply_forces) {
   pass_energies_ = nullptr;
   pass_cache_ = nullptr;
   return res;
+}
+
+void PairDeepMD::set_stop_token(rt::StopToken token) {
+  DPMD_REQUIRE(!async_inflight_, "set_stop_token with a partition in flight");
+  stop_ = std::move(token);
+  if (pool_ != nullptr) pool_->set_stop_token(stop_);
 }
 
 void PairDeepMD::on_lists_rebuilt() {

@@ -85,6 +85,15 @@ class PairDeepMD : public md::Pair {
   /// post-rewind rebuild repopulates them.
   bool degrade_to_conservative() override;
 
+  /// Cooperative cancellation (ISSUE 10): the token is polled between DP
+  /// block sweeps — the serial per-block loop checks (and throws
+  /// rt::StopError) between blocks; pooled paths stop claiming blocks (the
+  /// token is forwarded to the pool) and the calling thread throws after
+  /// the partial sweep returns.  A pending stop abandons the pass, so the
+  /// object must not be reused for physics afterwards — the serving layer
+  /// tears the whole Sim down.
+  void set_stop_token(rt::StopToken token) override;
+
   const EvalOptions& options() const { return opts_; }
   const std::shared_ptr<const ModelPack>& pack() const { return pack_; }
   DPEvaluator& evaluator(unsigned thread) {
@@ -132,6 +141,7 @@ class PairDeepMD : public md::Pair {
   std::shared_ptr<const DPModel> model_;   ///< == pack_->model_ptr()
   EvalOptions opts_;
   rt::ThreadPool* pool_;  ///< nullptr = serial
+  rt::StopToken stop_;    ///< polled between block sweeps; default never stops
 
   /// Persistent per-pass env-batch cache (skin-cadence reuse).  A "pass"
   /// is identified by its ordinal inside a step window (interior = 0,

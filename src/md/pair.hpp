@@ -6,6 +6,7 @@
 
 #include "md/atoms.hpp"
 #include "md/neighbor.hpp"
+#include "runtime/stop.hpp"
 
 namespace dpmd::md {
 
@@ -132,6 +133,13 @@ class Pair {
   /// (i.e. another retry is worth it); the default has no knobs.  Only
   /// called between steps, never during a staged evaluation.
   virtual bool degrade_to_conservative() { return false; }
+
+  /// Cooperative cancellation (ISSUE 10): a style that honours the token
+  /// polls it between internal units of work (PairDeepMD: between DP block
+  /// sweeps) and throws rt::StopError from a checkpoint when a stop is
+  /// pending.  The default ignores it — classical styles evaluate in
+  /// microseconds, so the engine-level per-step checkpoint suffices.
+  virtual void set_stop_token(rt::StopToken /*token*/) {}
 
   /// Per-atom energy decomposition if the style supports it (DP does);
   /// returns false otherwise.  Used by accuracy benches.

@@ -151,6 +151,7 @@ void Sim::setup() {
 
 void Sim::step() {
   if (needs_setup_) setup();
+  stop_.check("md step");
 
   const double dt = cfg_.dt_fs;
   // Velocity Verlet, metal-style units (see md/units.hpp).

@@ -85,6 +85,17 @@ class Sim {
   /// Force refresh after external position edits (tests).
   void invalidate() { needs_setup_ = true; }
 
+  /// Cooperative cancellation (ISSUE 10): the token is checked at the top
+  /// of every step() and forwarded to the pair style, so a pending stop
+  /// lands between MD steps or between DP block sweeps — whichever comes
+  /// first — as an rt::StopError thrown out of step()/run().  A stopped
+  /// engine may be mid-evaluation and must not be reused for physics; the
+  /// serving layer discards the whole Sim.
+  void set_stop_token(rt::StopToken token) {
+    stop_ = std::move(token);
+    pair_->set_stop_token(stop_);
+  }
+
   // Checkpoint/restart (ISSUE 6) ------------------------------------------
   /// Serializes the full dynamic state — positions, velocities, images,
   /// integration counters, thermostat accumulators and RNG stream — so a
@@ -138,6 +149,7 @@ class Sim {
   int rebuilds_ = 0;
   bool needs_setup_ = true;
   TimerRegistry timers_;
+  rt::StopToken stop_;  ///< checked per step; default never stops
 
   // Health-guard state (ISSUE 6): framed checkpoint bytes of the last
   // healthy cadence point; the retry budget counts trips since the last

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dpmd::rt {
+
+/// Why a cooperative stop was requested (ISSUE 10).  `DeadlineExceeded`
+/// comes from a wall-clock budget on the token itself; `Cancelled` from an
+/// explicit request_stop().  An explicit request wins over a later deadline
+/// trip so the observed reason is stable once set.
+enum class StopReason : int { None = 0, Cancelled = 1, DeadlineExceeded = 2 };
+
+const char* stop_reason_name(StopReason r);
+
+/// Thrown by StopToken::check() at a cancellation checkpoint.  Derives from
+/// dpmd::Error so generic failure handling still catches it; holders that
+/// care (serve::SimService) catch it first and map reason -> job status.
+class StopError : public dpmd::Error {
+ public:
+  StopError(StopReason reason, const std::string& where)
+      : Error(std::string("stopped (") + stop_reason_name(reason) + ") at " +
+              where),
+        reason_(reason) {}
+  StopReason reason() const { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+namespace detail {
+struct StopState {
+  std::atomic<int> reason{static_cast<int>(StopReason::None)};
+  /// steady_clock deadline, ns since clock epoch; 0 = no deadline.
+  std::atomic<std::int64_t> deadline_ns{0};
+};
+
+inline std::int64_t to_ns(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+}  // namespace detail
+
+/// Copyable, possibly-empty view of a stop request (the std::stop_token
+/// shape, plus a wall-clock deadline).  A default-constructed token never
+/// stops — every polling site costs one branch on a null pointer, so the
+/// checkpoints stay essentially free for engines run without a service.
+class StopToken {
+ public:
+  StopToken() = default;
+  explicit StopToken(std::shared_ptr<const detail::StopState> s)
+      : state_(std::move(s)) {}
+
+  /// Can this token ever request a stop?
+  bool stop_possible() const { return state_ != nullptr; }
+
+  /// The current verdict: an explicit request first, then the deadline.
+  StopReason why() const {
+    if (state_ == nullptr) return StopReason::None;
+    const auto r =
+        static_cast<StopReason>(state_->reason.load(std::memory_order_acquire));
+    if (r != StopReason::None) return r;
+    const std::int64_t dl = state_->deadline_ns.load(std::memory_order_acquire);
+    if (dl != 0 &&
+        detail::to_ns(std::chrono::steady_clock::now()) >= dl) {
+      return StopReason::DeadlineExceeded;
+    }
+    return StopReason::None;
+  }
+
+  bool stop_requested() const { return why() != StopReason::None; }
+
+  /// Cancellation checkpoint: throws StopError naming the site when a stop
+  /// is pending.  The physics loops call this between units of work (MD
+  /// steps, DP block sweeps, relax iterations).
+  void check(const char* where) const {
+    const StopReason r = why();
+    if (r != StopReason::None) throw StopError(r, where);
+  }
+
+ private:
+  std::shared_ptr<const detail::StopState> state_;
+};
+
+/// Owner side: hands out tokens, requests stops, arms the deadline.
+/// Thread-safe (all state is atomic); copies share the same state.
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<detail::StopState>()) {}
+
+  StopToken token() const { return StopToken(state_); }
+
+  void request_stop(StopReason reason = StopReason::Cancelled) {
+    int expected = static_cast<int>(StopReason::None);
+    // First reason wins; later requests keep the original verdict.
+    state_->reason.compare_exchange_strong(expected,
+                                           static_cast<int>(reason),
+                                           std::memory_order_acq_rel);
+  }
+
+  /// Arms (or clears, with a default time_point) the wall-clock deadline.
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    state_->deadline_ns.store(
+        tp == std::chrono::steady_clock::time_point{} ? 0 : detail::to_ns(tp),
+        std::memory_order_release);
+  }
+
+  bool stop_requested() const { return StopToken(state_).stop_requested(); }
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+inline const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::None: return "none";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::DeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace dpmd::rt

@@ -12,6 +12,7 @@ ThreadPool::ThreadPool(unsigned nthreads) {
   }
   async_runner_ = [this](unsigned tid) {
     for (;;) {
+      if (stop_ctx_.stop_requested()) break;
       const std::size_t i = async_next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= async_n_) break;
       async_fn_(i, tid);
@@ -111,12 +112,16 @@ void ThreadPool::parallel_dynamic(
     std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
   if (n == 0) return;
   if (size() == 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stop_ctx_.stop_requested()) return;
+      fn(i, 0);
+    }
     return;
   }
   std::atomic<std::size_t> next{0};
   run_on_all([&](unsigned tid) {
     for (;;) {
+      if (stop_ctx_.stop_requested()) break;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       fn(i, tid);
@@ -147,6 +152,7 @@ void ThreadPool::wait_async() {
   DPMD_REQUIRE(async_active_, "wait_async without a submitted job");
   // The caller is free now (comm done) — help drain the remaining items.
   for (;;) {
+    if (stop_ctx_.stop_requested()) break;
     const std::size_t i = async_next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= async_n_) break;
     async_fn_(i, 0);

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/stop.hpp"
+
 namespace dpmd::rt {
 
 /// Persistent thread pool replacing OpenMP's fork/join regions (paper
@@ -62,6 +64,17 @@ class ThreadPool {
   void wait_async();
   bool async_in_flight() const { return async_active_; }
 
+  /// Cooperative cancellation (ISSUE 10): while the token reports a pending
+  /// stop, the dynamic claim loops (parallel_dynamic, submit_dynamic /
+  /// wait_async) stop claiming items — already-claimed items finish, the
+  /// remaining ones are skipped, and the call returns normally.  Noticing
+  /// the partial sweep (and throwing from a safe, single-threaded frame) is
+  /// the CALLER's job: check the token after the call returns.  A default
+  /// token restores the run-everything behaviour.  Set between jobs, not
+  /// while one is in flight.
+  void set_stop_token(StopToken token) { stop_ctx_ = std::move(token); }
+  const StopToken& stop_token() const { return stop_ctx_; }
+
   /// Process-wide default pool (created on first use).
   static ThreadPool& global();
 
@@ -93,6 +106,9 @@ class ThreadPool {
   std::atomic<std::size_t> async_next_{0};
   bool async_active_ = false;
   bool async_dispatched_ = false;
+
+  /// Consulted between dynamic item claims; default = never stops.
+  StopToken stop_ctx_;
 };
 
 /// Static partition helper: the i-th of `parts` chunks of [0, n).

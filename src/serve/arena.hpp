@@ -50,4 +50,25 @@ class JobArena {
   std::size_t jobs_ = 0;
 };
 
+/// RAII job scope (ISSUE 10 hardening): begin() on entry, end() on every
+/// exit — including exceptional ones — so a job that throws mid-evaluation
+/// still returns the worker's arena to its reset state and the next job on
+/// that worker starts from a clean bump pointer instead of inheriting the
+/// failed job's live allocations.  Null arena = no-op (the use_arena=false
+/// baseline path).
+class ArenaScope {
+ public:
+  explicit ArenaScope(JobArena* arena) : arena_(arena) {
+    if (arena_ != nullptr) arena_->begin();
+  }
+  ~ArenaScope() {
+    if (arena_ != nullptr) arena_->end();
+  }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  JobArena* arena_;
+};
+
 }  // namespace dpmd::serve

@@ -163,7 +163,8 @@ void prepare_score(const JobSpec& spec, const dp::ModelConfig& cfg,
 void score_jobs(const std::vector<const JobSpec*>& jobs,
                 const std::shared_ptr<const dp::ModelPack>& pack,
                 int gang_block, JobArena* arena,
-                std::vector<ScoreOutput>& out) {
+                std::vector<ScoreOutput>& out,
+                const rt::StopToken& stop) {
   const int njobs = static_cast<int>(jobs.size());
   out.assign(static_cast<std::size_t>(njobs), ScoreOutput{});
   if (njobs == 0) return;
@@ -185,6 +186,7 @@ void score_jobs(const std::vector<const JobSpec*>& jobs,
 
   int j = 0;
   while (j < njobs) {
+    stop.check("score gang");  // gangs are the cancellation atom
     // Greedy gang: consecutive jobs until the merged center count reaches
     // gang_block.  A job big enough on its own forms a gang of one.
     int k = j;

@@ -6,6 +6,7 @@
 #include "core/descriptor.hpp"
 #include "core/inference.hpp"
 #include "core/model_pack.hpp"
+#include "runtime/stop.hpp"
 #include "serve/arena.hpp"
 #include "serve/job.hpp"
 
@@ -49,10 +50,16 @@ struct ScoreOutput {
 /// `arena` (nullable) backs the transient scratch — the concatenated force
 /// buffer, slot/atom maps, staging — reclaimed wholesale when the gang
 /// completes; null falls back to a call-local arena (fresh heap chunks).
+///
+/// `stop` is polled between gangs (rt::StopError from the checkpoint): a
+/// gang is the cancellation atom of the score path — its members either all
+/// complete or none do, so a mid-batch stop never yields a half-evaluated
+/// merged sweep.  The default token never stops.
 void score_jobs(const std::vector<const JobSpec*>& jobs,
                 const std::shared_ptr<const dp::ModelPack>& pack,
                 int gang_block, JobArena* arena,
-                std::vector<ScoreOutput>& out);
+                std::vector<ScoreOutput>& out,
+                const rt::StopToken& stop = rt::StopToken());
 
 /// True when two option sets resolve to the same evaluation numerics — the
 /// co-scheduling compatibility test (same pack key AND same sweep shape).

@@ -1,21 +1,58 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/model_pack.hpp"
+#include "runtime/stop.hpp"
 #include "runtime/threadpool.hpp"
 #include "serve/arena.hpp"
 #include "serve/job.hpp"
 #include "serve/registry.hpp"
 
 namespace dpmd::serve {
+
+/// What submit() does when the ready queue is at queue_cap (ISSUE 10).
+enum class ShedPolicy {
+  /// The incoming job is Rejected; everything already queued keeps its slot.
+  RejectNew,
+  /// The queued job with the lowest priority (youngest within that class) is
+  /// Rejected to make room — but only when it is *strictly* lower priority
+  /// than the incoming job; otherwise the incoming job is Rejected as under
+  /// RejectNew, so same-priority traffic can never displace itself.
+  EvictLowestPriority,
+};
+
+/// Outcome of SimService::cancel() — the old bool conflated "no such job"
+/// with "already finished" with "too late, it is running".
+enum class CancelResult {
+  UnknownId,        ///< id never existed on this service
+  AlreadyFinished,  ///< job already reached a terminal state; nothing to do
+  Cancelled,        ///< removed from the queue; the job will never run
+  StopRequested,    ///< job is Running: its stop token was tripped — the
+                    ///< physics loops honour it at the next checkpoint and
+                    ///< the job finalizes Cancelled (or Done, if it happened
+                    ///< to finish first).  wait() to observe the outcome.
+};
+
+const char* cancel_result_name(CancelResult r);
+
+enum class ShutdownMode {
+  /// Stop accepting work, run everything already queued (including pending
+  /// retries) to completion, then stop the workers.
+  Drain,
+  /// Stop accepting work, cancel everything queued, trip every running
+  /// job's stop token, and stop the workers as soon as they notice.
+  Now,
+};
 
 struct ServiceConfig {
   /// Execution contexts draining the queue (rt::ThreadPool semantics: total
@@ -38,19 +75,34 @@ struct ServiceConfig {
   /// vectors (the equality baseline pinned by tests/test_serve.cpp).
   bool use_arena = true;
   std::size_t arena_chunk_bytes = std::size_t{1} << 20;
+
+  // Robustness knobs (ISSUE 10) --------------------------------------------
+  /// Admission control: max jobs waiting in the ready queue (running jobs
+  /// and backoff-delayed retries do not count).  0 = unbounded (the
+  /// pre-ISSUE-10 behavior).
+  std::size_t queue_cap = 0;
+  ShedPolicy shed_policy = ShedPolicy::RejectNew;
+  /// Transient-failure retry backoff: attempt k (k >= 2) waits
+  /// min(retry_backoff_max_ms, retry_backoff_ms * 2^(k-2)) before requeue.
+  double retry_backoff_ms = 10.0;
+  double retry_backoff_max_ms = 1000.0;
 };
 
-/// Throughput simulation service (ISSUE 8 tentpole): a FIFO queue of
-/// independent jobs (Score / Relax / Trajectory) drained by the existing
-/// rt::ThreadPool.  A dedicated dispatcher thread parks the pool in
-/// run_on_all(worker_loop); each of the `workers` contexts loops popping
-/// jobs until shutdown.
+/// Throughput simulation service (ISSUE 8 tentpole; ISSUE 10 robustness): a
+/// priority queue of independent jobs (Score / Relax / Trajectory) drained
+/// by the existing rt::ThreadPool.  A dedicated dispatcher thread parks the
+/// pool in run_on_all(worker_loop); each of the `workers` contexts loops
+/// popping jobs until shutdown.  A watchdog thread expires queued jobs past
+/// their deadline, times out running jobs past their budget, and promotes
+/// backoff-delayed retries — event-driven, sleeping until the next armed
+/// timer rather than polling.
 ///
 /// Determinism contract: each job runs serially inside its worker (the
 /// per-job PairDeepMD gets no pool), so a job's numbers depend only on its
 /// spec and pack — never on queue depth, worker count, or what ran before.
 /// Shared-registry trajectories are bit-identical to isolated ones
-/// (tests/test_serve.cpp).
+/// (tests/test_serve.cpp), and stay so under unrelated faults on other jobs
+/// (tests/test_serve_robust.cpp).
 class SimService {
  public:
   explicit SimService(std::shared_ptr<ModelRegistry> registry,
@@ -61,28 +113,51 @@ class SimService {
   SimService& operator=(const SimService&) = delete;
 
   /// Enqueues a job (validated shallowly: registered model, matching x/type
-  /// sizes).  Returns immediately with the job's id.
+  /// sizes).  Returns immediately with the job's id.  Under admission
+  /// control the job may come back already terminal — check status(id) or
+  /// wait(id) for Rejected.  Throws once shutdown() has begun.
   JobId submit(JobSpec spec);
 
-  /// Cancels a still-Queued job.  Returns false once the job is running or
-  /// finished — workers never interrupt mid-physics.
-  bool cancel(JobId id);
+  /// Cancels a job.  Queued: removed immediately (-> Cancelled).  Running:
+  /// trips the job's stop token and returns StopRequested — the physics
+  /// loops honour it at their next checkpoint (between MD steps / DP block
+  /// sweeps / relax iterations); wait() to observe the final state.
+  CancelResult cancel(JobId id);
 
   /// Blocks until the job reaches a terminal state; returns its result.
   JobResult wait(JobId id);
 
-  /// Blocks until the queue is empty and no job is in flight.
+  /// Blocks until no job is queued, delayed for retry, or in flight.
   void wait_all();
 
   JobStatus status(JobId id) const;
 
+  /// Stops the service (idempotent; serialized across threads).  Drain runs
+  /// the backlog first; Now cancels it and interrupts running jobs.  After
+  /// either, submit() throws but wait()/status()/stats() keep working.
+  void shutdown(ShutdownMode mode);
+
+  bool accepting() const;
+  /// Saturation latch (hysteresis): set when the ready queue hits
+  /// queue_cap, cleared once it drains to half — callers can poll it for
+  /// backpressure without flapping at the cap boundary.
+  bool saturated() const;
+
   struct Stats {
     std::uint64_t submitted = 0;
-    std::uint64_t completed = 0;  ///< Done
-    std::uint64_t failed = 0;
+    std::uint64_t completed = 0;   ///< Done
+    std::uint64_t failed = 0;      ///< Failed (permanent or retries spent)
     std::uint64_t cancelled = 0;
-    std::uint64_t gangs = 0;      ///< merged sweeps with >= 2 jobs
-    std::uint64_t gang_jobs = 0;  ///< jobs that rode in those sweeps
+    std::uint64_t rejected = 0;    ///< admission control (evictions included)
+    std::uint64_t evicted = 0;     ///< subset of rejected: displaced by shed
+    std::uint64_t expired = 0;     ///< queue deadline passed before start
+    std::uint64_t timed_out = 0;   ///< execution budget exceeded
+    std::uint64_t retries = 0;     ///< transient-failure requeues
+    std::uint64_t gangs = 0;       ///< merged sweeps with >= 2 jobs
+    std::uint64_t gang_jobs = 0;   ///< jobs that rode in those sweeps
+    std::size_t queue_depth = 0;       ///< ready jobs right now
+    std::size_t queue_high_water = 0;  ///< peak ready depth ever observed
+    std::uint64_t saturations = 0;     ///< times the queue hit queue_cap
     std::size_t arena_high_water = 0;  ///< max over workers
     std::size_t arena_reserved = 0;    ///< sum over workers
     ModelRegistry::Stats registry;
@@ -93,46 +168,102 @@ class SimService {
   const ServiceConfig& config() const { return cfg_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Record {
     JobSpec spec;
     JobResult result;
     JobStatus status = JobStatus::Queued;
-    std::chrono::steady_clock::time_point submitted_at;
-    std::chrono::steady_clock::time_point started_at;
+    Clock::time_point submitted_at;
+    Clock::time_point started_at;
+    int attempts = 0;       ///< execution attempts begun
+    rt::StopSource stop;    ///< re-armed fresh at every claim
+  };
+
+  /// Ready-queue key: higher priority first, FIFO (by id) within a class.
+  struct QKey {
+    int priority = 0;
+    JobId id = 0;
+    bool operator<(const QKey& o) const {
+      if (priority != o.priority) return priority > o.priority;
+      return id < o.id;
+    }
+  };
+
+  /// One claimed job: the token is snapshotted under the lock at claim time
+  /// so execution never touches rec->stop concurrently with a re-arm.
+  struct Claim {
+    JobId id = 0;
+    Record* rec = nullptr;
+    rt::StopToken token;
   };
 
   void worker_loop(unsigned tid);
+  void watchdog_loop();
   /// Runs a drained batch of compatible Score jobs through one gang sweep.
-  void run_scores(const std::vector<std::pair<JobId, Record*>>& batch,
-                  unsigned tid);
+  void run_scores(const std::vector<Claim>& batch, unsigned tid);
   /// Runs one Relax/Trajectory job.
-  void run_single(JobId id, Record* rec, unsigned tid);
+  void run_single(const Claim& c, unsigned tid);
   std::shared_ptr<const dp::ModelPack> pack_for(const JobSpec& spec);
-  void post(Record* rec, JobResult&& res);
+  /// Worker-side completion: drops the result if the watchdog already
+  /// finalized the record (TimedOut), requeues transient failures with
+  /// backoff while attempts remain, else finalizes.
+  void post(const Claim& c, JobResult&& res, bool transient);
+  /// Moves a record to a terminal state under mu_: stamps timing/seq,
+  /// bumps the per-status counter, disarms its timers, wakes waiters.
+  void finalize_locked(JobId id, Record& rec, JobResult&& res,
+                       Clock::time_point now);
+  /// Marks the job Running, arms its budget timer, snapshots its token.
+  Claim claim_locked(JobId id, Record& rec, Clock::time_point now);
+  /// Queued-job deadline verdict at claim/expiry time.
+  static bool deadline_passed(const Record& rec, Clock::time_point now);
+  void update_saturation_locked();
 
   std::shared_ptr<ModelRegistry> registry_;
   ServiceConfig cfg_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
-  std::condition_variable done_cv_;  ///< waiters: some job reached terminal
-  std::deque<JobId> queue_;
+  std::condition_variable work_cv_;   ///< workers: ready job or stop
+  std::condition_variable done_cv_;   ///< waiters: some job reached terminal
+  std::condition_variable watch_cv_;  ///< watchdog: timer armed or stop
   std::map<JobId, Record> jobs_;  ///< node-stable: specs readable lock-free
+  std::set<QKey> ready_;          ///< runnable, in scheduling order
+  std::multimap<Clock::time_point, JobId> delayed_;  ///< retry backoff
+  /// Armed timers, earliest first (watchdog wakeup events).
+  std::set<std::pair<Clock::time_point, JobId>> deadline_q_;  ///< queued jobs
+  std::set<std::pair<Clock::time_point, JobId>> budget_q_;    ///< running jobs
   JobId next_id_ = 1;
-  bool stop_ = false;
-  std::size_t queued_ = 0;  ///< still-Queued entries in the deque
+  bool stop_ = false;       ///< workers/watchdog exit
+  bool accepting_ = true;   ///< cleared when shutdown begins
+  bool stopped_ = false;    ///< shutdown completed (threads joined)
+  bool saturated_ = false;
   std::uint64_t inflight_ = 0;
+  std::uint64_t seq_ = 0;   ///< global completion counter
 
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t retries_ = 0;
   std::uint64_t gangs_ = 0;
   std::uint64_t gang_jobs_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::uint64_t saturations_ = 0;
+
+  /// Service-wide stop (shutdown(Now)): checked between score gangs and
+  /// composed into every running job's view of "should I stop".
+  rt::StopSource svc_stop_;
+
+  std::mutex shutdown_mu_;  ///< serializes shutdown() callers
 
   std::vector<std::unique_ptr<JobArena>> arenas_;  ///< one per worker tid
   std::unique_ptr<rt::ThreadPool> pool_;
   std::thread dispatcher_;
+  std::thread watchdog_;
 };
 
 }  // namespace dpmd::serve

@@ -141,5 +141,100 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+// --------------------------------- cooperative cancellation (ISSUE 10) ----
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  StopToken t;
+  EXPECT_FALSE(t.stop_possible());
+  EXPECT_FALSE(t.stop_requested());
+  EXPECT_EQ(t.why(), StopReason::None);
+  EXPECT_NO_THROW(t.check("anywhere"));
+}
+
+TEST(StopToken, RequestStopTripsAndThrowsWithReason) {
+  StopSource src;
+  StopToken t = src.token();
+  EXPECT_TRUE(t.stop_possible());
+  EXPECT_FALSE(t.stop_requested());
+  src.request_stop(StopReason::Cancelled);
+  EXPECT_EQ(t.why(), StopReason::Cancelled);
+  try {
+    t.check("test site");
+    FAIL() << "check() did not throw";
+  } catch (const StopError& e) {
+    EXPECT_EQ(e.reason(), StopReason::Cancelled);
+    EXPECT_NE(std::string(e.what()).find("test site"), std::string::npos);
+  }
+}
+
+TEST(StopToken, FirstReasonWinsOverLaterRequests) {
+  StopSource src;
+  src.request_stop(StopReason::DeadlineExceeded);
+  src.request_stop(StopReason::Cancelled);  // too late: verdict is stable
+  EXPECT_EQ(src.token().why(), StopReason::DeadlineExceeded);
+}
+
+TEST(StopToken, DeadlineTripsWithoutExplicitRequest) {
+  StopSource src;
+  src.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));  // already past
+  EXPECT_EQ(src.token().why(), StopReason::DeadlineExceeded);
+  src.set_deadline({});  // clearing disarms it
+  EXPECT_FALSE(src.token().stop_requested());
+  // An explicit request shadows a later deadline trip.
+  src.request_stop(StopReason::Cancelled);
+  src.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_EQ(src.token().why(), StopReason::Cancelled);
+}
+
+TEST(ThreadPool, StopTokenSkipsRemainingDynamicItemsSerial) {
+  ThreadPool pool(1);  // serial parallel_dynamic path
+  StopSource src;
+  pool.set_stop_token(src.token());
+  int ran = 0;
+  pool.parallel_dynamic(100, [&](std::size_t i, unsigned) {
+    if (i == 4) src.request_stop();
+    ++ran;
+  });
+  // Items are checked before being claimed: 0..4 run, the rest are skipped.
+  EXPECT_EQ(ran, 5);
+  EXPECT_TRUE(pool.stop_token().stop_requested());
+  // A default token restores the run-everything behaviour.
+  pool.set_stop_token(StopToken());
+  ran = 0;
+  pool.parallel_dynamic(10, [&](std::size_t, unsigned) { ++ran; });
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(ThreadPool, StopTokenSkipsRemainingDynamicItemsPooled) {
+  ThreadPool pool(4);
+  StopSource src;
+  pool.set_stop_token(src.token());
+  const std::size_t n = 100000;
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_dynamic(n, [&](std::size_t i, unsigned) {
+    if (i == 0) src.request_stop();
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Already-claimed items finish; everything after the trip is skipped.
+  EXPECT_LT(ran.load(), n / 2);
+  EXPECT_GE(ran.load(), 1u);
+}
+
+TEST(ThreadPool, StopTokenDrainsAsyncJobEarly) {
+  ThreadPool pool(2);
+  StopSource src;
+  pool.set_stop_token(src.token());
+  const std::size_t n = 100000;
+  std::atomic<std::size_t> ran{0};
+  pool.submit_dynamic(n, [&](std::size_t i, unsigned) {
+    if (i == 0) src.request_stop();
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.wait_async();  // must return despite most items being skipped
+  EXPECT_LT(ran.load(), n / 2);
+}
+
 }  // namespace
 }  // namespace dpmd::rt

@@ -406,13 +406,17 @@ TEST(SimService, CancelQueuedButNotFinished) {
   // The blocker occupies the only worker so the target stays Queued.
   const serve::JobId blocker = service.submit(traj_spec("m", 24, 800, 60));
   const serve::JobId target = service.submit(score_spec("m", 12, 801));
-  EXPECT_TRUE(service.cancel(target));
-  EXPECT_FALSE(service.cancel(target));  // already cancelled
+  EXPECT_EQ(service.cancel(target), serve::CancelResult::Cancelled);
+  EXPECT_EQ(service.cancel(target),  // already cancelled
+            serve::CancelResult::AlreadyFinished);
   EXPECT_EQ(service.wait(target).status, serve::JobStatus::Cancelled);
 
   const serve::JobResult rb = service.wait(blocker);
   ASSERT_EQ(rb.status, serve::JobStatus::Done) << rb.error;
-  EXPECT_FALSE(service.cancel(blocker));  // terminal jobs cannot be cancelled
+  EXPECT_EQ(service.cancel(blocker),  // terminal jobs cannot be cancelled
+            serve::CancelResult::AlreadyFinished);
+  EXPECT_EQ(service.cancel(serve::JobId{999999}),
+            serve::CancelResult::UnknownId);
 
   const auto s = service.stats();
   EXPECT_EQ(s.cancelled, 1u);
